@@ -1,0 +1,121 @@
+//! Criterion benchmarks of the executable Polybench kernel ports (the
+//! functional layer, independent of the platform simulation) and of the
+//! adaptive runtime loop end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use margot::{Metric, Rank};
+use polybench::kernels::*;
+use polybench::Matrix;
+
+fn bench_gemm_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-gemm");
+    group.sample_size(20);
+    let n = 64;
+    let a = Matrix::from_fn(n, n, |i, j| ((i + j) % 9) as f64 * 0.25);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 2 + j) % 7) as f64 * 0.5);
+    let cmat = Matrix::from_fn(n, n, |i, j| ((i + 3 * j) % 5) as f64);
+    group.bench_function("2mm-64", |bench| {
+        bench.iter(|| {
+            let mut d = Matrix::from_fn(n, n, |i, j| (i + j) as f64);
+            kernel_2mm(1.5, 1.2, &a, &b, &cmat, &mut d);
+            d
+        });
+    });
+    group.bench_function("3mm-64", |bench| {
+        bench.iter(|| kernel_3mm(&a, &b, &cmat, &a));
+    });
+    group.bench_function("syrk-64", |bench| {
+        bench.iter(|| {
+            let mut cc = Matrix::zeros(n, n);
+            kernel_syrk(1.5, 1.2, &a, &mut cc);
+            cc
+        });
+    });
+    group.finish();
+}
+
+fn bench_stencils(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-stencil");
+    group.sample_size(20);
+    let n = 128;
+    group.bench_function("jacobi2d-128x10", |bench| {
+        bench.iter(|| {
+            let mut a = Matrix::from_fn(n, n, |i, j| (i * j % 13) as f64);
+            let mut b = a.clone();
+            kernel_jacobi_2d(&mut a, &mut b, 10);
+            a
+        });
+    });
+    group.bench_function("seidel2d-128x10", |bench| {
+        bench.iter(|| {
+            let mut a = Matrix::from_fn(n, n, |i, j| (i * j % 13) as f64);
+            kernel_seidel_2d(&mut a, 10);
+            a
+        });
+    });
+    group.finish();
+}
+
+fn bench_linear_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-blas2");
+    group.sample_size(20);
+    let n = 256;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * j) % 17) as f64 * 0.1);
+    let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+    group.bench_function("atax-256", |bench| {
+        bench.iter(|| kernel_atax(&a, &x));
+    });
+    group.bench_function("mvt-256", |bench| {
+        bench.iter(|| {
+            let mut x1 = vec![0.5; n];
+            let mut x2 = vec![0.25; n];
+            kernel_mvt(&a, &mut x1, &mut x2, &x, &x);
+            (x1, x2)
+        });
+    });
+    group.finish();
+}
+
+fn bench_dynamic_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-dp");
+    group.sample_size(10);
+    let seq: Vec<u8> = (0..96).map(|i| (i * 7 % 4) as u8).collect();
+    group.bench_function("nussinov-96", |bench| {
+        bench.iter(|| kernel_nussinov(&seq));
+    });
+    let data = Matrix::from_fn(80, 24, |i, j| ((i * 3 + j * 5) % 23) as f64);
+    group.bench_function("correlation-80x24", |bench| {
+        bench.iter(|| kernel_correlation(&data));
+    });
+    group.finish();
+}
+
+fn bench_adaptive_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive-runtime");
+    group.sample_size(10);
+    let toolchain = socrates::Toolchain {
+        dataset: polybench::Dataset::Medium,
+        dse_repetitions: 1,
+        ..socrates::Toolchain::default()
+    };
+    let enhanced = toolchain.enhance(polybench::App::TwoMm).unwrap();
+    group.bench_function("mape-k-step", |bench| {
+        let mut app = socrates::AdaptiveApplication::new(
+            enhanced.clone(),
+            Rank::maximize(Metric::throughput()),
+            9,
+        );
+        bench.iter(|| app.step());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_family,
+    bench_stencils,
+    bench_linear_algebra,
+    bench_dynamic_programs,
+    bench_adaptive_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the LARA weaving pipeline (the
+//! compile-time cost SOCRATES adds, Table I's machinery): parsing,
+//! multiversioning with 16 static versions, autotuner integration and
+//! printing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lara::{autotuner, multiversioning, StaticVersion, Weaver};
+use polybench::{App, Dataset};
+
+fn versions(n: usize) -> Vec<StaticVersion> {
+    (0..n)
+        .map(|i| {
+            StaticVersion::new(
+                [format!("O{}", (i % 3) + 1), "no-inline-functions".to_string()],
+                if i % 2 == 0 { "close" } else { "spread" },
+            )
+        })
+        .collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minic-parse");
+    group.sample_size(30);
+    for app in [App::TwoMm, App::Jacobi2d, App::Nussinov] {
+        let src = polybench::source(app, Dataset::Large);
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &src, |b, src| {
+            b.iter(|| minic::parse(src).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_weave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weave-full");
+    group.sample_size(20);
+    for app in [App::TwoMm, App::Seidel2d] {
+        let src = polybench::source(app, Dataset::Large);
+        let tu = minic::parse(&src).unwrap();
+        let kernel = app.kernel_name();
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &tu, |b, tu| {
+            b.iter(|| {
+                let mut w = Weaver::new(tu.clone());
+                let mv = multiversioning(&mut w, &kernel, &versions(16)).unwrap();
+                autotuner(&mut w, &mv, "main").unwrap();
+                w.finish()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_weave_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weave-versions-scaling");
+    group.sample_size(20);
+    let src = polybench::source(App::TwoMm, Dataset::Large);
+    let tu = minic::parse(&src).unwrap();
+    for n in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = Weaver::new(tu.clone());
+                multiversioning(&mut w, "kernel_2mm", &versions(n)).unwrap();
+                w.finish()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let src = polybench::source(App::TwoMm, Dataset::Large);
+    let tu = minic::parse(&src).unwrap();
+    let mut w = Weaver::new(tu);
+    let mv = multiversioning(&mut w, "kernel_2mm", &versions(16)).unwrap();
+    autotuner(&mut w, &mv, "main").unwrap();
+    let (weaved, _) = w.finish();
+    let mut group = c.benchmark_group("minic-print");
+    group.sample_size(30);
+    group.bench_function("weaved-2mm", |b| b.iter(|| minic::print(&weaved)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_weave, bench_weave_scaling, bench_print);
+criterion_main!(benches);

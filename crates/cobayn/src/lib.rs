@@ -1,0 +1,46 @@
+//! # cobayn — Bayesian-network compiler autotuning
+//!
+//! Reimplementation of COBAYN (Ashouri et al., ACM TACO 2016) in the role
+//! it plays inside SOCRATES (DATE 2018): prune the 128-combination GCC
+//! flag space down to the four most promising combinations per kernel,
+//! using a Bayesian network conditioned on Milepost-style application
+//! features.
+//!
+//! - [`BayesianNetwork`]: discrete BN with tabular CPDs, Laplace-smoothed
+//!   maximum-likelihood fitting, joint scoring and ancestral sampling;
+//! - [`Cobayn`]: the trained predictor — PCA feature reduction, tertile
+//!   discretisation, MI-selected structure, exact ranking of the flag
+//!   space under feature evidence;
+//! - [`iterative_compilation`]: the training-data generator (top fraction
+//!   of the space by measured speedup).
+//!
+//! ## Example
+//!
+//! ```
+//! use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
+//! use milepost::Features;
+//!
+//! // Two toy training apps whose good configs were found by iterative
+//! // compilation (here: a synthetic evaluator).
+//! let apps: Vec<TrainingApp> = (0..2)
+//!     .map(|i| {
+//!         let mut v = vec![0.0; milepost::FeatureKind::COUNT];
+//!         v[0] = f64::from(i) * 10.0;
+//!         TrainingApp {
+//!             features: Features::from_values(v),
+//!             good: iterative_compilation(|co| co.flags.len() as f64, 0.05),
+//!         }
+//!     })
+//!     .collect();
+//! let model = Cobayn::train(&apps, CobaynConfig::default()).unwrap();
+//! let suggestions = model.predict(&apps[0].features, 4);
+//! assert_eq!(suggestions.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bn;
+mod predictor;
+
+pub use bn::{mutual_information, BayesianNetwork, BnError};
+pub use predictor::{iterative_compilation, Cobayn, CobaynConfig, TrainError, TrainingApp};

@@ -1,0 +1,426 @@
+//! The COBAYN predictor: feature-conditioned compiler-flag suggestion.
+//!
+//! Training follows the COBAYN (TACO 2016) recipe:
+//!
+//! 1. iterative compilation on the training applications yields, per app,
+//!    the set of *good* flag combinations (top fraction by speedup);
+//! 2. application features are reduced (PCA) and discretised (tertiles);
+//! 3. a Bayesian network is learned: evidence nodes for the reduced
+//!    features, one node per compiler-flag variable, with structure
+//!    chosen by mutual information against the training data;
+//! 4. for a new application, the network is conditioned on the app's
+//!    features and the flag-combination space is ranked by probability.
+//!
+//! Where COBAYN samples the posterior, we rank the full 128-point space
+//! exactly (it is small), which is deterministic and strictly stronger.
+
+use crate::bn::{mutual_information, BayesianNetwork, BnError};
+use milepost::{FeatureReducer, Features, FitError};
+use platform_sim::{CompilerFlag, CompilerOptions, OptLevel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One training application: its static features and the flag
+/// combinations iterative compilation found to perform well on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingApp {
+    /// Milepost feature vector of the kernel.
+    pub features: Features,
+    /// Good configurations (top fraction of the explored space).
+    pub good: Vec<CompilerOptions>,
+}
+
+/// Tunable training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CobaynConfig {
+    /// PCA components kept from the feature vector.
+    pub components: usize,
+    /// Discretisation bins per component.
+    pub bins: usize,
+    /// Laplace smoothing for CPT estimation.
+    pub alpha: f64,
+    /// Minimum mutual information (nats) for a feature to become a flag
+    /// node's parent. Real cross-application signals are weak (many apps
+    /// share globally good flags), so the default is deliberately low.
+    pub mi_threshold: f64,
+}
+
+impl Default for CobaynConfig {
+    fn default() -> Self {
+        CobaynConfig {
+            components: 3,
+            bins: 3,
+            alpha: 1.0,
+            mi_threshold: 1e-3,
+        }
+    }
+}
+
+/// Errors training a predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Fewer than two training applications.
+    TooFewApps,
+    /// No training app provided any good configuration.
+    NoGoodConfigs,
+    /// Feature reduction failed.
+    Reduction(FitError),
+    /// Internal network construction failed (programming error surfaced).
+    Network(BnError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::TooFewApps => write!(f, "need at least two training applications"),
+            TrainError::NoGoodConfigs => write!(f, "no good configurations in training data"),
+            TrainError::Reduction(e) => write!(f, "feature reduction failed: {e}"),
+            TrainError::Network(e) => write!(f, "network construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<FitError> for TrainError {
+    fn from(e: FitError) -> Self {
+        TrainError::Reduction(e)
+    }
+}
+
+impl From<BnError> for TrainError {
+    fn from(e: BnError) -> Self {
+        TrainError::Network(e)
+    }
+}
+
+/// A trained COBAYN predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cobayn {
+    config: CobaynConfig,
+    reducer: FeatureReducer,
+    /// Per-component ascending bin edges (len = bins - 1).
+    edges: Vec<Vec<f64>>,
+    network: BayesianNetwork,
+}
+
+impl Cobayn {
+    /// Trains a predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the corpus is too small or carries no
+    /// good configurations.
+    pub fn train(apps: &[TrainingApp], config: CobaynConfig) -> Result<Self, TrainError> {
+        if apps.len() < 2 {
+            return Err(TrainError::TooFewApps);
+        }
+        if apps.iter().all(|a| a.good.is_empty()) {
+            return Err(TrainError::NoGoodConfigs);
+        }
+        let corpus: Vec<Features> = apps.iter().map(|a| a.features.clone()).collect();
+        let reducer = FeatureReducer::fit(&corpus, config.components)?;
+        let projected: Vec<Vec<f64>> = corpus.iter().map(|f| reducer.project(f)).collect();
+        let edges = quantile_edges(&projected, config.components, config.bins);
+
+        // One training row per (app, good configuration).
+        let k = config.components;
+        let n_flag_nodes = 1 + CompilerFlag::ALL.len(); // level + flags
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        for (app, proj) in apps.iter().zip(&projected) {
+            let feature_bins: Vec<usize> = (0..k)
+                .map(|c| discretise(proj[c], &edges[c]))
+                .collect();
+            for co in &app.good {
+                let mut row = feature_bins.clone();
+                row.push(usize::from(co.level == OptLevel::O3));
+                for flag in CompilerFlag::ALL {
+                    row.push(usize::from(co.has(flag)));
+                }
+                rows.push(row);
+            }
+        }
+
+        // Structure: each flag variable gets its single best-MI feature
+        // parent (greedy K2-style with one parent; no parent when the MI
+        // signal is negligible).
+        let mut network = BayesianNetwork::new();
+        for c in 0..k {
+            network.add_node(format!("feature{c}"), config.bins, vec![])?;
+        }
+        let col = |j: usize| -> Vec<usize> { rows.iter().map(|r| r[j]).collect() };
+        for t in 0..n_flag_nodes {
+            let target_col = col(k + t);
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..k {
+                let mi = mutual_information(&col(c), &target_col, config.bins, 2);
+                if best.is_none_or(|(_, b)| mi > b) {
+                    best = Some((c, mi));
+                }
+            }
+            let parents = match best {
+                Some((c, mi)) if mi > config.mi_threshold => vec![c],
+                _ => vec![],
+            };
+            let name = if t == 0 {
+                "level-O3".to_string()
+            } else {
+                CompilerFlag::ALL[t - 1].as_str().to_string()
+            };
+            network.add_node(name, 2, parents)?;
+        }
+        network.fit(&rows, config.alpha)?;
+        Ok(Cobayn {
+            config,
+            reducer,
+            edges,
+            network,
+        })
+    }
+
+    /// The learned network (for inspection and tests).
+    pub fn network(&self) -> &BayesianNetwork {
+        &self.network
+    }
+
+    /// Ranks the whole 128-combination COBAYN space for an application
+    /// and returns the `n` most promising configurations.
+    pub fn predict(&self, features: &Features, n: usize) -> Vec<CompilerOptions> {
+        let proj = self.reducer.project(features);
+        let feature_bins: Vec<usize> = (0..self.config.components)
+            .map(|c| discretise(proj[c], &self.edges[c]))
+            .collect();
+        let mut scored: Vec<(CompilerOptions, f64)> = CompilerOptions::cobayn_space()
+            .into_iter()
+            .map(|co| {
+                let mut row = feature_bins.clone();
+                row.push(usize::from(co.level == OptLevel::O3));
+                for flag in CompilerFlag::ALL {
+                    row.push(usize::from(co.has(flag)));
+                }
+                let p = self.network.joint(&row);
+                (co, p)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("probabilities are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.into_iter().take(n).map(|(co, _)| co).collect()
+    }
+
+    /// Probability score of one specific configuration for an app
+    /// (useful for calibration tests).
+    pub fn score(&self, features: &Features, co: &CompilerOptions) -> f64 {
+        let proj = self.reducer.project(features);
+        let mut row: Vec<usize> = (0..self.config.components)
+            .map(|c| discretise(proj[c], &self.edges[c]))
+            .collect();
+        row.push(usize::from(co.level == OptLevel::O3));
+        for flag in CompilerFlag::ALL {
+            row.push(usize::from(co.has(flag)));
+        }
+        self.network.joint(&row)
+    }
+}
+
+/// Selects the top `fraction` of the COBAYN flag space for one
+/// application by measured speedup — the iterative-compilation step that
+/// generates COBAYN training data.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn iterative_compilation(
+    evaluate: impl Fn(&CompilerOptions) -> f64,
+    fraction: f64,
+) -> Vec<CompilerOptions> {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    let mut scored: Vec<(CompilerOptions, f64)> = CompilerOptions::cobayn_space()
+        .into_iter()
+        .map(|co| {
+            let s = evaluate(&co);
+            (co, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("speedups are finite"));
+    let keep = ((scored.len() as f64 * fraction).ceil() as usize).max(1);
+    scored.into_iter().take(keep).map(|(co, _)| co).collect()
+}
+
+fn quantile_edges(projected: &[Vec<f64>], components: usize, bins: usize) -> Vec<Vec<f64>> {
+    (0..components)
+        .map(|c| {
+            let mut vals: Vec<f64> = projected.iter().map(|p| p[c]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite projections"));
+            (1..bins)
+                .map(|b| {
+                    let q = b as f64 / bins as f64;
+                    let pos = q * (vals.len() - 1) as f64;
+                    let lo = pos.floor() as usize;
+                    let hi = pos.ceil() as usize;
+                    let frac = pos - lo as f64;
+                    vals[lo] * (1.0 - frac) + vals[hi] * frac
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn discretise(v: f64, edges: &[f64]) -> usize {
+    edges.iter().take_while(|&&e| v > e).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milepost::FeatureKind;
+
+    /// Builds a feature vector whose `Loops` counter is `loops` (plus a
+    /// few correlated counters so PCA has signal).
+    fn features_with_loops(loops: f64) -> Features {
+        let mut v = vec![0.0; FeatureKind::COUNT];
+        v[FeatureKind::Loops.index()] = loops;
+        v[FeatureKind::ForLoops.index()] = loops;
+        v[FeatureKind::Statements.index()] = 4.0 * loops + 3.0;
+        v[FeatureKind::MulDivOps.index()] = 2.0 * loops;
+        Features::from_values(v)
+    }
+
+    fn unroll() -> CompilerOptions {
+        CompilerOptions::with_flags(OptLevel::O3, [CompilerFlag::UnrollAllLoops])
+    }
+
+    fn no_unroll() -> CompilerOptions {
+        CompilerOptions::level(OptLevel::O2)
+    }
+
+    /// Loop-heavy apps like unrolling, flat apps don't.
+    fn synthetic_corpus() -> Vec<TrainingApp> {
+        let mut apps = Vec::new();
+        for i in 0..6 {
+            let loops = 6.0 + f64::from(i); // loop-heavy
+            apps.push(TrainingApp {
+                features: features_with_loops(loops),
+                good: vec![unroll(); 4],
+            });
+        }
+        for i in 0..6 {
+            let loops = f64::from(i) * 0.2; // flat
+            apps.push(TrainingApp {
+                features: features_with_loops(loops),
+                good: vec![no_unroll(); 4],
+            });
+        }
+        apps
+    }
+
+    #[test]
+    fn train_requires_two_apps() {
+        let one = vec![TrainingApp {
+            features: features_with_loops(1.0),
+            good: vec![unroll()],
+        }];
+        assert_eq!(
+            Cobayn::train(&one, CobaynConfig::default()).unwrap_err(),
+            TrainError::TooFewApps
+        );
+    }
+
+    #[test]
+    fn train_requires_good_configs() {
+        let apps = vec![
+            TrainingApp {
+                features: features_with_loops(1.0),
+                good: vec![],
+            },
+            TrainingApp {
+                features: features_with_loops(2.0),
+                good: vec![],
+            },
+        ];
+        assert_eq!(
+            Cobayn::train(&apps, CobaynConfig::default()).unwrap_err(),
+            TrainError::NoGoodConfigs
+        );
+    }
+
+    #[test]
+    fn predictor_transfers_flag_preference_by_features() {
+        let model = Cobayn::train(&synthetic_corpus(), CobaynConfig::default()).unwrap();
+        // Unseen loop-heavy app: unrolling must score higher than not.
+        let loopy = features_with_loops(9.5);
+        assert!(model.score(&loopy, &unroll()) > model.score(&loopy, &no_unroll()));
+        // Unseen flat app: preference flips.
+        let flat = features_with_loops(0.1);
+        assert!(model.score(&flat, &no_unroll()) > model.score(&flat, &unroll()));
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_distinct() {
+        let model = Cobayn::train(&synthetic_corpus(), CobaynConfig::default()).unwrap();
+        let f = features_with_loops(7.7);
+        let a = model.predict(&f, 4);
+        let b = model.predict(&f, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 4, "predictions must be distinct");
+    }
+
+    #[test]
+    fn top_prediction_contains_preferred_flag() {
+        let model = Cobayn::train(&synthetic_corpus(), CobaynConfig::default()).unwrap();
+        let top = model.predict(&features_with_loops(9.0), 4);
+        assert!(
+            top.iter()
+                .filter(|co| co.has(CompilerFlag::UnrollAllLoops))
+                .count()
+                >= 3,
+            "top-4 for a loop-heavy app should mostly unroll: {top:?}"
+        );
+    }
+
+    #[test]
+    fn network_structure_links_flags_to_features() {
+        let model = Cobayn::train(&synthetic_corpus(), CobaynConfig::default()).unwrap();
+        let bn = model.network();
+        // At least the unroll node must have learned a feature parent.
+        let k = CobaynConfig::default().components;
+        let unroll_node = k + 1 + CompilerFlag::UnrollAllLoops.bit();
+        assert!(
+            !bn.parents(unroll_node).is_empty(),
+            "unroll node should depend on a feature"
+        );
+        assert!(bn.validate(1e-9));
+    }
+
+    #[test]
+    fn iterative_compilation_selects_top_fraction() {
+        // Score = number of flags (more flags = better, synthetic).
+        let good = iterative_compilation(|co| co.flags.len() as f64, 0.1);
+        assert_eq!(good.len(), 13); // ceil(128 * 0.1)
+        // All selected combos have >= 4 flags (top of the count order).
+        assert!(good.iter().all(|co| co.flags.len() >= 4), "{good:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn iterative_compilation_validates_fraction() {
+        let _ = iterative_compilation(|_| 1.0, 0.0);
+    }
+
+    #[test]
+    fn discretise_respects_edges() {
+        let edges = vec![1.0, 2.0];
+        assert_eq!(discretise(0.5, &edges), 0);
+        assert_eq!(discretise(1.5, &edges), 1);
+        assert_eq!(discretise(2.5, &edges), 2);
+        // Boundary values fall in the lower bin (v > e is strict).
+        assert_eq!(discretise(1.0, &edges), 0);
+    }
+}

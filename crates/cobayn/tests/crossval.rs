@@ -1,0 +1,101 @@
+//! Leave-one-out cross-validation of COBAYN on the real benchmark suite
+//! against the simulated compiler — the evaluation methodology of the
+//! COBAYN paper, asserted as a regression test.
+
+use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
+use milepost::extract_function;
+use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, Machine};
+use polybench::{App, Dataset};
+
+/// Single-thread throughput of a compiler configuration (isolates the
+/// compiler effect, as COBAYN's iterative compilation does).
+fn speed(machine: &Machine, app: App, co: &CompilerOptions) -> f64 {
+    let profile = app.profile(Dataset::Medium);
+    let cfg = KnobConfig::new(co.clone(), 1, BindingPolicy::Close);
+    1.0 / machine.expected(&profile, &cfg).time_s
+}
+
+fn training_app(machine: &Machine, app: App) -> TrainingApp {
+    let tu = minic::parse(&polybench::source(app, Dataset::Medium)).unwrap();
+    let features = extract_function(&tu, &app.kernel_name()).unwrap();
+    let good = iterative_compilation(|co| speed(machine, app, co), 0.15);
+    TrainingApp { features, good }
+}
+
+#[test]
+fn leave_one_out_predictions_beat_standard_levels() {
+    let machine = Machine::xeon_e5_2630_v3(13).noiseless();
+    let mut wins = 0usize;
+    let mut recovered_total = 0.0f64;
+
+    for target in App::ALL {
+        let corpus: Vec<TrainingApp> = App::ALL
+            .iter()
+            .filter(|&&a| a != target)
+            .map(|&a| training_app(&machine, a))
+            .collect();
+        let model = Cobayn::train(&corpus, CobaynConfig::default()).unwrap();
+        let tu = minic::parse(&polybench::source(target, Dataset::Medium)).unwrap();
+        let features = extract_function(&tu, &target.kernel_name()).unwrap();
+        let predictions = model.predict(&features, 4);
+        assert_eq!(predictions.len(), 4, "{target}");
+
+        let best_std = platform_sim::OptLevel::ALL
+            .iter()
+            .map(|&l| speed(&machine, target, &CompilerOptions::level(l)))
+            .fold(0.0f64, f64::max);
+        let best_pred = predictions
+            .iter()
+            .map(|co| speed(&machine, target, co))
+            .fold(0.0f64, f64::max);
+        let oracle = CompilerOptions::cobayn_space()
+            .iter()
+            .map(|co| speed(&machine, target, co))
+            .fold(0.0f64, f64::max);
+
+        if best_pred >= best_std {
+            wins += 1;
+        }
+        let recovered = if oracle > best_std {
+            ((best_pred - best_std) / (oracle - best_std)).max(0.0)
+        } else {
+            1.0
+        };
+        recovered_total += recovered;
+    }
+
+    // The four predicted combos must beat (or match) the standard levels
+    // on at least 10 of 12 unseen apps, and recover most of the oracle
+    // headroom on average.
+    assert!(wins >= 10, "predictions beat std levels on only {wins}/12 apps");
+    let mean_recovered = recovered_total / App::ALL.len() as f64;
+    assert!(
+        mean_recovered > 0.6,
+        "mean oracle headroom recovered {mean_recovered:.2}"
+    );
+}
+
+#[test]
+fn predictions_are_app_specific() {
+    // Predictions conditioned on different apps must not all collapse to
+    // one combination (the feature evidence must matter).
+    let machine = Machine::xeon_e5_2630_v3(17).noiseless();
+    let corpus: Vec<TrainingApp> = App::ALL
+        .iter()
+        .map(|&a| training_app(&machine, a))
+        .collect();
+    let model = Cobayn::train(&corpus, CobaynConfig::default()).unwrap();
+    let mut distinct = std::collections::HashSet::new();
+    for app in App::ALL {
+        let tu = minic::parse(&polybench::source(app, Dataset::Medium)).unwrap();
+        let features = extract_function(&tu, &app.kernel_name()).unwrap();
+        // Compare the whole predicted set: the strongest combo can be
+        // globally good, but the 4-set must react to the evidence.
+        let top = model.predict(&features, 4);
+        distinct.insert(format!("{top:?}"));
+    }
+    assert!(
+        distinct.len() >= 2,
+        "all apps got the same top-4 prediction set"
+    );
+}

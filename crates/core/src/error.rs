@@ -1,0 +1,81 @@
+//! Error type of the SOCRATES toolchain.
+
+use std::fmt;
+
+/// Anything that can go wrong while enhancing an application.
+#[derive(Debug)]
+pub enum ToolchainError {
+    /// The benchmark source failed to parse (a bug in `polybench`).
+    Parse(minic::ParseError),
+    /// Feature extraction failed (kernel not found).
+    Features(milepost::UnknownFunctionError),
+    /// COBAYN training failed.
+    Cobayn(cobayn::TrainError),
+    /// A weaving strategy failed.
+    Weave(lara::WeaveError),
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolchainError::Parse(e) => write!(f, "source parsing failed: {e}"),
+            ToolchainError::Features(e) => write!(f, "feature extraction failed: {e}"),
+            ToolchainError::Cobayn(e) => write!(f, "COBAYN training failed: {e}"),
+            ToolchainError::Weave(e) => write!(f, "weaving failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolchainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolchainError::Parse(e) => Some(e),
+            ToolchainError::Features(e) => Some(e),
+            ToolchainError::Cobayn(e) => Some(e),
+            ToolchainError::Weave(e) => Some(e),
+        }
+    }
+}
+
+impl From<minic::ParseError> for ToolchainError {
+    fn from(e: minic::ParseError) -> Self {
+        ToolchainError::Parse(e)
+    }
+}
+
+impl From<milepost::UnknownFunctionError> for ToolchainError {
+    fn from(e: milepost::UnknownFunctionError) -> Self {
+        ToolchainError::Features(e)
+    }
+}
+
+impl From<cobayn::TrainError> for ToolchainError {
+    fn from(e: cobayn::TrainError) -> Self {
+        ToolchainError::Cobayn(e)
+    }
+}
+
+impl From<lara::WeaveError> for ToolchainError {
+    fn from(e: lara::WeaveError) -> Self {
+        ToolchainError::Weave(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e: ToolchainError = lara::WeaveError("kernel missing".into()).into();
+        assert!(e.to_string().contains("weaving failed"));
+        assert!(e.to_string().contains("kernel missing"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e: ToolchainError = milepost::UnknownFunctionError("k".into()).into();
+        assert!(e.source().is_some());
+    }
+}

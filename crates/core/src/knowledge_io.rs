@@ -1,0 +1,146 @@
+//! Knowledge persistence — the analogue of mARGOt's operating-point list
+//! files: the DSE writes the application knowledge once at design time;
+//! the deployed adaptive binary loads it at `margot_init()` time.
+
+use margot::Knowledge;
+use platform_sim::KnobConfig;
+use std::fmt;
+use std::path::Path;
+
+/// Error loading or saving a knowledge file.
+#[derive(Debug)]
+pub enum KnowledgeIoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for KnowledgeIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnowledgeIoError::Io(e) => write!(f, "knowledge file I/O failed: {e}"),
+            KnowledgeIoError::Format(e) => write!(f, "knowledge file malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KnowledgeIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KnowledgeIoError::Io(e) => Some(e),
+            KnowledgeIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for KnowledgeIoError {
+    fn from(e: std::io::Error) -> Self {
+        KnowledgeIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for KnowledgeIoError {
+    fn from(e: serde_json::Error) -> Self {
+        KnowledgeIoError::Format(e)
+    }
+}
+
+/// Serialises a knowledge base to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`KnowledgeIoError::Format`] on serialisation failure (never
+/// happens for well-formed knowledge).
+pub fn knowledge_to_json(knowledge: &Knowledge<KnobConfig>) -> Result<String, KnowledgeIoError> {
+    Ok(serde_json::to_string_pretty(knowledge)?)
+}
+
+/// Parses a knowledge base from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`KnowledgeIoError::Format`] on malformed input.
+pub fn knowledge_from_json(json: &str) -> Result<Knowledge<KnobConfig>, KnowledgeIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a knowledge base to a file.
+///
+/// # Errors
+///
+/// Returns [`KnowledgeIoError`] on I/O or serialisation failure.
+pub fn save_knowledge(
+    knowledge: &Knowledge<KnobConfig>,
+    path: impl AsRef<Path>,
+) -> Result<(), KnowledgeIoError> {
+    std::fs::write(path, knowledge_to_json(knowledge)?)?;
+    Ok(())
+}
+
+/// Reads a knowledge base from a file.
+///
+/// # Errors
+///
+/// Returns [`KnowledgeIoError`] on I/O failure or malformed content.
+pub fn load_knowledge(path: impl AsRef<Path>) -> Result<Knowledge<KnobConfig>, KnowledgeIoError> {
+    knowledge_from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use margot::{Metric, MetricValues, OperatingPoint};
+    use platform_sim::{BindingPolicy, CompilerFlag, CompilerOptions, OptLevel};
+
+    fn sample_knowledge() -> Knowledge<KnobConfig> {
+        let mut k = Knowledge::new();
+        for (i, tn) in [1u32, 8, 32].iter().enumerate() {
+            let co = if i == 0 {
+                CompilerOptions::level(OptLevel::O2)
+            } else {
+                CompilerOptions::with_flags(OptLevel::O3, [CompilerFlag::UnrollAllLoops])
+            };
+            k.add(OperatingPoint::new(
+                KnobConfig::new(co, *tn, BindingPolicy::Close),
+                MetricValues::new()
+                    .with(Metric::exec_time(), 1.0 / f64::from(*tn))
+                    .with(Metric::power(), 50.0 + f64::from(*tn)),
+            ));
+        }
+        k
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_knowledge() {
+        let k = sample_knowledge();
+        let json = knowledge_to_json(&k).unwrap();
+        let back = knowledge_from_json(&json).unwrap();
+        assert_eq!(k, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let k = sample_knowledge();
+        let dir = std::env::temp_dir().join("socrates-knowledge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        save_knowledge(&k, &path).unwrap();
+        let back = load_knowledge(&path).unwrap();
+        assert_eq!(k, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_a_format_error() {
+        let err = knowledge_from_json("{not json").unwrap_err();
+        assert!(matches!(err, KnowledgeIoError::Format(_)));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_knowledge("/nonexistent/kb.json").unwrap_err();
+        assert!(matches!(err, KnowledgeIoError::Io(_)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # socrates — seamless online compiler and system-runtime autotuning
+//!
+//! Rust reproduction of **SOCRATES** (Gadioli et al., DATE 2018): a
+//! framework that takes a plain C application and — with *no manual
+//! intervention* — produces an adaptive binary that selects compiler
+//! options (CO), OpenMP thread count (TN) and binding policy (BP) at
+//! runtime, according to changeable energy/performance requirements.
+//!
+//! The [`Toolchain`] reproduces the paper's Fig. 1 flow:
+//!
+//! 1. **GCC-Milepost** static kernel features → [`milepost`];
+//! 2. **COBAYN** Bayesian-network flag prediction → [`cobayn`];
+//! 3. **LARA/MANET** weaving (`Multiversioning` + `Autotuner`) → [`lara`];
+//! 4. **mARGOt** profiling (full-factorial DSE) and runtime selection →
+//!    [`dse`] + [`margot`];
+//!
+//! and the [`AdaptiveApplication`] replays the weaved binary's MAPE-K
+//! loop on the simulated NUMA platform ([`platform_sim`]).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use socrates::{AdaptiveApplication, Toolchain};
+//! use margot::{Metric, Rank};
+//! use polybench::App;
+//!
+//! let enhanced = Toolchain::default().enhance(App::TwoMm).unwrap();
+//! println!("Table I row: {}", enhanced.metrics);
+//!
+//! let mut app = AdaptiveApplication::new(enhanced, Rank::throughput_per_watt2(), 42);
+//! app.run_for(10.0); // ten virtual seconds of adaptive execution
+//! app.set_rank(Rank::maximize(Metric::throughput()));
+//! app.run_for(10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod knowledge_io;
+mod runtime;
+mod toolchain;
+mod trace;
+
+pub use error::ToolchainError;
+pub use knowledge_io::{
+    knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge, KnowledgeIoError,
+};
+pub use runtime::{AdaptiveApplication, TraceSample};
+pub use toolchain::{EnhancedApp, Toolchain};
+pub use trace::{windowed_stats, TraceStats};

@@ -1,0 +1,264 @@
+//! The adaptive application at runtime: the MAPE-K loop the weaved
+//! binary executes (paper Fig. 5).
+//!
+//! Each [`AdaptiveApplication::step`] mirrors one pass through the weaved
+//! `main` loop body:
+//!
+//! ```c
+//! margot_update(&__socrates_version, &__socrates_num_threads); // plan
+//! margot_start_monitor();
+//! kernel_wrapper(...);                                         // execute
+//! margot_stop_monitor();                                       // monitor
+//! margot_log();
+//! ```
+//!
+//! The kernel executes on the simulated platform; time advances on a
+//! virtual clock, so replaying the paper's 300-second trace takes
+//! milliseconds of host time.
+
+use crate::toolchain::EnhancedApp;
+use margot::{ApplicationManager, Constraint, Metric, Rank};
+use platform_sim::{EnergyMeter, KnobConfig, Machine, VirtualClock};
+use serde::{Deserialize, Serialize};
+
+/// One kernel invocation in the execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Virtual time at invocation start, seconds.
+    pub t_start_s: f64,
+    /// Observed kernel duration, seconds.
+    pub time_s: f64,
+    /// Observed average power, watts.
+    pub power_w: f64,
+    /// The configuration the AS-RTM selected.
+    pub config: KnobConfig,
+    /// The dispatched clone version (`__socrates_version`).
+    pub version: usize,
+}
+
+/// A runnable adaptive application (enhanced binary + platform).
+#[derive(Debug, Clone)]
+pub struct AdaptiveApplication {
+    enhanced: EnhancedApp,
+    manager: ApplicationManager<KnobConfig>,
+    machine: Machine,
+    clock: VirtualClock,
+    meter: EnergyMeter,
+    trace: Vec<TraceSample>,
+    feedback_enabled: bool,
+}
+
+impl AdaptiveApplication {
+    /// Boots the adaptive binary: loads the knowledge (margot_init) and
+    /// registers the paper's monitors (time, power, throughput, energy).
+    pub fn new(enhanced: EnhancedApp, rank: Rank, seed: u64) -> Self {
+        Self::with_machine(enhanced, rank, Machine::xeon_e5_2630_v3(seed))
+    }
+
+    /// Boots the adaptive binary on a *specific* machine — which may
+    /// differ from the one used for profiling. This is how the ablation
+    /// studies model deployment drift (the machine running hotter or
+    /// slower than the design-time knowledge assumes).
+    pub fn with_machine(enhanced: EnhancedApp, rank: Rank, machine: Machine) -> Self {
+        let mut manager = ApplicationManager::new(enhanced.knowledge.clone(), rank);
+        for metric in [
+            Metric::exec_time(),
+            Metric::power(),
+            Metric::throughput(),
+            Metric::energy(),
+        ] {
+            manager.add_monitor(metric, margot::DEFAULT_MONITOR_WINDOW);
+        }
+        AdaptiveApplication {
+            enhanced,
+            manager,
+            machine,
+            clock: VirtualClock::new(),
+            meter: EnergyMeter::new(),
+            trace: Vec::new(),
+            feedback_enabled: true,
+        }
+    }
+
+    /// Enables or disables the monitor-feedback loop (the MAPE-K
+    /// *Monitor/Analyse* phases). With feedback off, the AS-RTM trusts
+    /// the design-time knowledge blindly — the ablation baseline.
+    pub fn set_feedback(&mut self, enabled: bool) {
+        self.feedback_enabled = enabled;
+    }
+
+    /// The enhanced application artefacts.
+    pub fn enhanced(&self) -> &EnhancedApp {
+        &self.enhanced
+    }
+
+    /// The mARGOt manager (to change requirements at runtime).
+    pub fn manager_mut(&mut self) -> &mut ApplicationManager<KnobConfig> {
+        &mut self.manager
+    }
+
+    /// Switches the optimisation rank (Fig. 5 requirement change).
+    pub fn set_rank(&mut self, rank: Rank) {
+        self.manager.set_rank(rank);
+    }
+
+    /// Atomically applies a named optimisation state (rank + constraint
+    /// set) from a [`margot::StateRegistry`].
+    pub fn apply_state(&mut self, state: &margot::OptimizationState) {
+        self.manager.apply_state(state);
+    }
+
+    /// Adds a constraint (e.g. a power budget).
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.manager.add_constraint(c);
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// Total energy drawn so far, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.meter.total_j()
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &[TraceSample] {
+        &self.trace
+    }
+
+    /// One MAPE-K iteration: plan, dispatch, execute, observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knowledge base is empty (the toolchain never
+    /// produces one).
+    pub fn step(&mut self) -> TraceSample {
+        let config = self
+            .manager
+            .update()
+            .expect("toolchain produced non-empty knowledge");
+        let version = self.enhanced.version_of(&config);
+        let t_start_s = self.clock.now_s();
+        let run = self.machine.execute(&self.enhanced.profile, &config);
+        self.clock.advance(run.time_s);
+        self.meter.accumulate(run.power_w, run.time_s);
+        if self.feedback_enabled {
+            self.manager.observe_execution(run.time_s, run.power_w);
+        }
+        let sample = TraceSample {
+            t_start_s,
+            time_s: run.time_s,
+            power_w: run.power_w,
+            config,
+            version,
+        };
+        self.trace.push(sample.clone());
+        sample
+    }
+
+    /// Runs kernel invocations until `duration_s` of virtual time has
+    /// elapsed (measured from the current clock); returns the samples
+    /// produced by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not strictly positive.
+    pub fn run_for(&mut self, duration_s: f64) -> &[TraceSample] {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let start_len = self.trace.len();
+        let deadline = self.clock.now_s() + duration_s;
+        while self.clock.now_s() < deadline {
+            self.step();
+        }
+        &self.trace[start_len..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolchain::Toolchain;
+    use margot::Cmp;
+    use polybench::{App, Dataset};
+
+    fn adaptive(rank: Rank) -> AdaptiveApplication {
+        let toolchain = Toolchain {
+            dataset: Dataset::Medium,
+            dse_repetitions: 1,
+            ..Toolchain::default()
+        };
+        let enhanced = toolchain.enhance(App::TwoMm).unwrap();
+        AdaptiveApplication::new(enhanced, rank, 1234)
+    }
+
+    #[test]
+    fn step_advances_clock_and_energy() {
+        let mut app = adaptive(Rank::maximize(Metric::throughput()));
+        let s = app.step();
+        assert!(s.time_s > 0.0);
+        assert!((app.now_s() - s.time_s).abs() < 1e-12);
+        assert!((app.energy_j() - s.time_s * s.power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_for_reaches_the_deadline() {
+        let mut app = adaptive(Rank::maximize(Metric::throughput()));
+        app.run_for(2.0);
+        assert!(app.now_s() >= 2.0);
+        assert!(!app.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_versions_match_configs() {
+        let mut app = adaptive(Rank::maximize(Metric::throughput()));
+        app.run_for(1.0);
+        for s in app.trace() {
+            assert_eq!(app.enhanced().version_of(&s.config), s.version);
+        }
+    }
+
+    #[test]
+    fn requirement_switch_moves_operating_point() {
+        // The Fig. 5 scenario in miniature: Thr/W² → Throughput.
+        let mut app = adaptive(Rank::throughput_per_watt2());
+        app.run_for(3.0);
+        let efficient_power = app.trace().last().unwrap().power_w;
+        app.set_rank(Rank::maximize(Metric::throughput()));
+        app.run_for(3.0);
+        let performance_power = app.trace().last().unwrap().power_w;
+        assert!(
+            performance_power > efficient_power * 1.1,
+            "power must rise after switching to the performance policy \
+             ({efficient_power} -> {performance_power})"
+        );
+    }
+
+    #[test]
+    fn power_budget_is_respected_in_expectation() {
+        let mut app = adaptive(Rank::minimize(Metric::exec_time()));
+        app.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 80.0, 10));
+        app.run_for(3.0);
+        // Expected power of the selected points must respect the budget;
+        // noisy observations may exceed it slightly.
+        for s in app.trace() {
+            assert!(
+                s.power_w < 80.0 * 1.15,
+                "sample at {:.1}s draws {:.1} W",
+                s.t_start_s,
+                s.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn trace_time_is_monotone() {
+        let mut app = adaptive(Rank::maximize(Metric::throughput()));
+        app.run_for(1.5);
+        let trace = app.trace();
+        for w in trace.windows(2) {
+            assert!(w[1].t_start_s > w[0].t_start_s);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The SOCRATES toolchain (paper Fig. 1): from the original application
+//! source to the adaptive application, with zero manual intervention.
+//!
+//! Pipeline stages, in order:
+//!
+//! 1. parse the original C source (`minic`);
+//! 2. extract static kernel features (`milepost` ≙ GCC-Milepost);
+//! 3. train COBAYN on the *other* applications (leave-one-out iterative
+//!    compilation) and predict the most promising flag combinations;
+//! 4. weave the `Multiversioning` strategy (clones per CO × BP, OpenMP
+//!    pragmas, dispatch wrapper) and the `Autotuner` strategy (mARGOt
+//!    glue) with `lara`;
+//! 5. profile the full-factorial design space on the (simulated)
+//!    platform to build the mARGOt application knowledge (`dse`).
+
+use crate::error::ToolchainError;
+use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
+use lara::{autotuner, multiversioning, Multiversioned, StaticVersion, Weaver, WeavingMetrics};
+use margot::Knowledge;
+use milepost::{extract_function, Features};
+use minic::TranslationUnit;
+use platform_sim::{
+    BindingPolicy, CompilerOptions, KnobConfig, Machine, OptLevel, Topology, WorkloadProfile,
+};
+use polybench::{App, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Toolchain configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Toolchain {
+    /// Dataset size used for profiling and at runtime.
+    pub dataset: Dataset,
+    /// RNG seed for the profiling machine.
+    pub seed: u64,
+    /// Noisy profiling repetitions per configuration during the DSE.
+    pub dse_repetitions: u32,
+    /// Number of COBAYN-predicted flag combinations (the paper uses 4).
+    pub cobayn_predictions: usize,
+    /// Fraction of the flag space kept as "good" during the iterative
+    /// compilation that generates COBAYN training data.
+    pub training_top_fraction: f64,
+}
+
+impl Default for Toolchain {
+    fn default() -> Self {
+        Toolchain {
+            dataset: Dataset::Large,
+            seed: 42,
+            dse_repetitions: 3,
+            cobayn_predictions: 4,
+            training_top_fraction: 0.15,
+        }
+    }
+}
+
+/// The product of the toolchain: everything the adaptive binary embeds.
+#[derive(Debug, Clone)]
+pub struct EnhancedApp {
+    /// Which benchmark this is.
+    pub app: App,
+    /// The original (pure functional) program.
+    pub original: TranslationUnit,
+    /// The weaved, adaptive program.
+    pub weaved: TranslationUnit,
+    /// Table I metrics for this application.
+    pub metrics: WeavingMetrics,
+    /// Multiversioning artefacts (clone names, wrapper, control vars).
+    pub multiversioned: Multiversioned,
+    /// Version table: index = `__socrates_version` value.
+    pub versions: Vec<(CompilerOptions, BindingPolicy)>,
+    /// The kernel's static feature vector.
+    pub features: Features,
+    /// The COBAYN-predicted flag combinations (CF1..CF4).
+    pub cobayn_flags: Vec<CompilerOptions>,
+    /// The design-time knowledge from the DSE.
+    pub knowledge: Knowledge<KnobConfig>,
+    /// The kernel workload profile driving the platform model.
+    pub profile: WorkloadProfile,
+}
+
+impl EnhancedApp {
+    /// Maps a knob configuration to its clone version index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's (CO, BP) pair is not in the version
+    /// table — the knowledge and the table are built from the same space,
+    /// so this indicates toolchain corruption.
+    pub fn version_of(&self, config: &KnobConfig) -> usize {
+        self.versions
+            .iter()
+            .position(|(co, bp)| *co == config.co && *bp == config.bp)
+            .unwrap_or_else(|| panic!("configuration {config} has no compiled version"))
+    }
+}
+
+impl Toolchain {
+    /// Runs the full pipeline on one benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolchainError`] if any stage fails; with the bundled
+    /// Polybench sources every stage succeeds.
+    pub fn enhance(&self, app: App) -> Result<EnhancedApp, ToolchainError> {
+        // 1. Parse the original application.
+        let source = polybench::source(app, self.dataset);
+        let original = minic::parse(&source)?;
+        let kernel = app.kernel_name();
+
+        // 2. Milepost feature extraction.
+        let features = extract_function(&original, &kernel)?;
+
+        // 3. COBAYN: leave-one-out training, then prediction.
+        let cobayn_flags = self.predict_flags(app, &features)?;
+
+        // 4. LARA weaving: Multiversioning then Autotuner.
+        let versions = self.version_table(&cobayn_flags);
+        let static_versions: Vec<StaticVersion> = versions
+            .iter()
+            .map(|(co, bp)| StaticVersion::new(co.pragma_flags(), bp.as_str()))
+            .collect();
+        let mut weaver = Weaver::new(original.clone());
+        let multiversioned = multiversioning(&mut weaver, &kernel, &static_versions)?;
+        autotuner(&mut weaver, &multiversioned, "main")?;
+        let (weaved, metrics) = weaver.finish();
+
+        // 5. DSE profiling on the platform.
+        let profile = app.profile(self.dataset);
+        let space = dse::DesignSpace::socrates(cobayn_flags.clone(), &self.topology());
+        let mut machine = Machine::xeon_e5_2630_v3(self.seed ^ fnv(app.name()));
+        let knowledge = dse::profile(
+            &mut machine,
+            &profile,
+            &space.full_factorial(),
+            self.dse_repetitions,
+        );
+
+        Ok(EnhancedApp {
+            app,
+            original,
+            weaved,
+            metrics,
+            multiversioned,
+            versions,
+            features,
+            cobayn_flags,
+            knowledge,
+            profile,
+        })
+    }
+
+    /// The target platform topology.
+    pub fn topology(&self) -> Topology {
+        Topology::xeon_e5_2630_v3()
+    }
+
+    /// The static version table: (4 standard levels + predictions) × BP,
+    /// in a deterministic order (CO-major, close before spread).
+    pub fn version_table(
+        &self,
+        cobayn_flags: &[CompilerOptions],
+    ) -> Vec<(CompilerOptions, BindingPolicy)> {
+        let mut cos: Vec<CompilerOptions> = OptLevel::ALL
+            .into_iter()
+            .map(CompilerOptions::level)
+            .collect();
+        for co in cobayn_flags {
+            if !cos.contains(co) {
+                cos.push(co.clone());
+            }
+        }
+        let mut table = Vec::with_capacity(cos.len() * 2);
+        for co in cos {
+            for bp in BindingPolicy::ALL {
+                table.push((co.clone(), bp));
+            }
+        }
+        table
+    }
+
+    /// COBAYN leave-one-out: trains on every app except `target` and
+    /// predicts the most promising flag combinations for it.
+    fn predict_flags(
+        &self,
+        target: App,
+        target_features: &Features,
+    ) -> Result<Vec<CompilerOptions>, ToolchainError> {
+        let machine = Machine::xeon_e5_2630_v3(self.seed).noiseless();
+        let mut corpus = Vec::new();
+        for other in App::ALL {
+            if other == target {
+                continue;
+            }
+            let src = polybench::source(other, self.dataset);
+            let tu = minic::parse(&src)?;
+            let features = extract_function(&tu, &other.kernel_name())?;
+            let profile = other.profile(self.dataset);
+            // Iterative compilation: single-thread close binding isolates
+            // the compiler effect, exactly like COBAYN's setup.
+            let good = iterative_compilation(
+                |co| {
+                    let cfg = KnobConfig::new(co.clone(), 1, BindingPolicy::Close);
+                    1.0 / machine.expected(&profile, &cfg).time_s
+                },
+                self.training_top_fraction,
+            );
+            corpus.push(TrainingApp { features, good });
+        }
+        let model = Cobayn::train(&corpus, CobaynConfig::default())?;
+        Ok(model.predict(target_features, self.cobayn_predictions))
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_toolchain() -> Toolchain {
+        Toolchain {
+            dataset: Dataset::Medium,
+            dse_repetitions: 1,
+            ..Toolchain::default()
+        }
+    }
+
+    #[test]
+    fn enhance_2mm_produces_complete_artifacts() {
+        let e = quick_toolchain().enhance(App::TwoMm).unwrap();
+        // 16 static versions: 8 CO × 2 BP (4 std + 4 predicted, if all
+        // distinct; at minimum 4 std × 2).
+        assert!(e.versions.len() >= 8 && e.versions.len() <= 16, "{}", e.versions.len());
+        assert_eq!(e.multiversioned.version_functions.len(), e.versions.len());
+        assert_eq!(e.cobayn_flags.len(), 4);
+        // Knowledge covers the full-factorial space.
+        assert_eq!(e.knowledge.len(), e.versions.len() / 2 * 32 * 2);
+    }
+
+    #[test]
+    fn weaved_program_is_valid_and_instrumented() {
+        let e = quick_toolchain().enhance(App::TwoMm).unwrap();
+        let printed = minic::print(&e.weaved);
+        let reparsed = minic::parse(&printed).expect("weaved program parses");
+        assert_eq!(reparsed, e.weaved);
+        assert!(printed.contains("margot_init()"));
+        assert!(printed.contains("margot_update(&__socrates_version, &__socrates_num_threads)"));
+        assert!(printed.contains("#pragma GCC optimize"));
+        assert!(printed.contains("num_threads(__socrates_num_threads)"));
+    }
+
+    #[test]
+    fn table_one_shape_for_2mm() {
+        // Paper: W-LOC is about an order of magnitude above O-LOC.
+        let e = quick_toolchain().enhance(App::TwoMm).unwrap();
+        let m = e.metrics;
+        assert!(m.weaved_loc > m.original_loc * 5, "{m}");
+        assert!(m.attributes > 100, "{m}");
+        assert!(m.actions > 50, "{m}");
+        assert!(m.bloat() > 1.0, "{m}");
+    }
+
+    #[test]
+    fn every_knowledge_config_has_a_version() {
+        let e = quick_toolchain().enhance(App::Mvt).unwrap();
+        for op in e.knowledge.points() {
+            let v = e.version_of(&op.config);
+            assert!(v < e.versions.len());
+        }
+    }
+
+    #[test]
+    fn version_table_is_deterministic_and_unique() {
+        let t = quick_toolchain();
+        let flags = vec![CompilerOptions::level(OptLevel::O2)]; // duplicate of std
+        let table = t.version_table(&flags);
+        assert_eq!(table.len(), 8); // dedup: 4 std × 2 BP
+        let set: std::collections::HashSet<_> = table.iter().collect();
+        assert_eq!(set.len(), table.len());
+    }
+
+    #[test]
+    fn enhancement_is_reproducible() {
+        let t = quick_toolchain();
+        let a = t.enhance(App::Atax).unwrap();
+        let b = t.enhance(App::Atax).unwrap();
+        assert_eq!(a.cobayn_flags, b.cobayn_flags);
+        assert_eq!(a.knowledge, b.knowledge);
+        assert_eq!(a.weaved, b.weaved);
+    }
+
+    #[test]
+    fn different_apps_get_different_predictions() {
+        // The whole premise: flag preferences are app-dependent.
+        let t = quick_toolchain();
+        let gemm = t.enhance(App::TwoMm).unwrap();
+        let branchy = t.enhance(App::Nussinov).unwrap();
+        assert_ne!(gemm.cobayn_flags, branchy.cobayn_flags);
+    }
+}

@@ -1,0 +1,193 @@
+//! Trace analysis: summary statistics over [`TraceSample`] windows —
+//! the numbers the paper reads off its Fig. 5 panels.
+
+use crate::runtime::TraceSample;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a trace window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of kernel invocations.
+    pub invocations: usize,
+    /// Window start (virtual seconds).
+    pub t_begin_s: f64,
+    /// Window end (virtual seconds).
+    pub t_end_s: f64,
+    /// Mean observed power, watts.
+    pub mean_power_w: f64,
+    /// Mean kernel execution time, seconds.
+    pub mean_exec_s: f64,
+    /// Mean selected thread count.
+    pub mean_threads: f64,
+    /// Total energy over the window, joules.
+    pub energy_j: f64,
+    /// Number of configuration changes inside the window.
+    pub config_switches: usize,
+    /// The most frequently dispatched clone version.
+    pub dominant_version: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over a window of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty — an empty window has no statistics.
+    pub fn from_samples(samples: &[TraceSample]) -> TraceStats {
+        assert!(!samples.is_empty(), "empty trace window");
+        let n = samples.len() as f64;
+        let mut switches = 0;
+        let mut version_counts = std::collections::HashMap::new();
+        for pair in samples.windows(2) {
+            if pair[0].config != pair[1].config {
+                switches += 1;
+            }
+        }
+        for s in samples {
+            *version_counts.entry(s.version).or_insert(0usize) += 1;
+        }
+        let dominant_version = version_counts
+            .into_iter()
+            .max_by_key(|&(version, count)| (count, usize::MAX - version))
+            .map(|(version, _)| version)
+            .expect("non-empty window");
+        let last = samples.last().expect("non-empty");
+        TraceStats {
+            invocations: samples.len(),
+            t_begin_s: samples[0].t_start_s,
+            t_end_s: last.t_start_s + last.time_s,
+            mean_power_w: samples.iter().map(|s| s.power_w).sum::<f64>() / n,
+            mean_exec_s: samples.iter().map(|s| s.time_s).sum::<f64>() / n,
+            mean_threads: samples.iter().map(|s| f64::from(s.config.tn)).sum::<f64>() / n,
+            energy_j: samples.iter().map(|s| s.power_w * s.time_s).sum(),
+            config_switches: switches,
+            dominant_version,
+        }
+    }
+
+    /// Average throughput over the window (invocations per second).
+    pub fn throughput(&self) -> f64 {
+        self.invocations as f64 / (self.t_end_s - self.t_begin_s).max(1e-12)
+    }
+
+    /// The window's Thr/W² value (the paper's efficiency metric).
+    pub fn throughput_per_watt2(&self) -> f64 {
+        self.throughput() / (self.mean_power_w * self.mean_power_w)
+    }
+}
+
+/// Splits a trace into fixed-duration windows (by invocation start time)
+/// and summarises each; the decimated view the paper plots.
+pub fn windowed_stats(samples: &[TraceSample], window_s: f64) -> Vec<TraceStats> {
+    assert!(window_s > 0.0, "window must be positive");
+    let mut out = Vec::new();
+    let mut current: Vec<TraceSample> = Vec::new();
+    let mut window_end = samples.first().map_or(0.0, |s| s.t_start_s) + window_s;
+    for s in samples {
+        if s.t_start_s >= window_end && !current.is_empty() {
+            out.push(TraceStats::from_samples(&current));
+            current.clear();
+            while s.t_start_s >= window_end {
+                window_end += window_s;
+            }
+        }
+        current.push(s.clone());
+    }
+    if !current.is_empty() {
+        out.push(TraceStats::from_samples(&current));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, OptLevel};
+
+    fn sample(t: f64, time: f64, power: f64, tn: u32, version: usize) -> TraceSample {
+        TraceSample {
+            t_start_s: t,
+            time_s: time,
+            power_w: power,
+            config: KnobConfig::new(CompilerOptions::level(OptLevel::O2), tn, BindingPolicy::Close),
+            version,
+        }
+    }
+
+    #[test]
+    fn stats_over_uniform_window() {
+        let samples = vec![
+            sample(0.0, 0.1, 100.0, 8, 2),
+            sample(0.1, 0.1, 100.0, 8, 2),
+            sample(0.2, 0.1, 100.0, 8, 2),
+        ];
+        let s = TraceStats::from_samples(&samples);
+        assert_eq!(s.invocations, 3);
+        assert!((s.mean_power_w - 100.0).abs() < 1e-12);
+        assert!((s.mean_exec_s - 0.1).abs() < 1e-12);
+        assert_eq!(s.config_switches, 0);
+        assert_eq!(s.dominant_version, 2);
+        assert!((s.energy_j - 30.0).abs() < 1e-9);
+        assert!((s.throughput() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn switches_counted_between_distinct_configs() {
+        let samples = vec![
+            sample(0.0, 0.1, 90.0, 4, 0),
+            sample(0.1, 0.1, 95.0, 8, 1),
+            sample(0.2, 0.1, 95.0, 8, 1),
+            sample(0.3, 0.1, 90.0, 4, 0),
+        ];
+        let s = TraceStats::from_samples(&samples);
+        assert_eq!(s.config_switches, 2);
+    }
+
+    #[test]
+    fn dominant_version_is_majority() {
+        let samples = vec![
+            sample(0.0, 0.1, 90.0, 4, 7),
+            sample(0.1, 0.1, 90.0, 4, 7),
+            sample(0.2, 0.1, 90.0, 8, 3),
+        ];
+        assert_eq!(TraceStats::from_samples(&samples).dominant_version, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace window")]
+    fn empty_window_panics() {
+        let _ = TraceStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn windowing_partitions_all_samples() {
+        let samples: Vec<TraceSample> = (0..50)
+            .map(|i| sample(f64::from(i) * 0.2, 0.2, 80.0, 8, 0))
+            .collect();
+        let windows = windowed_stats(&samples, 2.0);
+        let total: usize = windows.iter().map(|w| w.invocations).sum();
+        assert_eq!(total, 50);
+        assert_eq!(windows.len(), 5);
+        for w in &windows {
+            assert!(w.t_end_s - w.t_begin_s <= 2.0 + 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn windowing_handles_gaps() {
+        // A long idle gap must not produce empty windows.
+        let samples = vec![sample(0.0, 0.1, 80.0, 8, 0), sample(10.0, 0.1, 80.0, 8, 0)];
+        let windows = windowed_stats(&samples, 1.0);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].invocations, 1);
+        assert_eq!(windows[1].invocations, 1);
+    }
+
+    #[test]
+    fn efficiency_metric_consistency() {
+        let samples = vec![sample(0.0, 0.5, 100.0, 8, 0), sample(0.5, 0.5, 100.0, 8, 0)];
+        let s = TraceStats::from_samples(&samples);
+        // 2 invocations over 1 s at 100 W: thr=2, thr/W^2 = 2e-4.
+        assert!((s.throughput_per_watt2() - 2e-4).abs() < 1e-8);
+    }
+}

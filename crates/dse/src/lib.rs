@@ -1,0 +1,265 @@
+//! # dse — design-space exploration for SOCRATES
+//!
+//! Builds the autotuning space (CO × TN × BP), explores it against the
+//! simulated platform and produces the mARGOt application knowledge.
+//! The paper uses a full-factorial analysis; the exploration driver is
+//! agnostic to the enumeration strategy (full factorial or random
+//! subsampling), as Section III notes.
+//!
+//! ## Example
+//!
+//! ```
+//! use dse::{profile, DesignSpace};
+//! use platform_sim::{Machine, Topology, WorkloadProfile};
+//!
+//! let space = DesignSpace::socrates(vec![], &Topology::xeon_e5_2630_v3());
+//! let mut machine = Machine::xeon_e5_2630_v3(1);
+//! let kernel = WorkloadProfile::builder("demo").flops(1e8).bytes(1e7).build();
+//! let some_configs = space.random_sample(10, 7);
+//! let knowledge = profile(&mut machine, &kernel, &some_configs, 2);
+//! assert_eq!(knowledge.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+use margot::{Knowledge, Metric, MetricValues, OperatingPoint};
+use platform_sim::{
+    BindingPolicy, CompilerOptions, KnobConfig, Machine, OptLevel, Topology, WorkloadProfile,
+};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The SOCRATES autotuning space: compiler options, thread counts and
+/// binding policies (paper Section II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Compiler-option alternatives (standard levels + COBAYN picks).
+    pub compiler_options: Vec<CompilerOptions>,
+    /// Thread-count alternatives (1 ..= logical cores).
+    pub thread_counts: Vec<u32>,
+    /// Binding-policy alternatives.
+    pub binding_policies: Vec<BindingPolicy>,
+}
+
+impl DesignSpace {
+    /// The paper's space: the four GCC standard levels plus the
+    /// COBAYN-predicted combinations, every thread count up to the
+    /// machine's logical CPU count, and both binding policies.
+    pub fn socrates(cobayn_predictions: Vec<CompilerOptions>, topo: &Topology) -> Self {
+        let mut compiler_options: Vec<CompilerOptions> = OptLevel::ALL
+            .into_iter()
+            .map(CompilerOptions::level)
+            .collect();
+        for co in cobayn_predictions {
+            if !compiler_options.contains(&co) {
+                compiler_options.push(co);
+            }
+        }
+        DesignSpace {
+            compiler_options,
+            thread_counts: (1..=topo.logical_cpus()).collect(),
+            binding_policies: BindingPolicy::ALL.to_vec(),
+        }
+    }
+
+    /// Number of points in the space.
+    pub fn size(&self) -> usize {
+        self.compiler_options.len() * self.thread_counts.len() * self.binding_policies.len()
+    }
+
+    /// Enumerates every configuration (the paper's full-factorial DSE).
+    pub fn full_factorial(&self) -> Vec<KnobConfig> {
+        let mut out = Vec::with_capacity(self.size());
+        for co in &self.compiler_options {
+            for &tn in &self.thread_counts {
+                for &bp in &self.binding_policies {
+                    out.push(KnobConfig::new(co.clone(), tn, bp));
+                }
+            }
+        }
+        out
+    }
+
+    /// A reproducible random subsample of the space (without
+    /// replacement); an alternative DSE strategy for large spaces.
+    pub fn random_sample(&self, n: usize, seed: u64) -> Vec<KnobConfig> {
+        let mut all = self.full_factorial();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        all.shuffle(&mut rng);
+        all.truncate(n);
+        all
+    }
+}
+
+/// Profiles `configs` on the machine (`repetitions` noisy runs each,
+/// averaged) and returns the mARGOt knowledge with the four EFPs the
+/// paper uses: execution time, power, throughput and energy.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn profile(
+    machine: &mut Machine,
+    workload: &WorkloadProfile,
+    configs: &[KnobConfig],
+    repetitions: u32,
+) -> Knowledge<KnobConfig> {
+    assert!(repetitions > 0, "need at least one repetition");
+    let mut knowledge = Knowledge::new();
+    for cfg in configs {
+        let mut time = 0.0;
+        let mut power = 0.0;
+        for _ in 0..repetitions {
+            let run = machine.execute(workload, cfg);
+            time += run.time_s;
+            power += run.power_w;
+        }
+        time /= f64::from(repetitions);
+        power /= f64::from(repetitions);
+        let metrics = MetricValues::new()
+            .with(Metric::exec_time(), time)
+            .with(Metric::power(), power)
+            .with(Metric::throughput(), 1.0 / time)
+            .with(Metric::energy(), time * power);
+        knowledge.add(OperatingPoint::new(cfg.clone(), metrics));
+    }
+    knowledge
+}
+
+/// Convenience: the Pareto frontier of a knowledge base on the paper's
+/// Fig. 3 objectives (maximise throughput, minimise power).
+pub fn power_throughput_pareto(knowledge: &Knowledge<KnobConfig>) -> Knowledge<KnobConfig> {
+    knowledge.pareto_filter(&[(Metric::throughput(), true), (Metric::power(), false)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::paper_cf_combos;
+
+    fn space() -> DesignSpace {
+        DesignSpace::socrates(
+            paper_cf_combos().to_vec(),
+            &Topology::xeon_e5_2630_v3(),
+        )
+    }
+
+    fn kernel() -> WorkloadProfile {
+        WorkloadProfile::builder("2mm-like")
+            .flops(2.5e9)
+            .bytes(6e8)
+            .parallel_fraction(0.995)
+            .build()
+    }
+
+    #[test]
+    fn paper_space_is_512_points() {
+        // (4 standard levels + 4 CF combos) × 32 threads × 2 bindings.
+        let s = space();
+        assert_eq!(s.compiler_options.len(), 8);
+        assert_eq!(s.size(), 8 * 32 * 2);
+        assert_eq!(s.full_factorial().len(), 512);
+    }
+
+    #[test]
+    fn duplicate_predictions_are_deduplicated() {
+        let s = DesignSpace::socrates(
+            vec![CompilerOptions::level(OptLevel::O3)],
+            &Topology::xeon_e5_2630_v3(),
+        );
+        assert_eq!(s.compiler_options.len(), 4);
+    }
+
+    #[test]
+    fn full_factorial_has_unique_points() {
+        let all = space().full_factorial();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn random_sample_is_reproducible_and_unique() {
+        let s = space();
+        let a = s.random_sample(50, 9);
+        let b = s.random_sample(50, 9);
+        assert_eq!(a, b);
+        let c = s.random_sample(50, 10);
+        assert_ne!(a, c);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn profiling_builds_complete_knowledge() {
+        let mut m = Machine::xeon_e5_2630_v3(3);
+        let configs = space().random_sample(20, 4);
+        let k = profile(&mut m, &kernel(), &configs, 3);
+        assert_eq!(k.len(), 20);
+        let metrics = k.common_metrics();
+        for want in [
+            Metric::exec_time(),
+            Metric::power(),
+            Metric::throughput(),
+            Metric::energy(),
+        ] {
+            assert!(metrics.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn profiling_averages_toward_expectation() {
+        let mut m = Machine::xeon_e5_2630_v3(5);
+        let cfg = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            8,
+            BindingPolicy::Close,
+        );
+        let expected = m.expected(&kernel(), &cfg).time_s;
+        let k = profile(&mut m, &kernel(), std::slice::from_ref(&cfg), 50);
+        let observed = k.points()[0].metric(&Metric::exec_time()).unwrap();
+        assert!(
+            (observed / expected - 1.0).abs() < 0.02,
+            "mean {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn pareto_frontier_is_much_smaller_than_space() {
+        let mut m = Machine::xeon_e5_2630_v3(6).noiseless();
+        let configs = space().full_factorial();
+        let k = profile(&mut m, &kernel(), &configs, 1);
+        let frontier = power_throughput_pareto(&k);
+        assert!(frontier.len() >= 5, "frontier too small: {}", frontier.len());
+        assert!(
+            frontier.len() * 4 < k.len(),
+            "frontier {} not selective vs {}",
+            frontier.len(),
+            k.len()
+        );
+    }
+
+    #[test]
+    fn pareto_respects_dominance() {
+        let mut m = Machine::xeon_e5_2630_v3(7).noiseless();
+        let configs = space().full_factorial();
+        let k = profile(&mut m, &kernel(), &configs, 1);
+        let frontier = power_throughput_pareto(&k);
+        for a in frontier.points() {
+            for b in k.points() {
+                let dominates = b.metric(&Metric::throughput()).unwrap()
+                    > a.metric(&Metric::throughput()).unwrap()
+                    && b.metric(&Metric::power()).unwrap() < a.metric(&Metric::power()).unwrap();
+                assert!(!dominates, "{:?} dominated by {:?}", a.config, b.config);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_panics() {
+        let mut m = Machine::xeon_e5_2630_v3(1);
+        let _ = profile(&mut m, &kernel(), &[], 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The `Autotuner` LARA strategy (paper Section II, Fig. 2c).
+//!
+//! Integrates mARGOt into the multiversioned application: inserts the
+//! header and `margot_init()` call, and surrounds every wrapper call with
+//! the mARGOt API — `margot_update(&version, &num_threads)` before,
+//! `margot_start_monitor()` / `margot_stop_monitor()` around, and
+//! `margot_log()` after the region of interest.
+
+use crate::multiversioning::Multiversioned;
+use crate::weaver::{WeaveError, Weaver};
+use minic::ast::*;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the Autotuner strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Autotuned {
+    /// Number of kernel-wrapper call sites instrumented.
+    pub instrumented_sites: usize,
+}
+
+/// Applies the Autotuner strategy, wiring the wrapper produced by
+/// [`multiversioning`](crate::multiversioning::multiversioning) to the
+/// mARGOt API inside `main_fn` (usually `"main"`).
+///
+/// # Errors
+///
+/// Returns [`WeaveError`] if `main_fn` does not exist or no wrapper call
+/// site is found in it.
+pub fn autotuner(
+    weaver: &mut Weaver,
+    mv: &Multiversioned,
+    main_fn: &str,
+) -> Result<Autotuned, WeaveError> {
+    // Header + initialization at the top of main.
+    weaver.insert_include("\"margot.h\"");
+    weaver.select_function(main_fn)?;
+    weaver.insert_stmts_at_start(main_fn, vec![Stmt::Expr(Expr::call("margot_init", vec![]))])?;
+
+    // Check the wrapper is actually called from the application.
+    let sites_found = weaver.select_calls_to(&mv.wrapper);
+    if sites_found == 0 {
+        return Err(WeaveError(format!(
+            "no call to wrapper `{}` found",
+            mv.wrapper
+        )));
+    }
+
+    let addr_of = |name: &str| Expr::Unary {
+        op: UnaryOp::AddrOf,
+        expr: Box::new(Expr::ident(name)),
+    };
+    let before = vec![
+        Stmt::Expr(Expr::call(
+            "margot_update",
+            vec![addr_of(&mv.version_var), addr_of(&mv.threads_var)],
+        )),
+        Stmt::Expr(Expr::call("margot_start_monitor", vec![])),
+    ];
+    let after = vec![
+        Stmt::Expr(Expr::call("margot_stop_monitor", vec![])),
+        Stmt::Expr(Expr::call("margot_log", vec![])),
+    ];
+    let instrumented_sites =
+        weaver.surround_call_statements(main_fn, &mv.wrapper, before, after)?;
+    Ok(Autotuned { instrumented_sites })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiversioning::{multiversioning, StaticVersion};
+    use minic::parse;
+
+    const SRC: &str = "\
+void kernel_demo(double alpha, int n) {
+    for (int i = 0; i < n; i++) { alpha += 1.0; }
+}
+int main() {
+    kernel_demo(1.5, 100);
+    return 0;
+}
+";
+
+    fn weave_all() -> (minic::TranslationUnit, Autotuned) {
+        let mut w = Weaver::new(parse(SRC).unwrap());
+        let mv = multiversioning(
+            &mut w,
+            "kernel_demo",
+            &[
+                StaticVersion::new(["O2"], "close"),
+                StaticVersion::new(["O3"], "spread"),
+            ],
+        )
+        .unwrap();
+        let at = autotuner(&mut w, &mv, "main").unwrap();
+        let (tu, _) = w.finish();
+        (tu, at)
+    }
+
+    #[test]
+    fn inserts_header_and_init() {
+        let (tu, _) = weave_all();
+        let printed = minic::print(&tu);
+        assert!(printed.contains("#include \"margot.h\""));
+        let main = tu.function("main").unwrap();
+        assert!(matches!(
+            &main.body.as_ref().unwrap().stmts[0],
+            Stmt::Expr(Expr::Call { callee, .. }) if callee == "margot_init"
+        ));
+    }
+
+    #[test]
+    fn wraps_call_site_with_margot_api_in_order() {
+        let (tu, at) = weave_all();
+        assert_eq!(at.instrumented_sites, 1);
+        let printed = minic::print(&tu);
+        let idx = |needle: &str| printed.find(needle).unwrap_or_else(|| panic!("{needle} missing\n{printed}"));
+        let update = idx("margot_update(&__socrates_version, &__socrates_num_threads)");
+        let start = idx("margot_start_monitor()");
+        let call = idx("kernel_demo_wrapper(1.5, 100)");
+        let stop = idx("margot_stop_monitor()");
+        let log = idx("margot_log()");
+        assert!(update < start && start < call && call < stop && stop < log);
+    }
+
+    #[test]
+    fn weaved_output_reparses_identically() {
+        let (tu, _) = weave_all();
+        let printed = minic::print(&tu);
+        assert_eq!(minic::parse(&printed).unwrap(), tu);
+    }
+
+    #[test]
+    fn missing_wrapper_call_is_an_error() {
+        // A main that never calls the kernel: autotuner must refuse.
+        let src = "\
+void kernel_demo(int n) { for (int i = 0; i < n; i++) { n--; } }
+int main() { return 0; }
+";
+        let mut w = Weaver::new(parse(src).unwrap());
+        let mv = multiversioning(&mut w, "kernel_demo", &[StaticVersion::new(["O2"], "close")])
+            .unwrap();
+        assert!(autotuner(&mut w, &mv, "main").is_err());
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let mut w = Weaver::new(parse(SRC).unwrap());
+        let mv = multiversioning(&mut w, "kernel_demo", &[StaticVersion::new(["O2"], "close")])
+            .unwrap();
+        assert!(autotuner(&mut w, &mv, "nonexistent_main").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # lara — aspect-oriented weaving for SOCRATES
+//!
+//! Rust reimplementation of the LARA strategies + MANET source-to-source
+//! weaving used by SOCRATES (DATE 2018) to turn a plain C application
+//! into a tunable, mARGOt-enhanced one **without any manual change to the
+//! application code**.
+//!
+//! Two strategies, exactly as in the paper:
+//!
+//! - [`multiversioning`]: clone the kernel per static configuration
+//!   (`#pragma GCC optimize` × `proc_bind`), parallelise the clones'
+//!   loops with `num_threads(<runtime var>)`, generate the dispatch
+//!   wrapper and redirect all call sites to it (Fig. 2b);
+//! - [`autotuner`]: insert the mARGOt header/init and surround the
+//!   wrapped kernel call with `margot_update` / `margot_start_monitor` /
+//!   `margot_stop_monitor` / `margot_log` (Fig. 2c).
+//!
+//! The [`Weaver`] tracks every attribute checked and action performed,
+//! producing the paper's Table I metrics ([`WeavingMetrics`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use lara::{autotuner, multiversioning, StaticVersion, Weaver};
+//!
+//! let tu = minic::parse(
+//!     "void kernel_k(int n) { for (int i = 0; i < n; i++) { n--; } }
+//!      int main() { kernel_k(10); return 0; }",
+//! ).unwrap();
+//! let mut weaver = Weaver::new(tu);
+//! let mv = multiversioning(
+//!     &mut weaver,
+//!     "kernel_k",
+//!     &[StaticVersion::new(["O2"], "close"), StaticVersion::new(["O3"], "spread")],
+//! ).unwrap();
+//! autotuner(&mut weaver, &mv, "main").unwrap();
+//! let (weaved, metrics) = weaver.finish();
+//! assert!(metrics.weaved_loc > metrics.original_loc);
+//! assert!(minic::parse(&minic::print(&weaved)).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod autotuner;
+mod metrics;
+mod multiversioning;
+mod weaver;
+
+pub use autotuner::{autotuner, Autotuned};
+pub use metrics::{WeavingMetrics, STRATEGY_LOC};
+pub use multiversioning::{
+    multiversioning, Multiversioned, StaticVersion, THREADS_VAR, VERSION_VAR,
+};
+pub use weaver::{WeaveError, Weaver};

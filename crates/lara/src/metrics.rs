@@ -1,0 +1,150 @@
+//! Weaving metrics — the quantities reported in the paper's Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical lines of code of the complete LARA strategy (the aspect
+/// files). The paper reports 265 for its LARA implementation; our
+/// strategies are written as Rust weaving programs whose declarative
+/// operation count is smaller. The value is only used as the Bloat
+/// denominator: `Bloat = D-LOC / STRATEGY_LOC`.
+pub const STRATEGY_LOC: usize = 72;
+
+/// Metrics collected while applying the LARA strategies to one
+/// application (one row of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WeavingMetrics {
+    /// Attributes checked about the source code (function signature
+    /// information, loop and pragma information, call sites…).
+    pub attributes: usize,
+    /// Actions performed on the code (insertions, cloning, pragma
+    /// insertion, call replacement…).
+    pub actions: usize,
+    /// Logical LOC of the original benchmark.
+    pub original_loc: usize,
+    /// Logical LOC of the weaved benchmark.
+    pub weaved_loc: usize,
+}
+
+impl WeavingMetrics {
+    /// D-LOC: lines added by weaving.
+    pub fn delta_loc(&self) -> usize {
+        self.weaved_loc.saturating_sub(self.original_loc)
+    }
+
+    /// The Bloat metric: weaved lines per line of aspect code.
+    pub fn bloat(&self) -> f64 {
+        self.delta_loc() as f64 / STRATEGY_LOC as f64
+    }
+
+    /// Merges the metrics of two strategies applied in sequence.
+    /// `other` must have been measured starting from this result
+    /// (`other.original_loc == self.weaved_loc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two measurements are not contiguous.
+    pub fn then(&self, other: &WeavingMetrics) -> WeavingMetrics {
+        assert_eq!(
+            self.weaved_loc, other.original_loc,
+            "metrics are not contiguous"
+        );
+        WeavingMetrics {
+            attributes: self.attributes + other.attributes,
+            actions: self.actions + other.actions,
+            original_loc: self.original_loc,
+            weaved_loc: other.weaved_loc,
+        }
+    }
+}
+
+impl fmt::Display for WeavingMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Att={} Act={} O-LOC={} W-LOC={} D-LOC={} Bloat={:.2}",
+            self.attributes,
+            self.actions,
+            self.original_loc,
+            self.weaved_loc,
+            self.delta_loc(),
+            self.bloat()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_bloat() {
+        let m = WeavingMetrics {
+            attributes: 100,
+            actions: 50,
+            original_loc: 80,
+            weaved_loc: 80 + STRATEGY_LOC * 3,
+        };
+        assert_eq!(m.delta_loc(), STRATEGY_LOC * 3);
+        assert!((m.bloat() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let m = WeavingMetrics {
+            original_loc: 100,
+            weaved_loc: 90,
+            ..Default::default()
+        };
+        assert_eq!(m.delta_loc(), 0);
+    }
+
+    #[test]
+    fn then_accumulates_contiguous_measurements() {
+        let a = WeavingMetrics {
+            attributes: 10,
+            actions: 5,
+            original_loc: 50,
+            weaved_loc: 200,
+        };
+        let b = WeavingMetrics {
+            attributes: 7,
+            actions: 3,
+            original_loc: 200,
+            weaved_loc: 230,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.attributes, 17);
+        assert_eq!(c.actions, 8);
+        assert_eq!(c.original_loc, 50);
+        assert_eq!(c.weaved_loc, 230);
+        assert_eq!(c.delta_loc(), 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn then_rejects_gaps() {
+        let a = WeavingMetrics {
+            weaved_loc: 200,
+            ..Default::default()
+        };
+        let b = WeavingMetrics {
+            original_loc: 150,
+            ..Default::default()
+        };
+        let _ = a.then(&b);
+    }
+
+    #[test]
+    fn display_matches_table_one_columns() {
+        let m = WeavingMetrics {
+            attributes: 698,
+            actions: 378,
+            original_loc: 136,
+            weaved_loc: 2068,
+        };
+        let s = m.to_string();
+        assert!(s.contains("Att=698"));
+        assert!(s.contains("D-LOC=1932"));
+    }
+}

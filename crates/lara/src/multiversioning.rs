@@ -1,0 +1,303 @@
+//! The `Multiversioning` LARA strategy (paper Section II, Fig. 2b).
+//!
+//! Clones the target kernel once per *static* configuration (compiler
+//! options × binding policy), attaches `#pragma GCC optimize(...)` to
+//! each clone, parallelises the clone's outermost loops with an OpenMP
+//! pragma whose thread count reads a runtime-controlled variable, emits a
+//! dispatch wrapper switching on a version variable, and redirects all
+//! kernel call sites to the wrapper.
+
+use crate::weaver::{WeaveError, Weaver};
+use minic::ast::*;
+use minic::pragma::{OmpClause, Pragma};
+use serde::{Deserialize, Serialize};
+
+/// Default name of the runtime version-selection global.
+pub const VERSION_VAR: &str = "__socrates_version";
+/// Default name of the runtime thread-count global.
+pub const THREADS_VAR: &str = "__socrates_num_threads";
+
+/// One static configuration of the autotuning space: the knobs that must
+/// be fixed at compile time (CO via `#pragma GCC optimize`, BP via
+/// `proc_bind`); the thread count stays dynamic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaticVersion {
+    /// `#pragma GCC optimize` flag strings, base level first
+    /// (e.g. `["O2", "no-inline-functions"]`).
+    pub flags: Vec<String>,
+    /// `proc_bind` clause value (`"close"` or `"spread"`).
+    pub proc_bind: String,
+}
+
+impl StaticVersion {
+    /// Creates a static version.
+    pub fn new(
+        flags: impl IntoIterator<Item = impl Into<String>>,
+        proc_bind: impl Into<String>,
+    ) -> Self {
+        StaticVersion {
+            flags: flags.into_iter().map(Into::into).collect(),
+            proc_bind: proc_bind.into(),
+        }
+    }
+}
+
+/// Outcome of the Multiversioning strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Multiversioned {
+    /// Per-version clone function names, index = version id.
+    pub version_functions: Vec<String>,
+    /// The dispatch wrapper's name.
+    pub wrapper: String,
+    /// The version-selection global variable name.
+    pub version_var: String,
+    /// The thread-count global variable name.
+    pub threads_var: String,
+    /// Number of kernel call sites redirected to the wrapper.
+    pub redirected_calls: usize,
+}
+
+/// Applies the Multiversioning strategy to `kernel` for the given static
+/// versions.
+///
+/// # Errors
+///
+/// Returns [`WeaveError`] if the kernel does not exist or has no body.
+pub fn multiversioning(
+    weaver: &mut Weaver,
+    kernel: &str,
+    versions: &[StaticVersion],
+) -> Result<Multiversioned, WeaveError> {
+    if versions.is_empty() {
+        return Err(WeaveError("no static versions requested".into()));
+    }
+    let (ret, params) = weaver.query_signature(kernel)?;
+
+    // Clone per static configuration, then parallelise each clone.
+    let mut version_functions = Vec::with_capacity(versions.len());
+    for (i, version) in versions.iter().enumerate() {
+        let clone_name = format!("{kernel}_v{i}");
+        weaver.clone_function(
+            kernel,
+            &clone_name,
+            vec![Pragma::gcc_optimize(version.flags.clone())],
+        )?;
+        // Re-inspect the clone's loops (per-clone attribute checks, as
+        // the aspect engine does when matching the loop pointcut in each
+        // cloned body).
+        let loops = weaver.select_outer_loops(&clone_name)?;
+        for &loop_index in loops.iter().rev() {
+            let omp = Pragma::omp(
+                "parallel for",
+                vec![
+                    OmpClause::NumThreads(THREADS_VAR.to_string()),
+                    OmpClause::ProcBind(version.proc_bind.clone()),
+                ],
+            );
+            weaver.insert_pragma_before_stmt(&clone_name, loop_index, omp)?;
+        }
+        version_functions.push(clone_name);
+    }
+
+    // Control variables read by the wrapper and the OpenMP clauses.
+    weaver.insert_global(
+        Decl::new(Type::Int, VERSION_VAR).with_init(Init::Expr(Expr::int(0))),
+    );
+    weaver.insert_global(
+        Decl::new(Type::Int, THREADS_VAR).with_init(Init::Expr(Expr::int(1))),
+    );
+
+    // The dispatch wrapper, inserted right after the last clone so it is
+    // defined before any caller (C forward-declaration rules).
+    let wrapper = format!("{kernel}_wrapper");
+    let last_clone = version_functions.last().expect("at least one version");
+    weaver.insert_function_after(
+        last_clone,
+        build_wrapper(&wrapper, &ret, &params, &version_functions),
+    )?;
+
+    // Redirect every call site (the wrapper itself calls the clones).
+    let excluded: Vec<String> = version_functions
+        .iter()
+        .cloned()
+        .chain([wrapper.clone(), kernel.to_string()])
+        .collect();
+    let redirected_calls = weaver.replace_calls(kernel, &wrapper, &excluded);
+
+    Ok(Multiversioned {
+        version_functions,
+        wrapper,
+        version_var: VERSION_VAR.to_string(),
+        threads_var: THREADS_VAR.to_string(),
+        redirected_calls,
+    })
+}
+
+fn build_wrapper(
+    name: &str,
+    ret: &Type,
+    params: &[Param],
+    version_functions: &[String],
+) -> Function {
+    let args: Vec<Expr> = params.iter().map(|p| Expr::ident(&p.name)).collect();
+    let is_void = *ret == Type::Void;
+    let mut stmts = Vec::new();
+    for (i, vf) in version_functions.iter().enumerate() {
+        let call = Expr::call(vf.clone(), args.clone());
+        let body = if is_void {
+            vec![Stmt::Expr(call), Stmt::Return(None)]
+        } else {
+            vec![Stmt::Return(Some(call))]
+        };
+        stmts.push(Stmt::If {
+            cond: Expr::binary(
+                BinaryOp::Eq,
+                Expr::ident(VERSION_VAR),
+                Expr::int(i as i64),
+            ),
+            then_branch: Block::new(body),
+            else_branch: None,
+        });
+    }
+    // Fallback: version 0.
+    let fallback = Expr::call(version_functions[0].clone(), args);
+    if is_void {
+        stmts.push(Stmt::Expr(fallback));
+    } else {
+        stmts.push(Stmt::Return(Some(fallback)));
+    }
+    Function {
+        ret: ret.clone(),
+        name: name.to_string(),
+        params: params.to_vec(),
+        body: Some(Block::new(stmts)),
+        is_static: false,
+        pragmas: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    const SRC: &str = "\
+void kernel_demo(double alpha, int n) {
+    for (int i = 0; i < n; i++) { alpha += 1.0; }
+    for (int j = 0; j < n; j++) { alpha -= 1.0; }
+}
+int main() {
+    kernel_demo(1.5, 100);
+    return 0;
+}
+";
+
+    fn versions(n: usize) -> Vec<StaticVersion> {
+        (0..n)
+            .map(|i| {
+                StaticVersion::new(
+                    [format!("O{}", (i % 3) + 1)],
+                    if i % 2 == 0 { "close" } else { "spread" },
+                )
+            })
+            .collect()
+    }
+
+    fn run(n: usize) -> (minic::TranslationUnit, Multiversioned, crate::WeavingMetrics) {
+        let mut w = Weaver::new(parse(SRC).unwrap());
+        let mv = multiversioning(&mut w, "kernel_demo", &versions(n)).unwrap();
+        let (tu, m) = w.finish();
+        (tu, mv, m)
+    }
+
+    #[test]
+    fn creates_one_clone_per_version() {
+        let (tu, mv, _) = run(4);
+        assert_eq!(mv.version_functions.len(), 4);
+        for vf in &mv.version_functions {
+            let f = tu.function(vf).expect("clone exists");
+            assert_eq!(f.pragmas.len(), 1, "GCC optimize pragma attached");
+            assert!(f.pragmas[0].as_gcc_optimize().is_some());
+        }
+    }
+
+    #[test]
+    fn clones_get_omp_pragmas_on_outer_loops() {
+        let (tu, mv, _) = run(2);
+        let f = tu.function(&mv.version_functions[1]).unwrap();
+        let body = f.body.as_ref().unwrap();
+        // pragma, for, pragma, for
+        let pragmas: Vec<_> = body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Pragma(p) => p.as_omp(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pragmas.len(), 2);
+        for p in pragmas {
+            assert_eq!(p.num_threads(), Some(THREADS_VAR));
+            assert_eq!(p.proc_bind(), Some("spread"));
+        }
+    }
+
+    #[test]
+    fn wrapper_dispatches_on_version_variable() {
+        let (tu, mv, _) = run(3);
+        let w = tu.function(&mv.wrapper).expect("wrapper exists");
+        let printed = minic::print(&tu);
+        assert!(printed.contains(&format!("if ({} == 0)", VERSION_VAR)));
+        assert!(printed.contains(&format!("if ({} == 2)", VERSION_VAR)));
+        // Wrapper keeps the kernel signature.
+        assert_eq!(w.params.len(), 2);
+        assert_eq!(w.ret, Type::Void);
+    }
+
+    #[test]
+    fn call_sites_redirected_to_wrapper() {
+        let (tu, mv, _) = run(2);
+        assert_eq!(mv.redirected_calls, 1);
+        let printed = minic::print(&tu);
+        assert!(printed.contains("kernel_demo_wrapper(1.5, 100)"));
+    }
+
+    #[test]
+    fn control_globals_inserted_before_functions() {
+        let (tu, _, _) = run(2);
+        let printed = minic::print(&tu);
+        let version_pos = printed.find(VERSION_VAR).unwrap();
+        let kernel_pos = printed.find("void kernel_demo").unwrap();
+        assert!(version_pos < kernel_pos);
+        assert!(printed.contains(&format!("int {THREADS_VAR} = 1;")));
+    }
+
+    #[test]
+    fn weaved_output_is_valid_c() {
+        let (tu, _, _) = run(16);
+        let printed = minic::print(&tu);
+        let reparsed = minic::parse(&printed).expect("valid C");
+        assert_eq!(tu, reparsed);
+    }
+
+    #[test]
+    fn loc_grows_roughly_linearly_with_versions() {
+        let (_, _, m4) = run(4);
+        let (_, _, m16) = run(16);
+        assert!(m16.weaved_loc > m4.weaved_loc * 2);
+        assert!(m16.actions > m4.actions * 2);
+        assert!(m16.attributes > m4.attributes * 2);
+    }
+
+    #[test]
+    fn empty_version_list_is_an_error() {
+        let mut w = Weaver::new(parse(SRC).unwrap());
+        assert!(multiversioning(&mut w, "kernel_demo", &[]).is_err());
+    }
+
+    #[test]
+    fn missing_kernel_is_an_error() {
+        let mut w = Weaver::new(parse(SRC).unwrap());
+        assert!(multiversioning(&mut w, "nope", &versions(2)).is_err());
+    }
+}

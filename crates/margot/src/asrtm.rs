@@ -1,0 +1,281 @@
+//! The Application-Specific Run-Time Manager (AS-RTM).
+//!
+//! Selects the most suitable operating point given (i) the application
+//! requirements (constraints + rank), (ii) the design-time knowledge and
+//! (iii) runtime feedback from the monitors (as per-metric adjustment
+//! ratios). When no point satisfies every constraint, constraints are
+//! relaxed lowest-priority-first, mirroring mARGOt's behaviour.
+
+use crate::knowledge::{Knowledge, OperatingPoint};
+use crate::metric::{Metric, MetricValues};
+use crate::requirements::{Constraint, Rank};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The AS-RTM: knowledge + requirements + feedback → best configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsRtm<K> {
+    knowledge: Knowledge<K>,
+    constraints: Vec<Constraint>,
+    rank: Rank,
+    adjustments: BTreeMap<Metric, f64>,
+}
+
+impl<K: Clone + PartialEq> AsRtm<K> {
+    /// Creates a manager over the given knowledge with an initial rank.
+    pub fn new(knowledge: Knowledge<K>, rank: Rank) -> Self {
+        AsRtm {
+            knowledge,
+            constraints: Vec::new(),
+            rank,
+            adjustments: BTreeMap::new(),
+        }
+    }
+
+    /// The knowledge base.
+    pub fn knowledge(&self) -> &Knowledge<K> {
+        &self.knowledge
+    }
+
+    /// The active rank.
+    pub fn rank(&self) -> &Rank {
+        &self.rank
+    }
+
+    /// Replaces the rank (the paper's Fig. 5 requirement switch).
+    pub fn set_rank(&mut self, rank: Rank) {
+        self.rank = rank;
+    }
+
+    /// Adds a constraint; keeps the list sorted by priority (descending).
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+        self.constraints.sort_by_key(|c| std::cmp::Reverse(c.priority));
+    }
+
+    /// Updates the bound of the constraint on `metric`; returns `false`
+    /// if no such constraint exists.
+    pub fn set_constraint_value(&mut self, metric: &Metric, value: f64) -> bool {
+        let mut found = false;
+        for c in &mut self.constraints {
+            if &c.metric == metric {
+                c.value = value;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Removes all constraints on `metric`.
+    pub fn remove_constraints_on(&mut self, metric: &Metric) {
+        self.constraints.retain(|c| &c.metric != metric);
+    }
+
+    /// Removes every constraint.
+    pub fn clear_constraints(&mut self) {
+        self.constraints.clear();
+    }
+
+    /// Atomically applies a named optimisation state: replaces the rank
+    /// and the whole constraint set (mARGOt state switching).
+    pub fn apply_state(&mut self, state: &crate::states::OptimizationState) {
+        self.rank = state.rank.clone();
+        self.constraints = state.constraints.clone();
+        self.constraints.sort_by_key(|c| std::cmp::Reverse(c.priority));
+    }
+
+    /// The active constraints, highest priority first.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Sets the runtime feedback ratio for a metric
+    /// (`observed / expected`, clamped to `[0.25, 4.0]`).
+    pub fn set_adjustment(&mut self, metric: Metric, ratio: f64) {
+        let ratio = if ratio.is_finite() { ratio } else { 1.0 };
+        self.adjustments.insert(metric, ratio.clamp(0.25, 4.0));
+    }
+
+    /// Clears all feedback ratios.
+    pub fn clear_adjustments(&mut self) {
+        self.adjustments.clear();
+    }
+
+    /// Expected metrics of `op`, scaled by the current feedback ratios.
+    pub fn adjusted_metrics(&self, op: &OperatingPoint<K>) -> MetricValues {
+        op.metrics
+            .iter()
+            .map(|(m, v)| {
+                let f = self.adjustments.get(m).copied().unwrap_or(1.0);
+                (m.clone(), v * f)
+            })
+            .collect()
+    }
+
+    /// Selects the best operating point under the current requirements.
+    ///
+    /// Returns `None` only when the knowledge base is empty or the rank
+    /// cannot be evaluated on any point.
+    pub fn best(&self) -> Option<&OperatingPoint<K>> {
+        let pts = self.knowledge.points();
+        if pts.is_empty() {
+            return None;
+        }
+        let adjusted: Vec<MetricValues> = pts.iter().map(|p| self.adjusted_metrics(p)).collect();
+
+        let valid: Vec<usize> = (0..pts.len())
+            .filter(|&i| self.constraints.iter().all(|c| c.satisfied_by(&adjusted[i])))
+            .collect();
+
+        let candidates: Vec<usize> = if !valid.is_empty() {
+            valid
+        } else {
+            // Infeasible requirements: rank candidates by how well they
+            // satisfy constraints in priority order (violation vector
+            // lexicographic minimum), then let the rank break ties.
+            let best_violation = (0..pts.len())
+                .map(|i| self.violation_vector(&adjusted[i]))
+                .min_by(|a, b| {
+                    a.partial_cmp(b)
+                        .expect("violations are finite-or-inf comparable")
+                })?;
+            (0..pts.len())
+                .filter(|&i| self.violation_vector(&adjusted[i]) == best_violation)
+                .collect()
+        };
+
+        candidates
+            .into_iter()
+            .filter_map(|i| self.rank.value(&adjusted[i]).map(|r| (i, r)))
+            .reduce(|best, cur| if self.rank.better(cur.1, best.1) { cur } else { best })
+            .map(|(i, _)| &pts[i])
+    }
+
+    fn violation_vector(&self, values: &MetricValues) -> Vec<f64> {
+        self.constraints
+            .iter()
+            .map(|c| c.violation(values))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requirements::Cmp;
+
+    /// A small synthetic knowledge base:
+    ///   cfg 1: slow & cool      (t=1.0,  p=50)   thr/W² = 4.0e-4
+    ///   cfg 2: mid              (t=0.4,  p=80)   thr/W² = 3.9e-4
+    ///   cfg 3: fast & hot       (t=0.15, p=140)  thr/W² = 3.4e-4
+    fn kb() -> Knowledge<u32> {
+        let mk = |cfg, t: f64, p: f64| {
+            OperatingPoint::new(
+                cfg,
+                MetricValues::new()
+                    .with(Metric::exec_time(), t)
+                    .with(Metric::power(), p)
+                    .with(Metric::throughput(), 1.0 / t),
+            )
+        };
+        [mk(1, 1.0, 50.0), mk(2, 0.4, 80.0), mk(3, 0.15, 140.0)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn unconstrained_rank_picks_global_best() {
+        let rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        assert_eq!(rtm.best().unwrap().config, 3);
+    }
+
+    #[test]
+    fn power_constraint_carves_feasible_region() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 90.0, 10));
+        assert_eq!(rtm.best().unwrap().config, 2);
+        rtm.set_constraint_value(&Metric::power(), 60.0);
+        assert_eq!(rtm.best().unwrap().config, 1);
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_closest() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 40.0, 10));
+        // Nothing satisfies 40 W; cfg 1 (50 W) violates least.
+        assert_eq!(rtm.best().unwrap().config, 1);
+    }
+
+    #[test]
+    fn priorities_decide_between_conflicting_constraints() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        // High priority: be fast (t <= 0.2); low priority: be cool (p <= 60).
+        // No point satisfies both; cfg 3 satisfies the high-priority one.
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 60.0, 1));
+        rtm.add_constraint(Constraint::new(
+            Metric::exec_time(),
+            Cmp::LessOrEqual,
+            0.2,
+            100,
+        ));
+        assert_eq!(rtm.best().unwrap().config, 3);
+    }
+
+    #[test]
+    fn rank_switch_changes_selection() {
+        // The Fig. 5 scenario: Throughput rank picks the hot point,
+        // Thr/W² picks the energy-efficient one, and switching back
+        // recovers the performance point.
+        let mut rtm = AsRtm::new(kb(), Rank::maximize(Metric::throughput()));
+        assert_eq!(rtm.best().unwrap().config, 3);
+        rtm.set_rank(Rank::throughput_per_watt2());
+        assert_eq!(rtm.best().unwrap().config, 1);
+        rtm.set_rank(Rank::maximize(Metric::throughput()));
+        assert_eq!(rtm.best().unwrap().config, 3);
+    }
+
+    #[test]
+    fn adjustment_shifts_constraint_feasibility() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 150.0, 10));
+        assert_eq!(rtm.best().unwrap().config, 3);
+        // Observed power is 1.5x the expectation: cfg3 now reads 210 W.
+        rtm.set_adjustment(Metric::power(), 1.5);
+        assert_eq!(rtm.best().unwrap().config, 2);
+        rtm.clear_adjustments();
+        assert_eq!(rtm.best().unwrap().config, 3);
+    }
+
+    #[test]
+    fn adjustments_are_clamped() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        rtm.set_adjustment(Metric::power(), 1000.0);
+        let op = rtm.knowledge().points()[0].clone();
+        let adj = rtm.adjusted_metrics(&op);
+        assert!((adj.get(&Metric::power()).unwrap() - 50.0 * 4.0).abs() < 1e-9);
+        rtm.set_adjustment(Metric::power(), f64::NAN);
+        let adj = rtm.adjusted_metrics(&op);
+        assert_eq!(adj.get(&Metric::power()).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn empty_knowledge_returns_none() {
+        let rtm: AsRtm<u32> = AsRtm::new(Knowledge::new(), Rank::minimize(Metric::exec_time()));
+        assert!(rtm.best().is_none());
+    }
+
+    #[test]
+    fn remove_constraints_restores_unconstrained_choice() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 60.0, 10));
+        assert_eq!(rtm.best().unwrap().config, 1);
+        rtm.remove_constraints_on(&Metric::power());
+        assert_eq!(rtm.best().unwrap().config, 3);
+    }
+
+    #[test]
+    fn set_constraint_value_reports_missing() {
+        let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
+        assert!(!rtm.set_constraint_value(&Metric::power(), 100.0));
+    }
+}

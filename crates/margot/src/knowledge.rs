@@ -1,0 +1,224 @@
+//! Operating points and the application knowledge base.
+//!
+//! The knowledge is built at design time by profiling the application over
+//! its software-knob space (DSE); each explored configuration becomes an
+//! [`OperatingPoint`] with its expected EFP values.
+
+use crate::metric::{Metric, MetricValues};
+use serde::{Deserialize, Serialize};
+
+/// One point of the application knowledge: a knob configuration plus the
+/// expected values of every profiled EFP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint<K> {
+    /// The software-knob configuration.
+    pub config: K,
+    /// Expected EFP values from design-time profiling.
+    pub metrics: MetricValues,
+}
+
+impl<K> OperatingPoint<K> {
+    /// Creates an operating point.
+    pub fn new(config: K, metrics: MetricValues) -> Self {
+        OperatingPoint { config, metrics }
+    }
+
+    /// Expected value of a metric.
+    pub fn metric(&self, m: &Metric) -> Option<f64> {
+        self.metrics.get(m)
+    }
+}
+
+/// The application knowledge base: the list of operating points the
+/// AS-RTM selects from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knowledge<K> {
+    points: Vec<OperatingPoint<K>>,
+}
+
+impl<K> Default for Knowledge<K> {
+    fn default() -> Self {
+        Knowledge { points: Vec::new() }
+    }
+}
+
+impl<K> Knowledge<K> {
+    /// An empty knowledge base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operating point.
+    pub fn add(&mut self, op: OperatingPoint<K>) {
+        self.points.push(op);
+    }
+
+    /// All operating points.
+    pub fn points(&self) -> &[OperatingPoint<K>] {
+        &self.points
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the knowledge base is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The metrics present in *all* operating points (the usable EFPs).
+    pub fn common_metrics(&self) -> Vec<Metric> {
+        let Some(first) = self.points.first() else {
+            return Vec::new();
+        };
+        first
+            .metrics
+            .iter()
+            .map(|(m, _)| m.clone())
+            .filter(|m| self.points.iter().all(|p| p.metric(m).is_some()))
+            .collect()
+    }
+
+    /// Keeps only the Pareto-optimal points under the given objectives
+    /// (`true` = larger is better). Points missing a metric are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objectives` is empty.
+    pub fn pareto_filter(&self, objectives: &[(Metric, bool)]) -> Knowledge<K>
+    where
+        K: Clone,
+    {
+        assert!(!objectives.is_empty(), "need at least one objective");
+        let usable: Vec<&OperatingPoint<K>> = self
+            .points
+            .iter()
+            .filter(|p| objectives.iter().all(|(m, _)| p.metric(m).is_some()))
+            .collect();
+        let dominated = |a: &OperatingPoint<K>, b: &OperatingPoint<K>| {
+            // b dominates a: >= on all objectives, > on at least one
+            // (after sign-normalising so larger is better).
+            let mut strictly = false;
+            for (m, larger_better) in objectives {
+                let (mut va, mut vb) = (
+                    a.metric(m).expect("filtered"),
+                    b.metric(m).expect("filtered"),
+                );
+                if !larger_better {
+                    va = -va;
+                    vb = -vb;
+                }
+                if vb < va {
+                    return false;
+                }
+                if vb > va {
+                    strictly = true;
+                }
+            }
+            strictly
+        };
+        let mut out = Knowledge::new();
+        for a in &usable {
+            if !usable.iter().any(|b| dominated(a, b)) {
+                out.add((*a).clone());
+            }
+        }
+        out
+    }
+}
+
+impl<K> FromIterator<OperatingPoint<K>> for Knowledge<K> {
+    fn from_iter<T: IntoIterator<Item = OperatingPoint<K>>>(iter: T) -> Self {
+        Knowledge {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K> Extend<OperatingPoint<K>> for Knowledge<K> {
+    fn extend<T: IntoIterator<Item = OperatingPoint<K>>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(cfg: u32, time: f64, power: f64) -> OperatingPoint<u32> {
+        OperatingPoint::new(
+            cfg,
+            MetricValues::new()
+                .with(Metric::exec_time(), time)
+                .with(Metric::power(), power),
+        )
+    }
+
+    #[test]
+    fn add_and_len() {
+        let mut k = Knowledge::new();
+        assert!(k.is_empty());
+        k.add(op(1, 1.0, 50.0));
+        k.add(op(2, 0.5, 80.0));
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn common_metrics_intersects() {
+        let mut k = Knowledge::new();
+        k.add(op(1, 1.0, 50.0));
+        let mut odd = op(2, 0.5, 80.0);
+        odd.metrics = MetricValues::new().with(Metric::exec_time(), 0.5);
+        k.add(odd);
+        let common = k.common_metrics();
+        assert_eq!(common, vec![Metric::exec_time()]);
+    }
+
+    #[test]
+    fn pareto_keeps_the_tradeoff_frontier() {
+        let mut k = Knowledge::new();
+        k.add(op(1, 1.0, 50.0)); // slow, low power: frontier
+        k.add(op(2, 0.5, 80.0)); // fast, high power: frontier
+        k.add(op(3, 1.0, 90.0)); // dominated by both
+        k.add(op(4, 0.4, 70.0)); // dominates op2
+        let frontier = k.pareto_filter(&[
+            (Metric::exec_time(), false),
+            (Metric::power(), false),
+        ]);
+        let configs: Vec<u32> = frontier.points().iter().map(|p| p.config).collect();
+        assert!(configs.contains(&1));
+        assert!(configs.contains(&4));
+        assert!(!configs.contains(&2), "op4 dominates op2");
+        assert!(!configs.contains(&3));
+    }
+
+    #[test]
+    fn pareto_with_equal_points_keeps_both() {
+        let mut k = Knowledge::new();
+        k.add(op(1, 1.0, 50.0));
+        k.add(op(2, 1.0, 50.0));
+        let frontier =
+            k.pareto_filter(&[(Metric::exec_time(), false), (Metric::power(), false)]);
+        assert_eq!(frontier.len(), 2, "ties are not dominated");
+    }
+
+    #[test]
+    fn pareto_single_objective_is_argmin() {
+        let mut k = Knowledge::new();
+        k.add(op(1, 1.0, 50.0));
+        k.add(op(2, 0.5, 80.0));
+        k.add(op(3, 0.7, 60.0));
+        let frontier = k.pareto_filter(&[(Metric::exec_time(), false)]);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier.points()[0].config, 2);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut k: Knowledge<u32> = [op(1, 1.0, 50.0)].into_iter().collect();
+        k.extend([op(2, 0.5, 80.0)]);
+        assert_eq!(k.len(), 2);
+    }
+}

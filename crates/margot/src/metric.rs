@@ -1,0 +1,165 @@
+//! Extra-functional property (EFP) metrics and per-point metric values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The name of an extra-functional property (execution time, power, …).
+///
+/// Metrics are ordered and hashable so they can key maps; well-known
+/// metrics are provided as constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Metric(String);
+
+impl Metric {
+    /// Kernel wall-clock time in seconds.
+    pub fn exec_time() -> Metric {
+        Metric("exec_time_s".into())
+    }
+
+    /// Average machine power in watts.
+    pub fn power() -> Metric {
+        Metric("power_w".into())
+    }
+
+    /// Kernel invocations per second.
+    pub fn throughput() -> Metric {
+        Metric("throughput".into())
+    }
+
+    /// Energy per invocation in joules.
+    pub fn energy() -> Metric {
+        Metric("energy_j".into())
+    }
+
+    /// A custom metric.
+    pub fn custom(name: impl Into<String>) -> Metric {
+        Metric(name.into())
+    }
+
+    /// The metric name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Metric {
+    fn from(s: &str) -> Self {
+        Metric(s.to_string())
+    }
+}
+
+/// A bundle of metric values, e.g. the expected EFPs of one operating
+/// point or one observation of the running application.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricValues(BTreeMap<Metric, f64>);
+
+impl MetricValues {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite — metric values come from
+    /// measurements or models and must be real numbers.
+    pub fn with(mut self, metric: Metric, value: f64) -> Self {
+        self.insert(metric, value);
+        self
+    }
+
+    /// Inserts or replaces a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn insert(&mut self, metric: Metric, value: f64) {
+        assert!(value.is_finite(), "metric {metric} = {value} must be finite");
+        self.0.insert(metric, value);
+    }
+
+    /// Looks up a value.
+    pub fn get(&self, metric: &Metric) -> Option<f64> {
+        self.0.get(metric).copied()
+    }
+
+    /// Iterates over `(metric, value)` pairs in metric order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Metric, f64)> {
+        self.0.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of metrics present.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no metrics are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl FromIterator<(Metric, f64)> for MetricValues {
+    fn from_iter<T: IntoIterator<Item = (Metric, f64)>>(iter: T) -> Self {
+        let mut mv = MetricValues::new();
+        for (m, v) in iter {
+            mv.insert(m, v);
+        }
+        mv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_metrics_have_stable_names() {
+        assert_eq!(Metric::exec_time().as_str(), "exec_time_s");
+        assert_eq!(Metric::power().as_str(), "power_w");
+        assert_eq!(Metric::throughput().as_str(), "throughput");
+        assert_eq!(Metric::energy().as_str(), "energy_j");
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let mv = MetricValues::new()
+            .with(Metric::power(), 95.0)
+            .with(Metric::exec_time(), 0.120);
+        assert_eq!(mv.get(&Metric::power()), Some(95.0));
+        assert_eq!(mv.get(&Metric::throughput()), None);
+        assert_eq!(mv.len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut mv = MetricValues::new();
+        mv.insert(Metric::power(), 90.0);
+        mv.insert(Metric::power(), 100.0);
+        assert_eq!(mv.get(&Metric::power()), Some(100.0));
+        assert_eq!(mv.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_values_rejected() {
+        let _ = MetricValues::new().with(Metric::power(), f64::NAN);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mv: MetricValues = [(Metric::power(), 80.0), (Metric::energy(), 9.5)]
+            .into_iter()
+            .collect();
+        assert_eq!(mv.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! The monitoring infrastructure: windowed observation buffers with
+//! summary statistics, one per EFP, mirroring mARGOt's monitor module.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A sliding-window monitor over a stream of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Monitor {
+    window: usize,
+    buf: VecDeque<f64>,
+    total_observations: u64,
+}
+
+impl Monitor {
+    /// Creates a monitor keeping the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Monitor {
+            window,
+            buf: VecDeque::with_capacity(window),
+            total_observations: 0,
+        }
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "observation {value} must be finite");
+        if self.buf.len() == self.window {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(value);
+        self.total_observations += 1;
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total observations ever pushed (not limited to the window).
+    pub fn total_observations(&self) -> u64 {
+        self.total_observations
+    }
+
+    /// Latest observation.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Window mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+
+    /// Window standard deviation (population).
+    pub fn stddev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var =
+            self.buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / self.buf.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Window minimum.
+    pub fn min(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::min)
+    }
+
+    /// Window maximum.
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::max)
+    }
+
+    /// Clears the window (e.g. after a configuration change, so stale
+    /// observations don't pollute feedback).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_monitor_has_no_stats() {
+        let m = Monitor::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.stddev(), None);
+        assert_eq!(m.last(), None);
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn statistics_over_window() {
+        let mut m = Monitor::new(8);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            m.push(v);
+        }
+        assert_eq!(m.mean(), Some(5.0));
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(8.0));
+        assert_eq!(m.last(), Some(8.0));
+        let sd = m.stddev().unwrap();
+        assert!((sd - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = Monitor::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.push(v);
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.total_observations(), 4);
+    }
+
+    #[test]
+    fn clear_resets_window_not_total() {
+        let mut m = Monitor::new(3);
+        m.push(1.0);
+        m.push(2.0);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.total_observations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan() {
+        Monitor::new(2).push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = Monitor::new(0);
+    }
+}

@@ -1,0 +1,498 @@
+//! The feature extractor: a single AST walk with loop-depth tracking.
+
+use crate::features::{FeatureKind, Features};
+use minic::ast::*;
+use minic::TranslationUnit;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Extracts the Milepost-style feature vector of the function `name`
+/// defined in `tu`.
+///
+/// # Errors
+///
+/// Returns [`UnknownFunctionError`] if no function definition named `name`
+/// exists.
+///
+/// # Examples
+///
+/// ```
+/// use milepost::{extract_function, FeatureKind};
+///
+/// let tu = minic::parse(
+///     "void k(int n, double A[100]) {
+///          for (int i = 0; i < n; i++) { A[i] = A[i] * 2.0; }
+///      }",
+/// ).unwrap();
+/// let f = extract_function(&tu, "k").unwrap();
+/// assert_eq!(f[FeatureKind::Loops], 1.0);
+/// assert_eq!(f[FeatureKind::Parameters], 2.0);
+/// ```
+pub fn extract_function(
+    tu: &TranslationUnit,
+    name: &str,
+) -> Result<Features, UnknownFunctionError> {
+    let f = tu
+        .function(name)
+        .ok_or_else(|| UnknownFunctionError(name.to_string()))?;
+    Ok(extract(f, tu))
+}
+
+/// Error returned when the requested kernel function does not exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFunctionError(pub String);
+
+impl fmt::Display for UnknownFunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no function definition named `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFunctionError {}
+
+fn extract(f: &Function, tu: &TranslationUnit) -> Features {
+    let mut x = Extractor {
+        features: Features::zeros(),
+        loop_depth: 0,
+        max_depth: 0,
+        callees: HashSet::new(),
+        defines: collect_defines(tu),
+    };
+    x.features.set(FeatureKind::Parameters, f.params.len() as f64);
+    if let Some(body) = &f.body {
+        for s in &body.stmts {
+            x.stmt(s);
+        }
+    }
+    let loops = x.features[FeatureKind::Loops];
+    let ifs = x.features[FeatureKind::IfStatements];
+    let ternaries = x.features[FeatureKind::TernaryOps];
+    x.features.set(FeatureKind::MaxLoopDepth, x.max_depth as f64);
+    x.features
+        .set(FeatureKind::CyclomaticComplexity, 1.0 + loops + ifs + ternaries);
+    x.features
+        .set(FeatureKind::DistinctCallees, x.callees.len() as f64);
+    x.features
+}
+
+fn collect_defines(tu: &TranslationUnit) -> Vec<(String, i64)> {
+    tu.items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Define(text) => {
+                let mut parts = text.split_whitespace();
+                let name = parts.next()?.to_string();
+                let value: i64 = parts.next()?.parse().ok()?;
+                Some((name, value))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+struct Extractor {
+    features: Features,
+    loop_depth: usize,
+    max_depth: usize,
+    callees: HashSet<String>,
+    defines: Vec<(String, i64)>,
+}
+
+impl Extractor {
+    fn lookup(&self, name: &str) -> Option<i64> {
+        self.defines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn in_loop(&self) -> bool {
+        self.loop_depth > 0
+    }
+
+    fn enter_loop(&mut self) {
+        self.loop_depth += 1;
+        self.max_depth = self.max_depth.max(self.loop_depth);
+        self.features.bump(FeatureKind::TotalLoopDepth, self.loop_depth as f64);
+        if self.loop_depth >= 3 {
+            self.features.bump(FeatureKind::TripleNests, 1.0);
+        }
+    }
+
+    fn exit_loop(&mut self) {
+        self.loop_depth -= 1;
+    }
+
+    fn count_stmt(&mut self) {
+        self.features.bump(FeatureKind::Statements, 1.0);
+        if self.in_loop() {
+            self.features.bump(FeatureKind::StatementsInLoops, 1.0);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(decls) => {
+                self.count_stmt();
+                for d in decls {
+                    self.decl(d);
+                }
+            }
+            Stmt::Expr(e) => {
+                self.count_stmt();
+                self.expr(e);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.count_stmt();
+                self.features.bump(FeatureKind::IfStatements, 1.0);
+                if self.in_loop() {
+                    self.features.bump(FeatureKind::BranchesInLoops, 1.0);
+                }
+                self.expr(cond);
+                for st in &then_branch.stmts {
+                    self.stmt(st);
+                }
+                if let Some(eb) = else_branch {
+                    for st in &eb.stmts {
+                        self.stmt(st);
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.count_stmt();
+                self.features.bump(FeatureKind::Loops, 1.0);
+                self.features.bump(FeatureKind::WhileLoops, 1.0);
+                self.expr(cond);
+                self.enter_loop();
+                for st in &body.stmts {
+                    self.stmt(st);
+                }
+                self.exit_loop();
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.count_stmt();
+                self.features.bump(FeatureKind::Loops, 1.0);
+                self.features.bump(FeatureKind::WhileLoops, 1.0);
+                self.enter_loop();
+                for st in &body.stmts {
+                    self.stmt(st);
+                }
+                self.exit_loop();
+                self.expr(cond);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.count_stmt();
+                self.features.bump(FeatureKind::Loops, 1.0);
+                self.features.bump(FeatureKind::ForLoops, 1.0);
+                if self.has_constant_bound(cond.as_ref()) {
+                    self.features.bump(FeatureKind::LoopsWithConstantBounds, 1.0);
+                }
+                match init {
+                    Some(ForInit::Decl(decls)) => {
+                        for d in decls {
+                            self.decl(d);
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => self.expr(e),
+                    None => {}
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(st) = step {
+                    self.expr(st);
+                }
+                self.enter_loop();
+                for st in &body.stmts {
+                    self.stmt(st);
+                }
+                self.exit_loop();
+            }
+            Stmt::Return(e) => {
+                self.count_stmt();
+                self.features.bump(FeatureKind::Returns, 1.0);
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Pragma(_) => {
+                self.count_stmt();
+            }
+            Stmt::Block(b) => {
+                for st in &b.stmts {
+                    self.stmt(st);
+                }
+            }
+        }
+    }
+
+    fn decl(&mut self, d: &Decl) {
+        self.features.bump(FeatureKind::LocalDecls, 1.0);
+        match base_type(&d.ty) {
+            Type::Float | Type::Double => self.features.bump(FeatureKind::FloatDecls, 1.0),
+            Type::Int | Type::UInt | Type::Long | Type::Char => {
+                self.features.bump(FeatureKind::IntDecls, 1.0)
+            }
+            _ => {}
+        }
+        if let Some(Init::Expr(e)) = &d.init {
+            self.expr(e);
+        }
+    }
+
+    fn has_constant_bound(&self, cond: Option<&Expr>) -> bool {
+        let Some(Expr::Binary { rhs, .. }) = cond else {
+            return false;
+        };
+        rhs.eval_int(&|n| self.lookup(n)).is_some()
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::IntLit(_) => self.features.bump(FeatureKind::IntLiterals, 1.0),
+            Expr::FloatLit(_) => self.features.bump(FeatureKind::FloatLiterals, 1.0),
+            Expr::StrLit(_) | Expr::CharLit(_) => {}
+            Expr::Ident(_) => self.features.bump(FeatureKind::ScalarRefs, 1.0),
+            Expr::Unary { op, expr } => {
+                self.features.bump(FeatureKind::UnaryOps, 1.0);
+                if matches!(op, UnaryOp::Deref) {
+                    self.features.bump(FeatureKind::PointerDerefs, 1.0);
+                }
+                self.expr(expr);
+            }
+            Expr::Postfix { expr, .. } => {
+                self.features.bump(FeatureKind::UnaryOps, 1.0);
+                self.expr(expr);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.features.bump(FeatureKind::BinaryOps, 1.0);
+                match op {
+                    BinaryOp::Add | BinaryOp::Sub => {
+                        self.features.bump(FeatureKind::AddSubOps, 1.0)
+                    }
+                    BinaryOp::Mul | BinaryOp::Div => {
+                        self.features.bump(FeatureKind::MulDivOps, 1.0)
+                    }
+                    BinaryOp::Rem => self.features.bump(FeatureKind::RemOps, 1.0),
+                    BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+                    | BinaryOp::Eq
+                    | BinaryOp::Ne => self.features.bump(FeatureKind::Comparisons, 1.0),
+                    BinaryOp::LogAnd | BinaryOp::LogOr => {
+                        self.features.bump(FeatureKind::LogicalOps, 1.0)
+                    }
+                    BinaryOp::BitAnd
+                    | BinaryOp::BitOr
+                    | BinaryOp::BitXor
+                    | BinaryOp::Shl
+                    | BinaryOp::Shr => self.features.bump(FeatureKind::BitwiseOps, 1.0),
+                }
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Assign { op, lhs, rhs } => {
+                self.features.bump(FeatureKind::Assignments, 1.0);
+                if !matches!(op, AssignOp::Assign) {
+                    self.features.bump(FeatureKind::CompoundAssignments, 1.0);
+                }
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.features.bump(FeatureKind::TernaryOps, 1.0);
+                self.expr(cond);
+                self.expr(then_expr);
+                self.expr(else_expr);
+            }
+            Expr::Call { callee, args } => {
+                self.features.bump(FeatureKind::Calls, 1.0);
+                self.callees.insert(callee.clone());
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Index { base, index } => {
+                // Count whole access chains once, with their depth.
+                let mut depth = 1usize;
+                let mut cur = base;
+                while let Expr::Index { base: b, index: i } = cur.as_ref() {
+                    depth += 1;
+                    self.expr(i);
+                    cur = b;
+                }
+                self.features.bump(FeatureKind::ArrayAccesses, 1.0);
+                let prev = self.features[FeatureKind::MaxIndexChain];
+                if (depth as f64) > prev {
+                    self.features.set(FeatureKind::MaxIndexChain, depth as f64);
+                }
+                self.expr(cur); // the base identifier/expression
+                self.expr(index);
+            }
+            Expr::Cast { expr, .. } => self.expr(expr),
+            Expr::Comma(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+        }
+    }
+}
+
+fn base_type(ty: &Type) -> &Type {
+    match ty {
+        Type::Ptr(t) | Type::Array(t, _) => base_type(t),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureKind as F;
+
+    fn features(src: &str, f: &str) -> Features {
+        let tu = minic::parse(src).unwrap();
+        extract_function(&tu, f).unwrap()
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let tu = minic::parse("void f() { }").unwrap();
+        let err = extract_function(&tu, "g").unwrap_err();
+        assert_eq!(err.0, "g");
+    }
+
+    #[test]
+    fn counts_triple_nest() {
+        let f = features(
+            "#define N 10\n\
+             void k(double A[10][10]) {\n\
+               for (int i = 0; i < N; i++)\n\
+                 for (int j = 0; j < N; j++)\n\
+                   for (int l = 0; l < N; l++)\n\
+                     A[i][j] += 1.0;\n\
+             }",
+            "k",
+        );
+        assert_eq!(f[F::Loops], 3.0);
+        assert_eq!(f[F::ForLoops], 3.0);
+        assert_eq!(f[F::MaxLoopDepth], 3.0);
+        assert_eq!(f[F::TripleNests], 1.0);
+        assert_eq!(f[F::LoopsWithConstantBounds], 3.0);
+        assert_eq!(f[F::CompoundAssignments], 1.0);
+    }
+
+    #[test]
+    fn counts_instruction_mix() {
+        let f = features(
+            "void k(int a, int b) {\n\
+               int c = a * b + a / b - a % b;\n\
+               int d = (a < b) && (a != b);\n\
+               c = c << 2;\n\
+               d = d | c;\n\
+             }",
+            "k",
+        );
+        assert_eq!(f[F::MulDivOps], 2.0);
+        assert_eq!(f[F::RemOps], 1.0);
+        assert_eq!(f[F::AddSubOps], 2.0);
+        assert_eq!(f[F::Comparisons], 2.0);
+        assert_eq!(f[F::LogicalOps], 1.0);
+        assert_eq!(f[F::BitwiseOps], 2.0);
+        assert_eq!(f[F::IntDecls], 2.0);
+        assert_eq!(f[F::Assignments], 2.0);
+    }
+
+    #[test]
+    fn array_chain_depth_counted_once() {
+        let f = features(
+            "void k(double A[4][5][6], int i) { A[i][i][i] = 1.0; }",
+            "k",
+        );
+        assert_eq!(f[F::ArrayAccesses], 1.0);
+        assert_eq!(f[F::MaxIndexChain], 3.0);
+    }
+
+    #[test]
+    fn callees_are_deduplicated() {
+        let f = features(
+            "void k(double x) { g(x); g(x + 1.0); h(x); }",
+            "k",
+        );
+        assert_eq!(f[F::Calls], 3.0);
+        assert_eq!(f[F::DistinctCallees], 2.0);
+    }
+
+    #[test]
+    fn cyclomatic_complexity_formula() {
+        let f = features(
+            "void k(int n) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 if (i % 2 == 0) { n--; }\n\
+               }\n\
+               int x = n > 0 ? 1 : 2;\n\
+               x = x;\n\
+             }",
+            "k",
+        );
+        // 1 + loops(1) + ifs(1) + ternaries(1)
+        assert_eq!(f[F::CyclomaticComplexity], 4.0);
+        assert_eq!(f[F::BranchesInLoops], 1.0);
+    }
+
+    #[test]
+    fn statements_in_loops_tracked() {
+        let f = features(
+            "void k(int n) {\n\
+               int a = 0;\n\
+               for (int i = 0; i < n; i++) { a += i; a -= 1; }\n\
+             }",
+            "k",
+        );
+        assert_eq!(f[F::StatementsInLoops], 2.0);
+        assert_eq!(f[F::Statements], 4.0);
+    }
+
+    #[test]
+    fn variable_bounds_not_marked_constant() {
+        let f = features("void k(int n) { for (int i = 0; i < n; i++) { } }", "k");
+        assert_eq!(f[F::LoopsWithConstantBounds], 0.0);
+    }
+
+    #[test]
+    fn define_resolved_bounds_are_constant() {
+        let f = features(
+            "#define N 64\nvoid k() { for (int i = 0; i < N + 1; i++) { } }",
+            "k",
+        );
+        assert_eq!(f[F::LoopsWithConstantBounds], 1.0);
+    }
+
+    #[test]
+    fn float_and_int_literals_distinguished() {
+        let f = features("void k(double x) { x = 1.5 + 2.5; int y = 3; y = y; }", "k");
+        assert_eq!(f[F::FloatLiterals], 2.0);
+        assert_eq!(f[F::IntLiterals], 1.0);
+        assert_eq!(f[F::FloatDecls], 0.0); // x is a parameter
+    }
+
+    #[test]
+    fn pointer_deref_counted() {
+        let f = features("void k(double *p) { *p = *p + 1.0; }", "k");
+        assert_eq!(f[F::PointerDerefs], 2.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the mini-C front-end.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in the source text, 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from a 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error produced while lexing mini-C source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the offending character was found.
+    pub pos: Pos,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Error produced while parsing mini-C tokens into an AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the parser gave up.
+    pub pos: Pos,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `pos` with the given message.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn parse_error_display_mentions_position() {
+        let e = ParseError::new(Pos::new(2, 7), "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 2:7: unexpected token");
+    }
+
+    #[test]
+    fn lex_error_converts_to_parse_error() {
+        let le = LexError {
+            pos: Pos::new(1, 1),
+            message: "bad char".into(),
+        };
+        let pe: ParseError = le.into();
+        assert_eq!(pe.pos, Pos::new(1, 1));
+        assert_eq!(pe.message, "bad char");
+    }
+
+    #[test]
+    fn pos_ordering_is_line_major() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+    }
+}

@@ -1,0 +1,1017 @@
+//! Recursive-descent parser for the mini-C dialect.
+//!
+//! The grammar covers everything the Polybench kernels and the SOCRATES
+//! weaver need: globals, function definitions/prototypes, the usual C
+//! statements, full expression precedence, array types with constant
+//! dimension expressions, and pragmas in both file and statement scope.
+//!
+//! Known, deliberate limitations (documented in the crate root): no structs
+//! or unions, no typedef declarations (known type names can be injected via
+//! [`Parser::add_type_name`]), array dimensions must be explicit.
+
+use crate::ast::*;
+use crate::error::{ParseError, Pos};
+use crate::lexer::lex;
+use crate::pragma::Pragma;
+use crate::token::{Token, TokenKind};
+use std::collections::HashSet;
+
+/// Parses a complete mini-C source file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let tu = minic::parse("int main() { return 0; }").unwrap();
+/// assert!(tu.function("main").is_some());
+/// ```
+pub fn parse(src: &str) -> Result<TranslationUnit, ParseError> {
+    Parser::new(src)?.translation_unit()
+}
+
+/// Parses a single expression (useful in tests and tools).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if `src` is not a valid expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr_comma()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// The parser state. Use [`parse`] unless you need to inject type names.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    type_names: HashSet<String>,
+}
+
+const BASE_TYPES: &[&str] = &["void", "char", "int", "unsigned", "long", "float", "double"];
+
+impl Parser {
+    /// Creates a parser over `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if lexing fails.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            i: 0,
+            type_names: HashSet::new(),
+        })
+    }
+
+    /// Registers an additional type name (as a typedef would).
+    pub fn add_type_name(&mut self, name: impl Into<String>) {
+        self.type_names.insert(name.into());
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        let j = (self.i + off).min(self.tokens.len() - 1);
+        &self.tokens[j].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.i].kind.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_ident(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos(), message)
+    }
+
+    /// Is the current token the start of a type?
+    fn at_type(&self) -> bool {
+        self.at_type_at(0)
+    }
+
+    fn at_type_at(&self, off: usize) -> bool {
+        match self.peek_at(off) {
+            TokenKind::Ident(s) => {
+                BASE_TYPES.contains(&s.as_str())
+                    || s == "static"
+                    || s == "const"
+                    || self.type_names.contains(s)
+            }
+            _ => false,
+        }
+    }
+
+    /// Parses a whole translation unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on the first syntax error.
+    pub fn translation_unit(&mut self) -> Result<TranslationUnit, ParseError> {
+        let mut tu = TranslationUnit::new();
+        let mut pending_pragmas: Vec<Pragma> = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Include(s) => {
+                    self.flush_pragmas(&mut tu, &mut pending_pragmas);
+                    self.bump();
+                    tu.items.push(Item::Include(s));
+                }
+                TokenKind::Define(s) => {
+                    self.flush_pragmas(&mut tu, &mut pending_pragmas);
+                    self.bump();
+                    tu.items.push(Item::Define(s));
+                }
+                TokenKind::Pragma(s) => {
+                    self.bump();
+                    pending_pragmas.push(Pragma::parse(&s));
+                }
+                _ => {
+                    let item = self.item()?;
+                    match item {
+                        Item::Function(mut f) => {
+                            f.pragmas = std::mem::take(&mut pending_pragmas);
+                            tu.items.push(Item::Function(f));
+                        }
+                        other => {
+                            self.flush_pragmas(&mut tu, &mut pending_pragmas);
+                            tu.items.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_pragmas(&mut tu, &mut pending_pragmas);
+        Ok(tu)
+    }
+
+    fn flush_pragmas(&self, tu: &mut TranslationUnit, pending: &mut Vec<Pragma>) {
+        for p in pending.drain(..) {
+            tu.items.push(Item::Pragma(p));
+        }
+    }
+
+    /// Parses a function or global declaration.
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let is_static = self.eat_kw("static");
+        let is_const = self.eat_kw("const");
+        let base = self.base_type()?;
+        // Look ahead: pointer stars then a name.
+        let save = self.i;
+        let (ty_first, name_first) = self.declarator(base.clone())?;
+        if self.peek().is_punct("(") {
+            // Function definition or prototype.
+            let mut f = Function {
+                ret: ty_first,
+                name: name_first,
+                params: self.param_list()?,
+                body: None,
+                is_static,
+                pragmas: Vec::new(),
+            };
+            if self.eat_punct(";") {
+                return Ok(Item::Function(f));
+            }
+            f.body = Some(self.block()?);
+            return Ok(Item::Function(f));
+        }
+        // Global declaration: rewind and reparse as declarator list.
+        self.i = save;
+        let decls = self.decl_list(base, is_static, is_const)?;
+        self.expect_punct(";")?;
+        Ok(Item::Global(decls))
+    }
+
+    /// Parses the base type (no declarator parts).
+    fn base_type(&mut self) -> Result<Type, ParseError> {
+        let name = self.expect_ident()?;
+        let ty = match name.as_str() {
+            "void" => Type::Void,
+            "char" => Type::Char,
+            "int" => Type::Int,
+            "float" => Type::Float,
+            "double" => Type::Double,
+            "long" => {
+                // Accept `long`, `long int`, `long long [int]` (all map to Long).
+                self.eat_kw("long");
+                self.eat_kw("int");
+                Type::Long
+            }
+            "unsigned" => {
+                // `unsigned`, `unsigned int`, `unsigned long [int]`.
+                self.eat_kw("long");
+                self.eat_kw("int");
+                Type::UInt
+            }
+            other if self.type_names.contains(other) => Type::Named(other.to_string()),
+            other => {
+                return Err(self.err(format!("expected type, found identifier `{other}`")));
+            }
+        };
+        Ok(ty)
+    }
+
+    /// Parses `('*')* name ('[' expr ']')*`, combining with the base type.
+    fn declarator(&mut self, base: Type) -> Result<(Type, String), ParseError> {
+        let mut ty = base;
+        while self.eat_punct("*") {
+            ty = ty.ptr();
+        }
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.eat_punct("[") {
+            let dim = self.expr_assign()?;
+            self.expect_punct("]")?;
+            dims.push(dim);
+        }
+        if !dims.is_empty() {
+            ty = ty.array(dims);
+        }
+        Ok((ty, name))
+    }
+
+    fn decl_list(
+        &mut self,
+        base: Type,
+        is_static: bool,
+        is_const: bool,
+    ) -> Result<Vec<Decl>, ParseError> {
+        let mut decls = Vec::new();
+        loop {
+            let (ty, name) = self.declarator(base.clone())?;
+            let init = if self.eat_punct("=") {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            decls.push(Decl {
+                ty,
+                name,
+                init,
+                is_static,
+                is_const,
+            });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn initializer(&mut self) -> Result<Init, ParseError> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.peek().is_punct("}") {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    // Allow trailing comma.
+                    if self.peek().is_punct("}") {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct("}")?;
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Expr(self.expr_assign()?))
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(params);
+        }
+        // `(void)` means "no parameters".
+        if self.peek().is_ident("void") && self.peek_at(1).is_punct(")") {
+            self.bump();
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            self.eat_kw("const");
+            let base = self.base_type()?;
+            self.eat_kw("restrict");
+            let (ty, name) = self.declarator(base)?;
+            params.push(Param::new(ty, name));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(params)
+    }
+
+    /// Parses a brace-enclosed block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the block is malformed.
+    pub fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.peek().is_punct("}") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect_punct("}")?;
+        Ok(Block::new(stmts))
+    }
+
+    /// Parses a single statement; non-block bodies of `if`/`for`/`while`
+    /// are normalised into single-statement blocks.
+    pub fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if let TokenKind::Pragma(s) = self.peek().clone() {
+            self.bump();
+            return Ok(Stmt::Pragma(Pragma::parse(&s)));
+        }
+        if self.peek().is_punct("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.peek().is_ident("if") {
+            return self.if_stmt();
+        }
+        if self.peek().is_ident("while") {
+            self.bump();
+            self.expect_punct("(")?;
+            let cond = self.expr_comma()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.peek().is_ident("do") {
+            self.bump();
+            let body = self.stmt_as_block()?;
+            if !self.eat_kw("while") {
+                return Err(self.err("expected `while` after do-body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr_comma()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { body, cond });
+        }
+        if self.peek().is_ident("for") {
+            return self.for_stmt();
+        }
+        if self.peek().is_ident("return") {
+            self.bump();
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr_comma()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.peek().is_ident("break") {
+            self.bump();
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.peek().is_ident("continue") {
+            self.bump();
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_type() {
+            let is_static = self.eat_kw("static");
+            let is_const = self.eat_kw("const");
+            let base = self.base_type()?;
+            let decls = self.decl_list(base, is_static, is_const)?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl(decls));
+        }
+        let e = self.expr_comma()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block, ParseError> {
+        if self.peek().is_punct("{") {
+            self.block()
+        } else {
+            Ok(Block::new(vec![self.stmt()?]))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // `if`
+        self.expect_punct("(")?;
+        let cond = self.expr_comma()?;
+        self.expect_punct(")")?;
+        let then_branch = self.stmt_as_block()?;
+        let else_branch = if self.eat_kw("else") {
+            if self.peek().is_ident("if") {
+                // else-if chain: wrap the nested if in a block.
+                Some(Block::new(vec![self.if_stmt()?]))
+            } else {
+                Some(self.stmt_as_block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // `for`
+        self.expect_punct("(")?;
+        let init = if self.eat_punct(";") {
+            None
+        } else if self.at_type() {
+            let is_static = self.eat_kw("static");
+            let is_const = self.eat_kw("const");
+            let base = self.base_type()?;
+            let decls = self.decl_list(base, is_static, is_const)?;
+            self.expect_punct(";")?;
+            Some(ForInit::Decl(decls))
+        } else {
+            let e = self.expr_comma()?;
+            self.expect_punct(";")?;
+            Some(ForInit::Expr(e))
+        };
+        let cond = if self.peek().is_punct(";") {
+            None
+        } else {
+            Some(self.expr_comma()?)
+        };
+        self.expect_punct(";")?;
+        let step = if self.peek().is_punct(")") {
+            None
+        } else {
+            Some(self.expr_comma()?)
+        };
+        self.expect_punct(")")?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    /// Comma expression (lowest precedence).
+    fn expr_comma(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_assign()?;
+        while self.eat_punct(",") {
+            let rhs = self.expr_assign()?;
+            e = Expr::Comma(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    /// Assignment expression (right-associative).
+    fn expr_assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.expr_ternary()?;
+        let op = match self.peek() {
+            TokenKind::Punct("=") => Some(AssignOp::Assign),
+            TokenKind::Punct("+=") => Some(AssignOp::Add),
+            TokenKind::Punct("-=") => Some(AssignOp::Sub),
+            TokenKind::Punct("*=") => Some(AssignOp::Mul),
+            TokenKind::Punct("/=") => Some(AssignOp::Div),
+            TokenKind::Punct("%=") => Some(AssignOp::Rem),
+            TokenKind::Punct("&=") => Some(AssignOp::And),
+            TokenKind::Punct("|=") => Some(AssignOp::Or),
+            TokenKind::Punct("^=") => Some(AssignOp::Xor),
+            TokenKind::Punct("<<=") => Some(AssignOp::Shl),
+            TokenKind::Punct(">>=") => Some(AssignOp::Shr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr_assign()?;
+            Ok(Expr::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn expr_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.expr_binary(0)?;
+        if self.eat_punct("?") {
+            let then_expr = self.expr_comma()?;
+            self.expect_punct(":")?;
+            let else_expr = self.expr_assign()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_op(&self) -> Option<BinaryOp> {
+        Some(match self.peek() {
+            TokenKind::Punct("||") => BinaryOp::LogOr,
+            TokenKind::Punct("&&") => BinaryOp::LogAnd,
+            TokenKind::Punct("|") => BinaryOp::BitOr,
+            TokenKind::Punct("^") => BinaryOp::BitXor,
+            TokenKind::Punct("&") => BinaryOp::BitAnd,
+            TokenKind::Punct("==") => BinaryOp::Eq,
+            TokenKind::Punct("!=") => BinaryOp::Ne,
+            TokenKind::Punct("<") => BinaryOp::Lt,
+            TokenKind::Punct(">") => BinaryOp::Gt,
+            TokenKind::Punct("<=") => BinaryOp::Le,
+            TokenKind::Punct(">=") => BinaryOp::Ge,
+            TokenKind::Punct("<<") => BinaryOp::Shl,
+            TokenKind::Punct(">>") => BinaryOp::Shr,
+            TokenKind::Punct("+") => BinaryOp::Add,
+            TokenKind::Punct("-") => BinaryOp::Sub,
+            TokenKind::Punct("*") => BinaryOp::Mul,
+            TokenKind::Punct("/") => BinaryOp::Div,
+            TokenKind::Punct("%") => BinaryOp::Rem,
+            _ => return None,
+        })
+    }
+
+    /// Precedence climbing.
+    fn expr_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.expr_unary()?;
+        while let Some(op) = self.binary_op() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_binary(prec + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Punct("-") => Some(UnaryOp::Neg),
+            TokenKind::Punct("!") => Some(UnaryOp::Not),
+            TokenKind::Punct("~") => Some(UnaryOp::BitNot),
+            TokenKind::Punct("*") => Some(UnaryOp::Deref),
+            TokenKind::Punct("&") => Some(UnaryOp::AddrOf),
+            TokenKind::Punct("++") => Some(UnaryOp::PreInc),
+            TokenKind::Punct("--") => Some(UnaryOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.expr_unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
+        }
+        // Cast: `(` type `)` unary — only when the parenthesised token is a
+        // type name.
+        if self.peek().is_punct("(") && self.at_type_at(1) {
+            self.bump(); // (
+            self.eat_kw("const");
+            let base = self.base_type()?;
+            let mut ty = base;
+            while self.eat_punct("*") {
+                ty = ty.ptr();
+            }
+            self.expect_punct(")")?;
+            let expr = self.expr_unary()?;
+            return Ok(Expr::Cast {
+                ty,
+                expr: Box::new(expr),
+            });
+        }
+        self.expr_postfix()
+    }
+
+    fn expr_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expr_comma()?;
+                self.expect_punct("]")?;
+                e = Expr::index(e, idx);
+            } else if self.peek().is_punct("++") {
+                self.bump();
+                e = Expr::Postfix {
+                    op: PostfixOp::Inc,
+                    expr: Box::new(e),
+                };
+            } else if self.peek().is_punct("--") {
+                self.bump();
+                e = Expr::Postfix {
+                    op: PostfixOp::Dec,
+                    expr: Box::new(e),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn expr_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::IntLit(s) => {
+                self.bump();
+                let cleaned: String = s
+                    .trim_end_matches(['u', 'U', 'l', 'L'])
+                    .to_string();
+                let v = if let Some(hex) = cleaned
+                    .strip_prefix("0x")
+                    .or_else(|| cleaned.strip_prefix("0X"))
+                {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    cleaned.parse()
+                };
+                match v {
+                    Ok(v) => Ok(Expr::IntLit(v)),
+                    Err(_) => Err(self.err(format!("invalid integer literal `{s}`"))),
+                }
+            }
+            TokenKind::FloatLit(s) => {
+                self.bump();
+                let cleaned = s.trim_end_matches(['f', 'F', 'l', 'L']);
+                match cleaned.parse::<f64>() {
+                    Ok(v) => Ok(Expr::FloatLit(v)),
+                    Err(_) => Err(self.err(format!("invalid float literal `{s}`"))),
+                }
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s))
+            }
+            TokenKind::CharLit(s) => {
+                self.bump();
+                Ok(Expr::CharLit(s))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek().is_punct("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(")") {
+                        loop {
+                            args.push(self.expr_assign()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    Ok(Expr::Call { callee: name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr_comma()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn parses_precedence_correctly() {
+        // a + b * c  ==>  a + (b * c)
+        let e = expr("a + b * c");
+        match e {
+            Expr::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity_of_sub() {
+        // a - b - c  ==>  (a - b) - c
+        let e = expr("a - b - c");
+        match e {
+            Expr::Binary {
+                op: BinaryOp::Sub,
+                lhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *lhs,
+                    Expr::Binary {
+                        op: BinaryOp::Sub,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = expr("a = b = 1");
+        match e {
+            Expr::Assign { rhs, .. } => assert!(matches!(*rhs, Expr::Assign { .. })),
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_indexing_chain() {
+        let e = expr("A[i][j]");
+        assert!(matches!(e, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn parses_call_with_args() {
+        let e = expr("f(1, x + 2)");
+        match e {
+            Expr::Call { callee, args } => {
+                assert_eq!(callee, "f");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ternary() {
+        let e = expr("a > b ? a : b");
+        assert!(matches!(e, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn parses_global_and_function() {
+        let tu = parse(
+            "static double A[10][20];\n\
+             int add(int a, int b) { return a + b; }",
+        )
+        .unwrap();
+        assert_eq!(tu.items.len(), 2);
+        assert!(matches!(&tu.items[0], Item::Global(d) if d[0].is_static));
+        assert!(tu.function("add").is_some());
+    }
+
+    #[test]
+    fn parses_prototype() {
+        let tu = parse("void kernel(int n);").unwrap();
+        match &tu.items[0] {
+            Item::Function(f) => assert!(f.body.is_none()),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_decl_init() {
+        let tu = parse("void f() { for (int i = 0; i < 10; i++) { } }").unwrap();
+        let f = tu.function("f").unwrap();
+        let body = f.body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::For {
+                init: Some(ForInit::Decl(_)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn normalises_single_statement_bodies_to_blocks() {
+        let tu = parse("void f(int n) { if (n) n = 0; else n = 1; }").unwrap();
+        let f = tu.function("f").unwrap();
+        match &f.body.as_ref().unwrap().stmts[0] {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(then_branch.stmts.len(), 1);
+                assert_eq!(else_branch.as_ref().unwrap().stmts.len(), 1);
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains_nest() {
+        let tu = parse("void f(int n) { if (n == 1) n = 0; else if (n == 2) n = 1; }").unwrap();
+        let f = tu.function("f").unwrap();
+        match &f.body.as_ref().unwrap().stmts[0] {
+            Stmt::If { else_branch, .. } => {
+                let eb = else_branch.as_ref().unwrap();
+                assert!(matches!(eb.stmts[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attaches_preceding_pragmas_to_function() {
+        let tu = parse(
+            "#pragma GCC optimize(\"O2\")\n\
+             void k() { }",
+        )
+        .unwrap();
+        let f = tu.function("k").unwrap();
+        assert_eq!(f.pragmas.len(), 1);
+        assert!(f.pragmas[0].as_gcc_optimize().is_some());
+    }
+
+    #[test]
+    fn statement_pragma_inside_body() {
+        let tu = parse(
+            "void k(int n) {\n\
+             #pragma omp parallel for num_threads(4)\n\
+             for (int i = 0; i < n; i++) { }\n\
+             }",
+        )
+        .unwrap();
+        let f = tu.function("k").unwrap();
+        let body = f.body.as_ref().unwrap();
+        assert!(matches!(body.stmts[0], Stmt::Pragma(_)));
+        assert!(matches!(body.stmts[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_param_arrays_and_pointers() {
+        let tu = parse("void k(double A[10][20], char **argv, int n) { }").unwrap();
+        let f = tu.function("k").unwrap();
+        assert!(matches!(f.params[0].ty, Type::Array(_, ref d) if d.len() == 2));
+        assert_eq!(f.params[1].ty, Type::Char.ptr().ptr());
+        assert_eq!(f.params[2].ty, Type::Int);
+    }
+
+    #[test]
+    fn parses_cast_expression() {
+        let e = expr("(double) x / (double) y");
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Div,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_initializer_list() {
+        let tu = parse("int a[3] = {1, 2, 3};").unwrap();
+        match &tu.items[0] {
+            Item::Global(d) => assert!(matches!(d[0].init, Some(Init::List(ref v)) if v.len() == 3)),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_declarator_statement() {
+        let tu = parse("void f() { int i, j = 2, k; }").unwrap();
+        let f = tu.function("f").unwrap();
+        match &f.body.as_ref().unwrap().stmts[0] {
+            Stmt::Decl(d) => {
+                assert_eq!(d.len(), 3);
+                assert!(d[1].init.is_some());
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_do_while_and_break_continue() {
+        let tu = parse("void f(int n) { do { if (n) break; continue; } while (n > 0); }").unwrap();
+        let f = tu.function("f").unwrap();
+        assert!(matches!(f.body.as_ref().unwrap().stmts[0], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn error_mentions_position() {
+        let err = parse("void f( { }").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn unsigned_long_collapses() {
+        let tu = parse("unsigned long x; long int y;").unwrap();
+        assert_eq!(tu.items.len(), 2);
+    }
+
+    #[test]
+    fn void_param_list_is_empty() {
+        let tu = parse("int main(void) { return 0; }").unwrap();
+        assert!(tu.function("main").unwrap().params.is_empty());
+    }
+
+    #[test]
+    fn comma_expression_in_for_step() {
+        let tu = parse("void f() { for (int i = 0, j = 9; i < j; i++, j--) { } }").unwrap();
+        let f = tu.function("f").unwrap();
+        match &f.body.as_ref().unwrap().stmts[0] {
+            Stmt::For { step, .. } => assert!(matches!(step, Some(Expr::Comma(_, _)))),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_types_require_registration() {
+        assert!(parse("DATA_TYPE x;").is_err());
+        let mut p = Parser::new("DATA_TYPE x;").unwrap();
+        p.add_type_name("DATA_TYPE");
+        let tu = p.translation_unit().unwrap();
+        assert!(matches!(&tu.items[0], Item::Global(d) if d[0].ty == Type::Named("DATA_TYPE".into())));
+    }
+}

@@ -1,0 +1,393 @@
+//! Structured pragma representation.
+//!
+//! SOCRATES manipulates two pragma families: `#pragma GCC optimize("...")`
+//! inserted by the Multiversioning strategy, and OpenMP pragmas
+//! (`#pragma omp parallel for num_threads(NT) proc_bind(close)`) that
+//! configure kernel parallelisation. Everything else is kept verbatim.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed pragma.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pragma {
+    /// Structured payload.
+    pub kind: PragmaKind,
+}
+
+/// The pragma families understood by the weaver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PragmaKind {
+    /// `#pragma omp <directive> <clauses...>`
+    Omp(OmpPragma),
+    /// `#pragma GCC optimize("flag", "flag", ...)`
+    GccOptimize(Vec<String>),
+    /// `#pragma scop` (Polybench region-of-interest marker).
+    Scop,
+    /// `#pragma endscop`
+    EndScop,
+    /// Any other pragma, kept verbatim.
+    Other(String),
+}
+
+/// An OpenMP pragma: directive plus clause list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OmpPragma {
+    /// Directive, e.g. `parallel for` or `for`.
+    pub directive: String,
+    /// Clauses in source order.
+    pub clauses: Vec<OmpClause>,
+}
+
+/// An OpenMP clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OmpClause {
+    /// `num_threads(expr-text)` — kept as text so it can reference runtime
+    /// variables inserted by the weaver.
+    NumThreads(String),
+    /// `proc_bind(close|spread|master)`
+    ProcBind(String),
+    /// `schedule(static)`, `schedule(dynamic, 4)` …
+    Schedule(String),
+    /// `private(a, b)`
+    Private(Vec<String>),
+    /// `firstprivate(a, b)`
+    FirstPrivate(Vec<String>),
+    /// `shared(a, b)`
+    Shared(Vec<String>),
+    /// `reduction(+: acc)`
+    Reduction(String, Vec<String>),
+    /// `collapse(n)`
+    Collapse(i64),
+    /// Unrecognised clause, kept verbatim.
+    Other(String),
+}
+
+impl Pragma {
+    /// Parses the text that followed `#pragma`.
+    ///
+    /// Never fails: unrecognised pragmas become [`PragmaKind::Other`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use minic::pragma::{Pragma, PragmaKind};
+    /// let p = Pragma::parse("GCC optimize(\"O2\",\"no-inline-functions\")");
+    /// assert!(matches!(p.kind, PragmaKind::GccOptimize(ref v) if v.len() == 2));
+    /// ```
+    pub fn parse(text: &str) -> Pragma {
+        let text = text.trim();
+        let kind = if let Some(rest) = text.strip_prefix("omp") {
+            PragmaKind::Omp(OmpPragma::parse(rest.trim()))
+        } else if let Some(rest) = text.strip_prefix("GCC optimize") {
+            PragmaKind::GccOptimize(parse_string_list(rest))
+        } else if text == "scop" {
+            PragmaKind::Scop
+        } else if text == "endscop" {
+            PragmaKind::EndScop
+        } else {
+            PragmaKind::Other(text.to_string())
+        };
+        Pragma { kind }
+    }
+
+    /// Creates an OpenMP pragma.
+    pub fn omp(directive: impl Into<String>, clauses: Vec<OmpClause>) -> Pragma {
+        Pragma {
+            kind: PragmaKind::Omp(OmpPragma {
+                directive: directive.into(),
+                clauses,
+            }),
+        }
+    }
+
+    /// Creates a `#pragma GCC optimize(...)` pragma from flag names
+    /// (without the leading dashes, e.g. `"O2"`, `"no-inline-functions"`).
+    pub fn gcc_optimize(flags: impl IntoIterator<Item = impl Into<String>>) -> Pragma {
+        Pragma {
+            kind: PragmaKind::GccOptimize(flags.into_iter().map(Into::into).collect()),
+        }
+    }
+
+    /// Returns the OpenMP payload, if this is an OpenMP pragma.
+    pub fn as_omp(&self) -> Option<&OmpPragma> {
+        match &self.kind {
+            PragmaKind::Omp(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns the GCC optimize flag list, if applicable.
+    pub fn as_gcc_optimize(&self) -> Option<&[String]> {
+        match &self.kind {
+            PragmaKind::GccOptimize(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pragma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#pragma ")?;
+        match &self.kind {
+            PragmaKind::Omp(o) => write!(f, "omp {o}"),
+            PragmaKind::GccOptimize(flags) => {
+                write!(f, "GCC optimize(")?;
+                for (i, fl) in flags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{fl}\"")?;
+                }
+                write!(f, ")")
+            }
+            PragmaKind::Scop => write!(f, "scop"),
+            PragmaKind::EndScop => write!(f, "endscop"),
+            PragmaKind::Other(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl OmpPragma {
+    /// Parses the text after `omp`.
+    pub fn parse(text: &str) -> OmpPragma {
+        // The directive is the longest prefix of known directive words.
+        let mut directive_words = Vec::new();
+        let mut rest = text.trim();
+        loop {
+            let word_end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(rest.len());
+            let word = &rest[..word_end];
+            if word.is_empty() || !is_directive_word(word, directive_words.len()) {
+                break;
+            }
+            directive_words.push(word.to_string());
+            rest = rest[word_end..].trim_start();
+        }
+        let mut clauses = Vec::new();
+        while !rest.is_empty() {
+            let (clause, next) = take_clause(rest);
+            clauses.push(parse_clause(&clause));
+            rest = next.trim_start();
+        }
+        OmpPragma {
+            directive: directive_words.join(" "),
+            clauses,
+        }
+    }
+
+    /// Returns the `num_threads` clause payload, if present.
+    pub fn num_threads(&self) -> Option<&str> {
+        self.clauses.iter().find_map(|c| match c {
+            OmpClause::NumThreads(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Returns the `proc_bind` clause payload, if present.
+    pub fn proc_bind(&self) -> Option<&str> {
+        self.clauses.iter().find_map(|c| match c {
+            OmpClause::ProcBind(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Replaces or inserts a clause, keyed by clause kind.
+    pub fn set_clause(&mut self, clause: OmpClause) {
+        let disc = std::mem::discriminant(&clause);
+        if let Some(slot) = self
+            .clauses
+            .iter_mut()
+            .find(|c| std::mem::discriminant(*c) == disc)
+        {
+            *slot = clause;
+        } else {
+            self.clauses.push(clause);
+        }
+    }
+}
+
+impl fmt::Display for OmpPragma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.directive)?;
+        for c in &self.clauses {
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OmpClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpClause::NumThreads(e) => write!(f, "num_threads({e})"),
+            OmpClause::ProcBind(p) => write!(f, "proc_bind({p})"),
+            OmpClause::Schedule(s) => write!(f, "schedule({s})"),
+            OmpClause::Private(v) => write!(f, "private({})", v.join(", ")),
+            OmpClause::FirstPrivate(v) => write!(f, "firstprivate({})", v.join(", ")),
+            OmpClause::Shared(v) => write!(f, "shared({})", v.join(", ")),
+            OmpClause::Reduction(op, v) => write!(f, "reduction({op}: {})", v.join(", ")),
+            OmpClause::Collapse(n) => write!(f, "collapse({n})"),
+            OmpClause::Other(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+fn is_directive_word(word: &str, index: usize) -> bool {
+    const FIRST: &[&str] = &[
+        "parallel", "for", "sections", "section", "single", "task", "barrier", "critical",
+        "atomic", "master", "simd", "target", "teams",
+    ];
+    const LATER: &[&str] = &["for", "simd", "parallel"];
+    if index == 0 {
+        FIRST.contains(&word)
+    } else {
+        LATER.contains(&word)
+    }
+}
+
+/// Splits off one clause (`name` or `name( balanced )`) from the front.
+fn take_clause(text: &str) -> (String, &str) {
+    let mut depth = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c.is_whitespace() && depth == 0 => {
+                return (text[..i].to_string(), &text[i..]);
+            }
+            _ => {}
+        }
+    }
+    (text.to_string(), "")
+}
+
+fn parse_clause(clause: &str) -> OmpClause {
+    let (name, arg) = match clause.find('(') {
+        Some(i) => {
+            let name = clause[..i].trim();
+            let arg = clause[i + 1..].trim_end_matches(')').trim();
+            (name, Some(arg))
+        }
+        None => (clause.trim(), None),
+    };
+    match (name, arg) {
+        ("num_threads", Some(a)) => OmpClause::NumThreads(a.to_string()),
+        ("proc_bind", Some(a)) => OmpClause::ProcBind(a.to_string()),
+        ("schedule", Some(a)) => OmpClause::Schedule(a.to_string()),
+        ("private", Some(a)) => OmpClause::Private(split_names(a)),
+        ("firstprivate", Some(a)) => OmpClause::FirstPrivate(split_names(a)),
+        ("shared", Some(a)) => OmpClause::Shared(split_names(a)),
+        ("collapse", Some(a)) => a
+            .parse()
+            .map(OmpClause::Collapse)
+            .unwrap_or_else(|_| OmpClause::Other(clause.to_string())),
+        ("reduction", Some(a)) => match a.split_once(':') {
+            Some((op, vars)) => OmpClause::Reduction(op.trim().to_string(), split_names(vars)),
+            None => OmpClause::Other(clause.to_string()),
+        },
+        _ => OmpClause::Other(clause.to_string()),
+    }
+}
+
+fn split_names(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|n| n.trim().to_string())
+        .filter(|n| !n.is_empty())
+        .collect()
+}
+
+fn parse_string_list(s: &str) -> Vec<String> {
+    // Expects `("a", "b", ...)`; tolerant of spacing.
+    s.trim()
+        .trim_start_matches('(')
+        .trim_end_matches(')')
+        .split(',')
+        .map(|part| part.trim().trim_matches('"').to_string())
+        .filter(|part| !part.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_omp_parallel_for_with_clauses() {
+        let p = Pragma::parse("omp parallel for num_threads(NT) proc_bind(close)");
+        let o = p.as_omp().unwrap();
+        assert_eq!(o.directive, "parallel for");
+        assert_eq!(o.num_threads(), Some("NT"));
+        assert_eq!(o.proc_bind(), Some("close"));
+    }
+
+    #[test]
+    fn parses_gcc_optimize_flags() {
+        let p = Pragma::parse(r#"GCC optimize("O2","no-inline-functions")"#);
+        assert_eq!(
+            p.as_gcc_optimize().unwrap(),
+            &["O2".to_string(), "no-inline-functions".to_string()][..]
+        );
+    }
+
+    #[test]
+    fn parses_scop_markers() {
+        assert_eq!(Pragma::parse("scop").kind, PragmaKind::Scop);
+        assert_eq!(Pragma::parse("endscop").kind, PragmaKind::EndScop);
+    }
+
+    #[test]
+    fn unknown_pragma_roundtrips_verbatim() {
+        let p = Pragma::parse("once");
+        assert_eq!(p.to_string(), "#pragma once");
+    }
+
+    #[test]
+    fn display_roundtrip_reparses_equal() {
+        let cases = [
+            "omp parallel for num_threads(8) proc_bind(spread) schedule(static)",
+            "omp for reduction(+: sum) private(i, j)",
+            "omp parallel for collapse(2)",
+            r#"GCC optimize("O3","unroll-all-loops")"#,
+            "scop",
+        ];
+        for c in cases {
+            let p = Pragma::parse(c);
+            let printed = p.to_string();
+            let reparsed = Pragma::parse(printed.strip_prefix("#pragma ").unwrap());
+            assert_eq!(p, reparsed, "case `{c}` printed as `{printed}`");
+        }
+    }
+
+    #[test]
+    fn set_clause_replaces_same_kind() {
+        let p = Pragma::parse("omp parallel for num_threads(4)");
+        let mut o = p.as_omp().unwrap().clone();
+        o.set_clause(OmpClause::NumThreads("NT".into()));
+        assert_eq!(o.num_threads(), Some("NT"));
+        assert_eq!(o.clauses.len(), 1);
+        o.set_clause(OmpClause::ProcBind("close".into()));
+        assert_eq!(o.clauses.len(), 2);
+    }
+
+    #[test]
+    fn reduction_clause_parses_operator_and_vars() {
+        let p = Pragma::parse("omp for reduction(max: a, b)");
+        let o = p.as_omp().unwrap();
+        assert_eq!(
+            o.clauses[0],
+            OmpClause::Reduction("max".into(), vec!["a".into(), "b".into()])
+        );
+    }
+
+    #[test]
+    fn directive_words_stop_at_clauses() {
+        // `for` is both a directive word and could look like a clause; the
+        // clause `num_threads` must not be eaten by the directive.
+        let p = Pragma::parse("omp parallel num_threads(2)");
+        let o = p.as_omp().unwrap();
+        assert_eq!(o.directive, "parallel");
+        assert_eq!(o.clauses.len(), 1);
+    }
+}

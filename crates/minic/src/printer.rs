@@ -1,0 +1,582 @@
+//! Pretty-printer: turns ASTs back into compilable C text.
+//!
+//! Printing is canonical: all control-flow bodies are braced, one statement
+//! per line, four-space indentation. `parse(print(ast)) == ast` holds for
+//! every AST the parser can produce (see the round-trip property tests).
+
+use crate::ast::*;
+use crate::pragma::Pragma;
+use std::fmt::Write as _;
+
+/// Prints a full translation unit as C source text.
+///
+/// # Examples
+///
+/// ```
+/// let tu = minic::parse("int main(){return 0;}").unwrap();
+/// let printed = minic::print(&tu);
+/// assert!(printed.contains("int main()"));
+/// ```
+pub fn print(tu: &TranslationUnit) -> String {
+    let mut p = Printer::new();
+    p.tu(tu);
+    p.out
+}
+
+/// Prints a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(e, 0);
+    p.out
+}
+
+/// Prints a single statement (at indent level zero).
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(s);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn tu(&mut self, tu: &TranslationUnit) {
+        for (i, item) in tu.items.iter().enumerate() {
+            if i > 0 && matches!(item, Item::Function(f) if f.body.is_some()) {
+                self.out.push('\n');
+            }
+            self.item(item);
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Include(s) => self.line(&format!("#include {s}")),
+            Item::Define(s) => self.line(&format!("#define {s}")),
+            Item::Pragma(p) => self.pragma(p),
+            Item::Global(decls) => {
+                let text = self.decls_text(decls);
+                self.line(&format!("{text};"));
+            }
+            Item::Function(f) => self.function(f),
+        }
+    }
+
+    fn pragma(&mut self, p: &Pragma) {
+        self.line(&p.to_string());
+    }
+
+    fn function(&mut self, f: &Function) {
+        for p in &f.pragmas {
+            self.pragma(p);
+        }
+        let mut sig = String::new();
+        if f.is_static {
+            sig.push_str("static ");
+        }
+        let _ = write!(sig, "{} {}(", self.type_prefix(&f.ret), f.name);
+        for (i, param) in f.params.iter().enumerate() {
+            if i > 0 {
+                sig.push_str(", ");
+            }
+            sig.push_str(&self.declarator_text(&param.ty, &param.name));
+        }
+        sig.push(')');
+        match &f.body {
+            None => self.line(&format!("{sig};")),
+            Some(body) => {
+                self.line(&format!("{sig} {{"));
+                self.indent += 1;
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    /// The base-type spelling (before any declarator decorations).
+    fn type_prefix(&self, ty: &Type) -> String {
+        match ty {
+            Type::Void => "void".into(),
+            Type::Char => "char".into(),
+            Type::Int => "int".into(),
+            Type::UInt => "unsigned int".into(),
+            Type::Long => "long".into(),
+            Type::Float => "float".into(),
+            Type::Double => "double".into(),
+            Type::Named(n) => n.clone(),
+            Type::Ptr(inner) => format!("{}*", self.type_prefix(inner)),
+            Type::Array(inner, _) => self.type_prefix(inner),
+        }
+    }
+
+    /// Renders `ty name` with C declarator syntax (array dims after name).
+    fn declarator_text(&self, ty: &Type, name: &str) -> String {
+        match ty {
+            Type::Array(inner, dims) => {
+                let mut s = format!("{} {name}", self.type_prefix(inner));
+                for d in dims {
+                    let mut p = Printer::new();
+                    p.expr(d, 0);
+                    let _ = write!(s, "[{}]", p.out);
+                }
+                s
+            }
+            other => format!("{} {name}", self.type_prefix(other)),
+        }
+    }
+
+    fn decls_text(&mut self, decls: &[Decl]) -> String {
+        // A declaration statement shares storage class and base type; the
+        // parser guarantees all declarators in one statement agree on them.
+        let mut s = String::new();
+        if let Some(first) = decls.first() {
+            if first.is_static {
+                s.push_str("static ");
+            }
+            if first.is_const {
+                s.push_str("const ");
+            }
+        }
+        for (i, d) in decls.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+                // Subsequent declarators repeat only the declarator part.
+                s.push_str(&self.declarator_suffix(&d.ty, &d.name));
+            } else {
+                s.push_str(&self.declarator_text(&d.ty, &d.name));
+            }
+            if let Some(init) = &d.init {
+                s.push_str(" = ");
+                s.push_str(&self.init_text(init));
+            }
+        }
+        s
+    }
+
+    /// Declarator without the base type (for 2nd+ names in a decl list).
+    fn declarator_suffix(&self, ty: &Type, name: &str) -> String {
+        match ty {
+            Type::Array(_, dims) => {
+                let mut s = name.to_string();
+                for d in dims {
+                    let mut p = Printer::new();
+                    p.expr(d, 0);
+                    let _ = write!(s, "[{}]", p.out);
+                }
+                s
+            }
+            Type::Ptr(_) => format!("*{name}"),
+            _ => name.to_string(),
+        }
+    }
+
+    fn init_text(&mut self, init: &Init) -> String {
+        match init {
+            Init::Expr(e) => {
+                let mut p = Printer::new();
+                p.expr(e, 1); // assignment level: no top-level comma
+                p.out
+            }
+            Init::List(items) => {
+                let inner: Vec<String> = items.iter().map(|i| self.init_text(i)).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(decls) => {
+                let text = self.decls_text(decls);
+                self.line(&format!("{text};"));
+            }
+            Stmt::Expr(e) => {
+                let mut p = Printer::new();
+                p.expr(e, 0);
+                let text = p.out;
+                self.line(&format!("{text};"));
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut p = Printer::new();
+                p.expr(cond, 0);
+                self.line(&format!("if ({}) {{", p.out));
+                self.block_body(then_branch);
+                match else_branch {
+                    None => self.line("}"),
+                    Some(eb) => {
+                        self.line("} else {");
+                        self.block_body(eb);
+                        self.line("}");
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                let mut p = Printer::new();
+                p.expr(cond, 0);
+                self.line(&format!("while ({}) {{", p.out));
+                self.block_body(body);
+                self.line("}");
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.line("do {");
+                self.block_body(body);
+                let mut p = Printer::new();
+                p.expr(cond, 0);
+                self.line(&format!("}} while ({});", p.out));
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_text = match init {
+                    None => String::new(),
+                    Some(ForInit::Decl(d)) => self.decls_text(d),
+                    Some(ForInit::Expr(e)) => {
+                        let mut p = Printer::new();
+                        p.expr(e, 0);
+                        p.out
+                    }
+                };
+                let cond_text = cond
+                    .as_ref()
+                    .map(|e| {
+                        let mut p = Printer::new();
+                        p.expr(e, 0);
+                        p.out
+                    })
+                    .unwrap_or_default();
+                let step_text = step
+                    .as_ref()
+                    .map(|e| {
+                        let mut p = Printer::new();
+                        p.expr(e, 0);
+                        p.out
+                    })
+                    .unwrap_or_default();
+                self.line(&format!("for ({init_text}; {cond_text}; {step_text}) {{"));
+                self.block_body(body);
+                self.line("}");
+            }
+            Stmt::Return(None) => self.line("return;"),
+            Stmt::Return(Some(e)) => {
+                let mut p = Printer::new();
+                p.expr(e, 0);
+                let text = p.out;
+                self.line(&format!("return {text};"));
+            }
+            Stmt::Break => self.line("break;"),
+            Stmt::Continue => self.line("continue;"),
+            Stmt::Pragma(p) => self.pragma(p),
+            Stmt::Block(b) => {
+                self.line("{");
+                self.block_body(b);
+                self.line("}");
+            }
+            Stmt::Empty => self.line(";"),
+        }
+    }
+
+    fn block_body(&mut self, b: &Block) {
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    /// Prints an expression. `min_prec` mirrors the parser's precedence so
+    /// parentheses are inserted exactly where re-parsing needs them:
+    /// 0 = comma allowed, 1 = assignment level, 2 = ternary, then binary
+    /// precedences shifted by `BIN_BASE`.
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        const COMMA: u8 = 0;
+        const ASSIGN: u8 = 1;
+        const TERNARY: u8 = 2;
+        const BIN_BASE: u8 = 2; // binary precedence p maps to BIN_BASE + p
+        const UNARY: u8 = BIN_BASE + 11;
+
+        match e {
+            Expr::IntLit(v) => {
+                if *v < 0 {
+                    // Negative literals print parenthesised so unary-minus
+                    // reparses unambiguously in contexts like `x-(-1)`.
+                    let _ = write!(self.out, "(-{})", v.unsigned_abs());
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            Expr::FloatLit(v) => {
+                let _ = write!(self.out, "{v:?}");
+            }
+            Expr::StrLit(s) => {
+                let _ = write!(self.out, "\"{s}\"");
+            }
+            Expr::CharLit(s) => {
+                let _ = write!(self.out, "'{s}'");
+            }
+            Expr::Ident(n) => self.out.push_str(n),
+            Expr::Unary { op, expr } => {
+                self.paren_if(min_prec > UNARY, |p| {
+                    p.out.push_str(op.as_str());
+                    // A space avoids `- -x` gluing into `--x`.
+                    if matches!(op, UnaryOp::Neg | UnaryOp::AddrOf)
+                        && matches!(
+                            **expr,
+                            Expr::Unary {
+                                op: UnaryOp::Neg | UnaryOp::PreDec,
+                                ..
+                            }
+                        )
+                    {
+                        p.out.push(' ');
+                    }
+                    p.expr(expr, UNARY);
+                });
+            }
+            Expr::Postfix { op, expr } => {
+                self.expr(expr, UNARY + 1);
+                self.out.push_str(op.as_str());
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let prec = BIN_BASE + op.precedence();
+                self.paren_if(min_prec > prec, |p| {
+                    p.expr(lhs, prec);
+                    let _ = write!(p.out, " {} ", op.as_str());
+                    p.expr(rhs, prec + 1);
+                });
+            }
+            Expr::Assign { op, lhs, rhs } => {
+                self.paren_if(min_prec > ASSIGN, |p| {
+                    p.expr(lhs, TERNARY + 1);
+                    let _ = write!(p.out, " {} ", op.as_str());
+                    p.expr(rhs, ASSIGN);
+                });
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.paren_if(min_prec > TERNARY, |p| {
+                    p.expr(cond, TERNARY + 1);
+                    p.out.push_str(" ? ");
+                    p.expr(then_expr, COMMA);
+                    p.out.push_str(" : ");
+                    p.expr(else_expr, ASSIGN);
+                });
+            }
+            Expr::Call { callee, args } => {
+                let _ = write!(self.out, "{callee}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, ASSIGN);
+                }
+                self.out.push(')');
+            }
+            Expr::Index { base, index } => {
+                self.expr(base, UNARY + 1);
+                self.out.push('[');
+                self.expr(index, COMMA);
+                self.out.push(']');
+            }
+            Expr::Cast { ty, expr } => {
+                self.paren_if(min_prec > UNARY, |p| {
+                    let _ = write!(p.out, "({}) ", p.type_prefix(ty));
+                    p.expr(expr, UNARY);
+                });
+            }
+            Expr::Comma(a, b) => {
+                self.paren_if(min_prec > COMMA, |p| {
+                    p.expr(a, ASSIGN);
+                    p.out.push_str(", ");
+                    p.expr(b, ASSIGN);
+                });
+            }
+        }
+    }
+
+    fn paren_if(&mut self, needed: bool, f: impl FnOnce(&mut Self)) {
+        if needed {
+            self.out.push('(');
+        }
+        f(self);
+        if needed {
+            self.out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn roundtrip(src: &str) {
+        let tu = parse(src).unwrap_or_else(|e| panic!("parse failed for `{src}`: {e}"));
+        let printed = print(&tu);
+        let tu2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        assert_eq!(tu, tu2, "round-trip mismatch; printed:\n{printed}");
+    }
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}; printed `{printed}`"));
+        assert_eq!(e, e2, "expr round-trip mismatch; printed `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_simple_program() {
+        roundtrip(
+            "#include <stdio.h>\n\
+             #define N 100\n\
+             static double A[100][100];\n\
+             void kernel(int n) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 A[i][i] = 2.0 * A[i][i] + 1.5;\n\
+               }\n\
+             }\n\
+             int main() { kernel(100); return 0; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_pragmas() {
+        roundtrip(
+            "#pragma GCC optimize(\"O2\",\"no-inline-functions\")\n\
+             void k(int n) {\n\
+             #pragma omp parallel for num_threads(8) proc_bind(spread)\n\
+             for (int i = 0; i < n; i++) { }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved_in_printing() {
+        roundtrip_expr("(a + b) * c");
+        roundtrip_expr("a + b * c");
+        roundtrip_expr("a - (b - c)");
+        roundtrip_expr("-(a + b)");
+        roundtrip_expr("a = b = c + 1");
+        roundtrip_expr("a ? b : c ? d : e");
+        roundtrip_expr("(a ? b : c) ? d : e");
+        roundtrip_expr("a && b || c && d");
+        roundtrip_expr("(a | b) & c");
+        roundtrip_expr("x << 2 >> 1");
+        roundtrip_expr("A[i][j] * B[j][k]");
+        roundtrip_expr("f(a, b + 1, g(c))");
+        roundtrip_expr("(double) n / m");
+        roundtrip_expr("*p + p[1]");
+        roundtrip_expr("- -x");
+        roundtrip_expr("i++ + ++j");
+    }
+
+    #[test]
+    fn paren_semantics_differ_from_flat() {
+        // `(a + b) * c` and `a + b * c` must print differently.
+        let e1 = parse_expr("(a + b) * c").unwrap();
+        let e2 = parse_expr("a + b * c").unwrap();
+        assert_ne!(print_expr(&e1), print_expr(&e2));
+        assert_eq!(print_expr(&e1), "(a + b) * c");
+        assert_eq!(print_expr(&e2), "a + b * c");
+    }
+
+    #[test]
+    fn negative_int_literal_prints_parenthesised() {
+        let e = Expr::binary(crate::ast::BinaryOp::Sub, Expr::ident("x"), Expr::int(-1));
+        assert_eq!(print_expr(&e), "x - (-1)");
+        // Reparses as unary-neg, semantically identical, and stays stable.
+        let reparsed = parse_expr("x - (-1)").unwrap();
+        assert_eq!(print_expr(&reparsed), "x - -1");
+        let again = parse_expr("x - -1").unwrap();
+        assert_eq!(reparsed, again);
+    }
+
+    #[test]
+    fn float_literals_keep_value() {
+        let e = parse_expr("1.5e-3").unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn multi_declarator_prints_once() {
+        let tu = parse("void f() { int i = 0, j = 1; }").unwrap();
+        let printed = print(&tu);
+        assert!(printed.contains("int i = 0, j = 1;"), "{printed}");
+        roundtrip("void f() { int i = 0, j = 1; }");
+    }
+
+    #[test]
+    fn pointer_second_declarator_keeps_star() {
+        roundtrip("void f() { double *p, *q; }");
+    }
+
+    #[test]
+    fn do_while_and_nested_blocks() {
+        roundtrip("void f(int n) { do { { n--; } } while (n > 0); }");
+    }
+
+    #[test]
+    fn empty_for_clauses() {
+        roundtrip("void f() { for (;;) { break; } }");
+    }
+
+    #[test]
+    fn prototype_prints_with_semicolon() {
+        let tu = parse("void k(int n);").unwrap();
+        assert!(print(&tu).contains("void k(int n);"));
+    }
+
+    #[test]
+    fn initializer_lists_roundtrip() {
+        roundtrip("int a[2][2] = {{1, 2}, {3, 4}};");
+    }
+
+    #[test]
+    fn string_and_char_literals_roundtrip() {
+        roundtrip(r#"void f() { printf("x=%d\n", 'a'); }"#);
+    }
+
+    #[test]
+    fn comma_exprs_roundtrip() {
+        roundtrip("void f() { for (int i = 0, j = 9; i < j; i++, j--) { } }");
+    }
+
+    #[test]
+    fn casts_roundtrip() {
+        roundtrip("void f(int n) { double x = (double) n; int *p = (int*) 0; x = x; p = p; }");
+    }
+}

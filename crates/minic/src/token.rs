@@ -1,0 +1,121 @@
+//! Token definitions for the mini-C lexer.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A lexical token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Position of the first character of the token.
+    pub pos: Pos,
+}
+
+/// The different kinds of tokens recognised by the mini-C lexer.
+///
+/// Preprocessor lines (`#include`, `#define`, `#pragma`) are lexed as single
+/// tokens carrying their full text, because the weaver manipulates them as
+/// units and never needs to look inside with full C preprocessor semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate, e.g. `kernel_2mm`.
+    Ident(String),
+    /// An integer literal, stored verbatim (e.g. `42`, `0x10`).
+    IntLit(String),
+    /// A floating-point literal, stored verbatim (e.g. `1.5e-3`, `2.0f`).
+    FloatLit(String),
+    /// A string literal including its quotes' content (without quotes).
+    StrLit(String),
+    /// A character literal content (without quotes).
+    CharLit(String),
+    /// A full `#include ...` line (text after `#include`).
+    Include(String),
+    /// A full `#define ...` line (text after `#define`).
+    Define(String),
+    /// A full `#pragma ...` line (text after `#pragma`).
+    Pragma(String),
+    /// A punctuation or operator token, e.g. `+=`, `(`, `&&`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(s) => write!(f, "integer `{s}`"),
+            TokenKind::FloatLit(s) => write!(f, "float `{s}`"),
+            TokenKind::StrLit(s) => write!(f, "string \"{s}\""),
+            TokenKind::CharLit(s) => write!(f, "char '{s}'"),
+            TokenKind::Include(s) => write!(f, "#include {s}"),
+            TokenKind::Define(s) => write!(f, "#define {s}"),
+            TokenKind::Pragma(s) => write!(f, "#pragma {s}"),
+            TokenKind::Punct(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Returns `true` if this token is the given punctuation string.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(s) if *s == p)
+    }
+
+    /// Returns `true` if this token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == name)
+    }
+}
+
+/// All multi- and single-character punctuation, longest first so the lexer
+/// can match greedily.
+pub(crate) const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "[", "]", "{", "}", ";", ",", ".", "+",
+    "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puncts_are_longest_first_per_prefix() {
+        // For any two puncts where one is a prefix of the other, the longer
+        // one must come first so greedy matching is correct.
+        for (i, a) in PUNCTS.iter().enumerate() {
+            for b in &PUNCTS[..i] {
+                if a.starts_with(b) {
+                    panic!("`{b}` appears before its extension `{a}`");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_punct_matches_exactly() {
+        let t = TokenKind::Punct("+=");
+        assert!(t.is_punct("+="));
+        assert!(!t.is_punct("+"));
+    }
+
+    #[test]
+    fn is_ident_matches_name() {
+        let t = TokenKind::Ident("for".into());
+        assert!(t.is_ident("for"));
+        assert!(!t.is_ident("fort"));
+    }
+
+    #[test]
+    fn display_forms_are_informative() {
+        assert_eq!(TokenKind::Punct(";").to_string(), "`;`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+        assert_eq!(
+            TokenKind::Pragma("omp parallel".into()).to_string(),
+            "#pragma omp parallel"
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! AST visitors.
+//!
+//! [`Visitor`] walks an AST immutably (used by Milepost feature extraction
+//! and the LARA attribute queries); [`VisitorMut`] walks it mutably (used by
+//! weaving actions such as call replacement).
+
+use crate::ast::*;
+use crate::pragma::Pragma;
+
+/// Immutable AST visitor with default deep-walk behaviour.
+///
+/// Override the hooks you care about; call the `walk_*` free functions to
+/// recurse into children (the default implementations do this already).
+pub trait Visitor {
+    /// Visits a top-level item.
+    fn visit_item(&mut self, item: &Item) {
+        walk_item(self, item);
+    }
+    /// Visits a function definition or prototype.
+    fn visit_function(&mut self, f: &Function) {
+        walk_function(self, f);
+    }
+    /// Visits a statement.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Visits an expression.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    /// Visits a declaration.
+    fn visit_decl(&mut self, d: &Decl) {
+        walk_decl(self, d);
+    }
+    /// Visits a pragma.
+    fn visit_pragma(&mut self, _p: &Pragma) {}
+}
+
+/// Walks a whole translation unit.
+pub fn walk_tu<V: Visitor + ?Sized>(v: &mut V, tu: &TranslationUnit) {
+    for item in &tu.items {
+        v.visit_item(item);
+    }
+}
+
+/// Default traversal of an item.
+pub fn walk_item<V: Visitor + ?Sized>(v: &mut V, item: &Item) {
+    match item {
+        Item::Function(f) => v.visit_function(f),
+        Item::Global(decls) => {
+            for d in decls {
+                v.visit_decl(d);
+            }
+        }
+        Item::Pragma(p) => v.visit_pragma(p),
+        Item::Include(_) | Item::Define(_) => {}
+    }
+}
+
+/// Default traversal of a function.
+pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, f: &Function) {
+    for p in &f.pragmas {
+        v.visit_pragma(p);
+    }
+    if let Some(body) = &f.body {
+        for s in &body.stmts {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+/// Default traversal of a statement.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match s {
+        Stmt::Decl(decls) => {
+            for d in decls {
+                v.visit_decl(d);
+            }
+        }
+        Stmt::Expr(e) => v.visit_expr(e),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            v.visit_expr(cond);
+            for s in &then_branch.stmts {
+                v.visit_stmt(s);
+            }
+            if let Some(eb) = else_branch {
+                for s in &eb.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::While { cond, body } => {
+            v.visit_expr(cond);
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::DoWhile { body, cond } => {
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+            v.visit_expr(cond);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            match init {
+                Some(ForInit::Decl(decls)) => {
+                    for d in decls {
+                        v.visit_decl(d);
+                    }
+                }
+                Some(ForInit::Expr(e)) => v.visit_expr(e),
+                None => {}
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(st) = step {
+                v.visit_expr(st);
+            }
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Return(Some(e)) => v.visit_expr(e),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+        Stmt::Pragma(p) => v.visit_pragma(p),
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                v.visit_stmt(s);
+            }
+        }
+    }
+}
+
+/// Default traversal of a declaration (visits initializer expressions).
+pub fn walk_decl<V: Visitor + ?Sized>(v: &mut V, d: &Decl) {
+    if let Type::Array(_, dims) = &d.ty {
+        for e in dims {
+            v.visit_expr(e);
+        }
+    }
+    if let Some(init) = &d.init {
+        walk_init(v, init);
+    }
+}
+
+fn walk_init<V: Visitor + ?Sized>(v: &mut V, init: &Init) {
+    match init {
+        Init::Expr(e) => v.visit_expr(e),
+        Init::List(items) => {
+            for i in items {
+                walk_init(v, i);
+            }
+        }
+    }
+}
+
+/// Default traversal of an expression.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match e {
+        Expr::IntLit(_)
+        | Expr::FloatLit(_)
+        | Expr::StrLit(_)
+        | Expr::CharLit(_)
+        | Expr::Ident(_) => {}
+        Expr::Unary { expr, .. } | Expr::Postfix { expr, .. } | Expr::Cast { expr, .. } => {
+            v.visit_expr(expr)
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            v.visit_expr(cond);
+            v.visit_expr(then_expr);
+            v.visit_expr(else_expr);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::Index { base, index } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        Expr::Comma(a, b) => {
+            v.visit_expr(a);
+            v.visit_expr(b);
+        }
+    }
+}
+
+/// Mutable expression transformer: rewrites every expression bottom-up.
+///
+/// `f` receives each expression after its children were already rewritten
+/// and may replace it by returning `Some(new_expr)`.
+pub fn map_exprs_in_stmt(s: &mut Stmt, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
+    match s {
+        Stmt::Decl(decls) => {
+            for d in decls {
+                if let Some(init) = &mut d.init {
+                    map_exprs_in_init(init, f);
+                }
+            }
+        }
+        Stmt::Expr(e) => map_expr(e, f),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            map_expr(cond, f);
+            for s in &mut then_branch.stmts {
+                map_exprs_in_stmt(s, f);
+            }
+            if let Some(eb) = else_branch {
+                for s in &mut eb.stmts {
+                    map_exprs_in_stmt(s, f);
+                }
+            }
+        }
+        Stmt::While { cond, body } => {
+            map_expr(cond, f);
+            for s in &mut body.stmts {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::DoWhile { body, cond } => {
+            for s in &mut body.stmts {
+                map_exprs_in_stmt(s, f);
+            }
+            map_expr(cond, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            match init {
+                Some(ForInit::Decl(decls)) => {
+                    for d in decls.iter_mut() {
+                        if let Some(i) = &mut d.init {
+                            map_exprs_in_init(i, f);
+                        }
+                    }
+                }
+                Some(ForInit::Expr(e)) => map_expr(e, f),
+                None => {}
+            }
+            if let Some(c) = cond {
+                map_expr(c, f);
+            }
+            if let Some(st) = step {
+                map_expr(st, f);
+            }
+            for s in &mut body.stmts {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::Return(Some(e)) => map_expr(e, f),
+        Stmt::Block(b) => {
+            for s in &mut b.stmts {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Pragma(_) | Stmt::Empty => {}
+    }
+}
+
+fn map_exprs_in_init(init: &mut Init, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
+    match init {
+        Init::Expr(e) => map_expr(e, f),
+        Init::List(items) => {
+            for i in items {
+                map_exprs_in_init(i, f);
+            }
+        }
+    }
+}
+
+/// Rewrites `e` bottom-up with `f`.
+pub fn map_expr(e: &mut Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) {
+    match e {
+        Expr::IntLit(_)
+        | Expr::FloatLit(_)
+        | Expr::StrLit(_)
+        | Expr::CharLit(_)
+        | Expr::Ident(_) => {}
+        Expr::Unary { expr, .. } | Expr::Postfix { expr, .. } | Expr::Cast { expr, .. } => {
+            map_expr(expr, f)
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            map_expr(lhs, f);
+            map_expr(rhs, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            map_expr(cond, f);
+            map_expr(then_expr, f);
+            map_expr(else_expr, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                map_expr(a, f);
+            }
+        }
+        Expr::Index { base, index } => {
+            map_expr(base, f);
+            map_expr(index, f);
+        }
+        Expr::Comma(a, b) => {
+            map_expr(a, f);
+            map_expr(b, f);
+        }
+    }
+    if let Some(new) = f(e) {
+        *e = new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[derive(Default)]
+    struct Counter {
+        calls: usize,
+        loops: usize,
+        idents: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if matches!(s, Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. }) {
+                self.loops += 1;
+            }
+            walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            match e {
+                Expr::Call { .. } => self.calls += 1,
+                Expr::Ident(_) => self.idents += 1,
+                _ => {}
+            }
+            walk_expr(self, e);
+        }
+    }
+
+    #[test]
+    fn visitor_counts_nested_constructs() {
+        let tu = parse(
+            "void f(int n) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 while (n > 0) { g(n); n--; }\n\
+               }\n\
+             }",
+        )
+        .unwrap();
+        let mut c = Counter::default();
+        walk_tu(&mut c, &tu);
+        assert_eq!(c.loops, 2);
+        assert_eq!(c.calls, 1);
+        // idents: i, n (for cond), i (step), n (while cond), n (arg), n (dec)
+        assert_eq!(c.idents, 6);
+    }
+
+    #[test]
+    fn map_expr_replaces_calls() {
+        let mut tu = parse("void f() { g(1); int x = g(2) + 3; }").unwrap();
+        let f = tu.function_mut("f").unwrap();
+        let mut replaced = 0;
+        for s in &mut f.body.as_mut().unwrap().stmts {
+            map_exprs_in_stmt(s, &mut |e| match e {
+                Expr::Call { callee, args } if callee == "g" => {
+                    replaced += 1;
+                    Some(Expr::call("g_wrapper", args.clone()))
+                }
+                _ => None,
+            });
+        }
+        assert_eq!(replaced, 2);
+        let printed = crate::printer::print(&tu);
+        assert!(printed.contains("g_wrapper(1)"));
+        assert!(printed.contains("g_wrapper(2) + 3"));
+        assert!(!printed.contains(" g("));
+    }
+
+    #[test]
+    fn map_expr_is_bottom_up() {
+        // Nested call: inner rewritten before outer sees it.
+        let mut e = crate::parser::parse_expr("f(f(x))").unwrap();
+        let mut seen = Vec::new();
+        map_expr(&mut e, &mut |ex| {
+            if let Expr::Call { callee, .. } = ex {
+                seen.push(callee.clone());
+            }
+            None
+        });
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn visitor_reaches_array_dims_and_inits() {
+        let tu = parse("static int a[3] = {1, 2, 3};").unwrap();
+        struct IntCount(usize);
+        impl Visitor for IntCount {
+            fn visit_expr(&mut self, e: &Expr) {
+                if matches!(e, Expr::IntLit(_)) {
+                    self.0 += 1;
+                }
+                walk_expr(self, e);
+            }
+        }
+        let mut c = IntCount(0);
+        walk_tu(&mut c, &tu);
+        assert_eq!(c.0, 4); // dim 3 + three initializers
+    }
+}

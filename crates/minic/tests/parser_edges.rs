@@ -1,0 +1,174 @@
+//! Edge-case battery for the mini-C front-end: constructs at the border
+//! of the dialect, and inputs that must fail with clean errors (never
+//! panics).
+
+use minic::{logical_loc, parse, parse_expr, print};
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // 64 levels of parentheses: recursion depth sanity.
+    let mut src = String::from("x");
+    for _ in 0..64 {
+        src = format!("({src} + 1)");
+    }
+    let e = parse_expr(&src).unwrap();
+    let printed = minic::print_expr(&e);
+    assert_eq!(parse_expr(&printed).unwrap(), e);
+}
+
+#[test]
+fn deeply_nested_blocks_parse() {
+    let mut body = String::from("int x = 0;");
+    for _ in 0..40 {
+        body = format!("{{ {body} }}");
+    }
+    let src = format!("void f() {{ {body} }}");
+    let tu = parse(&src).unwrap();
+    assert_eq!(logical_loc(&tu), 2); // signature + decl; braces are free
+}
+
+#[test]
+fn dangling_else_attaches_to_nearest_if() {
+    let tu = parse("void f(int a, int b) { if (a) if (b) a = 1; else a = 2; }").unwrap();
+    let f = tu.function("f").unwrap();
+    match &f.body.as_ref().unwrap().stmts[0] {
+        minic::Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            // Outer if has no else; inner if carries it.
+            assert!(else_branch.is_none(), "dangling else bound to outer if");
+            match &then_branch.stmts[0] {
+                minic::Stmt::If { else_branch, .. } => assert!(else_branch.is_some()),
+                other => panic!("expected inner if, got {other:?}"),
+            }
+        }
+        other => panic!("expected if, got {other:?}"),
+    }
+}
+
+#[test]
+fn operator_precedence_torture() {
+    let cases = [
+        ("a + b * c - d / e % f", "a + b * c - d / e % f"),
+        ("a << b + c", "a << b + c"),            // + binds tighter than <<
+        ("a < b == c", "a < b == c"),            // < binds tighter than ==
+        ("a & b | c ^ d", "a & b | c ^ d"),      // & > ^ > |
+        ("a || b && c", "a || b && c"),          // && > ||
+        ("-a[1]", "-a[1]"),                      // index > unary
+        ("(a = b) + 1", "(a = b) + 1"),          // assignment needs parens
+    ];
+    for (src, expected) in cases {
+        let e = parse_expr(src).unwrap();
+        assert_eq!(minic::print_expr(&e), expected, "source `{src}`");
+    }
+}
+
+#[test]
+fn malformed_inputs_error_cleanly() {
+    let cases = [
+        "void f( {",                      // bad parameter list
+        "void f() { return",              // missing semicolon/brace
+        "int 5x;",                        // identifier starting with digit
+        "void f() { if () {} }",          // empty condition
+        "void f() { for (;;;;) {} }",     // too many for clauses
+        "double d = ;",                   // missing initializer
+        "void f() { x = ((1 + 2); }",     // unbalanced parens
+        "int a[] = {1,2};",               // dimensionless array (unsupported)
+        "struct S { int x; };",           // structs out of dialect
+        "void f() { a b; }",              // two identifiers
+    ];
+    for src in cases {
+        let result = parse(src);
+        assert!(result.is_err(), "`{src}` should not parse");
+        let msg = result.unwrap_err().to_string();
+        assert!(msg.contains("parse error"), "unhelpful message: {msg}");
+    }
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = "/* head */ void /* mid */ f(int a /* param */) {\n\
+               // line comment\n\
+               a = a + 1; /* tail */\n\
+               } // trailer";
+    let tu = parse(src).unwrap();
+    assert!(tu.function("f").is_some());
+}
+
+#[test]
+fn pragma_between_statements_survives_roundtrip() {
+    let src = "void f(int n) {\n\
+               n++;\n\
+               #pragma omp parallel for schedule(dynamic, 8) num_threads(4)\n\
+               for (int i = 0; i < n; i++) { }\n\
+               n--;\n\
+               }";
+    let tu = parse(src).unwrap();
+    let printed = print(&tu);
+    assert!(printed.contains("schedule(dynamic, 8)"));
+    assert_eq!(parse(&printed).unwrap(), tu);
+}
+
+#[test]
+fn large_generated_program_roundtrips() {
+    // 200 functions, each with a loop: stress the printer/parser pair.
+    let mut src = String::new();
+    for i in 0..200 {
+        src.push_str(&format!(
+            "double fn_{i}(double x) {{\n\
+             for (int i = 0; i < {i} + 1; i++) {{ x = x * 1.5 + {i}.0; }}\n\
+             return x;\n\
+             }}\n"
+        ));
+    }
+    let tu = parse(&src).unwrap();
+    assert_eq!(tu.functions().count(), 200);
+    let printed = print(&tu);
+    assert_eq!(parse(&printed).unwrap(), tu);
+    // Per function: signature + for + loop-body assignment + return.
+    assert_eq!(logical_loc(&tu), 200 * 4);
+}
+
+#[test]
+fn unicode_in_strings_is_preserved() {
+    let src = r#"void f() { printf("温度 → %d°C\n", 42); }"#;
+    let tu = parse(src).unwrap();
+    let printed = print(&tu);
+    assert!(printed.contains("温度"));
+    assert_eq!(parse(&printed).unwrap(), tu);
+}
+
+#[test]
+fn empty_translation_unit_is_valid() {
+    let tu = parse("").unwrap();
+    assert!(tu.items.is_empty());
+    assert_eq!(logical_loc(&tu), 0);
+    assert_eq!(print(&tu), "");
+}
+
+#[test]
+fn whitespace_only_and_comment_only_inputs() {
+    assert!(parse("   \n\t  ").unwrap().items.is_empty());
+    assert!(parse("/* nothing */").unwrap().items.is_empty());
+    assert!(parse("// nothing\n").unwrap().items.is_empty());
+}
+
+#[test]
+fn max_int_literal_parses() {
+    let e = parse_expr("9223372036854775807").unwrap();
+    assert_eq!(e, minic::Expr::IntLit(i64::MAX));
+    // Overflow is a clean error.
+    assert!(parse_expr("9223372036854775808").is_err());
+}
+
+#[test]
+fn float_edge_forms() {
+    for (src, val) in [("1e0", 1.0), (".25", 0.25), ("2.", 2.0), ("1E+2", 100.0)] {
+        match parse_expr(src).unwrap() {
+            minic::Expr::FloatLit(v) => assert!((v - val).abs() < 1e-12, "{src}"),
+            other => panic!("{src} parsed as {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based round-trip tests: for generated ASTs,
+//! `parse(print(ast)) == ast`, and printing is a fixed point.
+
+use minic::ast::*;
+use minic::{parse, parse_expr, print, print_expr};
+use proptest::prelude::*;
+
+/// Generates valid identifiers that avoid keywords and type names.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "alpha", "beta", "acc", "tmp", "val", "i0", "j0", "k0", "n", "m", "x", "y", "z", "sum",
+        "idx", "aa", "bb", "cc",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..10_000).prop_map(Expr::IntLit),
+        (0u32..100_000u32).prop_map(|v| Expr::FloatLit(f64::from(v) / 128.0 + 0.5)),
+        ident_strategy().prop_map(Expr::Ident),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(vec![
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Rem,
+        BinaryOp::Lt,
+        BinaryOp::Le,
+        BinaryOp::Gt,
+        BinaryOp::Ge,
+        BinaryOp::Eq,
+        BinaryOp::Ne,
+        BinaryOp::LogAnd,
+        BinaryOp::LogOr,
+        BinaryOp::BitAnd,
+        BinaryOp::BitOr,
+        BinaryOp::BitXor,
+        BinaryOp::Shl,
+        BinaryOp::Shr,
+    ])
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (binop_strategy(), inner.clone(), inner.clone()).prop_map(|(op, lhs, rhs)| {
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Ternary {
+                cond: Box::new(c),
+                then_expr: Box::new(t),
+                else_expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (ident_strategy(), inner.clone()).prop_map(|(b, i)| Expr::index(Expr::Ident(b), i)),
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(callee, args)| Expr::call(callee, args)),
+            (ident_strategy(), inner).prop_map(|(n, r)| Expr::assign(Expr::Ident(n), r)),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        expr_strategy().prop_map(Stmt::Expr),
+        expr_strategy().prop_map(|e| Stmt::Return(Some(e))),
+        (ident_strategy(), expr_strategy()).prop_map(|(n, e)| {
+            Stmt::Decl(vec![Decl::new(Type::Int, n).with_init(Init::Expr(e))])
+        }),
+    ];
+    simple.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::option::of(prop::collection::vec(inner.clone(), 1..2)),
+            )
+                .prop_map(|(cond, t, e)| Stmt::If {
+                    cond,
+                    then_branch: Block::new(t),
+                    else_branch: e.map(Block::new),
+                }),
+            (
+                ident_strategy(),
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 1..3),
+            )
+                .prop_map(|(v, bound, body)| Stmt::For {
+                    init: Some(ForInit::Decl(vec![Decl::new(Type::Int, v.clone())
+                        .with_init(Init::Expr(Expr::int(0)))])),
+                    cond: Some(Expr::binary(BinaryOp::Lt, Expr::Ident(v.clone()), bound)),
+                    step: Some(Expr::Postfix {
+                        op: PostfixOp::Inc,
+                        expr: Box::new(Expr::Ident(v)),
+                    }),
+                    body: Block::new(body),
+                }),
+            (expr_strategy(), prop::collection::vec(inner, 1..3)).prop_map(|(cond, body)| {
+                Stmt::While {
+                    cond,
+                    body: Block::new(body),
+                }
+            }),
+        ]
+    })
+}
+
+fn function_strategy() -> impl Strategy<Value = Function> {
+    (
+        prop::collection::vec(stmt_strategy(), 0..6),
+        prop::collection::vec(ident_strategy(), 0..3),
+    )
+        .prop_map(|(stmts, params)| {
+            let mut seen = std::collections::HashSet::new();
+            let params: Vec<Param> = params
+                .into_iter()
+                .filter(|p| seen.insert(p.clone()))
+                .map(|p| Param::new(Type::Int, p))
+                .collect();
+            Function {
+                ret: Type::Void,
+                name: "generated_fn".into(),
+                params,
+                body: Some(Block::new(stmts)),
+                is_static: false,
+                pragmas: Vec::new(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
+        prop_assert_eq!(&e, &reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn expr_printing_is_fixed_point(e in expr_strategy()) {
+        let once = print_expr(&e);
+        let twice = print_expr(&parse_expr(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn function_print_parse_roundtrip(f in function_strategy()) {
+        let mut tu = TranslationUnit::new();
+        tu.items.push(Item::Function(f));
+        let printed = print(&tu);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted:\n{printed}"));
+        prop_assert_eq!(&tu, &reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn logical_loc_stable_under_reprint(f in function_strategy()) {
+        let mut tu = TranslationUnit::new();
+        tu.items.push(Item::Function(f));
+        let printed = print(&tu);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(minic::logical_loc(&tu), minic::logical_loc(&reparsed));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,60}") {
+        // Errors are fine; panics are not.
+        let _ = parse(&s);
+    }
+}

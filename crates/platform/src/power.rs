@@ -1,0 +1,202 @@
+//! RAPL-style power model: machine idle floor, per-socket uncore, per-core
+//! dynamic power scaled by compiler-induced ILP, SMT increments and DRAM
+//! power proportional to achieved bandwidth.
+
+use crate::config::KnobConfig;
+use crate::flags::FlagEffectModel;
+use crate::timing::{TimingBreakdown, TimingParams};
+use crate::topology::Placement;
+use crate::workload::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// Tunable coefficients of the power model (watts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Machine floor: fans, VRs, DRAM refresh, both packages idle.
+    pub idle_w: f64,
+    /// Extra power when a socket has at least one active thread (uncore,
+    /// L3, clocks out of deep sleep).
+    pub uncore_w: f64,
+    /// Dynamic power of one busy physical core at `-O1` IPC.
+    pub core_w: f64,
+    /// Extra power of a second SMT thread on a busy core.
+    pub smt_w: f64,
+    /// DRAM power at full (two-socket) bandwidth.
+    pub dram_max_w: f64,
+    /// Fraction of core power still burned while stalled on memory.
+    pub stall_floor: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            idle_w: 38.0,
+            uncore_w: 7.0,
+            core_w: 3.7,
+            smt_w: 1.1,
+            dram_max_w: 14.0,
+            stall_floor: 0.35,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Average power (watts) over one kernel invocation.
+    ///
+    /// The run is modelled as a serial phase (one busy core) followed by a
+    /// parallel phase (all placed threads busy, derated by memory stalls);
+    /// the reported value is the time-weighted average, which is what a
+    /// RAPL-window measurement over the kernel region would observe.
+    pub fn average_power(
+        &self,
+        w: &WorkloadProfile,
+        cfg: &KnobConfig,
+        placement: &Placement,
+        breakdown: &TimingBreakdown,
+        timing: &TimingParams,
+        flags: &FlagEffectModel,
+    ) -> f64 {
+        let pf = flags.power_factor(w, &cfg.co);
+        let total = breakdown.total_s();
+        if total <= 0.0 {
+            return self.idle_w;
+        }
+
+        let serial_power = self.idle_w + self.uncore_w + self.core_w * pf;
+
+        let util = breakdown.compute_utilization();
+        let activity = self.stall_floor + (1.0 - self.stall_floor) * util;
+        let cores = f64::from(placement.cores_used());
+        let smt = f64::from(placement.smt_threads());
+        let sockets = f64::from(placement.active_sockets());
+        let par = breakdown.parallel_s();
+        let achieved_bw = if par > 0.0 { w.bytes / par } else { 0.0 };
+        let max_bw = timing.bw_per_socket * f64::from(placement.threads_per_socket.len() as u32);
+        let dram_power = self.dram_max_w * (achieved_bw / max_bw).min(1.0);
+        let parallel_power = self.idle_w
+            + self.uncore_w * sockets
+            + self.core_w * pf * cores * activity
+            + self.smt_w * smt * activity
+            + dram_power;
+
+        let serial_like = breakdown.serial_s + breakdown.overhead_s;
+        (serial_like * serial_power + par * parallel_power) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BindingPolicy, CompilerOptions, OptLevel};
+    use crate::topology::Topology;
+
+    struct Rig {
+        pp: PowerParams,
+        tp: TimingParams,
+        topo: Topology,
+        fm: FlagEffectModel,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                pp: PowerParams::default(),
+                tp: TimingParams::default(),
+                topo: Topology::xeon_e5_2630_v3(),
+                fm: FlagEffectModel::new(),
+            }
+        }
+
+        fn power(&self, w: &WorkloadProfile, tn: u32, bp: BindingPolicy, level: OptLevel) -> f64 {
+            let cfg = KnobConfig::new(CompilerOptions::level(level), tn, bp);
+            let placement = self.topo.place(tn, bp);
+            let b = self.tp.breakdown(w, &cfg, &placement, &self.topo, &self.fm);
+            self.pp
+                .average_power(w, &cfg, &placement, &b, &self.tp, &self.fm)
+        }
+    }
+
+    fn kernel() -> WorkloadProfile {
+        // Polybench kernels are entire parallel loop nests: the serial
+        // remainder is loop setup only.
+        WorkloadProfile::builder("2mm-like")
+            .flops(2.5e9)
+            .bytes(6e8)
+            .parallel_fraction(0.995)
+            .build()
+    }
+
+    #[test]
+    fn power_range_matches_paper_envelope() {
+        // Fig. 4 sweeps power budgets 45..140 W: the platform's reachable
+        // band must fall inside roughly that envelope.
+        let r = Rig::new();
+        let w = kernel();
+        let min = r.power(&w, 1, BindingPolicy::Close, OptLevel::Os);
+        let max = r.power(&w, 32, BindingPolicy::Spread, OptLevel::O3);
+        assert!((44.0..56.0).contains(&min), "min power {min}");
+        assert!((120.0..150.0).contains(&max), "max power {max}");
+    }
+
+    #[test]
+    fn more_threads_draw_more_power() {
+        let r = Rig::new();
+        let w = kernel();
+        let mut last = 0.0;
+        for tn in [1, 4, 8, 16, 32] {
+            let p = r.power(&w, tn, BindingPolicy::Close, OptLevel::O2);
+            assert!(p > last, "tn={tn}: {p} <= {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn spread_costs_more_at_low_thread_counts() {
+        // Spread lights up both sockets' uncore immediately.
+        let r = Rig::new();
+        let w = kernel();
+        let close = r.power(&w, 4, BindingPolicy::Close, OptLevel::O2);
+        let spread = r.power(&w, 4, BindingPolicy::Spread, OptLevel::O2);
+        assert!(spread > close, "close={close} spread={spread}");
+    }
+
+    #[test]
+    fn o3_draws_more_power_than_os() {
+        let r = Rig::new();
+        let w = kernel();
+        let os = r.power(&w, 16, BindingPolicy::Close, OptLevel::Os);
+        let o3 = r.power(&w, 16, BindingPolicy::Close, OptLevel::O3);
+        assert!(o3 > os);
+    }
+
+    #[test]
+    fn memory_bound_kernels_burn_less_core_power() {
+        let r = Rig::new();
+        let compute = kernel();
+        let memory = WorkloadProfile::builder("stream")
+            .flops(1e8)
+            .bytes(8e9)
+            .build();
+        let pc = r.power(&compute, 16, BindingPolicy::Close, OptLevel::O2);
+        let pm = r.power(&memory, 16, BindingPolicy::Close, OptLevel::O2);
+        assert!(pm < pc, "stalled cores must draw less: {pm} vs {pc}");
+    }
+
+    #[test]
+    fn zero_duration_returns_idle() {
+        let r = Rig::new();
+        let w = kernel();
+        let cfg = KnobConfig::new(CompilerOptions::level(OptLevel::O2), 1, BindingPolicy::Close);
+        let placement = r.topo.place(1, BindingPolicy::Close);
+        let b = TimingBreakdown {
+            serial_s: 0.0,
+            compute_s: 0.0,
+            memory_s: 0.0,
+            overhead_s: 0.0,
+        };
+        assert_eq!(
+            r.pp.average_power(&w, &cfg, &placement, &b, &r.tp, &r.fm),
+            r.pp.idle_w
+        );
+    }
+}

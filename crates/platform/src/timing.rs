@@ -1,0 +1,339 @@
+//! Execution-time model: roofline compute/memory balance, Amdahl serial
+//! fraction, USL-style contention, SMT yield and NUMA placement effects.
+
+use crate::config::{BindingPolicy, KnobConfig};
+use crate::flags::FlagEffectModel;
+use crate::topology::{Placement, Topology};
+use crate::workload::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// Tunable coefficients of the timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Single-core flop rate at `-O1`, flops/s.
+    pub base_flops_per_core: f64,
+    /// Fraction of an extra core an SMT sibling thread contributes.
+    pub smt_yield: f64,
+    /// Peak DRAM bandwidth per socket, bytes/s.
+    pub bw_per_socket: f64,
+    /// Bandwidth saturation constant: `t` threads on a socket achieve
+    /// `bw * t / (t + k)`.
+    pub bw_saturation_k: f64,
+    /// Compute-rate penalty per unit non-locality when threads span two
+    /// sockets under `spread`.
+    pub spread_remote_penalty: f64,
+    /// Same, for `close` placements that spill onto the second socket.
+    pub close_spill_penalty: f64,
+    /// USL-style contention coefficient multiplier.
+    pub contention_scale: f64,
+    /// Fixed fork/join overhead, seconds.
+    pub fork_join_base_s: f64,
+    /// Additional fork/join overhead per thread, seconds.
+    pub fork_join_per_thread_s: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            base_flops_per_core: 1.3e9,
+            smt_yield: 0.35,
+            bw_per_socket: 28e9,
+            bw_saturation_k: 2.0,
+            spread_remote_penalty: 0.12,
+            close_spill_penalty: 0.06,
+            contention_scale: 0.08,
+            fork_join_base_s: 60e-6,
+            fork_join_per_thread_s: 2e-6,
+        }
+    }
+}
+
+/// Phase-level timing breakdown of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Serial (non-parallelisable) compute time, seconds.
+    pub serial_s: f64,
+    /// Parallel-phase compute time, seconds.
+    pub compute_s: f64,
+    /// Parallel-phase memory time, seconds.
+    pub memory_s: f64,
+    /// Fork/join and runtime overhead, seconds.
+    pub overhead_s: f64,
+}
+
+impl TimingBreakdown {
+    /// The parallel phase duration (compute and memory overlap; the
+    /// longer one dominates — roofline).
+    pub fn parallel_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s)
+    }
+
+    /// Total wall-clock duration.
+    pub fn total_s(&self) -> f64 {
+        self.serial_s + self.parallel_s() + self.overhead_s
+    }
+
+    /// Fraction of the parallel phase spent computing (1 = compute-bound).
+    pub fn compute_utilization(&self) -> f64 {
+        let p = self.parallel_s();
+        if p <= 0.0 {
+            1.0
+        } else {
+            self.compute_s / p
+        }
+    }
+}
+
+impl TimingParams {
+    /// Computes the timing breakdown of one kernel invocation.
+    pub fn breakdown(
+        &self,
+        w: &WorkloadProfile,
+        cfg: &KnobConfig,
+        placement: &Placement,
+        topo: &Topology,
+        flags: &FlagEffectModel,
+    ) -> TimingBreakdown {
+        let speedup = flags.speedup(w, &cfg.co);
+        let rate1 = self.base_flops_per_core * speedup;
+
+        let serial_flops = (1.0 - w.parallel_fraction) * w.flops;
+        let parallel_flops = w.parallel_fraction * w.flops;
+
+        // Effective parallelism: cores + SMT siblings, derated by
+        // cross-socket coherence and USL contention.
+        let coherence = self.coherence_efficiency(w, cfg.bp, placement);
+        let contention =
+            1.0 + w.contention * f64::from(placement.threads.saturating_sub(1)) * self.contention_scale;
+        let n_eff = placement.effective_parallelism(self.smt_yield) * coherence / contention;
+
+        let serial_s = serial_flops / rate1;
+        let compute_s = parallel_flops / (rate1 * n_eff.max(1e-9));
+        let memory_s = w.bytes / self.aggregate_bandwidth(placement).max(1.0);
+        let overhead_s = if placement.threads > 1 {
+            self.fork_join_base_s + self.fork_join_per_thread_s * f64::from(placement.threads)
+        } else {
+            0.0
+        };
+        let _ = topo; // topology is implicit in the placement
+        TimingBreakdown {
+            serial_s,
+            compute_s,
+            memory_s,
+            overhead_s,
+        }
+    }
+
+    /// Aggregate achievable DRAM bandwidth for a placement, bytes/s.
+    pub fn aggregate_bandwidth(&self, placement: &Placement) -> f64 {
+        placement
+            .threads_per_socket
+            .iter()
+            .map(|&t| {
+                let t = f64::from(t);
+                if t <= 0.0 {
+                    0.0
+                } else {
+                    self.bw_per_socket * t / (t + self.bw_saturation_k)
+                }
+            })
+            .sum()
+    }
+
+    fn coherence_efficiency(
+        &self,
+        w: &WorkloadProfile,
+        bp: BindingPolicy,
+        placement: &Placement,
+    ) -> f64 {
+        if placement.active_sockets() <= 1 {
+            return 1.0;
+        }
+        let penalty = match bp {
+            BindingPolicy::Spread => self.spread_remote_penalty,
+            BindingPolicy::Close => self.close_spill_penalty,
+        };
+        (1.0 - penalty * (1.0 - w.locality)).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompilerOptions, OptLevel};
+
+    fn setup() -> (TimingParams, Topology, FlagEffectModel) {
+        (
+            TimingParams::default(),
+            Topology::xeon_e5_2630_v3(),
+            FlagEffectModel::new(),
+        )
+    }
+
+    fn cfg(tn: u32, bp: BindingPolicy) -> KnobConfig {
+        KnobConfig::new(CompilerOptions::level(OptLevel::O2), tn, bp)
+    }
+
+    fn compute_bound() -> WorkloadProfile {
+        WorkloadProfile::builder("2mm-like")
+            .flops(2.5e9)
+            .bytes(6e8)
+            .parallel_fraction(0.97)
+            .build()
+    }
+
+    fn memory_bound() -> WorkloadProfile {
+        WorkloadProfile::builder("mvt-like")
+            .flops(2e8)
+            .bytes(4e9)
+            .parallel_fraction(0.95)
+            .locality(0.3)
+            .build()
+    }
+
+    #[test]
+    fn more_threads_reduce_time_for_parallel_kernels() {
+        let (tp, topo, fm) = setup();
+        let w = compute_bound();
+        let t1 = tp
+            .breakdown(&w, &cfg(1, BindingPolicy::Close), &topo.place(1, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        let t16 = tp
+            .breakdown(&w, &cfg(16, BindingPolicy::Close), &topo.place(16, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        assert!(t16 < t1 / 8.0, "t1={t1} t16={t16}");
+    }
+
+    #[test]
+    fn smt_gains_are_sublinear() {
+        let (tp, topo, fm) = setup();
+        let w = compute_bound();
+        let t16 = tp
+            .breakdown(&w, &cfg(16, BindingPolicy::Close), &topo.place(16, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        let t32 = tp
+            .breakdown(&w, &cfg(32, BindingPolicy::Close), &topo.place(32, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        assert!(t32 < t16, "SMT should still help");
+        assert!(t32 > t16 / 1.8, "SMT must not double performance");
+    }
+
+    #[test]
+    fn memory_bound_kernels_prefer_spread_bandwidth() {
+        let (tp, topo, fm) = setup();
+        let w = memory_bound();
+        let close = tp
+            .breakdown(&w, &cfg(8, BindingPolicy::Close), &topo.place(8, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        let spread = tp
+            .breakdown(&w, &cfg(8, BindingPolicy::Spread), &topo.place(8, BindingPolicy::Spread), &topo, &fm)
+            .total_s();
+        // 8 threads close = 1 socket of bandwidth; spread = 2 sockets.
+        assert!(spread < close, "close={close} spread={spread}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_single_socket_prefers_close() {
+        let (tp, topo, fm) = setup();
+        // Highly local, compute-bound: spread pays coherence for nothing.
+        let w = WorkloadProfile::builder("local")
+            .flops(5e9)
+            .bytes(1e7)
+            .locality(0.2)
+            .build();
+        let close = tp
+            .breakdown(&w, &cfg(8, BindingPolicy::Close), &topo.place(8, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        let spread = tp
+            .breakdown(&w, &cfg(8, BindingPolicy::Spread), &topo.place(8, BindingPolicy::Spread), &topo, &fm)
+            .total_s();
+        assert!(close < spread, "close={close} spread={spread}");
+    }
+
+    #[test]
+    fn amdahl_limits_speedup() {
+        let (tp, topo, fm) = setup();
+        let w = WorkloadProfile::builder("half-serial")
+            .flops(1e9)
+            .bytes(1e6)
+            .parallel_fraction(0.5)
+            .build();
+        let t1 = tp
+            .breakdown(&w, &cfg(1, BindingPolicy::Close), &topo.place(1, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        let t32 = tp
+            .breakdown(&w, &cfg(32, BindingPolicy::Close), &topo.place(32, BindingPolicy::Close), &topo, &fm)
+            .total_s();
+        assert!(t1 / t32 < 2.05, "speedup bounded by 1/(1-p)");
+    }
+
+    #[test]
+    fn bandwidth_saturates_per_socket() {
+        let tp = TimingParams::default();
+        let topo = Topology::xeon_e5_2630_v3();
+        let bw1 = tp.aggregate_bandwidth(&topo.place(1, BindingPolicy::Close));
+        let bw8 = tp.aggregate_bandwidth(&topo.place(8, BindingPolicy::Close));
+        let bw8s = tp.aggregate_bandwidth(&topo.place(8, BindingPolicy::Spread));
+        assert!(bw8 > bw1 * 2.0);
+        assert!(bw8 < tp.bw_per_socket);
+        assert!(bw8s > bw8 * 1.3, "spread unlocks the second controller");
+    }
+
+    #[test]
+    fn contention_throttles_high_thread_counts() {
+        let (tp, topo, fm) = setup();
+        let time_at = |contention: f64, tn: u32| {
+            let w = WorkloadProfile::builder("contended")
+                .flops(1e9)
+                .bytes(1e6)
+                .parallel_fraction(1.0)
+                .contention(contention)
+                .build();
+            tp.breakdown(
+                &w,
+                &cfg(tn, BindingPolicy::Close),
+                &topo.place(tn, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
+            .total_s()
+        };
+        // Scaling 8 -> 32 threads must degrade markedly under contention.
+        let gain_clean = time_at(0.0, 8) / time_at(0.0, 32);
+        let gain_contended = time_at(0.5, 8) / time_at(0.5, 32);
+        assert!(
+            gain_contended < 0.62 * gain_clean,
+            "clean={gain_clean} contended={gain_contended}"
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_phases() {
+        let (tp, topo, fm) = setup();
+        let w = compute_bound();
+        let b = tp.breakdown(
+            &w,
+            &cfg(4, BindingPolicy::Close),
+            &topo.place(4, BindingPolicy::Close),
+            &topo,
+            &fm,
+        );
+        let expected = b.serial_s + b.compute_s.max(b.memory_s) + b.overhead_s;
+        assert!((b.total_s() - expected).abs() < 1e-15);
+        assert!(b.compute_utilization() > 0.9, "compute-bound kernel");
+    }
+
+    #[test]
+    fn single_thread_has_no_fork_join_overhead() {
+        let (tp, topo, fm) = setup();
+        let w = compute_bound();
+        let b = tp.breakdown(
+            &w,
+            &cfg(1, BindingPolicy::Close),
+            &topo.place(1, BindingPolicy::Close),
+            &topo,
+            &fm,
+        );
+        assert_eq!(b.overhead_s, 0.0);
+    }
+}

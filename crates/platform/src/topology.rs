@@ -1,0 +1,219 @@
+//! Machine topology and OpenMP thread placement.
+//!
+//! Models the paper's testbed: a dual-socket NUMA machine where
+//! `OMP_PLACES=cores` makes each *physical core* one place, and
+//! `proc_bind(close|spread)` decides how threads map onto places.
+
+use crate::config::BindingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Hardware topology: sockets × cores per socket × SMT ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of CPU sockets (NUMA nodes).
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core (2 = hyper-threading).
+    pub smt: u32,
+}
+
+impl Topology {
+    /// The paper's platform: 2× Intel Xeon E5-2630 v3 (8 cores each,
+    /// hyper-threading enabled) — 16 physical cores, 32 logical CPUs.
+    pub fn xeon_e5_2630_v3() -> Self {
+        Topology {
+            sockets: 2,
+            cores_per_socket: 8,
+            smt: 2,
+        }
+    }
+
+    /// Total physical cores.
+    pub fn physical_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total logical CPUs (the paper's TN upper bound).
+    pub fn logical_cpus(&self) -> u32 {
+        self.physical_cores() * self.smt
+    }
+
+    /// Computes where `tn` OpenMP threads land under `bp`.
+    ///
+    /// With `OMP_PLACES=cores`, places are physical cores.
+    /// `close` packs threads onto consecutive places (socket 0 first);
+    /// `spread` distributes them across sockets round-robin. Threads
+    /// beyond the number of places share cores via SMT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tn` is zero or exceeds the logical CPU count.
+    pub fn place(&self, tn: u32, bp: BindingPolicy) -> Placement {
+        assert!(tn >= 1, "thread count must be at least 1");
+        assert!(
+            tn <= self.logical_cpus(),
+            "thread count {tn} exceeds logical CPUs {}",
+            self.logical_cpus()
+        );
+        let sockets = self.sockets as usize;
+        let mut threads_per_socket = vec![0u32; sockets];
+        let places = self.physical_cores();
+        // First pass: one thread per place; second pass: SMT siblings.
+        for t in 0..tn {
+            let place = t % places; // place index in round `t / places`
+            let socket = match bp {
+                BindingPolicy::Close => place / self.cores_per_socket,
+                BindingPolicy::Spread => place % self.sockets,
+            };
+            threads_per_socket[socket as usize] += 1;
+        }
+        let cores_used_per_socket: Vec<u32> = threads_per_socket
+            .iter()
+            .map(|&t| t.min(self.cores_per_socket))
+            .collect();
+        let smt_threads_per_socket: Vec<u32> = threads_per_socket
+            .iter()
+            .zip(&cores_used_per_socket)
+            .map(|(&t, &c)| t - c)
+            .collect();
+        Placement {
+            threads: tn,
+            threads_per_socket,
+            cores_used_per_socket,
+            smt_threads_per_socket,
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::xeon_e5_2630_v3()
+    }
+}
+
+/// Result of placing a team of threads on the machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Total threads placed.
+    pub threads: u32,
+    /// Threads landed on each socket.
+    pub threads_per_socket: Vec<u32>,
+    /// Physical cores with at least one thread, per socket.
+    pub cores_used_per_socket: Vec<u32>,
+    /// Threads sharing a core with another thread (SMT siblings), per socket.
+    pub smt_threads_per_socket: Vec<u32>,
+}
+
+impl Placement {
+    /// Number of sockets that have at least one thread.
+    pub fn active_sockets(&self) -> u32 {
+        self.threads_per_socket.iter().filter(|&&t| t > 0).count() as u32
+    }
+
+    /// Total physical cores in use.
+    pub fn cores_used(&self) -> u32 {
+        self.cores_used_per_socket.iter().sum()
+    }
+
+    /// Total SMT sibling threads (threads beyond one per core).
+    pub fn smt_threads(&self) -> u32 {
+        self.smt_threads_per_socket.iter().sum()
+    }
+
+    /// Effective parallelism: full speed per core plus a diminished
+    /// contribution (`smt_yield`, typically ~0.35) per SMT sibling.
+    pub fn effective_parallelism(&self, smt_yield: f64) -> f64 {
+        f64::from(self.cores_used()) + smt_yield * f64::from(self.smt_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::xeon_e5_2630_v3()
+    }
+
+    #[test]
+    fn paper_platform_counts() {
+        let t = topo();
+        assert_eq!(t.physical_cores(), 16);
+        assert_eq!(t.logical_cpus(), 32);
+    }
+
+    #[test]
+    fn close_packs_one_socket_first() {
+        let p = topo().place(8, BindingPolicy::Close);
+        assert_eq!(p.threads_per_socket, vec![8, 0]);
+        assert_eq!(p.active_sockets(), 1);
+        assert_eq!(p.smt_threads(), 0);
+    }
+
+    #[test]
+    fn close_spills_to_second_socket() {
+        let p = topo().place(12, BindingPolicy::Close);
+        assert_eq!(p.threads_per_socket, vec![8, 4]);
+        assert_eq!(p.active_sockets(), 2);
+    }
+
+    #[test]
+    fn spread_balances_sockets() {
+        let p = topo().place(8, BindingPolicy::Spread);
+        assert_eq!(p.threads_per_socket, vec![4, 4]);
+        assert_eq!(p.active_sockets(), 2);
+        assert_eq!(p.smt_threads(), 0);
+    }
+
+    #[test]
+    fn smt_kicks_in_past_physical_cores() {
+        let p = topo().place(20, BindingPolicy::Close);
+        assert_eq!(p.cores_used(), 16);
+        assert_eq!(p.smt_threads(), 4);
+        // SMT siblings land where the second pass starts: socket 0.
+        assert_eq!(p.smt_threads_per_socket, vec![4, 0]);
+    }
+
+    #[test]
+    fn full_machine_uses_everything() {
+        for bp in BindingPolicy::ALL {
+            let p = topo().place(32, bp);
+            assert_eq!(p.cores_used(), 16);
+            assert_eq!(p.smt_threads(), 16);
+            assert_eq!(p.effective_parallelism(0.35), 16.0 + 0.35 * 16.0);
+        }
+    }
+
+    #[test]
+    fn single_thread_close_vs_spread() {
+        let pc = topo().place(1, BindingPolicy::Close);
+        let ps = topo().place(1, BindingPolicy::Spread);
+        assert_eq!(pc.active_sockets(), 1);
+        assert_eq!(ps.active_sockets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_panics() {
+        topo().place(0, BindingPolicy::Close);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds logical CPUs")]
+    fn too_many_threads_panics() {
+        topo().place(33, BindingPolicy::Close);
+    }
+
+    #[test]
+    fn thread_conservation_property() {
+        for tn in 1..=32 {
+            for bp in BindingPolicy::ALL {
+                let p = topo().place(tn, bp);
+                let total: u32 = p.threads_per_socket.iter().sum();
+                assert_eq!(total, tn);
+                assert_eq!(p.cores_used() + p.smt_threads(), tn.min(32));
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Workload characterisation used by the timing, power and flag models.
+//!
+//! A [`WorkloadProfile`] is the analytic abstraction of one kernel working
+//! on one dataset: how much compute and memory traffic it generates and
+//! the structural properties that decide how it responds to compiler flags,
+//! thread counts and binding policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic description of a kernel + dataset.
+///
+/// All structural fields are in `[0, 1]` unless noted. Construct with
+/// [`WorkloadProfile::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Kernel name (used for deterministic per-kernel response variation).
+    pub name: String,
+    /// Total floating-point operations for one kernel invocation.
+    pub flops: f64,
+    /// Total DRAM traffic in bytes for one invocation.
+    pub bytes: f64,
+    /// Fraction of work that parallelises (Amdahl's p).
+    pub parallel_fraction: f64,
+    /// How much the kernel benefits from NUMA-local data (1 = fully local
+    /// access pattern, 0 = data shared/streamed across sockets).
+    pub locality: f64,
+    /// Density of data-dependent branches in the inner loops.
+    pub branch_density: f64,
+    /// Share of floating-point work in the instruction mix.
+    pub fp_intensity: f64,
+    /// Density of function calls in hot code.
+    pub call_density: f64,
+    /// Normalised loop-nest depth (1.0 = triply-nested dense kernels).
+    pub loop_nest_depth: f64,
+    /// Whether the kernel is a stencil (affects unroll/ivopts response).
+    pub stencil: bool,
+    /// Working-set size in bytes (decides cache behaviour).
+    pub working_set_bytes: f64,
+    /// Coherence/synchronisation contention coefficient (USL kappa seed).
+    pub contention: f64,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile for the named kernel.
+    pub fn builder(name: impl Into<String>) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder::new(name)
+    }
+
+    /// Arithmetic intensity in flops/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Whether the kernel is memory-bound on a machine with the given
+    /// balance point (flops/byte at which compute and memory time equal).
+    pub fn is_memory_bound(&self, machine_balance: f64) -> bool {
+        self.arithmetic_intensity() < machine_balance
+    }
+
+    /// Validates all invariants; returns a list of violations (empty when
+    /// the profile is well-formed).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut check_unit = |name: &str, v: f64| {
+            if !(0.0..=1.0).contains(&v) {
+                problems.push(format!("{name} = {v} outside [0, 1]"));
+            }
+        };
+        check_unit("parallel_fraction", self.parallel_fraction);
+        check_unit("locality", self.locality);
+        check_unit("branch_density", self.branch_density);
+        check_unit("fp_intensity", self.fp_intensity);
+        check_unit("call_density", self.call_density);
+        check_unit("loop_nest_depth", self.loop_nest_depth);
+        check_unit("contention", self.contention);
+        for (name, v) in [
+            ("flops", self.flops),
+            ("bytes", self.bytes),
+            ("working_set_bytes", self.working_set_bytes),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                problems.push(format!("{name} = {v} must be finite and non-negative"));
+            }
+        }
+        if self.flops <= 0.0 && self.bytes <= 0.0 {
+            problems.push("profile has neither compute nor memory work".into());
+        }
+        problems
+    }
+}
+
+/// Builder for [`WorkloadProfile`] (defaults model a balanced dense kernel).
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                flops: 1e9,
+                bytes: 2.5e8,
+                parallel_fraction: 0.95,
+                locality: 0.7,
+                branch_density: 0.05,
+                fp_intensity: 0.8,
+                call_density: 0.0,
+                loop_nest_depth: 1.0,
+                stencil: false,
+                working_set_bytes: 2e7,
+                contention: 0.02,
+            },
+        }
+    }
+
+    /// Sets total floating-point operations.
+    pub fn flops(mut self, v: f64) -> Self {
+        self.profile.flops = v;
+        self
+    }
+
+    /// Sets total DRAM traffic in bytes.
+    pub fn bytes(mut self, v: f64) -> Self {
+        self.profile.bytes = v;
+        self
+    }
+
+    /// Sets the parallel fraction (Amdahl's p).
+    pub fn parallel_fraction(mut self, v: f64) -> Self {
+        self.profile.parallel_fraction = v;
+        self
+    }
+
+    /// Sets NUMA locality.
+    pub fn locality(mut self, v: f64) -> Self {
+        self.profile.locality = v;
+        self
+    }
+
+    /// Sets branch density.
+    pub fn branch_density(mut self, v: f64) -> Self {
+        self.profile.branch_density = v;
+        self
+    }
+
+    /// Sets floating-point intensity.
+    pub fn fp_intensity(mut self, v: f64) -> Self {
+        self.profile.fp_intensity = v;
+        self
+    }
+
+    /// Sets call density.
+    pub fn call_density(mut self, v: f64) -> Self {
+        self.profile.call_density = v;
+        self
+    }
+
+    /// Sets normalised loop-nest depth.
+    pub fn loop_nest_depth(mut self, v: f64) -> Self {
+        self.profile.loop_nest_depth = v;
+        self
+    }
+
+    /// Marks the kernel as a stencil.
+    pub fn stencil(mut self, v: bool) -> Self {
+        self.profile.stencil = v;
+        self
+    }
+
+    /// Sets working-set size in bytes.
+    pub fn working_set_bytes(mut self, v: f64) -> Self {
+        self.profile.working_set_bytes = v;
+        self
+    }
+
+    /// Sets the contention coefficient.
+    pub fn contention(mut self, v: f64) -> Self {
+        self.profile.contention = v;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated (see
+    /// [`WorkloadProfile::validate`]); profiles are build-time constants,
+    /// so a panic here is a programming error, not a runtime condition.
+    pub fn build(self) -> WorkloadProfile {
+        let problems = self.profile.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid workload profile `{}`: {}",
+            self.profile.name,
+            problems.join("; ")
+        );
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_default() {
+        let p = WorkloadProfile::builder("k").build();
+        assert!(p.validate().is_empty());
+        assert_eq!(p.name, "k");
+    }
+
+    #[test]
+    fn arithmetic_intensity_computed() {
+        let p = WorkloadProfile::builder("k").flops(8e9).bytes(2e9).build();
+        assert!((p.arithmetic_intensity() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        let streaming = WorkloadProfile::builder("stream").flops(1e8).bytes(1e9).build();
+        let dense = WorkloadProfile::builder("gemm").flops(1e10).bytes(1e8).build();
+        assert!(streaming.is_memory_bound(5.0));
+        assert!(!dense.is_memory_bound(5.0));
+    }
+
+    #[test]
+    fn zero_bytes_gives_infinite_intensity() {
+        let p = WorkloadProfile::builder("k").bytes(0.0).build();
+        assert!(p.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload profile")]
+    fn out_of_range_fraction_panics() {
+        let _ = WorkloadProfile::builder("k").parallel_fraction(1.5).build();
+    }
+
+    #[test]
+    fn validate_reports_all_problems() {
+        let mut p = WorkloadProfile::builder("k").build();
+        p.locality = -0.1;
+        p.branch_density = 2.0;
+        p.flops = f64::NAN;
+        assert_eq!(p.validate().len(), 3);
+    }
+
+    #[test]
+    fn no_work_at_all_is_invalid() {
+        let mut p = WorkloadProfile::builder("k").build();
+        p.flops = 0.0;
+        p.bytes = 0.0;
+        assert!(!p.validate().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the platform model: physical sanity
+//! invariants that must hold over the whole configuration space and a
+//! wide range of workloads.
+
+use platform_sim::{
+    BindingPolicy, CompilerFlag, CompilerOptions, KnobConfig, Machine, OptLevel, Topology,
+    WorkloadProfile,
+};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1e7f64..1e10,     // flops
+        1e6f64..1e10,     // bytes
+        0.5f64..1.0,      // parallel fraction
+        0.0f64..1.0,      // locality
+        0.0f64..0.8,      // branch density
+        0.1f64..1.0,      // fp intensity
+        0.0f64..0.5,      // contention
+    )
+        .prop_map(|(flops, bytes, pf, loc, br, fp, cont)| {
+            WorkloadProfile::builder("prop-kernel")
+                .flops(flops)
+                .bytes(bytes)
+                .parallel_fraction(pf)
+                .locality(loc)
+                .branch_density(br)
+                .fp_intensity(fp)
+                .contention(cont)
+                .build()
+        })
+}
+
+fn config_strategy() -> impl Strategy<Value = KnobConfig> {
+    (
+        0usize..4,
+        0u8..64,
+        1u32..=32,
+        prop::bool::ANY,
+    )
+        .prop_map(|(level, mask, tn, spread)| {
+            let level = OptLevel::ALL[level];
+            KnobConfig::new(
+                CompilerOptions::from_mask(level, mask),
+                tn,
+                if spread {
+                    BindingPolicy::Spread
+                } else {
+                    BindingPolicy::Close
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every execution has positive, finite time and a power inside the
+    /// machine's physical envelope.
+    #[test]
+    fn executions_are_physical(w in workload_strategy(), cfg in config_strategy()) {
+        let machine = Machine::xeon_e5_2630_v3(1).noiseless();
+        let e = machine.expected(&w, &cfg);
+        prop_assert!(e.time_s.is_finite() && e.time_s > 0.0);
+        prop_assert!(e.power_w.is_finite());
+        prop_assert!(e.power_w >= 38.0, "below idle floor: {}", e.power_w);
+        prop_assert!(e.power_w <= 180.0, "above TDP envelope: {}", e.power_w);
+        prop_assert!((e.energy_j - e.time_s * e.power_w).abs() < 1e-9);
+    }
+
+    /// Doubling the work at fixed configuration takes longer and at
+    /// least as much energy.
+    #[test]
+    fn more_work_takes_longer(w in workload_strategy(), cfg in config_strategy()) {
+        let machine = Machine::xeon_e5_2630_v3(2).noiseless();
+        let mut double = w.clone();
+        double.flops *= 2.0;
+        double.bytes *= 2.0;
+        let a = machine.expected(&w, &cfg);
+        let b = machine.expected(&double, &cfg);
+        prop_assert!(b.time_s > a.time_s);
+        prop_assert!(b.energy_j > a.energy_j * 0.99);
+    }
+
+    /// The noisy execution is centred on the expectation: over many
+    /// samples the mean ratio converges near 1.
+    #[test]
+    fn noise_is_unbiased(w in workload_strategy(), seed in 0u64..1000) {
+        let cfg = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            8,
+            BindingPolicy::Close,
+        );
+        let mut machine = Machine::xeon_e5_2630_v3(seed);
+        let expected = machine.expected(&w, &cfg).time_s;
+        let n = 60;
+        let mean: f64 = (0..n).map(|_| machine.execute(&w, &cfg).time_s).sum::<f64>() / f64::from(n);
+        prop_assert!((mean / expected - 1.0).abs() < 0.03, "bias {}", mean / expected);
+    }
+
+    /// Flag effects are bounded: no configuration is more than 3x faster
+    /// or 3x slower than -O1 single-thread (compiler flags alone cannot
+    /// do more on this workload class).
+    #[test]
+    fn flag_effects_are_bounded(w in workload_strategy(), mask in 0u8..64, level in 0usize..4) {
+        let machine = Machine::xeon_e5_2630_v3(3).noiseless();
+        let base = KnobConfig::new(CompilerOptions::level(OptLevel::O1), 1, BindingPolicy::Close);
+        let test = KnobConfig::new(
+            CompilerOptions::from_mask(OptLevel::ALL[level], mask),
+            1,
+            BindingPolicy::Close,
+        );
+        let tb = machine.expected(&w, &base).time_s;
+        let tt = machine.expected(&w, &test).time_s;
+        let ratio = tb / tt;
+        prop_assert!((1.0 / 3.0..3.0).contains(&ratio), "speedup {ratio}");
+    }
+
+    /// Placement conservation: threads are neither created nor lost, for
+    /// any (tn, bp) and for a range of topologies.
+    #[test]
+    fn placement_conserves_threads(
+        sockets in 1u32..4,
+        cores in 2u32..16,
+        smt in 1u32..3,
+        tn_seed in 1u32..1000,
+        spread in prop::bool::ANY,
+    ) {
+        let topo = Topology { sockets, cores_per_socket: cores, smt };
+        let tn = 1 + tn_seed % topo.logical_cpus();
+        let bp = if spread { BindingPolicy::Spread } else { BindingPolicy::Close };
+        let p = topo.place(tn, bp);
+        prop_assert_eq!(p.threads_per_socket.iter().sum::<u32>(), tn);
+        prop_assert_eq!(p.cores_used() + p.smt_threads(), tn);
+        for (s, &c) in p.cores_used_per_socket.iter().enumerate() {
+            prop_assert!(c <= topo.cores_per_socket, "socket {s} over-subscribed");
+        }
+    }
+
+    /// Close placement never lights up more sockets than spread.
+    #[test]
+    fn close_is_socket_frugal(tn in 1u32..=32) {
+        let topo = Topology::xeon_e5_2630_v3();
+        let close = topo.place(tn, BindingPolicy::Close);
+        let spread = topo.place(tn, BindingPolicy::Spread);
+        prop_assert!(close.active_sockets() <= spread.active_sockets());
+    }
+
+    /// Power is monotone in thread count at fixed everything else.
+    #[test]
+    fn power_monotone_in_threads(w in workload_strategy(), tn in 1u32..32) {
+        let machine = Machine::xeon_e5_2630_v3(4).noiseless();
+        let cfg = |t| KnobConfig::new(CompilerOptions::level(OptLevel::O2), t, BindingPolicy::Close);
+        let a = machine.expected(&w, &cfg(tn)).power_w;
+        let b = machine.expected(&w, &cfg(tn + 1)).power_w;
+        prop_assert!(b >= a * 0.995, "tn={tn}: {a} -> {b}");
+    }
+}
+
+#[test]
+fn compiler_flag_bits_are_consistent() {
+    for (i, f) in CompilerFlag::ALL.iter().enumerate() {
+        assert_eq!(f.bit(), i);
+    }
+}

@@ -1,0 +1,484 @@
+//! The 12 Polybench/C applications of the paper's experimental campaign:
+//! registry, dataset dimensions and analytic workload profiles.
+
+use platform_sim::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 12 benchmark applications (paper Table I order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum App {
+    /// 2mm — two matrix multiplications.
+    TwoMm,
+    /// 3mm — three matrix multiplications.
+    ThreeMm,
+    /// atax — matrix-transpose-vector product.
+    Atax,
+    /// correlation — correlation matrix computation.
+    Correlation,
+    /// doitgen — multi-resolution analysis kernel.
+    Doitgen,
+    /// gemver — vector multiplication and matrix addition.
+    Gemver,
+    /// jacobi-2d — 2-D Jacobi stencil.
+    Jacobi2d,
+    /// mvt — matrix-vector product and transpose.
+    Mvt,
+    /// nussinov — RNA folding dynamic program.
+    Nussinov,
+    /// seidel-2d — 2-D Gauss-Seidel stencil.
+    Seidel2d,
+    /// syr2k — symmetric rank-2k update.
+    Syr2k,
+    /// syrk — symmetric rank-k update.
+    Syrk,
+}
+
+/// Dataset size class (Polybench convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Quick functional checks.
+    Mini,
+    /// Unit-test scale.
+    Small,
+    /// DSE-profiling scale.
+    Medium,
+    /// Paper-scale (default for experiments).
+    Large,
+}
+
+impl Dataset {
+    /// Divider applied to the LARGE dimensions.
+    fn divider(self) -> usize {
+        match self {
+            Dataset::Mini => 16,
+            Dataset::Small => 8,
+            Dataset::Medium => 2,
+            Dataset::Large => 1,
+        }
+    }
+}
+
+impl App {
+    /// All 12 applications in paper (Table I) order.
+    pub const ALL: [App; 12] = [
+        App::TwoMm,
+        App::ThreeMm,
+        App::Atax,
+        App::Correlation,
+        App::Doitgen,
+        App::Gemver,
+        App::Jacobi2d,
+        App::Mvt,
+        App::Nussinov,
+        App::Seidel2d,
+        App::Syr2k,
+        App::Syrk,
+    ];
+
+    /// The benchmark's Polybench name (e.g. `"2mm"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            App::TwoMm => "2mm",
+            App::ThreeMm => "3mm",
+            App::Atax => "atax",
+            App::Correlation => "correlation",
+            App::Doitgen => "doitgen",
+            App::Gemver => "gemver",
+            App::Jacobi2d => "jacobi-2d",
+            App::Mvt => "mvt",
+            App::Nussinov => "nussinov",
+            App::Seidel2d => "seidel-2d",
+            App::Syr2k => "syr2k",
+            App::Syrk => "syrk",
+        }
+    }
+
+    /// The C kernel function name inside the benchmark source.
+    pub fn kernel_name(self) -> String {
+        format!("kernel_{}", self.name().replace('-', "_"))
+    }
+
+    /// Named dimension constants (`#define`s of the C source) for a
+    /// dataset class.
+    pub fn dims(self, ds: Dataset) -> Vec<(&'static str, usize)> {
+        let d = ds.divider();
+        let s = |v: usize| (v / d).max(4);
+        match self {
+            App::TwoMm => vec![
+                ("NI", s(800)),
+                ("NJ", s(900)),
+                ("NK", s(1100)),
+                ("NL", s(1200)),
+            ],
+            App::ThreeMm => vec![
+                ("NI", s(800)),
+                ("NJ", s(900)),
+                ("NK", s(1000)),
+                ("NL", s(1100)),
+                ("NM", s(1200)),
+            ],
+            App::Atax => vec![("M", s(1800)), ("N", s(2200))],
+            App::Correlation => vec![("M", s(1200)), ("N", s(1400))],
+            App::Doitgen => vec![("NR", s(150)), ("NQ", s(140)), ("NP", s(160))],
+            App::Gemver => vec![("N", s(4000))],
+            App::Jacobi2d => vec![("TSTEPS", s(500)), ("N", s(1300))],
+            App::Mvt => vec![("N", s(4000))],
+            App::Nussinov => vec![("N", s(2500))],
+            App::Seidel2d => vec![("TSTEPS", s(500)), ("N", s(2000))],
+            App::Syr2k => vec![("N", s(1200)), ("M", s(1000))],
+            App::Syrk => vec![("N", s(1200)), ("M", s(1000))],
+        }
+    }
+
+    /// Looks up one dimension by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app has no dimension of that name.
+    pub fn dim(self, ds: Dataset, name: &str) -> usize {
+        self.dims(ds)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("{} has no dimension `{name}`", self.name()))
+            .1
+    }
+
+    /// Total floating-point operations of one kernel invocation.
+    pub fn flops(self, ds: Dataset) -> f64 {
+        let g = |n: &str| self.dim(ds, n) as f64;
+        match self {
+            App::TwoMm => 2.0 * g("NI") * g("NJ") * g("NK") + 2.0 * g("NI") * g("NL") * g("NJ"),
+            App::ThreeMm => {
+                2.0 * (g("NI") * g("NJ") * g("NK")
+                    + g("NJ") * g("NL") * g("NM")
+                    + g("NI") * g("NL") * g("NJ"))
+            }
+            App::Atax => 4.0 * g("M") * g("N"),
+            App::Correlation => g("M") * g("M") * g("N") + 6.0 * g("M") * g("N"),
+            App::Doitgen => 2.0 * g("NR") * g("NQ") * g("NP") * g("NP"),
+            App::Gemver => 10.0 * g("N") * g("N"),
+            App::Jacobi2d => 10.0 * g("TSTEPS") * g("N") * g("N"),
+            App::Mvt => 4.0 * g("N") * g("N"),
+            App::Nussinov => g("N") * g("N") * g("N") / 3.0,
+            App::Seidel2d => 10.0 * g("TSTEPS") * g("N") * g("N"),
+            App::Syr2k => 2.0 * g("N") * g("N") * g("M") + g("N") * g("N"),
+            App::Syrk => g("N") * g("N") * g("M") + g("N") * g("N"),
+        }
+    }
+
+    /// Resident array bytes (`double` = 8 B; nussinov uses an int table).
+    pub fn working_set_bytes(self, ds: Dataset) -> f64 {
+        let g = |n: &str| self.dim(ds, n) as f64;
+        8.0 * match self {
+            App::TwoMm => {
+                g("NI") * g("NK")
+                    + g("NK") * g("NJ")
+                    + g("NJ") * g("NL")
+                    + g("NI") * g("NJ")
+                    + g("NI") * g("NL")
+            }
+            App::ThreeMm => {
+                g("NI") * g("NK")
+                    + g("NK") * g("NJ")
+                    + g("NJ") * g("NM")
+                    + g("NM") * g("NL")
+                    + g("NI") * g("NJ")
+                    + g("NJ") * g("NL")
+                    + g("NI") * g("NL")
+            }
+            App::Atax => g("M") * g("N") + 3.0 * g("N"),
+            App::Correlation => g("N") * g("M") + g("M") * g("M") + 2.0 * g("M"),
+            App::Doitgen => g("NR") * g("NQ") * g("NP") + g("NP") * g("NP") + g("NP"),
+            App::Gemver => g("N") * g("N") + 8.0 * g("N"),
+            App::Jacobi2d => 2.0 * g("N") * g("N"),
+            App::Mvt => g("N") * g("N") + 4.0 * g("N"),
+            App::Nussinov => g("N") * g("N") / 2.0 + g("N"),
+            App::Seidel2d => g("N") * g("N"),
+            App::Syr2k => 2.0 * g("N") * g("M") + g("N") * g("N"),
+            App::Syrk => g("N") * g("M") + g("N") * g("N"),
+        }
+    }
+
+    /// Structural traits that drive the platform's flag/timing response.
+    fn traits(self) -> AppTraits {
+        match self {
+            App::TwoMm | App::ThreeMm => AppTraits {
+                ai: 4.5,
+                parallel_fraction: 0.995,
+                locality: 0.80,
+                branch_density: 0.02,
+                fp_intensity: 0.95,
+                call_density: 0.0,
+                loop_nest_depth: 1.0,
+                stencil: false,
+                contention: 0.01,
+            },
+            App::Atax => AppTraits {
+                ai: 0.25,
+                parallel_fraction: 0.98,
+                locality: 0.45,
+                branch_density: 0.03,
+                fp_intensity: 0.90,
+                call_density: 0.0,
+                loop_nest_depth: 0.67,
+                stencil: false,
+                contention: 0.03,
+            },
+            App::Correlation => AppTraits {
+                ai: 1.8,
+                parallel_fraction: 0.985,
+                locality: 0.60,
+                branch_density: 0.12,
+                fp_intensity: 0.85,
+                call_density: 0.05,
+                loop_nest_depth: 0.85,
+                stencil: false,
+                contention: 0.03,
+            },
+            App::Doitgen => AppTraits {
+                ai: 2.5,
+                parallel_fraction: 0.99,
+                locality: 0.70,
+                branch_density: 0.02,
+                fp_intensity: 0.92,
+                call_density: 0.0,
+                loop_nest_depth: 1.0,
+                stencil: false,
+                contention: 0.02,
+            },
+            App::Gemver => AppTraits {
+                ai: 0.30,
+                parallel_fraction: 0.985,
+                locality: 0.40,
+                branch_density: 0.02,
+                fp_intensity: 0.90,
+                call_density: 0.0,
+                loop_nest_depth: 0.67,
+                stencil: false,
+                contention: 0.03,
+            },
+            App::Jacobi2d => AppTraits {
+                ai: 0.45,
+                parallel_fraction: 0.995,
+                locality: 0.55,
+                branch_density: 0.03,
+                fp_intensity: 0.90,
+                call_density: 0.0,
+                loop_nest_depth: 0.80,
+                stencil: true,
+                contention: 0.04,
+            },
+            App::Mvt => AppTraits {
+                ai: 0.25,
+                parallel_fraction: 0.985,
+                locality: 0.45,
+                branch_density: 0.02,
+                fp_intensity: 0.90,
+                call_density: 0.0,
+                loop_nest_depth: 0.67,
+                stencil: false,
+                contention: 0.02,
+            },
+            App::Nussinov => AppTraits {
+                ai: 1.2,
+                parallel_fraction: 0.90,
+                locality: 0.65,
+                branch_density: 0.50,
+                fp_intensity: 0.20,
+                call_density: 0.0,
+                loop_nest_depth: 0.90,
+                stencil: false,
+                contention: 0.15,
+            },
+            App::Seidel2d => AppTraits {
+                ai: 0.50,
+                parallel_fraction: 0.80,
+                locality: 0.60,
+                branch_density: 0.03,
+                fp_intensity: 0.90,
+                call_density: 0.0,
+                loop_nest_depth: 0.80,
+                stencil: true,
+                contention: 0.35,
+            },
+            App::Syr2k => AppTraits {
+                ai: 3.5,
+                parallel_fraction: 0.995,
+                locality: 0.75,
+                branch_density: 0.04,
+                fp_intensity: 0.95,
+                call_density: 0.0,
+                loop_nest_depth: 1.0,
+                stencil: false,
+                contention: 0.01,
+            },
+            App::Syrk => AppTraits {
+                ai: 3.0,
+                parallel_fraction: 0.995,
+                locality: 0.75,
+                branch_density: 0.04,
+                fp_intensity: 0.95,
+                call_density: 0.0,
+                loop_nest_depth: 1.0,
+                stencil: false,
+                contention: 0.01,
+            },
+        }
+    }
+
+    /// The analytic workload profile consumed by `platform_sim::Machine`.
+    pub fn profile(self, ds: Dataset) -> WorkloadProfile {
+        let t = self.traits();
+        let flops = self.flops(ds);
+        WorkloadProfile::builder(self.name())
+            .flops(flops)
+            .bytes(flops / t.ai)
+            .parallel_fraction(t.parallel_fraction)
+            .locality(t.locality)
+            .branch_density(t.branch_density)
+            .fp_intensity(t.fp_intensity)
+            .call_density(t.call_density)
+            .loop_nest_depth(t.loop_nest_depth)
+            .stencil(t.stencil)
+            .working_set_bytes(self.working_set_bytes(ds))
+            .contention(t.contention)
+            .build()
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for App {
+    type Err = UnknownAppError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        App::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| UnknownAppError(s.to_string()))
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAppError(pub String);
+
+impl fmt::Display for UnknownAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown polybench app `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownAppError {}
+
+#[derive(Debug, Clone, Copy)]
+struct AppTraits {
+    ai: f64,
+    parallel_fraction: f64,
+    locality: f64,
+    branch_density: f64,
+    fp_intensity: f64,
+    call_density: f64,
+    loop_nest_depth: f64,
+    stencil: bool,
+    contention: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_apps_with_unique_names() {
+        assert_eq!(App::ALL.len(), 12);
+        let names: std::collections::HashSet<_> = App::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn names_roundtrip_through_fromstr() {
+        for a in App::ALL {
+            assert_eq!(a.name().parse::<App>().unwrap(), a);
+        }
+        assert!("gemm".parse::<App>().is_err());
+    }
+
+    #[test]
+    fn kernel_names_are_c_identifiers() {
+        for a in App::ALL {
+            let k = a.kernel_name();
+            assert!(k.starts_with("kernel_"));
+            assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn all_profiles_are_valid() {
+        for a in App::ALL {
+            for ds in [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large] {
+                let p = a.profile(ds);
+                assert!(p.validate().is_empty(), "{a} {ds:?}: {:?}", p.validate());
+            }
+        }
+    }
+
+    #[test]
+    fn large_flops_are_paper_scale() {
+        // Seconds-scale serial runtimes at ~1.5 GFLOP/s; atax/gemver/mvt
+        // are the small O(n^2) apps.
+        for a in App::ALL {
+            let f = a.flops(Dataset::Large);
+            assert!(f > 1e7, "{a}: {f}");
+            assert!(f < 5e10, "{a}: {f}");
+        }
+        assert!(App::TwoMm.flops(Dataset::Large) > 1e9);
+        assert!(App::Mvt.flops(Dataset::Large) < 1e8);
+    }
+
+    #[test]
+    fn datasets_scale_monotonically() {
+        for a in App::ALL {
+            let mut last = 0.0;
+            for ds in [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large] {
+                let f = a.flops(ds);
+                assert!(f > last, "{a} {ds:?}");
+                last = f;
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_and_compute_bound_apps_coexist() {
+        // The Fig. 3 diversity requires both classes. The simulated
+        // machine's balance point is ~0.5 flops/byte (1.3 GF/s core vs.
+        // ~a third of 28 GB/s single-thread bandwidth, rising with cores).
+        let balance = 0.5;
+        let memory_bound: Vec<_> = App::ALL
+            .iter()
+            .filter(|a| a.profile(Dataset::Large).is_memory_bound(balance))
+            .collect();
+        assert!(memory_bound.len() >= 4, "{memory_bound:?}");
+        assert!(memory_bound.len() <= 8, "{memory_bound:?}");
+    }
+
+    #[test]
+    fn dim_lookup_panics_on_typo() {
+        let r = std::panic::catch_unwind(|| App::TwoMm.dim(Dataset::Large, "NX"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn working_sets_fit_in_memory() {
+        for a in App::ALL {
+            let ws = a.working_set_bytes(Dataset::Large);
+            assert!(ws < 128e9, "{a} exceeds the testbed's 128 GB");
+            assert!(ws > 1e4, "{a} suspiciously small working set");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # polybench — the paper's benchmark suite
+//!
+//! The SOCRATES experimental campaign uses 12 applications from
+//! Polybench/C. This crate provides, for each of them:
+//!
+//! - an executable Rust port of the kernel ([`kernels`]) with the
+//!   Polybench 4.2 semantics, validated by tests against matrix-algebra
+//!   references and invariants;
+//! - the original C source ([`source`]) in the `minic` dialect, which the
+//!   SOCRATES toolchain parses, characterises (Milepost) and weaves
+//!   (LARA Multiversioning + Autotuner);
+//! - an analytic [`WorkloadProfile`](platform_sim::WorkloadProfile)
+//!   ([`App::profile`]) that drives the simulated platform's timing/power
+//!   response.
+//!
+//! ## Example
+//!
+//! ```
+//! use polybench::{App, Dataset};
+//!
+//! let app = App::TwoMm;
+//! let src = polybench::source(app, Dataset::Large);
+//! let tu = minic::parse(&src).unwrap();
+//! assert!(tu.function("kernel_2mm").is_some());
+//!
+//! let profile = app.profile(Dataset::Large);
+//! assert!(profile.flops > 1e9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod kernels;
+pub mod matrix;
+pub mod sources;
+
+pub use apps::{App, Dataset, UnknownAppError};
+pub use matrix::Matrix;
+pub use sources::source;

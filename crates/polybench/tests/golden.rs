@@ -1,0 +1,148 @@
+//! Golden-value regression tests: each kernel computed on a small, fixed
+//! input with its output checksum pinned. Any semantic drift in a kernel
+//! port (loop bounds, index transposition, scaling) breaks these.
+
+use polybench::kernels::*;
+use polybench::Matrix;
+
+/// Deterministic Polybench-style initialisation.
+fn init(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * cols + j * 3 + salt) % 11) as f64 / 11.0 - 0.4
+    })
+}
+
+fn checksum(m: &Matrix) -> f64 {
+    // Position-weighted sum so permutations change the value.
+    m.as_slice()
+        .iter()
+        .enumerate()
+        .map(|(k, v)| v * ((k % 17) as f64 + 1.0))
+        .sum()
+}
+
+fn vec_checksum(v: &[f64]) -> f64 {
+    v.iter()
+        .enumerate()
+        .map(|(k, x)| x * ((k % 13) as f64 + 1.0))
+        .sum()
+}
+
+fn assert_close(actual: f64, golden: f64, what: &str) {
+    assert!(
+        (actual - golden).abs() < 1e-9,
+        "{what}: checksum {actual:.12} != golden {golden:.12}"
+    );
+}
+
+#[test]
+fn golden_2mm() {
+    let a = init(6, 5, 1);
+    let b = init(5, 7, 2);
+    let c = init(7, 4, 3);
+    let mut d = init(6, 4, 4);
+    kernel_2mm(1.5, 1.2, &a, &b, &c, &mut d);
+    assert_close(checksum(&d), 5.492682193839, "2mm D");
+}
+
+#[test]
+fn golden_3mm() {
+    let a = init(4, 5, 1);
+    let b = init(5, 3, 2);
+    let c = init(3, 6, 3);
+    let d = init(6, 4, 4);
+    let g = kernel_3mm(&a, &b, &c, &d);
+    assert_close(checksum(&g), 0.416166108872, "3mm G");
+}
+
+#[test]
+fn golden_atax() {
+    let a = init(8, 6, 5);
+    let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.25 - 0.5).collect();
+    let y = kernel_atax(&a, &x);
+    assert_close(vec_checksum(&y), 2.274049586777, "atax y");
+}
+
+#[test]
+fn golden_correlation() {
+    let data = init(20, 6, 7);
+    let corr = kernel_correlation(&data);
+    assert_close(checksum(&corr), 0.487689363921, "correlation");
+}
+
+#[test]
+fn golden_doitgen() {
+    let c4 = init(5, 5, 1);
+    let mut a = vec![init(4, 5, 2), init(4, 5, 3)];
+    kernel_doitgen(&mut a, &c4);
+    let total = checksum(&a[0]) + 2.0 * checksum(&a[1]);
+    assert_close(total, 18.520661157025, "doitgen");
+}
+
+#[test]
+fn golden_gemver() {
+    let a = init(6, 6, 9);
+    let u1: Vec<f64> = (0..6).map(|i| i as f64 * 0.1).collect();
+    let v1: Vec<f64> = (0..6).map(|i| 0.5 - i as f64 * 0.05).collect();
+    let u2: Vec<f64> = (0..6).map(|i| ((i * 3) % 4) as f64 * 0.2).collect();
+    let v2: Vec<f64> = (0..6).map(|i| ((i + 2) % 3) as f64 * 0.3).collect();
+    let y: Vec<f64> = (0..6).map(|i| 1.0 - i as f64 * 0.1).collect();
+    let z: Vec<f64> = (0..6).map(|i| i as f64 * 0.05).collect();
+    let out = kernel_gemver(1.5, 1.2, &a, &u1, &v1, &u2, &v2, &y, &z);
+    assert_close(vec_checksum(&out.w), 90.118665000000, "gemver w");
+}
+
+#[test]
+fn golden_jacobi_2d() {
+    let mut a = init(10, 10, 11);
+    let mut b = init(10, 10, 12);
+    kernel_jacobi_2d(&mut a, &mut b, 4);
+    assert_close(checksum(&a), 53.861202385455, "jacobi A");
+}
+
+#[test]
+fn golden_mvt() {
+    let a = init(7, 7, 13);
+    let mut x1: Vec<f64> = (0..7).map(|i| i as f64 * 0.1).collect();
+    let mut x2: Vec<f64> = (0..7).map(|i| 0.7 - i as f64 * 0.1).collect();
+    let y1: Vec<f64> = (0..7).map(|i| ((i * 5) % 3) as f64 * 0.2).collect();
+    let y2: Vec<f64> = (0..7).map(|i| ((i + 1) % 4) as f64 * 0.15).collect();
+    kernel_mvt(&a, &mut x1, &mut x2, &y1, &y2);
+    assert_close(vec_checksum(&x1) + vec_checksum(&x2), 22.154545454545, "mvt");
+}
+
+#[test]
+fn golden_nussinov() {
+    let seq: Vec<u8> = (0..16).map(|i| ((i * 7 + 3) % 4) as u8).collect();
+    let table = kernel_nussinov(&seq);
+    assert_eq!(table[(0, 15)], 7.0, "nussinov optimum");
+    assert_close(checksum(&table), 2280.0, "nussinov table");
+}
+
+#[test]
+fn golden_seidel_2d() {
+    let mut a = init(9, 9, 15);
+    kernel_seidel_2d(&mut a, 3);
+    assert_close(checksum(&a), 21.592376697803, "seidel A");
+}
+
+#[test]
+fn golden_syr2k() {
+    let a = init(5, 4, 17);
+    let b = init(5, 4, 18);
+    let mut c = init(5, 5, 19);
+    let sym = Matrix::from_fn(5, 5, |i, j| c[(i, j)] + c[(j, i)]);
+    c = sym;
+    kernel_syr2k(1.5, 1.2, &a, &b, &mut c);
+    assert_close(checksum(&c), 35.840826446281, "syr2k C");
+}
+
+#[test]
+fn golden_syrk() {
+    let a = init(5, 4, 21);
+    let mut c = init(5, 5, 22);
+    let sym = Matrix::from_fn(5, 5, |i, j| c[(i, j)] + c[(j, i)]);
+    c = sym;
+    kernel_syrk(1.5, 1.2, &a, &mut c);
+    assert_close(checksum(&c), 40.227272727273, "syrk C");
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the kernel ports: algebraic invariants that
+//! must hold for arbitrary well-formed inputs.
+
+use polybench::kernels::*;
+use polybench::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols).prop_map(move |data| {
+        Matrix::from_fn(rows, cols, |i, j| data[i * cols + j])
+    })
+}
+
+fn vector_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 2mm with alpha=0 reduces to a pure scaling of D.
+    #[test]
+    fn k2mm_alpha_zero_is_scaling(
+        a in matrix_strategy(4, 3),
+        b in matrix_strategy(3, 5),
+        c in matrix_strategy(5, 2),
+        d0 in matrix_strategy(4, 2),
+        beta in -2.0f64..2.0,
+    ) {
+        let mut d = d0.clone();
+        kernel_2mm(0.0, beta, &a, &b, &c, &mut d);
+        for i in 0..4 {
+            for j in 0..2 {
+                prop_assert!((d[(i, j)] - beta * d0[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// 2mm is linear in alpha: doubling alpha doubles (D - beta*D0).
+    #[test]
+    fn k2mm_linear_in_alpha(
+        a in matrix_strategy(3, 3),
+        b in matrix_strategy(3, 3),
+        c in matrix_strategy(3, 3),
+        d0 in matrix_strategy(3, 3),
+        alpha in 0.1f64..2.0,
+    ) {
+        let beta = 1.0;
+        let mut d1 = d0.clone();
+        kernel_2mm(alpha, beta, &a, &b, &c, &mut d1);
+        let mut d2 = d0.clone();
+        kernel_2mm(2.0 * alpha, beta, &a, &b, &c, &mut d2);
+        for i in 0..3 {
+            for j in 0..3 {
+                let part1 = d1[(i, j)] - beta * d0[(i, j)];
+                let part2 = d2[(i, j)] - beta * d0[(i, j)];
+                prop_assert!((part2 - 2.0 * part1).abs() < 1e-6, "({i},{j})");
+            }
+        }
+    }
+
+    /// atax output equals the matrix-algebra reference for random input.
+    #[test]
+    fn atax_matches_reference(a in matrix_strategy(6, 4), x in vector_strategy(4)) {
+        let y = kernel_atax(&a, &x);
+        let xm = Matrix::from_fn(4, 1, |i, _| x[i]);
+        let reference = a.transposed().matmul(&a.matmul(&xm));
+        for i in 0..4 {
+            prop_assert!((y[i] - reference[(i, 0)]).abs() < 1e-7);
+        }
+    }
+
+    /// Correlation entries always lie in [-1, 1] and the matrix is
+    /// symmetric with unit diagonal.
+    #[test]
+    fn correlation_is_well_formed(data in matrix_strategy(24, 5)) {
+        let corr = kernel_correlation(&data);
+        for i in 0..5 {
+            prop_assert!((corr[(i, i)] - 1.0).abs() < 1e-9);
+            for j in 0..5 {
+                prop_assert!((corr[(i, j)] - corr[(j, i)]).abs() < 1e-9);
+                prop_assert!(corr[(i, j)].abs() <= 1.0 + 1e-6, "corr {}", corr[(i, j)]);
+            }
+        }
+    }
+
+    /// Jacobi conserves a constant field and never amplifies the range
+    /// of the interior (it is an averaging operator).
+    #[test]
+    fn jacobi_is_a_contraction(mut a in matrix_strategy(8, 8), steps in 1usize..4) {
+        let mut b = a.clone();
+        let max0 = a.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min0 = a.as_slice().iter().copied().fold(f64::INFINITY, f64::min);
+        kernel_jacobi_2d(&mut a, &mut b, steps);
+        for v in a.as_slice() {
+            prop_assert!(*v <= max0 + 1e-9 && *v >= min0 - 1e-9);
+        }
+    }
+
+    /// Seidel likewise never escapes the initial value range.
+    #[test]
+    fn seidel_stays_in_range(mut a in matrix_strategy(7, 7), steps in 1usize..4) {
+        let max0 = a.as_slice().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min0 = a.as_slice().iter().copied().fold(f64::INFINITY, f64::min);
+        kernel_seidel_2d(&mut a, steps);
+        for v in a.as_slice() {
+            prop_assert!(*v <= max0 + 1e-9 && *v >= min0 - 1e-9);
+        }
+    }
+
+    /// mvt is additive in the y vectors: running with y then z equals
+    /// running once with (y + z).
+    #[test]
+    fn mvt_is_additive(
+        a in matrix_strategy(5, 5),
+        y1 in vector_strategy(5),
+        y2 in vector_strategy(5),
+    ) {
+        let zeros = vec![0.0; 5];
+        let mut x_split = vec![0.0; 5];
+        let mut unused = vec![0.0; 5];
+        kernel_mvt(&a, &mut x_split, &mut unused, &y1, &zeros);
+        kernel_mvt(&a, &mut x_split, &mut unused, &y2, &zeros);
+        let combined: Vec<f64> = y1.iter().zip(&y2).map(|(p, q)| p + q).collect();
+        let mut x_once = vec![0.0; 5];
+        let mut unused2 = vec![0.0; 5];
+        kernel_mvt(&a, &mut x_once, &mut unused2, &combined, &zeros);
+        for i in 0..5 {
+            prop_assert!((x_split[i] - x_once[i]).abs() < 1e-7);
+        }
+    }
+
+    /// syrk output is always symmetric and positive semi-definite on the
+    /// diagonal when beta=0 and alpha>0 (Gram matrix property).
+    #[test]
+    fn syrk_gram_properties(a in matrix_strategy(5, 3), alpha in 0.1f64..3.0) {
+        let mut c = Matrix::zeros(5, 5);
+        kernel_syrk(alpha, 0.0, &a, &mut c);
+        for i in 0..5 {
+            prop_assert!(c[(i, i)] >= -1e-9, "diagonal {}", c[(i, i)]);
+            for j in 0..5 {
+                prop_assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// syr2k with B = A equals 2*alpha*A*Aᵀ + beta*C (reduces to syrk).
+    #[test]
+    fn syr2k_reduces_to_syrk(a in matrix_strategy(4, 3), alpha in 0.1f64..2.0) {
+        let mut c1 = Matrix::zeros(4, 4);
+        kernel_syr2k(alpha, 0.0, &a, &a, &mut c1);
+        let mut c2 = Matrix::zeros(4, 4);
+        kernel_syrk(2.0 * alpha, 0.0, &a, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-7);
+    }
+
+    /// Nussinov's optimum never exceeds half the interval length (each
+    /// pairing consumes two bases).
+    #[test]
+    fn nussinov_pairings_are_bounded(seq in prop::collection::vec(0u8..4, 4..24)) {
+        let table = kernel_nussinov(&seq);
+        let n = seq.len();
+        let best = table[(0, n - 1)];
+        prop_assert!(best <= (n / 2) as f64);
+        prop_assert!(best >= 0.0);
+    }
+
+    /// doitgen preserves slab shape and equals per-slice matmul.
+    #[test]
+    fn doitgen_is_per_slice_matmul(slab in matrix_strategy(3, 4), c4 in matrix_strategy(4, 4)) {
+        let mut a = vec![slab.clone()];
+        kernel_doitgen(&mut a, &c4);
+        let reference = slab.matmul(&c4);
+        prop_assert!(a[0].max_abs_diff(&reference) < 1e-8);
+    }
+
+    /// gemver with zero rank-1 updates leaves A unchanged.
+    #[test]
+    fn gemver_zero_updates_preserve_a(a in matrix_strategy(4, 4)) {
+        let zeros = vec![0.0; 4];
+        let out = kernel_gemver(1.0, 1.0, &a, &zeros, &zeros, &zeros, &zeros, &zeros, &zeros);
+        prop_assert!(out.a_hat.max_abs_diff(&a) < 1e-12);
+    }
+}

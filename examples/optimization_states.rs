@@ -1,0 +1,67 @@
+//! Named optimisation states: register whole requirement sets (rank +
+//! constraints) once, then switch atomically by name — mARGOt's state
+//! mechanism, driving the same machinery as Fig. 5 but with a
+//! power-capped "capped" state in the mix.
+//!
+//! ```text
+//! cargo run --example optimization_states --release
+//! ```
+
+use margot::{Cmp, Constraint, Metric, OptimizationState, Rank, StateRegistry};
+use polybench::{App, Dataset};
+use socrates::{AdaptiveApplication, Toolchain};
+
+fn main() {
+    let toolchain = Toolchain {
+        dataset: Dataset::Medium,
+        ..Toolchain::default()
+    };
+    let enhanced = toolchain.enhance(App::Syr2k).expect("toolchain");
+
+    // Three states an operator might define for a long-running service.
+    let mut states = StateRegistry::new(
+        "energy",
+        OptimizationState::new(Rank::throughput_per_watt2()),
+    );
+    states.register(
+        "performance",
+        OptimizationState::new(Rank::maximize(Metric::throughput())),
+    );
+    states.register(
+        "capped",
+        OptimizationState::new(Rank::maximize(Metric::throughput())).with_constraint(
+            Constraint::new(Metric::power(), Cmp::LessOrEqual, 80.0, 10),
+        ),
+    );
+
+    let mut app = AdaptiveApplication::new(
+        enhanced,
+        states.active().rank.clone(),
+        31,
+    );
+
+    println!("named optimization states on syr2k (8 virtual s per state)");
+    println!(
+        "{:>13} {:>10} {:>11} {:>9} {:>7}",
+        "state", "power [W]", "exec [ms]", "threads", "bind"
+    );
+
+    for name in ["energy", "performance", "capped", "energy"] {
+        let state = states.switch_to(name).expect("registered state");
+        app.apply_state(state);
+        let samples = app.run_for(8.0);
+        let n = samples.len() as f64;
+        let power = samples.iter().map(|s| s.power_w).sum::<f64>() / n;
+        let exec = samples.iter().map(|s| s.time_s).sum::<f64>() / n * 1e3;
+        let last = samples.last().expect("samples");
+        println!(
+            "{:>13} {:>10.1} {:>11.1} {:>9} {:>7}",
+            name, power, exec, last.config.tn, last.config.bp
+        );
+    }
+
+    // Switching to an unknown state is a loud, typed error.
+    let err = states.switch_to("afterburner").unwrap_err();
+    println!();
+    println!("switching to an undefined state fails cleanly: {err}");
+}

@@ -1,0 +1,24 @@
+//! # socrates-suite — umbrella crate of the SOCRATES reproduction
+//!
+//! Re-exports the whole stack so examples and integration tests can use
+//! one dependency. See the individual crates for details:
+//!
+//! - [`minic`] — mini-C front-end (lexer/parser/AST/printer);
+//! - [`milepost`] — static code features (GCC-Milepost role);
+//! - [`cobayn`] — Bayesian-network compiler-flag prediction;
+//! - [`lara`] — aspect weaving (Multiversioning + Autotuner strategies);
+//! - [`margot`] — runtime autotuner (monitors, AS-RTM, MAPE-K);
+//! - [`platform_sim`] — simulated dual-socket NUMA testbed;
+//! - [`polybench`] — the 12 benchmark applications;
+//! - [`dse`] — design-space exploration;
+//! - [`socrates`] — the end-to-end toolchain and adaptive runtime.
+
+pub use cobayn;
+pub use dse;
+pub use lara;
+pub use margot;
+pub use milepost;
+pub use minic;
+pub use platform_sim;
+pub use polybench;
+pub use socrates;

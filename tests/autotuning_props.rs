@@ -1,0 +1,182 @@
+//! Property-based tests of the autotuning stack: AS-RTM selection
+//! invariants over randomly generated knowledge bases, Pareto-filter
+//! laws, and platform-model monotonicity properties.
+
+use margot::{
+    AsRtm, Cmp, Constraint, Knowledge, Metric, MetricValues, OperatingPoint, Rank,
+};
+use platform_sim::{
+    BindingPolicy, CompilerOptions, KnobConfig, Machine, OptLevel, WorkloadProfile,
+};
+use proptest::prelude::*;
+
+/// Strategy: a synthetic operating point with coupled time/power.
+fn op_strategy() -> impl Strategy<Value = OperatingPoint<u32>> {
+    (1u32..10_000, 0.01f64..10.0, 40.0f64..150.0).prop_map(|(cfg, time, power)| {
+        OperatingPoint::new(
+            cfg,
+            MetricValues::new()
+                .with(Metric::exec_time(), time)
+                .with(Metric::power(), power)
+                .with(Metric::throughput(), 1.0 / time)
+                .with(Metric::energy(), time * power),
+        )
+    })
+}
+
+fn knowledge_strategy() -> impl Strategy<Value = Knowledge<u32>> {
+    prop::collection::vec(op_strategy(), 1..60)
+        .prop_map(|ops| ops.into_iter().collect::<Knowledge<u32>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// If any point satisfies the constraint, the selected point must
+    /// satisfy it too, and must be rank-optimal among satisfiers.
+    #[test]
+    fn selection_is_constrained_argmin(kb in knowledge_strategy(), budget in 45.0f64..150.0) {
+        let mut rtm = AsRtm::new(kb.clone(), Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, budget, 10));
+        let best = rtm.best().expect("non-empty knowledge");
+        let feasible: Vec<&OperatingPoint<u32>> = kb
+            .points()
+            .iter()
+            .filter(|p| p.metric(&Metric::power()).unwrap() <= budget)
+            .collect();
+        if feasible.is_empty() {
+            // Fallback: closest violation — must minimise power distance.
+            let min_power = kb
+                .points()
+                .iter()
+                .map(|p| p.metric(&Metric::power()).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                (best.metric(&Metric::power()).unwrap() - min_power).abs() < 1e-9
+            );
+        } else {
+            prop_assert!(best.metric(&Metric::power()).unwrap() <= budget);
+            let best_time = feasible
+                .iter()
+                .map(|p| p.metric(&Metric::exec_time()).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((best.metric(&Metric::exec_time()).unwrap() - best_time).abs() < 1e-12);
+        }
+    }
+
+    /// Relaxing the budget can only improve (never worsen) the achieved
+    /// execution time.
+    #[test]
+    fn looser_budget_is_never_worse(kb in knowledge_strategy(), b1 in 45.0f64..150.0, extra in 0.0f64..50.0) {
+        let mut rtm = AsRtm::new(kb, Rank::minimize(Metric::exec_time()));
+        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, b1, 10));
+        let t1 = rtm.best().unwrap().metric(&Metric::exec_time()).unwrap();
+        rtm.set_constraint_value(&Metric::power(), b1 + extra);
+        let t2 = rtm.best().unwrap().metric(&Metric::exec_time()).unwrap();
+        prop_assert!(t2 <= t1 + 1e-12, "budget {b1}+{extra}: {t2} > {t1}");
+    }
+
+    /// The Pareto frontier is a subset containing the per-objective
+    /// optima, and no frontier point dominates another.
+    #[test]
+    fn pareto_frontier_laws(kb in knowledge_strategy()) {
+        let objectives = [(Metric::throughput(), true), (Metric::power(), false)];
+        let frontier = kb.pareto_filter(&objectives);
+        prop_assert!(!frontier.is_empty());
+        prop_assert!(frontier.len() <= kb.len());
+
+        // Per-objective optima survive.
+        let max_thr = kb
+            .points()
+            .iter()
+            .map(|p| p.metric(&Metric::throughput()).unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(frontier
+            .points()
+            .iter()
+            .any(|p| p.metric(&Metric::throughput()).unwrap() == max_thr));
+        let min_power = kb
+            .points()
+            .iter()
+            .map(|p| p.metric(&Metric::power()).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(frontier
+            .points()
+            .iter()
+            .any(|p| p.metric(&Metric::power()).unwrap() == min_power));
+
+        // Mutual non-domination.
+        for a in frontier.points() {
+            for b in frontier.points() {
+                let strictly_better = b.metric(&Metric::throughput()).unwrap()
+                    > a.metric(&Metric::throughput()).unwrap()
+                    && b.metric(&Metric::power()).unwrap()
+                        < a.metric(&Metric::power()).unwrap();
+                prop_assert!(!strictly_better);
+            }
+        }
+    }
+
+    /// Pareto filtering is idempotent.
+    #[test]
+    fn pareto_filter_is_idempotent(kb in knowledge_strategy()) {
+        let objectives = [(Metric::throughput(), true), (Metric::power(), false)];
+        let once = kb.pareto_filter(&objectives);
+        let twice = once.pareto_filter(&objectives);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    /// Platform model: expected execution time decreases (weakly) in
+    /// thread count for an embarrassingly parallel compute-bound kernel,
+    /// and power increases (weakly).
+    #[test]
+    fn platform_monotonicity_in_threads(tn in 1u32..32) {
+        let machine = Machine::xeon_e5_2630_v3(0).noiseless();
+        let w = WorkloadProfile::builder("prop")
+            .flops(5e9)
+            .bytes(1e8)
+            .parallel_fraction(1.0)
+            .contention(0.0)
+            .build();
+        let cfg = |t| KnobConfig::new(CompilerOptions::level(OptLevel::O2), t, BindingPolicy::Close);
+        let a = machine.expected(&w, &cfg(tn));
+        let b = machine.expected(&w, &cfg(tn + 1));
+        prop_assert!(b.time_s <= a.time_s * 1.001, "tn={tn}: {} -> {}", a.time_s, b.time_s);
+        prop_assert!(b.power_w >= a.power_w * 0.999, "tn={tn}: {} -> {}", a.power_w, b.power_w);
+    }
+
+    /// Platform model: throughput-per-watt² evaluation agrees between
+    /// Execution helpers and manual math for any config.
+    #[test]
+    fn execution_derived_metrics_consistent(tn in 1u32..=32, spread in any::<bool>()) {
+        let machine = Machine::xeon_e5_2630_v3(1).noiseless();
+        let w = WorkloadProfile::builder("prop2").flops(1e9).bytes(2e8).build();
+        let bp = if spread { BindingPolicy::Spread } else { BindingPolicy::Close };
+        let cfg = KnobConfig::new(CompilerOptions::level(OptLevel::O3), tn, bp);
+        let e = machine.expected(&w, &cfg);
+        prop_assert!((e.throughput() - 1.0 / e.time_s).abs() < 1e-12);
+        let manual = (1.0 / e.time_s) / (e.power_w * e.power_w);
+        prop_assert!((e.throughput_per_watt2() - manual).abs() < 1e-15);
+        prop_assert!((e.energy_j - e.time_s * e.power_w).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn feedback_only_rescales_never_reorders_equal_ratios() {
+    // With a uniform adjustment on exec_time, the argmin must not change.
+    let kb: Knowledge<u32> = (1..20u32)
+        .map(|i| {
+            OperatingPoint::new(
+                i,
+                MetricValues::new()
+                    .with(Metric::exec_time(), f64::from(i) * 0.1)
+                    .with(Metric::power(), 150.0 - f64::from(i)),
+            )
+        })
+        .collect();
+    let mut rtm = AsRtm::new(kb, Rank::minimize(Metric::exec_time()));
+    let before = rtm.best().unwrap().config;
+    rtm.set_adjustment(Metric::exec_time(), 2.0);
+    let after = rtm.best().unwrap().config;
+    assert_eq!(before, after);
+}

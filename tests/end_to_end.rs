@@ -1,0 +1,144 @@
+//! End-to-end integration tests: the full SOCRATES pipeline from C
+//! source to adaptive execution, across several benchmarks.
+
+use margot::{Cmp, Constraint, Metric, Rank};
+use polybench::{App, Dataset};
+use socrates::{AdaptiveApplication, Toolchain};
+
+fn quick() -> Toolchain {
+    Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+}
+
+#[test]
+fn pipeline_runs_for_every_benchmark() {
+    let toolchain = quick();
+    for app in App::ALL {
+        let e = toolchain
+            .enhance(app)
+            .unwrap_or_else(|err| panic!("{app}: {err}"));
+        assert!(!e.knowledge.is_empty(), "{app}: empty knowledge");
+        assert_eq!(
+            e.multiversioned.version_functions.len(),
+            e.versions.len(),
+            "{app}: clone count mismatch"
+        );
+        // Weaved program must be valid C and still contain main.
+        let printed = minic::print(&e.weaved);
+        let reparsed = minic::parse(&printed).unwrap_or_else(|err| panic!("{app}: {err}"));
+        assert!(reparsed.function("main").is_some(), "{app}");
+    }
+}
+
+#[test]
+fn adaptive_execution_respects_power_budget_on_three_apps() {
+    let toolchain = quick();
+    for app_id in [App::TwoMm, App::Jacobi2d, App::Syrk] {
+        let enhanced = toolchain.enhance(app_id).unwrap();
+        let mut app =
+            AdaptiveApplication::new(enhanced, Rank::minimize(Metric::exec_time()), 77);
+        app.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 90.0, 10));
+        app.run_for(2.0);
+        for s in app.trace() {
+            assert!(
+                s.power_w < 90.0 * 1.15,
+                "{app_id}: {:.1} W exceeds budget at t={:.2}",
+                s.power_w,
+                s.t_start_s
+            );
+        }
+    }
+}
+
+#[test]
+fn performance_policy_beats_efficiency_policy_on_speed() {
+    let toolchain = quick();
+    let enhanced = toolchain.enhance(App::Doitgen).unwrap();
+
+    let mut efficient =
+        AdaptiveApplication::new(enhanced.clone(), Rank::throughput_per_watt2(), 5);
+    efficient.run_for(2.0);
+    let mut fast = AdaptiveApplication::new(enhanced, Rank::maximize(Metric::throughput()), 5);
+    fast.run_for(2.0);
+
+    let mean = |app: &AdaptiveApplication, f: &dyn Fn(&socrates::TraceSample) -> f64| {
+        let t = app.trace();
+        t.iter().map(f).sum::<f64>() / t.len() as f64
+    };
+    assert!(
+        mean(&fast, &|s| s.time_s) < mean(&efficient, &|s| s.time_s),
+        "throughput policy must be faster"
+    );
+    assert!(
+        mean(&fast, &|s| s.power_w) > mean(&efficient, &|s| s.power_w),
+        "throughput policy must be hungrier"
+    );
+    // And the efficiency policy must actually win on Thr/W².
+    let eff_metric = |app: &AdaptiveApplication| {
+        let t = app.trace();
+        t.iter()
+            .map(|s| (1.0 / s.time_s) / (s.power_w * s.power_w))
+            .sum::<f64>()
+            / t.len() as f64
+    };
+    assert!(eff_metric(&efficient) > eff_metric(&fast));
+}
+
+#[test]
+fn energy_accounting_is_consistent_with_trace() {
+    let toolchain = quick();
+    let enhanced = toolchain.enhance(App::Atax).unwrap();
+    let mut app = AdaptiveApplication::new(enhanced, Rank::maximize(Metric::throughput()), 3);
+    app.run_for(1.0);
+    let sum: f64 = app.trace().iter().map(|s| s.time_s * s.power_w).sum();
+    assert!((app.energy_j() - sum).abs() < 1e-6);
+    let total_time: f64 = app.trace().iter().map(|s| s.time_s).sum();
+    assert!((app.now_s() - total_time).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_same_selection_policy() {
+    // Noise changes observations, not the policy: the dominant selected
+    // configuration must agree across seeds.
+    let toolchain = quick();
+    let enhanced = toolchain.enhance(App::Gemver).unwrap();
+    let dominant = |seed: u64| {
+        let mut app = AdaptiveApplication::new(
+            enhanced.clone(),
+            Rank::maximize(Metric::throughput()),
+            seed,
+        );
+        app.run_for(2.0);
+        let mut counts = std::collections::HashMap::new();
+        for s in app.trace() {
+            *counts.entry(s.version).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+    };
+    assert_eq!(dominant(1), dominant(999));
+}
+
+#[test]
+fn monitors_converge_to_observed_behaviour() {
+    let toolchain = quick();
+    let enhanced = toolchain.enhance(App::Syr2k).unwrap();
+    let mut app = AdaptiveApplication::new(enhanced, Rank::maximize(Metric::throughput()), 11);
+    app.run_for(2.0);
+    let manager = app.manager_mut();
+    let mon = manager.monitor(&Metric::exec_time()).expect("registered");
+    assert!(mon.total_observations() > 10);
+    let mean = mon.mean().expect("has data");
+    let expected = manager
+        .current()
+        .expect("applied")
+        .metric(&Metric::exec_time())
+        .expect("profiled");
+    // Observed matches design-time expectation within noise bounds.
+    assert!(
+        (mean / expected - 1.0).abs() < 0.1,
+        "mean {mean} vs expected {expected}"
+    );
+}

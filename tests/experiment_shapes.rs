@@ -1,0 +1,173 @@
+//! Shape tests for the paper's experiments: these encode the qualitative
+//! claims of Table I and Figures 3–5 as assertions, so a regression in
+//! any layer (platform model, COBAYN, weaving, AS-RTM) that would change
+//! the reproduced conclusions fails CI.
+
+use margot::{AsRtm, Cmp, Constraint, Metric, Rank};
+use polybench::{App, Dataset};
+use socrates::{AdaptiveApplication, Toolchain};
+
+fn quick() -> Toolchain {
+    Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+}
+
+// ---------- Table I ----------------------------------------------------
+
+#[test]
+fn table1_weaved_loc_is_order_of_magnitude_larger() {
+    // Paper: average W-LOC (1353) ≈ 15x average O-LOC (92); per-app at
+    // least ~5x. Ours must reproduce the order-of-magnitude blowup.
+    let toolchain = quick();
+    let mut ratios = Vec::new();
+    for app in [App::TwoMm, App::Mvt, App::Seidel2d, App::Correlation] {
+        let m = toolchain.enhance(app).unwrap().metrics;
+        ratios.push(m.weaved_loc as f64 / m.original_loc as f64);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg > 5.0, "average W/O ratio {avg}");
+}
+
+#[test]
+fn table1_bloat_varies_across_benchmarks() {
+    // Paper: Bloat spans 1.91 (mvt) .. 10.46 (jacobi-2d): kernels differ.
+    let toolchain = quick();
+    let bloats: Vec<f64> = [App::TwoMm, App::Mvt, App::Correlation, App::Nussinov]
+        .iter()
+        .map(|&a| toolchain.enhance(a).unwrap().metrics.bloat())
+        .collect();
+    let min = bloats.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = bloats.iter().copied().fold(0.0f64, f64::max);
+    assert!(max / min > 1.5, "bloat range too narrow: {bloats:?}");
+}
+
+// ---------- Figure 3 ---------------------------------------------------
+
+#[test]
+fn fig3_no_one_fits_all_configuration() {
+    // The best-throughput configuration differs across apps, and the
+    // normalized Pareto spans are wide.
+    let toolchain = quick();
+    let mut best_configs = std::collections::HashSet::new();
+    for app in [App::TwoMm, App::Mvt, App::Seidel2d, App::Nussinov] {
+        let e = toolchain.enhance(app).unwrap();
+        let rtm = AsRtm::new(e.knowledge.clone(), Rank::maximize(Metric::throughput()));
+        let best = rtm.best().unwrap().config.clone();
+        best_configs.insert(format!("{best}"));
+    }
+    assert!(
+        best_configs.len() >= 2,
+        "a one-fits-all config would defeat the paper's premise: {best_configs:?}"
+    );
+}
+
+#[test]
+fn fig3_pareto_spans_are_wide() {
+    let toolchain = quick();
+    let e = toolchain.enhance(App::TwoMm).unwrap();
+    let pareto = dse::power_throughput_pareto(&e.knowledge);
+    let powers: Vec<f64> = pareto
+        .points()
+        .iter()
+        .map(|p| p.metric(&Metric::power()).unwrap())
+        .collect();
+    let thrs: Vec<f64> = pareto
+        .points()
+        .iter()
+        .map(|p| p.metric(&Metric::throughput()).unwrap())
+        .collect();
+    let span = |v: &[f64]| {
+        v.iter().copied().fold(0.0f64, f64::max) / v.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    // Paper Fig. 3: normalized metrics spread between ~0.3 and ~2.5.
+    assert!(span(&powers) > 1.5, "power span {:.2}", span(&powers));
+    assert!(span(&thrs) > 3.0, "throughput span {:.2}", span(&thrs));
+}
+
+// ---------- Figure 4 ---------------------------------------------------
+
+#[test]
+fn fig4_exec_time_monotone_in_budget_and_knobs_nontrivial() {
+    let toolchain = quick();
+    let e = toolchain.enhance(App::TwoMm).unwrap();
+    let mut rtm = AsRtm::new(e.knowledge.clone(), Rank::minimize(Metric::exec_time()));
+    rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 45.0, 10));
+
+    let mut last_time = f64::INFINITY;
+    let mut compilers = std::collections::HashSet::new();
+    let mut bindings = std::collections::HashSet::new();
+    let mut threads = Vec::new();
+    let mut budget = 45.0;
+    while budget <= 140.0 {
+        rtm.set_constraint_value(&Metric::power(), budget);
+        let best = rtm.best().unwrap();
+        let t = best.metric(&Metric::exec_time()).unwrap();
+        assert!(
+            t <= last_time + 1e-12,
+            "exec time must not increase with budget ({budget} W)"
+        );
+        last_time = t;
+        compilers.insert(best.config.co.clone());
+        bindings.insert(best.config.bp);
+        threads.push(best.config.tn);
+        budget += 5.0;
+    }
+    // "No clear trend on the selected software-knobs": several distinct
+    // compiler configs appear along the sweep, and threads grow overall.
+    assert!(compilers.len() >= 3, "only {} compiler configs", compilers.len());
+    assert!(threads.last().unwrap() > threads.first().unwrap());
+}
+
+// ---------- Figure 5 ---------------------------------------------------
+
+#[test]
+fn fig5_requirement_switch_and_recovery() {
+    let toolchain = quick();
+    let e = toolchain.enhance(App::TwoMm).unwrap();
+    let mut app = AdaptiveApplication::new(e, Rank::throughput_per_watt2(), 2018);
+
+    app.run_for(5.0);
+    let phase1: Vec<_> = app.trace().to_vec();
+    app.set_rank(Rank::maximize(Metric::throughput()));
+    app.run_for(5.0);
+    let phase2: Vec<_> = app.trace()[phase1.len()..].to_vec();
+    app.set_rank(Rank::throughput_per_watt2());
+    app.run_for(5.0);
+    let phase3: Vec<_> = app.trace()[phase1.len() + phase2.len()..].to_vec();
+
+    let mean_power = |ts: &[socrates::TraceSample]| {
+        ts.iter().map(|s| s.power_w).sum::<f64>() / ts.len() as f64
+    };
+    let p1 = mean_power(&phase1);
+    let p2 = mean_power(&phase2);
+    let p3 = mean_power(&phase3);
+    // Performance phase is hotter; the energy phase recovers.
+    assert!(p2 > p1 * 1.15, "performance phase must raise power: {p1} -> {p2}");
+    assert!(
+        (p3 / p1 - 1.0).abs() < 0.1,
+        "energy phase must recover: {p1} vs {p3}"
+    );
+
+    // Thread counts move with the policy (paper: 5..35 swing).
+    let mean_tn = |ts: &[socrates::TraceSample]| {
+        ts.iter().map(|s| f64::from(s.config.tn)).sum::<f64>() / ts.len() as f64
+    };
+    assert!(mean_tn(&phase2) > mean_tn(&phase1) + 4.0);
+}
+
+#[test]
+fn fig5_policies_pick_different_compiler_versions() {
+    // In the paper's trace the CF label changes with the policy.
+    let toolchain = quick();
+    let e = toolchain.enhance(App::TwoMm).unwrap();
+    let mut app = AdaptiveApplication::new(e, Rank::throughput_per_watt2(), 99);
+    app.run_for(3.0);
+    let v1 = app.trace().last().unwrap().version;
+    app.set_rank(Rank::maximize(Metric::throughput()));
+    app.run_for(3.0);
+    let v2 = app.trace().last().unwrap().version;
+    assert_ne!(v1, v2, "both policies picked version {v1}");
+}

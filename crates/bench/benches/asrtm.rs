@@ -44,7 +44,12 @@ fn bench_best_selection(c: &mut Criterion) {
     group.sample_size(40);
     for n in [64usize, 256, 512] {
         let mut rtm = AsRtm::new(knowledge(n), Rank::throughput_per_watt2());
-        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 100.0, 10));
+        rtm.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            100.0,
+            10,
+        ));
         group.bench_with_input(BenchmarkId::from_parameter(n), &rtm, |b, rtm| {
             b.iter(|| rtm.best().unwrap().config.clone());
         });

@@ -11,7 +11,10 @@ fn versions(n: usize) -> Vec<StaticVersion> {
     (0..n)
         .map(|i| {
             StaticVersion::new(
-                [format!("O{}", (i % 3) + 1), "no-inline-functions".to_string()],
+                [
+                    format!("O{}", (i % 3) + 1),
+                    "no-inline-functions".to_string(),
+                ],
                 if i % 2 == 0 { "close" } else { "spread" },
             )
         })
@@ -79,5 +82,11 @@ fn bench_print(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_weave, bench_weave_scaling, bench_print);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_weave,
+    bench_weave_scaling,
+    bench_print
+);
 criterion_main!(benches);

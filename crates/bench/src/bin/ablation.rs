@@ -95,9 +95,11 @@ fn cobayn_value(toolchain: &Toolchain) {
             headroom_recovered: headroom,
         });
     }
-    let mean =
-        rows.iter().map(|r| r.headroom_recovered).sum::<f64>() / rows.len() as f64;
-    println!("mean oracle-headroom recovered by 4 predictions: {:.0}%", mean * 100.0);
+    let mean = rows.iter().map(|r| r.headroom_recovered).sum::<f64>() / rows.len() as f64;
+    println!(
+        "mean oracle-headroom recovered by 4 predictions: {:.0}%",
+        mean * 100.0
+    );
     println!();
     socrates_bench::write_json("ablation_cobayn", &rows);
 }
@@ -130,13 +132,14 @@ fn feedback_value(toolchain: &Toolchain) {
             hot_machine(),
         );
         app.set_feedback(feedback);
-        app.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, budget, 10));
+        app.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            budget,
+            10,
+        ));
         app.run_for(20.0);
-        let violations = app
-            .trace()
-            .iter()
-            .filter(|s| s.power_w > budget)
-            .count();
+        let violations = app.trace().iter().filter(|s| s.power_w > budget).count();
         violations as f64 / app.trace().len() as f64
     };
 
@@ -176,12 +179,14 @@ fn adaptation_value(toolchain: &Toolchain) {
     let schedule = [140.0, 60.0, 100.0];
 
     // Adaptive run.
-    let mut app = AdaptiveApplication::new(
-        enhanced.clone(),
-        Rank::minimize(Metric::exec_time()),
-        55,
-    );
-    app.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, schedule[0], 10));
+    let mut app =
+        AdaptiveApplication::new(enhanced.clone(), Rank::minimize(Metric::exec_time()), 55);
+    app.add_constraint(Constraint::new(
+        Metric::power(),
+        Cmp::LessOrEqual,
+        schedule[0],
+        10,
+    ));
     let mut adaptive_samples = Vec::new();
     let mut budgets_per_sample = Vec::new();
     for &budget in &schedule {
@@ -201,7 +206,12 @@ fn adaptation_value(toolchain: &Toolchain) {
             enhanced.knowledge.clone(),
             Rank::minimize(Metric::exec_time()),
         );
-        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, budget, 10));
+        rtm.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            budget,
+            10,
+        ));
         rtm.best().expect("non-empty").config.clone()
     };
 
@@ -223,8 +233,7 @@ fn adaptation_value(toolchain: &Toolchain) {
     };
 
     let stats = |execs: &[(f64, f64)], budgets: &[f64]| {
-        let mean_exec =
-            execs.iter().map(|(t, _)| t).sum::<f64>() / execs.len() as f64 * 1e3;
+        let mean_exec = execs.iter().map(|(t, _)| t).sum::<f64>() / execs.len() as f64 * 1e3;
         let violations = execs
             .iter()
             .zip(budgets)
@@ -244,7 +253,12 @@ fn adaptation_value(toolchain: &Toolchain) {
         .map(|s| (s.time_s, s.power_w))
         .collect();
     let (ae, av) = stats(&adaptive_execs, &budgets_per_sample);
-    println!("{:<24} {:>10.1} ms {:>11.1}%", "adaptive (SOCRATES)", ae, av * 100.0);
+    println!(
+        "{:<24} {:>10.1} ms {:>11.1}%",
+        "adaptive (SOCRATES)",
+        ae,
+        av * 100.0
+    );
     rows.push(AdaptationRow {
         strategy: "adaptive".into(),
         mean_exec_ms: ae,

@@ -37,7 +37,10 @@ fn main() {
         "Budget W", "Exec [ms]", "Power [W]", "Compiler", "Threads", "Bind"
     );
 
-    let mut rtm = AsRtm::new(enhanced.knowledge.clone(), Rank::minimize(Metric::exec_time()));
+    let mut rtm = AsRtm::new(
+        enhanced.knowledge.clone(),
+        Rank::minimize(Metric::exec_time()),
+    );
     rtm.add_constraint(Constraint::new(
         Metric::power(),
         Cmp::LessOrEqual,
@@ -61,7 +64,11 @@ fn main() {
             co_label(&best.config.co, &enhanced.cobayn_flags),
             best.config.tn,
             best.config.bp,
-            if feasible { "" } else { "  (budget infeasible)" }
+            if feasible {
+                ""
+            } else {
+                "  (budget infeasible)"
+            }
         );
         points.push(Point {
             budget_w: budget,
@@ -80,10 +87,7 @@ fn main() {
         .iter()
         .map(|p| p.exec_time_ms)
         .fold(f64::INFINITY, f64::min);
-    let slowest = points
-        .iter()
-        .map(|p| p.exec_time_ms)
-        .fold(0.0f64, f64::max);
+    let slowest = points.iter().map(|p| p.exec_time_ms).fold(0.0f64, f64::max);
     println!();
     println!(
         "exec-time dynamic range across budgets: {slowest:.0} ms -> {fastest:.0} ms \

@@ -95,11 +95,14 @@ fn main() {
     println!();
     for phase in ["Thr/W^2", "Throughput"] {
         let phase_samples: Vec<&Sample> = samples.iter().filter(|s| s.phase == phase).collect();
-        let mean_power = phase_samples.iter().map(|s| s.power_w).sum::<f64>()
-            / phase_samples.len() as f64;
-        let mean_exec = phase_samples.iter().map(|s| s.exec_time_ms).sum::<f64>()
-            / phase_samples.len() as f64;
-        let mean_threads = phase_samples.iter().map(|s| f64::from(s.threads)).sum::<f64>()
+        let mean_power =
+            phase_samples.iter().map(|s| s.power_w).sum::<f64>() / phase_samples.len() as f64;
+        let mean_exec =
+            phase_samples.iter().map(|s| s.exec_time_ms).sum::<f64>() / phase_samples.len() as f64;
+        let mean_threads = phase_samples
+            .iter()
+            .map(|s| f64::from(s.threads))
+            .sum::<f64>()
             / phase_samples.len() as f64;
         println!(
             "phase {phase:<11}: mean power {mean_power:6.1} W, mean exec {mean_exec:7.1} ms, \

@@ -45,7 +45,10 @@ impl fmt::Display for BnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BnError::BadParent { node, parent } => {
-                write!(f, "node `{node}`: parent index {parent} is not an earlier node")
+                write!(
+                    f,
+                    "node `{node}`: parent index {parent} is not an earlier node"
+                )
             }
             BnError::BadArity(node) => write!(f, "node `{node}`: arity must be >= 2"),
             BnError::BadRow(i) => write!(f, "training row {i} is malformed"),
@@ -82,7 +85,10 @@ impl BayesianNetwork {
         let idx = self.nodes.len();
         for &p in &parents {
             if p >= idx {
-                return Err(BnError::BadParent { node: name, parent: p });
+                return Err(BnError::BadParent {
+                    node: name,
+                    parent: p,
+                });
             }
         }
         let combos = parents
@@ -301,7 +307,10 @@ mod tests {
             Err(BnError::BadParent { .. })
         ));
         assert!(bn.add_node("B", 2, vec![a]).is_ok());
-        assert!(matches!(bn.add_node("C", 1, vec![]), Err(BnError::BadArity(_))));
+        assert!(matches!(
+            bn.add_node("C", 1, vec![]),
+            Err(BnError::BadArity(_))
+        ));
     }
 
     #[test]

@@ -128,9 +128,7 @@ impl Cobayn {
         let n_flag_nodes = 1 + CompilerFlag::ALL.len(); // level + flags
         let mut rows: Vec<Vec<usize>> = Vec::new();
         for (app, proj) in apps.iter().zip(&projected) {
-            let feature_bins: Vec<usize> = (0..k)
-                .map(|c| discretise(proj[c], &edges[c]))
-                .collect();
+            let feature_bins: Vec<usize> = (0..k).map(|c| discretise(proj[c], &edges[c])).collect();
             for co in &app.good {
                 let mut row = feature_bins.clone();
                 row.push(usize::from(co.level == OptLevel::O3));
@@ -404,6 +402,7 @@ mod tests {
         // Score = number of flags (more flags = better, synthetic).
         let good = iterative_compilation(|co| co.flags.len() as f64, 0.1);
         assert_eq!(good.len(), 13); // ceil(128 * 0.1)
+
         // All selected combos have >= 4 flags (top of the count order).
         assert!(good.iter().all(|co| co.flags.len() >= 4), "{good:?}");
     }

@@ -67,7 +67,10 @@ fn leave_one_out_predictions_beat_standard_levels() {
     // The four predicted combos must beat (or match) the standard levels
     // on at least 10 of 12 unseen apps, and recover most of the oracle
     // headroom on average.
-    assert!(wins >= 10, "predictions beat std levels on only {wins}/12 apps");
+    assert!(
+        wins >= 10,
+        "predictions beat std levels on only {wins}/12 apps"
+    );
     let mean_recovered = recovered_total / App::ALL.len() as f64;
     assert!(
         mean_recovered > 0.6,

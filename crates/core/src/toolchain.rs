@@ -237,7 +237,11 @@ mod tests {
         let e = quick_toolchain().enhance(App::TwoMm).unwrap();
         // 16 static versions: 8 CO × 2 BP (4 std + 4 predicted, if all
         // distinct; at minimum 4 std × 2).
-        assert!(e.versions.len() >= 8 && e.versions.len() <= 16, "{}", e.versions.len());
+        assert!(
+            e.versions.len() >= 8 && e.versions.len() <= 16,
+            "{}",
+            e.versions.len()
+        );
         assert_eq!(e.multiversioned.version_functions.len(), e.versions.len());
         assert_eq!(e.cobayn_flags.len(), 4);
         // Knowledge covers the full-factorial space.

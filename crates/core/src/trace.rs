@@ -109,7 +109,11 @@ mod tests {
             t_start_s: t,
             time_s: time,
             power_w: power,
-            config: KnobConfig::new(CompilerOptions::level(OptLevel::O2), tn, BindingPolicy::Close),
+            config: KnobConfig::new(
+                CompilerOptions::level(OptLevel::O2),
+                tn,
+                BindingPolicy::Close,
+            ),
             version,
         }
     }

@@ -6,6 +6,15 @@
 //! agnostic to the enumeration strategy (full factorial or random
 //! subsampling), as Section III notes.
 //!
+//! Profiling is embarrassingly parallel — every operating point is an
+//! independent experiment — so [`profile`] fans the configurations out
+//! across all host cores with `rayon`. Each configuration is measured
+//! on a [`Machine::fork`] whose noise stream is derived from the
+//! parent machine's seed and the configuration's index, which makes
+//! the parallel sweep **bit-identical** to the sequential reference
+//! implementation [`profile_serial`] for any seed, repetition count
+//! and thread count.
+//!
 //! ## Example
 //!
 //! ```
@@ -13,10 +22,10 @@
 //! use platform_sim::{Machine, Topology, WorkloadProfile};
 //!
 //! let space = DesignSpace::socrates(vec![], &Topology::xeon_e5_2630_v3());
-//! let mut machine = Machine::xeon_e5_2630_v3(1);
+//! let machine = Machine::xeon_e5_2630_v3(1);
 //! let kernel = WorkloadProfile::builder("demo").flops(1e8).bytes(1e7).build();
 //! let some_configs = space.random_sample(10, 7);
-//! let knowledge = profile(&mut machine, &kernel, &some_configs, 2);
+//! let knowledge = profile(&machine, &kernel, &some_configs, 2);
 //! assert_eq!(knowledge.len(), 10);
 //! ```
 
@@ -29,6 +38,7 @@ use platform_sim::{
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The SOCRATES autotuning space: compiler options, thread counts and
@@ -97,35 +107,97 @@ impl DesignSpace {
 /// averaged) and returns the mARGOt knowledge with the four EFPs the
 /// paper uses: execution time, power, throughput and energy.
 ///
+/// Configurations are profiled **in parallel** across all host cores.
+/// Each configuration runs on a [`Machine::fork`] seeded from the
+/// parent machine's construction seed and the configuration's index,
+/// so the result is deterministic for a given machine seed and
+/// bit-identical to [`profile_serial`] regardless of core count or
+/// scheduling order.
+///
+/// Profiling never mutates the parent machine (each configuration
+/// runs on its own fork), so a `&Machine` suffices and the same
+/// machine can be profiled from several threads at once.
+///
 /// # Panics
 ///
 /// Panics if `repetitions` is zero.
 pub fn profile(
-    machine: &mut Machine,
+    machine: &Machine,
     workload: &WorkloadProfile,
     configs: &[KnobConfig],
     repetitions: u32,
 ) -> Knowledge<KnobConfig> {
     assert!(repetitions > 0, "need at least one repetition");
-    let mut knowledge = Knowledge::new();
-    for cfg in configs {
-        let mut time = 0.0;
-        let mut power = 0.0;
-        for _ in 0..repetitions {
-            let run = machine.execute(workload, cfg);
-            time += run.time_s;
-            power += run.power_w;
-        }
-        time /= f64::from(repetitions);
-        power /= f64::from(repetitions);
-        let metrics = MetricValues::new()
-            .with(Metric::exec_time(), time)
-            .with(Metric::power(), power)
-            .with(Metric::throughput(), 1.0 / time)
-            .with(Metric::energy(), time * power);
-        knowledge.add(OperatingPoint::new(cfg.clone(), metrics));
+    (0..configs.len())
+        .into_par_iter()
+        .map(|i| profile_point(machine, workload, &configs[i], i as u64, repetitions))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// The sequential reference implementation of [`profile`]: identical
+/// output, one configuration at a time on the calling thread. Kept for
+/// regression-testing the parallel path and for benchmarking the
+/// speedup.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn profile_serial(
+    machine: &Machine,
+    workload: &WorkloadProfile,
+    configs: &[KnobConfig],
+    repetitions: u32,
+) -> Knowledge<KnobConfig> {
+    assert!(repetitions > 0, "need at least one repetition");
+    configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| profile_point(machine, workload, cfg, i as u64, repetitions))
+        .collect()
+}
+
+/// Profiles one operating point on a forked noise stream.
+fn profile_point(
+    machine: &Machine,
+    workload: &WorkloadProfile,
+    cfg: &KnobConfig,
+    stream: u64,
+    repetitions: u32,
+) -> OperatingPoint<KnobConfig> {
+    let mut fork = machine.fork(stream);
+    let mut time = 0.0;
+    let mut power = 0.0;
+    for _ in 0..repetitions {
+        let run = fork.execute(workload, cfg);
+        time += run.time_s;
+        power += run.power_w;
     }
-    knowledge
+    time /= f64::from(repetitions);
+    power /= f64::from(repetitions);
+    let metrics = MetricValues::new()
+        .with(Metric::exec_time(), time)
+        .with(Metric::power(), power)
+        .with(Metric::throughput(), 1.0 / time)
+        .with(Metric::energy(), time * power);
+    OperatingPoint::new(cfg.clone(), metrics)
+}
+
+/// Profiles the **entire** design space (the paper's full-factorial
+/// DSE) in parallel: shorthand for [`profile`] over
+/// [`DesignSpace::full_factorial`].
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn explore(
+    machine: &Machine,
+    workload: &WorkloadProfile,
+    space: &DesignSpace,
+    repetitions: u32,
+) -> Knowledge<KnobConfig> {
+    profile(machine, workload, &space.full_factorial(), repetitions)
 }
 
 /// Convenience: the Pareto frontier of a knowledge base on the paper's
@@ -140,10 +212,7 @@ mod tests {
     use platform_sim::paper_cf_combos;
 
     fn space() -> DesignSpace {
-        DesignSpace::socrates(
-            paper_cf_combos().to_vec(),
-            &Topology::xeon_e5_2630_v3(),
-        )
+        DesignSpace::socrates(paper_cf_combos().to_vec(), &Topology::xeon_e5_2630_v3())
     }
 
     fn kernel() -> WorkloadProfile {
@@ -231,7 +300,11 @@ mod tests {
         let configs = space().full_factorial();
         let k = profile(&mut m, &kernel(), &configs, 1);
         let frontier = power_throughput_pareto(&k);
-        assert!(frontier.len() >= 5, "frontier too small: {}", frontier.len());
+        assert!(
+            frontier.len() >= 5,
+            "frontier too small: {}",
+            frontier.len()
+        );
         assert!(
             frontier.len() * 4 < k.len(),
             "frontier {} not selective vs {}",

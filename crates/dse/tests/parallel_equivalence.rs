@@ -1,0 +1,116 @@
+//! Regression tests pinning the contract of the parallel DSE engine:
+//! `dse::profile` (rayon, all cores) must produce **bit-identical**
+//! knowledge to `dse::profile_serial` (one thread, in order) for any
+//! fixed machine seed and repetition count.
+
+use dse::{explore, profile, profile_serial, DesignSpace};
+use margot::Metric;
+use platform_sim::{paper_cf_combos, Machine, Topology, WorkloadProfile};
+
+/// Forces the rayon shim onto several worker threads so these tests
+/// exercise real cross-thread scheduling even on single-core CI boxes.
+/// An externally supplied `RAYON_NUM_THREADS` (e.g. CI's 16-thread
+/// run) takes precedence.
+fn force_multithreading() {
+    if std::env::var("RAYON_NUM_THREADS").is_err() {
+        std::env::set_var("RAYON_NUM_THREADS", "8");
+    }
+}
+
+fn space() -> DesignSpace {
+    DesignSpace::socrates(paper_cf_combos().to_vec(), &Topology::xeon_e5_2630_v3())
+}
+
+fn kernel() -> WorkloadProfile {
+    WorkloadProfile::builder("2mm-like")
+        .flops(2.5e9)
+        .bytes(6e8)
+        .parallel_fraction(0.995)
+        .build()
+}
+
+#[test]
+fn parallel_profile_is_bit_identical_to_serial() {
+    force_multithreading();
+    let configs = space().random_sample(96, 21);
+    for (seed, repetitions) in [(0u64, 1u32), (7, 3), (12345, 5)] {
+        let parallel = profile(
+            &mut Machine::xeon_e5_2630_v3(seed),
+            &kernel(),
+            &configs,
+            repetitions,
+        );
+        let serial = profile_serial(
+            &mut Machine::xeon_e5_2630_v3(seed),
+            &kernel(),
+            &configs,
+            repetitions,
+        );
+        assert_eq!(parallel.len(), serial.len());
+        // Point-by-point bit equality: same config order, and every
+        // metric's f64 bit pattern matches exactly.
+        for (p, s) in parallel.points().iter().zip(serial.points().iter()) {
+            assert_eq!(p.config, s.config);
+            for metric in [
+                Metric::exec_time(),
+                Metric::power(),
+                Metric::throughput(),
+                Metric::energy(),
+            ] {
+                let pv = p.metric(&metric).expect("parallel metric present");
+                let sv = s.metric(&metric).expect("serial metric present");
+                assert_eq!(
+                    pv.to_bits(),
+                    sv.to_bits(),
+                    "{metric} differs for {:?} (seed {seed}, reps {repetitions})",
+                    p.config
+                );
+            }
+        }
+        // And the structural equality the rest of the stack relies on.
+        assert_eq!(parallel, serial);
+    }
+}
+
+#[test]
+fn parallel_profile_is_reproducible_across_calls() {
+    force_multithreading();
+    let configs = space().random_sample(64, 3);
+    let a = profile(&mut Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
+    let b = profile(&mut Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn explore_matches_full_factorial_profile() {
+    force_multithreading();
+    let s = space();
+    let by_explore = explore(&mut Machine::xeon_e5_2630_v3(4), &kernel(), &s, 1);
+    let by_profile = profile_serial(
+        &mut Machine::xeon_e5_2630_v3(4),
+        &kernel(),
+        &s.full_factorial(),
+        1,
+    );
+    assert_eq!(by_explore.len(), s.size());
+    assert_eq!(by_explore, by_profile);
+}
+
+#[test]
+fn profiling_consumed_machines_stays_deterministic() {
+    force_multithreading();
+    // A machine that has already executed kernels must still fork the
+    // same per-config streams: profiling is a function of the seed, not
+    // of the machine's consumed RNG state.
+    let configs = space().random_sample(16, 8);
+    let mut fresh = Machine::xeon_e5_2630_v3(33);
+    let mut consumed = Machine::xeon_e5_2630_v3(33);
+    let cfg = &configs[0];
+    for _ in 0..5 {
+        let _ = consumed.execute(&kernel(), cfg);
+    }
+    assert_eq!(
+        profile(&mut fresh, &kernel(), &configs, 3),
+        profile(&mut consumed, &kernel(), &configs, 3),
+    );
+}

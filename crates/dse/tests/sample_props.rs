@@ -1,0 +1,77 @@
+//! Property tests of `DesignSpace::random_sample`: reproducibility,
+//! subset-ness, uniqueness and the `len == min(n, space_size)` law.
+
+use std::collections::HashSet;
+
+use dse::DesignSpace;
+use platform_sim::{paper_cf_combos, Topology};
+use proptest::prelude::*;
+
+/// Strategy: design spaces of varying size — the paper's 512-point
+/// space, truncated variants, and tiny corner cases.
+fn space_strategy() -> impl Strategy<Value = DesignSpace> {
+    (1usize..=8, 1u32..=32, prop::bool::ANY).prop_map(|(n_co, max_tn, both_bp)| {
+        let full = DesignSpace::socrates(paper_cf_combos().to_vec(), &Topology::xeon_e5_2630_v3());
+        DesignSpace {
+            compiler_options: full.compiler_options.into_iter().take(n_co).collect(),
+            thread_counts: (1..=max_tn).collect(),
+            binding_policies: if both_bp {
+                full.binding_policies
+            } else {
+                full.binding_policies.into_iter().take(1).collect()
+            },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed, same space → identical sample, element for element.
+    #[test]
+    fn same_seed_gives_identical_sample(
+        space in space_strategy(),
+        n in 0usize..700,
+        seed in 0u64..1000,
+    ) {
+        prop_assert_eq!(space.random_sample(n, seed), space.random_sample(n, seed));
+    }
+
+    /// Every sampled configuration exists in the full-factorial space.
+    #[test]
+    fn sample_is_subset_of_full_space(
+        space in space_strategy(),
+        n in 0usize..700,
+        seed in 0u64..1000,
+    ) {
+        let full: HashSet<_> = space.full_factorial().into_iter().collect();
+        for cfg in space.random_sample(n, seed) {
+            prop_assert!(full.contains(&cfg), "sampled config {cfg:?} not in space");
+        }
+    }
+
+    /// Sampling is without replacement: no configuration appears twice.
+    #[test]
+    fn sample_has_no_duplicates(
+        space in space_strategy(),
+        n in 0usize..700,
+        seed in 0u64..1000,
+    ) {
+        let sample = space.random_sample(n, seed);
+        let unique: HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(unique.len(), sample.len());
+    }
+
+    /// The sample size is `min(n, space_size)` exactly.
+    #[test]
+    fn sample_len_is_min_of_n_and_space_size(
+        space in space_strategy(),
+        n in 0usize..700,
+        seed in 0u64..1000,
+    ) {
+        prop_assert_eq!(
+            space.random_sample(n, seed).len(),
+            n.min(space.size())
+        );
+    }
+}

@@ -114,7 +114,11 @@ int main() {
         let (tu, at) = weave_all();
         assert_eq!(at.instrumented_sites, 1);
         let printed = minic::print(&tu);
-        let idx = |needle: &str| printed.find(needle).unwrap_or_else(|| panic!("{needle} missing\n{printed}"));
+        let idx = |needle: &str| {
+            printed
+                .find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing\n{printed}"))
+        };
         let update = idx("margot_update(&__socrates_version, &__socrates_num_threads)");
         let start = idx("margot_start_monitor()");
         let call = idx("kernel_demo_wrapper(1.5, 100)");
@@ -138,16 +142,24 @@ void kernel_demo(int n) { for (int i = 0; i < n; i++) { n--; } }
 int main() { return 0; }
 ";
         let mut w = Weaver::new(parse(src).unwrap());
-        let mv = multiversioning(&mut w, "kernel_demo", &[StaticVersion::new(["O2"], "close")])
-            .unwrap();
+        let mv = multiversioning(
+            &mut w,
+            "kernel_demo",
+            &[StaticVersion::new(["O2"], "close")],
+        )
+        .unwrap();
         assert!(autotuner(&mut w, &mv, "main").is_err());
     }
 
     #[test]
     fn missing_main_is_an_error() {
         let mut w = Weaver::new(parse(SRC).unwrap());
-        let mv = multiversioning(&mut w, "kernel_demo", &[StaticVersion::new(["O2"], "close")])
-            .unwrap();
+        let mv = multiversioning(
+            &mut w,
+            "kernel_demo",
+            &[StaticVersion::new(["O2"], "close")],
+        )
+        .unwrap();
         assert!(autotuner(&mut w, &mv, "nonexistent_main").is_err());
     }
 }

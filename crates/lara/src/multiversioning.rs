@@ -100,12 +100,8 @@ pub fn multiversioning(
     }
 
     // Control variables read by the wrapper and the OpenMP clauses.
-    weaver.insert_global(
-        Decl::new(Type::Int, VERSION_VAR).with_init(Init::Expr(Expr::int(0))),
-    );
-    weaver.insert_global(
-        Decl::new(Type::Int, THREADS_VAR).with_init(Init::Expr(Expr::int(1))),
-    );
+    weaver.insert_global(Decl::new(Type::Int, VERSION_VAR).with_init(Init::Expr(Expr::int(0))));
+    weaver.insert_global(Decl::new(Type::Int, THREADS_VAR).with_init(Init::Expr(Expr::int(1))));
 
     // The dispatch wrapper, inserted right after the last clone so it is
     // defined before any caller (C forward-declaration rules).
@@ -150,11 +146,7 @@ fn build_wrapper(
             vec![Stmt::Return(Some(call))]
         };
         stmts.push(Stmt::If {
-            cond: Expr::binary(
-                BinaryOp::Eq,
-                Expr::ident(VERSION_VAR),
-                Expr::int(i as i64),
-            ),
+            cond: Expr::binary(BinaryOp::Eq, Expr::ident(VERSION_VAR), Expr::int(i as i64)),
             then_branch: Block::new(body),
             else_branch: None,
         });
@@ -203,7 +195,13 @@ int main() {
             .collect()
     }
 
-    fn run(n: usize) -> (minic::TranslationUnit, Multiversioned, crate::WeavingMetrics) {
+    fn run(
+        n: usize,
+    ) -> (
+        minic::TranslationUnit,
+        Multiversioned,
+        crate::WeavingMetrics,
+    ) {
         let mut w = Weaver::new(parse(SRC).unwrap());
         let mv = multiversioning(&mut w, "kernel_demo", &versions(n)).unwrap();
         let (tu, m) = w.finish();

@@ -262,7 +262,9 @@ impl Weaver {
             .rposition(|it| matches!(it, Item::Include(_)))
             .map(|p| p + 1)
             .unwrap_or(0);
-        self.tu.items.insert(pos, Item::Include(include.to_string()));
+        self.tu
+            .items
+            .insert(pos, Item::Include(include.to_string()));
         self.act(1);
     }
 
@@ -406,9 +408,7 @@ fn surround_in_block(
                     surround_in_block(eb, callee, before, after, sites);
                 }
             }
-            Stmt::While { body, .. }
-            | Stmt::DoWhile { body, .. }
-            | Stmt::For { body, .. } => {
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
                 surround_in_block(body, callee, before, after, sites);
             }
             Stmt::Block(b) => surround_in_block(b, callee, before, after, sites),
@@ -489,7 +489,10 @@ int main() {
         .unwrap();
         let f = w.program().function("kernel").unwrap();
         assert!(matches!(f.body.as_ref().unwrap().stmts[0], Stmt::Pragma(_)));
-        assert!(matches!(f.body.as_ref().unwrap().stmts[1], Stmt::For { .. }));
+        assert!(matches!(
+            f.body.as_ref().unwrap().stmts[1],
+            Stmt::For { .. }
+        ));
     }
 
     #[test]

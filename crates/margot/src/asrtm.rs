@@ -50,7 +50,8 @@ impl<K: Clone + PartialEq> AsRtm<K> {
     /// Adds a constraint; keeps the list sorted by priority (descending).
     pub fn add_constraint(&mut self, c: Constraint) {
         self.constraints.push(c);
-        self.constraints.sort_by_key(|c| std::cmp::Reverse(c.priority));
+        self.constraints
+            .sort_by_key(|c| std::cmp::Reverse(c.priority));
     }
 
     /// Updates the bound of the constraint on `metric`; returns `false`
@@ -81,7 +82,8 @@ impl<K: Clone + PartialEq> AsRtm<K> {
     pub fn apply_state(&mut self, state: &crate::states::OptimizationState) {
         self.rank = state.rank.clone();
         self.constraints = state.constraints.clone();
-        self.constraints.sort_by_key(|c| std::cmp::Reverse(c.priority));
+        self.constraints
+            .sort_by_key(|c| std::cmp::Reverse(c.priority));
     }
 
     /// The active constraints, highest priority first.
@@ -124,7 +126,11 @@ impl<K: Clone + PartialEq> AsRtm<K> {
         let adjusted: Vec<MetricValues> = pts.iter().map(|p| self.adjusted_metrics(p)).collect();
 
         let valid: Vec<usize> = (0..pts.len())
-            .filter(|&i| self.constraints.iter().all(|c| c.satisfied_by(&adjusted[i])))
+            .filter(|&i| {
+                self.constraints
+                    .iter()
+                    .all(|c| c.satisfied_by(&adjusted[i]))
+            })
             .collect();
 
         let candidates: Vec<usize> = if !valid.is_empty() {
@@ -147,7 +153,13 @@ impl<K: Clone + PartialEq> AsRtm<K> {
         candidates
             .into_iter()
             .filter_map(|i| self.rank.value(&adjusted[i]).map(|r| (i, r)))
-            .reduce(|best, cur| if self.rank.better(cur.1, best.1) { cur } else { best })
+            .reduce(|best, cur| {
+                if self.rank.better(cur.1, best.1) {
+                    cur
+                } else {
+                    best
+                }
+            })
             .map(|(i, _)| &pts[i])
     }
 
@@ -237,7 +249,12 @@ mod tests {
     #[test]
     fn adjustment_shifts_constraint_feasibility() {
         let mut rtm = AsRtm::new(kb(), Rank::minimize(Metric::exec_time()));
-        rtm.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 150.0, 10));
+        rtm.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            150.0,
+            10,
+        ));
         assert_eq!(rtm.best().unwrap().config, 3);
         // Observed power is 1.5x the expectation: cfg3 now reads 210 W.
         rtm.set_adjustment(Metric::power(), 1.5);

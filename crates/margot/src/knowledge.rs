@@ -183,10 +183,7 @@ mod tests {
         k.add(op(2, 0.5, 80.0)); // fast, high power: frontier
         k.add(op(3, 1.0, 90.0)); // dominated by both
         k.add(op(4, 0.4, 70.0)); // dominates op2
-        let frontier = k.pareto_filter(&[
-            (Metric::exec_time(), false),
-            (Metric::power(), false),
-        ]);
+        let frontier = k.pareto_filter(&[(Metric::exec_time(), false), (Metric::power(), false)]);
         let configs: Vec<u32> = frontier.points().iter().map(|p| p.config).collect();
         assert!(configs.contains(&1));
         assert!(configs.contains(&4));
@@ -199,8 +196,7 @@ mod tests {
         let mut k = Knowledge::new();
         k.add(op(1, 1.0, 50.0));
         k.add(op(2, 1.0, 50.0));
-        let frontier =
-            k.pareto_filter(&[(Metric::exec_time(), false), (Metric::power(), false)]);
+        let frontier = k.pareto_filter(&[(Metric::exec_time(), false), (Metric::power(), false)]);
         assert_eq!(frontier.len(), 2, "ties are not dominated");
     }
 

@@ -264,7 +264,12 @@ mod tests {
     #[test]
     fn feedback_loop_adapts_selection() {
         let mut m = manager();
-        m.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 150.0, 10));
+        m.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            150.0,
+            10,
+        ));
         assert_eq!(m.update(), Some(3));
         // The platform turns out hotter than profiled: cfg3 really draws
         // ~210 W. After observations, the next update must back off.
@@ -277,7 +282,12 @@ mod tests {
     #[test]
     fn config_change_clears_monitors() {
         let mut m = manager();
-        m.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 150.0, 10));
+        m.add_constraint(Constraint::new(
+            Metric::power(),
+            Cmp::LessOrEqual,
+            150.0,
+            10,
+        ));
         m.update();
         for _ in 0..5 {
             m.observe_execution(0.15, 210.0);

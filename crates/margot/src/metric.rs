@@ -83,7 +83,10 @@ impl MetricValues {
     ///
     /// Panics if `value` is not finite.
     pub fn insert(&mut self, metric: Metric, value: f64) {
-        assert!(value.is_finite(), "metric {metric} = {value} must be finite");
+        assert!(
+            value.is_finite(),
+            "metric {metric} = {value} must be finite"
+        );
         self.0.insert(metric, value);
     }
 

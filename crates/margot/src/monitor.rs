@@ -78,8 +78,12 @@ impl Monitor {
     /// Window standard deviation (population).
     pub fn stddev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var =
-            self.buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / self.buf.len() as f64;
+        let var = self
+            .buf
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.buf.len() as f64;
         Some(var.sqrt())
     }
 

@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn registry_starts_with_active_state() {
-        let reg = StateRegistry::new("base", OptimizationState::new(Rank::minimize(Metric::exec_time())));
+        let reg = StateRegistry::new(
+            "base",
+            OptimizationState::new(Rank::minimize(Metric::exec_time())),
+        );
         assert_eq!(reg.active_name(), "base");
         assert_eq!(reg.len(), 1);
         assert!(!reg.is_empty());
@@ -162,9 +165,8 @@ mod tests {
         let mut reg = StateRegistry::figure5();
         reg.register(
             "energy",
-            OptimizationState::new(Rank::minimize(Metric::energy())).with_constraint(
-                Constraint::new(Metric::power(), Cmp::LessOrEqual, 90.0, 5),
-            ),
+            OptimizationState::new(Rank::minimize(Metric::energy()))
+                .with_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 90.0, 5)),
         );
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.active().constraints.len(), 1);

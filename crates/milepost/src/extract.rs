@@ -58,7 +58,8 @@ fn extract(f: &Function, tu: &TranslationUnit) -> Features {
         callees: HashSet::new(),
         defines: collect_defines(tu),
     };
-    x.features.set(FeatureKind::Parameters, f.params.len() as f64);
+    x.features
+        .set(FeatureKind::Parameters, f.params.len() as f64);
     if let Some(body) = &f.body {
         for s in &body.stmts {
             x.stmt(s);
@@ -67,9 +68,12 @@ fn extract(f: &Function, tu: &TranslationUnit) -> Features {
     let loops = x.features[FeatureKind::Loops];
     let ifs = x.features[FeatureKind::IfStatements];
     let ternaries = x.features[FeatureKind::TernaryOps];
-    x.features.set(FeatureKind::MaxLoopDepth, x.max_depth as f64);
     x.features
-        .set(FeatureKind::CyclomaticComplexity, 1.0 + loops + ifs + ternaries);
+        .set(FeatureKind::MaxLoopDepth, x.max_depth as f64);
+    x.features.set(
+        FeatureKind::CyclomaticComplexity,
+        1.0 + loops + ifs + ternaries,
+    );
     x.features
         .set(FeatureKind::DistinctCallees, x.callees.len() as f64);
     x.features
@@ -113,7 +117,8 @@ impl Extractor {
     fn enter_loop(&mut self) {
         self.loop_depth += 1;
         self.max_depth = self.max_depth.max(self.loop_depth);
-        self.features.bump(FeatureKind::TotalLoopDepth, self.loop_depth as f64);
+        self.features
+            .bump(FeatureKind::TotalLoopDepth, self.loop_depth as f64);
         if self.loop_depth >= 3 {
             self.features.bump(FeatureKind::TripleNests, 1.0);
         }
@@ -194,7 +199,8 @@ impl Extractor {
                 self.features.bump(FeatureKind::Loops, 1.0);
                 self.features.bump(FeatureKind::ForLoops, 1.0);
                 if self.has_constant_bound(cond.as_ref()) {
-                    self.features.bump(FeatureKind::LoopsWithConstantBounds, 1.0);
+                    self.features
+                        .bump(FeatureKind::LoopsWithConstantBounds, 1.0);
                 }
                 match init {
                     Some(ForInit::Decl(decls)) => {
@@ -429,10 +435,7 @@ mod tests {
 
     #[test]
     fn callees_are_deduplicated() {
-        let f = features(
-            "void k(double x) { g(x); g(x + 1.0); h(x); }",
-            "k",
-        );
+        let f = features("void k(double x) { g(x); g(x + 1.0); h(x); }", "k");
         assert_eq!(f[F::Calls], 3.0);
         assert_eq!(f[F::DistinctCallees], 2.0);
     }

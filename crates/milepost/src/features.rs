@@ -196,7 +196,9 @@ mod tests {
     #[test]
     fn labels_are_milepost_like() {
         assert_eq!(FeatureKind::Statements.label(), "ft01-Statements");
-        assert!(FeatureKind::CyclomaticComplexity.label().starts_with("ft36"));
+        assert!(FeatureKind::CyclomaticComplexity
+            .label()
+            .starts_with("ft36"));
     }
 
     #[test]

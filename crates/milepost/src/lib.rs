@@ -72,10 +72,7 @@ mod integration_tests {
         let nussinov = branchiness(App::Nussinov);
         for app in App::ALL {
             if app != App::Nussinov {
-                assert!(
-                    branchiness(app) < nussinov,
-                    "{app} branchier than nussinov"
-                );
+                assert!(branchiness(app) < nussinov, "{app} branchier than nussinov");
             }
         }
     }

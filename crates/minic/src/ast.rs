@@ -671,11 +671,8 @@ mod tests {
     #[test]
     fn function_lookup_by_name() {
         let mut tu = TranslationUnit::new();
-        tu.items.push(Item::Function(Function::new(
-            Type::Void,
-            "kernel",
-            vec![],
-        )));
+        tu.items
+            .push(Item::Function(Function::new(Type::Void, "kernel", vec![])));
         assert!(tu.function("kernel").is_some());
         assert!(tu.function("missing").is_none());
     }

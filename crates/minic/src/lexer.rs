@@ -140,6 +140,7 @@ impl<'a> Lexer<'a> {
     /// (with `\`-continuations joined) becomes the token payload.
     fn lex_directive(&mut self) -> Result<TokenKind, LexError> {
         self.bump(); // '#'
+
         // Allow whitespace between '#' and the directive name.
         while self.peek() == Some(b' ') || self.peek() == Some(b'\t') {
             self.bump();
@@ -187,7 +188,8 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_char(&mut self) -> Result<TokenKind, LexError> {
-        self.lex_quoted(b'\'', "char literal").map(TokenKind::CharLit)
+        self.lex_quoted(b'\'', "char literal")
+            .map(TokenKind::CharLit)
     }
 
     /// Lexes a quoted literal, accumulating raw bytes so multi-byte UTF-8
@@ -365,7 +367,10 @@ mod tests {
     #[test]
     fn lexes_pragma_line() {
         let k = kinds("#pragma omp parallel for num_threads(4)\nint x;");
-        assert_eq!(k[0], TokenKind::Pragma("omp parallel for num_threads(4)".into()));
+        assert_eq!(
+            k[0],
+            TokenKind::Pragma("omp parallel for num_threads(4)".into())
+        );
     }
 
     #[test]

@@ -688,9 +688,7 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::IntLit(s) => {
                 self.bump();
-                let cleaned: String = s
-                    .trim_end_matches(['u', 'U', 'l', 'L'])
-                    .to_string();
+                let cleaned: String = s.trim_end_matches(['u', 'U', 'l', 'L']).to_string();
                 let v = if let Some(hex) = cleaned
                     .strip_prefix("0x")
                     .or_else(|| cleaned.strip_prefix("0X"))
@@ -952,7 +950,9 @@ mod tests {
     fn parses_initializer_list() {
         let tu = parse("int a[3] = {1, 2, 3};").unwrap();
         match &tu.items[0] {
-            Item::Global(d) => assert!(matches!(d[0].init, Some(Init::List(ref v)) if v.len() == 3)),
+            Item::Global(d) => {
+                assert!(matches!(d[0].init, Some(Init::List(ref v)) if v.len() == 3))
+            }
             other => panic!("unexpected item {other:?}"),
         }
     }
@@ -974,7 +974,10 @@ mod tests {
     fn parses_do_while_and_break_continue() {
         let tu = parse("void f(int n) { do { if (n) break; continue; } while (n > 0); }").unwrap();
         let f = tu.function("f").unwrap();
-        assert!(matches!(f.body.as_ref().unwrap().stmts[0], Stmt::DoWhile { .. }));
+        assert!(matches!(
+            f.body.as_ref().unwrap().stmts[0],
+            Stmt::DoWhile { .. }
+        ));
     }
 
     #[test]
@@ -1012,6 +1015,8 @@ mod tests {
         let mut p = Parser::new("DATA_TYPE x;").unwrap();
         p.add_type_name("DATA_TYPE");
         let tu = p.translation_unit().unwrap();
-        assert!(matches!(&tu.items[0], Item::Global(d) if d[0].ty == Type::Named("DATA_TYPE".into())));
+        assert!(
+            matches!(&tu.items[0], Item::Global(d) if d[0].ty == Type::Named("DATA_TYPE".into()))
+        );
     }
 }

@@ -443,8 +443,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let tu = parse(src).unwrap_or_else(|e| panic!("parse failed for `{src}`: {e}"));
         let printed = print(&tu);
-        let tu2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        let tu2 =
+            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
         assert_eq!(tu, tu2, "round-trip mismatch; printed:\n{printed}");
     }
 

@@ -350,7 +350,10 @@ mod tests {
 
     impl Visitor for Counter {
         fn visit_stmt(&mut self, s: &Stmt) {
-            if matches!(s, Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. }) {
+            if matches!(
+                s,
+                Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. }
+            ) {
                 self.loops += 1;
             }
             walk_stmt(self, s);

@@ -52,12 +52,12 @@ fn dangling_else_attaches_to_nearest_if() {
 fn operator_precedence_torture() {
     let cases = [
         ("a + b * c - d / e % f", "a + b * c - d / e % f"),
-        ("a << b + c", "a << b + c"),            // + binds tighter than <<
-        ("a < b == c", "a < b == c"),            // < binds tighter than ==
-        ("a & b | c ^ d", "a & b | c ^ d"),      // & > ^ > |
-        ("a || b && c", "a || b && c"),          // && > ||
-        ("-a[1]", "-a[1]"),                      // index > unary
-        ("(a = b) + 1", "(a = b) + 1"),          // assignment needs parens
+        ("a << b + c", "a << b + c"),       // + binds tighter than <<
+        ("a < b == c", "a < b == c"),       // < binds tighter than ==
+        ("a & b | c ^ d", "a & b | c ^ d"), // & > ^ > |
+        ("a || b && c", "a || b && c"),     // && > ||
+        ("-a[1]", "-a[1]"),                 // index > unary
+        ("(a = b) + 1", "(a = b) + 1"),     // assignment needs parens
     ];
     for (src, expected) in cases {
         let e = parse_expr(src).unwrap();
@@ -68,16 +68,16 @@ fn operator_precedence_torture() {
 #[test]
 fn malformed_inputs_error_cleanly() {
     let cases = [
-        "void f( {",                      // bad parameter list
-        "void f() { return",              // missing semicolon/brace
-        "int 5x;",                        // identifier starting with digit
-        "void f() { if () {} }",          // empty condition
-        "void f() { for (;;;;) {} }",     // too many for clauses
-        "double d = ;",                   // missing initializer
-        "void f() { x = ((1 + 2); }",     // unbalanced parens
-        "int a[] = {1,2};",               // dimensionless array (unsupported)
-        "struct S { int x; };",           // structs out of dialect
-        "void f() { a b; }",              // two identifiers
+        "void f( {",                  // bad parameter list
+        "void f() { return",          // missing semicolon/brace
+        "int 5x;",                    // identifier starting with digit
+        "void f() { if () {} }",      // empty condition
+        "void f() { for (;;;;) {} }", // too many for clauses
+        "double d = ;",               // missing initializer
+        "void f() { x = ((1 + 2); }", // unbalanced parens
+        "int a[] = {1,2};",           // dimensionless array (unsupported)
+        "struct S { int x; };",       // structs out of dialect
+        "void f() { a b; }",          // two identifiers
     ];
     for src in cases {
         let result = parse(src);

@@ -102,8 +102,9 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
                 prop::collection::vec(inner.clone(), 1..3),
             )
                 .prop_map(|(v, bound, body)| Stmt::For {
-                    init: Some(ForInit::Decl(vec![Decl::new(Type::Int, v.clone())
-                        .with_init(Init::Expr(Expr::int(0)))])),
+                    init: Some(ForInit::Decl(vec![
+                        Decl::new(Type::Int, v.clone()).with_init(Init::Expr(Expr::int(0)))
+                    ])),
                     cond: Some(Expr::binary(BinaryOp::Lt, Expr::Ident(v.clone()), bound)),
                     step: Some(Expr::Postfix {
                         op: PostfixOp::Inc,

@@ -97,7 +97,10 @@ impl CompilerFlag {
 
     /// Index in [`CompilerFlag::ALL`] (used as a bit position).
     pub fn bit(self) -> usize {
-        CompilerFlag::ALL.iter().position(|f| *f == self).expect("flag in ALL")
+        CompilerFlag::ALL
+            .iter()
+            .position(|f| *f == self)
+            .expect("flag in ALL")
     }
 }
 
@@ -249,7 +252,9 @@ impl FromStr for BindingPolicy {
         match s {
             "close" => Ok(BindingPolicy::Close),
             "spread" => Ok(BindingPolicy::Spread),
-            other => Err(ParseConfigError(format!("unknown binding policy `{other}`"))),
+            other => Err(ParseConfigError(format!(
+                "unknown binding policy `{other}`"
+            ))),
         }
     }
 }
@@ -361,7 +366,10 @@ mod tests {
     fn pragma_flags_roundtrip() {
         let co = CompilerOptions::with_flags(
             OptLevel::O3,
-            [CompilerFlag::UnsafeMathOptimizations, CompilerFlag::NoIvopts],
+            [
+                CompilerFlag::UnsafeMathOptimizations,
+                CompilerFlag::NoIvopts,
+            ],
         );
         let flags = co.pragma_flags();
         assert_eq!(flags[0], "O3");
@@ -397,13 +405,20 @@ mod tests {
 
     #[test]
     fn knob_config_display_is_readable() {
-        let c = KnobConfig::new(CompilerOptions::level(OptLevel::O2), 8, BindingPolicy::Spread);
+        let c = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            8,
+            BindingPolicy::Spread,
+        );
         assert_eq!(c.to_string(), "co=-O2 tn=8 bp=spread");
     }
 
     #[test]
     fn binding_policy_parses() {
-        assert_eq!("close".parse::<BindingPolicy>().unwrap(), BindingPolicy::Close);
+        assert_eq!(
+            "close".parse::<BindingPolicy>().unwrap(),
+            BindingPolicy::Close
+        );
         assert!("scatter".parse::<BindingPolicy>().is_err());
     }
 }

@@ -61,6 +61,10 @@ pub struct Machine {
     power: PowerParams,
     flags: FlagEffectModel,
     noise: NoiseParams,
+    /// The construction seed, kept so [`Machine::fork`] can derive
+    /// independent noise streams regardless of how much of `rng` has
+    /// already been consumed.
+    seed: u64,
     rng: ChaCha8Rng,
 }
 
@@ -91,8 +95,38 @@ impl Machine {
             power: PowerParams::default(),
             flags: FlagEffectModel::new(),
             noise: NoiseParams::default(),
+            seed,
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
+    }
+
+    /// The seed this machine was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks a machine with an identical platform model but an
+    /// independent noise stream derived from `(self.seed, stream)`.
+    ///
+    /// The derivation depends only on the construction seed — not on
+    /// how many executions the parent has already performed — so a set
+    /// of forks is reproducible no matter where or in which order the
+    /// forks run. This is what lets the DSE engine profile operating
+    /// points across worker threads while staying bit-identical to a
+    /// serial sweep.
+    pub fn fork(&self, stream: u64) -> Self {
+        // Hash seed and stream *sequentially* (not `seed ^ h(stream)`):
+        // XOR composition would make nested forks commute —
+        // `m.fork(a).fork(b) == m.fork(b).fork(a)` and
+        // `m.fork(x).fork(x) == m` — silently correlating experiments.
+        let mut state = self.seed;
+        let hashed_seed = rand::split_mix_64(&mut state);
+        let mut state = hashed_seed.wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        let derived = rand::split_mix_64(&mut state);
+        let mut fork = self.clone();
+        fork.seed = derived;
+        fork.rng = ChaCha8Rng::seed_from_u64(derived);
+        fork
     }
 
     /// Builder-style: replaces the topology.
@@ -175,9 +209,9 @@ impl Machine {
             .timing
             .breakdown(w, cfg, &placement, &self.topology, &self.flags);
         let time_s = breakdown.total_s();
-        let power_w = self
-            .power
-            .average_power(w, cfg, &placement, &breakdown, &self.timing, &self.flags);
+        let power_w =
+            self.power
+                .average_power(w, cfg, &placement, &breakdown, &self.timing, &self.flags);
         Execution {
             time_s,
             power_w,
@@ -252,7 +286,11 @@ mod tests {
         let expected = m.expected(&w, &c).time_s;
         let n = 300;
         let mean: f64 = (0..n).map(|_| m.execute(&w, &c).time_s).sum::<f64>() / f64::from(n);
-        assert!((mean / expected - 1.0).abs() < 0.01, "mean ratio {}", mean / expected);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.01,
+            "mean ratio {}",
+            mean / expected
+        );
     }
 
     #[test]
@@ -262,6 +300,49 @@ mod tests {
         let mut m = Machine::xeon_e5_2630_v3(4).noiseless();
         let e = m.expected(&w, &c);
         assert_eq!(m.execute(&w, &c), e);
+    }
+
+    #[test]
+    fn forks_are_deterministic() {
+        let w = kernel();
+        let c = cfg(OptLevel::O2, 8, BindingPolicy::Spread);
+        let mut parent = Machine::xeon_e5_2630_v3(7);
+        // Consuming the parent's stream must not change what forks see.
+        let before = parent.fork(3).execute(&w, &c);
+        let _ = parent.execute(&w, &c);
+        let after = parent.fork(3).execute(&w, &c);
+        assert_eq!(before, after);
+        // And forks of equal-seeded machines agree.
+        let other = Machine::xeon_e5_2630_v3(7);
+        assert_eq!(other.fork(3).execute(&w, &c), before);
+    }
+
+    #[test]
+    fn distinct_streams_get_distinct_noise() {
+        let w = kernel();
+        let c = cfg(OptLevel::O2, 8, BindingPolicy::Spread);
+        let parent = Machine::xeon_e5_2630_v3(7);
+        let a = parent.fork(0).execute(&w, &c);
+        let b = parent.fork(1).execute(&w, &c);
+        assert_ne!(a.time_s, b.time_s);
+    }
+
+    #[test]
+    fn nested_forks_do_not_commute_or_cycle() {
+        let parent = Machine::xeon_e5_2630_v3(7);
+        // fork(a).fork(b) must differ from fork(b).fork(a) …
+        assert_ne!(parent.fork(1).fork(2).seed(), parent.fork(2).fork(1).seed());
+        // … and fork(x).fork(x) must not replay the parent's stream.
+        assert_ne!(parent.fork(3).fork(3).seed(), parent.seed());
+    }
+
+    #[test]
+    fn fork_keeps_the_platform_model() {
+        let w = kernel();
+        let c = cfg(OptLevel::O3, 16, BindingPolicy::Close);
+        let parent = Machine::xeon_e5_2630_v3(9).noiseless();
+        let fork = parent.fork(5);
+        assert_eq!(parent.expected(&w, &c), fork.expected(&w, &c));
     }
 
     #[test]
@@ -296,11 +377,7 @@ mod tests {
         let m = Machine::xeon_e5_2630_v3(8);
         let w = kernel();
         let all: Vec<Execution> = (1..=32)
-            .flat_map(|tn| {
-                BindingPolicy::ALL
-                    .into_iter()
-                    .map(move |bp| (tn, bp))
-            })
+            .flat_map(|tn| BindingPolicy::ALL.into_iter().map(move |bp| (tn, bp)))
             .map(|(tn, bp)| m.expected(&w, &cfg(OptLevel::O3, tn, bp)))
             .collect();
         let best_perf = all
@@ -315,7 +392,10 @@ mod tests {
                     .expect("finite")
             })
             .expect("non-empty");
-        assert!(best_eff.power_w < best_perf.power_w, "efficiency point must be cooler");
+        assert!(
+            best_eff.power_w < best_perf.power_w,
+            "efficiency point must be cooler"
+        );
         assert!(best_eff.time_s > best_perf.time_s, "and slower");
     }
 
@@ -324,7 +404,9 @@ mod tests {
         // Slowest-selected / fastest-selected ratio in Fig. 4 is ~14x.
         let m = Machine::xeon_e5_2630_v3(9);
         let w = kernel();
-        let slow = m.expected(&w, &cfg(OptLevel::Os, 1, BindingPolicy::Close)).time_s;
+        let slow = m
+            .expected(&w, &cfg(OptLevel::Os, 1, BindingPolicy::Close))
+            .time_s;
         let fast = (1..=32)
             .flat_map(|tn| BindingPolicy::ALL.into_iter().map(move |bp| (tn, bp)))
             .map(|(tn, bp)| m.expected(&w, &cfg(OptLevel::O3, tn, bp)).time_s)

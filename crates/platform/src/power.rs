@@ -186,7 +186,11 @@ mod tests {
     fn zero_duration_returns_idle() {
         let r = Rig::new();
         let w = kernel();
-        let cfg = KnobConfig::new(CompilerOptions::level(OptLevel::O2), 1, BindingPolicy::Close);
+        let cfg = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            1,
+            BindingPolicy::Close,
+        );
         let placement = r.topo.place(1, BindingPolicy::Close);
         let b = TimingBreakdown {
             serial_s: 0.0,

@@ -103,8 +103,8 @@ impl TimingParams {
         // Effective parallelism: cores + SMT siblings, derated by
         // cross-socket coherence and USL contention.
         let coherence = self.coherence_efficiency(w, cfg.bp, placement);
-        let contention =
-            1.0 + w.contention * f64::from(placement.threads.saturating_sub(1)) * self.contention_scale;
+        let contention = 1.0
+            + w.contention * f64::from(placement.threads.saturating_sub(1)) * self.contention_scale;
         let n_eff = placement.effective_parallelism(self.smt_yield) * coherence / contention;
 
         let serial_s = serial_flops / rate1;
@@ -196,10 +196,22 @@ mod tests {
         let (tp, topo, fm) = setup();
         let w = compute_bound();
         let t1 = tp
-            .breakdown(&w, &cfg(1, BindingPolicy::Close), &topo.place(1, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(1, BindingPolicy::Close),
+                &topo.place(1, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         let t16 = tp
-            .breakdown(&w, &cfg(16, BindingPolicy::Close), &topo.place(16, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(16, BindingPolicy::Close),
+                &topo.place(16, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         assert!(t16 < t1 / 8.0, "t1={t1} t16={t16}");
     }
@@ -209,10 +221,22 @@ mod tests {
         let (tp, topo, fm) = setup();
         let w = compute_bound();
         let t16 = tp
-            .breakdown(&w, &cfg(16, BindingPolicy::Close), &topo.place(16, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(16, BindingPolicy::Close),
+                &topo.place(16, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         let t32 = tp
-            .breakdown(&w, &cfg(32, BindingPolicy::Close), &topo.place(32, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(32, BindingPolicy::Close),
+                &topo.place(32, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         assert!(t32 < t16, "SMT should still help");
         assert!(t32 > t16 / 1.8, "SMT must not double performance");
@@ -223,10 +247,22 @@ mod tests {
         let (tp, topo, fm) = setup();
         let w = memory_bound();
         let close = tp
-            .breakdown(&w, &cfg(8, BindingPolicy::Close), &topo.place(8, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(8, BindingPolicy::Close),
+                &topo.place(8, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         let spread = tp
-            .breakdown(&w, &cfg(8, BindingPolicy::Spread), &topo.place(8, BindingPolicy::Spread), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(8, BindingPolicy::Spread),
+                &topo.place(8, BindingPolicy::Spread),
+                &topo,
+                &fm,
+            )
             .total_s();
         // 8 threads close = 1 socket of bandwidth; spread = 2 sockets.
         assert!(spread < close, "close={close} spread={spread}");
@@ -242,10 +278,22 @@ mod tests {
             .locality(0.2)
             .build();
         let close = tp
-            .breakdown(&w, &cfg(8, BindingPolicy::Close), &topo.place(8, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(8, BindingPolicy::Close),
+                &topo.place(8, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         let spread = tp
-            .breakdown(&w, &cfg(8, BindingPolicy::Spread), &topo.place(8, BindingPolicy::Spread), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(8, BindingPolicy::Spread),
+                &topo.place(8, BindingPolicy::Spread),
+                &topo,
+                &fm,
+            )
             .total_s();
         assert!(close < spread, "close={close} spread={spread}");
     }
@@ -259,10 +307,22 @@ mod tests {
             .parallel_fraction(0.5)
             .build();
         let t1 = tp
-            .breakdown(&w, &cfg(1, BindingPolicy::Close), &topo.place(1, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(1, BindingPolicy::Close),
+                &topo.place(1, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         let t32 = tp
-            .breakdown(&w, &cfg(32, BindingPolicy::Close), &topo.place(32, BindingPolicy::Close), &topo, &fm)
+            .breakdown(
+                &w,
+                &cfg(32, BindingPolicy::Close),
+                &topo.place(32, BindingPolicy::Close),
+                &topo,
+                &fm,
+            )
             .total_s();
         assert!(t1 / t32 < 2.05, "speedup bounded by 1/(1-p)");
     }

@@ -223,8 +223,14 @@ mod tests {
 
     #[test]
     fn memory_bound_classification() {
-        let streaming = WorkloadProfile::builder("stream").flops(1e8).bytes(1e9).build();
-        let dense = WorkloadProfile::builder("gemm").flops(1e10).bytes(1e8).build();
+        let streaming = WorkloadProfile::builder("stream")
+            .flops(1e8)
+            .bytes(1e9)
+            .build();
+        let dense = WorkloadProfile::builder("gemm")
+            .flops(1e10)
+            .bytes(1e8)
+            .build();
         assert!(streaming.is_memory_bound(5.0));
         assert!(!dense.is_memory_bound(5.0));
     }

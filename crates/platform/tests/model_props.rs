@@ -10,13 +10,13 @@ use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = WorkloadProfile> {
     (
-        1e7f64..1e10,     // flops
-        1e6f64..1e10,     // bytes
-        0.5f64..1.0,      // parallel fraction
-        0.0f64..1.0,      // locality
-        0.0f64..0.8,      // branch density
-        0.1f64..1.0,      // fp intensity
-        0.0f64..0.5,      // contention
+        1e7f64..1e10, // flops
+        1e6f64..1e10, // bytes
+        0.5f64..1.0,  // parallel fraction
+        0.0f64..1.0,  // locality
+        0.0f64..0.8,  // branch density
+        0.1f64..1.0,  // fp intensity
+        0.0f64..0.5,  // contention
     )
         .prop_map(|(flops, bytes, pf, loc, br, fp, cont)| {
             WorkloadProfile::builder("prop-kernel")
@@ -32,24 +32,18 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadProfile> {
 }
 
 fn config_strategy() -> impl Strategy<Value = KnobConfig> {
-    (
-        0usize..4,
-        0u8..64,
-        1u32..=32,
-        prop::bool::ANY,
-    )
-        .prop_map(|(level, mask, tn, spread)| {
-            let level = OptLevel::ALL[level];
-            KnobConfig::new(
-                CompilerOptions::from_mask(level, mask),
-                tn,
-                if spread {
-                    BindingPolicy::Spread
-                } else {
-                    BindingPolicy::Close
-                },
-            )
-        })
+    (0usize..4, 0u8..64, 1u32..=32, prop::bool::ANY).prop_map(|(level, mask, tn, spread)| {
+        let level = OptLevel::ALL[level];
+        KnobConfig::new(
+            CompilerOptions::from_mask(level, mask),
+            tn,
+            if spread {
+                BindingPolicy::Spread
+            } else {
+                BindingPolicy::Close
+            },
+        )
+    })
 }
 
 proptest! {

@@ -421,7 +421,12 @@ mod tests {
     #[test]
     fn all_profiles_are_valid() {
         for a in App::ALL {
-            for ds in [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large] {
+            for ds in [
+                Dataset::Mini,
+                Dataset::Small,
+                Dataset::Medium,
+                Dataset::Large,
+            ] {
                 let p = a.profile(ds);
                 assert!(p.validate().is_empty(), "{a} {ds:?}: {:?}", p.validate());
             }
@@ -445,7 +450,12 @@ mod tests {
     fn datasets_scale_monotonically() {
         for a in App::ALL {
             let mut last = 0.0;
-            for ds in [Dataset::Mini, Dataset::Small, Dataset::Medium, Dataset::Large] {
+            for ds in [
+                Dataset::Mini,
+                Dataset::Small,
+                Dataset::Medium,
+                Dataset::Large,
+            ] {
                 let f = a.flops(ds);
                 assert!(f > last, "{a} {ds:?}");
                 last = f;

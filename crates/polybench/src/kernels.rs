@@ -168,7 +168,14 @@ pub fn kernel_gemver(
 ) -> GemverOutput {
     let n = a.rows();
     assert_eq!(a.cols(), n, "A must be square");
-    for (name, v) in [("u1", u1), ("v1", v1), ("u2", u2), ("v2", v2), ("y", y), ("z", z)] {
+    for (name, v) in [
+        ("u1", u1),
+        ("v1", v1),
+        ("u2", u2),
+        ("v2", v2),
+        ("y", y),
+        ("z", z),
+    ] {
         assert_eq!(v.len(), n, "{name} length mismatch");
     }
     let mut a_hat = a.clone();
@@ -218,7 +225,9 @@ pub fn kernel_mvt(a: &Matrix, x1: &mut [f64], x2: &mut [f64], y1: &[f64], y2: &[
     let n = a.rows();
     assert_eq!(a.cols(), n, "A must be square");
     assert!(
-        [x1.len(), x2.len(), y1.len(), y2.len()].iter().all(|&l| l == n),
+        [x1.len(), x2.len(), y1.len(), y2.len()]
+            .iter()
+            .all(|&l| l == n),
         "vector length mismatch"
     );
     for i in 0..n {
@@ -335,7 +344,9 @@ mod tests {
     use super::*;
 
     fn seq_matrix(rows: usize, cols: usize, scale: f64) -> Matrix {
-        Matrix::from_fn(rows, cols, |i, j| ((i * cols + j) as f64 % 7.0 + 1.0) * scale)
+        Matrix::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f64 % 7.0 + 1.0) * scale
+        })
     }
 
     #[test]
@@ -542,7 +553,10 @@ mod tests {
         let t = kernel_nussinov(&seq);
         for i in 0..seq.len() {
             for j in (i + 1)..seq.len() - 1 {
-                assert!(t[(i, j + 1)] >= t[(i, j)], "wider interval can't lose pairs");
+                assert!(
+                    t[(i, j + 1)] >= t[(i, j)],
+                    "wider interval can't lose pairs"
+                );
             }
         }
     }
@@ -566,7 +580,7 @@ mod tests {
         a[(3, 3)] = 64.0;
         let spike = a[(3, 3)];
         kernel_seidel_2d(&mut a, 5);
-        assert!(a[(3, 3) ] < spike);
+        assert!(a[(3, 3)] < spike);
         // With zero boundary, interior decays towards zero.
         assert!(a[(3, 3)] >= 0.0);
     }

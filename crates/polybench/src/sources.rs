@@ -656,15 +656,19 @@ mod tests {
     fn all_sources_parse_with_minic() {
         for app in App::ALL {
             let src = source(app, Dataset::Large);
-            let tu = minic::parse(&src)
-                .unwrap_or_else(|e| panic!("{}: parse failed: {e}", app.name()));
+            let tu =
+                minic::parse(&src).unwrap_or_else(|e| panic!("{}: parse failed: {e}", app.name()));
             assert!(
                 tu.function(&app.kernel_name()).is_some(),
                 "{}: kernel `{}` missing",
                 app.name(),
                 app.kernel_name()
             );
-            assert!(tu.function("main").is_some(), "{}: main missing", app.name());
+            assert!(
+                tu.function("main").is_some(),
+                "{}: main missing",
+                app.name()
+            );
             assert!(
                 tu.function("init_array").is_some(),
                 "{}: init_array missing",

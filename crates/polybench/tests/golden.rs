@@ -108,7 +108,11 @@ fn golden_mvt() {
     let y1: Vec<f64> = (0..7).map(|i| ((i * 5) % 3) as f64 * 0.2).collect();
     let y2: Vec<f64> = (0..7).map(|i| ((i + 1) % 4) as f64 * 0.15).collect();
     kernel_mvt(&a, &mut x1, &mut x2, &y1, &y2);
-    assert_close(vec_checksum(&x1) + vec_checksum(&x2), 22.154545454545, "mvt");
+    assert_close(
+        vec_checksum(&x1) + vec_checksum(&x2),
+        22.154545454545,
+        "mvt",
+    );
 }
 
 #[test]

@@ -6,9 +6,8 @@ use polybench::Matrix;
 use proptest::prelude::*;
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f64..10.0, rows * cols).prop_map(move |data| {
-        Matrix::from_fn(rows, cols, |i, j| data[i * cols + j])
-    })
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_fn(rows, cols, |i, j| data[i * cols + j]))
 }
 
 fn vector_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -29,16 +29,11 @@ fn main() {
     );
     states.register(
         "capped",
-        OptimizationState::new(Rank::maximize(Metric::throughput())).with_constraint(
-            Constraint::new(Metric::power(), Cmp::LessOrEqual, 80.0, 10),
-        ),
+        OptimizationState::new(Rank::maximize(Metric::throughput()))
+            .with_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 80.0, 10)),
     );
 
-    let mut app = AdaptiveApplication::new(
-        enhanced,
-        states.active().rank.clone(),
-        31,
-    );
+    let mut app = AdaptiveApplication::new(enhanced, states.active().rank.clone(), 31);
 
     println!("named optimization states on syr2k (8 virtual s per state)");
     println!(

@@ -53,11 +53,7 @@ fn main() {
 
     // Sanity: the tightest budget must have produced the coolest, slowest
     // configuration of the four phases.
-    let phases: Vec<f64> = app
-        .trace()
-        .iter()
-        .map(|s| s.power_w)
-        .collect();
+    let phases: Vec<f64> = app.trace().iter().map(|s| s.power_w).collect();
     println!();
     println!(
         "observed machine power range across the day: {:.1} W .. {:.1} W",

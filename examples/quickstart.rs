@@ -19,8 +19,18 @@ fn main() {
     let enhanced = toolchain.enhance(App::TwoMm).expect("toolchain");
 
     println!("SOCRATES quickstart — app: {}", enhanced.app);
-    println!("  kernel features extracted : {} counters", milepost::FeatureKind::COUNT);
-    println!("  COBAYN flag predictions   : {:?}", enhanced.cobayn_flags.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "  kernel features extracted : {} counters",
+        milepost::FeatureKind::COUNT
+    );
+    println!(
+        "  COBAYN flag predictions   : {:?}",
+        enhanced
+            .cobayn_flags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     println!("  compiled kernel versions  : {}", enhanced.versions.len());
     println!("  knowledge operating points: {}", enhanced.knowledge.len());
     println!("  weaving metrics           : {}", enhanced.metrics);

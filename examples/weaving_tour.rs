@@ -46,7 +46,11 @@ fn main() {
         StaticVersion::new(["O3", "unroll-all-loops"], "spread"),
     ];
     let mv = multiversioning(&mut weaver, "kernel_fir", &versions).expect("multiversioning");
-    println!("=== (b) after Multiversioning: {} clones + wrapper `{}` ===", versions.len(), mv.wrapper);
+    println!(
+        "=== (b) after Multiversioning: {} clones + wrapper `{}` ===",
+        versions.len(),
+        mv.wrapper
+    );
 
     // Autotuner: weave the mARGOt glue around the wrapper call in main.
     let at = autotuner(&mut weaver, &mv, "main").expect("autotuner");

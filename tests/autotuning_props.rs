@@ -2,9 +2,7 @@
 //! invariants over randomly generated knowledge bases, Pareto-filter
 //! laws, and platform-model monotonicity properties.
 
-use margot::{
-    AsRtm, Cmp, Constraint, Knowledge, Metric, MetricValues, OperatingPoint, Rank,
-};
+use margot::{AsRtm, Cmp, Constraint, Knowledge, Metric, MetricValues, OperatingPoint, Rank};
 use platform_sim::{
     BindingPolicy, CompilerOptions, KnobConfig, Machine, OptLevel, WorkloadProfile,
 };

@@ -38,8 +38,7 @@ fn adaptive_execution_respects_power_budget_on_three_apps() {
     let toolchain = quick();
     for app_id in [App::TwoMm, App::Jacobi2d, App::Syrk] {
         let enhanced = toolchain.enhance(app_id).unwrap();
-        let mut app =
-            AdaptiveApplication::new(enhanced, Rank::minimize(Metric::exec_time()), 77);
+        let mut app = AdaptiveApplication::new(enhanced, Rank::minimize(Metric::exec_time()), 77);
         app.add_constraint(Constraint::new(Metric::power(), Cmp::LessOrEqual, 90.0, 10));
         app.run_for(2.0);
         for s in app.trace() {
@@ -58,8 +57,7 @@ fn performance_policy_beats_efficiency_policy_on_speed() {
     let toolchain = quick();
     let enhanced = toolchain.enhance(App::Doitgen).unwrap();
 
-    let mut efficient =
-        AdaptiveApplication::new(enhanced.clone(), Rank::throughput_per_watt2(), 5);
+    let mut efficient = AdaptiveApplication::new(enhanced.clone(), Rank::throughput_per_watt2(), 5);
     efficient.run_for(2.0);
     let mut fast = AdaptiveApplication::new(enhanced, Rank::maximize(Metric::throughput()), 5);
     fast.run_for(2.0);
@@ -106,11 +104,8 @@ fn different_seeds_same_selection_policy() {
     let toolchain = quick();
     let enhanced = toolchain.enhance(App::Gemver).unwrap();
     let dominant = |seed: u64| {
-        let mut app = AdaptiveApplication::new(
-            enhanced.clone(),
-            Rank::maximize(Metric::throughput()),
-            seed,
-        );
+        let mut app =
+            AdaptiveApplication::new(enhanced.clone(), Rank::maximize(Metric::throughput()), seed);
         app.run_for(2.0);
         let mut counts = std::collections::HashMap::new();
         for s in app.trace() {

@@ -117,7 +117,11 @@ fn fig4_exec_time_monotone_in_budget_and_knobs_nontrivial() {
     }
     // "No clear trend on the selected software-knobs": several distinct
     // compiler configs appear along the sweep, and threads grow overall.
-    assert!(compilers.len() >= 3, "only {} compiler configs", compilers.len());
+    assert!(
+        compilers.len() >= 3,
+        "only {} compiler configs",
+        compilers.len()
+    );
     assert!(threads.last().unwrap() > threads.first().unwrap());
 }
 
@@ -138,14 +142,16 @@ fn fig5_requirement_switch_and_recovery() {
     app.run_for(5.0);
     let phase3: Vec<_> = app.trace()[phase1.len() + phase2.len()..].to_vec();
 
-    let mean_power = |ts: &[socrates::TraceSample]| {
-        ts.iter().map(|s| s.power_w).sum::<f64>() / ts.len() as f64
-    };
+    let mean_power =
+        |ts: &[socrates::TraceSample]| ts.iter().map(|s| s.power_w).sum::<f64>() / ts.len() as f64;
     let p1 = mean_power(&phase1);
     let p2 = mean_power(&phase2);
     let p3 = mean_power(&phase3);
     // Performance phase is hotter; the energy phase recovers.
-    assert!(p2 > p1 * 1.15, "performance phase must raise power: {p1} -> {p2}");
+    assert!(
+        p2 > p1 * 1.15,
+        "performance phase must raise power: {p1} -> {p2}"
+    );
     assert!(
         (p3 / p1 - 1.0).abs() < 0.1,
         "energy phase must recover: {p1} vs {p3}"

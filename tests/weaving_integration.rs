@@ -12,9 +12,21 @@ fn paper_versions() -> Vec<StaticVersion> {
         &["O1"],
         &["O2"],
         &["O3"],
-        &["O3", "no-guess-branch-probability", "no-ivopts", "no-tree-loop-optimize", "no-inline-functions"],
+        &[
+            "O3",
+            "no-guess-branch-probability",
+            "no-ivopts",
+            "no-tree-loop-optimize",
+            "no-inline-functions",
+        ],
         &["O2", "no-inline-functions", "unroll-all-loops"],
-        &["O2", "unsafe-math-optimizations", "no-ivopts", "no-tree-loop-optimize", "unroll-all-loops"],
+        &[
+            "O2",
+            "unsafe-math-optimizations",
+            "no-ivopts",
+            "no-tree-loop-optimize",
+            "unroll-all-loops",
+        ],
         &["O2", "no-inline-functions"],
     ];
     let mut v = Vec::new();
@@ -26,7 +38,13 @@ fn paper_versions() -> Vec<StaticVersion> {
     v
 }
 
-fn weave(app: App) -> (minic::TranslationUnit, lara::Multiversioned, lara::WeavingMetrics) {
+fn weave(
+    app: App,
+) -> (
+    minic::TranslationUnit,
+    lara::Multiversioned,
+    lara::WeavingMetrics,
+) {
     let tu = minic::parse(&polybench::source(app, Dataset::Large)).unwrap();
     let mut w = Weaver::new(tu);
     let mv = multiversioning(&mut w, &app.kernel_name(), &paper_versions()).unwrap();

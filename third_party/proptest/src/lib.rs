@@ -1,0 +1,712 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests rely on — ranges, tuples, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, `prop::bool::ANY`,
+//! `any::<T>()` and the `proptest!` / `prop_assert!` macros — on top of
+//! a seeded ChaCha8 generator. Two deliberate simplifications versus
+//! upstream: failing cases are **not shrunk** (the original inputs are
+//! reported verbatim), and each test's RNG seed is derived from the
+//! test's name, so runs are fully deterministic.
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// The RNG threaded through strategy sampling.
+pub type TestRng = ChaCha8Rng;
+
+/// Creates the deterministic RNG for a named test.
+pub fn new_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Per-test configuration (the subset of upstream's knobs in use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree: strategies sample
+/// directly and failures are not shrunk.
+pub trait Strategy: 'static {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a recursive strategy: `expand` receives the
+    /// strategy-so-far and returns a strategy for one more level of
+    /// nesting. `depth` bounds the recursion; `_desired_size` and
+    /// `_expected_branch_size` are accepted for signature compatibility
+    /// but unused by this sampler.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // Mixing the leaf back in at every level makes generated
+            // structures vary in depth instead of always bottoming out
+            // at `depth`.
+            let deeper = expand(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies of the same
+    /// value type can be stored together.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let inner = self;
+        BoxedStrategy {
+            sample: Arc::new(move |rng| inner.gen_value(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Arc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// The `prop_map` adaptor.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> Strategy for Map<B, F>
+where
+    B: Strategy,
+    U: 'static,
+    F: Fn(B::Value) -> U + 'static,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.gen_value(rng))
+    }
+}
+
+/// A uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategies from a small regex subset, mirroring upstream's
+/// `impl Strategy for &str`. Supported patterns: a literal with no
+/// metacharacters, or `\PC` / `.` (any printable character) followed by
+/// an optional `{m,n}`, `*` or `+` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (min_len, max_len) =
+            if let Some(rest) = self.strip_prefix("\\PC").or_else(|| self.strip_prefix('.')) {
+                match rest {
+                    "" => (1usize, 1usize),
+                    "*" => (0, 32),
+                    "+" => (1, 32),
+                    _ => {
+                        let bounds = rest
+                            .strip_prefix('{')
+                            .and_then(|r| r.strip_suffix('}'))
+                            .and_then(|r| r.split_once(','))
+                            .and_then(|(lo, hi)| Some((lo.parse().ok()?, hi.parse().ok()?)));
+                        match bounds {
+                            Some(b) => b,
+                            None => panic!(
+                                "unsupported string-strategy pattern {self:?} \
+                             (offline proptest shim supports literals and \
+                             \\PC with {{m,n}}/*/+ repetition)"
+                            ),
+                        }
+                    }
+                }
+            } else if self.contains(['\\', '{', '[', '(', '*', '+', '?', '|']) {
+                panic!(
+                    "unsupported string-strategy pattern {self:?} (offline \
+                 proptest shim supports literals and \\PC repetitions)"
+                );
+            } else {
+                return (*self).to_string();
+            };
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII printable, occasionally a larger scalar, to
+                // mimic `\PC` (any printable char) coverage cheaply.
+                if rng.gen_range(0u32..8) == 0 {
+                    char::from_u32(rng.gen_range(0xA1u32..0x2FF)).unwrap_or('¡')
+                } else {
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A fair boolean strategy.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (upstream `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_exclusive: usize,
+    }
+
+    /// Lengths acceptable to [`vec`].
+    pub trait IntoLenRange {
+        /// Lower bound (inclusive) and upper bound (exclusive).
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `vec(element, len_range)`: a vector of sampled elements.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len_exclusive) = len.bounds();
+        assert!(min_len < max_len_exclusive, "empty length range");
+        VecStrategy {
+            element,
+            min_len,
+            max_len_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min_len..self.max_len_exclusive);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`prop::option`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy yielding `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(inner)`: `Some(inner)` three-quarters of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit lists (`prop::sample`).
+
+    use super::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+
+    /// A uniform choice from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `select(options)`: one uniformly chosen element, cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.options
+                .choose(rng)
+                .expect("select options are non-empty")
+                .clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool`).
+
+    /// The fair-coin strategy.
+    pub const ANY: super::AnyBool = super::AnyBool;
+}
+
+pub mod prelude {
+    //! The glob import used by tests: `use proptest::prelude::*;`.
+
+    /// Alias so `prop::collection::vec(..)` etc. resolve after a glob
+    /// import, mirroring upstream's prelude.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runs the body of one generated case, converting `prop_assert!`
+/// early-returns into a `Result`.
+pub fn run_case<F: FnOnce() -> Result<(), TestCaseError>>(body: F) -> Result<(), TestCaseError> {
+    body()
+}
+
+/// Declares property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::gen_value(&($strategy), &mut rng);)+
+                    let outcome = $crate::run_case(|| { $body Ok(()) });
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// A uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($(|)? $weight:literal => $strategy:expr),+ $(,)?) => {
+        // Weighted arms: weights are treated as repetition counts.
+        {
+            let mut options = Vec::new();
+            $(
+                for _ in 0..$weight {
+                    options.push($crate::Strategy::boxed($strategy));
+                }
+            )+
+            $crate::Union::new(options)
+        }
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::new_rng("ranges");
+        for _ in 0..200 {
+            let x = (5u32..10).gen_value(&mut rng);
+            assert!((5..10).contains(&x));
+            let y = (0.5f64..2.0).gen_value(&mut rng);
+            assert!((0.5..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn boxed_and_union_work() {
+        let mut rng = crate::new_rng("union");
+        let s = prop_oneof![0u32..10, 100u32..110];
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!((0..10).contains(&v) || (100..110).contains(&v));
+            low |= v < 10;
+            high |= v >= 100;
+        }
+        assert!(low && high, "union never picked one arm");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::new_rng("recursive");
+        for _ in 0..200 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_round_trip(x in 1u32..100, flag in any::<bool>()) {
+            prop_assert!(x >= 1);
+            prop_assert_eq!(x, x);
+            if flag {
+                prop_assert_ne!(x, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, API-compatible subset of `rand` 0.8: the
+//! [`RngCore`] / [`Rng`] traits, [`SeedableRng`], uniform sampling via
+//! [`Rng::gen`] / [`Rng::gen_range`] and in-place shuffling via
+//! [`seq::SliceRandom`]. The sampling algorithms follow the same
+//! constructions as upstream (53-bit mantissa floats, Lehmer-style
+//! widening multiply for bounded integers, Fisher–Yates shuffling) but
+//! the exact output streams are **not** guaranteed to match upstream
+//! `rand` — only to be deterministic for a given seeded generator.
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a small seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed accepted by [`SeedableRng::from_seed`].
+    type Seed;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed
+    /// with SplitMix64 (the same expansion `rand_core` uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Expands a `u64` into a stream of seed words via SplitMix64.
+///
+/// Exposed so sibling shims (`rand_chacha`) can share the expansion.
+pub fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from an `RngCore` by
+/// [`Rng::gen`] (the role of `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = Standard::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Rounding can land exactly on `end` for tiny ranges; step down
+        // to keep the bound exclusive (works for any sign of `end`).
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f32 = Standard::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+/// Draws a `u64` below `bound` without modulo bias (widening-multiply
+/// rejection, Lemire's method).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_u64_below(rng, span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return Standard::sample(rng);
+                }
+                let off = uniform_u64_below(rng, span as u64);
+                ((start as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing random sampling methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the `Standard` distribution (uniform floats in
+    /// `[0, 1)`, any-bit-pattern integers, fair bools).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a fair boolean.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related helpers (the subset of `rand::seq` in use).
+
+    use super::{uniform_u64_below, RngCore};
+
+    /// Slice extensions: shuffling and random element choice.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut s = self.0;
+            self.0 = self.0.wrapping_add(1);
+            split_mix_64(&mut s)
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_ranges_with_nonpositive_end_stay_exclusive() {
+        let mut rng = Counter(9);
+        for _ in 0..1000 {
+            let a = rng.gen_range(-1.0f64..0.0);
+            assert!((-1.0..0.0).contains(&a), "{a}");
+            let b = rng.gen_range(-5.0f64..-2.0);
+            assert!((-5.0..-2.0).contains(&b), "{b}");
+            let c = rng.gen_range(-1.0f32..0.0);
+            assert!((-1.0..0.0).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+}

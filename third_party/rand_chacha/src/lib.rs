@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha stream cipher (8 rounds, RFC 7539 block
+//! function) as a deterministic, seedable, cloneable RNG. The word
+//! stream is high-quality and stable across runs and platforms, but is
+//! **not** guaranteed to be bit-compatible with the upstream
+//! `rand_chacha` crate — the workspace only relies on determinism for
+//! a given seed.
+
+#![warn(missing_docs)]
+
+use rand::RngCore;
+
+pub mod rand_core {
+    //! Re-exports matching `rand_chacha::rand_core`.
+
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// A ChaCha RNG with 8 rounds — the cheapest member of the family, the
+/// usual choice for simulation workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Cipher state: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "block exhausted".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&rand::split_mix_64(&mut sm).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32();
+        let hi = self.next_u32();
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let ratio = f64::from(ones) / 64_000.0;
+        assert!((ratio - 0.5).abs() < 0.02, "ones ratio {ratio}");
+    }
+}

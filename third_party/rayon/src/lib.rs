@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the small data-parallel surface this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`. Work is
+//! distributed over `std::thread::scope` workers that pull indices from
+//! a shared atomic counter, so uneven items balance across cores. The
+//! output order always matches the input order, exactly like rayon's
+//! indexed parallel iterators.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// The number of worker threads a parallel operation will use: the
+/// `RAYON_NUM_THREADS` environment variable if set (as in upstream
+/// rayon), otherwise every available core.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f(0..len)` across worker threads, returning results in index
+/// order. The scheduling unit is a single index pulled from an atomic
+/// counter — coarse chunking is unnecessary for the simulation-sized
+/// workloads this workspace profiles.
+fn par_map_indices<U, F>(len: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, len);
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                results
+                    .lock()
+                    .expect("worker panicked while holding results lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("results lock poisoned");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+/// A lazy parallel computation that can be mapped and collected.
+pub trait ParallelIterator: Sized {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Maps every element through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs the computation and gathers results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.run())
+    }
+
+    /// Executes the pipeline, producing the results as a `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+}
+
+/// Collection types that can absorb a parallel iterator's output.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// A `map` adaptor over a parallel iterator. The parallel execution
+/// lives in the per-base `ParallelIterator` impls below, which fuse the
+/// closure with index-order scheduling.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync, U, F> ParallelIterator for Map<ParIter<'a, T>, F>
+where
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let items = self.base.items;
+        let f = &self.f;
+        par_map_indices(items.len(), current_num_threads(), |i| f(&items[i]))
+    }
+}
+
+/// Types whose references iterate in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element reference type.
+    type Item: Send + 'a;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over an index range.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn run(self) -> Vec<usize> {
+        (self.start..self.end).collect()
+    }
+}
+
+impl<U, F> ParallelIterator for Map<RangeIter, F>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let (start, end) = (self.base.start, self.base.end);
+        let f = &self.f;
+        par_map_indices(end.saturating_sub(start), current_num_threads(), |i| {
+            f(start + i)
+        })
+    }
+}
+
+/// Types that convert into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_preserves_order() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..256)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(threads > 1, "expected multi-threaded execution");
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the workspace's simplified serde shim without depending on
+//! `syn`/`quote` (unavailable offline): the item is parsed directly
+//! from the `proc_macro` token stream and the impls are emitted as
+//! formatted strings.
+//!
+//! Representation choices mirror upstream serde's JSON conventions:
+//! named structs serialize as objects, newtype structs are transparent,
+//! tuple structs as arrays, unit enum variants as strings, and
+//! data-carrying variants as single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+struct Item {
+    name: String,
+    /// Generic parameters in declaration order (lifetimes keep their `'`).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---- token-stream parsing ----------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skips outer attributes (`#[...]`), including doc comments.
+    fn skip_attributes(&mut self) {
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(...)` and other visibility qualifiers.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `<...>` generics list, returning the parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' if depth == 1 && at_param_start => {
+                        let life = self.expect_ident();
+                        params.push(format!("'{life}"));
+                        at_param_start = false;
+                    }
+                    _ => {}
+                },
+                Some(TokenTree::Ident(i)) if depth == 1 && at_param_start => {
+                    let word = i.to_string();
+                    if word == "const" {
+                        // `const N: usize` — keep the name, bounds skipped below.
+                        let name = self.expect_ident();
+                        params.push(format!("const {name}"));
+                    } else {
+                        params.push(word);
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics"),
+            }
+        }
+        params
+    }
+
+    /// Skips a `where` clause, stopping before the item body.
+    fn skip_where_clause(&mut self) {
+        if !self.eat_ident("where") {
+            return;
+        }
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => return,
+                TokenTree::Punct(p) if p.as_char() == ';' => return,
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type expression up to a top-level `,` (which is consumed).
+    fn skip_type_to_comma(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(t) = self.next() {
+            match t {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: only structs and enums are supported");
+    };
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    c.skip_where_clause();
+
+    let kind = if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            return fields;
+        }
+        fields.push(c.expect_ident());
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field name");
+        }
+        c.skip_type_to_comma();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        c.skip_type_to_comma();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            return variants;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        if c.eat_punct('=') {
+            c.skip_type_to_comma();
+        } else {
+            c.eat_punct(',');
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+/// Builds `impl<...> Trait for Name<...>` headers with per-type-param
+/// bounds on the derived trait.
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        return format!("impl {trait_path} for {} ", item.name);
+    }
+    let bounded: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| {
+            if g.starts_with('\'') || g.starts_with("const ") {
+                g.clone()
+            } else {
+                format!("{g}: {trait_path}")
+            }
+        })
+        .collect();
+    let args: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| g.strip_prefix("const ").unwrap_or(g).to_string())
+        .collect();
+    format!(
+        "impl<{}> {trait_path} for {}<{}> ",
+        bounded.join(", "),
+        item.name,
+        args.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "Self::{vname}(f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{}{{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+/// Generates an expression deserializing named fields from object `src`
+/// into a `Name { ... }` literal.
+fn named_fields_expr(constructor: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get_field({f:?}).unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("{constructor} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "let _ = v; Ok(Self)".to_string(),
+        Kind::NamedStruct(fields) => format!(
+            "match v {{\n::serde::Value::Object(_) => Ok({}),\nother => Err(::serde::Error::expected({name:?}, other)),\n}}",
+            named_fields_expr("Self", fields, "v")
+        ),
+        Kind::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n::serde::Value::Array(items) if items.len() == {n} => Ok(Self({})),\nother => Err(::serde::Error::expected(\"array of length {n}\", other)),\n}}",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),\n", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok(Self::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match inner {{\n::serde::Value::Array(items) if items.len() == {n} => Ok(Self::{vname}({})),\nother => Err(::serde::Error::expected(\"array of length {n}\", other)),\n}},\n",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => Some(format!(
+                            "{vname:?} => match inner {{\n::serde::Value::Object(_) => Ok({}),\nother => Err(::serde::Error::expected(\"object\", other)),\n}},\n",
+                            named_fields_expr(&format!("Self::{vname}"), fields, "inner")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n::serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n::serde::Value::Object(entries) if entries.len() == 1 => {{\nlet (tag, inner) = &entries[0];\nmatch tag.as_str() {{\n{data_arms}other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\nother => Err(::serde::Error::expected({name:?}, other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{}{{\nfn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
+
+/// Derives the workspace serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the workspace serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmark of batch enhancement over the 12-app Polybench
+//! suite: serial per-target re-training (every `enhance` call rebuilds
+//! the COBAYN corpus from scratch — the seed repository's O(n²)
+//! behaviour) versus the shared-corpus staged pipeline
+//! (`enhance_all`, which builds each corpus entry once and masks the
+//! target at query time).
+//!
+//! The wall-clock gap between the two rows is the speedup the artifact
+//! store buys; `BENCH.md` tracks the measured numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polybench::{App, Dataset};
+use socrates::Toolchain;
+
+fn toolchain() -> Toolchain {
+    Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+}
+
+fn bench_enhance_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enhance-batch");
+    group.sample_size(5);
+    let tc = toolchain();
+
+    // The seed behaviour: one throwaway store per target, so the
+    // corpus (parse + features + iterative compilation over the 11
+    // siblings) is rebuilt for every app — 132 corpus constructions.
+    group.bench_function("12apps-serial-retrain", |b| {
+        b.iter(|| {
+            App::ALL
+                .iter()
+                .map(|&app| tc.enhance(app).expect("enhance").knowledge.len())
+                .sum::<usize>()
+        });
+    });
+
+    // The staged pipeline: one shared store, 12 corpus constructions,
+    // targets fanned out over rayon — bit-identical output (pinned by
+    // tests/pipeline_equivalence.rs).
+    group.bench_function("12apps-shared-corpus-batch", |b| {
+        b.iter(|| tc.enhance_all(&App::ALL).expect("enhance_all").len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_enhance_batch);
+criterion_main!(benches);

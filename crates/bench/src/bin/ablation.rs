@@ -19,13 +19,17 @@ use margot::{Cmp, Constraint, Metric, Rank};
 use platform_sim::{BindingPolicy, KnobConfig, Machine, PowerParams};
 use polybench::App;
 use serde::Serialize;
-use socrates::{AdaptiveApplication, Toolchain};
+use socrates::{AdaptiveApplication, ArtifactStore, Toolchain};
 
 fn main() {
     let toolchain = Toolchain::default();
-    cobayn_value(&toolchain);
-    feedback_value(&toolchain);
-    adaptation_value(&toolchain);
+    // One artifact store for all three studies: ablations 2 and 3 reuse
+    // the 2mm artifacts (corpus, weave, knowledge) computed by the
+    // batch run of ablation 1.
+    let store = ArtifactStore::new();
+    cobayn_value(&toolchain, &store);
+    feedback_value(&toolchain, &store);
+    adaptation_value(&toolchain, &store);
 }
 
 #[derive(Serialize)]
@@ -38,16 +42,19 @@ struct CobaynRow {
 }
 
 /// Ablation 1: how good are the 4 predicted flag combinations?
-fn cobayn_value(toolchain: &Toolchain) {
+fn cobayn_value(toolchain: &Toolchain, store: &ArtifactStore) {
     println!("=== Ablation 1: COBAYN prediction quality (leave-one-out) ===");
     println!(
         "{:<12} {:>9} {:>10} {:>8} {:>10}",
         "Benchmark", "best-std", "best-pred", "oracle", "recovered"
     );
-    let machine = Machine::xeon_e5_2630_v3(toolchain.seed).noiseless();
+    let machine = toolchain.platform.machine(toolchain.seed).noiseless();
+    let enhanced_apps = toolchain
+        .enhance_all_with_store(&App::ALL, store)
+        .expect("batch enhance");
     let mut rows = Vec::new();
-    for app in App::ALL {
-        let enhanced = toolchain.enhance(app).expect("enhance");
+    for enhanced in &enhanced_apps {
+        let app = enhanced.app;
         let profile = app.profile(toolchain.dataset);
         let speed = |co: &platform_sim::CompilerOptions| {
             let cfg = KnobConfig::new(co.clone(), 1, BindingPolicy::Close);
@@ -112,9 +119,12 @@ struct FeedbackResult {
 }
 
 /// Ablation 2: the monitor-feedback loop under deployment drift.
-fn feedback_value(toolchain: &Toolchain) {
+fn feedback_value(toolchain: &Toolchain, store: &ArtifactStore) {
     println!("=== Ablation 2: mARGOt feedback under a hotter-than-profiled machine ===");
-    let enhanced = toolchain.enhance(App::TwoMm).expect("enhance");
+    // Pure cache walk: 2mm was already enhanced by ablation 1.
+    let enhanced = toolchain
+        .enhance_with_store(App::TwoMm, store)
+        .expect("enhance");
     let budget = 100.0;
 
     // The deployed machine draws ~30% more core power than profiled.
@@ -172,9 +182,11 @@ struct AdaptationRow {
 
 /// Ablation 3: adaptive selection vs one-fits-all static configurations
 /// under a time-varying power budget (the paper's motivating scenario).
-fn adaptation_value(toolchain: &Toolchain) {
+fn adaptation_value(toolchain: &Toolchain, store: &ArtifactStore) {
     println!("=== Ablation 3: adaptive vs static under a changing power budget ===");
-    let enhanced = toolchain.enhance(App::TwoMm).expect("enhance");
+    let enhanced = toolchain
+        .enhance_with_store(App::TwoMm, store)
+        .expect("enhance");
     // Budget schedule: generous -> tight -> medium, 10 virtual s each.
     let schedule = [140.0, 60.0, 100.0];
 

@@ -34,11 +34,15 @@ fn main() {
         "Benchmark", "#P", "Power (min q1 med q3 max)", "Thr (min q1 med q3 max)"
     );
 
+    // Batch enhancement: one shared artifact store, the COBAYN corpus
+    // built once for all 12 apps instead of once per app.
+    let enhanced_apps = toolchain
+        .enhance_all(&App::ALL)
+        .unwrap_or_else(|e| panic!("{e}"));
+
     let mut entries = Vec::new();
-    for app in App::ALL {
-        let enhanced = toolchain
-            .enhance(app)
-            .unwrap_or_else(|e| panic!("{app}: {e}"));
+    for enhanced in &enhanced_apps {
+        let app = enhanced.app;
         let pareto = dse::power_throughput_pareto(&enhanced.knowledge);
         let power = BoxStats::from_values(&normalized_metric(&pareto, &Metric::power()));
         let thr = BoxStats::from_values(&normalized_metric(&pareto, &Metric::throughput()));

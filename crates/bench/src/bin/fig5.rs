@@ -16,7 +16,7 @@ use margot::{Metric, Rank};
 use platform_sim::BindingPolicy;
 use polybench::App;
 use serde::Serialize;
-use socrates::{AdaptiveApplication, Toolchain};
+use socrates::{AdaptiveApplication, ArtifactStore, Toolchain};
 use socrates_bench::co_label;
 
 #[derive(Serialize)]
@@ -32,7 +32,10 @@ struct Sample {
 
 fn main() {
     let toolchain = Toolchain::default();
-    let enhanced = toolchain.enhance(App::TwoMm).expect("enhance 2mm");
+    let store = ArtifactStore::new();
+    let enhanced = toolchain
+        .enhance_with_store(App::TwoMm, &store)
+        .expect("enhance 2mm");
     let cobayn_flags = enhanced.cobayn_flags.clone();
     let mut app = AdaptiveApplication::new(enhanced, Rank::throughput_per_watt2(), 2018);
 

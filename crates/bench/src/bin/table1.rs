@@ -32,11 +32,14 @@ fn main() {
         "Benchmark", "Att", "Act", "O-LOC", "W-LOC", "D-LOC", "Bloat"
     );
 
+    // One shared-corpus batch run over the whole suite.
+    let enhanced_apps = toolchain
+        .enhance_all(&App::ALL)
+        .unwrap_or_else(|e| panic!("{e}"));
+
     let mut rows = Vec::new();
-    for app in App::ALL {
-        let enhanced = toolchain
-            .enhance(app)
-            .unwrap_or_else(|e| panic!("{app}: {e}"));
+    for enhanced in &enhanced_apps {
+        let app = enhanced.app;
         let m = enhanced.metrics;
         println!(
             "{:<12} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7.2}",

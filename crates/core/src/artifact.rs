@@ -1,0 +1,686 @@
+//! Typed stage artifacts and the shared [`ArtifactStore`].
+//!
+//! Every pipeline stage produces a typed artifact (a [`ParsedSource`],
+//! [`KernelFeatures`], [`FlagPredictions`], [`WeavedProgram`] or
+//! [`ProfiledKnowledge`]); the store memoises them under a key of
+//! `(app, dataset, toolchain-config fingerprint)` so that a batch run
+//! over many targets computes each shared artifact **once**.
+//!
+//! The big win is the COBAYN training corpus: the seed implementation
+//! re-ran parse + feature extraction + iterative compilation over all
+//! sibling applications for *every* target (O(n²) over a benchmark
+//! suite). With the store, each application's [`cobayn::TrainingApp`]
+//! corpus entry is built once per `(app, dataset)`, and leave-one-out
+//! training is realised by *masking* the target's entry when assembling
+//! a model's training set — never by rebuilding the corpus.
+//!
+//! All methods take `&self` and are safe to call from many threads at
+//! once (this is what lets [`crate::Toolchain::enhance_all`] fan
+//! targets out over rayon). Values are deterministic functions of the
+//! key, so concurrent computation of the same key is harmless: the
+//! first insert wins and every caller observes identical data.
+
+use crate::error::SocratesError;
+use crate::toolchain::{fnv, Toolchain};
+use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
+use lara::{Multiversioned, WeavingMetrics};
+use margot::Knowledge;
+use milepost::Features;
+use minic::TranslationUnit;
+use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, WorkloadProfile};
+use polybench::{App, Dataset};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Stage 1 artifact: the parsed original application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSource {
+    /// Which benchmark this is.
+    pub app: App,
+    /// The original (pure functional) program.
+    pub tu: TranslationUnit,
+    /// Name of the kernel function.
+    pub kernel: String,
+}
+
+/// Stage 2 artifact: the kernel's static Milepost feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelFeatures {
+    /// Which benchmark this is.
+    pub app: App,
+    /// The extracted feature vector.
+    pub features: Features,
+}
+
+/// Stage 3 artifact: the COBAYN-predicted flag combinations (CF1..CFn).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlagPredictions {
+    /// Which benchmark this is.
+    pub app: App,
+    /// Predicted combinations, most promising first.
+    pub flags: Vec<CompilerOptions>,
+}
+
+/// Stage 4 artifact: the weaved adaptive program and its metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeavedProgram {
+    /// Which benchmark this is.
+    pub app: App,
+    /// The weaved, adaptive program.
+    pub weaved: TranslationUnit,
+    /// Table I metrics for this application.
+    pub metrics: WeavingMetrics,
+    /// Multiversioning artefacts (clone names, wrapper, control vars).
+    pub multiversioned: Multiversioned,
+    /// Version table: index = `__socrates_version` value.
+    pub versions: Vec<(CompilerOptions, BindingPolicy)>,
+}
+
+/// Stage 5 artifact: the design-time knowledge from the DSE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledKnowledge {
+    /// Which benchmark this is.
+    pub app: App,
+    /// The mARGOt application knowledge.
+    pub knowledge: Knowledge<KnobConfig>,
+    /// The kernel workload profile driving the platform model.
+    pub profile: WorkloadProfile,
+}
+
+/// Version stamp of the persisted-knowledge artifacts. The config
+/// fingerprint only covers *configuration*; bump this whenever the
+/// profiling semantics themselves change (DSE enumeration, platform
+/// model, noise derivation), so stale on-disk files from older code
+/// are treated as misses instead of silently reloaded.
+pub const KNOWLEDGE_FORMAT_VERSION: u32 = 1;
+
+/// Cache key: which application, which dataset, which toolchain
+/// configuration (fingerprint over every knob that can change a stage
+/// output, including the platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ArtifactKey {
+    app: App,
+    dataset: Dataset,
+    config: u64,
+}
+
+/// Snapshot of the store's cache behaviour: how many lookups hit, and
+/// how many times each stage actually executed. The equivalence tests
+/// pin the O(n) corpus property with these counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Parse stage executions.
+    pub parse_builds: u64,
+    /// Feature-extraction stage executions.
+    pub feature_builds: u64,
+    /// Corpus-entry constructions (parse + features + iterative
+    /// compilation for one application).
+    pub corpus_builds: u64,
+    /// COBAYN model trainings (one per leave-one-out target).
+    pub model_builds: u64,
+    /// Flag-prediction stage executions.
+    pub prediction_builds: u64,
+    /// Weaving stage executions.
+    pub weave_builds: u64,
+    /// DSE profiling stage executions.
+    pub knowledge_builds: u64,
+    /// Knowledge artifacts loaded from the persistence directory
+    /// instead of being re-profiled.
+    pub knowledge_loads: u64,
+}
+
+impl StoreStats {
+    /// Total stage executions across all artifact kinds.
+    pub fn total_builds(&self) -> u64 {
+        self.parse_builds
+            + self.feature_builds
+            + self.corpus_builds
+            + self.model_builds
+            + self.prediction_builds
+            + self.weave_builds
+            + self.knowledge_builds
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    parse: AtomicU64,
+    features: AtomicU64,
+    corpus: AtomicU64,
+    model: AtomicU64,
+    predictions: AtomicU64,
+    weave: AtomicU64,
+    knowledge: AtomicU64,
+    knowledge_loads: AtomicU64,
+}
+
+/// Thread-safe cache of stage artifacts, shared across the targets of a
+/// batch enhancement (and reusable across repeated single enhancements).
+///
+/// With a persistence directory ([`ArtifactStore::with_persist_dir`]),
+/// profiled knowledge round-trips through JSON on disk via the
+/// [`crate::knowledge_io`] format: a cold store reloads previous DSE
+/// results instead of re-profiling.
+#[derive(Default)]
+pub struct ArtifactStore {
+    persist_dir: Option<PathBuf>,
+    /// Memoised `(config, fingerprint)` of the last toolchain seen, so
+    /// hot-path lookups don't re-serialise the config per call.
+    fingerprint: Mutex<Option<(Toolchain, u64)>>,
+    parsed: Mutex<HashMap<ArtifactKey, Arc<ParsedSource>>>,
+    features: Mutex<HashMap<ArtifactKey, Arc<KernelFeatures>>>,
+    corpus: Mutex<HashMap<ArtifactKey, Arc<TrainingApp>>>,
+    models: Mutex<HashMap<ArtifactKey, Arc<Cobayn>>>,
+    predictions: Mutex<HashMap<ArtifactKey, Arc<FlagPredictions>>>,
+    weaved: Mutex<HashMap<ArtifactKey, Arc<WeavedProgram>>>,
+    knowledge: Mutex<HashMap<ArtifactKey, Arc<ProfiledKnowledge>>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("persist_dir", &self.persist_dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty, in-memory store.
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// A store that persists profiled knowledge as JSON files under
+    /// `dir` (created on first save). Knowledge lookups check the
+    /// directory before re-running the DSE.
+    pub fn with_persist_dir(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            persist_dir: Some(dir.into()),
+            ..ArtifactStore::default()
+        }
+    }
+
+    /// The persistence directory, if configured.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StoreStats {
+            hits: get(&c.hits),
+            parse_builds: get(&c.parse),
+            feature_builds: get(&c.features),
+            corpus_builds: get(&c.corpus),
+            model_builds: get(&c.model),
+            prediction_builds: get(&c.predictions),
+            weave_builds: get(&c.weave),
+            knowledge_builds: get(&c.knowledge),
+            knowledge_loads: get(&c.knowledge_loads),
+        }
+    }
+
+    fn key(&self, toolchain: &Toolchain, app: App) -> ArtifactKey {
+        let mut memo = self.fingerprint.lock().expect("fingerprint memo poisoned");
+        let config = match memo.as_ref() {
+            Some((cached, fp)) if cached == toolchain => *fp,
+            _ => {
+                let fp = toolchain.fingerprint();
+                *memo = Some((toolchain.clone(), fp));
+                fp
+            }
+        };
+        ArtifactKey {
+            app,
+            dataset: toolchain.dataset,
+            config,
+        }
+    }
+
+    /// The parsed original source of `app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse-stage [`SocratesError`] on invalid source (never
+    /// happens for the bundled Polybench programs).
+    pub fn parsed(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<ParsedSource>, SocratesError> {
+        get_or_build(
+            &self.parsed,
+            &self.counters.hits,
+            &self.counters.parse,
+            self.key(toolchain, app),
+            || {
+                let source = polybench::source(app, toolchain.dataset);
+                let tu = minic::parse(&source).map_err(|e| SocratesError::parse(app, e))?;
+                Ok(ParsedSource {
+                    app,
+                    tu,
+                    kernel: app.kernel_name(),
+                })
+            },
+        )
+    }
+
+    /// The Milepost feature vector of `app`'s kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors; fails if the kernel function is absent.
+    pub fn kernel_features(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<KernelFeatures>, SocratesError> {
+        get_or_build(
+            &self.features,
+            &self.counters.hits,
+            &self.counters.features,
+            self.key(toolchain, app),
+            || {
+                let parsed = self.parsed(toolchain, app)?;
+                let features = milepost::extract_function(&parsed.tu, &parsed.kernel)
+                    .map_err(|e| SocratesError::features(app, e))?;
+                Ok(KernelFeatures { app, features })
+            },
+        )
+    }
+
+    /// The COBAYN training-corpus entry for `app`: its features plus
+    /// the good flag combinations found by iterative compilation
+    /// (single-thread close binding, exactly COBAYN's setup).
+    ///
+    /// This is the expensive shared artifact — built once per
+    /// `(app, dataset, config)` no matter how many leave-one-out
+    /// targets consume it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and feature-extraction errors.
+    pub fn training_app(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<TrainingApp>, SocratesError> {
+        get_or_build(
+            &self.corpus,
+            &self.counters.hits,
+            &self.counters.corpus,
+            self.key(toolchain, app),
+            || {
+                let features = self.kernel_features(toolchain, app)?;
+                let machine = toolchain.platform.machine(toolchain.seed).noiseless();
+                let profile = app.profile(toolchain.dataset);
+                let good = iterative_compilation(
+                    |co| {
+                        let cfg = KnobConfig::new(co.clone(), 1, BindingPolicy::Close);
+                        1.0 / machine.expected(&profile, &cfg).time_s
+                    },
+                    toolchain.training_top_fraction,
+                );
+                Ok(TrainingApp {
+                    features: features.features.clone(),
+                    good,
+                })
+            },
+        )
+    }
+
+    /// The COBAYN model for leave-one-out `target`: trained on the
+    /// corpus entries of every *other* application (in [`App::ALL`]
+    /// order), with `target`'s own entry masked out of the training set
+    /// at query time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corpus errors; fails if training is impossible.
+    pub fn cobayn_model(
+        &self,
+        toolchain: &Toolchain,
+        target: App,
+    ) -> Result<Arc<Cobayn>, SocratesError> {
+        get_or_build(
+            &self.models,
+            &self.counters.hits,
+            &self.counters.model,
+            self.key(toolchain, target),
+            || {
+                let mut corpus = Vec::with_capacity(App::ALL.len() - 1);
+                for other in App::ALL {
+                    if other == target {
+                        continue;
+                    }
+                    corpus.push(self.training_app(toolchain, other)?.as_ref().clone());
+                }
+                Cobayn::train(&corpus, CobaynConfig::default())
+                    .map_err(|e| SocratesError::train(target, e))
+            },
+        )
+    }
+
+    /// The predicted flag combinations for `app`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature and training errors.
+    pub fn flag_predictions(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<FlagPredictions>, SocratesError> {
+        get_or_build(
+            &self.predictions,
+            &self.counters.hits,
+            &self.counters.predictions,
+            self.key(toolchain, app),
+            || {
+                let features = self.kernel_features(toolchain, app)?;
+                let model = self.cobayn_model(toolchain, app)?;
+                Ok(FlagPredictions {
+                    app,
+                    flags: model.predict(&features.features, toolchain.cobayn_predictions),
+                })
+            },
+        )
+    }
+
+    /// The weaved adaptive program for `app` (Multiversioning then
+    /// Autotuner strategies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates upstream errors; fails if a weaving strategy fails.
+    pub fn weaved(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<WeavedProgram>, SocratesError> {
+        get_or_build(
+            &self.weaved,
+            &self.counters.hits,
+            &self.counters.weave,
+            self.key(toolchain, app),
+            || {
+                let parsed = self.parsed(toolchain, app)?;
+                let predictions = self.flag_predictions(toolchain, app)?;
+                let versions = toolchain.version_table(&predictions.flags);
+                let static_versions: Vec<lara::StaticVersion> = versions
+                    .iter()
+                    .map(|(co, bp)| lara::StaticVersion::new(co.pragma_flags(), bp.as_str()))
+                    .collect();
+                let mut weaver = lara::Weaver::new(parsed.tu.clone());
+                let multiversioned =
+                    lara::multiversioning(&mut weaver, &parsed.kernel, &static_versions)
+                        .map_err(|e| SocratesError::weave(app, e))?;
+                lara::autotuner(&mut weaver, &multiversioned, "main")
+                    .map_err(|e| SocratesError::weave(app, e))?;
+                let (weaved, metrics) = weaver.finish();
+                Ok(WeavedProgram {
+                    app,
+                    weaved,
+                    metrics,
+                    multiversioned,
+                    versions,
+                })
+            },
+        )
+    }
+
+    /// The design-time knowledge of `app`: the full-factorial DSE over
+    /// the SOCRATES space on the toolchain's platform, with a
+    /// deterministic per-app machine seed.
+    ///
+    /// With a persistence directory, a miss first tries to reload the
+    /// knowledge JSON written by a previous run; a fresh profile is
+    /// saved back to disk. Persistence is **best-effort** in both
+    /// directions: unreadable or malformed files are treated as cache
+    /// misses and save failures are ignored, so a broken cache
+    /// directory degrades to re-profiling rather than erroring (use
+    /// [`crate::save_knowledge`] directly when a persistence failure
+    /// must be detected).
+    ///
+    /// # Errors
+    ///
+    /// Propagates upstream pipeline errors.
+    pub fn profiled_knowledge(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Arc<ProfiledKnowledge>, SocratesError> {
+        let key = self.key(toolchain, app);
+        if let Some(hit) = self
+            .knowledge
+            .lock()
+            .expect("knowledge map poisoned")
+            .get(&key)
+        {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let profile = app.profile(toolchain.dataset);
+        let value = match self.load_persisted(toolchain, app, key.config) {
+            Some(knowledge) => {
+                self.counters
+                    .knowledge_loads
+                    .fetch_add(1, Ordering::Relaxed);
+                ProfiledKnowledge {
+                    app,
+                    knowledge,
+                    profile,
+                }
+            }
+            None => {
+                let predictions = self.flag_predictions(toolchain, app)?;
+                let space = dse::DesignSpace::socrates(
+                    predictions.flags.clone(),
+                    &toolchain.platform.topology,
+                );
+                let machine = toolchain.platform.machine(toolchain.seed ^ fnv(app.name()));
+                let knowledge = dse::profile(
+                    &machine,
+                    &profile,
+                    &space.full_factorial(),
+                    toolchain.dse_repetitions,
+                );
+                self.counters.knowledge.fetch_add(1, Ordering::Relaxed);
+                // Persistence is best-effort, symmetric with loading:
+                // an unwritable cache directory must not discard a
+                // successfully profiled result.
+                self.save_persisted(toolchain, app, key.config, &knowledge)
+                    .ok();
+                ProfiledKnowledge {
+                    app,
+                    knowledge,
+                    profile,
+                }
+            }
+        };
+        let value = Arc::new(value);
+        let mut guard = self.knowledge.lock().expect("knowledge map poisoned");
+        Ok(Arc::clone(guard.entry(key).or_insert(value)))
+    }
+
+    /// Builds the corpus entries (and their parse/feature inputs) for
+    /// every application in `universe`, in parallel. Called by
+    /// [`crate::Toolchain::enhance_all`] before fanning targets out so
+    /// the shared artifacts are computed exactly once, race-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in `universe` order) failing entry's error.
+    pub fn warm_corpus(
+        &self,
+        toolchain: &Toolchain,
+        universe: &[App],
+    ) -> Result<(), SocratesError> {
+        use rayon::prelude::*;
+        universe
+            .par_iter()
+            .map(|&app| self.training_app(toolchain, app).map(|_| ()))
+            .collect::<Vec<Result<(), SocratesError>>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Path of the persisted knowledge file for `(app, dataset, config)`.
+    /// The name embeds [`KNOWLEDGE_FORMAT_VERSION`] so files written by
+    /// older profiling semantics self-invalidate.
+    fn persist_path(&self, toolchain: &Toolchain, app: App, config: u64) -> Option<PathBuf> {
+        self.persist_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{:?}-{config:016x}.v{KNOWLEDGE_FORMAT_VERSION}.knowledge.json",
+                app.name(),
+                toolchain.dataset
+            ))
+        })
+    }
+
+    /// Tries to reload previously profiled knowledge; any unreadable or
+    /// malformed file is treated as a miss (the DSE simply re-runs).
+    fn load_persisted(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        config: u64,
+    ) -> Option<Knowledge<KnobConfig>> {
+        let path = self.persist_path(toolchain, app, config)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        crate::knowledge_io::knowledge_from_json(&json).ok()
+    }
+
+    fn save_persisted(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        config: u64,
+        knowledge: &Knowledge<KnobConfig>,
+    ) -> Result<(), SocratesError> {
+        let Some(path) = self.persist_path(toolchain, app, config) else {
+            return Ok(());
+        };
+        let dir = path.parent().expect("persist path has a parent");
+        std::fs::create_dir_all(dir).map_err(|e| SocratesError::io(dir, e))?;
+        let json = crate::knowledge_io::knowledge_to_json(knowledge)?;
+        std::fs::write(&path, json).map_err(|e| SocratesError::io(path, e))
+    }
+}
+
+/// Returns the cached artifact for `key`, or runs `build`, inserts and
+/// returns it. The lock is *not* held while building (stages recurse
+/// into the store for their inputs); concurrent builders of the same
+/// key produce identical values and the first insert wins.
+fn get_or_build<T>(
+    map: &Mutex<HashMap<ArtifactKey, Arc<T>>>,
+    hits: &AtomicU64,
+    builds: &AtomicU64,
+    key: ArtifactKey,
+    build: impl FnOnce() -> Result<T, SocratesError>,
+) -> Result<Arc<T>, SocratesError> {
+    if let Some(hit) = map.lock().expect("artifact map poisoned").get(&key) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    let value = Arc::new(build()?);
+    builds.fetch_add(1, Ordering::Relaxed);
+    let mut guard = map.lock().expect("artifact map poisoned");
+    Ok(Arc::clone(guard.entry(key).or_insert(value)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_toolchain() -> Toolchain {
+        Toolchain {
+            dataset: Dataset::Small,
+            dse_repetitions: 1,
+            ..Toolchain::default()
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit_the_cache() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let a = store.parsed(&tc, App::TwoMm).unwrap();
+        let b = store.parsed(&tc, App::TwoMm).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be the cached Arc");
+        let stats = store.stats();
+        assert_eq!(stats.parse_builds, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn different_configs_do_not_collide() {
+        let tc1 = quick_toolchain();
+        let tc2 = Toolchain {
+            seed: tc1.seed + 1,
+            ..quick_toolchain()
+        };
+        let store = ArtifactStore::new();
+        store.training_app(&tc1, App::Atax).unwrap();
+        store.training_app(&tc2, App::Atax).unwrap();
+        assert_eq!(store.stats().corpus_builds, 2);
+    }
+
+    #[test]
+    fn corpus_entries_are_shared_across_targets() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        store.cobayn_model(&tc, App::TwoMm).unwrap();
+        store.cobayn_model(&tc, App::Mvt).unwrap();
+        // Both models exist, but each sibling corpus entry was built
+        // once: 12 distinct apps appear across the two 11-app masks.
+        let stats = store.stats();
+        assert_eq!(stats.model_builds, 2);
+        assert_eq!(stats.corpus_builds, App::ALL.len() as u64);
+    }
+
+    #[test]
+    fn leave_one_out_masks_the_target() {
+        // The model for a target must differ from the model for another
+        // target (different masked entries => different training sets).
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let a = store.cobayn_model(&tc, App::TwoMm).unwrap();
+        let b = store.cobayn_model(&tc, App::Nussinov).unwrap();
+        assert_ne!(a.as_ref(), b.as_ref());
+    }
+
+    #[test]
+    fn knowledge_persists_and_reloads() {
+        let tc = quick_toolchain();
+        let dir = std::env::temp_dir().join(format!(
+            "socrates-artifact-store-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let warm = ArtifactStore::with_persist_dir(&dir);
+        let fresh = warm.profiled_knowledge(&tc, App::Syrk).unwrap();
+        assert_eq!(warm.stats().knowledge_builds, 1);
+        assert_eq!(warm.stats().knowledge_loads, 0);
+
+        // A cold store over the same directory reloads instead of
+        // re-profiling.
+        let cold = ArtifactStore::with_persist_dir(&dir);
+        let reloaded = cold.profiled_knowledge(&tc, App::Syrk).unwrap();
+        assert_eq!(cold.stats().knowledge_builds, 0);
+        assert_eq!(cold.stats().knowledge_loads, 1);
+        assert_eq!(fresh.knowledge, reloaded.knowledge);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,63 +1,238 @@
-//! Error type of the SOCRATES toolchain.
+//! The unified, stage-tagged error type of the SOCRATES toolchain.
+//!
+//! Every failure anywhere in the staged pipeline — parsing, feature
+//! extraction, COBAYN training, weaving, knowledge persistence or
+//! version dispatch — is a [`SocratesError`]. Each error knows which
+//! [`StageId`] it originated from and carries human-readable context
+//! (the application name, the file path, …), so a batch run over many
+//! applications produces attributable diagnostics.
+//!
+//! The pre-pipeline names [`ToolchainError`] and [`KnowledgeIoError`]
+//! remain as *name-level* aliases of [`SocratesError`]: code that only
+//! names the error type keeps compiling, but the variant set changed
+//! (context-carrying struct variants, `Cobayn` → `Train`) and the old
+//! blanket `From` impls are gone — construct errors through the
+//! [`SocratesError`] constructors instead.
 
+use polybench::App;
 use std::fmt;
+use std::path::PathBuf;
 
-/// Anything that can go wrong while enhancing an application.
-#[derive(Debug)]
-pub enum ToolchainError {
-    /// The benchmark source failed to parse (a bug in `polybench`).
-    Parse(minic::ParseError),
-    /// Feature extraction failed (kernel not found).
-    Features(milepost::UnknownFunctionError),
-    /// COBAYN training failed.
-    Cobayn(cobayn::TrainError),
-    /// A weaving strategy failed.
-    Weave(lara::WeaveError),
+/// The pipeline stage an error originated from (see the stage graph in
+/// [`crate::pipeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Source parsing (`minic`).
+    Parse,
+    /// Milepost feature extraction.
+    Features,
+    /// COBAYN corpus construction, training and flag prediction.
+    Predict,
+    /// LARA weaving (multiversioning + autotuner).
+    Weave,
+    /// DSE profiling on the platform model.
+    Profile,
+    /// Artifact persistence (knowledge save/load).
+    Persist,
+    /// Runtime version dispatch (config → clone lookup).
+    Dispatch,
 }
 
-impl fmt::Display for ToolchainError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl StageId {
+    /// Short lowercase stage label, as used in error messages.
+    pub fn as_str(self) -> &'static str {
         match self {
-            ToolchainError::Parse(e) => write!(f, "source parsing failed: {e}"),
-            ToolchainError::Features(e) => write!(f, "feature extraction failed: {e}"),
-            ToolchainError::Cobayn(e) => write!(f, "COBAYN training failed: {e}"),
-            ToolchainError::Weave(e) => write!(f, "weaving failed: {e}"),
+            StageId::Parse => "parse",
+            StageId::Features => "features",
+            StageId::Predict => "predict",
+            StageId::Weave => "weave",
+            StageId::Profile => "profile",
+            StageId::Persist => "persist",
+            StageId::Dispatch => "dispatch",
         }
     }
 }
 
-impl std::error::Error for ToolchainError {
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Anything that can go wrong in the SOCRATES pipeline, from source
+/// parsing to knowledge persistence.
+#[derive(Debug)]
+pub enum SocratesError {
+    /// The benchmark source failed to parse.
+    Parse {
+        /// Application whose source failed.
+        app: String,
+        /// Underlying parser diagnostic.
+        source: minic::ParseError,
+    },
+    /// Feature extraction failed (kernel not found).
+    Features {
+        /// Application whose kernel was missing.
+        app: String,
+        /// Underlying extractor diagnostic.
+        source: milepost::UnknownFunctionError,
+    },
+    /// COBAYN training failed.
+    Train {
+        /// Target application the model was being trained for.
+        app: String,
+        /// Underlying trainer diagnostic.
+        source: cobayn::TrainError,
+    },
+    /// A weaving strategy failed.
+    Weave {
+        /// Application being weaved.
+        app: String,
+        /// Underlying weaver diagnostic.
+        source: lara::WeaveError,
+    },
+    /// Filesystem error while persisting or loading an artifact.
+    Io {
+        /// File involved.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Malformed or unserialisable artifact JSON.
+    Format {
+        /// What was being (de)serialised.
+        context: String,
+        /// Underlying serde diagnostic.
+        source: serde_json::Error,
+    },
+    /// A knob configuration has no compiled clone version.
+    UnknownVersion {
+        /// Application whose version table was consulted.
+        app: String,
+        /// Display form of the offending configuration.
+        config: String,
+    },
+}
+
+/// Pre-pipeline name of [`SocratesError`] (name-level alias; the
+/// variant set is the unified, stage-tagged one).
+pub type ToolchainError = SocratesError;
+
+/// Pre-pipeline name of [`SocratesError`] (name-level alias; the
+/// variant set is the unified, stage-tagged one).
+pub type KnowledgeIoError = SocratesError;
+
+impl SocratesError {
+    /// The pipeline stage this error originated from.
+    pub fn stage(&self) -> StageId {
+        match self {
+            SocratesError::Parse { .. } => StageId::Parse,
+            SocratesError::Features { .. } => StageId::Features,
+            SocratesError::Train { .. } => StageId::Predict,
+            SocratesError::Weave { .. } => StageId::Weave,
+            SocratesError::Io { .. } | SocratesError::Format { .. } => StageId::Persist,
+            SocratesError::UnknownVersion { .. } => StageId::Dispatch,
+        }
+    }
+
+    /// Builds a parse-stage error for `app`.
+    pub fn parse(app: App, source: minic::ParseError) -> Self {
+        SocratesError::Parse {
+            app: app.name().to_string(),
+            source,
+        }
+    }
+
+    /// Builds a feature-extraction error for `app`.
+    pub fn features(app: App, source: milepost::UnknownFunctionError) -> Self {
+        SocratesError::Features {
+            app: app.name().to_string(),
+            source,
+        }
+    }
+
+    /// Builds a COBAYN-training error for target `app`.
+    pub fn train(app: App, source: cobayn::TrainError) -> Self {
+        SocratesError::Train {
+            app: app.name().to_string(),
+            source,
+        }
+    }
+
+    /// Builds a weaving error for `app`.
+    pub fn weave(app: App, source: lara::WeaveError) -> Self {
+        SocratesError::Weave {
+            app: app.name().to_string(),
+            source,
+        }
+    }
+
+    /// Builds a persistence I/O error for `path`.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        SocratesError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a persistence format error; `context` names the artifact.
+    pub fn format(context: impl Into<String>, source: serde_json::Error) -> Self {
+        SocratesError::Format {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Builds a dispatch error: `config` has no compiled version in
+    /// `app`'s version table.
+    pub fn unknown_version(app: App, config: impl fmt::Display) -> Self {
+        SocratesError::UnknownVersion {
+            app: app.name().to_string(),
+            config: config.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SocratesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.stage())?;
+        match self {
+            SocratesError::Parse { app, source } => {
+                write!(f, "{app}: source parsing failed: {source}")
+            }
+            SocratesError::Features { app, source } => {
+                write!(f, "{app}: feature extraction failed: {source}")
+            }
+            SocratesError::Train { app, source } => {
+                write!(f, "{app}: COBAYN training failed: {source}")
+            }
+            SocratesError::Weave { app, source } => {
+                write!(f, "{app}: weaving failed: {source}")
+            }
+            SocratesError::Io { path, source } => {
+                write!(f, "{}: knowledge file I/O failed: {source}", path.display())
+            }
+            SocratesError::Format { context, source } => {
+                write!(f, "{context}: knowledge file malformed: {source}")
+            }
+            SocratesError::UnknownVersion { app, config } => {
+                write!(f, "{app}: configuration {config} has no compiled version")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SocratesError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ToolchainError::Parse(e) => Some(e),
-            ToolchainError::Features(e) => Some(e),
-            ToolchainError::Cobayn(e) => Some(e),
-            ToolchainError::Weave(e) => Some(e),
+            SocratesError::Parse { source, .. } => Some(source),
+            SocratesError::Features { source, .. } => Some(source),
+            SocratesError::Train { source, .. } => Some(source),
+            SocratesError::Weave { source, .. } => Some(source),
+            SocratesError::Io { source, .. } => Some(source),
+            SocratesError::Format { source, .. } => Some(source),
+            SocratesError::UnknownVersion { .. } => None,
         }
-    }
-}
-
-impl From<minic::ParseError> for ToolchainError {
-    fn from(e: minic::ParseError) -> Self {
-        ToolchainError::Parse(e)
-    }
-}
-
-impl From<milepost::UnknownFunctionError> for ToolchainError {
-    fn from(e: milepost::UnknownFunctionError) -> Self {
-        ToolchainError::Features(e)
-    }
-}
-
-impl From<cobayn::TrainError> for ToolchainError {
-    fn from(e: cobayn::TrainError) -> Self {
-        ToolchainError::Cobayn(e)
-    }
-}
-
-impl From<lara::WeaveError> for ToolchainError {
-    fn from(e: lara::WeaveError) -> Self {
-        ToolchainError::Weave(e)
     }
 }
 
@@ -66,8 +241,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn displays_carry_context() {
-        let e: ToolchainError = lara::WeaveError("kernel missing".into()).into();
+    fn displays_carry_stage_and_context() {
+        let e = SocratesError::weave(App::TwoMm, lara::WeaveError("kernel missing".into()));
+        assert_eq!(e.stage(), StageId::Weave);
+        assert!(e.to_string().starts_with("[weave] 2mm:"));
         assert!(e.to_string().contains("weaving failed"));
         assert!(e.to_string().contains("kernel missing"));
     }
@@ -75,7 +252,41 @@ mod tests {
     #[test]
     fn sources_are_chained() {
         use std::error::Error;
-        let e: ToolchainError = milepost::UnknownFunctionError("k".into()).into();
+        let e = SocratesError::features(App::Mvt, milepost::UnknownFunctionError("k".into()));
         assert!(e.source().is_some());
+        assert_eq!(e.stage(), StageId::Features);
+    }
+
+    #[test]
+    fn dispatch_errors_name_the_config() {
+        let e = SocratesError::unknown_version(App::Atax, "cfg-label");
+        assert_eq!(e.stage(), StageId::Dispatch);
+        assert!(e.to_string().contains("cfg-label"));
+        assert!(e.to_string().contains("no compiled version"));
+    }
+
+    #[test]
+    fn legacy_aliases_refer_to_the_unified_type() {
+        let e: ToolchainError = SocratesError::parse(
+            App::Syrk,
+            minic::parse("int main( {").expect_err("invalid source"),
+        );
+        assert!(matches!(e, KnowledgeIoError::Parse { .. }));
+        assert_eq!(e.stage(), StageId::Parse);
+    }
+
+    #[test]
+    fn every_stage_has_a_distinct_label() {
+        let stages = [
+            StageId::Parse,
+            StageId::Features,
+            StageId::Predict,
+            StageId::Weave,
+            StageId::Profile,
+            StageId::Persist,
+            StageId::Dispatch,
+        ];
+        let set: std::collections::HashSet<_> = stages.iter().map(|s| s.as_str()).collect();
+        assert_eq!(set.len(), stages.len());
     }
 }

@@ -1,95 +1,69 @@
 //! Knowledge persistence — the analogue of mARGOt's operating-point list
 //! files: the DSE writes the application knowledge once at design time;
 //! the deployed adaptive binary loads it at `margot_init()` time.
+//!
+//! The [`crate::ArtifactStore`] builds on these functions to persist
+//! [`crate::ProfiledKnowledge`] artifacts transparently (see
+//! [`crate::ArtifactStore::with_persist_dir`]); they remain available
+//! for direct use.
+//!
+//! All failures are persist-stage [`SocratesError`]s carrying the file
+//! path or artifact context.
 
+use crate::error::SocratesError;
 use margot::Knowledge;
 use platform_sim::KnobConfig;
-use std::fmt;
 use std::path::Path;
-
-/// Error loading or saving a knowledge file.
-#[derive(Debug)]
-pub enum KnowledgeIoError {
-    /// Filesystem error.
-    Io(std::io::Error),
-    /// Malformed JSON.
-    Format(serde_json::Error),
-}
-
-impl fmt::Display for KnowledgeIoError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            KnowledgeIoError::Io(e) => write!(f, "knowledge file I/O failed: {e}"),
-            KnowledgeIoError::Format(e) => write!(f, "knowledge file malformed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for KnowledgeIoError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            KnowledgeIoError::Io(e) => Some(e),
-            KnowledgeIoError::Format(e) => Some(e),
-        }
-    }
-}
-
-impl From<std::io::Error> for KnowledgeIoError {
-    fn from(e: std::io::Error) -> Self {
-        KnowledgeIoError::Io(e)
-    }
-}
-
-impl From<serde_json::Error> for KnowledgeIoError {
-    fn from(e: serde_json::Error) -> Self {
-        KnowledgeIoError::Format(e)
-    }
-}
 
 /// Serialises a knowledge base to a JSON string.
 ///
 /// # Errors
 ///
-/// Returns [`KnowledgeIoError::Format`] on serialisation failure (never
-/// happens for well-formed knowledge).
-pub fn knowledge_to_json(knowledge: &Knowledge<KnobConfig>) -> Result<String, KnowledgeIoError> {
-    Ok(serde_json::to_string_pretty(knowledge)?)
+/// Returns a persist-stage [`SocratesError`] on serialisation failure
+/// (never happens for well-formed knowledge).
+pub fn knowledge_to_json(knowledge: &Knowledge<KnobConfig>) -> Result<String, SocratesError> {
+    serde_json::to_string_pretty(knowledge).map_err(|e| SocratesError::format("knowledge", e))
 }
 
 /// Parses a knowledge base from a JSON string.
 ///
 /// # Errors
 ///
-/// Returns [`KnowledgeIoError::Format`] on malformed input.
-pub fn knowledge_from_json(json: &str) -> Result<Knowledge<KnobConfig>, KnowledgeIoError> {
-    Ok(serde_json::from_str(json)?)
+/// Returns a persist-stage [`SocratesError`] on malformed input.
+pub fn knowledge_from_json(json: &str) -> Result<Knowledge<KnobConfig>, SocratesError> {
+    serde_json::from_str(json).map_err(|e| SocratesError::format("knowledge", e))
 }
 
 /// Writes a knowledge base to a file.
 ///
 /// # Errors
 ///
-/// Returns [`KnowledgeIoError`] on I/O or serialisation failure.
+/// Returns a persist-stage [`SocratesError`] on I/O or serialisation
+/// failure.
 pub fn save_knowledge(
     knowledge: &Knowledge<KnobConfig>,
     path: impl AsRef<Path>,
-) -> Result<(), KnowledgeIoError> {
-    std::fs::write(path, knowledge_to_json(knowledge)?)?;
-    Ok(())
+) -> Result<(), SocratesError> {
+    let path = path.as_ref();
+    std::fs::write(path, knowledge_to_json(knowledge)?).map_err(|e| SocratesError::io(path, e))
 }
 
 /// Reads a knowledge base from a file.
 ///
 /// # Errors
 ///
-/// Returns [`KnowledgeIoError`] on I/O failure or malformed content.
-pub fn load_knowledge(path: impl AsRef<Path>) -> Result<Knowledge<KnobConfig>, KnowledgeIoError> {
-    knowledge_from_json(&std::fs::read_to_string(path)?)
+/// Returns a persist-stage [`SocratesError`] on I/O failure or
+/// malformed content.
+pub fn load_knowledge(path: impl AsRef<Path>) -> Result<Knowledge<KnobConfig>, SocratesError> {
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path).map_err(|e| SocratesError::io(path, e))?;
+    knowledge_from_json(&json)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::StageId;
     use margot::{Metric, MetricValues, OperatingPoint};
     use platform_sim::{BindingPolicy, CompilerFlag, CompilerOptions, OptLevel};
 
@@ -134,13 +108,16 @@ mod tests {
     #[test]
     fn malformed_json_is_a_format_error() {
         let err = knowledge_from_json("{not json").unwrap_err();
-        assert!(matches!(err, KnowledgeIoError::Format(_)));
+        assert!(matches!(err, SocratesError::Format { .. }));
+        assert_eq!(err.stage(), StageId::Persist);
         assert!(err.to_string().contains("malformed"));
     }
 
     #[test]
-    fn missing_file_is_an_io_error() {
+    fn missing_file_is_an_io_error_with_the_path() {
         let err = load_knowledge("/nonexistent/kb.json").unwrap_err();
-        assert!(matches!(err, KnowledgeIoError::Io(_)));
+        assert!(matches!(err, SocratesError::Io { .. }));
+        assert_eq!(err.stage(), StageId::Persist);
+        assert!(err.to_string().contains("/nonexistent/kb.json"));
     }
 }

@@ -6,16 +6,27 @@
 //! options (CO), OpenMP thread count (TN) and binding policy (BP) at
 //! runtime, according to changeable energy/performance requirements.
 //!
-//! The [`Toolchain`] reproduces the paper's Fig. 1 flow:
+//! The design-time flow (paper Fig. 1) is a **staged pipeline** of
+//! composable [`Stage`]s over a shared [`ArtifactStore`]:
 //!
-//! 1. **GCC-Milepost** static kernel features → [`milepost`];
-//! 2. **COBAYN** Bayesian-network flag prediction → [`cobayn`];
-//! 3. **LARA/MANET** weaving (`Multiversioning` + `Autotuner`) → [`lara`];
-//! 4. **mARGOt** profiling (full-factorial DSE) and runtime selection →
-//!    [`dse`] + [`margot`];
+//! 1. **parse** the original C source → [`ParsedSource`] ([`minic`]);
+//! 2. **features**: GCC-Milepost static kernel counters →
+//!    [`KernelFeatures`] ([`milepost`]);
+//! 3. **predict**: COBAYN Bayesian-network flag prediction, trained
+//!    leave-one-out over the shared corpus → [`FlagPredictions`]
+//!    ([`cobayn`]);
+//! 4. **weave**: LARA/MANET `Multiversioning` + `Autotuner` →
+//!    [`WeavedProgram`] ([`lara`]);
+//! 5. **profile**: full-factorial DSE on the configured [`Platform`] →
+//!    [`ProfiledKnowledge`] ([`dse`]);
+//! 6. **assemble** everything into an [`EnhancedApp`].
 //!
-//! and the [`AdaptiveApplication`] replays the weaved binary's MAPE-K
-//! loop on the simulated NUMA platform ([`platform_sim`]).
+//! [`Toolchain::enhance`] runs the pipeline for one application;
+//! [`Toolchain::enhance_all`] batches a whole suite with one shared
+//! store (the COBAYN corpus is built once, not once per target) and
+//! fans targets out over rayon, bit-identical to the serial path. The
+//! [`AdaptiveApplication`] then replays the weaved binary's MAPE-K loop
+//! on the simulated NUMA platform ([`platform_sim`]).
 //!
 //! ## Example
 //!
@@ -24,10 +35,17 @@
 //! use margot::{Metric, Rank};
 //! use polybench::App;
 //!
-//! let enhanced = Toolchain::default().enhance(App::TwoMm).unwrap();
-//! println!("Table I row: {}", enhanced.metrics);
+//! // Batch-enhance two apps; the COBAYN corpus is shared.
+//! let enhanced = Toolchain::default()
+//!     .enhance_all(&[App::TwoMm, App::Mvt])
+//!     .unwrap();
+//! println!("Table I row: {}", enhanced[0].metrics);
 //!
-//! let mut app = AdaptiveApplication::new(enhanced, Rank::throughput_per_watt2(), 42);
+//! let mut app = AdaptiveApplication::new(
+//!     enhanced.into_iter().next().unwrap(),
+//!     Rank::throughput_per_watt2(),
+//!     42,
+//! );
 //! app.run_for(10.0); // ten virtual seconds of adaptive execution
 //! app.set_rank(Rank::maximize(Metric::throughput()));
 //! app.run_for(10.0);
@@ -35,16 +53,23 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod error;
 mod knowledge_io;
+mod pipeline;
+mod platform;
 mod runtime;
 mod toolchain;
 mod trace;
 
-pub use error::ToolchainError;
-pub use knowledge_io::{
-    knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge, KnowledgeIoError,
+pub use artifact::{
+    ArtifactStore, FlagPredictions, KernelFeatures, ParsedSource, ProfiledKnowledge, StoreStats,
+    WeavedProgram, KNOWLEDGE_FORMAT_VERSION,
 };
+pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
+pub use knowledge_io::{knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge};
+pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
+pub use platform::Platform;
 pub use runtime::{AdaptiveApplication, TraceSample};
 pub use toolchain::{EnhancedApp, Toolchain};
 pub use trace::{windowed_stats, TraceStats};

@@ -1,0 +1,132 @@
+//! The target platform of a toolchain run: a named topology plus the
+//! timing/power/noise parameters, and a seed-to-[`Machine`] factory.
+//!
+//! The seed repository hardcoded `Topology::xeon_e5_2630_v3()` inside
+//! the toolchain; [`Platform`] lifts the target machine into toolchain
+//! *configuration*, so the same pipeline can profile for non-Xeon
+//! scenarios (different core counts, hotter power envelopes, noisier
+//! measurement chains) by swapping one field.
+
+use platform_sim::{Machine, NoiseParams, PowerParams, TimingParams, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A deployment target: everything needed to instantiate the simulated
+/// machine the DSE profiles against and the adaptive binary runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable platform name (used in artifact keys and logs).
+    pub name: String,
+    /// Hardware topology (sockets × cores × SMT).
+    pub topology: Topology,
+    /// Timing model parameters.
+    pub timing: TimingParams,
+    /// Power model parameters.
+    pub power: PowerParams,
+    /// Measurement-noise parameters.
+    pub noise: NoiseParams,
+}
+
+impl Platform {
+    /// The paper's testbed: 2× Intel Xeon E5-2630 v3 with the default
+    /// timing, power and noise models. [`Platform::machine`] on this
+    /// platform is identical to `Machine::xeon_e5_2630_v3(seed)`.
+    pub fn xeon_e5_2630_v3() -> Self {
+        Platform {
+            name: "xeon-e5-2630-v3".to_string(),
+            topology: Topology::xeon_e5_2630_v3(),
+            timing: TimingParams::default(),
+            power: PowerParams::default(),
+            noise: NoiseParams::default(),
+        }
+    }
+
+    /// A platform with a custom topology and default model parameters.
+    pub fn with_topology(name: impl Into<String>, topology: Topology) -> Self {
+        Platform {
+            name: name.into(),
+            topology,
+            ..Platform::xeon_e5_2630_v3()
+        }
+    }
+
+    /// Instantiates the simulated machine for this platform with the
+    /// given RNG seed — the factory every pipeline stage and the
+    /// adaptive runtime go through.
+    pub fn machine(&self, seed: u64) -> Machine {
+        Machine::xeon_e5_2630_v3(seed)
+            .with_topology(self.topology)
+            .with_timing_params(self.timing.clone())
+            .with_power_params(self.power.clone())
+            .with_noise(self.noise)
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::xeon_e5_2630_v3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, OptLevel, WorkloadProfile};
+
+    fn workload() -> WorkloadProfile {
+        WorkloadProfile::builder("plat")
+            .flops(1e9)
+            .bytes(1e8)
+            .build()
+    }
+
+    #[test]
+    fn default_platform_machine_matches_hardcoded_xeon() {
+        // The factory must be bit-identical to the seed's hardcoded
+        // constructor: same expectations and same noise stream.
+        let cfg = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            8,
+            BindingPolicy::Close,
+        );
+        let mut a = Platform::default().machine(11);
+        let mut b = Machine::xeon_e5_2630_v3(11);
+        assert_eq!(a.expected(&workload(), &cfg), b.expected(&workload(), &cfg));
+        for _ in 0..5 {
+            assert_eq!(a.execute(&workload(), &cfg), b.execute(&workload(), &cfg));
+        }
+    }
+
+    #[test]
+    fn custom_topology_changes_the_machine() {
+        let small = Platform::with_topology(
+            "laptop",
+            Topology {
+                sockets: 1,
+                cores_per_socket: 4,
+                smt: 2,
+            },
+        );
+        assert_eq!(small.machine(0).topology().logical_cpus(), 8);
+        let cfg = KnobConfig::new(
+            CompilerOptions::level(OptLevel::O3),
+            8,
+            BindingPolicy::Close,
+        );
+        let fast = Platform::default().machine(0).expected(&workload(), &cfg);
+        let slow = small.machine(0).expected(&workload(), &cfg);
+        assert!(
+            slow.time_s >= fast.time_s,
+            "{} < {}",
+            slow.time_s,
+            fast.time_s
+        );
+    }
+
+    #[test]
+    fn platform_serialises_round_trip() {
+        let p = Platform::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

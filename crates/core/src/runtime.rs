@@ -51,8 +51,13 @@ pub struct AdaptiveApplication {
 impl AdaptiveApplication {
     /// Boots the adaptive binary: loads the knowledge (margot_init) and
     /// registers the paper's monitors (time, power, throughput, energy).
+    ///
+    /// The machine is instantiated from the platform the toolchain
+    /// profiled for ([`EnhancedApp::platform`]), so non-Xeon scenarios
+    /// deploy on the hardware they were tuned for.
     pub fn new(enhanced: EnhancedApp, rank: Rank, seed: u64) -> Self {
-        Self::with_machine(enhanced, rank, Machine::xeon_e5_2630_v3(seed))
+        let machine = enhanced.platform.machine(seed);
+        Self::with_machine(enhanced, rank, machine)
     }
 
     /// Boots the adaptive binary on a *specific* machine — which may
@@ -139,7 +144,10 @@ impl AdaptiveApplication {
             .manager
             .update()
             .expect("toolchain produced non-empty knowledge");
-        let version = self.enhanced.version_of(&config);
+        let version = self
+            .enhanced
+            .try_version_of(&config)
+            .expect("every knowledge config has a compiled version");
         let t_start_s = self.clock.now_s();
         let run = self.machine.execute(&self.enhanced.profile, &config);
         self.clock.advance(run.time_s);

@@ -1,28 +1,38 @@
 //! The SOCRATES toolchain (paper Fig. 1): from the original application
 //! source to the adaptive application, with zero manual intervention.
 //!
-//! Pipeline stages, in order:
+//! Pipeline stages, in order (see [`crate::pipeline`] for the
+//! composable stage API this is a shim over):
 //!
 //! 1. parse the original C source (`minic`);
 //! 2. extract static kernel features (`milepost` ≙ GCC-Milepost);
-//! 3. train COBAYN on the *other* applications (leave-one-out iterative
-//!    compilation) and predict the most promising flag combinations;
+//! 3. train COBAYN on the *other* applications (leave-one-out over the
+//!    shared training corpus) and predict the most promising flags;
 //! 4. weave the `Multiversioning` strategy (clones per CO × BP, OpenMP
 //!    pragmas, dispatch wrapper) and the `Autotuner` strategy (mARGOt
 //!    glue) with `lara`;
 //! 5. profile the full-factorial design space on the (simulated)
 //!    platform to build the mARGOt application knowledge (`dse`).
+//!
+//! [`Toolchain::enhance`] runs the pipeline for one application;
+//! [`Toolchain::enhance_all`] fans a whole benchmark suite out over
+//! rayon with one shared [`ArtifactStore`], so the COBAYN corpus is
+//! built once instead of once per target — bit-identical to the serial
+//! per-app path at any thread count.
 
-use crate::error::ToolchainError;
-use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
-use lara::{autotuner, multiversioning, Multiversioned, StaticVersion, Weaver, WeavingMetrics};
+use crate::artifact::ArtifactStore;
+use crate::error::SocratesError;
+use crate::pipeline::{socrates_pipeline, StageContext};
+use crate::platform::Platform;
+use lara::{Multiversioned, WeavingMetrics};
 use margot::Knowledge;
-use milepost::{extract_function, Features};
+use milepost::Features;
 use minic::TranslationUnit;
 use platform_sim::{
-    BindingPolicy, CompilerOptions, KnobConfig, Machine, OptLevel, Topology, WorkloadProfile,
+    BindingPolicy, CompilerOptions, KnobConfig, OptLevel, Topology, WorkloadProfile,
 };
 use polybench::{App, Dataset};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Toolchain configuration.
@@ -39,6 +49,9 @@ pub struct Toolchain {
     /// Fraction of the flag space kept as "good" during the iterative
     /// compilation that generates COBAYN training data.
     pub training_top_fraction: f64,
+    /// The deployment target the DSE profiles against (topology plus
+    /// timing/power/noise models and the seed-to-machine factory).
+    pub platform: Platform,
 }
 
 impl Default for Toolchain {
@@ -49,12 +62,13 @@ impl Default for Toolchain {
             dse_repetitions: 3,
             cobayn_predictions: 4,
             training_top_fraction: 0.15,
+            platform: Platform::xeon_e5_2630_v3(),
         }
     }
 }
 
 /// The product of the toolchain: everything the adaptive binary embeds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnhancedApp {
     /// Which benchmark this is.
     pub app: App,
@@ -76,82 +90,163 @@ pub struct EnhancedApp {
     pub knowledge: Knowledge<KnobConfig>,
     /// The kernel workload profile driving the platform model.
     pub profile: WorkloadProfile,
+    /// The platform this app was profiled for (the runtime boots its
+    /// machine from this).
+    pub platform: Platform,
 }
 
 impl EnhancedApp {
     /// Maps a knob configuration to its clone version index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration's (CO, BP) pair is not in the version
-    /// table — the knowledge and the table are built from the same space,
-    /// so this indicates toolchain corruption.
-    pub fn version_of(&self, config: &KnobConfig) -> usize {
+    /// Returns a dispatch-stage [`SocratesError`] if the configuration's
+    /// (CO, BP) pair is not in the version table — the knowledge and the
+    /// table are built from the same space, so this indicates toolchain
+    /// corruption.
+    pub fn try_version_of(&self, config: &KnobConfig) -> Result<usize, SocratesError> {
         self.versions
             .iter()
             .position(|(co, bp)| *co == config.co && *bp == config.bp)
-            .unwrap_or_else(|| panic!("configuration {config} has no compiled version"))
+            .ok_or_else(|| SocratesError::unknown_version(self.app, config))
+    }
+
+    /// Maps a knob configuration to its clone version index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no compiled version; prefer
+    /// [`EnhancedApp::try_version_of`] where a recoverable error is
+    /// wanted.
+    pub fn version_of(&self, config: &KnobConfig) -> usize {
+        self.try_version_of(config)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 impl Toolchain {
-    /// Runs the full pipeline on one benchmark.
+    /// Runs the full pipeline on one benchmark with a private, throwaway
+    /// artifact store.
     ///
     /// # Errors
     ///
-    /// Returns [`ToolchainError`] if any stage fails; with the bundled
-    /// Polybench sources every stage succeeds.
-    pub fn enhance(&self, app: App) -> Result<EnhancedApp, ToolchainError> {
-        // 1. Parse the original application.
-        let source = polybench::source(app, self.dataset);
-        let original = minic::parse(&source)?;
-        let kernel = app.kernel_name();
-
-        // 2. Milepost feature extraction.
-        let features = extract_function(&original, &kernel)?;
-
-        // 3. COBAYN: leave-one-out training, then prediction.
-        let cobayn_flags = self.predict_flags(app, &features)?;
-
-        // 4. LARA weaving: Multiversioning then Autotuner.
-        let versions = self.version_table(&cobayn_flags);
-        let static_versions: Vec<StaticVersion> = versions
-            .iter()
-            .map(|(co, bp)| StaticVersion::new(co.pragma_flags(), bp.as_str()))
-            .collect();
-        let mut weaver = Weaver::new(original.clone());
-        let multiversioned = multiversioning(&mut weaver, &kernel, &static_versions)?;
-        autotuner(&mut weaver, &multiversioned, "main")?;
-        let (weaved, metrics) = weaver.finish();
-
-        // 5. DSE profiling on the platform.
-        let profile = app.profile(self.dataset);
-        let space = dse::DesignSpace::socrates(cobayn_flags.clone(), &self.topology());
-        let mut machine = Machine::xeon_e5_2630_v3(self.seed ^ fnv(app.name()));
-        let knowledge = dse::profile(
-            &mut machine,
-            &profile,
-            &space.full_factorial(),
-            self.dse_repetitions,
-        );
-
-        Ok(EnhancedApp {
-            app,
-            original,
-            weaved,
-            metrics,
-            multiversioned,
-            versions,
-            features,
-            cobayn_flags,
-            knowledge,
-            profile,
-        })
+    /// Returns a stage-tagged [`SocratesError`] if any stage fails; with
+    /// the bundled Polybench sources every stage succeeds.
+    pub fn enhance(&self, app: App) -> Result<EnhancedApp, SocratesError> {
+        self.enhance_with_store(app, &ArtifactStore::new())
     }
 
-    /// The target platform topology.
+    /// Runs the full pipeline on one benchmark against a caller-owned
+    /// [`ArtifactStore`] — repeated calls (and calls for sibling apps)
+    /// reuse every cached artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a stage-tagged [`SocratesError`] if any stage fails.
+    pub fn enhance_with_store(
+        &self,
+        app: App,
+        store: &ArtifactStore,
+    ) -> Result<EnhancedApp, SocratesError> {
+        let ctx = StageContext::new(self, store, app);
+        socrates_pipeline().run(&ctx, ())
+    }
+
+    /// Enhances a batch of applications with one shared artifact store,
+    /// fanning targets out over rayon.
+    ///
+    /// The COBAYN training corpus (parse + features + iterative
+    /// compilation per application) is built **once** and shared by
+    /// every leave-one-out model, so a 12-app sweep is O(n) corpus
+    /// work instead of the O(n²) of calling [`Toolchain::enhance`] in a
+    /// loop. Per-app DSE machine seeds are derived deterministically
+    /// from the app name, so the result is **bit-identical** to the
+    /// serial per-app path at any thread count, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in `apps` order) failing target's error.
+    pub fn enhance_all(&self, apps: &[App]) -> Result<Vec<EnhancedApp>, SocratesError> {
+        self.enhance_all_with_store(apps, &ArtifactStore::new())
+    }
+
+    /// [`Toolchain::enhance_all`] against a caller-owned store (e.g. one
+    /// with a persistence directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in `apps` order) failing target's error.
+    pub fn enhance_all_with_store(
+        &self,
+        apps: &[App],
+        store: &ArtifactStore,
+    ) -> Result<Vec<EnhancedApp>, SocratesError> {
+        if apps.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Deduplicate the targets so repeated entries neither race to
+        // build the same per-target artifacts nor run them twice; the
+        // output is re-expanded to the caller's order below.
+        let mut unique: Vec<App> = Vec::new();
+        for &app in apps {
+            if !unique.contains(&app) {
+                unique.push(app);
+            }
+        }
+        // Warm the shared artifacts first (race-free, in parallel):
+        // every leave-one-out model draws on the same corpus entries.
+        // The union of the targets' sibling sets is App::ALL as soon as
+        // two distinct targets are batched; a single-target batch only
+        // needs the target's siblings.
+        let universe: Vec<App> = if unique.len() > 1 {
+            App::ALL.to_vec()
+        } else {
+            App::ALL
+                .iter()
+                .copied()
+                .filter(|&a| a != unique[0])
+                .collect()
+        };
+        store.warm_corpus(self, &universe)?;
+        let enhanced = unique
+            .par_iter()
+            .map(|&app| self.enhance_with_store(app, store))
+            .collect::<Vec<Result<EnhancedApp, SocratesError>>>()
+            .into_iter()
+            .collect::<Result<Vec<EnhancedApp>, SocratesError>>()?;
+        if unique.len() == apps.len() {
+            // Duplicate-free (the common case): move, don't clone.
+            return Ok(enhanced);
+        }
+        Ok(apps
+            .iter()
+            .map(|a| {
+                let i = unique
+                    .iter()
+                    .position(|u| u == a)
+                    .expect("deduped from apps");
+                enhanced[i].clone()
+            })
+            .collect())
+    }
+
+    /// The target platform topology (shorthand for
+    /// `self.platform.topology`).
     pub fn topology(&self) -> Topology {
-        Topology::xeon_e5_2630_v3()
+        self.platform.topology
+    }
+
+    /// A stable fingerprint over the whole configuration (dataset,
+    /// seeds, hyper-parameters, platform); part of every artifact cache
+    /// key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot be serialised (never happens:
+    /// every field is plain data).
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("toolchain config serialises");
+        fnv(&json)
     }
 
     /// The static version table: (4 standard levels + predictions) × BP,
@@ -177,41 +272,11 @@ impl Toolchain {
         }
         table
     }
-
-    /// COBAYN leave-one-out: trains on every app except `target` and
-    /// predicts the most promising flag combinations for it.
-    fn predict_flags(
-        &self,
-        target: App,
-        target_features: &Features,
-    ) -> Result<Vec<CompilerOptions>, ToolchainError> {
-        let machine = Machine::xeon_e5_2630_v3(self.seed).noiseless();
-        let mut corpus = Vec::new();
-        for other in App::ALL {
-            if other == target {
-                continue;
-            }
-            let src = polybench::source(other, self.dataset);
-            let tu = minic::parse(&src)?;
-            let features = extract_function(&tu, &other.kernel_name())?;
-            let profile = other.profile(self.dataset);
-            // Iterative compilation: single-thread close binding isolates
-            // the compiler effect, exactly like COBAYN's setup.
-            let good = iterative_compilation(
-                |co| {
-                    let cfg = KnobConfig::new(co.clone(), 1, BindingPolicy::Close);
-                    1.0 / machine.expected(&profile, &cfg).time_s
-                },
-                self.training_top_fraction,
-            );
-            corpus.push(TrainingApp { features, good });
-        }
-        let model = Cobayn::train(&corpus, CobaynConfig::default())?;
-        Ok(model.predict(target_features, self.cobayn_predictions))
-    }
 }
 
-fn fnv(s: &str) -> u64 {
+/// FNV-1a hash, used for per-app machine-seed derivation and config
+/// fingerprints.
+pub(crate) fn fnv(s: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in s.bytes() {
         h ^= u64::from(b);
@@ -281,6 +346,17 @@ mod tests {
     }
 
     #[test]
+    fn try_version_of_reports_unknown_configs() {
+        let e = quick_toolchain().enhance(App::Mvt).unwrap();
+        // A CO that is certainly not in the table: O1 plus every flag.
+        let alien = CompilerOptions::with_flags(OptLevel::O1, platform_sim::CompilerFlag::ALL);
+        let cfg = KnobConfig::new(alien, 1, BindingPolicy::Close);
+        let err = e.try_version_of(&cfg).unwrap_err();
+        assert_eq!(err.stage(), crate::error::StageId::Dispatch);
+        assert!(err.to_string().contains("no compiled version"));
+    }
+
+    #[test]
     fn version_table_is_deterministic_and_unique() {
         let t = quick_toolchain();
         let flags = vec![CompilerOptions::level(OptLevel::O2)]; // duplicate of std
@@ -295,17 +371,39 @@ mod tests {
         let t = quick_toolchain();
         let a = t.enhance(App::Atax).unwrap();
         let b = t.enhance(App::Atax).unwrap();
-        assert_eq!(a.cobayn_flags, b.cobayn_flags);
-        assert_eq!(a.knowledge, b.knowledge);
-        assert_eq!(a.weaved, b.weaved);
+        assert_eq!(a, b);
     }
 
     #[test]
     fn different_apps_get_different_predictions() {
         // The whole premise: flag preferences are app-dependent.
         let t = quick_toolchain();
-        let gemm = t.enhance(App::TwoMm).unwrap();
-        let branchy = t.enhance(App::Nussinov).unwrap();
+        let store = ArtifactStore::new();
+        let gemm = t.enhance_with_store(App::TwoMm, &store).unwrap();
+        let branchy = t.enhance_with_store(App::Nussinov, &store).unwrap();
         assert_ne!(gemm.cobayn_flags, branchy.cobayn_flags);
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_changes() {
+        let base = quick_toolchain();
+        assert_eq!(base.fingerprint(), quick_toolchain().fingerprint());
+        let other_seed = Toolchain {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        let other_platform = Toolchain {
+            platform: Platform::with_topology(
+                "mini",
+                Topology {
+                    sockets: 1,
+                    cores_per_socket: 2,
+                    smt: 1,
+                },
+            ),
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), other_platform.fingerprint());
     }
 }

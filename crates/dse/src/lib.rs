@@ -262,9 +262,9 @@ mod tests {
 
     #[test]
     fn profiling_builds_complete_knowledge() {
-        let mut m = Machine::xeon_e5_2630_v3(3);
+        let m = Machine::xeon_e5_2630_v3(3);
         let configs = space().random_sample(20, 4);
-        let k = profile(&mut m, &kernel(), &configs, 3);
+        let k = profile(&m, &kernel(), &configs, 3);
         assert_eq!(k.len(), 20);
         let metrics = k.common_metrics();
         for want in [
@@ -279,14 +279,14 @@ mod tests {
 
     #[test]
     fn profiling_averages_toward_expectation() {
-        let mut m = Machine::xeon_e5_2630_v3(5);
+        let m = Machine::xeon_e5_2630_v3(5);
         let cfg = KnobConfig::new(
             CompilerOptions::level(OptLevel::O2),
             8,
             BindingPolicy::Close,
         );
         let expected = m.expected(&kernel(), &cfg).time_s;
-        let k = profile(&mut m, &kernel(), std::slice::from_ref(&cfg), 50);
+        let k = profile(&m, &kernel(), std::slice::from_ref(&cfg), 50);
         let observed = k.points()[0].metric(&Metric::exec_time()).unwrap();
         assert!(
             (observed / expected - 1.0).abs() < 0.02,
@@ -296,9 +296,9 @@ mod tests {
 
     #[test]
     fn pareto_frontier_is_much_smaller_than_space() {
-        let mut m = Machine::xeon_e5_2630_v3(6).noiseless();
+        let m = Machine::xeon_e5_2630_v3(6).noiseless();
         let configs = space().full_factorial();
-        let k = profile(&mut m, &kernel(), &configs, 1);
+        let k = profile(&m, &kernel(), &configs, 1);
         let frontier = power_throughput_pareto(&k);
         assert!(
             frontier.len() >= 5,
@@ -315,9 +315,9 @@ mod tests {
 
     #[test]
     fn pareto_respects_dominance() {
-        let mut m = Machine::xeon_e5_2630_v3(7).noiseless();
+        let m = Machine::xeon_e5_2630_v3(7).noiseless();
         let configs = space().full_factorial();
-        let k = profile(&mut m, &kernel(), &configs, 1);
+        let k = profile(&m, &kernel(), &configs, 1);
         let frontier = power_throughput_pareto(&k);
         for a in frontier.points() {
             for b in k.points() {
@@ -332,7 +332,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one repetition")]
     fn zero_repetitions_panics() {
-        let mut m = Machine::xeon_e5_2630_v3(1);
-        let _ = profile(&mut m, &kernel(), &[], 0);
+        let m = Machine::xeon_e5_2630_v3(1);
+        let _ = profile(&m, &kernel(), &[], 0);
     }
 }

@@ -35,13 +35,13 @@ fn parallel_profile_is_bit_identical_to_serial() {
     let configs = space().random_sample(96, 21);
     for (seed, repetitions) in [(0u64, 1u32), (7, 3), (12345, 5)] {
         let parallel = profile(
-            &mut Machine::xeon_e5_2630_v3(seed),
+            &Machine::xeon_e5_2630_v3(seed),
             &kernel(),
             &configs,
             repetitions,
         );
         let serial = profile_serial(
-            &mut Machine::xeon_e5_2630_v3(seed),
+            &Machine::xeon_e5_2630_v3(seed),
             &kernel(),
             &configs,
             repetitions,
@@ -76,8 +76,8 @@ fn parallel_profile_is_bit_identical_to_serial() {
 fn parallel_profile_is_reproducible_across_calls() {
     force_multithreading();
     let configs = space().random_sample(64, 3);
-    let a = profile(&mut Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
-    let b = profile(&mut Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
+    let a = profile(&Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
+    let b = profile(&Machine::xeon_e5_2630_v3(11), &kernel(), &configs, 2);
     assert_eq!(a, b);
 }
 
@@ -85,9 +85,9 @@ fn parallel_profile_is_reproducible_across_calls() {
 fn explore_matches_full_factorial_profile() {
     force_multithreading();
     let s = space();
-    let by_explore = explore(&mut Machine::xeon_e5_2630_v3(4), &kernel(), &s, 1);
+    let by_explore = explore(&Machine::xeon_e5_2630_v3(4), &kernel(), &s, 1);
     let by_profile = profile_serial(
-        &mut Machine::xeon_e5_2630_v3(4),
+        &Machine::xeon_e5_2630_v3(4),
         &kernel(),
         &s.full_factorial(),
         1,
@@ -103,14 +103,14 @@ fn profiling_consumed_machines_stays_deterministic() {
     // same per-config streams: profiling is a function of the seed, not
     // of the machine's consumed RNG state.
     let configs = space().random_sample(16, 8);
-    let mut fresh = Machine::xeon_e5_2630_v3(33);
+    let fresh = Machine::xeon_e5_2630_v3(33);
     let mut consumed = Machine::xeon_e5_2630_v3(33);
     let cfg = &configs[0];
     for _ in 0..5 {
         let _ = consumed.execute(&kernel(), cfg);
     }
     assert_eq!(
-        profile(&mut fresh, &kernel(), &configs, 3),
-        profile(&mut consumed, &kernel(), &configs, 3),
+        profile(&fresh, &kernel(), &configs, 3),
+        profile(&consumed, &kernel(), &configs, 3),
     );
 }

@@ -10,14 +10,19 @@
 
 use margot::{Metric, Rank};
 use polybench::{App, Dataset};
-use socrates::{AdaptiveApplication, Toolchain};
+use socrates::{AdaptiveApplication, ArtifactStore, Toolchain};
 
 fn main() {
     let toolchain = Toolchain {
         dataset: Dataset::Medium,
         ..Toolchain::default()
     };
-    let enhanced = toolchain.enhance(App::TwoMm).expect("toolchain");
+    // A caller-owned artifact store: a second enhancement (same or
+    // sibling app) would be answered from cache.
+    let store = ArtifactStore::new();
+    let enhanced = toolchain
+        .enhance_with_store(App::TwoMm, &store)
+        .expect("toolchain");
     let mut app = AdaptiveApplication::new(enhanced, Rank::throughput_per_watt2(), 2018);
 
     println!("dynamic requirement switching on 2mm (20 virtual s per phase)");

@@ -9,14 +9,17 @@
 
 use margot::{Cmp, Constraint, Metric, OptimizationState, Rank, StateRegistry};
 use polybench::{App, Dataset};
-use socrates::{AdaptiveApplication, Toolchain};
+use socrates::{AdaptiveApplication, ArtifactStore, Toolchain};
 
 fn main() {
     let toolchain = Toolchain {
         dataset: Dataset::Medium,
         ..Toolchain::default()
     };
-    let enhanced = toolchain.enhance(App::Syr2k).expect("toolchain");
+    let store = ArtifactStore::new();
+    let enhanced = toolchain
+        .enhance_with_store(App::Syr2k, &store)
+        .expect("toolchain");
 
     // Three states an operator might define for a long-running service.
     let mut states = StateRegistry::new(

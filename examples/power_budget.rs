@@ -9,14 +9,34 @@
 
 use margot::{Cmp, Constraint, Metric, Rank};
 use polybench::{App, Dataset};
-use socrates::{AdaptiveApplication, Toolchain};
+use socrates::{AdaptiveApplication, ArtifactStore, Toolchain};
 
 fn main() {
     let toolchain = Toolchain {
         dataset: Dataset::Medium,
         ..Toolchain::default()
     };
-    let enhanced = toolchain.enhance(App::ThreeMm).expect("toolchain");
+    // Persisted artifact store: the profiled knowledge round-trips
+    // through JSON on disk, so re-running this example skips the DSE.
+    // The cache key covers the toolchain config only — delete the
+    // directory to force a re-profile after changing the code itself.
+    let user = std::env::var("USER").unwrap_or_else(|_| "anon".to_string());
+    let cache_dir = std::env::temp_dir().join(format!("socrates-knowledge-cache-{user}"));
+    let store = ArtifactStore::with_persist_dir(&cache_dir);
+    let enhanced = toolchain
+        .enhance_with_store(App::ThreeMm, &store)
+        .expect("toolchain");
+    if store.stats().knowledge_loads > 0 {
+        println!(
+            "(design-time knowledge reloaded from {})",
+            cache_dir.display()
+        );
+    } else {
+        println!(
+            "(design-time knowledge profiled and saved to {})",
+            cache_dir.display()
+        );
+    }
     let mut app = AdaptiveApplication::new(enhanced, Rank::minimize(Metric::exec_time()), 7);
 
     // Performance objective under a power constraint (priority 10).

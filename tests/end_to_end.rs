@@ -15,11 +15,15 @@ fn quick() -> Toolchain {
 
 #[test]
 fn pipeline_runs_for_every_benchmark() {
+    // Batch enhancement over the whole suite: one shared artifact
+    // store, the COBAYN corpus built once for all 12 targets.
     let toolchain = quick();
-    for app in App::ALL {
-        let e = toolchain
-            .enhance(app)
-            .unwrap_or_else(|err| panic!("{app}: {err}"));
+    let enhanced = toolchain
+        .enhance_all(&App::ALL)
+        .unwrap_or_else(|err| panic!("{err}"));
+    assert_eq!(enhanced.len(), App::ALL.len());
+    for e in &enhanced {
+        let app = e.app;
         assert!(!e.knowledge.is_empty(), "{app}: empty knowledge");
         assert_eq!(
             e.multiversioned.version_functions.len(),

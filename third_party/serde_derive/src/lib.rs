@@ -171,14 +171,13 @@ impl Cursor {
     fn skip_type_to_comma(&mut self) {
         let mut angle_depth = 0usize;
         while let Some(t) = self.next() {
-            match t {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
                     '<' => angle_depth += 1,
                     '>' => angle_depth = angle_depth.saturating_sub(1),
                     ',' if angle_depth == 0 => return,
                     _ => {}
-                },
-                _ => {}
+                }
             }
         }
     }

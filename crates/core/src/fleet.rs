@@ -1,0 +1,824 @@
+//! The fleet runtime orchestrator: SOCRATES' *online* loop at scale.
+//!
+//! After the design-time toolchain ships an enhanced binary, deployment
+//! is not one process on one machine — it is many instances, on
+//! heterogeneous machines, all running the same MAPE-K loop. A
+//! [`Fleet`] boots N [`AdaptiveApplication`] instances and steps them
+//! concurrently over rayon on the virtual clock, while a shared
+//! [`margot::SharedKnowledge`] layer per application lets every
+//! instance publish its monitor observations and pull the others'
+//! discoveries (the Collective-Mind-style crowdsourced repository).
+//!
+//! Three fleet-level mechanisms ride on top of the per-instance loop:
+//!
+//! - **Online knowledge sharing** — each step's observation is merged
+//!   into the shared knowledge at a deterministic round barrier; each
+//!   instance detects refreshed knowledge with one epoch load and
+//!   adopts it before its next plan step.
+//! - **Cooperative exploration** — a [`dse::ExplorationSchedule`]
+//!   assigns still-unobserved configurations round-robin across the
+//!   instances, so the fleet sweeps the design space online once
+//!   instead of N times (or never).
+//! - **Power-budget arbitration** — a global watt budget is split
+//!   evenly across active instances by adjusting each AS-RTM's power
+//!   constraint as instances join and leave.
+//!
+//! Rounds are **bit-identical at any rayon thread count**: instances
+//! only read shared state during the parallel phase, and all mutation
+//! (publish + schedule bookkeeping) happens sequentially in instance
+//! order at the barrier (pinned by `tests/fleet_equivalence.rs`).
+
+use crate::error::SocratesError;
+use crate::knowledge_io::save_knowledge;
+use crate::runtime::{AdaptiveApplication, TraceSample};
+use crate::toolchain::EnhancedApp;
+use dse::ExplorationSchedule;
+use margot::{Cmp, Constraint, Knowledge, Metric, Rank, SharedKnowledge};
+use platform_sim::{KnobConfig, Machine};
+use polybench::App;
+use rayon::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Priority of the constraint the power arbiter manages on each
+/// instance (higher than typical application constraints, so the global
+/// budget wins when the feasible region empties).
+pub const FLEET_POWER_PRIORITY: u32 = 50;
+
+/// Fleet-level policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Whether instances publish observations into (and pull refreshed
+    /// points from) the shared knowledge. Off = the frozen
+    /// design-time-knowledge baseline.
+    pub share_knowledge: bool,
+    /// Every `exploration_interval`-th step of an instance executes a
+    /// coordinator-assigned unexplored configuration instead of the
+    /// AS-RTM pick (0 disables cooperative exploration). Only active
+    /// while `share_knowledge` is on — exploration without publishing
+    /// would be pure overhead.
+    pub exploration_interval: u64,
+    /// Sliding-window length of the shared per-point observation merge.
+    pub knowledge_window: usize,
+    /// Observations a shared point needs before its window mean
+    /// overrides the design-time expectation.
+    pub min_observations: u64,
+    /// Global power budget (watts) split across active instances;
+    /// `None` leaves every instance unconstrained.
+    pub power_budget_w: Option<f64>,
+    /// Step rounds over rayon (`true`) or on the calling thread
+    /// (`false`, the sequential reference the equivalence tests pin the
+    /// parallel path against).
+    pub parallel_step: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            share_knowledge: true,
+            exploration_interval: 4,
+            knowledge_window: 8,
+            min_observations: 1,
+            power_budget_w: None,
+            parallel_step: true,
+        }
+    }
+}
+
+/// One shared-knowledge pool: all instances of the same application
+/// (same design-time knowledge) publish into and pull from it.
+struct Pool {
+    app: App,
+    design: Knowledge<KnobConfig>,
+    shared: SharedKnowledge<KnobConfig>,
+    schedule: ExplorationSchedule<KnobConfig>,
+    /// Effective-knowledge snapshot rebuilt **once per pool** at the
+    /// round barrier (and only when the epoch moved); the parallel
+    /// phase hands stale instances a clone of this without touching
+    /// the pool lock.
+    cache_epoch: u64,
+    cache: Knowledge<KnobConfig>,
+}
+
+impl Pool {
+    /// Refreshes the cached snapshot if publishes moved the epoch.
+    /// Called only from barrier (sequential) code.
+    fn refresh_cache(&mut self) {
+        if self.shared.epoch() != self.cache_epoch {
+            let (epoch, knowledge) = self.shared.snapshot();
+            self.cache_epoch = epoch;
+            self.cache = knowledge;
+        }
+    }
+}
+
+/// One fleet member.
+struct Instance {
+    app: AdaptiveApplication,
+    pool: usize,
+    /// Last shared-knowledge epoch this instance adopted.
+    epoch: u64,
+    steps: u64,
+    /// Exploration configuration assigned for the next step.
+    assigned: Option<KnobConfig>,
+    active: bool,
+    /// Whether the power arbiter installed a constraint on this
+    /// instance (so budget removal only removes what the fleet added).
+    arbited: bool,
+}
+
+/// A fleet of concurrently stepping adaptive-application instances
+/// sharing a live knowledge base.
+///
+/// # Examples
+///
+/// ```no_run
+/// use socrates::{Fleet, FleetConfig, Toolchain};
+/// use margot::Rank;
+/// use polybench::App;
+///
+/// let enhanced = Toolchain::default().enhance(App::TwoMm).unwrap();
+/// let mut fleet = Fleet::new(FleetConfig::default());
+/// fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 42, 8);
+/// fleet.set_power_budget(Some(8.0 * 90.0));
+/// fleet.run_for(60.0); // 60 virtual seconds of cooperative adaptation
+/// ```
+pub struct Fleet {
+    config: FleetConfig,
+    pools: Vec<Pool>,
+    instances: Vec<Mutex<Instance>>,
+    rounds: u64,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::new(FleetConfig::default())
+    }
+}
+
+impl Fleet {
+    /// An empty fleet with the given policy.
+    pub fn new(config: FleetConfig) -> Self {
+        Fleet {
+            config,
+            pools: Vec::new(),
+            instances: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The fleet policy.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of instances ever added (including retired ones).
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the fleet has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Number of instances still stepping.
+    pub fn active_instances(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|m| m.lock().expect("instance poisoned").active)
+            .count()
+    }
+
+    /// Rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Boots one instance on a specific machine (which may differ from
+    /// the profiled platform — deployment drift) and returns its id.
+    /// The instance immediately adopts the pool's current shared
+    /// knowledge, inheriting everything the fleet already learned.
+    pub fn add_instance(&mut self, enhanced: EnhancedApp, rank: Rank, machine: Machine) -> usize {
+        let pool = self.pool_for(&enhanced);
+        let mut app = AdaptiveApplication::with_machine(enhanced, rank, machine);
+        let epoch = if self.config.share_knowledge {
+            self.pools[pool].refresh_cache();
+            app.set_knowledge(self.pools[pool].cache.clone());
+            self.pools[pool].cache_epoch
+        } else {
+            0
+        };
+        self.instances.push(Mutex::new(Instance {
+            app,
+            pool,
+            epoch,
+            steps: 0,
+            assigned: None,
+            active: true,
+            arbited: false,
+        }));
+        self.rebalance_power();
+        self.instances.len() - 1
+    }
+
+    /// Boots `count` instances of one enhanced app on machines forked
+    /// from the app's own platform (independent per-instance noise
+    /// streams derived from `base_seed`); returns their ids.
+    pub fn spawn(
+        &mut self,
+        enhanced: &EnhancedApp,
+        rank: &Rank,
+        base_seed: u64,
+        count: usize,
+    ) -> Vec<usize> {
+        let base = enhanced.platform.machine(base_seed);
+        self.spawn_on(enhanced, rank, &base, count)
+    }
+
+    /// Boots `count` instances on forks of an explicit base machine —
+    /// how experiments deploy a fleet onto drifted hardware (e.g.
+    /// [`crate::Platform::hotter`]). Fork streams are offset by the
+    /// current fleet size, so repeated spawns (and mixed-app fleets)
+    /// never hand two instances the same noise stream.
+    pub fn spawn_on(
+        &mut self,
+        enhanced: &EnhancedApp,
+        rank: &Rank,
+        base: &Machine,
+        count: usize,
+    ) -> Vec<usize> {
+        let stream_offset = self.instances.len() as u64;
+        (0..count)
+            .map(|i| {
+                self.add_instance(
+                    enhanced.clone(),
+                    rank.clone(),
+                    base.fork(stream_offset + i as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Retires an instance: it stops stepping and its power share is
+    /// redistributed to the remaining active instances. Returns `false`
+    /// if it was already retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn retire_instance(&mut self, id: usize) -> bool {
+        let inst = self.instances[id].get_mut().expect("instance poisoned");
+        if !inst.active {
+            return false;
+        }
+        inst.active = false;
+        if inst.arbited {
+            inst.app
+                .manager_mut()
+                .asrtm_mut()
+                .remove_constraints_on(&Metric::power());
+            inst.arbited = false;
+        }
+        self.rebalance_power();
+        true
+    }
+
+    /// Sets (or clears) the global power budget and re-splits it across
+    /// the active instances.
+    ///
+    /// The arbiter *owns* each instance's power constraint: do not add
+    /// your own constraint on [`Metric::power`] to fleet members while
+    /// a budget is active.
+    pub fn set_power_budget(&mut self, budget_w: Option<f64>) {
+        if let Some(w) = budget_w {
+            assert!(
+                w.is_finite() && w > 0.0,
+                "power budget {w} W must be positive"
+            );
+        }
+        self.config.power_budget_w = budget_w;
+        self.rebalance_power();
+    }
+
+    /// Each active instance's current power allocation, watts.
+    pub fn power_share_w(&self) -> Option<f64> {
+        let active = self.active_instances();
+        match self.config.power_budget_w {
+            Some(w) if active > 0 => Some(w / active as f64),
+            _ => None,
+        }
+    }
+
+    /// One synchronized round: every active instance performs one
+    /// MAPE-K (or exploration) step concurrently, then all observations
+    /// are merged into the shared knowledge in instance order. Returns
+    /// the number of steps taken.
+    pub fn step_round(&mut self) -> usize {
+        let due: Vec<bool> = self
+            .instances
+            .iter_mut()
+            .map(|m| m.get_mut().expect("instance poisoned").active)
+            .collect();
+        self.round_with(&due)
+    }
+
+    /// Steps rounds until every active instance has advanced its own
+    /// virtual clock by `duration_s` seconds (instances run at their
+    /// own speed: faster ones take more invocations per wall round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not strictly positive.
+    pub fn run_for(&mut self, duration_s: f64) {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let deadlines: Vec<f64> = self
+            .instances
+            .iter_mut()
+            .map(|m| {
+                let inst = m.get_mut().expect("instance poisoned");
+                inst.app.now_s() + duration_s
+            })
+            .collect();
+        loop {
+            let due: Vec<bool> = self
+                .instances
+                .iter_mut()
+                .zip(&deadlines)
+                .map(|(m, &deadline)| {
+                    let inst = m.get_mut().expect("instance poisoned");
+                    inst.active && inst.app.now_s() < deadline
+                })
+                .collect();
+            if !due.iter().any(|&d| d) {
+                break;
+            }
+            self.round_with(&due);
+        }
+    }
+
+    /// The execution trace of instance `id` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn trace(&self, id: usize) -> Vec<TraceSample> {
+        self.instances[id]
+            .lock()
+            .expect("instance poisoned")
+            .app
+            .trace()
+            .to_vec()
+    }
+
+    /// Virtual time of instance `id`, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn now_s(&self, id: usize) -> f64 {
+        self.instances[id]
+            .lock()
+            .expect("instance poisoned")
+            .app
+            .now_s()
+    }
+
+    /// Total energy drawn by instance `id`, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn energy_j(&self, id: usize) -> f64 {
+        self.instances[id]
+            .lock()
+            .expect("instance poisoned")
+            .app
+            .energy_j()
+    }
+
+    /// Runs `f` against instance `id`'s adaptive application (e.g. to
+    /// switch its rank mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn with_instance_mut<R>(
+        &mut self,
+        id: usize,
+        f: impl FnOnce(&mut AdaptiveApplication) -> R,
+    ) -> R {
+        f(&mut self.instances[id].get_mut().expect("instance poisoned").app)
+    }
+
+    /// The current merged (online) knowledge for `app`, or `None` if no
+    /// instance of it was ever added. If several pools share the
+    /// application (different design knowledge), the first-created
+    /// pool is reported; use [`Fleet::persist_learned`] to export all.
+    pub fn learned_knowledge(&self, app: App) -> Option<Knowledge<KnobConfig>> {
+        self.pools
+            .iter()
+            .find(|p| p.app == app)
+            .map(|p| p.shared.knowledge())
+    }
+
+    /// The shared-knowledge epoch for `app` (how many observations the
+    /// fleet has merged), or `None` if unknown.
+    pub fn knowledge_epoch(&self, app: App) -> Option<u64> {
+        self.pools
+            .iter()
+            .find(|p| p.app == app)
+            .map(|p| p.shared.epoch())
+    }
+
+    /// Online design-space coverage for `app`: `(covered, total)`
+    /// operating points, or `None` if unknown.
+    pub fn exploration_coverage(&self, app: App) -> Option<(usize, usize)> {
+        self.pools.iter().find(|p| p.app == app).map(|p| {
+            (
+                p.schedule.total() - p.schedule.remaining(),
+                p.schedule.total(),
+            )
+        })
+    }
+
+    /// Persists every pool's learned knowledge as
+    /// `<dir>/<app>_learned.json` (loadable with
+    /// [`crate::load_knowledge`], so a future toolchain run can seed
+    /// from deployment experience); returns the written paths. When
+    /// several pools share an application name (instances enhanced by
+    /// different toolchain configurations), later pools get a
+    /// `_<pool index>` suffix instead of overwriting the first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a persist-stage [`SocratesError`] on I/O failure.
+    pub fn persist_learned(&self, dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, SocratesError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| SocratesError::io(dir, e))?;
+        let mut written: Vec<PathBuf> = Vec::with_capacity(self.pools.len());
+        for (i, pool) in self.pools.iter().enumerate() {
+            let first_of_app = self
+                .pools
+                .iter()
+                .position(|p| p.app == pool.app)
+                .expect("pool exists");
+            let path = if first_of_app == i {
+                dir.join(format!("{}_learned.json", pool.app.name()))
+            } else {
+                dir.join(format!("{}_learned_{i}.json", pool.app.name()))
+            };
+            save_knowledge(&pool.shared.knowledge(), &path)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Finds (or creates) the shared pool for an enhanced app. Pools
+    /// are keyed by application *and* design knowledge, so instances
+    /// enhanced by different toolchain configurations never cross-feed
+    /// incompatible operating points.
+    fn pool_for(&mut self, enhanced: &EnhancedApp) -> usize {
+        if let Some(i) = self
+            .pools
+            .iter()
+            .position(|p| p.app == enhanced.app && p.design == enhanced.knowledge)
+        {
+            return i;
+        }
+        let configs: Vec<KnobConfig> = enhanced
+            .knowledge
+            .points()
+            .iter()
+            .map(|p| p.config.clone())
+            .collect();
+        self.pools.push(Pool {
+            app: enhanced.app,
+            design: enhanced.knowledge.clone(),
+            shared: SharedKnowledge::new(enhanced.knowledge.clone(), self.config.knowledge_window)
+                .with_min_observations(self.config.min_observations),
+            schedule: ExplorationSchedule::new(configs),
+            cache_epoch: 0,
+            cache: enhanced.knowledge.clone(),
+        });
+        self.pools.len() - 1
+    }
+
+    /// Splits the global budget evenly across active instances.
+    fn rebalance_power(&mut self) {
+        let active = self
+            .instances
+            .iter_mut()
+            .map(|m| m.get_mut().expect("instance poisoned").active)
+            .filter(|&a| a)
+            .count();
+        let share = match self.config.power_budget_w {
+            Some(w) if active > 0 => Some(w / active as f64),
+            _ => None,
+        };
+        for m in &mut self.instances {
+            let inst = m.get_mut().expect("instance poisoned");
+            if !inst.active {
+                continue;
+            }
+            match share {
+                Some(per_instance) => {
+                    if inst.arbited {
+                        inst.app
+                            .manager_mut()
+                            .asrtm_mut()
+                            .set_constraint_value(&Metric::power(), per_instance);
+                    } else {
+                        inst.app.add_constraint(Constraint::new(
+                            Metric::power(),
+                            Cmp::LessOrEqual,
+                            per_instance,
+                            FLEET_POWER_PRIORITY,
+                        ));
+                        inst.arbited = true;
+                    }
+                }
+                None => {
+                    if inst.arbited {
+                        inst.app
+                            .manager_mut()
+                            .asrtm_mut()
+                            .remove_constraints_on(&Metric::power());
+                        inst.arbited = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One round over the instances marked due: assign exploration
+    /// slots (sequential), step (parallel), merge observations
+    /// (sequential, instance order — the determinism barrier).
+    fn round_with(&mut self, due: &[bool]) -> usize {
+        assert_eq!(due.len(), self.instances.len());
+        let interval = self.config.exploration_interval;
+        if self.config.share_knowledge && interval > 0 {
+            for (id, &is_due) in due.iter().enumerate() {
+                if !is_due {
+                    continue;
+                }
+                let (pool, explore) = {
+                    let inst = self.instances[id].get_mut().expect("instance poisoned");
+                    if !inst.active {
+                        continue;
+                    }
+                    (inst.pool, inst.steps % interval == interval - 1)
+                };
+                if explore {
+                    let assigned = self.pools[pool].schedule.next_unexplored();
+                    self.instances[id]
+                        .get_mut()
+                        .expect("instance poisoned")
+                        .assigned = assigned;
+                }
+            }
+        }
+
+        let pools = &self.pools;
+        let config = &self.config;
+        let instances = &self.instances;
+        let step_one = |id: usize| -> Option<(usize, TraceSample)> {
+            if !due[id] {
+                return None;
+            }
+            let mut inst = instances[id].lock().expect("instance poisoned");
+            if !inst.active {
+                return None;
+            }
+            if config.share_knowledge {
+                // Epoch probe against the pool's barrier-time cache:
+                // no lock and no per-instance snapshot rebuild; the
+                // clone only happens when the fleet actually learned
+                // something since this instance last synced. In steady
+                // state every round publishes, so this is one knowledge
+                // clone per instance per round — the price of always
+                // planning on fresh expectations.
+                let pool = &pools[inst.pool];
+                if pool.cache_epoch != inst.epoch {
+                    inst.app.set_knowledge(pool.cache.clone());
+                    inst.epoch = pool.cache_epoch;
+                }
+            }
+            let sample = match inst.assigned.take() {
+                Some(cfg) => inst
+                    .app
+                    .step_forced(cfg)
+                    .expect("exploration configs come from the pool's own knowledge"),
+                None => inst.app.step(),
+            };
+            inst.steps += 1;
+            Some((inst.pool, sample))
+        };
+        let stepped: Vec<Option<(usize, TraceSample)>> = if self.config.parallel_step {
+            (0..self.instances.len())
+                .into_par_iter()
+                .map(step_one)
+                .collect()
+        } else {
+            (0..self.instances.len()).map(step_one).collect()
+        };
+
+        let mut steps = 0;
+        for (pool, sample) in stepped.into_iter().flatten() {
+            steps += 1;
+            if self.config.share_knowledge {
+                let pool = &mut self.pools[pool];
+                pool.shared
+                    .publish(&sample.config, &sample.observed_metrics());
+                pool.schedule.mark_explored(&sample.config);
+            }
+        }
+        if self.config.share_knowledge {
+            for pool in &mut self.pools {
+                pool.refresh_cache();
+            }
+        }
+        self.rounds += 1;
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toolchain::Toolchain;
+    use polybench::Dataset;
+
+    fn quick_enhanced(app: App) -> EnhancedApp {
+        Toolchain {
+            dataset: Dataset::Medium,
+            dse_repetitions: 1,
+            ..Toolchain::default()
+        }
+        .enhance(app)
+        .unwrap()
+    }
+
+    fn rank() -> Rank {
+        Rank::throughput_per_watt2()
+    }
+
+    #[test]
+    fn spawn_boots_instances_with_independent_noise() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let ids = fleet.spawn(&enhanced, &rank(), 7, 3);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(fleet.active_instances(), 3);
+        fleet.step_round();
+        let t0 = fleet.trace(0)[0].time_s;
+        let t1 = fleet.trace(1)[0].time_s;
+        assert_ne!(t0, t1, "forked machines must see distinct noise");
+    }
+
+    #[test]
+    fn observations_propagate_through_shared_knowledge() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        assert_eq!(fleet.knowledge_epoch(App::TwoMm), Some(0));
+        let steps = fleet.step_round();
+        assert_eq!(steps, 2);
+        assert_eq!(fleet.knowledge_epoch(App::TwoMm), Some(2));
+        let learned = fleet.learned_knowledge(App::TwoMm).unwrap();
+        assert_ne!(
+            learned, enhanced.knowledge,
+            "merged observations must refresh expectations"
+        );
+    }
+
+    #[test]
+    fn frozen_fleet_never_touches_the_shared_knowledge() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig {
+            share_knowledge: false,
+            ..FleetConfig::default()
+        });
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        fleet.run_for(1.0);
+        assert_eq!(fleet.knowledge_epoch(App::TwoMm), Some(0));
+        assert_eq!(
+            fleet.learned_knowledge(App::TwoMm).unwrap(),
+            enhanced.knowledge
+        );
+    }
+
+    #[test]
+    fn cooperative_exploration_covers_distinct_configs() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig {
+            exploration_interval: 1, // every step explores
+            ..FleetConfig::default()
+        });
+        fleet.spawn(&enhanced, &rank(), 3, 4);
+        let total = enhanced.knowledge.len();
+        for _ in 0..8 {
+            fleet.step_round();
+        }
+        let (covered, t) = fleet.exploration_coverage(App::TwoMm).unwrap();
+        assert_eq!(t, total);
+        // 4 instances × 8 exploration rounds = 32 distinct configs.
+        assert_eq!(covered, 32, "the sweep must not revisit configs");
+    }
+
+    #[test]
+    fn power_budget_splits_and_rebalances_on_membership_changes() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 4);
+        fleet.set_power_budget(Some(400.0));
+        assert_eq!(fleet.power_share_w(), Some(100.0));
+        assert!(fleet.retire_instance(3));
+        assert!(!fleet.retire_instance(3), "already retired");
+        let share = fleet.power_share_w().unwrap();
+        assert!((share - 400.0 / 3.0).abs() < 1e-9, "{share}");
+        // A joining instance shrinks everyone's slice.
+        let machine = enhanced.platform.machine(99);
+        fleet.add_instance(enhanced.clone(), rank(), machine);
+        assert_eq!(fleet.power_share_w(), Some(100.0));
+        fleet.set_power_budget(None);
+        assert_eq!(fleet.power_share_w(), None);
+    }
+
+    #[test]
+    fn power_budget_constrains_selected_points() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig {
+            exploration_interval: 0, // pure AS-RTM selection
+            ..FleetConfig::default()
+        });
+        fleet.spawn(&enhanced, &Rank::minimize(Metric::exec_time()), 3, 2);
+        // 2 instances × 70 W each: the unconstrained pick draws >100 W.
+        fleet.set_power_budget(Some(140.0));
+        fleet.run_for(3.0);
+        for id in 0..2 {
+            for s in fleet.trace(id) {
+                assert!(
+                    s.power_w < 70.0 * 1.2,
+                    "instance {id} draws {:.1} W over its 70 W share",
+                    s.power_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retired_instances_stop_stepping() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        fleet.step_round();
+        fleet.retire_instance(0);
+        let frozen_len = fleet.trace(0).len();
+        assert_eq!(fleet.step_round(), 1, "only instance 1 steps");
+        assert_eq!(fleet.trace(0).len(), frozen_len);
+        assert_eq!(fleet.active_instances(), 1);
+    }
+
+    #[test]
+    fn late_joiners_inherit_the_learned_knowledge() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        fleet.run_for(2.0);
+        let learned = fleet.learned_knowledge(App::TwoMm).unwrap();
+        let machine = enhanced.platform.machine(123);
+        let id = fleet.add_instance(enhanced.clone(), rank(), machine);
+        let adopted = fleet.with_instance_mut(id, |app| app.manager().asrtm().knowledge().clone());
+        assert_eq!(adopted, learned);
+    }
+
+    #[test]
+    fn mixed_app_fleet_keeps_separate_pools() {
+        let twomm = quick_enhanced(App::TwoMm);
+        let mvt = quick_enhanced(App::Mvt);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&twomm, &rank(), 3, 2);
+        fleet.spawn(&mvt, &rank(), 3, 2);
+        fleet.run_for(1.0);
+        let k2 = fleet.learned_knowledge(App::TwoMm).unwrap();
+        let km = fleet.learned_knowledge(App::Mvt).unwrap();
+        assert_ne!(k2, km);
+        assert!(fleet.knowledge_epoch(App::TwoMm).unwrap() > 0);
+        assert!(fleet.knowledge_epoch(App::Mvt).unwrap() > 0);
+    }
+
+    #[test]
+    fn persist_learned_round_trips_through_knowledge_io() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        fleet.run_for(1.0);
+        let dir = std::env::temp_dir().join(format!("socrates-fleet-{}", std::process::id()));
+        let written = fleet.persist_learned(&dir).unwrap();
+        assert_eq!(written.len(), 1);
+        let loaded = crate::knowledge_io::load_knowledge(&written[0]).unwrap();
+        assert_eq!(loaded, fleet.learned_knowledge(App::TwoMm).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -26,7 +26,11 @@
 //! store (the COBAYN corpus is built once, not once per target) and
 //! fans targets out over rayon, bit-identical to the serial path. The
 //! [`AdaptiveApplication`] then replays the weaved binary's MAPE-K loop
-//! on the simulated NUMA platform ([`platform_sim`]).
+//! on the simulated NUMA platform ([`platform_sim`]), and a [`Fleet`]
+//! steps many such instances concurrently while they share a live,
+//! epoch-versioned knowledge base ([`margot::SharedKnowledge`]),
+//! sweep the design space cooperatively and split a global power
+//! budget — the paper's *online* loop at deployment scale.
 //!
 //! ## Example
 //!
@@ -55,6 +59,7 @@
 
 mod artifact;
 mod error;
+mod fleet;
 mod knowledge_io;
 mod pipeline;
 mod platform;
@@ -67,6 +72,7 @@ pub use artifact::{
     WeavedProgram, KNOWLEDGE_FORMAT_VERSION,
 };
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
+pub use fleet::{Fleet, FleetConfig, FLEET_POWER_PRIORITY};
 pub use knowledge_io::{knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge};
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;

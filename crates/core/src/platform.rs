@@ -49,6 +49,32 @@ impl Platform {
         }
     }
 
+    /// A drifted deployment of this platform: per-core dynamic power
+    /// (core, SMT and uncore coefficients) scaled by `factor`, modelling
+    /// cooling degradation or silicon aging after the design-time
+    /// profiling. Because the idle floor is unchanged, the drift is
+    /// **non-uniform** across operating points — high-thread
+    /// configurations drift more than low-thread ones — which is
+    /// exactly what defeats frozen design-time knowledge and a single
+    /// per-metric feedback ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    #[must_use]
+    pub fn hotter(&self, factor: f64) -> Platform {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "drift factor {factor} must be positive and finite"
+        );
+        let mut drifted = self.clone();
+        drifted.name = format!("{}-hot{factor}", self.name);
+        drifted.power.core_w *= factor;
+        drifted.power.smt_w *= factor;
+        drifted.power.uncore_w *= factor;
+        drifted
+    }
+
     /// Instantiates the simulated machine for this platform with the
     /// given RNG seed — the factory every pipeline stage and the
     /// adaptive runtime go through.

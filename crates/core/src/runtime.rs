@@ -16,8 +16,9 @@
 //! virtual clock, so replaying the paper's 300-second trace takes
 //! milliseconds of host time.
 
+use crate::error::SocratesError;
 use crate::toolchain::EnhancedApp;
-use margot::{ApplicationManager, Constraint, Metric, Rank};
+use margot::{ApplicationManager, Constraint, Knowledge, Metric, MetricValues, Rank};
 use platform_sim::{EnergyMeter, KnobConfig, Machine, VirtualClock};
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,21 @@ pub struct TraceSample {
     pub config: KnobConfig,
     /// The dispatched clone version (`__socrates_version`).
     pub version: usize,
+    /// Whether this invocation executed a coordinator-forced
+    /// exploration configuration instead of the AS-RTM's plan (see
+    /// [`AdaptiveApplication::step_forced`]).
+    pub forced: bool,
+}
+
+impl TraceSample {
+    /// The observation bundle this sample contributes to a knowledge
+    /// base: the measured time and power with the derived throughput
+    /// and energy EFPs — what a fleet instance publishes into a
+    /// [`margot::SharedKnowledge`]. Uses the same definition as the
+    /// MAPE-K monitors ([`MetricValues::from_execution`]).
+    pub fn observed_metrics(&self) -> MetricValues {
+        MetricValues::from_execution(self.time_s, self.power_w)
+    }
 }
 
 /// A runnable adaptive application (enhanced binary + platform).
@@ -102,6 +118,19 @@ impl AdaptiveApplication {
         &mut self.manager
     }
 
+    /// The mARGOt manager, read-only.
+    pub fn manager(&self) -> &ApplicationManager<KnobConfig> {
+        &self.manager
+    }
+
+    /// Adopts a refreshed knowledge base — how a fleet instance pulls
+    /// the discoveries other instances published into a
+    /// [`margot::SharedKnowledge`]. The next [`step`](Self::step)
+    /// re-plans over the new operating points.
+    pub fn set_knowledge(&mut self, knowledge: Knowledge<KnobConfig>) {
+        self.manager.set_knowledge(knowledge);
+    }
+
     /// Switches the optimisation rank (Fig. 5 requirement change).
     pub fn set_rank(&mut self, rank: Rank) {
         self.manager.set_rank(rank);
@@ -161,9 +190,39 @@ impl AdaptiveApplication {
             power_w: run.power_w,
             config,
             version,
+            forced: false,
         };
         self.trace.push(sample.clone());
         sample
+    }
+
+    /// One *exploration* iteration: executes a coordinator-assigned
+    /// configuration instead of the AS-RTM's pick (the fleet's
+    /// cooperative online DSE). The observation is returned for the
+    /// caller to publish into the shared knowledge; it does **not**
+    /// feed this instance's own monitors, which track the configuration
+    /// the AS-RTM selected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dispatch-stage [`SocratesError`] if `config` has no
+    /// compiled clone version.
+    pub fn step_forced(&mut self, config: KnobConfig) -> Result<TraceSample, SocratesError> {
+        let version = self.enhanced.try_version_of(&config)?;
+        let t_start_s = self.clock.now_s();
+        let run = self.machine.execute(&self.enhanced.profile, &config);
+        self.clock.advance(run.time_s);
+        self.meter.accumulate(run.power_w, run.time_s);
+        let sample = TraceSample {
+            t_start_s,
+            time_s: run.time_s,
+            power_w: run.power_w,
+            config,
+            version,
+            forced: true,
+        };
+        self.trace.push(sample.clone());
+        Ok(sample)
     }
 
     /// Runs kernel invocations until `duration_s` of virtual time has

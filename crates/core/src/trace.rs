@@ -115,6 +115,7 @@ mod tests {
                 BindingPolicy::Close,
             ),
             version,
+            forced: false,
         }
     }
 

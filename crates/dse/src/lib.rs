@@ -206,6 +206,85 @@ pub fn power_throughput_pareto(knowledge: &Knowledge<KnobConfig>) -> Knowledge<K
     knowledge.pareto_filter(&[(Metric::throughput(), true), (Metric::power(), false)])
 }
 
+/// A cooperative *online* exploration schedule: the design-time DSE
+/// enumeration, re-used at deployment time so a fleet of instances
+/// sweeps the space together instead of redundantly.
+///
+/// A coordinator calls [`next_unexplored`](Self::next_unexplored) to
+/// hand each exploration slot a configuration nobody has covered yet;
+/// organic coverage (an instance selecting a configuration on its own)
+/// is folded in through [`mark_explored`](Self::mark_explored) so
+/// already-observed points are never re-assigned. Assignment order is
+/// the enumeration order — fully deterministic.
+#[derive(Debug, Clone)]
+pub struct ExplorationSchedule<K = KnobConfig> {
+    configs: Vec<K>,
+    /// Set view of `configs` for O(1) membership tests (a coordinator
+    /// calls [`mark_explored`](Self::mark_explored) once per published
+    /// observation).
+    known: std::collections::HashSet<K>,
+    cursor: usize,
+    swept: std::collections::HashSet<K>,
+}
+
+impl<K: Clone + Eq + std::hash::Hash> ExplorationSchedule<K> {
+    /// Builds a schedule over `configs` (duplicates are dropped,
+    /// keeping the first occurrence's position).
+    pub fn new(configs: Vec<K>) -> Self {
+        let mut known = std::collections::HashSet::new();
+        let configs: Vec<K> = configs
+            .into_iter()
+            .filter(|c| known.insert(c.clone()))
+            .collect();
+        ExplorationSchedule {
+            configs,
+            known,
+            cursor: 0,
+            swept: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The next configuration no instance has covered yet, or `None`
+    /// once the sweep is complete. The returned configuration counts as
+    /// covered immediately, so concurrent slots in the same round get
+    /// distinct assignments.
+    pub fn next_unexplored(&mut self) -> Option<K> {
+        while self.cursor < self.configs.len() {
+            let candidate = &self.configs[self.cursor];
+            self.cursor += 1;
+            if self.swept.insert(candidate.clone()) {
+                return Some(candidate.clone());
+            }
+        }
+        None
+    }
+
+    /// Records organic coverage of `config`; returns `true` if it was
+    /// previously unexplored. Unknown configurations are ignored (and
+    /// return `false`).
+    pub fn mark_explored(&mut self, config: &K) -> bool {
+        if !self.known.contains(config) {
+            return false;
+        }
+        self.swept.insert(config.clone())
+    }
+
+    /// Configurations in the schedule.
+    pub fn total(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Configurations not yet covered by any instance.
+    pub fn remaining(&self) -> usize {
+        self.configs.len() - self.swept.len()
+    }
+
+    /// Whether every configuration has been covered at least once.
+    pub fn is_complete(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +413,38 @@ mod tests {
     fn zero_repetitions_panics() {
         let m = Machine::xeon_e5_2630_v3(1);
         let _ = profile(&m, &kernel(), &[], 0);
+    }
+
+    #[test]
+    fn schedule_hands_out_each_config_once_in_order() {
+        let mut s = ExplorationSchedule::new(vec![1u32, 2, 3, 2]);
+        assert_eq!(s.total(), 3, "duplicates are dropped");
+        assert_eq!(s.next_unexplored(), Some(1));
+        assert_eq!(s.next_unexplored(), Some(2));
+        assert_eq!(s.next_unexplored(), Some(3));
+        assert_eq!(s.next_unexplored(), None);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn organic_coverage_is_never_reassigned() {
+        let mut s = ExplorationSchedule::new(vec![1u32, 2, 3]);
+        assert!(s.mark_explored(&2));
+        assert!(!s.mark_explored(&2), "already covered");
+        assert!(!s.mark_explored(&99), "unknown config is ignored");
+        assert_eq!(s.next_unexplored(), Some(1));
+        assert_eq!(s.next_unexplored(), Some(3), "2 was covered organically");
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn schedule_over_a_design_space_sweeps_everything() {
+        let configs = space().full_factorial();
+        let mut s = ExplorationSchedule::new(configs.clone());
+        let mut seen = std::collections::HashSet::new();
+        while let Some(cfg) = s.next_unexplored() {
+            assert!(seen.insert(cfg));
+        }
+        assert_eq!(seen.len(), configs.len());
     }
 }

@@ -37,6 +37,15 @@ impl<K: Clone + PartialEq> AsRtm<K> {
         &self.knowledge
     }
 
+    /// Replaces the knowledge base — how a deployed instance adopts
+    /// refreshed operating points from a shared online knowledge layer
+    /// ([`crate::SharedKnowledge`]). Requirements, feedback ratios and
+    /// constraints are untouched; the next [`best`](Self::best) call
+    /// selects over the new points.
+    pub fn set_knowledge(&mut self, knowledge: Knowledge<K>) {
+        self.knowledge = knowledge;
+    }
+
     /// The active rank.
     pub fn rank(&self) -> &Rank {
         &self.rank

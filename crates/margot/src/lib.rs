@@ -17,7 +17,11 @@
 //!   Thr/W²), with runtime feedback folded in as per-metric
 //!   observed/expected ratios;
 //! - **MAPE-K facade** — [`ApplicationManager`]: the `init` /
-//!   `update` / `start`/`stop` API the LARA weaver injects.
+//!   `update` / `start`/`stop` API the LARA weaver injects;
+//! - **Online knowledge** — [`SharedKnowledge`]: a thread-safe,
+//!   epoch-versioned knowledge base that merges runtime observations
+//!   from many deployed instances (windowed means per point), the
+//!   paper's online crowdsourcing loop.
 //!
 //! ## Example
 //!
@@ -54,6 +58,7 @@ mod manager;
 mod metric;
 mod monitor;
 mod requirements;
+mod shared;
 mod states;
 
 pub use asrtm::AsRtm;
@@ -62,4 +67,5 @@ pub use manager::{ApplicationManager, DEFAULT_MONITOR_WINDOW};
 pub use metric::{Metric, MetricValues};
 pub use monitor::Monitor;
 pub use requirements::{Cmp, Constraint, Rank, RankDirection, RankKind};
+pub use shared::SharedKnowledge;
 pub use states::{OptimizationState, StateRegistry, UnknownStateError};

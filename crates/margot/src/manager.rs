@@ -75,6 +75,23 @@ impl<K: Clone + PartialEq> ApplicationManager<K> {
         self.asrtm.set_rank(rank);
     }
 
+    /// Adopts a refreshed knowledge base (e.g. a
+    /// [`crate::SharedKnowledge`] snapshot published by a fleet).
+    ///
+    /// If the currently applied configuration survives in the new
+    /// knowledge, its expected metrics are refreshed in place so the
+    /// *Analyse* step compares observations against the new
+    /// expectations; the monitors keep their history. The next
+    /// [`update`](Self::update) re-plans over the new points.
+    pub fn set_knowledge(&mut self, knowledge: Knowledge<K>) {
+        if let Some(cur) = &mut self.current {
+            if let Some(refreshed) = knowledge.points().iter().find(|p| p.config == cur.config) {
+                *cur = refreshed.clone();
+            }
+        }
+        self.asrtm.set_knowledge(knowledge);
+    }
+
     /// Atomically applies a named optimisation state (rank + constraint
     /// set); the next [`update`](Self::update) re-plans under it.
     pub fn apply_state(&mut self, state: &crate::states::OptimizationState) {
@@ -136,12 +153,7 @@ impl<K: Clone + PartialEq> ApplicationManager<K> {
     ///
     /// Panics if `time_s` is not strictly positive.
     pub fn observe_execution(&mut self, time_s: f64, power_w: f64) {
-        assert!(time_s > 0.0, "non-positive execution time {time_s}");
-        let values = MetricValues::new()
-            .with(Metric::exec_time(), time_s)
-            .with(Metric::power(), power_w)
-            .with(Metric::throughput(), 1.0 / time_s)
-            .with(Metric::energy(), time_s * power_w);
+        let values = MetricValues::from_execution(time_s, power_w);
         self.start_region();
         self.stop_region(&values);
     }

@@ -66,6 +66,24 @@ impl MetricValues {
         Self::default()
     }
 
+    /// The standard four-EFP observation bundle of one kernel
+    /// execution: the measured time and power plus the derived
+    /// throughput and energy — the single definition shared by the
+    /// MAPE-K monitors and the fleet's knowledge publishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_s` is not strictly positive or `power_w` is not
+    /// finite.
+    pub fn from_execution(time_s: f64, power_w: f64) -> MetricValues {
+        assert!(time_s > 0.0, "non-positive execution time {time_s}");
+        MetricValues::new()
+            .with(Metric::exec_time(), time_s)
+            .with(Metric::power(), power_w)
+            .with(Metric::throughput(), 1.0 / time_s)
+            .with(Metric::energy(), time_s * power_w)
+    }
+
     /// Builder-style insertion.
     ///
     /// # Panics

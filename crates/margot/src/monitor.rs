@@ -10,6 +10,7 @@ pub struct Monitor {
     window: usize,
     buf: VecDeque<f64>,
     total_observations: u64,
+    dropped_observations: u64,
 }
 
 impl Monitor {
@@ -24,21 +25,27 @@ impl Monitor {
             window,
             buf: VecDeque::with_capacity(window),
             total_observations: 0,
+            dropped_observations: 0,
         }
     }
 
-    /// Records an observation.
+    /// Records an observation and returns whether it was accepted.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` is not finite.
-    pub fn push(&mut self, value: f64) {
-        assert!(value.is_finite(), "observation {value} must be finite");
+    /// Real measurement chains occasionally emit NaN/±inf (a RAPL
+    /// counter wrap, a zero-duration timer window); such non-finite
+    /// values are **dropped and counted** instead of poisoning the
+    /// window statistics — see [`Monitor::dropped_observations`].
+    pub fn push(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            self.dropped_observations += 1;
+            return false;
+        }
         if self.buf.len() == self.window {
             self.buf.pop_front();
         }
         self.buf.push_back(value);
         self.total_observations += 1;
+        true
     }
 
     /// Window size.
@@ -56,9 +63,15 @@ impl Monitor {
         self.buf.is_empty()
     }
 
-    /// Total observations ever pushed (not limited to the window).
+    /// Total observations ever accepted (not limited to the window).
     pub fn total_observations(&self) -> u64 {
         self.total_observations
+    }
+
+    /// Number of non-finite observations dropped by
+    /// [`push`](Self::push) over the monitor's lifetime.
+    pub fn dropped_observations(&self) -> u64 {
+        self.dropped_observations
     }
 
     /// Latest observation.
@@ -154,9 +167,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be finite")]
-    fn rejects_nan() {
-        Monitor::new(2).push(f64::NAN);
+    fn non_finite_observations_are_dropped_and_counted() {
+        let mut m = Monitor::new(2);
+        assert!(m.push(1.0));
+        assert!(!m.push(f64::NAN));
+        assert!(!m.push(f64::INFINITY));
+        assert!(!m.push(f64::NEG_INFINITY));
+        assert_eq!(m.len(), 1, "dropped values must not enter the window");
+        assert_eq!(m.mean(), Some(1.0));
+        assert_eq!(m.total_observations(), 1);
+        assert_eq!(m.dropped_observations(), 3);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The shared online knowledge base: the crowdsourcing layer of the
+//! paper's *online* autotuning loop.
+//!
+//! A [`SharedKnowledge`] starts from design-time knowledge and keeps a
+//! sliding [`Monitor`] window per `(operating point, metric)`. Deployed
+//! instances *publish* their runtime observations into it; once a point
+//! has gathered enough observations, its expected EFP values are the
+//! window means instead of the design-time predictions — so the whole
+//! fleet converges onto what the deployment platform actually does,
+//! even under drift (a machine running hotter or slower than profiled).
+//!
+//! A versioned **epoch counter** lets every AS-RTM detect refreshed
+//! knowledge with one atomic load ([`SharedKnowledge::epoch`]) and only
+//! pay for a snapshot clone when something actually changed.
+
+use crate::knowledge::{Knowledge, OperatingPoint};
+use crate::metric::{Metric, MetricValues};
+use crate::monitor::Monitor;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One shared operating point: design-time expectations plus the merged
+/// runtime observation windows.
+#[derive(Debug, Clone)]
+struct SharedPoint<K> {
+    design: OperatingPoint<K>,
+    windows: BTreeMap<Metric, Monitor>,
+}
+
+impl<K: Clone> SharedPoint<K> {
+    /// The effective operating point: window means override the design
+    /// values for every metric with at least `min_observations`.
+    fn effective(&self, min_observations: u64) -> OperatingPoint<K> {
+        let mut metrics = self.design.metrics.clone();
+        for (metric, window) in &self.windows {
+            if window.total_observations() >= min_observations {
+                if let Some(mean) = window.mean() {
+                    if mean.is_finite() {
+                        metrics.insert(metric.clone(), mean);
+                    }
+                }
+            }
+        }
+        OperatingPoint::new(self.design.config.clone(), metrics)
+    }
+}
+
+/// A thread-safe, versioned knowledge base shared by a fleet of
+/// adaptive-application instances.
+///
+/// # Examples
+///
+/// ```
+/// use margot::{Knowledge, Metric, MetricValues, OperatingPoint, SharedKnowledge};
+///
+/// let mut design = Knowledge::new();
+/// design.add(OperatingPoint::new(
+///     1u32,
+///     MetricValues::new().with(Metric::power(), 80.0),
+/// ));
+/// let shared = SharedKnowledge::new(design, 4);
+/// let before = shared.epoch();
+/// // The deployed machine runs hotter than the design-time profile.
+/// shared.publish(&1, &MetricValues::new().with(Metric::power(), 96.0));
+/// assert!(shared.epoch() > before);
+/// let learned = shared.knowledge();
+/// assert_eq!(learned.points()[0].metric(&Metric::power()), Some(96.0));
+/// ```
+#[derive(Debug)]
+pub struct SharedKnowledge<K> {
+    state: Mutex<Vec<SharedPoint<K>>>,
+    /// Config → point position, fixed at construction, so a publish is
+    /// an O(1) lookup instead of a linear scan under the lock.
+    index: HashMap<K, usize>,
+    /// Mirror of the epoch for lock-free change detection.
+    epoch: AtomicU64,
+    window: usize,
+    min_observations: u64,
+}
+
+impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
+    /// Wraps a design-time knowledge base; every published observation
+    /// is merged through a sliding window of `window` samples per
+    /// `(point, metric)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero (same contract as [`Monitor::new`]).
+    pub fn new(design: Knowledge<K>, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        let points: Vec<SharedPoint<K>> = design
+            .points()
+            .iter()
+            .map(|p| SharedPoint {
+                design: p.clone(),
+                windows: BTreeMap::new(),
+            })
+            .collect();
+        let index = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.design.config.clone(), i))
+            .collect();
+        SharedKnowledge {
+            state: Mutex::new(points),
+            index,
+            epoch: AtomicU64::new(0),
+            window,
+            min_observations: 1,
+        }
+    }
+
+    /// Builder-style: observations needed before a window mean overrides
+    /// the design-time value of a metric (default 1).
+    #[must_use]
+    pub fn with_min_observations(mut self, min_observations: u64) -> Self {
+        self.min_observations = min_observations.max(1);
+        self
+    }
+
+    /// The current knowledge version. Incremented on every accepted
+    /// [`publish`](Self::publish); readers compare it against their last
+    /// synced epoch to detect refreshed knowledge without cloning.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("shared knowledge poisoned").len()
+    }
+
+    /// Whether the shared knowledge has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges one runtime observation of `config` into the shared
+    /// windows and bumps the epoch. Returns `false` (and changes
+    /// nothing) when `config` is not a known operating point.
+    ///
+    /// [`MetricValues`] can only hold finite values, so every merged
+    /// observation is finite by construction; the underlying
+    /// [`Monitor`]s would additionally drop-and-count non-finite
+    /// values if one ever reached them.
+    pub fn publish(&self, config: &K, observed: &MetricValues) -> bool {
+        let Some(&i) = self.index.get(config) else {
+            return false;
+        };
+        let mut state = self.state.lock().expect("shared knowledge poisoned");
+        let point = &mut state[i];
+        for (metric, value) in observed.iter() {
+            point
+                .windows
+                .entry(metric.clone())
+                .or_insert_with(|| Monitor::new(self.window))
+                .push(value);
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// The effective knowledge: design-time points with every
+    /// sufficiently-observed metric replaced by its window mean.
+    pub fn knowledge(&self) -> Knowledge<K> {
+        self.state
+            .lock()
+            .expect("shared knowledge poisoned")
+            .iter()
+            .map(|p| p.effective(self.min_observations))
+            .collect()
+    }
+
+    /// Epoch and effective knowledge read under one lock, so the pair is
+    /// consistent even while other threads publish.
+    pub fn snapshot(&self) -> (u64, Knowledge<K>) {
+        let state = self.state.lock().expect("shared knowledge poisoned");
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let knowledge = state
+            .iter()
+            .map(|p| p.effective(self.min_observations))
+            .collect();
+        (epoch, knowledge)
+    }
+
+    /// Number of operating points whose runtime observations have
+    /// crossed the `min_observations` threshold (i.e. whose effective
+    /// metrics are online values rather than design-time predictions)
+    /// — the fleet's online coverage of the design space.
+    pub fn observed_points(&self) -> usize {
+        self.state
+            .lock()
+            .expect("shared knowledge poisoned")
+            .iter()
+            .filter(|p| {
+                p.windows
+                    .values()
+                    .any(|w| w.total_observations() >= self.min_observations)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> Knowledge<u32> {
+        let mk = |cfg, t: f64, p: f64| {
+            OperatingPoint::new(
+                cfg,
+                MetricValues::new()
+                    .with(Metric::exec_time(), t)
+                    .with(Metric::power(), p),
+            )
+        };
+        [mk(1, 1.0, 50.0), mk(2, 0.4, 80.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn starts_as_the_design_knowledge_at_epoch_zero() {
+        let shared = SharedKnowledge::new(design(), 4);
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(shared.knowledge(), design());
+        assert_eq!(shared.observed_points(), 0);
+    }
+
+    #[test]
+    fn publish_overrides_design_values_with_window_means() {
+        let shared = SharedKnowledge::new(design(), 4);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 70.0));
+        let k = shared.knowledge();
+        let p1 = &k.points()[0];
+        assert_eq!(p1.metric(&Metric::power()), Some(65.0));
+        // Unobserved metrics keep their design-time expectations.
+        assert_eq!(p1.metric(&Metric::exec_time()), Some(1.0));
+        // Untouched points are unchanged.
+        assert_eq!(k.points()[1], design().points()[1]);
+        assert_eq!(shared.observed_points(), 1);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_accepted_publishes() {
+        let shared = SharedKnowledge::new(design(), 4);
+        assert!(!shared.publish(&99, &MetricValues::new().with(Metric::power(), 1.0)));
+        assert_eq!(shared.epoch(), 0);
+        assert!(shared.publish(&2, &MetricValues::new().with(Metric::power(), 85.0)));
+        assert_eq!(shared.epoch(), 1);
+    }
+
+    #[test]
+    fn windows_slide_so_old_observations_age_out() {
+        let shared = SharedKnowledge::new(design(), 2);
+        for p in [10.0, 20.0, 30.0] {
+            shared.publish(&1, &MetricValues::new().with(Metric::power(), p));
+        }
+        let k = shared.knowledge();
+        assert_eq!(k.points()[0].metric(&Metric::power()), Some(25.0));
+    }
+
+    #[test]
+    fn min_observations_gates_the_override() {
+        let shared = SharedKnowledge::new(design(), 4).with_min_observations(3);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 90.0));
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 90.0));
+        assert_eq!(
+            shared.knowledge().points()[0].metric(&Metric::power()),
+            Some(50.0),
+            "two observations must not override yet"
+        );
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 90.0));
+        assert_eq!(
+            shared.knowledge().points()[0].metric(&Metric::power()),
+            Some(90.0)
+        );
+    }
+
+    #[test]
+    fn snapshot_pairs_epoch_and_knowledge() {
+        let shared = SharedKnowledge::new(design(), 4);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        let (epoch, k) = shared.snapshot();
+        assert_eq!(epoch, 1);
+        assert_eq!(k.points()[0].metric(&Metric::power()), Some(60.0));
+    }
+
+    #[test]
+    fn concurrent_publishes_are_all_merged() {
+        let shared = std::sync::Arc::new(SharedKnowledge::new(design(), 1024));
+        let threads = 8u32;
+        let per_thread = 50u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let v = f64::from(t * per_thread + i);
+                        shared.publish(&1, &MetricValues::new().with(Metric::power(), v));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.epoch(), u64::from(threads * per_thread));
+        // All 400 observations landed in the (large) window: the mean is
+        // the mean of 0..400 regardless of interleaving.
+        let mean = shared.knowledge().points()[0]
+            .metric(&Metric::power())
+            .unwrap();
+        let expect = f64::from(threads * per_thread - 1) / 2.0;
+        assert!((mean - expect).abs() < 1e-9, "{mean} vs {expect}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property and edge-case tests of [`margot::Monitor`]: window-1
+//! behaviour, saturation, statistics against a brute-force reference on
+//! arbitrary finite streams, and the drop-and-count contract for
+//! non-finite observations.
+
+use margot::Monitor;
+use proptest::prelude::*;
+
+/// Strategy: observation streams that are mostly finite but regularly
+/// contain the non-finite values a real sensor chain can emit.
+fn stream_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => -1e6f64..1e6,
+            1 => prop::sample::select(vec![
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                1e-300,
+                -1e-300,
+            ]),
+        ],
+        0..64,
+    )
+}
+
+/// Brute-force reference statistics over the last `window` accepted
+/// values, computed with the same left-to-right arithmetic.
+struct Reference {
+    accepted: Vec<f64>,
+    window: usize,
+}
+
+impl Reference {
+    fn tail(&self) -> &[f64] {
+        let start = self.accepted.len().saturating_sub(self.window);
+        &self.accepted[start..]
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let t = self.tail();
+        (!t.is_empty()).then(|| t.iter().sum::<f64>() / t.len() as f64)
+    }
+
+    fn stddev(&self) -> Option<f64> {
+        let t = self.tail();
+        let mean = self.mean()?;
+        Some((t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64).sqrt())
+    }
+
+    fn min(&self) -> Option<f64> {
+        self.tail().iter().copied().reduce(f64::min)
+    }
+
+    fn max(&self) -> Option<f64> {
+        self.tail().iter().copied().reduce(f64::max)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After every push, all statistics equal the brute-force reference
+    /// bit for bit (identical summation order), finite values are
+    /// accepted, and non-finite values are dropped and counted.
+    #[test]
+    fn statistics_match_brute_force_reference(
+        window in 1usize..=10,
+        stream in stream_strategy(),
+    ) {
+        let mut monitor = Monitor::new(window);
+        let mut reference = Reference { accepted: Vec::new(), window };
+        let mut dropped = 0u64;
+        for value in stream {
+            let taken = monitor.push(value);
+            if value.is_finite() {
+                prop_assert!(taken);
+                reference.accepted.push(value);
+            } else {
+                prop_assert!(!taken, "non-finite {value} must be dropped");
+                dropped += 1;
+            }
+            prop_assert_eq!(monitor.len(), reference.tail().len());
+            prop_assert_eq!(monitor.last(), reference.tail().last().copied());
+            prop_assert_eq!(monitor.mean(), reference.mean());
+            prop_assert_eq!(monitor.stddev(), reference.stddev());
+            prop_assert_eq!(monitor.min(), reference.min());
+            prop_assert_eq!(monitor.max(), reference.max());
+        }
+        prop_assert_eq!(monitor.total_observations(), reference.accepted.len() as u64);
+        prop_assert_eq!(monitor.dropped_observations(), dropped);
+    }
+
+    /// Window 1: every statistic collapses to the latest accepted value
+    /// and the spread is exactly zero.
+    #[test]
+    fn window_one_tracks_only_the_latest_value(values in prop::collection::vec(-1e6f64..1e6, 1..32)) {
+        let mut monitor = Monitor::new(1);
+        for &v in &values {
+            monitor.push(v);
+            prop_assert_eq!(monitor.len(), 1);
+            prop_assert_eq!(monitor.last(), Some(v));
+            prop_assert_eq!(monitor.mean(), Some(v));
+            prop_assert_eq!(monitor.min(), Some(v));
+            prop_assert_eq!(monitor.max(), Some(v));
+            prop_assert_eq!(monitor.stddev(), Some(0.0));
+        }
+        prop_assert_eq!(monitor.total_observations(), values.len() as u64);
+    }
+
+    /// Saturation: the window length never exceeds its capacity, and
+    /// once saturated it stays exactly at capacity.
+    #[test]
+    fn window_saturates_at_capacity(
+        window in 1usize..=8,
+        values in prop::collection::vec(-1e6f64..1e6, 0..48),
+    ) {
+        let mut monitor = Monitor::new(window);
+        for (i, &v) in values.iter().enumerate() {
+            monitor.push(v);
+            prop_assert_eq!(monitor.len(), (i + 1).min(window));
+        }
+        // Clearing empties the window but keeps the lifetime counters.
+        monitor.clear();
+        prop_assert_eq!(monitor.len(), 0);
+        prop_assert_eq!(monitor.mean(), None);
+        prop_assert_eq!(monitor.total_observations(), values.len() as u64);
+    }
+
+    /// A stream of only non-finite values leaves the monitor empty with
+    /// every drop accounted for.
+    #[test]
+    fn all_non_finite_streams_leave_monitor_empty(
+        n in 1usize..16,
+        window in 1usize..=4,
+    ) {
+        let mut monitor = Monitor::new(window);
+        for i in 0..n {
+            let v = match i % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            prop_assert!(!monitor.push(v));
+        }
+        prop_assert!(monitor.is_empty());
+        prop_assert_eq!(monitor.mean(), None);
+        prop_assert_eq!(monitor.dropped_observations(), n as u64);
+        prop_assert_eq!(monitor.total_observations(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The online fleet in action: eight adaptive instances deploy onto a
+//! machine running hotter than the design-time platform, pool their
+//! runtime observations in a shared knowledge base, sweep the design
+//! space cooperatively, and converge onto the operating point that is
+//! genuinely best on the drifted hardware — while a global power
+//! budget is arbitrated across the fleet as instances leave.
+//!
+//! ```text
+//! cargo run --example fleet_online --release
+//! ```
+
+use margot::Rank;
+use polybench::{App, Dataset};
+use socrates::{Fleet, FleetConfig, Toolchain};
+
+fn main() {
+    let toolchain = Toolchain {
+        dataset: Dataset::Large,
+        ..Toolchain::default()
+    };
+    let enhanced = toolchain.enhance(App::TwoMm).expect("toolchain");
+
+    // Deployment drift: the deployed machine burns 40% more per-core
+    // dynamic power than the platform the DSE profiled (the idle floor
+    // is unchanged, so the drift re-orders the operating points).
+    let drifted = enhanced.platform.hotter(1.4);
+
+    let mut fleet = Fleet::new(FleetConfig::default());
+    let rank = Rank::throughput_per_watt2();
+    fleet.spawn_on(&enhanced, &rank, &drifted.machine(42), 8);
+    fleet.set_power_budget(Some(8.0 * 110.0));
+
+    println!("8-instance 2mm fleet on a hotter-than-profiled machine");
+    println!("(energy-efficient policy, global 880 W budget)");
+    println!();
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10}",
+        "t [s]", "epoch", "coverage", "power [W]", "exec [ms]"
+    );
+
+    for phase_end in [30.0, 60.0, 90.0, 120.0] {
+        fleet.run_for(30.0);
+        let (covered, total) = fleet.exploration_coverage(App::TwoMm).expect("pool");
+        // Fleet-wide means over the last 10 virtual seconds of planned
+        // (non-exploration) invocations.
+        let mut power = Vec::new();
+        let mut exec = Vec::new();
+        for id in 0..8 {
+            for s in fleet.trace(id) {
+                if s.t_start_s >= phase_end - 10.0 && !s.forced {
+                    power.push(s.power_w);
+                    exec.push(s.time_s);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:>8.0} {:>10} {:>7}/{:<4} {:>12.1} {:>10.1}",
+            phase_end,
+            fleet.knowledge_epoch(App::TwoMm).expect("pool"),
+            covered,
+            total,
+            mean(&power),
+            mean(&exec) * 1e3,
+        );
+    }
+
+    // Half the fleet shuts down; the arbiter doubles the survivors'
+    // power share and their operating points can stretch out.
+    println!();
+    println!("4 instances retire — power share doubles for the rest");
+    for id in 0..4 {
+        fleet.retire_instance(id);
+    }
+    fleet.run_for(30.0);
+    let last = fleet.trace(7);
+    let s = last.last().expect("instance 7 kept running");
+    println!(
+        "instance 7 now runs {} threads / {} at {:.1} W",
+        s.config.tn, s.config.bp, s.power_w
+    );
+
+    // The fleet's learned knowledge outlives the deployment: persist it
+    // for the next toolchain run to seed from.
+    let dir = std::env::temp_dir().join("socrates-fleet-knowledge");
+    let written = fleet.persist_learned(&dir).expect("persist");
+    println!();
+    println!("learned knowledge persisted to {}", written[0].display());
+}

@@ -1,0 +1,100 @@
+//! Fleet determinism: stepping a fleet over rayon must be
+//! **bit-identical** to the sequential reference at any thread count.
+//!
+//! Mirrors `tests/pipeline_equivalence.rs`: the parallel phase of a
+//! round only *reads* shared state; all mutation (observation merge +
+//! exploration bookkeeping) happens at the round barrier in instance
+//! order. CI re-runs this file under forced `RAYON_NUM_THREADS` values
+//! (1, 2, 8), so the identity holds at any worker count.
+
+use margot::{Metric, Rank};
+use polybench::{App, Dataset};
+use socrates::{EnhancedApp, Fleet, FleetConfig, Toolchain};
+
+fn quick_enhanced(app: App) -> EnhancedApp {
+    // Medium keeps kernel invocations ~50 ms of virtual time, so a
+    // 10-virtual-second fleet run is a few hundred rounds, not tens of
+    // thousands (Small kernels run in under a millisecond).
+    Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+    .enhance(app)
+    .unwrap()
+}
+
+fn build_fleet(parallel_step: bool, enhanced: &EnhancedApp) -> Fleet {
+    let mut fleet = Fleet::new(FleetConfig {
+        parallel_step,
+        exploration_interval: 2,
+        ..FleetConfig::default()
+    });
+    fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, 8);
+    fleet.set_power_budget(Some(8.0 * 85.0));
+    fleet
+}
+
+#[test]
+fn parallel_fleet_is_bit_identical_to_serial_reference() {
+    let enhanced = quick_enhanced(App::TwoMm);
+    let mut parallel = build_fleet(true, &enhanced);
+    let mut serial = build_fleet(false, &enhanced);
+    parallel.run_for(10.0);
+    serial.run_for(10.0);
+    assert_eq!(parallel.rounds(), serial.rounds());
+    for id in 0..8 {
+        assert_eq!(
+            parallel.trace(id),
+            serial.trace(id),
+            "instance {id}: parallel trace != serial trace"
+        );
+    }
+    assert_eq!(
+        parallel.knowledge_epoch(App::TwoMm),
+        serial.knowledge_epoch(App::TwoMm)
+    );
+    assert_eq!(
+        parallel.learned_knowledge(App::TwoMm),
+        serial.learned_knowledge(App::TwoMm),
+        "final shared knowledge must be identical"
+    );
+    assert_eq!(
+        parallel.exploration_coverage(App::TwoMm),
+        serial.exploration_coverage(App::TwoMm)
+    );
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let enhanced = quick_enhanced(App::TwoMm);
+    let mut a = build_fleet(true, &enhanced);
+    let mut b = build_fleet(true, &enhanced);
+    a.run_for(5.0);
+    b.run_for(5.0);
+    for id in 0..8 {
+        assert_eq!(a.trace(id), b.trace(id), "instance {id} diverged");
+    }
+    assert_eq!(
+        a.learned_knowledge(App::TwoMm),
+        b.learned_knowledge(App::TwoMm)
+    );
+}
+
+#[test]
+fn membership_changes_mid_run_stay_deterministic() {
+    let enhanced = quick_enhanced(App::TwoMm);
+    let run = |parallel_step: bool| {
+        let mut fleet = build_fleet(parallel_step, &enhanced);
+        fleet.run_for(3.0);
+        fleet.retire_instance(2);
+        let late = fleet.add_instance(
+            enhanced.clone(),
+            Rank::minimize(Metric::exec_time()),
+            enhanced.platform.machine(4242),
+        );
+        fleet.run_for(3.0);
+        (0..=late).map(|id| fleet.trace(id)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(true), run(false));
+}

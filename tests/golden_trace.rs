@@ -1,0 +1,95 @@
+//! Golden-trace regression: a fixed-seed 300-virtual-second
+//! `AdaptiveApplication` run serialises to **byte-identical** JSON
+//! against the checked-in file under `tests/golden/`, pinning both the
+//! runtime's determinism and the `TraceSample` serde schema (field
+//! names, field order, float formatting).
+//!
+//! Regenerate after an *intentional* schema or model change with:
+//!
+//! ```sh
+//! SOCRATES_REGEN_GOLDEN=1 cargo test -p socrates-suite --test golden_trace
+//! ```
+
+use margot::Rank;
+use polybench::{App, Dataset};
+use socrates::{AdaptiveApplication, Toolchain, TraceSample};
+use std::path::PathBuf;
+
+const GOLDEN_RELPATH: &str = "tests/golden/twomm_300s_trace.json";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_RELPATH)
+}
+
+/// The pinned scenario: 2mm, paper-scale Large dataset, one DSE
+/// repetition, machine seed 1234, energy-efficient rank, 300 virtual
+/// seconds (the paper's Fig. 5 horizon).
+fn golden_trace() -> Vec<TraceSample> {
+    let toolchain = Toolchain {
+        dataset: Dataset::Large,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    };
+    let enhanced = toolchain.enhance(App::TwoMm).expect("enhance 2mm");
+    let mut app = AdaptiveApplication::new(enhanced, Rank::throughput_per_watt2(), 1234);
+    app.run_for(300.0);
+    app.trace().to_vec()
+}
+
+#[test]
+fn trace_is_byte_stable_against_the_golden_file() {
+    let trace = golden_trace();
+    let json = serde_json::to_string(&trace).expect("trace serialises");
+    let path = golden_path();
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &json).expect("write golden");
+        eprintln!("regenerated {} ({} bytes)", path.display(), json.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SOCRATES_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json.len(),
+        golden.len(),
+        "serialised trace length drifted from the golden file"
+    );
+    assert_eq!(json, golden, "trace bytes drifted from the golden file");
+}
+
+#[test]
+fn golden_file_round_trips_through_serde_byte_stably() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let parsed: Vec<TraceSample> = serde_json::from_str(&golden).expect("golden parses");
+    assert!(
+        parsed.len() > 100,
+        "300 s of 2mm must be hundreds of invocations, got {}",
+        parsed.len()
+    );
+    // Byte-stable round-trip: format(parse(golden)) == golden.
+    let reserialized = serde_json::to_string(&parsed).expect("reserialises");
+    assert_eq!(reserialized, golden);
+    // And value-stable: parse(format(parse(x))) == parse(x).
+    let reparsed: Vec<TraceSample> = serde_json::from_str(&reserialized).expect("reparses");
+    assert_eq!(reparsed, parsed);
+}
+
+#[test]
+fn golden_trace_spans_the_full_300_seconds_monotonically() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let parsed: Vec<TraceSample> = serde_json::from_str(&golden).expect("golden parses");
+    let last = parsed.last().expect("non-empty");
+    assert!(last.t_start_s < 300.0);
+    assert!(last.t_start_s + last.time_s >= 300.0);
+    for pair in parsed.windows(2) {
+        assert!(pair[1].t_start_s > pair[0].t_start_s, "time must advance");
+    }
+    assert!(
+        parsed.iter().all(|s| !s.forced),
+        "a plain AdaptiveApplication never takes exploration steps"
+    );
+}

@@ -74,7 +74,7 @@ fn scaling_study(enhanced: &EnhancedApp) {
     );
     let mut rows = Vec::new();
     for n in [1usize, 2, 4, 8, 16] {
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
         fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, n);
         let wall = Instant::now();
         fleet.run_for(60.0);
@@ -126,7 +126,8 @@ fn convergence_study(enhanced: &EnhancedApp) {
         let mut fleet = Fleet::new(FleetConfig {
             share_knowledge: share,
             ..FleetConfig::default()
-        });
+        })
+        .expect("valid fleet config");
         let base = drifted.machine(7);
         fleet.spawn_on(enhanced, &Rank::throughput_per_watt2(), &base, INSTANCES);
         fleet.run_for(HORIZON_S);
@@ -218,7 +219,7 @@ fn arbiter_study(enhanced: &EnhancedApp) {
     let drifted = enhanced.platform.hotter(DRIFT_FACTOR);
     let budget = 8.0 * 80.0;
     println!("── Power-budget arbitration (global {budget} W, minimize exec time) ──");
-    let mut fleet = Fleet::new(FleetConfig::default());
+    let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
     let base = drifted.machine(7);
     fleet.spawn_on(enhanced, &Rank::minimize(Metric::exec_time()), &base, 8);
     fleet.set_power_budget(Some(budget));

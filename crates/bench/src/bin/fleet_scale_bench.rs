@@ -1,0 +1,144 @@
+//! Fleet scaling experiment: the sharded, incrementally-refreshed
+//! knowledge layer against the single-mutex / full-rebuild baseline.
+//!
+//! For each fleet size N the same deployment is stepped for a fixed
+//! number of synchronized rounds in two modes:
+//!
+//! - **baseline** — `knowledge_shards = 1`, `incremental_refresh =
+//!   false`: every publish serialises on one global lock, every epoch
+//!   move rebuilds the pool's effective knowledge from scratch and
+//!   every instance re-clones the full knowledge before its next step
+//!   (the pre-sharding behaviour).
+//! - **sharded** — the defaults: config-hash lock shards, one lock
+//!   acquisition per shard per round (batched barrier merge), dirty
+//!   points patched incrementally into the pool cache, instances
+//!   adopting [`margot::KnowledgeDelta`]s.
+//!
+//! Both modes are bit-identical in output (pinned by
+//! `tests/fleet_equivalence.rs` and re-asserted here on the learned
+//! knowledge), so the comparison is pure overhead. Numbers land in
+//! `results/fleet_scale.json` and BENCH.md.
+//!
+//! The design knowledge is subsampled to [`KNOWLEDGE_POINTS`] points so
+//! the AS-RTM planning cost (linear in points, identical in both
+//! modes) does not drown the knowledge-layer cost being measured at
+//! N = 4096.
+//!
+//! Run with `cargo run -p socrates-bench --bin fleet_scale_bench
+//! --release` (`--smoke` for the small-N CI smoke configuration).
+
+use margot::{Knowledge, Rank};
+use polybench::{App, Dataset};
+use serde::Serialize;
+use socrates::{EnhancedApp, Fleet, FleetConfig, Toolchain};
+use std::time::Instant;
+
+/// Design-knowledge subsample handed to every instance.
+const KNOWLEDGE_POINTS: usize = 64;
+/// Synchronized rounds timed per (N, mode) cell.
+const ROUNDS: usize = 12;
+
+#[derive(Serialize)]
+struct ScaleRow {
+    mode: String,
+    instances: usize,
+    rounds: usize,
+    knowledge_points: usize,
+    knowledge_shards: usize,
+    total_steps: usize,
+    mean_round_wall_ms: f64,
+    publish_throughput_obs_per_s: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[16, 64]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let enhanced = subsampled_enhanced();
+    println!(
+        "Fleet knowledge-layer scaling — sharded/incremental vs single-mutex baseline\n\
+         ({KNOWLEDGE_POINTS}-point knowledge, {ROUNDS} synchronized rounds per cell)\n"
+    );
+    println!(
+        "{:>10} {:>10} {:>8} {:>18} {:>16}",
+        "instances", "mode", "shards", "round wall [ms]", "publish [obs/s]"
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut learned = Vec::new();
+        for (mode, config) in [
+            (
+                "baseline",
+                FleetConfig {
+                    knowledge_shards: 1,
+                    incremental_refresh: false,
+                    ..FleetConfig::default()
+                },
+            ),
+            ("sharded", FleetConfig::default()),
+        ] {
+            let shards = config.knowledge_shards;
+            let mut fleet = Fleet::new(config).expect("valid fleet config");
+            fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 2018, n);
+            let wall = Instant::now();
+            let mut total_steps = 0;
+            for _ in 0..ROUNDS {
+                total_steps += fleet.step_round();
+            }
+            let wall_s = wall.elapsed().as_secs_f64();
+            let row = ScaleRow {
+                mode: mode.to_string(),
+                instances: n,
+                rounds: ROUNDS,
+                knowledge_points: KNOWLEDGE_POINTS,
+                knowledge_shards: shards,
+                total_steps,
+                mean_round_wall_ms: wall_s * 1e3 / ROUNDS as f64,
+                // Every step publishes exactly one observation into the
+                // shared knowledge at the barrier.
+                publish_throughput_obs_per_s: total_steps as f64 / wall_s,
+            };
+            println!(
+                "{:>10} {:>10} {:>8} {:>18.1} {:>16.0}",
+                row.instances,
+                row.mode,
+                row.knowledge_shards,
+                row.mean_round_wall_ms,
+                row.publish_throughput_obs_per_s
+            );
+            learned.push(fleet.learned_knowledge(App::TwoMm).expect("pool exists"));
+            rows.push(row);
+        }
+        assert_eq!(
+            learned[0], learned[1],
+            "baseline and sharded modes must learn bit-identical knowledge"
+        );
+        println!();
+    }
+    socrates_bench::write_json("fleet_scale", &rows);
+}
+
+/// The 2mm deployment with its design knowledge subsampled evenly to
+/// [`KNOWLEDGE_POINTS`] operating points (the version table is keyed
+/// by (CO, BP) and stays complete, so every kept point dispatches).
+fn subsampled_enhanced() -> EnhancedApp {
+    let mut enhanced = Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+    .enhance(App::TwoMm)
+    .expect("enhance 2mm");
+    let points = enhanced.knowledge.points();
+    let stride = (points.len() / KNOWLEDGE_POINTS).max(1);
+    enhanced.knowledge = points
+        .iter()
+        .step_by(stride)
+        .take(KNOWLEDGE_POINTS)
+        .cloned()
+        .collect::<Knowledge<_>>();
+    enhanced
+}

@@ -36,6 +36,8 @@ pub enum StageId {
     Persist,
     /// Runtime version dispatch (config → clone lookup).
     Dispatch,
+    /// Deployment runtime (fleet orchestration, shared knowledge).
+    Runtime,
 }
 
 impl StageId {
@@ -49,6 +51,7 @@ impl StageId {
             StageId::Profile => "profile",
             StageId::Persist => "persist",
             StageId::Dispatch => "dispatch",
+            StageId::Runtime => "runtime",
         }
     }
 }
@@ -112,6 +115,13 @@ pub enum SocratesError {
         /// Display form of the offending configuration.
         config: String,
     },
+    /// A runtime configuration (e.g. [`crate::FleetConfig`]) is
+    /// invalid; rejected at construction instead of panicking deep
+    /// inside the runtime.
+    InvalidConfig {
+        /// What is wrong and how to fix it.
+        reason: String,
+    },
 }
 
 /// Pre-pipeline name of [`SocratesError`] (name-level alias; the
@@ -132,6 +142,7 @@ impl SocratesError {
             SocratesError::Weave { .. } => StageId::Weave,
             SocratesError::Io { .. } | SocratesError::Format { .. } => StageId::Persist,
             SocratesError::UnknownVersion { .. } => StageId::Dispatch,
+            SocratesError::InvalidConfig { .. } => StageId::Runtime,
         }
     }
 
@@ -191,6 +202,14 @@ impl SocratesError {
             config: config.to_string(),
         }
     }
+
+    /// Builds a runtime-configuration error; `reason` says what is
+    /// wrong and how to fix it.
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        SocratesError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for SocratesError {
@@ -218,6 +237,9 @@ impl fmt::Display for SocratesError {
             SocratesError::UnknownVersion { app, config } => {
                 write!(f, "{app}: configuration {config} has no compiled version")
             }
+            SocratesError::InvalidConfig { reason } => {
+                write!(f, "invalid runtime configuration: {reason}")
+            }
         }
     }
 }
@@ -231,7 +253,7 @@ impl std::error::Error for SocratesError {
             SocratesError::Weave { source, .. } => Some(source),
             SocratesError::Io { source, .. } => Some(source),
             SocratesError::Format { source, .. } => Some(source),
-            SocratesError::UnknownVersion { .. } => None,
+            SocratesError::UnknownVersion { .. } | SocratesError::InvalidConfig { .. } => None,
         }
     }
 }
@@ -285,6 +307,7 @@ mod tests {
             StageId::Profile,
             StageId::Persist,
             StageId::Dispatch,
+            StageId::Runtime,
         ];
         let set: std::collections::HashSet<_> = stages.iter().map(|s| s.as_str()).collect();
         assert_eq!(set.len(), stages.len());

@@ -23,6 +23,27 @@
 //!   evenly across active instances by adjusting each AS-RTM's power
 //!   constraint as instances join and leave.
 //!
+//! # Scaling: sharded knowledge, incremental refresh
+//!
+//! The shared knowledge is **lock-sharded** ([`SharedKnowledge`] with
+//! [`FleetConfig::knowledge_shards`] shards): publishes to different
+//! operating points contend only within a shard, and the round's
+//! observations are merged **as one batch per shard** under a single
+//! lock acquisition. The pool's barrier-time cache is refreshed
+//! **incrementally** — only the points whose effective values changed
+//! are patched in — and instances that kept up with the epoch adopt a
+//! cheap [`margot::KnowledgeDelta`] instead of cloning the whole
+//! knowledge. Set [`FleetConfig::incremental_refresh`] to `false` for
+//! the full-rebuild/full-clone reference path the equivalence tests
+//! pin the incremental path against.
+//!
+//! # Failure isolation
+//!
+//! A panic inside one instance's step no longer aborts the fleet: the
+//! panic is caught, the poisoned instance lock is recovered, and the
+//! failed instance is deactivated and counted in [`Fleet::stats`]
+//! while its power share is redistributed to the survivors.
+//!
 //! Rounds are **bit-identical at any rayon thread count**: instances
 //! only read shared state during the parallel phase, and all mutation
 //! (publish + schedule bookkeeping) happens sequentially in instance
@@ -33,12 +54,15 @@ use crate::knowledge_io::save_knowledge;
 use crate::runtime::{AdaptiveApplication, TraceSample};
 use crate::toolchain::EnhancedApp;
 use dse::ExplorationSchedule;
-use margot::{Cmp, Constraint, Knowledge, Metric, Rank, SharedKnowledge};
+use margot::{
+    Cmp, Constraint, Knowledge, KnowledgeDelta, Metric, MetricValues, Rank, SharedKnowledge,
+};
 use platform_sim::{KnobConfig, Machine};
 use polybench::App;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Priority of the constraint the power arbiter manages on each
 /// instance (higher than typical application constraints, so the global
@@ -59,10 +83,24 @@ pub struct FleetConfig {
     /// would be pure overhead.
     pub exploration_interval: u64,
     /// Sliding-window length of the shared per-point observation merge.
+    /// Must be ≥ 1 ([`FleetConfig::validate`]).
     pub knowledge_window: usize,
     /// Observations a shared point needs before its window mean
-    /// overrides the design-time expectation.
+    /// overrides the design-time expectation. Must be ≥ 1
+    /// ([`FleetConfig::validate`]).
     pub min_observations: u64,
+    /// Lock shards of each pool's [`SharedKnowledge`]. 1 reproduces the
+    /// single-mutex reference; the default
+    /// ([`margot::DEFAULT_SHARDS`]) lets concurrent publishes to
+    /// different points proceed without contention. Must be ≥ 1
+    /// ([`FleetConfig::validate`]).
+    pub knowledge_shards: usize,
+    /// Refresh the pool's barrier-time cache incrementally (patch only
+    /// the changed points; instances adopt [`margot::KnowledgeDelta`]s
+    /// when they kept up with the epoch). `false` selects the
+    /// full-rebuild/full-clone reference path — bit-identical output,
+    /// kept for equivalence tests and baseline benchmarks.
+    pub incremental_refresh: bool,
     /// Global power budget (watts) split across active instances;
     /// `None` leaves every instance unconstrained.
     pub power_budget_w: Option<f64>,
@@ -79,9 +117,52 @@ impl Default for FleetConfig {
             exploration_interval: 4,
             knowledge_window: 8,
             min_observations: 1,
+            knowledge_shards: margot::DEFAULT_SHARDS,
+            incremental_refresh: true,
             power_budget_w: None,
             parallel_step: true,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Checks the policy for values that would panic deep inside the
+    /// runtime (`knowledge_window = 0` inside [`SharedKnowledge::new`])
+    /// or be silently reinterpreted (`min_observations = 0` used to be
+    /// clamped to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-stage [`SocratesError`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), SocratesError> {
+        if self.knowledge_window == 0 {
+            return Err(SocratesError::invalid_config(
+                "knowledge_window must be >= 1: a zero-length sliding window cannot hold \
+                 any observation",
+            ));
+        }
+        if self.min_observations == 0 {
+            return Err(SocratesError::invalid_config(
+                "min_observations must be >= 1: a window mean cannot override the design-time \
+                 expectation before at least one observation exists",
+            ));
+        }
+        if self.knowledge_shards == 0 {
+            return Err(SocratesError::invalid_config(
+                "knowledge_shards must be >= 1: the shared knowledge needs at least one lock \
+                 shard (1 = the single-mutex reference)",
+            ));
+        }
+        if let Some(w) = self.power_budget_w {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(SocratesError::invalid_config(format!(
+                    "power_budget_w = {w} must be a positive, finite wattage (or None for \
+                     unconstrained instances)"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -92,22 +173,53 @@ struct Pool {
     design: Knowledge<KnobConfig>,
     shared: SharedKnowledge<KnobConfig>,
     schedule: ExplorationSchedule<KnobConfig>,
-    /// Effective-knowledge snapshot rebuilt **once per pool** at the
+    /// Effective-knowledge snapshot maintained **once per pool** at the
     /// round barrier (and only when the epoch moved); the parallel
-    /// phase hands stale instances a clone of this without touching
-    /// the pool lock.
+    /// phase hands stale instances this knowledge without touching
+    /// the pool locks.
     cache_epoch: u64,
     cache: Knowledge<KnobConfig>,
+    /// The barrier's last cache patch: instances whose epoch equals
+    /// `last_delta.from_epoch` adopt it instead of cloning the cache.
+    last_delta: Option<KnowledgeDelta<KnobConfig>>,
 }
 
 impl Pool {
-    /// Refreshes the cached snapshot if publishes moved the epoch.
-    /// Called only from barrier (sequential) code.
-    fn refresh_cache(&mut self) {
-        if self.shared.epoch() != self.cache_epoch {
+    /// Refreshes the cached snapshot. Called only from barrier
+    /// (sequential) code.
+    fn refresh_cache(&mut self, incremental: bool) {
+        if incremental {
+            // Dirty inserts are always paired with an epoch bump, so an
+            // unmoved epoch means there is nothing to drain — skip the
+            // per-shard lock sweep entirely. `last_delta` stays valid:
+            // it still lands exactly on `cache_epoch`, so instances
+            // that missed the last round keep the cheap adoption path.
+            if self.shared.epoch() == self.cache_epoch {
+                return;
+            }
+            // Patch only the points whose effective values changed
+            // since the last barrier; O(changed) instead of O(points).
+            let (to_epoch, changed) = self.shared.drain_changes();
+            if changed.is_empty() {
+                self.cache_epoch = to_epoch;
+                self.last_delta = None;
+                return;
+            }
+            let delta = KnowledgeDelta {
+                from_epoch: self.cache_epoch,
+                to_epoch,
+                changed,
+            };
+            let applied = delta.apply_to(&mut self.cache);
+            debug_assert!(applied, "pool cache descends from the pool's own design");
+            self.cache_epoch = to_epoch;
+            self.last_delta = Some(delta);
+        } else if self.shared.epoch() != self.cache_epoch {
+            // Reference path: full effective-knowledge rebuild.
             let (epoch, knowledge) = self.shared.snapshot();
             self.cache_epoch = epoch;
             self.cache = knowledge;
+            self.last_delta = None;
         }
     }
 }
@@ -122,9 +234,59 @@ struct Instance {
     /// Exploration configuration assigned for the next step.
     assigned: Option<KnobConfig>,
     active: bool,
+    /// Whether this instance was deactivated by a panic in its step
+    /// (as opposed to an orderly [`Fleet::retire_instance`]).
+    failed: bool,
+    /// The recovered panic message of a failed instance, for diagnosis
+    /// ([`Fleet::failure_reason`]).
+    failure: Option<String>,
     /// Whether the power arbiter installed a constraint on this
     /// instance (so budget removal only removes what the fleet added).
     arbited: bool,
+}
+
+/// Recovers a possibly poisoned instance lock: a panic in one
+/// instance's step poisons only that instance's mutex, and the instance
+/// is deactivated — the data under the lock stays consistent enough to
+/// read (trace, clock, energy) and must not take the fleet down.
+fn lock_instance(m: &Mutex<Instance>) -> MutexGuard<'_, Instance> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The `&mut self` counterpart of [`lock_instance`].
+fn instance_mut(m: &mut Mutex<Instance>) -> &mut Instance {
+    m.get_mut().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one instance did in a round's parallel phase.
+enum StepOutcome {
+    /// A MAPE-K (or exploration) step producing an observation. `stale`
+    /// carries an exploration assignment that could not be executed
+    /// (no compiled version) so the barrier returns it to the sweep.
+    Stepped {
+        pool: usize,
+        sample: TraceSample,
+        stale: Option<KnobConfig>,
+    },
+    /// The step panicked; the instance was deactivated. `stale` carries
+    /// its unexecuted exploration assignment, if any.
+    Failed {
+        pool: usize,
+        stale: Option<KnobConfig>,
+    },
+}
+
+/// Fleet membership and health counters (see [`Fleet::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Instances ever added (including retired and failed ones).
+    pub instances: usize,
+    /// Instances still stepping.
+    pub active: usize,
+    /// Instances deactivated by a panic inside their step.
+    pub failed: usize,
+    /// Rounds stepped so far.
+    pub rounds: u64,
 }
 
 /// A fleet of concurrently stepping adaptive-application instances
@@ -138,7 +300,7 @@ struct Instance {
 /// use polybench::App;
 ///
 /// let enhanced = Toolchain::default().enhance(App::TwoMm).unwrap();
-/// let mut fleet = Fleet::new(FleetConfig::default());
+/// let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
 /// fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 42, 8);
 /// fleet.set_power_budget(Some(8.0 * 90.0));
 /// fleet.run_for(60.0); // 60 virtual seconds of cooperative adaptation
@@ -152,19 +314,27 @@ pub struct Fleet {
 
 impl Default for Fleet {
     fn default() -> Self {
-        Fleet::new(FleetConfig::default())
+        Fleet::new(FleetConfig::default()).expect("default fleet config is valid")
     }
 }
 
 impl Fleet {
     /// An empty fleet with the given policy.
-    pub fn new(config: FleetConfig) -> Self {
-        Fleet {
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-stage [`SocratesError`] if the policy is
+    /// invalid ([`FleetConfig::validate`]) — e.g. `knowledge_window =
+    /// 0`, which would otherwise panic deep inside
+    /// [`SharedKnowledge::new`] on the first spawned instance.
+    pub fn new(config: FleetConfig) -> Result<Self, SocratesError> {
+        config.validate()?;
+        Ok(Fleet {
             config,
             pools: Vec::new(),
             instances: Vec::new(),
             rounds: 0,
-        }
+        })
     }
 
     /// The fleet policy.
@@ -186,8 +356,43 @@ impl Fleet {
     pub fn active_instances(&self) -> usize {
         self.instances
             .iter()
-            .filter(|m| m.lock().expect("instance poisoned").active)
+            .filter(|m| lock_instance(m).active)
             .count()
+    }
+
+    /// Number of instances deactivated by a panic inside their step.
+    pub fn failed_instances(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|m| lock_instance(m).failed)
+            .count()
+    }
+
+    /// The recovered panic message of a failed instance, or `None` if
+    /// the instance never failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn failure_reason(&self, id: usize) -> Option<String> {
+        lock_instance(&self.instances[id]).failure.clone()
+    }
+
+    /// Membership and health counters in one consistent read.
+    pub fn stats(&self) -> FleetStats {
+        let mut active = 0;
+        let mut failed = 0;
+        for m in &self.instances {
+            let inst = lock_instance(m);
+            active += usize::from(inst.active);
+            failed += usize::from(inst.failed);
+        }
+        FleetStats {
+            instances: self.instances.len(),
+            active,
+            failed,
+            rounds: self.rounds,
+        }
     }
 
     /// Rounds stepped so far.
@@ -203,7 +408,7 @@ impl Fleet {
         let pool = self.pool_for(&enhanced);
         let mut app = AdaptiveApplication::with_machine(enhanced, rank, machine);
         let epoch = if self.config.share_knowledge {
-            self.pools[pool].refresh_cache();
+            self.pools[pool].refresh_cache(self.config.incremental_refresh);
             app.set_knowledge(self.pools[pool].cache.clone());
             self.pools[pool].cache_epoch
         } else {
@@ -216,6 +421,8 @@ impl Fleet {
             steps: 0,
             assigned: None,
             active: true,
+            failed: false,
+            failure: None,
             arbited: false,
         }));
         self.rebalance_power();
@@ -268,7 +475,7 @@ impl Fleet {
     ///
     /// Panics if `id` is out of range.
     pub fn retire_instance(&mut self, id: usize) -> bool {
-        let inst = self.instances[id].get_mut().expect("instance poisoned");
+        let inst = instance_mut(&mut self.instances[id]);
         if !inst.active {
             return false;
         }
@@ -290,6 +497,12 @@ impl Fleet {
     /// The arbiter *owns* each instance's power constraint: do not add
     /// your own constraint on [`Metric::power`] to fleet members while
     /// a budget is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive and finite (use
+    /// [`FleetConfig::validate`] to reject such budgets with an error
+    /// instead).
     pub fn set_power_budget(&mut self, budget_w: Option<f64>) {
         if let Some(w) = budget_w {
             assert!(
@@ -318,7 +531,7 @@ impl Fleet {
         let due: Vec<bool> = self
             .instances
             .iter_mut()
-            .map(|m| m.get_mut().expect("instance poisoned").active)
+            .map(|m| instance_mut(m).active)
             .collect();
         self.round_with(&due)
     }
@@ -336,7 +549,7 @@ impl Fleet {
             .instances
             .iter_mut()
             .map(|m| {
-                let inst = m.get_mut().expect("instance poisoned");
+                let inst = instance_mut(m);
                 inst.app.now_s() + duration_s
             })
             .collect();
@@ -346,7 +559,7 @@ impl Fleet {
                 .iter_mut()
                 .zip(&deadlines)
                 .map(|(m, &deadline)| {
-                    let inst = m.get_mut().expect("instance poisoned");
+                    let inst = instance_mut(m);
                     inst.active && inst.app.now_s() < deadline
                 })
                 .collect();
@@ -363,12 +576,7 @@ impl Fleet {
     ///
     /// Panics if `id` is out of range.
     pub fn trace(&self, id: usize) -> Vec<TraceSample> {
-        self.instances[id]
-            .lock()
-            .expect("instance poisoned")
-            .app
-            .trace()
-            .to_vec()
+        lock_instance(&self.instances[id]).app.trace().to_vec()
     }
 
     /// Virtual time of instance `id`, seconds.
@@ -377,11 +585,7 @@ impl Fleet {
     ///
     /// Panics if `id` is out of range.
     pub fn now_s(&self, id: usize) -> f64 {
-        self.instances[id]
-            .lock()
-            .expect("instance poisoned")
-            .app
-            .now_s()
+        lock_instance(&self.instances[id]).app.now_s()
     }
 
     /// Total energy drawn by instance `id`, joules.
@@ -390,11 +594,7 @@ impl Fleet {
     ///
     /// Panics if `id` is out of range.
     pub fn energy_j(&self, id: usize) -> f64 {
-        self.instances[id]
-            .lock()
-            .expect("instance poisoned")
-            .app
-            .energy_j()
+        lock_instance(&self.instances[id]).app.energy_j()
     }
 
     /// Runs `f` against instance `id`'s adaptive application (e.g. to
@@ -408,7 +608,7 @@ impl Fleet {
         id: usize,
         f: impl FnOnce(&mut AdaptiveApplication) -> R,
     ) -> R {
-        f(&mut self.instances[id].get_mut().expect("instance poisoned").app)
+        f(&mut instance_mut(&mut self.instances[id]).app)
     }
 
     /// The current merged (online) knowledge for `app`, or `None` if no
@@ -422,8 +622,8 @@ impl Fleet {
             .map(|p| p.shared.knowledge())
     }
 
-    /// The shared-knowledge epoch for `app` (how many observations the
-    /// fleet has merged), or `None` if unknown.
+    /// The shared-knowledge epoch for `app` (how many publishes changed
+    /// an effective value), or `None` if unknown.
     pub fn knowledge_epoch(&self, app: App) -> Option<u64> {
         self.pools
             .iter()
@@ -496,10 +696,12 @@ impl Fleet {
             app: enhanced.app,
             design: enhanced.knowledge.clone(),
             shared: SharedKnowledge::new(enhanced.knowledge.clone(), self.config.knowledge_window)
-                .with_min_observations(self.config.min_observations),
+                .with_min_observations(self.config.min_observations)
+                .with_shards(self.config.knowledge_shards),
             schedule: ExplorationSchedule::new(configs),
             cache_epoch: 0,
             cache: enhanced.knowledge.clone(),
+            last_delta: None,
         });
         self.pools.len() - 1
     }
@@ -509,7 +711,7 @@ impl Fleet {
         let active = self
             .instances
             .iter_mut()
-            .map(|m| m.get_mut().expect("instance poisoned").active)
+            .map(|m| instance_mut(m).active)
             .filter(|&a| a)
             .count();
         let share = match self.config.power_budget_w {
@@ -517,7 +719,7 @@ impl Fleet {
             _ => None,
         };
         for m in &mut self.instances {
-            let inst = m.get_mut().expect("instance poisoned");
+            let inst = instance_mut(m);
             if !inst.active {
                 continue;
             }
@@ -563,7 +765,7 @@ impl Fleet {
                     continue;
                 }
                 let (pool, explore) = {
-                    let inst = self.instances[id].get_mut().expect("instance poisoned");
+                    let inst = instance_mut(&mut self.instances[id]);
                     if !inst.active {
                         continue;
                     }
@@ -571,10 +773,7 @@ impl Fleet {
                 };
                 if explore {
                     let assigned = self.pools[pool].schedule.next_unexplored();
-                    self.instances[id]
-                        .get_mut()
-                        .expect("instance poisoned")
-                        .assigned = assigned;
+                    instance_mut(&mut self.instances[id]).assigned = assigned;
                 }
             }
         }
@@ -582,39 +781,89 @@ impl Fleet {
         let pools = &self.pools;
         let config = &self.config;
         let instances = &self.instances;
-        let step_one = |id: usize| -> Option<(usize, TraceSample)> {
+        let step_one = |id: usize| -> Option<StepOutcome> {
             if !due[id] {
                 return None;
             }
-            let mut inst = instances[id].lock().expect("instance poisoned");
-            if !inst.active {
-                return None;
-            }
-            if config.share_knowledge {
-                // Epoch probe against the pool's barrier-time cache:
-                // no lock and no per-instance snapshot rebuild; the
-                // clone only happens when the fleet actually learned
-                // something since this instance last synced. In steady
-                // state every round publishes, so this is one knowledge
-                // clone per instance per round — the price of always
-                // planning on fresh expectations.
-                let pool = &pools[inst.pool];
-                if pool.cache_epoch != inst.epoch {
-                    inst.app.set_knowledge(pool.cache.clone());
-                    inst.epoch = pool.cache_epoch;
+            // One instance's panic must not take the fleet down: catch
+            // it, recover the (now poisoned) lock and deactivate the
+            // instance; survivors keep stepping.
+            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                let mut inst = lock_instance(&instances[id]);
+                if !inst.active {
+                    return None;
+                }
+                if config.share_knowledge {
+                    // Epoch probe against the pool's barrier-time
+                    // cache: no pool lock and no per-instance snapshot
+                    // rebuild. An instance that kept up with the epoch
+                    // adopts the barrier's delta (patching only the
+                    // changed points); one that skipped rounds — or the
+                    // full-refresh reference path — clones the cache.
+                    let pool = &pools[inst.pool];
+                    if pool.cache_epoch != inst.epoch {
+                        let patched = pool.last_delta.as_ref().is_some_and(|d| {
+                            d.from_epoch == inst.epoch
+                                && d.to_epoch == pool.cache_epoch
+                                && inst.app.apply_knowledge_delta(d)
+                        });
+                        if !patched {
+                            inst.app.set_knowledge(pool.cache.clone());
+                        }
+                        inst.epoch = pool.cache_epoch;
+                    }
+                }
+                // Cloned, not taken: if the step panics mid-flight the
+                // assignment survives in `inst.assigned` for the
+                // failure path to return to the sweep.
+                let (sample, stale) = match inst.assigned.clone() {
+                    // A stale assignment (e.g. a configuration with no
+                    // compiled version after a knowledge refresh) falls
+                    // back to a normal AS-RTM step instead of aborting;
+                    // the barrier returns the config to the sweep so
+                    // coverage is not over-reported.
+                    Some(cfg) => match inst.app.step_forced(cfg.clone()) {
+                        Ok(sample) => (sample, None),
+                        Err(_) => (inst.app.step(), Some(cfg)),
+                    },
+                    None => (inst.app.step(), None),
+                };
+                inst.assigned = None;
+                inst.steps += 1;
+                Some(StepOutcome::Stepped {
+                    pool: inst.pool,
+                    sample,
+                    stale,
+                })
+            }));
+            match stepped {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    // Keep the panic message: an operator seeing a
+                    // failed instance in the stats needs to know why
+                    // it died (this also preserves evidence should the
+                    // panic be a fleet bug rather than an instance
+                    // bug).
+                    let reason = payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let mut inst = lock_instance(&instances[id]);
+                    inst.active = false;
+                    inst.failed = true;
+                    inst.failure = Some(reason);
+                    // An assignment the panicking step never consumed
+                    // goes back to the sweep at the barrier.
+                    let stale = inst.assigned.take();
+                    Some(StepOutcome::Failed {
+                        pool: inst.pool,
+                        stale,
+                    })
                 }
             }
-            let sample = match inst.assigned.take() {
-                Some(cfg) => inst
-                    .app
-                    .step_forced(cfg)
-                    .expect("exploration configs come from the pool's own knowledge"),
-                None => inst.app.step(),
-            };
-            inst.steps += 1;
-            Some((inst.pool, sample))
         };
-        let stepped: Vec<Option<(usize, TraceSample)>> = if self.config.parallel_step {
+        let stepped: Vec<Option<StepOutcome>> = if self.config.parallel_step {
             (0..self.instances.len())
                 .into_par_iter()
                 .map(step_one)
@@ -623,20 +872,62 @@ impl Fleet {
             (0..self.instances.len()).map(step_one).collect()
         };
 
+        // The barrier: group the round's observations by pool in
+        // instance order, merge each pool's batch with one lock
+        // acquisition per knowledge shard, then refresh each pool's
+        // cache incrementally from the changed points.
         let mut steps = 0;
-        for (pool, sample) in stepped.into_iter().flatten() {
-            steps += 1;
-            if self.config.share_knowledge {
-                let pool = &mut self.pools[pool];
-                pool.shared
-                    .publish(&sample.config, &sample.observed_metrics());
-                pool.schedule.mark_explored(&sample.config);
+        let mut any_failed = false;
+        let mut per_pool: Vec<Vec<(KnobConfig, MetricValues)>> =
+            (0..self.pools.len()).map(|_| Vec::new()).collect();
+        let mut requeues: Vec<Vec<KnobConfig>> =
+            (0..self.pools.len()).map(|_| Vec::new()).collect();
+        for outcome in stepped.into_iter().flatten() {
+            match outcome {
+                StepOutcome::Stepped {
+                    pool,
+                    sample,
+                    stale,
+                } => {
+                    steps += 1;
+                    if self.config.share_knowledge {
+                        let observed = sample.observed_metrics();
+                        per_pool[pool].push((sample.config, observed));
+                    }
+                    if let Some(cfg) = stale {
+                        requeues[pool].push(cfg);
+                    }
+                }
+                StepOutcome::Failed { pool, stale } => {
+                    any_failed = true;
+                    if let Some(cfg) = stale {
+                        requeues[pool].push(cfg);
+                    }
+                }
             }
         }
         if self.config.share_knowledge {
-            for pool in &mut self.pools {
-                pool.refresh_cache();
+            for ((pool, batch), requeue) in self.pools.iter_mut().zip(&per_pool).zip(&requeues) {
+                // Unexecuted assignments rejoin the sweep *before* this
+                // round's organic coverage is folded in: a config
+                // another instance genuinely observed this round stays
+                // covered.
+                for cfg in requeue {
+                    pool.schedule.requeue(cfg);
+                }
+                if !batch.is_empty() {
+                    pool.shared
+                        .publish_batch(batch.iter().map(|(config, m)| (config, m)));
+                    pool.schedule
+                        .mark_explored_batch(batch.iter().map(|(config, _)| config));
+                }
+                pool.refresh_cache(self.config.incremental_refresh);
             }
+        }
+        if any_failed {
+            // Failed instances leave the fleet like retirees: the
+            // survivors inherit their power share.
+            self.rebalance_power();
         }
         self.rounds += 1;
         steps
@@ -663,10 +954,14 @@ mod tests {
         Rank::throughput_per_watt2()
     }
 
+    fn fleet_with(config: FleetConfig) -> Fleet {
+        Fleet::new(config).expect("valid fleet config")
+    }
+
     #[test]
     fn spawn_boots_instances_with_independent_noise() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         let ids = fleet.spawn(&enhanced, &rank(), 7, 3);
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(fleet.active_instances(), 3);
@@ -679,7 +974,7 @@ mod tests {
     #[test]
     fn observations_propagate_through_shared_knowledge() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&enhanced, &rank(), 3, 2);
         assert_eq!(fleet.knowledge_epoch(App::TwoMm), Some(0));
         let steps = fleet.step_round();
@@ -693,9 +988,161 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_are_rejected_at_construction() {
+        let zero_window = Fleet::new(FleetConfig {
+            knowledge_window: 0,
+            ..FleetConfig::default()
+        });
+        let err = zero_window.err().expect("zero window must be rejected");
+        assert_eq!(err.stage(), crate::error::StageId::Runtime);
+        assert!(err.to_string().contains("knowledge_window"), "{err}");
+
+        let zero_min_obs = Fleet::new(FleetConfig {
+            min_observations: 0,
+            ..FleetConfig::default()
+        });
+        let err = zero_min_obs
+            .err()
+            .expect("zero min_observations must be rejected, not clamped");
+        assert!(err.to_string().contains("min_observations"), "{err}");
+
+        let zero_shards = Fleet::new(FleetConfig {
+            knowledge_shards: 0,
+            ..FleetConfig::default()
+        });
+        let err = zero_shards.err().expect("zero shards must be rejected");
+        assert!(err.to_string().contains("knowledge_shards"), "{err}");
+
+        let bad_budget = Fleet::new(FleetConfig {
+            power_budget_w: Some(-3.0),
+            ..FleetConfig::default()
+        });
+        let err = bad_budget.err().expect("negative budget must be rejected");
+        assert!(err.to_string().contains("power_budget_w"), "{err}");
+    }
+
+    #[test]
+    fn a_panicking_instance_is_deactivated_not_fatal() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        // Knowledge sharing off: with it on, the adoption path would
+        // repair the emptied knowledge before the step could panic.
+        let mut fleet = fleet_with(FleetConfig {
+            share_knowledge: false,
+            ..FleetConfig::default()
+        });
+        fleet.spawn(&enhanced, &rank(), 3, 3);
+        fleet.set_power_budget(Some(300.0));
+        assert_eq!(fleet.power_share_w(), Some(100.0));
+        fleet.step_round();
+        // Emptying the knowledge makes the next plan step panic inside
+        // the MAPE-K loop ("toolchain produced non-empty knowledge") —
+        // a deterministic stand-in for any instance-level bug.
+        fleet.with_instance_mut(0, |app| app.set_knowledge(Knowledge::new()));
+        let steps = fleet.step_round();
+        assert_eq!(steps, 2, "the two healthy instances keep stepping");
+        let stats = fleet.stats();
+        assert_eq!(stats.instances, 3);
+        assert_eq!(stats.active, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(fleet.failed_instances(), 1);
+        // The recovered panic message is kept for diagnosis.
+        let reason = fleet.failure_reason(0).expect("failure recorded");
+        assert!(reason.contains("non-empty knowledge"), "{reason}");
+        assert_eq!(fleet.failure_reason(1), None);
+        // The failed instance's power share went back into the pot.
+        assert_eq!(fleet.power_share_w(), Some(150.0));
+        // The fleet keeps running; the failed instance's trace is
+        // frozen but still readable through its recovered lock.
+        let frozen = fleet.trace(0).len();
+        fleet.run_for(0.5);
+        assert_eq!(fleet.trace(0).len(), frozen);
+        assert!(fleet.trace(1).len() > 1);
+    }
+
+    #[test]
+    fn stale_exploration_assignment_falls_back_to_a_planned_step() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = fleet_with(FleetConfig {
+            exploration_interval: 1, // every step explores
+            ..FleetConfig::default()
+        });
+        // A doctored twin: same app and design knowledge (so it joins
+        // the same pool and the same exploration schedule) but its
+        // version table lost the second enumeration entry — the config
+        // the schedule will assign to instance 1 in round one has no
+        // compiled version, exactly the shape of a stale assignment.
+        let mut doctored = enhanced.clone();
+        let missing = enhanced.knowledge.points()[1].config.clone();
+        doctored
+            .versions
+            .retain(|(co, bp)| !(*co == missing.co && *bp == missing.bp));
+        assert!(doctored.try_version_of(&missing).is_err());
+        fleet.add_instance(enhanced.clone(), rank(), enhanced.platform.machine(1));
+        fleet.add_instance(doctored, rank(), enhanced.platform.machine(2));
+        let steps = fleet.step_round();
+        assert_eq!(steps, 2, "the stale assignment must not panic");
+        let trace = fleet.trace(1);
+        assert_eq!(trace.len(), 1);
+        assert!(
+            !trace[0].forced,
+            "the fallback is a normal AS-RTM step, not the stale exploration"
+        );
+        assert_eq!(fleet.failed_instances(), 0);
+        // The unexecuted config went back into the sweep: coverage
+        // counts only what was actually observed (instance 0's forced
+        // config + the two organic fallback/planned selections), and
+        // the requeued config stays available for a later retry at the
+        // back of the enumeration order (it is never starved out nor
+        // over-reported).
+        let (covered, total) = fleet.exploration_coverage(App::TwoMm).unwrap();
+        assert!(covered <= 3, "unexecuted assignment counted as covered");
+        assert!(covered < total);
+    }
+
+    #[test]
+    fn empty_observations_do_not_spin_the_epoch() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = fleet_with(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 2);
+        fleet.step_round();
+        let epoch = fleet.knowledge_epoch(App::TwoMm).unwrap();
+        // Publishing an empty bundle directly against the pool's shared
+        // knowledge is accepted but changes nothing — no epoch bump,
+        // so no fleet-wide snapshot adoption is triggered.
+        let learned = fleet.learned_knowledge(App::TwoMm).unwrap();
+        let pool = &fleet.pools[0];
+        let config = learned.points()[0].config.clone();
+        assert!(pool.shared.publish(&config, &MetricValues::new()));
+        assert_eq!(fleet.knowledge_epoch(App::TwoMm), Some(epoch));
+    }
+
+    #[test]
+    fn incremental_and_full_refresh_agree() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let run = |incremental_refresh: bool, knowledge_shards: usize| {
+            let mut fleet = fleet_with(FleetConfig {
+                incremental_refresh,
+                knowledge_shards,
+                ..FleetConfig::default()
+            });
+            fleet.spawn(&enhanced, &rank(), 3, 4);
+            fleet.run_for(2.0);
+            let traces: Vec<_> = (0..4).map(|id| fleet.trace(id)).collect();
+            (
+                traces,
+                fleet.learned_knowledge(App::TwoMm).unwrap(),
+                fleet.knowledge_epoch(App::TwoMm).unwrap(),
+            )
+        };
+        let incremental = run(true, margot::DEFAULT_SHARDS);
+        let reference = run(false, 1);
+        assert_eq!(incremental, reference);
+    }
+
+    #[test]
     fn frozen_fleet_never_touches_the_shared_knowledge() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig {
+        let mut fleet = fleet_with(FleetConfig {
             share_knowledge: false,
             ..FleetConfig::default()
         });
@@ -711,7 +1158,7 @@ mod tests {
     #[test]
     fn cooperative_exploration_covers_distinct_configs() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig {
+        let mut fleet = fleet_with(FleetConfig {
             exploration_interval: 1, // every step explores
             ..FleetConfig::default()
         });
@@ -729,7 +1176,7 @@ mod tests {
     #[test]
     fn power_budget_splits_and_rebalances_on_membership_changes() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&enhanced, &rank(), 3, 4);
         fleet.set_power_budget(Some(400.0));
         assert_eq!(fleet.power_share_w(), Some(100.0));
@@ -748,7 +1195,7 @@ mod tests {
     #[test]
     fn power_budget_constrains_selected_points() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig {
+        let mut fleet = fleet_with(FleetConfig {
             exploration_interval: 0, // pure AS-RTM selection
             ..FleetConfig::default()
         });
@@ -770,7 +1217,7 @@ mod tests {
     #[test]
     fn retired_instances_stop_stepping() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&enhanced, &rank(), 3, 2);
         fleet.step_round();
         fleet.retire_instance(0);
@@ -778,12 +1225,14 @@ mod tests {
         assert_eq!(fleet.step_round(), 1, "only instance 1 steps");
         assert_eq!(fleet.trace(0).len(), frozen_len);
         assert_eq!(fleet.active_instances(), 1);
+        // An orderly retirement is not a failure.
+        assert_eq!(fleet.failed_instances(), 0);
     }
 
     #[test]
     fn late_joiners_inherit_the_learned_knowledge() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&enhanced, &rank(), 3, 2);
         fleet.run_for(2.0);
         let learned = fleet.learned_knowledge(App::TwoMm).unwrap();
@@ -797,7 +1246,7 @@ mod tests {
     fn mixed_app_fleet_keeps_separate_pools() {
         let twomm = quick_enhanced(App::TwoMm);
         let mvt = quick_enhanced(App::Mvt);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&twomm, &rank(), 3, 2);
         fleet.spawn(&mvt, &rank(), 3, 2);
         fleet.run_for(1.0);
@@ -811,7 +1260,7 @@ mod tests {
     #[test]
     fn persist_learned_round_trips_through_knowledge_io() {
         let enhanced = quick_enhanced(App::TwoMm);
-        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut fleet = fleet_with(FleetConfig::default());
         fleet.spawn(&enhanced, &rank(), 3, 2);
         fleet.run_for(1.0);
         let dir = std::env::temp_dir().join(format!("socrates-fleet-{}", std::process::id()));

@@ -72,7 +72,7 @@ pub use artifact::{
     WeavedProgram, KNOWLEDGE_FORMAT_VERSION,
 };
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
-pub use fleet::{Fleet, FleetConfig, FLEET_POWER_PRIORITY};
+pub use fleet::{Fleet, FleetConfig, FleetStats, FLEET_POWER_PRIORITY};
 pub use knowledge_io::{knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge};
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;

@@ -131,6 +131,19 @@ impl AdaptiveApplication {
         self.manager.set_knowledge(knowledge);
     }
 
+    /// Adopts refreshed knowledge *incrementally*: patches only the
+    /// points a [`margot::KnowledgeDelta`] says changed — the cheap
+    /// adoption path a fleet instance takes when it kept up with the
+    /// shared knowledge epoch. Bit-identical to
+    /// [`set_knowledge`](Self::set_knowledge) with the delta's target
+    /// snapshot. Returns `false` (and changes nothing) if the delta
+    /// does not line up with the current knowledge; the caller must
+    /// fall back to a full snapshot.
+    #[must_use]
+    pub fn apply_knowledge_delta(&mut self, delta: &margot::KnowledgeDelta<KnobConfig>) -> bool {
+        self.manager.apply_knowledge_delta(delta)
+    }
+
     /// Switches the optimisation rank (Fig. 5 requirement change).
     pub fn set_rank(&mut self, rank: Rank) {
         self.manager.set_rank(rank);

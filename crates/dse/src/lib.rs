@@ -269,6 +269,52 @@ impl<K: Clone + Eq + std::hash::Hash> ExplorationSchedule<K> {
         self.swept.insert(config.clone())
     }
 
+    /// Returns a handed-out configuration to the unexplored set — the
+    /// coordinator calls this when an assignment was *not* executed
+    /// after all (the assignee failed mid-step, or the configuration
+    /// turned out stale for it), so the sweep neither over-reports
+    /// coverage nor leaves a permanent hole in the design space. The
+    /// configuration moves to the **back** of the enumeration order:
+    /// the sweep keeps making progress on fresh configurations first,
+    /// and the retry lands on whichever instance draws it next instead
+    /// of bouncing straight back to the one that just failed it.
+    /// Returns `false` for unknown or currently-unexplored
+    /// configurations.
+    pub fn requeue(&mut self, config: &K) -> bool {
+        if !self.swept.remove(config) {
+            return false;
+        }
+        let pos = self
+            .configs
+            .iter()
+            .position(|c| c == config)
+            .expect("swept configs are known");
+        let moved = self.configs.remove(pos);
+        self.configs.push(moved);
+        if pos < self.cursor {
+            // Everything after `pos` shifted left by one; the requeued
+            // config now sits at the end, ahead of the cursor again.
+            self.cursor -= 1;
+        }
+        true
+    }
+
+    /// Records organic coverage of a whole batch of configurations —
+    /// e.g. everything a fleet round executed — in one call at a round
+    /// barrier; returns how many were previously unexplored. Order-
+    /// insensitive for coverage, but callers wanting deterministic
+    /// bookkeeping should pass a deterministically ordered batch.
+    pub fn mark_explored_batch<'a, I>(&mut self, configs: I) -> usize
+    where
+        K: 'a,
+        I: IntoIterator<Item = &'a K>,
+    {
+        configs
+            .into_iter()
+            .filter(|config| self.mark_explored(config))
+            .count()
+    }
+
     /// Configurations in the schedule.
     pub fn total(&self) -> usize {
         self.configs.len()
@@ -435,6 +481,40 @@ mod tests {
         assert_eq!(s.next_unexplored(), Some(1));
         assert_eq!(s.next_unexplored(), Some(3), "2 was covered organically");
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn requeue_returns_a_config_to_the_back_of_the_sweep() {
+        let mut s = ExplorationSchedule::new(vec![1u32, 2, 3]);
+        assert_eq!(s.next_unexplored(), Some(1));
+        assert_eq!(s.next_unexplored(), Some(2));
+        // Config 2 was handed out but never executed: it rejoins the
+        // sweep at the back, so fresh configs keep priority.
+        assert!(s.requeue(&2));
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_unexplored(), Some(3));
+        assert_eq!(s.next_unexplored(), Some(2), "retried after the rest");
+        assert!(s.is_complete());
+        // Unknown or currently-unexplored configs are not requeued.
+        assert!(!s.requeue(&99));
+        let mut fresh = ExplorationSchedule::new(vec![1u32]);
+        assert!(!fresh.requeue(&1));
+    }
+
+    #[test]
+    fn requeued_configs_cycle_instead_of_starving_the_sweep() {
+        // A config one assignee keeps failing is retried after every
+        // other config, and a sweep where it is the only one left keeps
+        // offering it (the honest "still unexplored" state).
+        let mut s = ExplorationSchedule::new(vec![1u32, 2]);
+        assert_eq!(s.next_unexplored(), Some(1));
+        assert!(s.requeue(&1));
+        assert_eq!(s.next_unexplored(), Some(2));
+        assert_eq!(s.next_unexplored(), Some(1), "offered again at the back");
+        assert!(s.requeue(&1));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next_unexplored(), Some(1), "last one keeps retrying");
+        assert!(s.is_complete());
     }
 
     #[test]

@@ -46,6 +46,19 @@ impl<K: Clone + PartialEq> AsRtm<K> {
         self.knowledge = knowledge;
     }
 
+    /// Patches only the changed operating points of a
+    /// [`crate::KnowledgeDelta`] into the knowledge base — equivalent
+    /// to [`set_knowledge`](Self::set_knowledge) with the full target
+    /// snapshot, without cloning the unchanged points. Returns `false`
+    /// (and changes nothing) if the delta does not line up with this
+    /// knowledge; the caller must fall back to a full snapshot. The
+    /// caller must also verify the knowledge is at the delta's
+    /// `from_epoch` — see [`crate::KnowledgeDelta::apply_to`].
+    #[must_use]
+    pub fn apply_knowledge_delta(&mut self, delta: &crate::KnowledgeDelta<K>) -> bool {
+        delta.apply_to(&mut self.knowledge)
+    }
+
     /// The active rank.
     pub fn rank(&self) -> &Rank {
         &self.rank

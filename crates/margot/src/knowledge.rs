@@ -58,6 +58,17 @@ impl<K> Knowledge<K> {
         &self.points
     }
 
+    /// Replaces the point at `pos` in place — the primitive behind
+    /// incremental knowledge refresh ([`crate::KnowledgeDelta`] patches
+    /// only the changed points instead of rebuilding the whole base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn patch_point(&mut self, pos: usize, point: OperatingPoint<K>) {
+        self.points[pos] = point;
+    }
+
     /// Number of operating points.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -21,7 +21,10 @@
 //! - **Online knowledge** — [`SharedKnowledge`]: a thread-safe,
 //!   epoch-versioned knowledge base that merges runtime observations
 //!   from many deployed instances (windowed means per point), the
-//!   paper's online crowdsourcing loop.
+//!   paper's online crowdsourcing loop. Lock-sharded for concurrent
+//!   publishes, with per-shard dirty tracking so coordinators refresh
+//!   caches incrementally and ship [`KnowledgeDelta`]s instead of full
+//!   clones.
 //!
 //! ## Example
 //!
@@ -67,5 +70,5 @@ pub use manager::{ApplicationManager, DEFAULT_MONITOR_WINDOW};
 pub use metric::{Metric, MetricValues};
 pub use monitor::Monitor;
 pub use requirements::{Cmp, Constraint, Rank, RankDirection, RankKind};
-pub use shared::SharedKnowledge;
+pub use shared::{KnowledgeDelta, SharedKnowledge, DEFAULT_SHARDS};
 pub use states::{OptimizationState, StateRegistry, UnknownStateError};

@@ -92,6 +92,34 @@ impl<K: Clone + PartialEq> ApplicationManager<K> {
         self.asrtm.set_knowledge(knowledge);
     }
 
+    /// Adopts a refreshed knowledge base *incrementally*: patches only
+    /// the changed points of a [`crate::KnowledgeDelta`] instead of
+    /// replacing the whole base — the cheap path a fleet instance takes
+    /// when it kept up with the shared knowledge epoch. Behaves exactly
+    /// like [`set_knowledge`](Self::set_knowledge) with the delta's
+    /// target snapshot, including refreshing the currently applied
+    /// configuration's expectations in place (monitors keep their
+    /// history). Returns `false` (and changes nothing) if the delta
+    /// does not line up with the current knowledge; the caller must
+    /// fall back to a full snapshot.
+    ///
+    /// The caller must verify the knowledge is at the delta's
+    /// `from_epoch` first — see [`crate::KnowledgeDelta::apply_to`] for
+    /// why a stale receiver cannot be detected here.
+    #[must_use]
+    pub fn apply_knowledge_delta(&mut self, delta: &crate::KnowledgeDelta<K>) -> bool {
+        if !self.asrtm.apply_knowledge_delta(delta) {
+            return false;
+        }
+        if let Some(cur) = &mut self.current {
+            if let Some((_, refreshed)) = delta.changed.iter().find(|(_, p)| p.config == cur.config)
+            {
+                *cur = refreshed.clone();
+            }
+        }
+        true
+    }
+
     /// Atomically applies a named optimisation state (rank + constraint
     /// set); the next [`update`](Self::update) re-plans under it.
     pub fn apply_state(&mut self, state: &crate::states::OptimizationState) {

@@ -9,17 +9,42 @@
 //! fleet converges onto what the deployment platform actually does,
 //! even under drift (a machine running hotter or slower than profiled).
 //!
-//! A versioned **epoch counter** lets every AS-RTM detect refreshed
-//! knowledge with one atomic load ([`SharedKnowledge::epoch`]) and only
-//! pay for a snapshot clone when something actually changed.
+//! # Sharding
+//!
+//! The points are split into `S` **lock shards** (deterministic
+//! config-hash → shard), so concurrent publishes to different operating
+//! points contend only when they land in the same shard — the layer
+//! scales with the fleet instead of serialising every instance on one
+//! global mutex. Batch publishes ([`publish_batch`]) group a whole
+//! round of observations by shard and merge each group under a single
+//! lock acquisition.
+//!
+//! # Versioning
+//!
+//! A global **epoch counter** plus one epoch per shard let readers
+//! detect refreshed knowledge with one atomic load. Epochs advance
+//! **iff an effective value actually changed**: a publish that leaves
+//! every window mean where it was (an empty observation, or a value
+//! equal to the current mean) does not invalidate anybody's snapshot.
+//! Changed points are tracked as a per-shard *dirty set*; a coordinator
+//! drains them with [`drain_changes`] and patches only those points
+//! into its cached [`Knowledge`] (or forwards them to instances as a
+//! [`KnowledgeDelta`]) instead of rebuilding the whole effective
+//! knowledge.
+//!
+//! [`publish_batch`]: SharedKnowledge::publish_batch
+//! [`drain_changes`]: SharedKnowledge::drain_changes
 
 use crate::knowledge::{Knowledge, OperatingPoint};
 use crate::metric::{Metric, MetricValues};
 use crate::monitor::Monitor;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default number of lock shards ([`SharedKnowledge::with_shards`]).
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// One shared operating point: design-time expectations plus the merged
 /// runtime observation windows.
@@ -27,6 +52,10 @@ use std::sync::Mutex;
 struct SharedPoint<K> {
     design: OperatingPoint<K>,
     windows: BTreeMap<Metric, Monitor>,
+    /// Position of this point in the effective [`Knowledge`] (the
+    /// design knowledge's insertion order), so sharding never reorders
+    /// the published view.
+    pos: usize,
 }
 
 impl<K: Clone> SharedPoint<K> {
@@ -45,6 +74,122 @@ impl<K: Clone> SharedPoint<K> {
         }
         OperatingPoint::new(self.design.config.clone(), metrics)
     }
+}
+
+/// One lock shard: a group of points plus the dirty slots whose
+/// effective values changed since the last [`drain_changes`].
+///
+/// [`drain_changes`]: SharedKnowledge::drain_changes
+#[derive(Debug)]
+struct Shard<K> {
+    state: Mutex<ShardState<K>>,
+    /// This shard's epoch: advanced once per publish that changed an
+    /// effective value of one of its points. Lock-free to read.
+    epoch: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ShardState<K> {
+    points: Vec<SharedPoint<K>>,
+    /// Slots whose effective point changed since the last drain,
+    /// ordered so drains are deterministic.
+    dirty: BTreeSet<usize>,
+}
+
+/// Where a config lives: `(shard, slot within the shard)`.
+#[derive(Debug, Clone, Copy)]
+struct PointRef {
+    shard: usize,
+    slot: usize,
+}
+
+/// A batch of refreshed operating points between two epochs: what a
+/// coordinator hands its instances instead of a full [`Knowledge`]
+/// clone. Each entry is `(position in the knowledge, new effective
+/// point)`.
+///
+/// Produced from [`SharedKnowledge::drain_changes`]; applied with
+/// [`KnowledgeDelta::apply_to`]. An instance whose knowledge is at
+/// `from_epoch` lands exactly on the `to_epoch` knowledge — bit-
+/// identical to adopting a full snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnowledgeDelta<K> {
+    /// The epoch the receiver must be at for the patch to be exact.
+    pub from_epoch: u64,
+    /// The epoch the receiver is at after applying the patch.
+    pub to_epoch: u64,
+    /// `(position, refreshed point)` pairs, ascending by position.
+    pub changed: Vec<(usize, OperatingPoint<K>)>,
+}
+
+impl<K: Clone + PartialEq> KnowledgeDelta<K> {
+    /// Patches the changed points into `knowledge`. Returns `false`
+    /// (and changes nothing) if any position is out of range or names a
+    /// different configuration — the receiver's knowledge does not
+    /// descend from the same design knowledge, and it must fall back to
+    /// a full snapshot.
+    ///
+    /// **The caller is responsible for the epoch precondition**: a
+    /// [`Knowledge`] carries no version, so this method cannot detect a
+    /// receiver that is *behind* `from_epoch` (the configs still line
+    /// up position by position). Applying a delta to knowledge older
+    /// than `from_epoch` yields a mixed state that silently misses the
+    /// points changed in between — check your tracked epoch against
+    /// [`from_epoch`](Self::from_epoch) first and take a full
+    /// [`SharedKnowledge::snapshot`] on mismatch, as the fleet's
+    /// adoption path does.
+    #[must_use]
+    pub fn apply_to(&self, knowledge: &mut Knowledge<K>) -> bool {
+        let compatible = self.changed.iter().all(|(pos, point)| {
+            knowledge
+                .points()
+                .get(*pos)
+                .is_some_and(|cur| cur.config == point.config)
+        });
+        if !compatible {
+            return false;
+        }
+        for (pos, point) in &self.changed {
+            knowledge.patch_point(*pos, point.clone());
+        }
+        true
+    }
+
+    /// Whether the delta patches nothing (the epochs may still differ
+    /// for deltas constructed by external coordinators).
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Number of patched points.
+    pub fn len(&self) -> usize {
+        self.changed.len()
+    }
+}
+
+/// FNV-1a over the config's `Hash` impl: a *deterministic* hasher
+/// (`RandomState` is seeded per process, which would make shard
+/// assignment — and thus per-shard epochs — unreproducible between
+/// runs).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn deterministic_shard<K: Hash>(config: &K, shards: usize) -> usize {
+    let mut hasher = Fnv1a(0xcbf2_9ce4_8422_2325);
+    config.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
 }
 
 /// A thread-safe, versioned knowledge base shared by a fleet of
@@ -70,12 +215,13 @@ impl<K: Clone> SharedPoint<K> {
 /// ```
 #[derive(Debug)]
 pub struct SharedKnowledge<K> {
-    state: Mutex<Vec<SharedPoint<K>>>,
-    /// Config → point position, fixed at construction, so a publish is
-    /// an O(1) lookup instead of a linear scan under the lock.
-    index: HashMap<K, usize>,
-    /// Mirror of the epoch for lock-free change detection.
+    shards: Vec<Shard<K>>,
+    /// Config → shard/slot, fixed at construction, so a publish is an
+    /// O(1) lookup that touches only its own shard's lock.
+    index: HashMap<K, PointRef>,
+    /// Global epoch: total number of effective-knowledge changes.
     epoch: AtomicU64,
+    total_points: usize,
     window: usize,
     min_observations: u64,
 }
@@ -83,33 +229,36 @@ pub struct SharedKnowledge<K> {
 impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     /// Wraps a design-time knowledge base; every published observation
     /// is merged through a sliding window of `window` samples per
-    /// `(point, metric)`.
+    /// `(point, metric)`. Points are spread over [`DEFAULT_SHARDS`]
+    /// lock shards ([`with_shards`](Self::with_shards) to tune).
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero (same contract as [`Monitor::new`]).
     pub fn new(design: Knowledge<K>, window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        let points: Vec<SharedPoint<K>> = design
-            .points()
-            .iter()
-            .map(|p| SharedPoint {
-                design: p.clone(),
-                windows: BTreeMap::new(),
-            })
-            .collect();
-        let index = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.design.config.clone(), i))
-            .collect();
-        SharedKnowledge {
-            state: Mutex::new(points),
-            index,
+        let mut shared = SharedKnowledge {
+            shards: Vec::new(),
+            index: HashMap::new(),
             epoch: AtomicU64::new(0),
+            total_points: design.len(),
             window,
             min_observations: 1,
-        }
+        };
+        shared.distribute(
+            design
+                .points()
+                .iter()
+                .enumerate()
+                .map(|(pos, p)| SharedPoint {
+                    design: p.clone(),
+                    windows: BTreeMap::new(),
+                    pos,
+                })
+                .collect(),
+            DEFAULT_SHARDS,
+        );
+        shared
     }
 
     /// Builder-style: observations needed before a window mean overrides
@@ -120,67 +269,292 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
         self
     }
 
-    /// The current knowledge version. Incremented on every accepted
-    /// [`publish`](Self::publish); readers compare it against their last
-    /// synced epoch to detect refreshed knowledge without cloning.
+    /// Builder-style: redistributes the points over `shards` lock
+    /// shards. One shard reproduces the unsharded reference behaviour
+    /// (every publish serialises on a single lock); the output is
+    /// bit-identical at any shard count.
+    ///
+    /// Must be called **before the first publish**: resharding resets
+    /// the per-shard epochs and dirty sets, which cannot be re-
+    /// attributed once observations have merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, or if anything was already
+    /// published (the epoch has moved).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert_eq!(
+            self.epoch(),
+            0,
+            "with_shards must be called before the first publish: resharding would \
+             discard the per-shard epochs and dirty sets"
+        );
+        if shards == self.shards.len() {
+            return self; // already laid out like this (e.g. the default)
+        }
+        let mut points: Vec<SharedPoint<K>> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| {
+                let state = s.state.get_mut().unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut state.points)
+            })
+            .collect();
+        points.sort_by_key(|p| p.pos);
+        self.distribute(points, shards);
+        self
+    }
+
+    /// Rebuilds the shard layout from a flat point list.
+    fn distribute(&mut self, points: Vec<SharedPoint<K>>, shards: usize) {
+        let mut groups: Vec<Vec<SharedPoint<K>>> = (0..shards).map(|_| Vec::new()).collect();
+        for point in points {
+            groups[deterministic_shard(&point.design.config, shards)].push(point);
+        }
+        self.index.clear();
+        self.shards = groups
+            .into_iter()
+            .enumerate()
+            .map(|(shard, points)| {
+                for (slot, point) in points.iter().enumerate() {
+                    self.index
+                        .insert(point.design.config.clone(), PointRef { shard, slot });
+                }
+                Shard {
+                    state: Mutex::new(ShardState {
+                        points,
+                        dirty: BTreeSet::new(),
+                    }),
+                    epoch: AtomicU64::new(0),
+                }
+            })
+            .collect();
+    }
+
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardState<K>> {
+        self.shards[shard]
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current knowledge version: the number of publishes that
+    /// changed an effective value. Readers compare it against their
+    /// last synced epoch to detect refreshed knowledge without cloning.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The epoch of shard `shard`: how many publishes changed an
+    /// effective value of one of its points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch.load(Ordering::Acquire)
+    }
+
+    /// The shard `config` lives in, or `None` for unknown configs.
+    pub fn shard_of(&self, config: &K) -> Option<usize> {
+        self.index.get(config).map(|r| r.shard)
+    }
+
     /// Number of operating points.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("shared knowledge poisoned").len()
+        self.total_points
     }
 
     /// Whether the shared knowledge has no points.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.total_points == 0
+    }
+
+    /// The effective value of one metric of `point`: the window mean
+    /// once it is sufficiently observed (and finite), the design-time
+    /// expectation otherwise — the per-metric view of
+    /// [`SharedPoint::effective`].
+    fn effective_value(
+        point: &SharedPoint<K>,
+        metric: &Metric,
+        min_observations: u64,
+    ) -> Option<f64> {
+        if let Some(window) = point.windows.get(metric) {
+            if window.total_observations() >= min_observations {
+                if let Some(mean) = window.mean() {
+                    if mean.is_finite() {
+                        return Some(mean);
+                    }
+                }
+            }
+        }
+        point.design.metrics.get(metric)
+    }
+
+    /// Merges `observed` into `slot`'s windows; returns whether the
+    /// point's effective values changed. Only the observed metrics are
+    /// compared — untouched windows cannot change — so the hot publish
+    /// path stays O(|observed|) with no point clones. Caller holds the
+    /// shard lock.
+    fn merge_into(
+        point: &mut SharedPoint<K>,
+        observed: &MetricValues,
+        window: usize,
+        min_observations: u64,
+    ) -> bool {
+        let mut changed = false;
+        for (metric, value) in observed.iter() {
+            let before = Self::effective_value(point, metric, min_observations);
+            point
+                .windows
+                .entry(metric.clone())
+                .or_insert_with(|| Monitor::new(window))
+                .push(value);
+            // Effective values are finite by construction (non-finite
+            // means fall back to the finite design value), so `!=` on
+            // the options is an exact change test.
+            changed |= before != Self::effective_value(point, metric, min_observations);
+        }
+        changed
     }
 
     /// Merges one runtime observation of `config` into the shared
-    /// windows and bumps the epoch. Returns `false` (and changes
-    /// nothing) when `config` is not a known operating point.
+    /// windows. Returns `false` (and changes nothing) when `config` is
+    /// not a known operating point.
+    ///
+    /// The global and per-shard epochs advance **iff** the publish
+    /// changed an effective value — an empty [`MetricValues`], or an
+    /// observation that leaves every window mean unchanged, merges
+    /// without invalidating anybody's snapshot.
     ///
     /// [`MetricValues`] can only hold finite values, so every merged
     /// observation is finite by construction; the underlying
     /// [`Monitor`]s would additionally drop-and-count non-finite
     /// values if one ever reached them.
     pub fn publish(&self, config: &K, observed: &MetricValues) -> bool {
-        let Some(&i) = self.index.get(config) else {
+        let Some(&at) = self.index.get(config) else {
             return false;
         };
-        let mut state = self.state.lock().expect("shared knowledge poisoned");
-        let point = &mut state[i];
-        for (metric, value) in observed.iter() {
-            point
-                .windows
-                .entry(metric.clone())
-                .or_insert_with(|| Monitor::new(self.window))
-                .push(value);
+        let mut state = self.lock_shard(at.shard);
+        if Self::merge_into(
+            &mut state.points[at.slot],
+            observed,
+            self.window,
+            self.min_observations,
+        ) {
+            state.dirty.insert(at.slot);
+            self.shards[at.shard].epoch.fetch_add(1, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
         }
-        self.epoch.fetch_add(1, Ordering::AcqRel);
         true
+    }
+
+    /// Merges a whole batch of observations — e.g. one fleet round —
+    /// grouping them by shard and taking each shard's lock **once** for
+    /// its whole group. Within a shard, observations merge in the order
+    /// given, so a deterministic input order (instance order at a round
+    /// barrier) yields bit-identical windows and epochs to publishing
+    /// one by one. Unknown configs are skipped; returns the number of
+    /// accepted observations.
+    pub fn publish_batch<'a, I>(&self, observations: I) -> usize
+    where
+        K: 'a,
+        I: IntoIterator<Item = (&'a K, &'a MetricValues)>,
+    {
+        let mut by_shard: Vec<Vec<(usize, &MetricValues)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut accepted = 0;
+        for (config, observed) in observations {
+            if let Some(&at) = self.index.get(config) {
+                by_shard[at.shard].push((at.slot, observed));
+                accepted += 1;
+            }
+        }
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut state = self.lock_shard(shard);
+            let mut changed = 0u64;
+            for (slot, observed) in group {
+                if Self::merge_into(
+                    &mut state.points[slot],
+                    observed,
+                    self.window,
+                    self.min_observations,
+                ) {
+                    state.dirty.insert(slot);
+                    changed += 1;
+                }
+            }
+            if changed > 0 {
+                self.shards[shard]
+                    .epoch
+                    .fetch_add(changed, Ordering::AcqRel);
+                self.epoch.fetch_add(changed, Ordering::AcqRel);
+            }
+        }
+        accepted
+    }
+
+    /// Drains every shard's dirty set: the effective points that
+    /// changed since the last drain, as `(position, point)` pairs in
+    /// ascending position order, paired with the epoch the drain is
+    /// consistent with. A coordinator patches the points into its
+    /// cached [`Knowledge`] (one [`Knowledge::patch_point`] per changed
+    /// point) and records the returned epoch, instead of rebuilding the
+    /// effective knowledge from scratch — the incremental-refresh half
+    /// of the scaling story.
+    ///
+    /// All shard locks are held for the drain (like
+    /// [`snapshot`](Self::snapshot)), so the `(epoch, changes)` pair is
+    /// consistent even while other threads publish: a cache patched
+    /// with the changes *is* the `epoch` knowledge, and a later
+    /// `epoch() == recorded` comparison can safely skip re-draining.
+    pub fn drain_changes(&self) -> (u64, Vec<(usize, OperatingPoint<K>)>) {
+        let mut guards: Vec<MutexGuard<'_, ShardState<K>>> =
+            (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for state in &mut guards {
+            let dirty = std::mem::take(&mut state.dirty);
+            for slot in dirty {
+                let point = &state.points[slot];
+                out.push((point.pos, point.effective(self.min_observations)));
+            }
+        }
+        out.sort_by_key(|(pos, _)| *pos);
+        (epoch, out)
     }
 
     /// The effective knowledge: design-time points with every
     /// sufficiently-observed metric replaced by its window mean.
     pub fn knowledge(&self) -> Knowledge<K> {
-        self.state
-            .lock()
-            .expect("shared knowledge poisoned")
-            .iter()
-            .map(|p| p.effective(self.min_observations))
-            .collect()
+        self.snapshot().1
     }
 
-    /// Epoch and effective knowledge read under one lock, so the pair is
-    /// consistent even while other threads publish.
+    /// Epoch and effective knowledge read with all shard locks held, so
+    /// the pair is consistent even while other threads publish.
     pub fn snapshot(&self) -> (u64, Knowledge<K>) {
-        let state = self.state.lock().expect("shared knowledge poisoned");
+        let guards: Vec<MutexGuard<'_, ShardState<K>>> =
+            (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
         let epoch = self.epoch.load(Ordering::Acquire);
-        let knowledge = state
-            .iter()
-            .map(|p| p.effective(self.min_observations))
+        let mut points: Vec<Option<OperatingPoint<K>>> = vec![None; self.total_points];
+        for guard in &guards {
+            for point in &guard.points {
+                points[point.pos] = Some(point.effective(self.min_observations));
+            }
+        }
+        let knowledge = points
+            .into_iter()
+            .map(|p| p.expect("every position is covered by exactly one shard"))
             .collect();
         (epoch, knowledge)
     }
@@ -190,16 +564,19 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     /// metrics are online values rather than design-time predictions)
     /// — the fleet's online coverage of the design space.
     pub fn observed_points(&self) -> usize {
-        self.state
-            .lock()
-            .expect("shared knowledge poisoned")
-            .iter()
-            .filter(|p| {
-                p.windows
-                    .values()
-                    .any(|w| w.total_observations() >= self.min_observations)
+        (0..self.shards.len())
+            .map(|shard| {
+                self.lock_shard(shard)
+                    .points
+                    .iter()
+                    .filter(|p| {
+                        p.windows
+                            .values()
+                            .any(|w| w.total_observations() >= self.min_observations)
+                    })
+                    .count()
             })
-            .count()
+            .sum()
     }
 }
 
@@ -225,6 +602,11 @@ mod tests {
         assert_eq!(shared.epoch(), 0);
         assert_eq!(shared.knowledge(), design());
         assert_eq!(shared.observed_points(), 0);
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.shard_count(), DEFAULT_SHARDS);
+        for s in 0..shared.shard_count() {
+            assert_eq!(shared.shard_epoch(s), 0);
+        }
     }
 
     #[test]
@@ -249,6 +631,45 @@ mod tests {
         assert_eq!(shared.epoch(), 0);
         assert!(shared.publish(&2, &MetricValues::new().with(Metric::power(), 85.0)));
         assert_eq!(shared.epoch(), 1);
+    }
+
+    #[test]
+    fn empty_or_no_change_publishes_do_not_bump_the_epoch() {
+        let shared = SharedKnowledge::new(design(), 4);
+        // Empty observation: accepted (the config is known) but nothing
+        // can change, so nobody's snapshot is invalidated.
+        assert!(shared.publish(&1, &MetricValues::new()));
+        assert_eq!(shared.epoch(), 0);
+        // First real observation changes the effective power.
+        assert!(shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0)));
+        assert_eq!(shared.epoch(), 1);
+        let shard = shared.shard_of(&1).unwrap();
+        assert_eq!(shared.shard_epoch(shard), 1);
+        // Re-observing the exact window mean leaves the effective value
+        // where it was: no bump, globally or in the shard.
+        assert!(shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0)));
+        assert_eq!(shared.epoch(), 1);
+        assert_eq!(shared.shard_epoch(shard), 1);
+        assert_eq!(
+            shared.knowledge().points()[0].metric(&Metric::power()),
+            Some(60.0)
+        );
+    }
+
+    #[test]
+    fn shard_epochs_split_the_global_epoch() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(4);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        shared.publish(&2, &MetricValues::new().with(Metric::power(), 85.0));
+        assert_eq!(shared.epoch(), 2);
+        let s1 = shared.shard_of(&1).unwrap();
+        let s2 = shared.shard_of(&2).unwrap();
+        let total: u64 = (0..shared.shard_count())
+            .map(|s| shared.shard_epoch(s))
+            .sum();
+        assert_eq!(total, 2);
+        assert!(shared.shard_epoch(s1) >= 1);
+        assert!(shared.shard_epoch(s2) >= 1);
     }
 
     #[test]
@@ -288,6 +709,82 @@ mod tests {
     }
 
     #[test]
+    fn publish_batch_matches_one_by_one_publishes() {
+        let batch = SharedKnowledge::new(design(), 4).with_shards(3);
+        let single = SharedKnowledge::new(design(), 4).with_shards(3);
+        let observations: Vec<(u32, MetricValues)> = vec![
+            (1, MetricValues::new().with(Metric::power(), 60.0)),
+            (2, MetricValues::new().with(Metric::power(), 85.0)),
+            (1, MetricValues::new().with(Metric::power(), 70.0)),
+            (99, MetricValues::new().with(Metric::power(), 1.0)),
+        ];
+        let accepted = batch.publish_batch(observations.iter().map(|(c, m)| (c, m)));
+        assert_eq!(accepted, 3, "the unknown config is skipped");
+        for (config, observed) in &observations {
+            single.publish(config, observed);
+        }
+        assert_eq!(batch.knowledge(), single.knowledge());
+        assert_eq!(batch.epoch(), single.epoch());
+        for s in 0..batch.shard_count() {
+            assert_eq!(batch.shard_epoch(s), single.shard_epoch(s));
+        }
+    }
+
+    #[test]
+    fn drain_changes_patches_a_cache_to_the_snapshot() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(2);
+        let mut cache = shared.knowledge();
+        let mut cache_epoch = shared.epoch();
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        shared.publish(&2, &MetricValues::new().with(Metric::exec_time(), 0.5));
+        let (to_epoch, changed) = shared.drain_changes();
+        assert_eq!(changed.len(), 2);
+        assert_eq!(changed[0].0, 0, "ascending position order");
+        assert_eq!(changed[1].0, 1);
+        let delta = KnowledgeDelta {
+            from_epoch: cache_epoch,
+            to_epoch,
+            changed,
+        };
+        assert!(delta.apply_to(&mut cache));
+        cache_epoch = delta.to_epoch;
+        assert_eq!(cache, shared.knowledge());
+        assert_eq!(cache_epoch, shared.epoch());
+        // A second drain with no publishes in between is empty.
+        assert!(shared.drain_changes().1.is_empty());
+    }
+
+    #[test]
+    fn delta_refuses_mismatched_knowledge() {
+        let shared = SharedKnowledge::new(design(), 4);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        let (to_epoch, changed) = shared.drain_changes();
+        let delta = KnowledgeDelta {
+            from_epoch: 0,
+            to_epoch,
+            changed,
+        };
+        let mut reversed: Knowledge<u32> = design().points().iter().rev().cloned().collect();
+        let before = reversed.clone();
+        assert!(!delta.apply_to(&mut reversed), "configs do not line up");
+        assert_eq!(reversed, before, "a refused delta changes nothing");
+    }
+
+    #[test]
+    fn one_shard_is_the_unsharded_reference() {
+        let sharded = SharedKnowledge::new(design(), 4).with_shards(5);
+        let reference = SharedKnowledge::new(design(), 4).with_shards(1);
+        for (config, power) in [(1u32, 60.0), (2, 85.0), (1, 70.0), (2, 95.0)] {
+            sharded.publish(&config, &MetricValues::new().with(Metric::power(), power));
+            reference.publish(&config, &MetricValues::new().with(Metric::power(), power));
+        }
+        assert_eq!(sharded.knowledge(), reference.knowledge());
+        assert_eq!(sharded.epoch(), reference.epoch());
+        assert_eq!(reference.shard_count(), 1);
+        assert_eq!(reference.shard_epoch(0), reference.epoch());
+    }
+
+    #[test]
     fn concurrent_publishes_are_all_merged() {
         let shared = std::sync::Arc::new(SharedKnowledge::new(design(), 1024));
         let threads = 8u32;
@@ -303,7 +800,15 @@ mod tests {
                 });
             }
         });
-        assert_eq!(shared.epoch(), u64::from(threads * per_thread));
+        // Every publish that changed the running mean bumped the epoch;
+        // interleavings where a pushed value equals the current mean do
+        // not, so the epoch is at most one per publish but at least one
+        // (the first observation always changes the effective value).
+        let epoch = shared.epoch();
+        assert!(
+            epoch >= 1 && epoch <= u64::from(threads * per_thread),
+            "{epoch}"
+        );
         // All 400 observations landed in the (large) window: the mean is
         // the mean of 0..400 regardless of interleaving.
         let mean = shared.knowledge().points()[0]

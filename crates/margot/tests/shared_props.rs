@@ -1,0 +1,158 @@
+//! Property tests of the sharded [`margot::SharedKnowledge`]:
+//!
+//! 1. **Epoch iff change** — the global epoch, and the epoch of the
+//!    published config's shard, advance *iff* the publish changed the
+//!    effective knowledge. No spurious bumps (empty or no-op
+//!    observations), no missed bumps (a changed mean that nobody's
+//!    snapshot would notice).
+//! 2. **Sharded == unsharded reference** — for any publish sequence,
+//!    any shard count yields the same effective knowledge, the same
+//!    global epoch and the same snapshot as the single-shard (one
+//!    global lock) reference, whether published one by one or as
+//!    barrier batches.
+//! 3. **Delta == snapshot** — draining the dirty points after each
+//!    batch and patching them into a cached knowledge lands exactly on
+//!    the full snapshot at every intermediate step.
+
+use margot::{Knowledge, KnowledgeDelta, Metric, MetricValues, OperatingPoint, SharedKnowledge};
+use proptest::prelude::*;
+
+const POINTS: u32 = 12;
+
+fn design() -> Knowledge<u32> {
+    (0..POINTS)
+        .map(|cfg| {
+            OperatingPoint::new(
+                cfg,
+                MetricValues::new()
+                    .with(Metric::exec_time(), 1.0 + f64::from(cfg))
+                    .with(Metric::power(), 50.0 + f64::from(cfg)),
+            )
+        })
+        .collect()
+}
+
+/// One published observation: a config (sometimes unknown) and a
+/// possibly empty metric bundle drawn from a tiny value set, so
+/// repeated values (and thus no-op publishes against a window mean)
+/// actually occur.
+fn observation_strategy() -> impl Strategy<Value = (u32, MetricValues)> {
+    let value = || prop::sample::select(vec![40.0f64, 60.0, 60.0, 80.0]);
+    (
+        0..POINTS + 2, // +2: sometimes an unknown config
+        prop::option::of(value()),
+        prop::option::of(value()),
+    )
+        .prop_map(|(cfg, time, power)| {
+            let mut observed = MetricValues::new();
+            if let Some(t) = time {
+                observed.insert(Metric::exec_time(), t);
+            }
+            if let Some(p) = power {
+                observed.insert(Metric::power(), p);
+            }
+            (cfg, observed)
+        })
+}
+
+proptest! {
+    #[test]
+    fn epoch_advances_iff_the_effective_knowledge_changed(
+        observations in prop::collection::vec(observation_strategy(), 1..48),
+        window in 1usize..5,
+        min_observations in 1u64..4,
+        shards in 1usize..6,
+    ) {
+        let shared = SharedKnowledge::new(design(), window)
+            .with_min_observations(min_observations)
+            .with_shards(shards);
+        for (config, observed) in &observations {
+            let before_epoch = shared.epoch();
+            let before_shard_epochs: Vec<u64> =
+                (0..shared.shard_count()).map(|s| shared.shard_epoch(s)).collect();
+            let before = shared.knowledge();
+            let accepted = shared.publish(config, observed);
+            let after = shared.knowledge();
+            let changed = before != after;
+            prop_assert_eq!(accepted, *config < POINTS);
+            prop_assert_eq!(
+                shared.epoch() > before_epoch,
+                changed,
+                "global epoch must move iff the effective knowledge changed"
+            );
+            for (s, &before_shard) in before_shard_epochs.iter().enumerate() {
+                let expect_bump = changed && shared.shard_of(config) == Some(s);
+                prop_assert_eq!(
+                    shared.shard_epoch(s) > before_shard,
+                    expect_bump,
+                    "shard {} epoch moved unexpectedly",
+                    s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_publishes_match_the_unsharded_reference(
+        observations in prop::collection::vec(observation_strategy(), 0..48),
+        window in 1usize..5,
+        shards in 2usize..8,
+        batch_size in 1usize..7,
+    ) {
+        let sharded = SharedKnowledge::new(design(), window).with_shards(shards);
+        let batched = SharedKnowledge::new(design(), window).with_shards(shards);
+        let reference = SharedKnowledge::new(design(), window).with_shards(1);
+        for (config, observed) in &observations {
+            sharded.publish(config, observed);
+            reference.publish(config, observed);
+        }
+        // The batched twin merges the same sequence as barrier-style
+        // chunks: grouped by shard under one lock, in sequence order.
+        for chunk in observations.chunks(batch_size) {
+            batched.publish_batch(chunk.iter().map(|(c, m)| (c, m)));
+        }
+        let (epoch_s, k_s) = sharded.snapshot();
+        let (epoch_b, k_b) = batched.snapshot();
+        let (epoch_r, k_r) = reference.snapshot();
+        prop_assert_eq!(&k_s, &k_r, "sharded knowledge != unsharded reference");
+        prop_assert_eq!(&k_b, &k_r, "batched knowledge != unsharded reference");
+        prop_assert_eq!(epoch_s, epoch_r);
+        prop_assert_eq!(epoch_b, epoch_r);
+        prop_assert_eq!(
+            (0..sharded.shard_count()).map(|s| sharded.shard_epoch(s)).sum::<u64>(),
+            epoch_r,
+            "shard epochs must partition the global epoch"
+        );
+        prop_assert_eq!(sharded.observed_points(), reference.observed_points());
+    }
+
+    #[test]
+    fn drained_deltas_track_the_snapshot_exactly(
+        observations in prop::collection::vec(observation_strategy(), 0..48),
+        window in 1usize..5,
+        shards in 1usize..6,
+        batch_size in 1usize..7,
+    ) {
+        let shared = SharedKnowledge::new(design(), window).with_shards(shards);
+        let mut cache = shared.knowledge();
+        let mut cache_epoch = shared.epoch();
+        for chunk in observations.chunks(batch_size) {
+            shared.publish_batch(chunk.iter().map(|(c, m)| (c, m)));
+            let (to_epoch, changed) = shared.drain_changes();
+            let delta = KnowledgeDelta {
+                from_epoch: cache_epoch,
+                to_epoch,
+                changed,
+            };
+            prop_assert!(delta.apply_to(&mut cache));
+            cache_epoch = delta.to_epoch;
+            let (epoch, snapshot) = shared.snapshot();
+            prop_assert_eq!(&cache, &snapshot, "patched cache diverged from the snapshot");
+            prop_assert_eq!(cache_epoch, epoch);
+        }
+        prop_assert!(
+            shared.drain_changes().1.is_empty(),
+            "every dirty point was drained"
+        );
+    }
+}

@@ -25,7 +25,7 @@ fn main() {
     // is unchanged, so the drift re-orders the operating points).
     let drifted = enhanced.platform.hotter(1.4);
 
-    let mut fleet = Fleet::new(FleetConfig::default());
+    let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
     let rank = Rank::throughput_per_watt2();
     fleet.spawn_on(&enhanced, &rank, &drifted.machine(42), 8);
     fleet.set_power_budget(Some(8.0 * 110.0));

@@ -29,7 +29,8 @@ fn build_fleet(parallel_step: bool, enhanced: &EnhancedApp) -> Fleet {
         parallel_step,
         exploration_interval: 2,
         ..FleetConfig::default()
-    });
+    })
+    .expect("valid fleet config");
     fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, 8);
     fleet.set_power_budget(Some(8.0 * 85.0));
     fleet
@@ -79,6 +80,42 @@ fn repeated_runs_are_reproducible() {
         a.learned_knowledge(App::TwoMm),
         b.learned_knowledge(App::TwoMm)
     );
+}
+
+#[test]
+fn sharded_incremental_path_matches_the_single_mutex_reference() {
+    // The scaling path (sharded knowledge + batched barrier merge +
+    // incremental cache/delta adoption) must be bit-identical to the
+    // single-shard, full-rebuild/full-clone reference — at any rayon
+    // thread count (CI re-runs this under the forced thread matrix).
+    let enhanced = quick_enhanced(App::TwoMm);
+    let run = |knowledge_shards: usize, incremental_refresh: bool| {
+        let mut fleet = Fleet::new(FleetConfig {
+            exploration_interval: 2,
+            knowledge_shards,
+            incremental_refresh,
+            ..FleetConfig::default()
+        })
+        .expect("valid fleet config");
+        fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 2018, 8);
+        fleet.set_power_budget(Some(8.0 * 85.0));
+        fleet.run_for(6.0);
+        let traces: Vec<_> = (0..8).map(|id| fleet.trace(id)).collect();
+        (
+            traces,
+            fleet.learned_knowledge(App::TwoMm).unwrap(),
+            fleet.knowledge_epoch(App::TwoMm).unwrap(),
+            fleet.exploration_coverage(App::TwoMm).unwrap(),
+        )
+    };
+    let sharded = run(margot::DEFAULT_SHARDS, true);
+    let reference = run(1, false);
+    assert_eq!(sharded.1, reference.1, "learned knowledge diverged");
+    assert_eq!(sharded.2, reference.2, "epoch diverged");
+    assert_eq!(sharded.3, reference.3, "coverage diverged");
+    for (id, (s, r)) in sharded.0.iter().zip(&reference.0).enumerate() {
+        assert_eq!(s, r, "instance {id}: sharded trace != reference trace");
+    }
 }
 
 #[test]

@@ -48,7 +48,8 @@ fn online_fleet_beats_frozen_knowledge_under_deployment_drift() {
         let mut fleet = Fleet::new(FleetConfig {
             share_knowledge,
             ..FleetConfig::default()
-        });
+        })
+        .expect("valid fleet config");
         fleet.spawn_on(
             &enhanced,
             &Rank::throughput_per_watt2(),

@@ -17,28 +17,44 @@
 //! Both modes are bit-identical in output (pinned by
 //! `tests/fleet_equivalence.rs` and re-asserted here on the learned
 //! knowledge), so the comparison is pure overhead. Numbers land in
-//! `results/fleet_scale.json` and BENCH.md.
+//! `results/fleet_scale.json` (`results/fleet_scale_smoke.json` for
+//! the smoke configuration, so the committed baseline is never
+//! clobbered by CI) and BENCH.md.
 //!
 //! The design knowledge is subsampled to [`KNOWLEDGE_POINTS`] points so
 //! the AS-RTM planning cost (linear in points, identical in both
 //! modes) does not drown the knowledge-layer cost being measured at
 //! N = 4096.
 //!
+//! # Regression gate
+//!
+//! `--check` compares the run against the committed baseline in
+//! `results/fleet_scale.json` on every overlapping `(instances,
+//! mode)` cell: if any cell's publish throughput fell below
+//! `tolerance × baseline` (default 0.4 — loose on purpose, CI runners
+//! are slower and noisier than the machine that produced the
+//! baseline), the process exits nonzero so CI fails instead of
+//! silently drifting. Tune with `--tolerance <ratio>`.
+//!
 //! Run with `cargo run -p socrates-bench --bin fleet_scale_bench
-//! --release` (`--smoke` for the small-N CI smoke configuration).
+//! --release` (`--smoke --check` is the CI regression-gate
+//! configuration).
 
-use margot::{Knowledge, Rank};
-use polybench::{App, Dataset};
-use serde::Serialize;
-use socrates::{EnhancedApp, Fleet, FleetConfig, Toolchain};
+use margot::Rank;
+use polybench::App;
+use serde::{Deserialize, Serialize};
+use socrates::{Fleet, FleetConfig};
 use std::time::Instant;
 
 /// Design-knowledge subsample handed to every instance.
 const KNOWLEDGE_POINTS: usize = 64;
 /// Synchronized rounds timed per (N, mode) cell.
 const ROUNDS: usize = 12;
+/// Default `--check` tolerance: a cell regresses when its publish
+/// throughput falls below this fraction of the committed baseline.
+const DEFAULT_TOLERANCE: f64 = 0.4;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct ScaleRow {
     mode: String,
     instances: usize,
@@ -51,13 +67,23 @@ struct ScaleRow {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--tolerance needs a value")
+            .parse::<f64>()
+            .expect("--tolerance takes a ratio"),
+        None => DEFAULT_TOLERANCE,
+    };
     let sizes: &[usize] = if smoke {
         &[16, 64]
     } else {
         &[64, 256, 1024, 4096]
     };
-    let enhanced = subsampled_enhanced();
+    let enhanced = socrates_bench::subsampled_twomm(KNOWLEDGE_POINTS);
     println!(
         "Fleet knowledge-layer scaling — sharded/incremental vs single-mutex baseline\n\
          ({KNOWLEDGE_POINTS}-point knowledge, {ROUNDS} synchronized rounds per cell)\n"
@@ -118,27 +144,79 @@ fn main() {
         );
         println!();
     }
-    socrates_bench::write_json("fleet_scale", &rows);
+    // The smoke configuration never overwrites the committed
+    // full-scale baseline it is compared against.
+    let name = if smoke {
+        "fleet_scale_smoke"
+    } else {
+        "fleet_scale"
+    };
+    socrates_bench::write_json(name, &rows);
+    if check {
+        check_against_baseline(&rows, tolerance);
+    }
 }
 
-/// The 2mm deployment with its design knowledge subsampled evenly to
-/// [`KNOWLEDGE_POINTS`] operating points (the version table is keyed
-/// by (CO, BP) and stays complete, so every kept point dispatches).
-fn subsampled_enhanced() -> EnhancedApp {
-    let mut enhanced = Toolchain {
-        dataset: Dataset::Medium,
-        dse_repetitions: 1,
-        ..Toolchain::default()
+/// Compares the run against `results/fleet_scale.json` and exits
+/// nonzero on regression (the CI gate).
+fn check_against_baseline(rows: &[ScaleRow], tolerance: f64) {
+    assert!(
+        tolerance.is_finite() && tolerance > 0.0,
+        "tolerance {tolerance} must be a positive ratio"
+    );
+    let path = socrates_bench::results_dir().join("fleet_scale.json");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no committed baseline at {}: {e}", path.display()));
+    let baseline: Vec<ScaleRow> =
+        serde_json::from_str(&json).expect("committed baseline parses as ScaleRow list");
+    let mut compared = 0;
+    let mut regressions = Vec::new();
+    println!(
+        "regression check against {} (tolerance {tolerance}):",
+        path.display()
+    );
+    for row in rows {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.instances == row.instances && b.mode == row.mode)
+        else {
+            continue;
+        };
+        compared += 1;
+        let ratio = row.publish_throughput_obs_per_s / base.publish_throughput_obs_per_s;
+        let verdict = if ratio < tolerance { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:>6} {:>10}: {:>10.0} obs/s vs baseline {:>10.0} obs/s (x{:.2}) {}",
+            row.instances,
+            row.mode,
+            row.publish_throughput_obs_per_s,
+            base.publish_throughput_obs_per_s,
+            ratio,
+            verdict
+        );
+        if ratio < tolerance {
+            regressions.push(format!(
+                "{} N={}: throughput fell to {:.0} obs/s, x{:.2} of the baseline {:.0} \
+                 (tolerance x{tolerance})",
+                row.mode,
+                row.instances,
+                row.publish_throughput_obs_per_s,
+                ratio,
+                base.publish_throughput_obs_per_s
+            ));
+        }
     }
-    .enhance(App::TwoMm)
-    .expect("enhance 2mm");
-    let points = enhanced.knowledge.points();
-    let stride = (points.len() / KNOWLEDGE_POINTS).max(1);
-    enhanced.knowledge = points
-        .iter()
-        .step_by(stride)
-        .take(KNOWLEDGE_POINTS)
-        .cloned()
-        .collect::<Knowledge<_>>();
-    enhanced
+    assert!(
+        compared > 0,
+        "no overlapping (instances, mode) cells between this run and the committed \
+         baseline — the gate compared nothing"
+    );
+    if !regressions.is_empty() {
+        eprintln!("\nbench regression gate FAILED:");
+        for r in &regressions {
+            eprintln!("  - {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench regression gate passed ({compared} cells compared)");
 }

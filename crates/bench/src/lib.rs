@@ -5,7 +5,9 @@
 
 use margot::{Knowledge, Metric};
 use platform_sim::{CompilerOptions, KnobConfig, OptLevel};
+use polybench::{App, Dataset};
 use serde::Serialize;
+use socrates::{EnhancedApp, Toolchain};
 use std::path::{Path, PathBuf};
 
 /// Five-number summary of a sample (the boxplot statistics of Fig. 3).
@@ -132,6 +134,35 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .expect("workspace root")
         .to_path_buf()
+}
+
+/// The 2mm deployment (Medium dataset, one DSE repetition) with its
+/// design knowledge subsampled evenly to `points` operating points —
+/// the shared workload of the fleet-scaling and distributed-fleet
+/// benches. The version table is keyed by (CO, BP) and stays
+/// complete, so every kept point dispatches.
+///
+/// # Panics
+///
+/// Panics if the toolchain fails or `points` is zero.
+pub fn subsampled_twomm(points: usize) -> EnhancedApp {
+    assert!(points > 0, "need at least one operating point");
+    let mut enhanced = Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+    .enhance(App::TwoMm)
+    .expect("enhance 2mm");
+    let all = enhanced.knowledge.points();
+    let stride = (all.len() / points).max(1);
+    enhanced.knowledge = all
+        .iter()
+        .step_by(stride)
+        .take(points)
+        .cloned()
+        .collect::<Knowledge<_>>();
+    enhanced
 }
 
 /// Serialises a value as pretty JSON into `results/<name>.json`.

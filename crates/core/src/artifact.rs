@@ -164,7 +164,7 @@ struct Counters {
 ///
 /// With a persistence directory ([`ArtifactStore::with_persist_dir`]),
 /// profiled knowledge round-trips through JSON on disk via the
-/// [`crate::knowledge_io`] format: a cold store reloads previous DSE
+/// knowledge-file format ([`crate::save_knowledge`]): a cold store reloads previous DSE
 /// results instead of re-profiling.
 #[derive(Default)]
 pub struct ArtifactStore {

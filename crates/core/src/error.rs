@@ -19,7 +19,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// The pipeline stage an error originated from (see the stage graph in
-/// [`crate::pipeline`]).
+/// [`crate::socrates_pipeline`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageId {
     /// Source parsing (`minic`).
@@ -38,6 +38,9 @@ pub enum StageId {
     Dispatch,
     /// Deployment runtime (fleet orchestration, shared knowledge).
     Runtime,
+    /// Distributed knowledge exchange (simulated links, broker
+    /// reconciliation, drain).
+    Transport,
 }
 
 impl StageId {
@@ -52,6 +55,7 @@ impl StageId {
             StageId::Persist => "persist",
             StageId::Dispatch => "dispatch",
             StageId::Runtime => "runtime",
+            StageId::Transport => "transport",
         }
     }
 }
@@ -122,6 +126,12 @@ pub enum SocratesError {
         /// What is wrong and how to fix it.
         reason: String,
     },
+    /// The distributed knowledge exchange failed (e.g. a drain that
+    /// did not converge within its round budget).
+    Transport {
+        /// What went wrong on the wire or during reconciliation.
+        reason: String,
+    },
 }
 
 /// Pre-pipeline name of [`SocratesError`] (name-level alias; the
@@ -143,6 +153,7 @@ impl SocratesError {
             SocratesError::Io { .. } | SocratesError::Format { .. } => StageId::Persist,
             SocratesError::UnknownVersion { .. } => StageId::Dispatch,
             SocratesError::InvalidConfig { .. } => StageId::Runtime,
+            SocratesError::Transport { .. } => StageId::Transport,
         }
     }
 
@@ -210,6 +221,14 @@ impl SocratesError {
             reason: reason.into(),
         }
     }
+
+    /// Builds a transport-stage error; `reason` names the exchange or
+    /// reconciliation step that failed.
+    pub fn transport(reason: impl Into<String>) -> Self {
+        SocratesError::Transport {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for SocratesError {
@@ -240,6 +259,9 @@ impl fmt::Display for SocratesError {
             SocratesError::InvalidConfig { reason } => {
                 write!(f, "invalid runtime configuration: {reason}")
             }
+            SocratesError::Transport { reason } => {
+                write!(f, "knowledge exchange failed: {reason}")
+            }
         }
     }
 }
@@ -253,7 +275,9 @@ impl std::error::Error for SocratesError {
             SocratesError::Weave { source, .. } => Some(source),
             SocratesError::Io { source, .. } => Some(source),
             SocratesError::Format { source, .. } => Some(source),
-            SocratesError::UnknownVersion { .. } | SocratesError::InvalidConfig { .. } => None,
+            SocratesError::UnknownVersion { .. }
+            | SocratesError::InvalidConfig { .. }
+            | SocratesError::Transport { .. } => None,
         }
     }
 }
@@ -308,6 +332,7 @@ mod tests {
             StageId::Persist,
             StageId::Dispatch,
             StageId::Runtime,
+            StageId::Transport,
         ];
         let set: std::collections::HashSet<_> = stages.iter().map(|s| s.as_str()).collect();
         assert_eq!(set.len(), stages.len());

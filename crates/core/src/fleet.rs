@@ -108,6 +108,12 @@ pub struct FleetConfig {
     /// (`false`, the sequential reference the equivalence tests pin the
     /// parallel path against).
     pub parallel_step: bool,
+    /// `Some` selects the *distributed* deployment mode: instances
+    /// exchange knowledge as messages over a simulated lossy transport
+    /// ([`crate::transport`]) instead of a shared address space. Such
+    /// configurations boot through [`crate::DistributedFleet::new`];
+    /// the in-process [`Fleet::new`] rejects them.
+    pub distributed: Option<crate::transport::DistributedConfig>,
 }
 
 impl Default for FleetConfig {
@@ -121,6 +127,7 @@ impl Default for FleetConfig {
             incremental_refresh: true,
             power_budget_w: None,
             parallel_step: true,
+            distributed: None,
         }
     }
 }
@@ -161,6 +168,9 @@ impl FleetConfig {
                      unconstrained instances)"
                 )));
             }
+        }
+        if let Some(dist) = &self.distributed {
+            dist.validate()?;
         }
         Ok(())
     }
@@ -329,6 +339,13 @@ impl Fleet {
     /// [`SharedKnowledge::new`] on the first spawned instance.
     pub fn new(config: FleetConfig) -> Result<Self, SocratesError> {
         config.validate()?;
+        if config.distributed.is_some() {
+            return Err(SocratesError::invalid_config(
+                "this configuration selects the distributed mode (distributed = Some): boot \
+                 it through DistributedFleet::new, which runs the knowledge exchange over \
+                 the simulated transport instead of the in-process shared knowledge",
+            ));
+        }
         Ok(Fleet {
             config,
             pools: Vec::new(),

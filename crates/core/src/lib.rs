@@ -30,7 +30,13 @@
 //! steps many such instances concurrently while they share a live,
 //! epoch-versioned knowledge base ([`margot::SharedKnowledge`]),
 //! sweep the design space cooperatively and split a global power
-//! budget — the paper's *online* loop at deployment scale.
+//! budget — the paper's *online* loop at deployment scale. A
+//! [`DistributedFleet`] takes the same loop across process
+//! boundaries: instances exchange serialised knowledge deltas over a
+//! deterministic simulated transport ([`transport`]) with seeded
+//! latency, reordering, drop and duplication, reconciling via
+//! per-shard epoch vectors until every node converges onto the same
+//! effective knowledge.
 //!
 //! ## Example
 //!
@@ -60,12 +66,14 @@
 mod artifact;
 mod error;
 mod fleet;
+mod fleet_dist;
 mod knowledge_io;
 mod pipeline;
 mod platform;
 mod runtime;
 mod toolchain;
 mod trace;
+pub mod transport;
 
 pub use artifact::{
     ArtifactStore, FlagPredictions, KernelFeatures, ParsedSource, ProfiledKnowledge, StoreStats,
@@ -73,9 +81,14 @@ pub use artifact::{
 };
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
 pub use fleet::{Fleet, FleetConfig, FleetStats, FLEET_POWER_PRIORITY};
-pub use knowledge_io::{knowledge_from_json, knowledge_to_json, load_knowledge, save_knowledge};
+pub use fleet_dist::{DistStats, DistributedFleet};
+pub use knowledge_io::{
+    delta_from_json, delta_to_json, knowledge_from_json, knowledge_to_json, load_knowledge,
+    save_knowledge, wire_from_json, wire_to_json,
+};
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;
 pub use runtime::{AdaptiveApplication, TraceSample};
 pub use toolchain::{EnhancedApp, Toolchain};
 pub use trace::{windowed_stats, TraceStats};
+pub use transport::{DistTopology, DistributedConfig, LinkConfig};

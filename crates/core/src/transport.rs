@@ -1,0 +1,872 @@
+//! Distributed knowledge exchange over a deterministic simulated
+//! transport — the layer that turns the online runtime from one
+//! process into a system.
+//!
+//! SOCRATES' online phase is *crowdsourced*: many deployed instances
+//! exchange runtime observations through a remote knowledge service,
+//! not a shared address space. This module provides the three pieces
+//! the [`crate::DistributedFleet`] builds on:
+//!
+//! - [`SimNet`] — a simulated message transport driven by the fleet's
+//!   virtual clock (one tick per synchronized round). Every link gets
+//!   a seeded per-link RNG drawing latency (which reorders messages),
+//!   drops and duplicates, so any lossy schedule is **deterministic
+//!   and replayable** from the [`LinkConfig`] seed.
+//! - [`WireMessage`] — the serialisable protocol: observations, acks,
+//!   per-shard [`margot::KnowledgeDelta`]s, epoch-vector sync
+//!   requests/responses, gossip summaries and join/snapshot messages.
+//!   The JSON schema is pinned by golden files under `tests/golden/`
+//!   (serialisation helpers: [`crate::wire_to_json`]).
+//! - [`Replica`] — a replicated observation log with a **canonical
+//!   fold order**. Observations are totally ordered by `(round,
+//!   origin)`; a replica folds its log into a [`SharedKnowledge`] in
+//!   that order regardless of arrival order (late arrivals trigger a
+//!   refold). Two replicas holding the same set of observations
+//!   therefore expose bit-identical effective knowledge *and*
+//!   per-shard epoch vectors — the invariant every reconciliation
+//!   path reduces to, and the one the transport property tests pin
+//!   against a single-mutex [`SharedKnowledge`] reference.
+//!
+//! Reconciliation works per topology ([`DistTopology`]):
+//!
+//! - **Broker-star** — nodes send observations to a broker (resent
+//!   until acked); the broker folds them canonically and broadcasts
+//!   one [`margot::KnowledgeDelta`] per touched knowledge shard,
+//!   stamped with that shard's monotone version. Each node keeps a
+//!   **per-shard epoch vector**: a delta chaining exactly from the
+//!   local version applies in place; a gap (a dropped or reordered
+//!   delta) triggers a [`WireMessage::SyncRequest`] carrying the whole
+//!   vector, answered with full state for every stale shard.
+//! - **Gossip** — every node holds a full [`Replica`] and rumors new
+//!   observations to a rotating set of peers; periodic
+//!   [`WireMessage::Summary`] exchanges (per-origin contiguous
+//!   sequence watermarks) let any pair retransmit exactly what the
+//!   other is missing, so the logs — and
+//!   with them the folded knowledge — converge once the links drain.
+
+use crate::error::SocratesError;
+use margot::{Knowledge, KnowledgeDelta, MetricValues, OperatingPoint, SharedKnowledge};
+use platform_sim::KnobConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Identifies one participant of the exchange. Instance nodes are
+/// numbered in spawn order (so the canonical observation order matches
+/// the in-process fleet's instance order); the broker is [`BROKER`].
+pub type NodeId = u32;
+
+/// The knowledge broker's address in a [`DistTopology::BrokerStar`]
+/// deployment.
+pub const BROKER: NodeId = NodeId::MAX;
+
+/// One runtime observation on the wire: which node observed which
+/// metrics under which configuration, in which synchronized round.
+///
+/// `(round, origin)` is the observation's identity *and* its position
+/// in the canonical fold order; `seq` is the origin's contiguous
+/// per-node counter (what summaries and acks watermark against).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The node that measured this observation.
+    pub origin: NodeId,
+    /// The origin's own contiguous observation counter (0, 1, 2, …).
+    pub seq: u64,
+    /// The synchronized round the observation was taken in.
+    pub round: u64,
+    /// The software-knob configuration that was running.
+    pub config: KnobConfig,
+    /// The measured metric values.
+    pub observed: MetricValues,
+}
+
+impl Observation {
+    /// The observation's identity and canonical-order key.
+    pub fn op_id(&self) -> (u64, NodeId) {
+        (self.round, self.origin)
+    }
+}
+
+/// The serialisable knowledge-exchange protocol. JSON (de)serialisation
+/// lives in [`crate::wire_to_json`] / [`crate::wire_from_json`];
+/// the schema is pinned by
+/// `tests/golden/wire_messages.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// A node announces itself (mid-run churn); answered with
+    /// [`WireMessage::Welcome`] (star) or [`WireMessage::WelcomeLog`]
+    /// (gossip). Resent until a snapshot arrives.
+    Join {
+        /// The joining node.
+        node: NodeId,
+    },
+    /// A node retires; the broker stops broadcasting to it.
+    Leave {
+        /// The leaving node.
+        node: NodeId,
+    },
+    /// A batch of observations (node → broker publishes, gossip rumor
+    /// forwarding, and anti-entropy retransmissions).
+    Ops {
+        /// The observations, in canonical `(round, origin)` order.
+        ops: Vec<Observation>,
+    },
+    /// Broker → node: all of your observations with `seq <
+    /// count` have been merged — stop retransmitting them.
+    Ack {
+        /// The contiguous per-origin sequence watermark.
+        count: u64,
+    },
+    /// Broker → nodes: one knowledge shard moved. The payload's
+    /// `from_epoch`/`to_epoch` are the shard's monotone broadcast
+    /// versions; a receiver whose epoch vector holds exactly
+    /// `from_epoch` for this shard applies the patch in place, anyone
+    /// else detects the gap and resynchronises.
+    Delta {
+        /// The knowledge shard the changed points belong to.
+        shard: usize,
+        /// The changed operating points plus the shard version chain.
+        delta: KnowledgeDelta<KnobConfig>,
+    },
+    /// Node → broker: my per-shard epoch vector; send me full state
+    /// for every shard where I am behind.
+    SyncRequest {
+        /// The requester's per-shard epoch vector.
+        versions: Vec<u64>,
+    },
+    /// Broker → node: authoritative full state of one stale shard.
+    SyncResponse {
+        /// The shard being repaired.
+        shard: usize,
+        /// The shard's current broadcast version.
+        version: u64,
+        /// Every operating point of the shard, as `(position, point)`.
+        points: Vec<(usize, OperatingPoint<KnobConfig>)>,
+    },
+    /// Gossip anti-entropy: what the sender's replica holds, as
+    /// per-origin contiguous sequence watermarks. The receiver
+    /// retransmits what the sender is missing, and if `reply` is set
+    /// answers with its own summary so one exchange reconciles both
+    /// directions.
+    Summary {
+        /// `(origin, contiguous count)`: the sender holds every
+        /// observation of `origin` with `seq < count`.
+        counts: Vec<(NodeId, u64)>,
+        /// Whether the receiver should answer with its own summary.
+        reply: bool,
+    },
+    /// Broker → joining node: a snapshot of the published knowledge
+    /// plus the per-shard epoch vector it corresponds to; subsequent
+    /// [`WireMessage::Delta`]s chain from these versions.
+    Welcome {
+        /// The published effective knowledge.
+        knowledge: Knowledge<KnobConfig>,
+        /// The per-shard epoch vector of the snapshot.
+        versions: Vec<u64>,
+    },
+    /// Gossip peer → joining node: a snapshot of the full observation
+    /// log; the joiner folds it and catches up via gossiped ops.
+    WelcomeLog {
+        /// Every observation the peer holds, in canonical order.
+        ops: Vec<Observation>,
+    },
+}
+
+/// The seeded loss/latency model applied independently to every
+/// directed link of a [`SimNet`].
+///
+/// Latencies are in **virtual-clock ticks** (the fleet ticks once per
+/// synchronized round). A latency of 0 delivers in the next round's
+/// delivery phase — or within the *same* phase for replies generated
+/// while delivering, which is what makes an ideal link behave exactly
+/// like the in-process barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Seed of the per-link RNG streams (links are independent:
+    /// traffic on one link never perturbs another's schedule).
+    pub seed: u64,
+    /// Minimum per-message latency, ticks.
+    pub min_latency: u64,
+    /// Maximum per-message latency, ticks (uniform in
+    /// `min..=max`; jitter is what reorders messages).
+    pub max_latency: u64,
+    /// Probability a message copy is silently dropped. Must be `< 1`.
+    pub drop_prob: f64,
+    /// Probability a message is transmitted twice (each copy with its
+    /// own latency and drop draw).
+    pub dup_prob: f64,
+}
+
+impl LinkConfig {
+    /// A lossless, zero-latency, duplicate-free link: the wire
+    /// equivalent of the in-process round barrier.
+    pub fn ideal(seed: u64) -> Self {
+        LinkConfig {
+            seed,
+            min_latency: 0,
+            max_latency: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+
+    /// Checks the model for values that could never converge (drop
+    /// probability 1) or are malformed (inverted latency range,
+    /// non-finite probabilities).
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-stage [`SocratesError`] naming the field.
+    pub fn validate(&self) -> Result<(), SocratesError> {
+        if self.min_latency > self.max_latency {
+            return Err(SocratesError::transport(format!(
+                "link min_latency {} exceeds max_latency {}",
+                self.min_latency, self.max_latency
+            )));
+        }
+        let p = self.drop_prob;
+        if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+            return Err(SocratesError::transport(format!(
+                "link drop_prob = {p} must be a finite probability in [0, 1) \
+                 (1 would mean no message is ever delivered)"
+            )));
+        }
+        let p = self.dup_prob;
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(SocratesError::transport(format!(
+                "link dup_prob = {p} must be a finite probability in [0, 1] \
+                 (1 duplicates every message — replicas deduplicate, so that is a \
+                 legitimate stress model)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::ideal(0)
+    }
+}
+
+/// How the participants are wired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistTopology {
+    /// All nodes talk to a central knowledge broker that owns the
+    /// authoritative merge and broadcasts per-shard deltas.
+    BrokerStar,
+    /// No broker: every node holds a full replica and rumors new
+    /// observations to `fanout` rotating peers per round, with
+    /// summary-based anti-entropy repairing drops.
+    Gossip {
+        /// Peers contacted per round (clamped to the peer count;
+        /// `fanout >= peers` is a full broadcast mesh).
+        fanout: usize,
+    },
+}
+
+/// Policy of a distributed deployment ([`crate::DistributedFleet`]),
+/// carried inside [`crate::FleetConfig::distributed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedConfig {
+    /// Who talks to whom.
+    pub topology: DistTopology,
+    /// The seeded loss/latency model of every link.
+    pub link: LinkConfig,
+    /// Anti-entropy cadence, rounds: how often nodes proactively
+    /// resynchronise (star: epoch-vector sync requests; gossip:
+    /// summaries). Must be ≥ 1.
+    pub sync_interval: u64,
+    /// Round budget of [`crate::DistributedFleet::drain`] before it
+    /// gives up with a transport error. Must be ≥ 1.
+    pub max_drain_rounds: u64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            topology: DistTopology::BrokerStar,
+            link: LinkConfig::default(),
+            sync_interval: 4,
+            max_drain_rounds: 10_000,
+        }
+    }
+}
+
+impl DistributedConfig {
+    /// Checks the policy ([`LinkConfig::validate`] plus the cadence
+    /// and fan-out bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-stage [`SocratesError`] naming the field.
+    pub fn validate(&self) -> Result<(), SocratesError> {
+        self.link.validate()?;
+        if self.sync_interval == 0 {
+            return Err(SocratesError::transport(
+                "sync_interval must be >= 1: without periodic anti-entropy, dropped \
+                 messages are never repaired",
+            ));
+        }
+        if self.max_drain_rounds == 0 {
+            return Err(SocratesError::transport(
+                "max_drain_rounds must be >= 1: a drain needs at least one round",
+            ));
+        }
+        if let DistTopology::Gossip { fanout } = self.topology {
+            if fanout == 0 {
+                return Err(SocratesError::transport(
+                    "gossip fanout must be >= 1: a node that contacts nobody never \
+                     disseminates its observations",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Message counters of a [`SimNet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to [`SimNet::send`].
+    pub sent: u64,
+    /// Message copies delivered to their destination.
+    pub delivered: u64,
+    /// Message copies dropped by the loss model.
+    pub dropped: u64,
+    /// Messages the duplication model transmitted twice.
+    pub duplicated: u64,
+}
+
+/// One in-flight (or delivered) message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending participant.
+    pub from: NodeId,
+    /// Receiving participant.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: WireMessage,
+}
+
+/// The deterministic simulated transport: bounded virtual-clock
+/// message queues with seeded per-link latency, reordering, drop and
+/// duplication.
+///
+/// Determinism contract: given the same [`LinkConfig`] and the same
+/// sequence of [`send`](Self::send) calls at the same ticks, the
+/// delivery schedule — order, timing, drops, duplicates — is
+/// bit-identical. Messages become deliverable once the clock reaches
+/// their scheduled tick and are handed out in `(deliver_tick,
+/// send_sequence)` order.
+#[derive(Debug)]
+pub struct SimNet {
+    config: LinkConfig,
+    now: u64,
+    seq: u64,
+    queue: BTreeMap<(u64, u64), Envelope>,
+    links: HashMap<(NodeId, NodeId), ChaCha8Rng>,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// An empty network under the given link model.
+    pub fn new(config: LinkConfig) -> Self {
+        SimNet {
+            config,
+            now: 0,
+            seq: 0,
+            queue: BTreeMap::new(),
+            links: HashMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The virtual clock, ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the virtual clock by one tick (one synchronized
+    /// round).
+    pub fn tick(&mut self) {
+        self.now += 1;
+    }
+
+    /// Messages scheduled but not yet delivered (including ones due
+    /// now).
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Message counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Transmits `msg` from `from` to `to` through the link's seeded
+    /// loss/latency model. A duplicated message is transmitted twice;
+    /// every copy draws its own latency and drop.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: WireMessage) {
+        self.stats.sent += 1;
+        let config = &self.config;
+        let rng = self.links.entry((from, to)).or_insert_with(|| {
+            // Independent stream per directed link, derived from the
+            // shared seed so the whole schedule replays from one
+            // number.
+            let mut state =
+                config.seed ^ (u64::from(from) << 32) ^ u64::from(to) ^ 0x9e37_79b9_7f4a_7c15;
+            ChaCha8Rng::seed_from_u64(rand::split_mix_64(&mut state))
+        });
+        let copies = if config.dup_prob > 0.0 && rng.gen_bool(config.dup_prob) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let latency = if config.max_latency > config.min_latency {
+                rng.gen_range(config.min_latency..=config.max_latency)
+            } else {
+                config.min_latency
+            };
+            let dropped = config.drop_prob > 0.0 && rng.gen_bool(config.drop_prob);
+            if dropped {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let key = (self.now + latency, self.seq);
+            self.seq += 1;
+            self.queue.insert(
+                key,
+                Envelope {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// Pops the next message due at (or before) the current tick, in
+    /// deterministic `(deliver_tick, send_sequence)` order; `None`
+    /// once everything deliverable now has been handed out.
+    pub fn poll_due(&mut self) -> Option<Envelope> {
+        let (&key, _) = self.queue.iter().next()?;
+        if key.0 > self.now {
+            return None;
+        }
+        let env = self.queue.remove(&key).expect("key just observed");
+        self.stats.delivered += 1;
+        Some(env)
+    }
+}
+
+/// A replicated observation log folded into a [`SharedKnowledge`] in
+/// the canonical `(round, origin)` order.
+///
+/// The fold is a pure function of the log *set*: observations that
+/// arrive out of canonical order trigger a refold from the design
+/// knowledge (counted in [`refolds`](Self::refolds)), so two replicas
+/// holding the same observations always expose bit-identical
+/// effective knowledge and per-shard epoch vectors, no matter how the
+/// network interleaved, dropped or duplicated the messages in
+/// between.
+#[derive(Debug)]
+pub struct Replica {
+    design: Knowledge<KnobConfig>,
+    window: usize,
+    min_observations: u64,
+    shards: usize,
+    log: BTreeMap<(u64, NodeId), Observation>,
+    /// origin → (seq → round): the per-origin index summaries and
+    /// retransmissions work from.
+    per_origin: BTreeMap<NodeId, BTreeMap<u64, u64>>,
+    folded: SharedKnowledge<KnobConfig>,
+    frontier: Option<(u64, NodeId)>,
+    needs_refold: bool,
+    refolds: u64,
+}
+
+impl Replica {
+    /// An empty replica over `design` knowledge, folding observations
+    /// through sliding windows of `window` samples, overriding design
+    /// values after `min_observations`, across `shards` lock shards
+    /// (the shard count fixes the epoch-vector layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `shards` is zero (same contracts as
+    /// [`SharedKnowledge::new`] / `with_shards`); the fleet validates
+    /// these through [`crate::FleetConfig::validate`] first.
+    pub fn new(
+        design: Knowledge<KnobConfig>,
+        window: usize,
+        min_observations: u64,
+        shards: usize,
+    ) -> Self {
+        let folded = Self::fresh(&design, window, min_observations, shards);
+        Replica {
+            design,
+            window,
+            min_observations,
+            shards,
+            log: BTreeMap::new(),
+            per_origin: BTreeMap::new(),
+            folded,
+            frontier: None,
+            needs_refold: false,
+            refolds: 0,
+        }
+    }
+
+    fn fresh(
+        design: &Knowledge<KnobConfig>,
+        window: usize,
+        min_observations: u64,
+        shards: usize,
+    ) -> SharedKnowledge<KnobConfig> {
+        SharedKnowledge::new(design.clone(), window)
+            .with_min_observations(min_observations)
+            .with_shards(shards)
+    }
+
+    /// Records one observation; returns `false` for duplicates (same
+    /// `(round, origin)`), which merge idempotently. An observation
+    /// sorting at or before the fold frontier schedules a refold.
+    pub fn insert(&mut self, op: Observation) -> bool {
+        let key = op.op_id();
+        if self.log.contains_key(&key) {
+            return false;
+        }
+        if let Some(frontier) = self.frontier {
+            if key <= frontier {
+                self.needs_refold = true;
+            }
+        }
+        self.per_origin
+            .entry(op.origin)
+            .or_default()
+            .insert(op.seq, op.round);
+        self.log.insert(key, op);
+        true
+    }
+
+    /// Folds every logged observation that is not yet reflected in
+    /// the effective knowledge, in canonical order. Cheap when the
+    /// log grew only past the frontier; a full refold otherwise.
+    pub fn fold_pending(&mut self) {
+        if self.needs_refold {
+            self.folded = Self::fresh(
+                &self.design,
+                self.window,
+                self.min_observations,
+                self.shards,
+            );
+            for op in self.log.values() {
+                self.folded.publish(&op.config, &op.observed);
+            }
+            self.refolds += 1;
+            self.needs_refold = false;
+        } else {
+            let range = match self.frontier {
+                Some(frontier) => self.log.range((Excluded(frontier), Unbounded)),
+                None => self.log.range(..),
+            };
+            for (_, op) in range {
+                self.folded.publish(&op.config, &op.observed);
+            }
+        }
+        self.frontier = self.log.keys().next_back().copied();
+    }
+
+    /// Whether observations are logged but not yet folded.
+    pub fn pending(&self) -> bool {
+        self.needs_refold || self.frontier != self.log.keys().next_back().copied()
+    }
+
+    /// The folded knowledge epoch (meaningful relative to
+    /// [`refolds`](Self::refolds): a refold restarts the count).
+    pub fn epoch(&self) -> u64 {
+        self.folded.epoch()
+    }
+
+    /// How many times an out-of-canonical-order arrival forced a full
+    /// refold.
+    pub fn refolds(&self) -> u64 {
+        self.refolds
+    }
+
+    /// The folded per-shard epoch vector: bit-identical across
+    /// replicas holding the same observations.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        (0..self.folded.shard_count())
+            .map(|s| self.folded.shard_epoch(s))
+            .collect()
+    }
+
+    /// The effective knowledge under the canonical fold.
+    pub fn knowledge(&self) -> Knowledge<KnobConfig> {
+        self.folded.knowledge()
+    }
+
+    /// The knowledge shard `config` lives in, or `None` for unknown
+    /// configurations.
+    pub fn shard_of(&self, config: &KnobConfig) -> Option<usize> {
+        self.folded.shard_of(config)
+    }
+
+    /// Per-origin contiguous watermarks: `(origin, count)` meaning
+    /// every observation of `origin` with `seq < count` is present.
+    pub fn summary(&self) -> Vec<(NodeId, u64)> {
+        self.per_origin
+            .iter()
+            .map(|(&origin, seqs)| {
+                let mut count = 0u64;
+                for &seq in seqs.keys() {
+                    if seq == count {
+                        count += 1;
+                    } else {
+                        break;
+                    }
+                }
+                (origin, count)
+            })
+            .collect()
+    }
+
+    /// The observations this replica holds that a peer summarising
+    /// itself as `counts` provably lacks, in canonical order (the
+    /// anti-entropy retransmission set; gaps above a peer's watermark
+    /// may cause benign re-sends, which deduplicate on insert).
+    pub fn missing_for(&self, counts: &[(NodeId, u64)]) -> Vec<Observation> {
+        let theirs: BTreeMap<NodeId, u64> = counts.iter().copied().collect();
+        let mut out = Vec::new();
+        for (&origin, seqs) in &self.per_origin {
+            let have = theirs.get(&origin).copied().unwrap_or(0);
+            for (_, &round) in seqs.range(have..) {
+                out.push(self.log[&(round, origin)].clone());
+            }
+        }
+        out.sort_by_key(Observation::op_id);
+        out
+    }
+
+    /// Every logged observation, in canonical order.
+    pub fn ops(&self) -> impl Iterator<Item = &Observation> {
+        self.log.values()
+    }
+
+    /// Number of logged observations.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use margot::Metric;
+    use platform_sim::{BindingPolicy, CompilerOptions, OptLevel};
+
+    fn cfg(tn: u32) -> KnobConfig {
+        KnobConfig::new(
+            CompilerOptions::level(OptLevel::O2),
+            tn,
+            BindingPolicy::Close,
+        )
+    }
+
+    fn design() -> Knowledge<KnobConfig> {
+        [1u32, 2, 4, 8]
+            .into_iter()
+            .map(|tn| {
+                OperatingPoint::new(
+                    cfg(tn),
+                    MetricValues::new()
+                        .with(Metric::exec_time(), 1.0 / f64::from(tn))
+                        .with(Metric::power(), 50.0 + f64::from(tn)),
+                )
+            })
+            .collect()
+    }
+
+    fn op(origin: NodeId, seq: u64, round: u64, tn: u32, power: f64) -> Observation {
+        Observation {
+            origin,
+            seq,
+            round,
+            config: cfg(tn),
+            observed: MetricValues::new().with(Metric::power(), power),
+        }
+    }
+
+    #[test]
+    fn ideal_links_deliver_next_tick_in_send_order() {
+        let mut net = SimNet::new(LinkConfig::ideal(7));
+        net.send(0, 1, WireMessage::Ack { count: 1 });
+        net.send(2, 1, WireMessage::Ack { count: 2 });
+        assert!(net.poll_due().is_some(), "due at the current tick");
+        // Remaining message still in flight until polled.
+        assert_eq!(net.in_flight(), 1);
+        net.tick();
+        let env = net.poll_due().expect("second message due");
+        assert_eq!(env.from, 2);
+        assert!(net.poll_due().is_none());
+        assert_eq!(net.stats().delivered, 2);
+        assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn lossy_schedules_replay_bit_identically_from_the_seed() {
+        let lossy = LinkConfig {
+            seed: 42,
+            min_latency: 0,
+            max_latency: 5,
+            drop_prob: 0.4,
+            dup_prob: 0.2,
+        };
+        let run = || {
+            let mut net = SimNet::new(lossy.clone());
+            let mut deliveries = Vec::new();
+            for t in 0..30u64 {
+                net.send(0, 1, WireMessage::Ack { count: t });
+                net.send(1, 0, WireMessage::Ack { count: t });
+                while let Some(env) = net.poll_due() {
+                    deliveries.push((net.now(), env.from, env.msg));
+                }
+                net.tick();
+            }
+            (deliveries, net.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "the delivery schedule must replay exactly");
+        assert_eq!(sa, sb);
+        assert!(sa.dropped > 0, "a 40% loss model must drop something");
+        assert!(sa.duplicated > 0, "a 20% dup model must duplicate");
+    }
+
+    #[test]
+    fn link_config_rejects_certain_loss() {
+        assert!(LinkConfig {
+            drop_prob: 1.0,
+            ..LinkConfig::ideal(0)
+        }
+        .validate()
+        .is_err());
+        assert!(LinkConfig {
+            min_latency: 3,
+            max_latency: 1,
+            ..LinkConfig::ideal(0)
+        }
+        .validate()
+        .is_err());
+        assert!(LinkConfig::ideal(0).validate().is_ok());
+    }
+
+    #[test]
+    fn replica_fold_is_independent_of_arrival_order() {
+        let ops = vec![
+            op(0, 0, 0, 1, 60.0),
+            op(1, 0, 0, 1, 70.0),
+            op(0, 1, 1, 2, 90.0),
+            op(1, 1, 1, 1, 80.0),
+        ];
+        let mut canonical = Replica::new(design(), 4, 1, 3);
+        for o in &ops {
+            canonical.insert(o.clone());
+        }
+        canonical.fold_pending();
+        // Reversed arrival (with a duplicate thrown in) must converge
+        // to the same knowledge AND the same shard epoch vector.
+        let mut scrambled = Replica::new(design(), 4, 1, 3);
+        for o in ops.iter().rev() {
+            scrambled.insert(o.clone());
+            scrambled.fold_pending();
+        }
+        assert!(!scrambled.insert(ops[2].clone()), "duplicate is idempotent");
+        scrambled.fold_pending();
+        assert!(scrambled.refolds() > 0, "late arrivals must refold");
+        assert_eq!(canonical.refolds(), 0);
+        assert_eq!(canonical.knowledge(), scrambled.knowledge());
+        assert_eq!(canonical.shard_epochs(), scrambled.shard_epochs());
+        assert_eq!(canonical.epoch(), scrambled.epoch());
+    }
+
+    #[test]
+    fn replica_matches_the_single_mutex_reference() {
+        let ops = vec![
+            op(0, 0, 0, 1, 60.0),
+            op(1, 0, 0, 1, 70.0),
+            op(0, 1, 1, 2, 90.0),
+        ];
+        let mut replica = Replica::new(design(), 4, 1, 5);
+        for o in ops.iter().rev() {
+            replica.insert(o.clone());
+        }
+        replica.fold_pending();
+        let reference = SharedKnowledge::new(design(), 4).with_shards(1);
+        for o in &ops {
+            reference.publish(&o.config, &o.observed);
+        }
+        assert_eq!(replica.knowledge(), reference.knowledge());
+    }
+
+    #[test]
+    fn summaries_and_missing_sets_reconcile_two_replicas() {
+        let mut a = Replica::new(design(), 4, 1, 2);
+        let mut b = Replica::new(design(), 4, 1, 2);
+        let ops = vec![
+            op(0, 0, 0, 1, 60.0),
+            op(0, 1, 1, 2, 61.0),
+            op(1, 0, 0, 4, 62.0),
+            op(1, 1, 1, 8, 63.0),
+        ];
+        // a holds everything; b holds a gap (missing (0, seq 0)).
+        for o in &ops {
+            a.insert(o.clone());
+        }
+        b.insert(ops[1].clone());
+        b.insert(ops[2].clone());
+        assert_eq!(b.summary(), vec![(0, 0), (1, 1)], "gap keeps watermark 0");
+        let missing = a.missing_for(&b.summary());
+        // Everything above b's watermarks: both origin-0 ops (benign
+        // re-send of seq 1) and origin-1 seq 1.
+        assert_eq!(missing.len(), 3);
+        for o in missing {
+            b.insert(o);
+        }
+        a.fold_pending();
+        b.fold_pending();
+        assert_eq!(a.knowledge(), b.knowledge());
+        assert_eq!(a.shard_epochs(), b.shard_epochs());
+        assert!(a.missing_for(&b.summary()).is_empty());
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn distributed_config_validation_names_the_field() {
+        let bad_sync = DistributedConfig {
+            sync_interval: 0,
+            ..DistributedConfig::default()
+        };
+        let err = bad_sync.validate().expect_err("zero sync interval");
+        assert!(err.to_string().contains("sync_interval"), "{err}");
+        let bad_fanout = DistributedConfig {
+            topology: DistTopology::Gossip { fanout: 0 },
+            ..DistributedConfig::default()
+        };
+        let err = bad_fanout.validate().expect_err("zero fanout");
+        assert!(err.to_string().contains("fanout"), "{err}");
+        assert!(DistributedConfig::default().validate().is_ok());
+    }
+}

@@ -38,6 +38,7 @@
 use crate::knowledge::{Knowledge, OperatingPoint};
 use crate::metric::{Metric, MetricValues};
 use crate::monitor::Monitor;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,7 +113,12 @@ struct PointRef {
 /// [`KnowledgeDelta::apply_to`]. An instance whose knowledge is at
 /// `from_epoch` lands exactly on the `to_epoch` knowledge — bit-
 /// identical to adopting a full snapshot.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Deltas serialise (serde), so a coordinator can ship them over a
+/// wire instead of a shared address space — the distributed runtime's
+/// knowledge-exchange payload (`socrates::transport`). The JSON schema
+/// is pinned by a golden file in the `socrates` crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KnowledgeDelta<K> {
     /// The epoch the receiver must be at for the patch to be exact.
     pub from_epoch: u64,

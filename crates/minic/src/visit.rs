@@ -1,7 +1,7 @@
 //! AST visitors.
 //!
 //! [`Visitor`] walks an AST immutably (used by Milepost feature extraction
-//! and the LARA attribute queries); [`VisitorMut`] walks it mutably (used by
+//! and the LARA attribute queries); [`map_exprs_in_stmt`] rewrites it mutably (used by
 //! weaving actions such as call replacement).
 
 use crate::ast::*;

@@ -3,7 +3,7 @@
 //! Semantics follow Polybench 4.2. These ports provide the *functional*
 //! behaviour (`o = f(i)` in the paper's terminology); the extra-functional
 //! behaviour (time/power) of the same kernels on the paper's platform is
-//! modelled by [`platform_sim`](platform_sim).
+//! modelled by [`platform_sim`].
 
 use crate::matrix::Matrix;
 

@@ -1,0 +1,151 @@
+//! Golden wire-schema regression: the distributed runtime's
+//! serialised knowledge exchange — [`margot::KnowledgeDelta`] and
+//! every [`socrates::transport::WireMessage`] variant — must be
+//! **byte-identical** against the checked-in files under
+//! `tests/golden/`, pinning field names, field order, variant tags
+//! and float formatting of the wire schema (like the golden trace
+//! pins the `TraceSample` schema).
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```sh
+//! SOCRATES_REGEN_GOLDEN=1 cargo test -p socrates-suite --test golden_wire
+//! ```
+
+use margot::{Knowledge, KnowledgeDelta, Metric, MetricValues, OperatingPoint};
+use platform_sim::{BindingPolicy, CompilerFlag, CompilerOptions, KnobConfig, OptLevel};
+use socrates::transport::{Observation, WireMessage};
+use socrates::{delta_from_json, delta_to_json, wire_from_json, wire_to_json};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
+}
+
+fn sample_point(i: usize) -> OperatingPoint<KnobConfig> {
+    let co = if i == 0 {
+        CompilerOptions::level(OptLevel::O2)
+    } else {
+        CompilerOptions::with_flags(OptLevel::O3, [CompilerFlag::UnrollAllLoops])
+    };
+    let tn = 1u32 << i;
+    OperatingPoint::new(
+        KnobConfig::new(co, tn, BindingPolicy::Close),
+        MetricValues::new()
+            .with(Metric::exec_time(), 1.5 / f64::from(tn))
+            .with(Metric::power(), 48.25 + f64::from(tn)),
+    )
+}
+
+/// The pinned delta: two changed points between epochs 3 and 5.
+fn sample_delta() -> KnowledgeDelta<KnobConfig> {
+    KnowledgeDelta {
+        from_epoch: 3,
+        to_epoch: 5,
+        changed: vec![(0, sample_point(0)), (2, sample_point(2))],
+    }
+}
+
+/// One pinned message per [`WireMessage`] variant, covering the whole
+/// protocol surface.
+fn sample_messages() -> Vec<WireMessage> {
+    let knowledge: Knowledge<KnobConfig> = (0..2).map(sample_point).collect();
+    vec![
+        WireMessage::Join { node: 3 },
+        WireMessage::Leave { node: 3 },
+        WireMessage::Ops {
+            ops: vec![Observation {
+                origin: 1,
+                seq: 4,
+                round: 7,
+                config: sample_point(1).config,
+                observed: MetricValues::new()
+                    .with(Metric::exec_time(), 0.75)
+                    .with(Metric::power(), 52.5),
+            }],
+        },
+        WireMessage::Ack { count: 5 },
+        WireMessage::Delta {
+            shard: 2,
+            delta: sample_delta(),
+        },
+        WireMessage::SyncRequest {
+            versions: vec![0, 4, 2],
+        },
+        WireMessage::SyncResponse {
+            shard: 1,
+            version: 4,
+            points: vec![(1, sample_point(1))],
+        },
+        WireMessage::Summary {
+            counts: vec![(0, 3), (2, 1)],
+            reply: true,
+        },
+        WireMessage::Welcome {
+            knowledge,
+            versions: vec![1, 1, 0],
+        },
+        WireMessage::WelcomeLog { ops: Vec::new() },
+    ]
+}
+
+fn check_golden(name: &str, serialized: &str) {
+    let path = golden_path(name);
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, serialized).expect("write golden");
+        eprintln!(
+            "regenerated {} ({} bytes)",
+            path.display(),
+            serialized.len()
+        );
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SOCRATES_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        serialized, golden,
+        "{name}: wire bytes drifted from the golden file"
+    );
+}
+
+#[test]
+fn knowledge_delta_is_byte_stable_against_the_golden_file() {
+    let json = delta_to_json(&sample_delta()).expect("delta serialises");
+    check_golden("knowledge_delta.json", &json);
+}
+
+#[test]
+fn wire_messages_are_byte_stable_against_the_golden_file() {
+    let json: Vec<String> = sample_messages()
+        .iter()
+        .map(|m| wire_to_json(m).expect("message serialises"))
+        .collect();
+    check_golden("wire_messages.json", &format!("[{}]", json.join(",\n")));
+}
+
+#[test]
+fn golden_delta_round_trips_byte_stably() {
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        return; // the golden file is being rewritten concurrently
+    }
+    let golden =
+        std::fs::read_to_string(golden_path("knowledge_delta.json")).expect("golden delta present");
+    let parsed = delta_from_json(&golden).expect("golden delta parses");
+    assert_eq!(parsed, sample_delta(), "golden content drifted");
+    let reserialized = delta_to_json(&parsed).expect("reserialises");
+    assert_eq!(reserialized, golden, "format(parse(x)) != x");
+}
+
+#[test]
+fn every_wire_variant_round_trips_through_serde() {
+    for msg in sample_messages() {
+        let json = wire_to_json(&msg).expect("serialises");
+        let back = wire_from_json(&json).expect("parses");
+        assert_eq!(back, msg, "round-trip changed the message");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based convergence tests of the distributed knowledge
+//! exchange: **any** seeded sequence of drops, reorders (latency
+//! jitter) and duplicates must still converge — once the links drain
+//! — to the canonical single-mutex [`margot::SharedKnowledge`]
+//! reference fed the same observations in `(round, origin)` order;
+//! and a late-joining instance must catch up exactly.
+//!
+//! The enhanced application is built once and shared across cases
+//! (its design knowledge subsampled so the AS-RTM planning cost does
+//! not drown the exchange being tested); every case derives its whole
+//! schedule — loss, latency, duplication, topology, churn — from the
+//! proptest-generated parameters, so failures replay deterministically.
+
+use margot::{Knowledge, Rank, SharedKnowledge};
+use polybench::{App, Dataset};
+use proptest::prelude::*;
+use socrates::{
+    DistTopology, DistributedConfig, DistributedFleet, EnhancedApp, FleetConfig, LinkConfig,
+    Toolchain,
+};
+use std::sync::OnceLock;
+
+/// Points kept from the design knowledge (the version table is keyed
+/// by (CO, BP) and stays complete, so every kept point dispatches).
+const KNOWLEDGE_POINTS: usize = 48;
+
+fn enhanced() -> &'static EnhancedApp {
+    static ENHANCED: OnceLock<EnhancedApp> = OnceLock::new();
+    ENHANCED.get_or_init(|| {
+        let mut enhanced = Toolchain {
+            dataset: Dataset::Medium,
+            dse_repetitions: 1,
+            ..Toolchain::default()
+        }
+        .enhance(App::TwoMm)
+        .expect("enhance 2mm");
+        let points = enhanced.knowledge.points();
+        let stride = (points.len() / KNOWLEDGE_POINTS).max(1);
+        enhanced.knowledge = points
+            .iter()
+            .step_by(stride)
+            .take(KNOWLEDGE_POINTS)
+            .cloned()
+            .collect::<Knowledge<_>>();
+        enhanced
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    nodes: usize,
+    rounds: usize,
+    drop_prob: f64,
+    dup_prob: f64,
+    max_latency: u64,
+    gossip_fanout: Option<usize>,
+    sync_interval: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        2usize..5,
+        2usize..9,
+        0.0f64..0.7,
+        0.0f64..0.3,
+        0u64..4,
+        prop::option::of(1usize..4),
+        1u64..5,
+    )
+        .prop_map(
+            |(
+                seed,
+                nodes,
+                rounds,
+                drop_prob,
+                dup_prob,
+                max_latency,
+                gossip_fanout,
+                sync_interval,
+            )| {
+                Scenario {
+                    seed,
+                    nodes,
+                    rounds,
+                    drop_prob,
+                    dup_prob,
+                    max_latency,
+                    gossip_fanout,
+                    sync_interval,
+                }
+            },
+        )
+}
+
+fn build_fleet(s: &Scenario) -> DistributedFleet {
+    let topology = match s.gossip_fanout {
+        Some(fanout) => DistTopology::Gossip { fanout },
+        None => DistTopology::BrokerStar,
+    };
+    let config = FleetConfig {
+        exploration_interval: 0,
+        distributed: Some(DistributedConfig {
+            topology,
+            link: LinkConfig {
+                seed: s.seed,
+                min_latency: 0,
+                max_latency: s.max_latency,
+                drop_prob: s.drop_prob,
+                dup_prob: s.dup_prob,
+            },
+            sync_interval: s.sync_interval,
+            max_drain_rounds: 50_000,
+        }),
+        ..FleetConfig::default()
+    };
+    DistributedFleet::new(config, enhanced()).expect("valid scenario config")
+}
+
+/// Folds the fleet's canonical observation log into a single-mutex,
+/// single-shard [`SharedKnowledge`] — the in-process reference every
+/// reconciliation path must land on.
+fn reference_fold(fleet: &DistributedFleet) -> Knowledge<platform_sim::KnobConfig> {
+    let config = fleet.config();
+    let reference = SharedKnowledge::new(enhanced().knowledge.clone(), config.knowledge_window)
+        .with_min_observations(config.min_observations)
+        .with_shards(1);
+    for op in fleet.canonical_ops() {
+        reference.publish(&op.config, &op.observed);
+    }
+    reference.knowledge()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the link does — drop, delay, reorder, duplicate —
+    /// once the links drain, every node holds the same effective
+    /// knowledge and epoch vector, equal to the canonical
+    /// single-mutex fold of all observations.
+    #[test]
+    fn any_seeded_loss_schedule_converges_to_the_reference(s in scenario_strategy()) {
+        let mut fleet = build_fleet(&s);
+        fleet.spawn(&Rank::throughput_per_watt2(), s.seed ^ 0xf1ee7, s.nodes);
+        for _ in 0..s.rounds {
+            fleet.step_round();
+        }
+        fleet.drain().expect("any drop_prob < 1 must drain");
+        prop_assert!(fleet.converged());
+        // Every node made every round (nothing lost from the log):
+        // own observations are retransmitted until acknowledged.
+        prop_assert_eq!(fleet.canonical_ops().len(), s.nodes * s.rounds);
+        let reference = reference_fold(&fleet);
+        let vector0 = fleet.epoch_vector(0);
+        for id in 0..s.nodes {
+            prop_assert_eq!(
+                fleet.node_knowledge(id),
+                reference.clone(),
+                "node {} diverged from the single-mutex reference",
+                id
+            );
+            prop_assert_eq!(
+                fleet.epoch_vector(id),
+                vector0.clone(),
+                "node {} epoch vector diverged",
+                id
+            );
+        }
+    }
+
+    /// A node joining mid-run adopts a snapshot and catches up via
+    /// deltas: after drain it holds exactly the fleet's knowledge.
+    #[test]
+    fn late_joiner_catches_up_exactly(s in scenario_strategy(), join_after in 1usize..5) {
+        let mut fleet = build_fleet(&s);
+        fleet.spawn(&Rank::throughput_per_watt2(), s.seed ^ 0x101, s.nodes);
+        let join_after = join_after.min(s.rounds);
+        for _ in 0..join_after {
+            fleet.step_round();
+        }
+        let late = fleet.add_instance(
+            Rank::throughput_per_watt2(),
+            enhanced().platform.machine(s.seed ^ 0xbeef),
+        );
+        for _ in join_after..s.rounds {
+            fleet.step_round();
+        }
+        fleet.drain().expect("any drop_prob < 1 must drain");
+        prop_assert!(fleet.converged());
+        let reference = reference_fold(&fleet);
+        prop_assert_eq!(
+            fleet.node_knowledge(late),
+            reference,
+            "the late joiner must land exactly on the reference fold"
+        );
+        prop_assert_eq!(fleet.epoch_vector(late), fleet.epoch_vector(0));
+    }
+}

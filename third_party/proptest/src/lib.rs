@@ -383,7 +383,7 @@ pub mod collection {
         max_len_exclusive: usize,
     }
 
-    /// Lengths acceptable to [`vec`].
+    /// Lengths acceptable to [`vec()`].
     pub trait IntoLenRange {
         /// Lower bound (inclusive) and upper bound (exclusive).
         fn bounds(self) -> (usize, usize);

@@ -53,8 +53,14 @@ struct DistRow {
     msgs_delivered: u64,
     msgs_dropped: u64,
     msgs_duplicated: u64,
-    /// Full re-merges forced by out-of-canonical-order arrivals.
+    /// Encoded wire bytes handed to the transport.
+    bytes_sent: u64,
+    /// Fold rollbacks forced by out-of-canonical-order arrivals
+    /// (checkpoint rollbacks and full refolds alike).
     refolds: u64,
+    /// Observations re-folded by those rollbacks — the actual replay
+    /// overhead, suffix-proportional under checkpointed refolds.
+    refold_ops_replayed: u64,
     wall_ms: f64,
 }
 
@@ -77,8 +83,16 @@ fn main() {
          ({nodes} nodes, {rounds} rounds, {KNOWLEDGE_POINTS}-point knowledge, dup 10%)\n"
     );
     println!(
-        "{:>10} {:>6} {:>8} {:>13} {:>10} {:>9} {:>9} {:>10}",
-        "topology", "drop", "latency", "drain rounds", "sent", "dropped", "refolds", "wall [ms]"
+        "{:>10} {:>6} {:>8} {:>13} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "topology",
+        "drop",
+        "latency",
+        "drain rounds",
+        "sent",
+        "dropped",
+        "refolds",
+        "replayed",
+        "wall [ms]"
     );
     let mut out = Vec::new();
     for topology in [DistTopology::BrokerStar, DistTopology::Gossip { fanout: 2 }] {
@@ -127,11 +141,13 @@ fn main() {
                     msgs_delivered: stats.net.delivered,
                     msgs_dropped: stats.net.dropped,
                     msgs_duplicated: stats.net.duplicated,
+                    bytes_sent: stats.net.bytes_sent,
                     refolds: stats.refolds,
+                    refold_ops_replayed: stats.refold_ops_replayed,
                     wall_ms,
                 };
                 println!(
-                    "{:>10} {:>6.2} {:>8} {:>13} {:>10} {:>9} {:>9} {:>10.1}",
+                    "{:>10} {:>6.2} {:>8} {:>13} {:>10} {:>9} {:>9} {:>9} {:>10.1}",
                     row.topology,
                     row.drop_prob,
                     row.max_latency,
@@ -139,6 +155,7 @@ fn main() {
                     row.msgs_sent,
                     row.msgs_dropped,
                     row.refolds,
+                    row.refold_ops_replayed,
                     row.wall_ms
                 );
                 out.push(row);

@@ -29,12 +29,14 @@
 //! # Regression gate
 //!
 //! `--check` compares the run against the committed baseline in
-//! `results/fleet_scale.json` on every overlapping `(instances,
-//! mode)` cell: if any cell's publish throughput fell below
-//! `tolerance × baseline` (default 0.4 — loose on purpose, CI runners
-//! are slower and noisier than the machine that produced the
-//! baseline), the process exits nonzero so CI fails instead of
-//! silently drifting. Tune with `--tolerance <ratio>`.
+//! `results/fleet_scale.json`: every measured `(instances, mode)`
+//! cell **must** have a baseline counterpart (a missing cell fails
+//! the gate — new cells can't dodge it), and if any cell's publish
+//! throughput fell below `tolerance × baseline` (default 0.4 — loose
+//! on purpose, CI runners are slower and noisier than the machine
+//! that produced the baseline), the process exits nonzero so CI
+//! fails instead of silently drifting. Tune with `--tolerance
+//! <ratio>`.
 //!
 //! Run with `cargo run -p socrates-bench --bin fleet_scale_bench
 //! --release` (`--smoke --check` is the CI regression-gate
@@ -78,10 +80,12 @@ fn main() {
             .expect("--tolerance takes a ratio"),
         None => DEFAULT_TOLERANCE,
     };
+    // The smoke sizes are a subset of the full sizes so every smoke
+    // cell has a committed-baseline counterpart for `--check`.
     let sizes: &[usize] = if smoke {
         &[16, 64]
     } else {
-        &[64, 256, 1024, 4096]
+        &[16, 64, 256, 1024, 4096]
     };
     let enhanced = socrates_bench::subsampled_twomm(KNOWLEDGE_POINTS);
     println!(
@@ -176,12 +180,21 @@ fn check_against_baseline(rows: &[ScaleRow], tolerance: f64) {
         path.display()
     );
     for row in rows {
-        let Some(base) = baseline
+        // A measured cell with no baseline counterpart is a hard
+        // failure: silently skipping it would let new bench cells
+        // dodge the regression gate entirely.
+        let base = baseline
             .iter()
             .find(|b| b.instances == row.instances && b.mode == row.mode)
-        else {
-            continue;
-        };
+            .unwrap_or_else(|| {
+                panic!(
+                    "measured cell (N={}, {}) has no counterpart in the committed \
+                     baseline {} — re-record the baseline to cover it",
+                    row.instances,
+                    row.mode,
+                    path.display()
+                )
+            });
         compared += 1;
         let ratio = row.publish_throughput_obs_per_s / base.publish_throughput_obs_per_s;
         let verdict = if ratio < tolerance { "REGRESSED" } else { "ok" };

@@ -573,7 +573,9 @@ impl ArtifactStore {
         let dir = path.parent().expect("persist path has a parent");
         std::fs::create_dir_all(dir).map_err(|e| SocratesError::io(dir, e))?;
         let json = crate::knowledge_io::knowledge_to_json(knowledge)?;
-        std::fs::write(&path, json).map_err(|e| SocratesError::io(path, e))
+        // Atomic: stage + rename, so a crash mid-save can't leave a
+        // truncated artifact that poisons the next warm start.
+        crate::knowledge_io::write_atomic(&path, &json)
     }
 }
 

@@ -30,12 +30,14 @@
 //! operating points contend only within a shard, and the round's
 //! observations are merged **as one batch per shard** under a single
 //! lock acquisition. The pool's barrier-time cache is refreshed
-//! **incrementally** — only the points whose effective values changed
-//! are patched in — and instances that kept up with the epoch adopt a
-//! cheap [`margot::KnowledgeDelta`] instead of cloning the whole
-//! knowledge. Set [`FleetConfig::incremental_refresh`] to `false` for
-//! the full-rebuild/full-clone reference path the equivalence tests
-//! pin the incremental path against.
+//! **incrementally** — the changed points are drained straight out of
+//! the columnar arena into the cache
+//! ([`SharedKnowledge::drain_changes_into`]) — and the cache itself is
+//! copy-on-write ([`Knowledge`] is `Arc`-backed), so a stale instance
+//! adopts it with a reference-count bump instead of a deep clone. Set
+//! [`FleetConfig::incremental_refresh`] to `false` for the
+//! full-rebuild reference path the equivalence tests pin the
+//! incremental path against.
 //!
 //! # Failure isolation
 //!
@@ -54,9 +56,7 @@ use crate::knowledge_io::save_knowledge;
 use crate::runtime::{AdaptiveApplication, TraceSample};
 use crate::toolchain::EnhancedApp;
 use dse::ExplorationSchedule;
-use margot::{
-    Cmp, Constraint, Knowledge, KnowledgeDelta, Metric, MetricValues, Rank, SharedKnowledge,
-};
+use margot::{Cmp, Constraint, Knowledge, Metric, MetricValues, Rank, SharedKnowledge};
 use platform_sim::{KnobConfig, Machine};
 use polybench::App;
 use rayon::prelude::*;
@@ -189,9 +189,6 @@ struct Pool {
     /// the pool locks.
     cache_epoch: u64,
     cache: Knowledge<KnobConfig>,
-    /// The barrier's last cache patch: instances whose epoch equals
-    /// `last_delta.from_epoch` adopt it instead of cloning the cache.
-    last_delta: Option<KnowledgeDelta<KnobConfig>>,
 }
 
 impl Pool {
@@ -201,35 +198,21 @@ impl Pool {
         if incremental {
             // Dirty inserts are always paired with an epoch bump, so an
             // unmoved epoch means there is nothing to drain — skip the
-            // per-shard lock sweep entirely. `last_delta` stays valid:
-            // it still lands exactly on `cache_epoch`, so instances
-            // that missed the last round keep the cheap adoption path.
+            // per-shard lock sweep entirely.
             if self.shared.epoch() == self.cache_epoch {
                 return;
             }
             // Patch only the points whose effective values changed
-            // since the last barrier; O(changed) instead of O(points).
-            let (to_epoch, changed) = self.shared.drain_changes();
-            if changed.is_empty() {
-                self.cache_epoch = to_epoch;
-                self.last_delta = None;
-                return;
-            }
-            let delta = KnowledgeDelta {
-                from_epoch: self.cache_epoch,
-                to_epoch,
-                changed,
-            };
-            let applied = delta.apply_to(&mut self.cache);
-            debug_assert!(applied, "pool cache descends from the pool's own design");
+            // since the last barrier, straight out of the arena;
+            // O(changed) instead of O(points), with no intermediate
+            // point list.
+            let (to_epoch, _patched) = self.shared.drain_changes_into(&mut self.cache);
             self.cache_epoch = to_epoch;
-            self.last_delta = Some(delta);
         } else if self.shared.epoch() != self.cache_epoch {
             // Reference path: full effective-knowledge rebuild.
             let (epoch, knowledge) = self.shared.snapshot();
             self.cache_epoch = epoch;
             self.cache = knowledge;
-            self.last_delta = None;
         }
     }
 }
@@ -718,7 +701,6 @@ impl Fleet {
             schedule: ExplorationSchedule::new(configs),
             cache_epoch: 0,
             cache: enhanced.knowledge.clone(),
-            last_delta: None,
         });
         self.pools.len() - 1
     }
@@ -813,20 +795,14 @@ impl Fleet {
                 if config.share_knowledge {
                     // Epoch probe against the pool's barrier-time
                     // cache: no pool lock and no per-instance snapshot
-                    // rebuild. An instance that kept up with the epoch
-                    // adopts the barrier's delta (patching only the
-                    // changed points); one that skipped rounds — or the
-                    // full-refresh reference path — clones the cache.
+                    // rebuild. The cache is copy-on-write, so a stale
+                    // instance adopts it with a reference-count bump —
+                    // per-instance delta patching would force a deep
+                    // copy of the instance's own point list and is
+                    // strictly worse here.
                     let pool = &pools[inst.pool];
                     if pool.cache_epoch != inst.epoch {
-                        let patched = pool.last_delta.as_ref().is_some_and(|d| {
-                            d.from_epoch == inst.epoch
-                                && d.to_epoch == pool.cache_epoch
-                                && inst.app.apply_knowledge_delta(d)
-                        });
-                        if !patched {
-                            inst.app.set_knowledge(pool.cache.clone());
-                        }
+                        inst.app.set_knowledge(pool.cache.clone());
                         inst.epoch = pool.cache_epoch;
                     }
                 }

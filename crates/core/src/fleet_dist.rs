@@ -130,8 +130,12 @@ pub struct DistStats {
     /// Rounds stepped so far (drain repair rounds included).
     pub rounds: u64,
     /// Total refolds across all replicas: how often an
-    /// out-of-canonical-order arrival forced a full re-merge.
+    /// out-of-canonical-order arrival rolled a fold back (to a
+    /// checkpoint, or to design knowledge when none covered it).
     pub refolds: u64,
+    /// Total observations those rollbacks re-folded: the actual replay
+    /// overhead, suffix-proportional under checkpointing.
+    pub refold_ops_replayed: u64,
     /// Transport counters.
     pub net: NetStats,
 }
@@ -282,19 +286,23 @@ impl DistributedFleet {
     /// Membership and exchange counters in one read.
     pub fn stats(&self) -> DistStats {
         let mut refolds = 0;
+        let mut refold_ops_replayed = 0;
         for node in &self.nodes {
             if let NodeSync::Gossip(g) = &node.sync {
                 refolds += g.replica.refolds();
+                refold_ops_replayed += g.replica.refold_ops_replayed();
             }
         }
         if let Some(b) = &self.broker {
             refolds += b.replica.refolds();
+            refold_ops_replayed += b.replica.refold_ops_replayed();
         }
         DistStats {
             instances: self.nodes.len(),
             active: self.active_instances(),
             rounds: self.rounds,
             refolds,
+            refold_ops_replayed,
             net: self.net.stats(),
         }
     }

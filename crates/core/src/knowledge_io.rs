@@ -11,10 +11,30 @@
 //! path or artifact context.
 
 use crate::error::SocratesError;
-use crate::transport::WireMessage;
-use margot::{Knowledge, KnowledgeDelta};
-use platform_sim::KnobConfig;
+use crate::transport::{Observation, WireMessage};
+use margot::{Knowledge, KnowledgeDelta, MetricValues, OperatingPoint};
+use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, OptLevel};
 use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// temporary file in the *same* directory, which is then renamed over
+/// the destination. A crash mid-save can therefore never leave a
+/// truncated or unparseable file behind — readers see either the old
+/// complete file or the new complete file.
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), SocratesError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SocratesError::io(path, std::io::Error::other("path has no file name")))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| SocratesError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        SocratesError::io(path, e)
+    })
+}
 
 /// Serialises a knowledge base to a JSON string.
 ///
@@ -35,7 +55,9 @@ pub fn knowledge_from_json(json: &str) -> Result<Knowledge<KnobConfig>, Socrates
     serde_json::from_str(json).map_err(|e| SocratesError::format("knowledge", e))
 }
 
-/// Writes a knowledge base to a file.
+/// Writes a knowledge base to a file, atomically: the JSON is staged
+/// in a temporary file in the same directory and renamed into place,
+/// so a crash mid-save cannot leave a truncated knowledge file.
 ///
 /// # Errors
 ///
@@ -45,8 +67,7 @@ pub fn save_knowledge(
     knowledge: &Knowledge<KnobConfig>,
     path: impl AsRef<Path>,
 ) -> Result<(), SocratesError> {
-    let path = path.as_ref();
-    std::fs::write(path, knowledge_to_json(knowledge)?).map_err(|e| SocratesError::io(path, e))
+    write_atomic(path.as_ref(), &knowledge_to_json(knowledge)?)
 }
 
 /// Reads a knowledge base from a file.
@@ -101,6 +122,490 @@ pub fn wire_to_json(msg: &WireMessage) -> Result<String, SocratesError> {
 /// Returns a persist-stage [`SocratesError`] on malformed input.
 pub fn wire_from_json(json: &str) -> Result<WireMessage, SocratesError> {
     serde_json::from_str(json).map_err(|e| SocratesError::format("wire message", e))
+}
+
+// ---------------------------------------------------------------------------
+// Binary wire codec
+// ---------------------------------------------------------------------------
+//
+// The runtime wire format of the distributed knowledge exchange. JSON
+// stays as the *pinned compatibility layer* (the golden files and the
+// persistence paths above); everything that travels through
+// [`crate::transport::SimNet`] is encoded with this length-prefixed binary codec.
+//
+// Format, all integers little-endian:
+//
+// * frame           = magic `b"SOC\x01"` ++ payload
+// * u8/u32/u64      = fixed-width LE
+// * usize           = u64 LE
+// * f64             = raw IEEE-754 bits LE (`to_le_bytes`); NaN
+//                     round-trips **bit-exactly**, unlike JSON
+// * bool            = u8 (0 / 1)
+// * str             = u32 byte length ++ UTF-8 bytes
+// * seq<T>          = u32 element count ++ elements
+// * KnobConfig      = opt-level index into [`OptLevel::ALL`] (u8)
+//                     ++ flag bitmask (u8, see
+//                     [`CompilerOptions::flag_mask`]) ++ tn (u32)
+//                     ++ binding index into [`BindingPolicy::ALL`] (u8)
+// * MetricValues    = seq<(str, f64)> in metric order
+// * OperatingPoint  = KnobConfig ++ MetricValues
+// * Knowledge       = seq<OperatingPoint>
+// * KnowledgeDelta  = from_epoch (u64) ++ to_epoch (u64)
+//                     ++ seq<(usize, OperatingPoint)>
+// * Observation     = origin (u32) ++ seq (u64) ++ round (u64)
+//                     ++ KnobConfig ++ MetricValues
+// * WireMessage     = variant tag (u8, declaration order: Join = 0 …
+//                     WelcomeLog = 9) ++ variant fields in order
+//
+// Decoders are strict: unknown tags, out-of-range indices, truncated
+// input and trailing bytes are all transport-stage errors.
+
+/// Leading magic of every binary frame: `"SOC"` plus format version 1.
+pub const WIRE_MAGIC: [u8; 4] = [b'S', b'O', b'C', 0x01];
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    put_u32(
+        out,
+        u32::try_from(len).expect("sequence length exceeds u32 on the wire"),
+    );
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_config(out: &mut Vec<u8>, cfg: &KnobConfig) {
+    let level = OptLevel::ALL
+        .iter()
+        .position(|l| *l == cfg.co.level)
+        .expect("OptLevel::ALL is exhaustive");
+    let bp = BindingPolicy::ALL
+        .iter()
+        .position(|b| *b == cfg.bp)
+        .expect("BindingPolicy::ALL is exhaustive");
+    put_u8(out, level as u8);
+    put_u8(out, cfg.co.flag_mask());
+    put_u32(out, cfg.tn);
+    put_u8(out, bp as u8);
+}
+
+fn put_metrics(out: &mut Vec<u8>, mv: &MetricValues) {
+    put_len(out, mv.len());
+    for (m, v) in mv.iter() {
+        put_str(out, m.as_str());
+        put_f64(out, v);
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, p: &OperatingPoint<KnobConfig>) {
+    put_config(out, &p.config);
+    put_metrics(out, &p.metrics);
+}
+
+fn put_knowledge(out: &mut Vec<u8>, k: &Knowledge<KnobConfig>) {
+    put_len(out, k.len());
+    for p in k.points() {
+        put_point(out, p);
+    }
+}
+
+fn put_delta(out: &mut Vec<u8>, d: &KnowledgeDelta<KnobConfig>) {
+    put_u64(out, d.from_epoch);
+    put_u64(out, d.to_epoch);
+    put_len(out, d.changed.len());
+    for (pos, p) in &d.changed {
+        put_usize(out, *pos);
+        put_point(out, p);
+    }
+}
+
+fn put_observation(out: &mut Vec<u8>, o: &Observation) {
+    put_u32(out, o.origin);
+    put_u64(out, o.seq);
+    put_u64(out, o.round);
+    put_config(out, &o.config);
+    put_metrics(out, &o.observed);
+}
+
+fn put_wire(out: &mut Vec<u8>, msg: &WireMessage) {
+    match msg {
+        WireMessage::Join { node } => {
+            put_u8(out, 0);
+            put_u32(out, *node);
+        }
+        WireMessage::Leave { node } => {
+            put_u8(out, 1);
+            put_u32(out, *node);
+        }
+        WireMessage::Ops { ops } => {
+            put_u8(out, 2);
+            put_len(out, ops.len());
+            for op in ops {
+                put_observation(out, op);
+            }
+        }
+        WireMessage::Ack { count } => {
+            put_u8(out, 3);
+            put_u64(out, *count);
+        }
+        WireMessage::Delta { shard, delta } => {
+            put_u8(out, 4);
+            put_usize(out, *shard);
+            put_delta(out, delta);
+        }
+        WireMessage::SyncRequest { versions } => {
+            put_u8(out, 5);
+            put_len(out, versions.len());
+            for v in versions {
+                put_u64(out, *v);
+            }
+        }
+        WireMessage::SyncResponse {
+            shard,
+            version,
+            points,
+        } => {
+            put_u8(out, 6);
+            put_usize(out, *shard);
+            put_u64(out, *version);
+            put_len(out, points.len());
+            for (pos, p) in points {
+                put_usize(out, *pos);
+                put_point(out, p);
+            }
+        }
+        WireMessage::Summary { counts, reply } => {
+            put_u8(out, 7);
+            put_len(out, counts.len());
+            for (node, count) in counts {
+                put_u32(out, *node);
+                put_u64(out, *count);
+            }
+            put_bool(out, *reply);
+        }
+        WireMessage::Welcome {
+            knowledge,
+            versions,
+        } => {
+            put_u8(out, 8);
+            put_knowledge(out, knowledge);
+            put_len(out, versions.len());
+            for v in versions {
+                put_u64(out, *v);
+            }
+        }
+        WireMessage::WelcomeLog { ops } => {
+            put_u8(out, 9);
+            put_len(out, ops.len());
+            for op in ops {
+                put_observation(out, op);
+            }
+        }
+    }
+}
+
+/// A strict cursor over a binary frame; every read is bounds-checked
+/// and decode failures are transport-stage [`SocratesError`]s.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn err(what: &str) -> SocratesError {
+        SocratesError::transport(format!("malformed binary frame: {what}"))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SocratesError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.buf.len())
+            .ok_or_else(|| Self::err("truncated input"))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, SocratesError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SocratesError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SocratesError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn usize(&mut self) -> Result<usize, SocratesError> {
+        usize::try_from(self.u64()?).map_err(|_| Self::err("index exceeds usize"))
+    }
+
+    fn f64(&mut self) -> Result<f64, SocratesError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> Result<bool, SocratesError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Self::err(&format!("invalid bool byte {other}"))),
+        }
+    }
+
+    fn len(&mut self) -> Result<usize, SocratesError> {
+        Ok(self.u32()? as usize)
+    }
+
+    fn str(&mut self) -> Result<&'a str, SocratesError> {
+        let n = self.len()?;
+        std::str::from_utf8(self.take(n)?).map_err(|_| Self::err("invalid UTF-8 in string"))
+    }
+
+    fn magic(&mut self) -> Result<(), SocratesError> {
+        if self.take(4)? == WIRE_MAGIC {
+            Ok(())
+        } else {
+            Err(Self::err("bad frame magic"))
+        }
+    }
+
+    fn finish(&self) -> Result<(), SocratesError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Self::err("trailing bytes after frame"))
+        }
+    }
+
+    fn config(&mut self) -> Result<KnobConfig, SocratesError> {
+        let level = *OptLevel::ALL
+            .get(self.u8()? as usize)
+            .ok_or_else(|| Self::err("opt-level index out of range"))?;
+        let mask = self.u8()?;
+        if mask >= 1 << 6 {
+            return Err(Self::err("unknown compiler-flag bits in mask"));
+        }
+        let tn = self.u32()?;
+        let bp = *BindingPolicy::ALL
+            .get(self.u8()? as usize)
+            .ok_or_else(|| Self::err("binding-policy index out of range"))?;
+        Ok(KnobConfig::new(
+            CompilerOptions::from_mask(level, mask),
+            tn,
+            bp,
+        ))
+    }
+
+    fn metrics(&mut self) -> Result<MetricValues, SocratesError> {
+        let n = self.len()?;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = margot::Metric::custom(self.str()?);
+            pairs.push((name, self.f64()?));
+        }
+        // Wire ingress: finiteness is *not* validated here; non-finite
+        // values are dropped-and-counted when they reach a sliding
+        // window, mirroring `Monitor::push`.
+        Ok(MetricValues::from_unvalidated(pairs))
+    }
+
+    fn point(&mut self) -> Result<OperatingPoint<KnobConfig>, SocratesError> {
+        let config = self.config()?;
+        let metrics = self.metrics()?;
+        Ok(OperatingPoint::new(config, metrics))
+    }
+
+    fn knowledge(&mut self) -> Result<Knowledge<KnobConfig>, SocratesError> {
+        let n = self.len()?;
+        let mut k = Knowledge::new();
+        for _ in 0..n {
+            k.add(self.point()?);
+        }
+        Ok(k)
+    }
+
+    fn delta(&mut self) -> Result<KnowledgeDelta<KnobConfig>, SocratesError> {
+        let from_epoch = self.u64()?;
+        let to_epoch = self.u64()?;
+        let n = self.len()?;
+        let mut changed = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = self.usize()?;
+            changed.push((pos, self.point()?));
+        }
+        Ok(KnowledgeDelta {
+            from_epoch,
+            to_epoch,
+            changed,
+        })
+    }
+
+    fn observation(&mut self) -> Result<Observation, SocratesError> {
+        Ok(Observation {
+            origin: self.u32()?,
+            seq: self.u64()?,
+            round: self.u64()?,
+            config: self.config()?,
+            observed: self.metrics()?,
+        })
+    }
+
+    fn observations(&mut self) -> Result<Vec<Observation>, SocratesError> {
+        let n = self.len()?;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(self.observation()?);
+        }
+        Ok(ops)
+    }
+
+    fn versions(&mut self) -> Result<Vec<u64>, SocratesError> {
+        let n = self.len()?;
+        let mut vs = Vec::with_capacity(n);
+        for _ in 0..n {
+            vs.push(self.u64()?);
+        }
+        Ok(vs)
+    }
+
+    fn wire(&mut self) -> Result<WireMessage, SocratesError> {
+        match self.u8()? {
+            0 => Ok(WireMessage::Join { node: self.u32()? }),
+            1 => Ok(WireMessage::Leave { node: self.u32()? }),
+            2 => Ok(WireMessage::Ops {
+                ops: self.observations()?,
+            }),
+            3 => Ok(WireMessage::Ack { count: self.u64()? }),
+            4 => Ok(WireMessage::Delta {
+                shard: self.usize()?,
+                delta: self.delta()?,
+            }),
+            5 => Ok(WireMessage::SyncRequest {
+                versions: self.versions()?,
+            }),
+            6 => {
+                let shard = self.usize()?;
+                let version = self.u64()?;
+                let n = self.len()?;
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pos = self.usize()?;
+                    points.push((pos, self.point()?));
+                }
+                Ok(WireMessage::SyncResponse {
+                    shard,
+                    version,
+                    points,
+                })
+            }
+            7 => {
+                let n = self.len()?;
+                let mut counts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let node = self.u32()?;
+                    counts.push((node, self.u64()?));
+                }
+                Ok(WireMessage::Summary {
+                    counts,
+                    reply: self.bool()?,
+                })
+            }
+            8 => Ok(WireMessage::Welcome {
+                knowledge: self.knowledge()?,
+                versions: self.versions()?,
+            }),
+            9 => Ok(WireMessage::WelcomeLog {
+                ops: self.observations()?,
+            }),
+            other => Err(Self::err(&format!("unknown wire message tag {other}"))),
+        }
+    }
+}
+
+/// Encodes a wire message as a binary frame (the [`crate::transport::SimNet`]
+/// runtime encoding).
+///
+/// # Errors
+///
+/// Never fails for well-formed messages; the `Result` keeps the
+/// signature symmetric with [`wire_from_bytes`].
+pub fn wire_to_bytes(msg: &WireMessage) -> Result<Vec<u8>, SocratesError> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&WIRE_MAGIC);
+    put_wire(&mut out, msg);
+    Ok(out)
+}
+
+/// Decodes a wire message from a binary frame.
+///
+/// # Errors
+///
+/// Returns a transport-stage [`SocratesError`] on bad magic, unknown
+/// tags, out-of-range knob indices, truncated input or trailing bytes.
+pub fn wire_from_bytes(bytes: &[u8]) -> Result<WireMessage, SocratesError> {
+    let mut r = ByteReader::new(bytes);
+    r.magic()?;
+    let msg = r.wire()?;
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a knowledge delta as a standalone binary frame.
+///
+/// # Errors
+///
+/// Never fails for well-formed deltas; the `Result` keeps the
+/// signature symmetric with [`delta_from_bytes`].
+pub fn delta_to_bytes(delta: &KnowledgeDelta<KnobConfig>) -> Result<Vec<u8>, SocratesError> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&WIRE_MAGIC);
+    put_delta(&mut out, delta);
+    Ok(out)
+}
+
+/// Decodes a knowledge delta from a standalone binary frame.
+///
+/// # Errors
+///
+/// Returns a transport-stage [`SocratesError`] on malformed input.
+pub fn delta_from_bytes(bytes: &[u8]) -> Result<KnowledgeDelta<KnobConfig>, SocratesError> {
+    let mut r = ByteReader::new(bytes);
+    r.magic()?;
+    let delta = r.delta()?;
+    r.finish()?;
+    Ok(delta)
 }
 
 #[cfg(test)]
@@ -213,5 +718,154 @@ mod tests {
         assert!(matches!(err, SocratesError::Io { .. }));
         assert_eq!(err.stage(), StageId::Persist);
         assert!(err.to_string().contains("/nonexistent/kb.json"));
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_replaces_atomically() {
+        let k = sample_knowledge();
+        let dir = std::env::temp_dir().join("socrates-atomic-save-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        std::fs::write(&path, "old contents").unwrap();
+        save_knowledge(&k, &path).unwrap();
+        assert_eq!(load_knowledge(&path).unwrap(), k);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "kb.json")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_wire_messages() -> Vec<WireMessage> {
+        let k = sample_knowledge();
+        let obs = Observation {
+            origin: 5,
+            seq: 11,
+            round: 4,
+            config: k.points()[1].config.clone(),
+            observed: MetricValues::from_execution(0.25, 80.0),
+        };
+        vec![
+            WireMessage::Join { node: 3 },
+            WireMessage::Leave { node: 9 },
+            WireMessage::Ops {
+                ops: vec![obs.clone()],
+            },
+            WireMessage::Ack { count: 7 },
+            WireMessage::Delta {
+                shard: 2,
+                delta: margot::KnowledgeDelta {
+                    from_epoch: 0,
+                    to_epoch: 1,
+                    changed: vec![(1, k.points()[1].clone())],
+                },
+            },
+            WireMessage::SyncRequest {
+                versions: vec![0, 4, 2],
+            },
+            WireMessage::SyncResponse {
+                shard: 1,
+                version: 6,
+                points: vec![(0, k.points()[0].clone()), (2, k.points()[2].clone())],
+            },
+            WireMessage::Summary {
+                counts: vec![(0, 3), (2, 1)],
+                reply: true,
+            },
+            WireMessage::Welcome {
+                knowledge: k,
+                versions: vec![1, 1, 0],
+            },
+            WireMessage::WelcomeLog { ops: vec![obs] },
+        ]
+    }
+
+    #[test]
+    fn every_wire_variant_round_trips_through_the_binary_codec() {
+        for msg in sample_wire_messages() {
+            let bytes = wire_to_bytes(&msg).unwrap();
+            assert_eq!(bytes[..4], WIRE_MAGIC);
+            let back = wire_from_bytes(&bytes).unwrap();
+            assert_eq!(back, msg);
+            // Re-encoding is byte-stable (the canonical-form check that
+            // also covers NaN payloads, where `==` on messages can't).
+            assert_eq!(wire_to_bytes(&back).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_through_the_binary_codec() {
+        let k = sample_knowledge();
+        let delta = margot::KnowledgeDelta {
+            from_epoch: 3,
+            to_epoch: 5,
+            changed: vec![(0, k.points()[0].clone()), (2, k.points()[2].clone())],
+        };
+        let bytes = delta_to_bytes(&delta).unwrap();
+        let back = delta_from_bytes(&bytes).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_bit_exactly() {
+        let msg = WireMessage::Ops {
+            ops: vec![Observation {
+                origin: 1,
+                seq: 0,
+                round: 0,
+                config: sample_knowledge().points()[0].config.clone(),
+                observed: MetricValues::from_unvalidated([
+                    (Metric::power(), f64::NAN),
+                    (Metric::exec_time(), f64::NEG_INFINITY),
+                ]),
+            }],
+        };
+        let bytes = wire_to_bytes(&msg).unwrap();
+        let back = wire_from_bytes(&bytes).unwrap();
+        let WireMessage::Ops { ops } = back else {
+            panic!("wrong variant");
+        };
+        let power = ops[0].observed.get(&Metric::power()).unwrap();
+        assert_eq!(power.to_bits(), f64::NAN.to_bits(), "NaN bits preserved");
+        assert_eq!(
+            ops[0].observed.get(&Metric::exec_time()),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn malformed_binary_frames_are_transport_errors() {
+        // Bad magic.
+        let err = wire_from_bytes(b"NOPE").unwrap_err();
+        assert!(matches!(err, SocratesError::Transport { .. }));
+        assert_eq!(err.stage(), StageId::Transport);
+        // Unknown variant tag.
+        let mut bytes = WIRE_MAGIC.to_vec();
+        bytes.push(0xFF);
+        assert!(wire_from_bytes(&bytes).is_err());
+        // Truncated payload.
+        let good = wire_to_bytes(&WireMessage::Ack { count: 7 }).unwrap();
+        assert!(wire_from_bytes(&good[..good.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(wire_from_bytes(&long).is_err());
+        // Out-of-range knob index inside a delta frame.
+        let k = sample_knowledge();
+        let delta = margot::KnowledgeDelta {
+            from_epoch: 0,
+            to_epoch: 1,
+            changed: vec![(0, k.points()[0].clone())],
+        };
+        let mut bytes = delta_to_bytes(&delta).unwrap();
+        // from_epoch (8) + to_epoch (8) + count (4) + pos (8) after the
+        // 4-byte magic puts the opt-level index byte at offset 32.
+        bytes[32] = 17;
+        assert!(delta_from_bytes(&bytes).is_err());
     }
 }

@@ -83,8 +83,9 @@ pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
 pub use fleet::{Fleet, FleetConfig, FleetStats, FLEET_POWER_PRIORITY};
 pub use fleet_dist::{DistStats, DistributedFleet};
 pub use knowledge_io::{
-    delta_from_json, delta_to_json, knowledge_from_json, knowledge_to_json, load_knowledge,
-    save_knowledge, wire_from_json, wire_to_json,
+    delta_from_bytes, delta_from_json, delta_to_bytes, delta_to_json, knowledge_from_json,
+    knowledge_to_json, load_knowledge, save_knowledge, wire_from_bytes, wire_from_json,
+    wire_to_bytes, wire_to_json, WIRE_MAGIC,
 };
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;

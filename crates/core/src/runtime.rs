@@ -62,6 +62,10 @@ pub struct AdaptiveApplication {
     meter: EnergyMeter,
     trace: Vec<TraceSample>,
     feedback_enabled: bool,
+    /// Memoised `(config, clone version)` of the last dispatch: the
+    /// AS-RTM's pick is usually stable across steps, and the version
+    /// table lookup is a linear scan.
+    version_cache: Option<(KnobConfig, usize)>,
 }
 
 impl AdaptiveApplication {
@@ -98,7 +102,21 @@ impl AdaptiveApplication {
             meter: EnergyMeter::new(),
             trace: Vec::new(),
             feedback_enabled: true,
+            version_cache: None,
         }
+    }
+
+    /// [`EnhancedApp::try_version_of`] through the one-entry dispatch
+    /// cache.
+    fn cached_version_of(&mut self, config: &KnobConfig) -> Result<usize, SocratesError> {
+        if let Some((cached, version)) = &self.version_cache {
+            if cached == config {
+                return Ok(*version);
+            }
+        }
+        let version = self.enhanced.try_version_of(config)?;
+        self.version_cache = Some((config.clone(), version));
+        Ok(version)
     }
 
     /// Enables or disables the monitor-feedback loop (the MAPE-K
@@ -187,8 +205,7 @@ impl AdaptiveApplication {
             .update()
             .expect("toolchain produced non-empty knowledge");
         let version = self
-            .enhanced
-            .try_version_of(&config)
+            .cached_version_of(&config)
             .expect("every knowledge config has a compiled version");
         let t_start_s = self.clock.now_s();
         let run = self.machine.execute(&self.enhanced.profile, &config);
@@ -221,7 +238,7 @@ impl AdaptiveApplication {
     /// Returns a dispatch-stage [`SocratesError`] if `config` has no
     /// compiled clone version.
     pub fn step_forced(&mut self, config: KnobConfig) -> Result<TraceSample, SocratesError> {
-        let version = self.enhanced.try_version_of(&config)?;
+        let version = self.cached_version_of(&config)?;
         let t_start_s = self.clock.now_s();
         let run = self.machine.execute(&self.enhanced.profile, &config);
         self.clock.advance(run.time_s);

@@ -15,8 +15,12 @@
 //! - [`WireMessage`] — the serialisable protocol: observations, acks,
 //!   per-shard [`margot::KnowledgeDelta`]s, epoch-vector sync
 //!   requests/responses, gossip summaries and join/snapshot messages.
-//!   The JSON schema is pinned by golden files under `tests/golden/`
-//!   (serialisation helpers: [`crate::wire_to_json`]).
+//!   On the wire, messages travel as length-prefixed **binary frames**
+//!   ([`crate::wire_to_bytes`]) — [`SimNet::send`] encodes once and
+//!   [`SimNet::poll_due`] decodes on delivery, so every distributed
+//!   test exercises the codec. The JSON encoding remains as the pinned
+//!   compatibility layer (golden files under `tests/golden/`,
+//!   serialisation helpers: [`crate::wire_to_json`]).
 //! - [`Replica`] — a replicated observation log with a **canonical
 //!   fold order**. Observations are totally ordered by `(round,
 //!   origin)`; a replica folds its log into a [`SharedKnowledge`] in
@@ -338,6 +342,10 @@ pub struct NetStats {
     pub dropped: u64,
     /// Messages the duplication model transmitted twice.
     pub duplicated: u64,
+    /// Encoded frame bytes handed to the wire (per transmitted copy).
+    pub bytes_sent: u64,
+    /// Encoded frame bytes delivered to their destination.
+    pub bytes_delivered: u64,
 }
 
 /// One in-flight (or delivered) message.
@@ -349,6 +357,15 @@ pub struct Envelope {
     pub to: NodeId,
     /// Payload.
     pub msg: WireMessage,
+}
+
+/// A queued message copy in its on-the-wire form: the binary frame,
+/// encoded once at [`SimNet::send`] time.
+#[derive(Debug, Clone)]
+struct WireEnvelope {
+    from: NodeId,
+    to: NodeId,
+    bytes: Vec<u8>,
 }
 
 /// The deterministic simulated transport: bounded virtual-clock
@@ -366,7 +383,7 @@ pub struct SimNet {
     config: LinkConfig,
     now: u64,
     seq: u64,
-    queue: BTreeMap<(u64, u64), Envelope>,
+    queue: BTreeMap<(u64, u64), WireEnvelope>,
     links: HashMap<(NodeId, NodeId), ChaCha8Rng>,
     stats: NetStats,
 }
@@ -409,8 +426,15 @@ impl SimNet {
     /// Transmits `msg` from `from` to `to` through the link's seeded
     /// loss/latency model. A duplicated message is transmitted twice;
     /// every copy draws its own latency and drop.
+    ///
+    /// The message is encoded to its binary frame **once** here;
+    /// duplicate copies share the encoding, and [`Self::poll_due`]
+    /// decodes on delivery — the simulated wire carries bytes, not
+    /// in-memory structures.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: WireMessage) {
         self.stats.sent += 1;
+        let bytes = crate::knowledge_io::wire_to_bytes(&msg)
+            .expect("binary wire encoding is total over well-formed messages");
         let config = &self.config;
         let rng = self.links.entry((from, to)).or_insert_with(|| {
             // Independent stream per directed link, derived from the
@@ -427,6 +451,7 @@ impl SimNet {
             1
         };
         for _ in 0..copies {
+            self.stats.bytes_sent += bytes.len() as u64;
             let latency = if config.max_latency > config.min_latency {
                 rng.gen_range(config.min_latency..=config.max_latency)
             } else {
@@ -441,10 +466,10 @@ impl SimNet {
             self.seq += 1;
             self.queue.insert(
                 key,
-                Envelope {
+                WireEnvelope {
                     from,
                     to,
-                    msg: msg.clone(),
+                    bytes: bytes.clone(),
                 },
             );
         }
@@ -452,7 +477,8 @@ impl SimNet {
 
     /// Pops the next message due at (or before) the current tick, in
     /// deterministic `(deliver_tick, send_sequence)` order; `None`
-    /// once everything deliverable now has been handed out.
+    /// once everything deliverable now has been handed out. The frame
+    /// is decoded from its wire bytes here.
     pub fn poll_due(&mut self) -> Option<Envelope> {
         let (&key, _) = self.queue.iter().next()?;
         if key.0 > self.now {
@@ -460,20 +486,53 @@ impl SimNet {
         }
         let env = self.queue.remove(&key).expect("key just observed");
         self.stats.delivered += 1;
-        Some(env)
+        self.stats.bytes_delivered += env.bytes.len() as u64;
+        let msg = crate::knowledge_io::wire_from_bytes(&env.bytes)
+            .expect("decoding a frame this SimNet encoded");
+        Some(Envelope {
+            from: env.from,
+            to: env.to,
+            msg,
+        })
     }
+}
+
+/// Fold-state checkpoint cadence: one checkpoint every this many
+/// folded observations.
+const CHECKPOINT_EVERY: usize = 8;
+
+/// Bound on retained checkpoints; beyond it the oldest is dropped
+/// (rollbacks below the retained range fall back to a full refold).
+const MAX_CHECKPOINTS: usize = 32;
+
+/// A snapshot of the canonical fold after a prefix of the log: the
+/// fold of every logged observation with key ≤ `key`. An insertion at
+/// or below a checkpoint's key invalidates it (the checkpoint no
+/// longer covers its prefix) and is dropped, so every *retained*
+/// checkpoint stays exact — rolling back to one and replaying the
+/// suffix is bit-identical to a full refold from design knowledge.
+#[derive(Debug)]
+struct Checkpoint {
+    key: (u64, NodeId),
+    folded: SharedKnowledge<KnobConfig>,
+    ops_folded: usize,
 }
 
 /// A replicated observation log folded into a [`SharedKnowledge`] in
 /// the canonical `(round, origin)` order.
 ///
 /// The fold is a pure function of the log *set*: observations that
-/// arrive out of canonical order trigger a refold from the design
-/// knowledge (counted in [`refolds`](Self::refolds)), so two replicas
-/// holding the same observations always expose bit-identical
+/// arrive out of canonical order roll the fold back — to the newest
+/// retained checkpoint below the insertion, or to the design
+/// knowledge when none remains (both counted in
+/// [`refolds`](Self::refolds)) — and replay the suffix, so two
+/// replicas holding the same observations always expose bit-identical
 /// effective knowledge and per-shard epoch vectors, no matter how the
 /// network interleaved, dropped or duplicated the messages in
-/// between.
+/// between. Checkpointing makes the usual late arrival cost
+/// proportional to the *suffix* behind it, not to the whole log
+/// (replayed work is surfaced by
+/// [`refold_ops_replayed`](Self::refold_ops_replayed)).
 #[derive(Debug)]
 pub struct Replica {
     design: Knowledge<KnobConfig>,
@@ -486,8 +545,13 @@ pub struct Replica {
     per_origin: BTreeMap<NodeId, BTreeMap<u64, u64>>,
     folded: SharedKnowledge<KnobConfig>,
     frontier: Option<(u64, NodeId)>,
+    /// Prefix-fold snapshots, ascending by key.
+    checkpoints: Vec<Checkpoint>,
+    /// Observations folded into `folded` since the last full refold.
+    ops_folded: usize,
     needs_refold: bool,
     refolds: u64,
+    refold_ops_replayed: u64,
 }
 
 impl Replica {
@@ -517,8 +581,11 @@ impl Replica {
             per_origin: BTreeMap::new(),
             folded,
             frontier: None,
+            checkpoints: Vec::new(),
+            ops_folded: 0,
             needs_refold: false,
             refolds: 0,
+            refold_ops_replayed: 0,
         }
     }
 
@@ -535,15 +602,31 @@ impl Replica {
 
     /// Records one observation; returns `false` for duplicates (same
     /// `(round, origin)`), which merge idempotently. An observation
-    /// sorting at or before the fold frontier schedules a refold.
+    /// sorting at or before the fold frontier rolls the fold back to
+    /// the newest checkpoint below it (or schedules a full refold when
+    /// none remains); only the suffix is then replayed.
     pub fn insert(&mut self, op: Observation) -> bool {
         let key = op.op_id();
         if self.log.contains_key(&key) {
             return false;
         }
         if let Some(frontier) = self.frontier {
-            if key <= frontier {
-                self.needs_refold = true;
+            if key <= frontier && !self.needs_refold {
+                match self.checkpoints.iter().rposition(|c| c.key < key) {
+                    Some(i) => {
+                        // Roll back to the newest prefix fold that the
+                        // insertion leaves intact; checkpoints above it
+                        // no longer cover their prefix and are dropped.
+                        let cp = &self.checkpoints[i];
+                        self.refold_ops_replayed += (self.ops_folded - cp.ops_folded) as u64;
+                        self.folded = cp.folded.fork();
+                        self.frontier = Some(cp.key);
+                        self.ops_folded = cp.ops_folded;
+                        self.checkpoints.truncate(i + 1);
+                        self.refolds += 1;
+                    }
+                    None => self.needs_refold = true,
+                }
             }
         }
         self.per_origin
@@ -556,27 +639,39 @@ impl Replica {
 
     /// Folds every logged observation that is not yet reflected in
     /// the effective knowledge, in canonical order. Cheap when the
-    /// log grew only past the frontier; a full refold otherwise.
+    /// log grew only past the frontier (or rolled back to a
+    /// checkpoint); a full refold from design knowledge otherwise.
     pub fn fold_pending(&mut self) {
         if self.needs_refold {
+            self.refold_ops_replayed += self.ops_folded as u64;
             self.folded = Self::fresh(
                 &self.design,
                 self.window,
                 self.min_observations,
                 self.shards,
             );
-            for op in self.log.values() {
-                self.folded.publish(&op.config, &op.observed);
-            }
+            self.checkpoints.clear();
+            self.ops_folded = 0;
+            self.frontier = None;
             self.refolds += 1;
             self.needs_refold = false;
-        } else {
-            let range = match self.frontier {
-                Some(frontier) => self.log.range((Excluded(frontier), Unbounded)),
-                None => self.log.range(..),
-            };
-            for (_, op) in range {
-                self.folded.publish(&op.config, &op.observed);
+        }
+        let range = match self.frontier {
+            Some(frontier) => self.log.range((Excluded(frontier), Unbounded)),
+            None => self.log.range(..),
+        };
+        for (key, op) in range {
+            self.folded.publish(&op.config, &op.observed);
+            self.ops_folded += 1;
+            if self.ops_folded.is_multiple_of(CHECKPOINT_EVERY) {
+                if self.checkpoints.len() == MAX_CHECKPOINTS {
+                    self.checkpoints.remove(0);
+                }
+                self.checkpoints.push(Checkpoint {
+                    key: *key,
+                    folded: self.folded.fork(),
+                    ops_folded: self.ops_folded,
+                });
             }
         }
         self.frontier = self.log.keys().next_back().copied();
@@ -593,10 +688,19 @@ impl Replica {
         self.folded.epoch()
     }
 
-    /// How many times an out-of-canonical-order arrival forced a full
-    /// refold.
+    /// How many times an out-of-canonical-order arrival rolled the
+    /// fold back (to a checkpoint or, when none covered the insertion,
+    /// all the way to design knowledge).
     pub fn refolds(&self) -> u64 {
         self.refolds
+    }
+
+    /// Total observations re-folded by rollbacks: the replay overhead
+    /// late arrivals actually cost, as opposed to the first-time folds.
+    /// With checkpointing this grows with the *suffix* behind each late
+    /// arrival, not with the whole log.
+    pub fn refold_ops_replayed(&self) -> u64 {
+        self.refold_ops_replayed
     }
 
     /// The folded per-shard epoch vector: bit-identical across

@@ -140,56 +140,93 @@ impl<K: Clone + PartialEq> AsRtm<K> {
     ///
     /// Returns `None` only when the knowledge base is empty or the rank
     /// cannot be evaluated on any point.
+    ///
+    /// Adjusted metric values are computed lazily per lookup (raw value
+    /// × feedback ratio — the same arithmetic
+    /// [`adjusted_metrics`](Self::adjusted_metrics) materialises), so
+    /// the planning loop allocates nothing on the feasible path.
     pub fn best(&self) -> Option<&OperatingPoint<K>> {
         let pts = self.knowledge.points();
         if pts.is_empty() {
             return None;
         }
-        let adjusted: Vec<MetricValues> = pts.iter().map(|p| self.adjusted_metrics(p)).collect();
+        // The planning loop only ever looks up the constraints' and the
+        // rank's metrics; resolve their feedback ratios once instead of
+        // once per point per lookup.
+        let mut factors: Vec<(&Metric, f64)> = Vec::new();
+        let rank_metrics = match &self.rank.kind {
+            crate::requirements::RankKind::Linear(terms)
+            | crate::requirements::RankKind::Geometric(terms) => terms.iter().map(|(m, _)| m),
+        };
+        for m in self
+            .constraints
+            .iter()
+            .map(|c| &c.metric)
+            .chain(rank_metrics)
+        {
+            if !factors.iter().any(|(fm, _)| fm.same(m)) {
+                let f = self.adjustments.get(m).copied().unwrap_or(1.0);
+                factors.push((m, f));
+            }
+        }
+        let adjusted = |i: usize, m: &Metric| {
+            let v = pts[i].metrics.get(m)?;
+            let f = factors.iter().find(|(fm, _)| fm.same(m)).map_or_else(
+                || self.adjustments.get(m).copied().unwrap_or(1.0),
+                |(_, f)| *f,
+            );
+            Some(v * f)
+        };
+        let feasible = |i: usize| {
+            self.constraints
+                .iter()
+                .all(|c| c.satisfied_with(|m| adjusted(i, m)))
+        };
 
-        let valid: Vec<usize> = (0..pts.len())
-            .filter(|&i| {
-                self.constraints
-                    .iter()
-                    .all(|c| c.satisfied_by(&adjusted[i]))
-            })
-            .collect();
-
-        let candidates: Vec<usize> = if !valid.is_empty() {
-            valid
+        let any_feasible = (0..pts.len()).any(feasible);
+        let infeasible_candidates: Vec<usize> = if any_feasible {
+            Vec::new()
         } else {
             // Infeasible requirements: rank candidates by how well they
             // satisfy constraints in priority order (violation vector
             // lexicographic minimum), then let the rank break ties.
-            let best_violation = (0..pts.len())
-                .map(|i| self.violation_vector(&adjusted[i]))
+            let vectors: Vec<Vec<f64>> = (0..pts.len())
+                .map(|i| {
+                    self.constraints
+                        .iter()
+                        .map(|c| c.violation_with(|m| adjusted(i, m)))
+                        .collect()
+                })
+                .collect();
+            let best_violation = vectors
+                .iter()
                 .min_by(|a, b| {
                     a.partial_cmp(b)
                         .expect("violations are finite-or-inf comparable")
-                })?;
+                })?
+                .clone();
             (0..pts.len())
-                .filter(|&i| self.violation_vector(&adjusted[i]) == best_violation)
+                .filter(|&i| vectors[i] == best_violation)
                 .collect()
         };
 
-        candidates
-            .into_iter()
-            .filter_map(|i| self.rank.value(&adjusted[i]).map(|r| (i, r)))
-            .reduce(|best, cur| {
-                if self.rank.better(cur.1, best.1) {
-                    cur
-                } else {
-                    best
+        let mut best: Option<(usize, f64)> = None;
+        let mut consider = |i: usize| {
+            if let Some(r) = self.rank.value_with(|m| adjusted(i, m)) {
+                match best {
+                    Some((_, br)) if !self.rank.better(r, br) => {}
+                    _ => best = Some((i, r)),
                 }
-            })
-            .map(|(i, _)| &pts[i])
-    }
-
-    fn violation_vector(&self, values: &MetricValues) -> Vec<f64> {
-        self.constraints
-            .iter()
-            .map(|c| c.violation(values))
-            .collect()
+            }
+        };
+        if any_feasible {
+            (0..pts.len())
+                .filter(|&i| feasible(i))
+                .for_each(&mut consider);
+        } else {
+            infeasible_candidates.into_iter().for_each(&mut consider);
+        }
+        best.map(|(i, _)| &pts[i])
     }
 }
 

@@ -5,7 +5,8 @@
 //! [`OperatingPoint`] with its expected EFP values.
 
 use crate::metric::{Metric, MetricValues};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
 
 /// One point of the application knowledge: a knob configuration plus the
 /// expected values of every profiled EFP.
@@ -31,14 +32,21 @@ impl<K> OperatingPoint<K> {
 
 /// The application knowledge base: the list of operating points the
 /// AS-RTM selects from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The point list is copy-on-write (`Arc`-backed): cloning a knowledge
+/// base — which every fleet instance does whenever it adopts the
+/// pool's refreshed cache — is a reference-count bump; the point
+/// vector is only deep-copied when a holder actually mutates it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Knowledge<K> {
-    points: Vec<OperatingPoint<K>>,
+    points: Arc<Vec<OperatingPoint<K>>>,
 }
 
 impl<K> Default for Knowledge<K> {
     fn default() -> Self {
-        Knowledge { points: Vec::new() }
+        Knowledge {
+            points: Arc::new(Vec::new()),
+        }
     }
 }
 
@@ -49,8 +57,11 @@ impl<K> Knowledge<K> {
     }
 
     /// Adds an operating point.
-    pub fn add(&mut self, op: OperatingPoint<K>) {
-        self.points.push(op);
+    pub fn add(&mut self, op: OperatingPoint<K>)
+    where
+        K: Clone,
+    {
+        Arc::make_mut(&mut self.points).push(op);
     }
 
     /// All operating points.
@@ -65,8 +76,11 @@ impl<K> Knowledge<K> {
     /// # Panics
     ///
     /// Panics if `pos` is out of range.
-    pub fn patch_point(&mut self, pos: usize, point: OperatingPoint<K>) {
-        self.points[pos] = point;
+    pub fn patch_point(&mut self, pos: usize, point: OperatingPoint<K>)
+    where
+        K: Clone,
+    {
+        Arc::make_mut(&mut self.points)[pos] = point;
     }
 
     /// Number of operating points.
@@ -130,27 +144,52 @@ impl<K> Knowledge<K> {
             }
             strictly
         };
-        let mut out = Knowledge::new();
+        let mut out = Vec::new();
         for a in &usable {
             if !usable.iter().any(|b| dominated(a, b)) {
-                out.add((*a).clone());
+                out.push((*a).clone());
             }
         }
-        out
+        Knowledge {
+            points: Arc::new(out),
+        }
     }
 }
 
 impl<K> FromIterator<OperatingPoint<K>> for Knowledge<K> {
     fn from_iter<T: IntoIterator<Item = OperatingPoint<K>>>(iter: T) -> Self {
         Knowledge {
-            points: iter.into_iter().collect(),
+            points: Arc::new(iter.into_iter().collect()),
         }
     }
 }
 
-impl<K> Extend<OperatingPoint<K>> for Knowledge<K> {
+impl<K: Clone> Extend<OperatingPoint<K>> for Knowledge<K> {
     fn extend<T: IntoIterator<Item = OperatingPoint<K>>>(&mut self, iter: T) {
-        self.points.extend(iter);
+        Arc::make_mut(&mut self.points).extend(iter);
+    }
+}
+
+// Hand-written serde keeping the derived `{"points":[...]}` shape the
+// golden files and persisted artifacts pin, while the in-memory layout
+// is Arc-backed.
+impl<K: Serialize> Serialize for Knowledge<K> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("points".to_string(), self.points.to_value())])
+    }
+}
+
+impl<K: Deserialize> Deserialize for Knowledge<K> {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if v.as_object().is_none() {
+            return Err(serde::Error::expected("knowledge object", v));
+        }
+        let points = v
+            .get_field("points")
+            .ok_or_else(|| serde::Error::custom("missing field `points`"))?;
+        Ok(Knowledge {
+            points: Arc::new(Vec::<OperatingPoint<K>>::from_value(points)?),
+        })
     }
 }
 
@@ -174,6 +213,34 @@ mod tests {
         k.add(op(1, 1.0, 50.0));
         k.add(op(2, 0.5, 80.0));
         assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_until_mutated() {
+        let mut k: Knowledge<u32> = [op(1, 1.0, 50.0)].into_iter().collect();
+        let snapshot = k.clone();
+        assert!(
+            Arc::ptr_eq(&k.points, &snapshot.points),
+            "clone is a ref bump"
+        );
+        k.patch_point(0, op(1, 0.9, 51.0));
+        assert!(
+            !Arc::ptr_eq(&k.points, &snapshot.points),
+            "mutation copies on write"
+        );
+        assert_eq!(snapshot.points()[0], op(1, 1.0, 50.0), "snapshot untouched");
+    }
+
+    #[test]
+    fn serde_shape_is_a_points_struct() {
+        let k: Knowledge<u32> = [op(1, 1.0, 50.0)].into_iter().collect();
+        let json = serde_json::to_string(&k).expect("serialises");
+        assert_eq!(
+            json,
+            r#"{"points":[{"config":1,"metrics":{"exec_time_s":1.0,"power_w":50.0}}]}"#
+        );
+        let back: Knowledge<u32> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, k);
     }
 
     #[test]

@@ -131,11 +131,12 @@ impl<K: Clone + PartialEq> ApplicationManager<K> {
     /// configuration. Returns `None` when the knowledge base is empty.
     pub fn update(&mut self) -> Option<K> {
         self.refresh_feedback();
-        let best = self.asrtm.best()?.clone();
+        let best = self.asrtm.best()?;
         let changed = self
             .current
             .as_ref()
             .is_none_or(|cur| cur.config != best.config);
+        let best = best.clone();
         if changed {
             // Observations from another configuration must not feed back
             // into expectations for the new one.
@@ -143,9 +144,10 @@ impl<K: Clone + PartialEq> ApplicationManager<K> {
                 m.clear();
             }
         }
-        self.current = Some(best.clone());
+        let config = best.config.clone();
+        self.current = Some(best);
         self.updates += 1;
-        Some(best.config)
+        Some(config)
     }
 
     /// Marks the start of the kernel region (the `margot start_monitor`

@@ -1,45 +1,70 @@
 //! Extra-functional property (EFP) metrics and per-point metric values.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// The name of an extra-functional property (execution time, power, …).
 ///
 /// Metrics are ordered and hashable so they can key maps; well-known
-/// metrics are provided as constants.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Metric(String);
+/// metrics are provided as constants. The name is a shared, interned
+/// `Arc<str>`, so cloning a metric — which the knowledge hot path does
+/// for every observation — is a reference-count bump, not a heap copy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Metric(Arc<str>);
+
+/// Returns the shared interned name for one well-known metric.
+macro_rules! interned {
+    ($name:literal) => {{
+        static CACHE: OnceLock<Arc<str>> = OnceLock::new();
+        Metric(Arc::clone(CACHE.get_or_init(|| Arc::from($name))))
+    }};
+}
 
 impl Metric {
     /// Kernel wall-clock time in seconds.
     pub fn exec_time() -> Metric {
-        Metric("exec_time_s".into())
+        interned!("exec_time_s")
     }
 
     /// Average machine power in watts.
     pub fn power() -> Metric {
-        Metric("power_w".into())
+        interned!("power_w")
     }
 
     /// Kernel invocations per second.
     pub fn throughput() -> Metric {
-        Metric("throughput".into())
+        interned!("throughput")
     }
 
     /// Energy per invocation in joules.
     pub fn energy() -> Metric {
-        Metric("energy_j".into())
+        interned!("energy_j")
     }
 
-    /// A custom metric.
-    pub fn custom(name: impl Into<String>) -> Metric {
-        Metric(name.into())
+    /// A custom metric. Well-known names are interned to their shared
+    /// allocation so decoded wire messages alias the same storage.
+    pub fn custom(name: impl AsRef<str>) -> Metric {
+        match name.as_ref() {
+            "exec_time_s" => Metric::exec_time(),
+            "power_w" => Metric::power(),
+            "throughput" => Metric::throughput(),
+            "energy_j" => Metric::energy(),
+            other => Metric(Arc::from(other)),
+        }
     }
 
     /// The metric name.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// Equality with an interned-pointer fast path: well-known metrics
+    /// (and decoded copies of them) share one allocation, so the common
+    /// case is a pointer compare instead of a string compare.
+    #[inline]
+    pub(crate) fn same(&self, other: &Metric) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
 
@@ -51,14 +76,37 @@ impl fmt::Display for Metric {
 
 impl From<&str> for Metric {
     fn from(s: &str) -> Self {
-        Metric(s.to_string())
+        Metric::custom(s)
+    }
+}
+
+impl Serialize for Metric {
+    fn to_value(&self) -> Value {
+        // Same wire shape as the former transparent newtype: a plain
+        // string (also usable as a map key).
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Metric {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Interning happens on the way in.
+        match v {
+            Value::Str(s) => Ok(Metric::custom(s)),
+            other => Err(serde::Error::expected("metric name string", other)),
+        }
     }
 }
 
 /// A bundle of metric values, e.g. the expected EFPs of one operating
 /// point or one observation of the running application.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct MetricValues(BTreeMap<Metric, f64>);
+///
+/// Stored as a vector of `(metric, value)` pairs sorted by metric name
+/// — dense, cache-friendly and cheap to clone, while iteration order
+/// and the serialised map shape stay identical to the former
+/// `BTreeMap` representation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricValues(Vec<(Metric, f64)>);
 
 impl MetricValues {
     /// An empty bundle.
@@ -84,6 +132,21 @@ impl MetricValues {
             .with(Metric::energy(), time_s * power_w)
     }
 
+    /// Builds a bundle from possibly non-finite pairs — the wire
+    /// ingress path (the serde and binary decoders), which performs
+    /// **no** finiteness validation. Non-finite values are tolerated
+    /// here and dropped-and-counted downstream when they reach a
+    /// sliding window ([`crate::Monitor::push`] /
+    /// [`crate::SharedKnowledge::publish`]), mirroring the monitor's
+    /// documented policy. Duplicate metrics keep the last value.
+    pub fn from_unvalidated(pairs: impl IntoIterator<Item = (Metric, f64)>) -> MetricValues {
+        let mut mv = MetricValues::new();
+        for (m, v) in pairs {
+            mv.insert_unchecked(m, v);
+        }
+        mv
+    }
+
     /// Builder-style insertion.
     ///
     /// # Panics
@@ -105,12 +168,22 @@ impl MetricValues {
             value.is_finite(),
             "metric {metric} = {value} must be finite"
         );
-        self.0.insert(metric, value);
+        self.insert_unchecked(metric, value);
     }
 
-    /// Looks up a value.
+    /// Sorted insert-or-replace without the finiteness guard.
+    fn insert_unchecked(&mut self, metric: Metric, value: f64) {
+        match self.0.binary_search_by(|(m, _)| m.cmp(&metric)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (metric, value)),
+        }
+    }
+
+    /// Looks up a value. Bundles are small (typically four EFPs), so a
+    /// linear scan through the interned-pointer equality fast path
+    /// beats a binary search of string compares.
     pub fn get(&self, metric: &Metric) -> Option<f64> {
-        self.0.get(metric).copied()
+        self.0.iter().find(|(m, _)| m.same(metric)).map(|(_, v)| *v)
     }
 
     /// Iterates over `(metric, value)` pairs in metric order.
@@ -139,6 +212,36 @@ impl FromIterator<(Metric, f64)> for MetricValues {
     }
 }
 
+impl Serialize for MetricValues {
+    fn to_value(&self) -> Value {
+        // Same wire shape as the former BTreeMap: a map in metric
+        // order (the vector is kept sorted).
+        Value::Object(
+            self.0
+                .iter()
+                .map(|(m, v)| (m.as_str().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for MetricValues {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // The ingress path performs no finiteness validation (see
+        // `from_unvalidated`); duplicate keys keep the last value.
+        match v {
+            Value::Object(entries) => {
+                let mut mv = MetricValues::new();
+                for (k, val) in entries {
+                    mv.insert_unchecked(Metric::custom(k), f64::from_value(val)?);
+                }
+                Ok(mv)
+            }
+            other => Err(serde::Error::expected("metric value map", other)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +252,15 @@ mod tests {
         assert_eq!(Metric::power().as_str(), "power_w");
         assert_eq!(Metric::throughput().as_str(), "throughput");
         assert_eq!(Metric::energy().as_str(), "energy_j");
+    }
+
+    #[test]
+    fn well_known_names_are_interned() {
+        assert!(Arc::ptr_eq(
+            &Metric::power().0,
+            &Metric::custom("power_w").0
+        ));
+        assert_eq!(Metric::custom("cache_misses").as_str(), "cache_misses");
     }
 
     #[test]
@@ -171,9 +283,42 @@ mod tests {
     }
 
     #[test]
+    fn iteration_is_in_metric_order() {
+        let mv = MetricValues::new()
+            .with(Metric::throughput(), 8.0)
+            .with(Metric::energy(), 9.5)
+            .with(Metric::exec_time(), 0.125);
+        let names: Vec<&str> = mv.iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, vec!["energy_j", "exec_time_s", "throughput"]);
+    }
+
+    #[test]
     #[should_panic(expected = "must be finite")]
     fn non_finite_values_rejected() {
         let _ = MetricValues::new().with(Metric::power(), f64::NAN);
+    }
+
+    #[test]
+    fn unvalidated_ingress_tolerates_non_finite_values() {
+        let mv = MetricValues::from_unvalidated([
+            (Metric::power(), f64::NAN),
+            (Metric::exec_time(), 0.5),
+            (Metric::exec_time(), 0.25), // duplicate: last wins
+        ]);
+        assert_eq!(mv.len(), 2);
+        assert!(mv.get(&Metric::power()).expect("present").is_nan());
+        assert_eq!(mv.get(&Metric::exec_time()), Some(0.25));
+    }
+
+    #[test]
+    fn serde_shape_matches_a_plain_json_map() {
+        let mv = MetricValues::new()
+            .with(Metric::power(), 95.0)
+            .with(Metric::exec_time(), 0.125);
+        let json = serde_json::to_string(&mv).expect("serialises");
+        assert_eq!(json, r#"{"exec_time_s":0.125,"power_w":95.0}"#);
+        let back: MetricValues = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, mv);
     }
 
     #[test]

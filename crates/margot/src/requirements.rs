@@ -73,14 +73,24 @@ impl Constraint {
     /// Whether the metric bundle satisfies the constraint. Missing
     /// metrics count as violations (the AS-RTM cannot vouch for them).
     pub fn satisfied_by(&self, values: &MetricValues) -> bool {
-        values
-            .get(&self.metric)
-            .is_some_and(|v| self.cmp.holds(v, self.value))
+        self.satisfied_with(|m| values.get(m))
+    }
+
+    /// [`satisfied_by`](Self::satisfied_by) over a metric lookup
+    /// function instead of a materialised bundle — the AS-RTM's
+    /// allocation-free hot path.
+    pub fn satisfied_with(&self, get: impl Fn(&Metric) -> Option<f64>) -> bool {
+        get(&self.metric).is_some_and(|v| self.cmp.holds(v, self.value))
     }
 
     /// Violation magnitude, normalised by the bound: 0 when satisfied.
     pub fn violation(&self, values: &MetricValues) -> f64 {
-        let Some(v) = values.get(&self.metric) else {
+        self.violation_with(|m| values.get(m))
+    }
+
+    /// [`violation`](Self::violation) over a metric lookup function.
+    pub fn violation_with(&self, get: impl Fn(&Metric) -> Option<f64>) -> f64 {
+        let Some(v) = get(&self.metric) else {
             return f64::INFINITY;
         };
         if self.cmp.holds(v, self.value) {
@@ -157,18 +167,24 @@ impl Rank {
     /// Evaluates the rank on a metric bundle; `None` if a field is
     /// missing or the result is not finite.
     pub fn value(&self, values: &MetricValues) -> Option<f64> {
+        self.value_with(|m| values.get(m))
+    }
+
+    /// [`value`](Self::value) over a metric lookup function instead of
+    /// a materialised bundle — the AS-RTM's allocation-free hot path.
+    pub fn value_with(&self, get: impl Fn(&Metric) -> Option<f64>) -> Option<f64> {
         let v = match &self.kind {
             RankKind::Linear(terms) => {
                 let mut acc = 0.0;
                 for (m, coef) in terms {
-                    acc += coef * values.get(m)?;
+                    acc += coef * get(m)?;
                 }
                 acc
             }
             RankKind::Geometric(terms) => {
                 let mut acc = 1.0;
                 for (m, exp) in terms {
-                    let base = values.get(m)?;
+                    let base = get(m)?;
                     if base <= 0.0 {
                         return None;
                     }

@@ -2,12 +2,27 @@
 //! paper's *online* autotuning loop.
 //!
 //! A [`SharedKnowledge`] starts from design-time knowledge and keeps a
-//! sliding [`Monitor`] window per `(operating point, metric)`. Deployed
-//! instances *publish* their runtime observations into it; once a point
-//! has gathered enough observations, its expected EFP values are the
-//! window means instead of the design-time predictions — so the whole
-//! fleet converges onto what the deployment platform actually does,
-//! even under drift (a machine running hotter or slower than profiled).
+//! sliding observation window per `(operating point, metric)`, with the
+//! same drop-and-count policy for non-finite samples as [`Monitor`](crate::Monitor).
+//! Deployed instances *publish* their runtime observations into it;
+//! once a point has gathered enough observations, its expected EFP
+//! values are the window means instead of the design-time predictions —
+//! so the whole fleet converges onto what the deployment platform
+//! actually does, even under drift (a machine running hotter or slower
+//! than profiled).
+//!
+//! # Columnar arena
+//!
+//! Points are stored in a dense **columnar arena** rather than a map of
+//! monitors per point: configs are interned to `(shard, slot)` indices
+//! at construction, and each shard keeps one structure-of-arrays column
+//! per metric — a flat `slots × window` ring-buffer block plus parallel
+//! `start`/`len`/`total` vectors. A publish is an O(1) index lookup
+//! followed by a ring write; no per-observation allocation, no tree
+//! rebalancing, and window means stream over contiguous memory. The
+//! immutable layout (design points, config index, slot→position map) is
+//! shared behind an `Arc`, so [`fork`](SharedKnowledge::fork)ing the
+//! base for checkpointing copies only the mutable column state.
 //!
 //! # Sharding
 //!
@@ -27,74 +42,176 @@
 //! every window mean where it was (an empty observation, or a value
 //! equal to the current mean) does not invalidate anybody's snapshot.
 //! Changed points are tracked as a per-shard *dirty set*; a coordinator
-//! drains them with [`drain_changes`] and patches only those points
-//! into its cached [`Knowledge`] (or forwards them to instances as a
-//! [`KnowledgeDelta`]) instead of rebuilding the whole effective
-//! knowledge.
+//! drains them straight out of the arena — patching its cached
+//! [`Knowledge`] in place with [`drain_changes_into`], or materialising
+//! a [`KnowledgeDelta`] for the wire with [`drain_changes`] — instead
+//! of rebuilding the whole effective knowledge.
 //!
 //! [`publish_batch`]: SharedKnowledge::publish_batch
 //! [`drain_changes`]: SharedKnowledge::drain_changes
+//! [`drain_changes_into`]: SharedKnowledge::drain_changes_into
 
 use crate::knowledge::{Knowledge, OperatingPoint};
 use crate::metric::{Metric, MetricValues};
-use crate::monitor::Monitor;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Default number of lock shards ([`SharedKnowledge::with_shards`]).
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// One shared operating point: design-time expectations plus the merged
-/// runtime observation windows.
-#[derive(Debug, Clone)]
-struct SharedPoint<K> {
-    design: OperatingPoint<K>,
-    windows: BTreeMap<Metric, Monitor>,
-    /// Position of this point in the effective [`Knowledge`] (the
-    /// design knowledge's insertion order), so sharding never reorders
-    /// the published view.
-    pos: usize,
+/// The immutable half of the arena, shared (`Arc`) between the base and
+/// its [`fork`](SharedKnowledge::fork)s: design points, the config →
+/// `(shard, slot)` index, and the slot → knowledge-position map.
+#[derive(Debug)]
+struct Layout<K> {
+    design: Knowledge<K>,
+    /// Config → shard/slot, fixed at construction, so a publish is an
+    /// O(1) lookup that touches only its own shard's lock.
+    index: HashMap<K, PointRef>,
+    /// `positions[shard][slot]` = position of that slot's point in the
+    /// effective [`Knowledge`] (the design knowledge's insertion
+    /// order), so sharding never reorders the published view.
+    positions: Vec<Vec<usize>>,
+    window: usize,
 }
 
-impl<K: Clone> SharedPoint<K> {
-    /// The effective operating point: window means override the design
-    /// values for every metric with at least `min_observations`.
-    fn effective(&self, min_observations: u64) -> OperatingPoint<K> {
-        let mut metrics = self.design.metrics.clone();
-        for (metric, window) in &self.windows {
-            if window.total_observations() >= min_observations {
-                if let Some(mean) = window.mean() {
-                    if mean.is_finite() {
-                        metrics.insert(metric.clone(), mean);
-                    }
-                }
-            }
+/// One metric's structure-of-arrays column within a shard: a flat
+/// `slots × window` block of ring buffers plus parallel ring
+/// bookkeeping, mirroring [`Monitor`](crate::Monitor)'s sliding-window semantics
+/// bit-for-bit (same push order, same oldest→newest summation).
+#[derive(Debug, Clone)]
+struct MetricCol {
+    /// Ring storage; slot `s` owns `buf[s*window .. (s+1)*window]`.
+    buf: Vec<f64>,
+    /// Ring start (index of the oldest sample) per slot.
+    start: Vec<u32>,
+    /// Samples currently in the ring per slot.
+    len: Vec<u32>,
+    /// Total accepted observations ever per slot (ages past the
+    /// window), gating `min_observations` exactly like
+    /// [`Monitor::total_observations`](crate::Monitor::total_observations).
+    total: Vec<u64>,
+}
+
+impl MetricCol {
+    fn new(slots: usize, window: usize) -> Self {
+        MetricCol {
+            buf: vec![0.0; slots * window],
+            start: vec![0; slots],
+            len: vec![0; slots],
+            total: vec![0; slots],
         }
-        OperatingPoint::new(self.design.config.clone(), metrics)
+    }
+
+    /// Pushes one (finite) sample into `slot`'s ring, evicting the
+    /// oldest at capacity — the [`Monitor::push`](crate::Monitor::push) accept path.
+    fn push(&mut self, slot: usize, window: usize, value: f64) {
+        let base = slot * window;
+        let start = self.start[slot] as usize;
+        let len = self.len[slot] as usize;
+        if len == window {
+            self.buf[base + start] = value;
+            self.start[slot] = ((start + 1) % window) as u32;
+        } else {
+            self.buf[base + (start + len) % window] = value;
+            self.len[slot] = (len + 1) as u32;
+        }
+        self.total[slot] += 1;
+    }
+
+    /// Window mean of `slot`, summing oldest→newest from 0.0 — the
+    /// exact float-order of [`Monitor::mean`](crate::Monitor::mean), so the arena is
+    /// bit-identical to the monitor-per-point representation.
+    fn mean(&self, slot: usize, window: usize) -> Option<f64> {
+        let len = self.len[slot] as usize;
+        if len == 0 {
+            return None;
+        }
+        let base = slot * window;
+        let start = self.start[slot] as usize;
+        let mut sum = 0.0;
+        for i in 0..len {
+            sum += self.buf[base + (start + i) % window];
+        }
+        Some(sum / len as f64)
+    }
+
+    /// The ring contents of `slot`, oldest→newest.
+    fn ordered(&self, slot: usize, window: usize) -> Vec<f64> {
+        let len = self.len[slot] as usize;
+        let base = slot * window;
+        let start = self.start[slot] as usize;
+        (0..len)
+            .map(|i| self.buf[base + (start + i) % window])
+            .collect()
     }
 }
 
-/// One lock shard: a group of points plus the dirty slots whose
-/// effective values changed since the last [`drain_changes`].
-///
-/// [`drain_changes`]: SharedKnowledge::drain_changes
+/// One lock shard: the mutable columnar state for its slots plus the
+/// dirty slots whose effective values changed since the last drain.
 #[derive(Debug)]
-struct Shard<K> {
-    state: Mutex<ShardState<K>>,
+struct Shard {
+    state: Mutex<ShardState>,
     /// This shard's epoch: advanced once per publish that changed an
     /// effective value of one of its points. Lock-free to read.
     epoch: AtomicU64,
 }
 
-#[derive(Debug)]
-struct ShardState<K> {
-    points: Vec<SharedPoint<K>>,
+#[derive(Debug, Clone)]
+struct ShardState {
+    /// Number of slots (points) in this shard.
+    slots: usize,
+    /// Metric universe of this shard in first-published order;
+    /// parallel to `cols`.
+    metrics: Vec<Metric>,
+    cols: Vec<MetricCol>,
     /// Slots whose effective point changed since the last drain,
     /// ordered so drains are deterministic.
     dirty: BTreeSet<usize>,
+}
+
+impl ShardState {
+    fn col_index(&self, metric: &Metric) -> Option<usize> {
+        self.metrics.iter().position(|m| m == metric)
+    }
+
+    fn ensure_col(&mut self, metric: &Metric, window: usize) -> usize {
+        match self.col_index(metric) {
+            Some(i) => i,
+            None => {
+                self.metrics.push(metric.clone());
+                self.cols.push(MetricCol::new(self.slots, window));
+                self.cols.len() - 1
+            }
+        }
+    }
+
+    /// The effective value of one metric of `slot`: the window mean
+    /// once it is sufficiently observed (and finite), the design-time
+    /// expectation otherwise.
+    fn effective_value(
+        &self,
+        slot: usize,
+        metric: &Metric,
+        design: &MetricValues,
+        window: usize,
+        min_observations: u64,
+    ) -> Option<f64> {
+        if let Some(c) = self.col_index(metric) {
+            let col = &self.cols[c];
+            if col.total[slot] >= min_observations {
+                if let Some(mean) = col.mean(slot, window) {
+                    if mean.is_finite() {
+                        return Some(mean);
+                    }
+                }
+            }
+        }
+        design.get(metric)
+    }
 }
 
 /// Where a config lives: `(shard, slot within the shard)`.
@@ -114,8 +231,9 @@ struct PointRef {
 /// `from_epoch` lands exactly on the `to_epoch` knowledge — bit-
 /// identical to adopting a full snapshot.
 ///
-/// Deltas serialise (serde), so a coordinator can ship them over a
-/// wire instead of a shared address space — the distributed runtime's
+/// Deltas serialise (serde, plus the binary wire codec in the
+/// `socrates` crate), so a coordinator can ship them over a wire
+/// instead of a shared address space — the distributed runtime's
 /// knowledge-exchange payload (`socrates::transport`). The JSON schema
 /// is pinned by a golden file in the `socrates` crate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -221,15 +339,15 @@ fn deterministic_shard<K: Hash>(config: &K, shards: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct SharedKnowledge<K> {
-    shards: Vec<Shard<K>>,
-    /// Config → shard/slot, fixed at construction, so a publish is an
-    /// O(1) lookup that touches only its own shard's lock.
-    index: HashMap<K, PointRef>,
+    layout: Arc<Layout<K>>,
+    shards: Vec<Shard>,
     /// Global epoch: total number of effective-knowledge changes.
     epoch: AtomicU64,
-    total_points: usize,
-    window: usize,
     min_observations: u64,
+    /// Non-finite observed values dropped at publish (the
+    /// [`Monitor::push`](crate::Monitor::push) policy, counted at the shared-knowledge
+    /// level).
+    dropped: AtomicU64,
 }
 
 impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
@@ -240,31 +358,17 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     ///
     /// # Panics
     ///
-    /// Panics if `window` is zero (same contract as [`Monitor::new`]).
+    /// Panics if `window` is zero (same contract as [`Monitor::new`](crate::Monitor::new)).
     pub fn new(design: Knowledge<K>, window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        let mut shared = SharedKnowledge {
-            shards: Vec::new(),
-            index: HashMap::new(),
+        let (layout, shards) = Self::build(design, window, DEFAULT_SHARDS);
+        SharedKnowledge {
+            layout: Arc::new(layout),
+            shards,
             epoch: AtomicU64::new(0),
-            total_points: design.len(),
-            window,
             min_observations: 1,
-        };
-        shared.distribute(
-            design
-                .points()
-                .iter()
-                .enumerate()
-                .map(|(pos, p)| SharedPoint {
-                    design: p.clone(),
-                    windows: BTreeMap::new(),
-                    pos,
-                })
-                .collect(),
-            DEFAULT_SHARDS,
-        );
-        shared
+            dropped: AtomicU64::new(0),
+        }
     }
 
     /// Builder-style: observations needed before a window mean overrides
@@ -300,50 +404,125 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
         if shards == self.shards.len() {
             return self; // already laid out like this (e.g. the default)
         }
-        let mut points: Vec<SharedPoint<K>> = self
-            .shards
-            .iter_mut()
-            .flat_map(|s| {
-                let state = s.state.get_mut().unwrap_or_else(PoisonError::into_inner);
-                std::mem::take(&mut state.points)
-            })
-            .collect();
-        points.sort_by_key(|p| p.pos);
-        self.distribute(points, shards);
+        // Window contents can exist at epoch 0 (published values that
+        // exactly reproduce the design expectations change nothing);
+        // carry them over to the new layout, keyed by position.
+        let window = self.layout.window;
+        let mut carried: Vec<Vec<(Metric, Vec<f64>, u64)>> =
+            vec![Vec::new(); self.layout.design.len()];
+        for (shard, s) in self.shards.iter_mut().enumerate() {
+            let state = s.state.get_mut().unwrap_or_else(PoisonError::into_inner);
+            for (c, metric) in state.metrics.iter().enumerate() {
+                let col = &state.cols[c];
+                for (slot, &pos) in self.layout.positions[shard].iter().enumerate() {
+                    if col.total[slot] > 0 {
+                        carried[pos].push((
+                            metric.clone(),
+                            col.ordered(slot, window),
+                            col.total[slot],
+                        ));
+                    }
+                }
+            }
+        }
+        let (layout, new_shards) = Self::build(self.layout.design.clone(), window, shards);
+        self.layout = Arc::new(layout);
+        self.shards = new_shards;
+        for (pos, metrics) in carried.into_iter().enumerate() {
+            if metrics.is_empty() {
+                continue;
+            }
+            let config = &self.layout.design.points()[pos].config;
+            let at = *self.layout.index.get(config).expect("point is indexed");
+            let state = self.shards[at.shard]
+                .state
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (metric, values, total) in metrics {
+                let c = state.ensure_col(&metric, window);
+                for value in values {
+                    state.cols[c].push(at.slot, window, value);
+                }
+                // Restore the all-time count (values aged out of the
+                // ring are gone, but their count still gates
+                // `min_observations`).
+                state.cols[c].total[at.slot] = total;
+            }
+        }
         self
     }
 
-    /// Rebuilds the shard layout from a flat point list.
-    fn distribute(&mut self, points: Vec<SharedPoint<K>>, shards: usize) {
-        let mut groups: Vec<Vec<SharedPoint<K>>> = (0..shards).map(|_| Vec::new()).collect();
-        for point in points {
-            groups[deterministic_shard(&point.design.config, shards)].push(point);
+    /// Builds the immutable layout plus empty per-shard column state.
+    fn build(design: Knowledge<K>, window: usize, shards: usize) -> (Layout<K>, Vec<Shard>) {
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut index = HashMap::with_capacity(design.len());
+        for (pos, point) in design.points().iter().enumerate() {
+            let shard = deterministic_shard(&point.config, shards);
+            index.insert(
+                point.config.clone(),
+                PointRef {
+                    shard,
+                    slot: positions[shard].len(),
+                },
+            );
+            positions[shard].push(pos);
         }
-        self.index.clear();
-        self.shards = groups
-            .into_iter()
-            .enumerate()
-            .map(|(shard, points)| {
-                for (slot, point) in points.iter().enumerate() {
-                    self.index
-                        .insert(point.design.config.clone(), PointRef { shard, slot });
-                }
-                Shard {
-                    state: Mutex::new(ShardState {
-                        points,
-                        dirty: BTreeSet::new(),
-                    }),
-                    epoch: AtomicU64::new(0),
-                }
+        let shard_vec = positions
+            .iter()
+            .map(|group| Shard {
+                state: Mutex::new(ShardState {
+                    slots: group.len(),
+                    metrics: Vec::new(),
+                    cols: Vec::new(),
+                    dirty: BTreeSet::new(),
+                }),
+                epoch: AtomicU64::new(0),
             })
             .collect();
+        (
+            Layout {
+                design,
+                index,
+                positions,
+                window,
+            },
+            shard_vec,
+        )
     }
 
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardState<K>> {
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, ShardState> {
         self.shards[shard]
             .state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// An independent deep copy of the mutable state (columns, dirty
+    /// sets, epochs) sharing the immutable layout — the checkpointing
+    /// primitive behind incremental replica refolds. Intended for
+    /// quiescent bases (shards are locked one at a time, so a fork
+    /// taken while other threads publish may straddle a batch).
+    pub fn fork(&self) -> SharedKnowledge<K> {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| Shard {
+                state: Mutex::new(
+                    s.state
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone(),
+                ),
+                epoch: AtomicU64::new(s.epoch.load(Ordering::Acquire)),
+            })
+            .collect();
+        SharedKnowledge {
+            layout: Arc::clone(&self.layout),
+            shards,
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
+            min_observations: self.min_observations,
+            dropped: AtomicU64::new(self.dropped.load(Ordering::Relaxed)),
+        }
     }
 
     /// The current knowledge version: the number of publishes that
@@ -370,65 +549,80 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
 
     /// The shard `config` lives in, or `None` for unknown configs.
     pub fn shard_of(&self, config: &K) -> Option<usize> {
-        self.index.get(config).map(|r| r.shard)
+        self.layout.index.get(config).map(|r| r.shard)
     }
 
     /// Number of operating points.
     pub fn len(&self) -> usize {
-        self.total_points
+        self.layout.design.len()
     }
 
     /// Whether the shared knowledge has no points.
     pub fn is_empty(&self) -> bool {
-        self.total_points == 0
+        self.layout.design.is_empty()
     }
 
-    /// The effective value of one metric of `point`: the window mean
-    /// once it is sufficiently observed (and finite), the design-time
-    /// expectation otherwise — the per-metric view of
-    /// [`SharedPoint::effective`].
-    fn effective_value(
-        point: &SharedPoint<K>,
-        metric: &Metric,
-        min_observations: u64,
-    ) -> Option<f64> {
-        if let Some(window) = point.windows.get(metric) {
-            if window.total_observations() >= min_observations {
-                if let Some(mean) = window.mean() {
+    /// Non-finite observed values dropped (and counted) by
+    /// [`publish`](Self::publish)/[`publish_batch`](Self::publish_batch)
+    /// instead of being folded into a window — the shared-knowledge
+    /// mirror of [`Monitor::push`](crate::Monitor::push)'s policy. Values can reach this path
+    /// from the wire, whose decoders deliberately perform no finiteness
+    /// validation ([`MetricValues::from_unvalidated`]).
+    pub fn dropped_observations(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Merges `observed` into `slot`'s columns; returns whether the
+    /// point's effective values changed. Only the observed metrics are
+    /// compared — untouched columns cannot change — so the hot publish
+    /// path stays O(|observed|) with no point clones. Caller holds the
+    /// shard lock.
+    fn merge_into(
+        &self,
+        state: &mut ShardState,
+        slot: usize,
+        design: &MetricValues,
+        observed: &MetricValues,
+    ) -> bool {
+        let window = self.layout.window;
+        let mut changed = false;
+        for (metric, value) in observed.iter() {
+            if !value.is_finite() {
+                // The Monitor::push policy at the shared level: drop
+                // and count, never poison a window mean.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let before = state.effective_value(slot, metric, design, window, self.min_observations);
+            let c = state.ensure_col(metric, window);
+            state.cols[c].push(slot, window, value);
+            // Effective values are finite by construction (non-finite
+            // means fall back to the finite design value), so `!=` on
+            // the options is an exact change test.
+            changed |= before
+                != state.effective_value(slot, metric, design, window, self.min_observations);
+        }
+        changed
+    }
+
+    /// The effective operating point of `(shard, slot)`: window means
+    /// override the design values for every metric with at least
+    /// `min_observations`. Caller holds the shard lock.
+    fn effective_point(&self, state: &ShardState, shard: usize, slot: usize) -> OperatingPoint<K> {
+        let pos = self.layout.positions[shard][slot];
+        let design = &self.layout.design.points()[pos];
+        let mut metrics = design.metrics.clone();
+        for (c, metric) in state.metrics.iter().enumerate() {
+            let col = &state.cols[c];
+            if col.total[slot] >= self.min_observations {
+                if let Some(mean) = col.mean(slot, self.layout.window) {
                     if mean.is_finite() {
-                        return Some(mean);
+                        metrics.insert(metric.clone(), mean);
                     }
                 }
             }
         }
-        point.design.metrics.get(metric)
-    }
-
-    /// Merges `observed` into `slot`'s windows; returns whether the
-    /// point's effective values changed. Only the observed metrics are
-    /// compared — untouched windows cannot change — so the hot publish
-    /// path stays O(|observed|) with no point clones. Caller holds the
-    /// shard lock.
-    fn merge_into(
-        point: &mut SharedPoint<K>,
-        observed: &MetricValues,
-        window: usize,
-        min_observations: u64,
-    ) -> bool {
-        let mut changed = false;
-        for (metric, value) in observed.iter() {
-            let before = Self::effective_value(point, metric, min_observations);
-            point
-                .windows
-                .entry(metric.clone())
-                .or_insert_with(|| Monitor::new(window))
-                .push(value);
-            // Effective values are finite by construction (non-finite
-            // means fall back to the finite design value), so `!=` on
-            // the options is an exact change test.
-            changed |= before != Self::effective_value(point, metric, min_observations);
-        }
-        changed
+        OperatingPoint::new(design.config.clone(), metrics)
     }
 
     /// Merges one runtime observation of `config` into the shared
@@ -440,21 +634,18 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     /// observation that leaves every window mean unchanged, merges
     /// without invalidating anybody's snapshot.
     ///
-    /// [`MetricValues`] can only hold finite values, so every merged
-    /// observation is finite by construction; the underlying
-    /// [`Monitor`]s would additionally drop-and-count non-finite
-    /// values if one ever reached them.
+    /// Non-finite values (possible on the wire-ingress path, which does
+    /// not validate) are dropped and counted
+    /// ([`dropped_observations`](Self::dropped_observations)) instead
+    /// of poisoning a window mean.
     pub fn publish(&self, config: &K, observed: &MetricValues) -> bool {
-        let Some(&at) = self.index.get(config) else {
+        let Some(&at) = self.layout.index.get(config) else {
             return false;
         };
+        let pos = self.layout.positions[at.shard][at.slot];
+        let design = &self.layout.design.points()[pos].metrics;
         let mut state = self.lock_shard(at.shard);
-        if Self::merge_into(
-            &mut state.points[at.slot],
-            observed,
-            self.window,
-            self.min_observations,
-        ) {
+        if self.merge_into(&mut state, at.slot, design, observed) {
             state.dirty.insert(at.slot);
             self.shards[at.shard].epoch.fetch_add(1, Ordering::AcqRel);
             self.epoch.fetch_add(1, Ordering::AcqRel);
@@ -478,7 +669,7 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         let mut accepted = 0;
         for (config, observed) in observations {
-            if let Some(&at) = self.index.get(config) {
+            if let Some(&at) = self.layout.index.get(config) {
                 by_shard[at.shard].push((at.slot, observed));
                 accepted += 1;
             }
@@ -490,12 +681,9 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
             let mut state = self.lock_shard(shard);
             let mut changed = 0u64;
             for (slot, observed) in group {
-                if Self::merge_into(
-                    &mut state.points[slot],
-                    observed,
-                    self.window,
-                    self.min_observations,
-                ) {
+                let pos = self.layout.positions[shard][slot];
+                let design = &self.layout.design.points()[pos].metrics;
+                if self.merge_into(&mut state, slot, design, observed) {
                     state.dirty.insert(slot);
                     changed += 1;
                 }
@@ -525,19 +713,46 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     /// with the changes *is* the `epoch` knowledge, and a later
     /// `epoch() == recorded` comparison can safely skip re-draining.
     pub fn drain_changes(&self) -> (u64, Vec<(usize, OperatingPoint<K>)>) {
-        let mut guards: Vec<MutexGuard<'_, ShardState<K>>> =
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
             (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
         let epoch = self.epoch.load(Ordering::Acquire);
         let mut out = Vec::new();
-        for state in &mut guards {
+        for (shard, state) in guards.iter_mut().enumerate() {
             let dirty = std::mem::take(&mut state.dirty);
             for slot in dirty {
-                let point = &state.points[slot];
-                out.push((point.pos, point.effective(self.min_observations)));
+                let pos = self.layout.positions[shard][slot];
+                out.push((pos, self.effective_point(state, shard, slot)));
             }
         }
         out.sort_by_key(|(pos, _)| *pos);
         (epoch, out)
+    }
+
+    /// Drains the dirty slots **straight into** `cache`, patching the
+    /// changed positions in place — the arena-view counterpart of
+    /// [`drain_changes`](Self::drain_changes) that skips the
+    /// intermediate point list entirely (the coordinator's hot refresh
+    /// path). Returns the epoch the patched cache is consistent with
+    /// and the number of points patched. `cache` must descend from the
+    /// same design knowledge (same length and point order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is shorter than the design knowledge.
+    pub fn drain_changes_into(&self, cache: &mut Knowledge<K>) -> (u64, usize) {
+        let mut guards: Vec<MutexGuard<'_, ShardState>> =
+            (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut patched = 0;
+        for (shard, state) in guards.iter_mut().enumerate() {
+            let dirty = std::mem::take(&mut state.dirty);
+            for slot in dirty {
+                let pos = self.layout.positions[shard][slot];
+                cache.patch_point(pos, self.effective_point(state, shard, slot));
+                patched += 1;
+            }
+        }
+        (epoch, patched)
     }
 
     /// The effective knowledge: design-time points with every
@@ -549,13 +764,15 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     /// Epoch and effective knowledge read with all shard locks held, so
     /// the pair is consistent even while other threads publish.
     pub fn snapshot(&self) -> (u64, Knowledge<K>) {
-        let guards: Vec<MutexGuard<'_, ShardState<K>>> =
+        let guards: Vec<MutexGuard<'_, ShardState>> =
             (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
         let epoch = self.epoch.load(Ordering::Acquire);
-        let mut points: Vec<Option<OperatingPoint<K>>> = vec![None; self.total_points];
-        for guard in &guards {
-            for point in &guard.points {
-                points[point.pos] = Some(point.effective(self.min_observations));
+        let total = self.layout.design.len();
+        let mut points: Vec<Option<OperatingPoint<K>>> = vec![None; total];
+        for (shard, state) in guards.iter().enumerate() {
+            for slot in 0..self.layout.positions[shard].len() {
+                let pos = self.layout.positions[shard][slot];
+                points[pos] = Some(self.effective_point(state, shard, slot));
             }
         }
         let knowledge = points
@@ -572,13 +789,13 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
     pub fn observed_points(&self) -> usize {
         (0..self.shards.len())
             .map(|shard| {
-                self.lock_shard(shard)
-                    .points
-                    .iter()
-                    .filter(|p| {
-                        p.windows
-                            .values()
-                            .any(|w| w.total_observations() >= self.min_observations)
+                let state = self.lock_shard(shard);
+                (0..self.layout.positions[shard].len())
+                    .filter(|&slot| {
+                        state
+                            .cols
+                            .iter()
+                            .any(|c| c.total[slot] >= self.min_observations)
                     })
                     .count()
             })
@@ -660,6 +877,34 @@ mod tests {
             shared.knowledge().points()[0].metric(&Metric::power()),
             Some(60.0)
         );
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_and_counted() {
+        let shared = SharedKnowledge::new(design(), 4);
+        // The wire decoders perform no finiteness validation, so NaNs
+        // can legitimately reach publish; they must never fold into a
+        // window.
+        let poisoned = MetricValues::from_unvalidated([
+            (Metric::power(), f64::NAN),
+            (Metric::exec_time(), 0.5),
+        ]);
+        assert!(shared.publish(&1, &poisoned), "the config is known");
+        assert_eq!(shared.dropped_observations(), 1);
+        let k = shared.knowledge();
+        let p1 = &k.points()[0];
+        assert_eq!(p1.metric(&Metric::power()), Some(50.0), "design value kept");
+        assert_eq!(
+            p1.metric(&Metric::exec_time()),
+            Some(0.5),
+            "finite value merged"
+        );
+        // A fully non-finite publish changes nothing: no epoch bump.
+        let epoch = shared.epoch();
+        let all_nan = MetricValues::from_unvalidated([(Metric::power(), f64::INFINITY)]);
+        assert!(shared.publish(&1, &all_nan));
+        assert_eq!(shared.epoch(), epoch);
+        assert_eq!(shared.dropped_observations(), 2);
     }
 
     #[test]
@@ -761,6 +1006,24 @@ mod tests {
     }
 
     #[test]
+    fn drain_changes_into_patches_in_place() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(2);
+        let twin = SharedKnowledge::new(design(), 4).with_shards(2);
+        let mut cache = shared.knowledge();
+        for (config, power) in [(1u32, 60.0), (2, 85.0), (1, 70.0)] {
+            let observed = MetricValues::new().with(Metric::power(), power);
+            shared.publish(&config, &observed);
+            twin.publish(&config, &observed);
+        }
+        let (epoch, patched) = shared.drain_changes_into(&mut cache);
+        assert_eq!(patched, 2);
+        assert_eq!(epoch, shared.epoch());
+        assert_eq!(cache, twin.knowledge(), "in-place drain == snapshot");
+        // Nothing left to drain.
+        assert_eq!(shared.drain_changes_into(&mut cache).1, 0);
+    }
+
+    #[test]
     fn delta_refuses_mismatched_knowledge() {
         let shared = SharedKnowledge::new(design(), 4);
         shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
@@ -788,6 +1051,49 @@ mod tests {
         assert_eq!(sharded.epoch(), reference.epoch());
         assert_eq!(reference.shard_count(), 1);
         assert_eq!(reference.shard_epoch(0), reference.epoch());
+    }
+
+    #[test]
+    fn fork_is_an_independent_deep_copy() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(3);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        let fork = shared.fork();
+        assert_eq!(fork.epoch(), shared.epoch());
+        assert_eq!(fork.knowledge(), shared.knowledge());
+        for s in 0..shared.shard_count() {
+            assert_eq!(fork.shard_epoch(s), shared.shard_epoch(s));
+        }
+        // Diverge the fork: the original must not see it, and vice
+        // versa.
+        fork.publish(&2, &MetricValues::new().with(Metric::power(), 99.0));
+        assert_eq!(shared.epoch(), 1);
+        assert_eq!(fork.epoch(), 2);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 70.0));
+        assert_ne!(fork.knowledge(), shared.knowledge());
+        // The fork continues bit-identically to a twin fed the same
+        // stream from scratch.
+        let twin = SharedKnowledge::new(design(), 4).with_shards(3);
+        twin.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        twin.publish(&2, &MetricValues::new().with(Metric::power(), 99.0));
+        assert_eq!(fork.knowledge(), twin.knowledge());
+        assert_eq!(fork.epoch(), twin.epoch());
+    }
+
+    #[test]
+    fn resharding_carries_pre_epoch_windows() {
+        // A published value equal to the design expectation changes no
+        // effective value (epoch stays 0) but still seeds the window;
+        // with_shards must carry that data to the new layout.
+        let shared = SharedKnowledge::new(design(), 4).with_min_observations(2);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 50.0));
+        assert_eq!(shared.epoch(), 0, "design-equal publish changes nothing");
+        let resharded = shared.with_shards(2);
+        resharded.publish(&1, &MetricValues::new().with(Metric::power(), 70.0));
+        assert_eq!(
+            resharded.knowledge().points()[0].metric(&Metric::power()),
+            Some(60.0),
+            "the carried observation still counts toward the window mean"
+        );
     }
 
     #[test]

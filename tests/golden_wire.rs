@@ -2,9 +2,17 @@
 //! serialised knowledge exchange — [`margot::KnowledgeDelta`] and
 //! every [`socrates::transport::WireMessage`] variant — must be
 //! **byte-identical** against the checked-in files under
-//! `tests/golden/`, pinning field names, field order, variant tags
-//! and float formatting of the wire schema (like the golden trace
-//! pins the `TraceSample` schema).
+//! `tests/golden/`, in both encodings:
+//!
+//! - the **JSON compatibility layer** (`*.json`), pinning field
+//!   names, field order, variant tags and float formatting (like the
+//!   golden trace pins the `TraceSample` schema), and
+//! - the **binary wire format** (`*.bin`) the runtime actually ships
+//!   through the transport, pinning the frame layout byte-for-byte.
+//!
+//! A bridge test decodes the pinned JSON through the compatibility
+//! layer and re-encodes it binary, asserting both goldens describe
+//! the *same* in-memory messages.
 //!
 //! Regenerate after an *intentional* schema change with:
 //!
@@ -15,7 +23,10 @@
 use margot::{Knowledge, KnowledgeDelta, Metric, MetricValues, OperatingPoint};
 use platform_sim::{BindingPolicy, CompilerFlag, CompilerOptions, KnobConfig, OptLevel};
 use socrates::transport::{Observation, WireMessage};
-use socrates::{delta_from_json, delta_to_json, wire_from_json, wire_to_json};
+use socrates::{
+    delta_from_bytes, delta_from_json, delta_to_bytes, delta_to_json, wire_from_bytes,
+    wire_from_json, wire_to_bytes, wire_to_json,
+};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -113,6 +124,63 @@ fn check_golden(name: &str, serialized: &str) {
     );
 }
 
+fn check_golden_bytes(name: &str, serialized: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, serialized).expect("write golden");
+        eprintln!(
+            "regenerated {} ({} bytes)",
+            path.display(),
+            serialized.len()
+        );
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SOCRATES_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        serialized, golden,
+        "{name}: wire bytes drifted from the golden file"
+    );
+}
+
+/// The container layout of `wire_messages.bin`: frame count (u32 LE),
+/// then each frame as byte length (u32 LE) ++ frame bytes.
+fn pack_frames(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        &u32::try_from(frames.len())
+            .expect("count fits u32")
+            .to_le_bytes(),
+    );
+    for f in frames {
+        out.extend_from_slice(
+            &u32::try_from(f.len())
+                .expect("frame fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+fn unpack_frames(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let (count, mut rest) = bytes.split_at(4);
+    for _ in 0..u32::from_le_bytes(count.try_into().expect("4")) {
+        let (len, tail) = rest.split_at(4);
+        let len = u32::from_le_bytes(len.try_into().expect("4")) as usize;
+        frames.push(tail[..len].to_vec());
+        rest = &tail[len..];
+    }
+    assert!(rest.is_empty(), "trailing bytes after the last frame");
+    frames
+}
+
 #[test]
 fn knowledge_delta_is_byte_stable_against_the_golden_file() {
     let json = delta_to_json(&sample_delta()).expect("delta serialises");
@@ -148,4 +216,71 @@ fn every_wire_variant_round_trips_through_serde() {
         let back = wire_from_json(&json).expect("parses");
         assert_eq!(back, msg, "round-trip changed the message");
     }
+}
+
+#[test]
+fn binary_knowledge_delta_is_byte_stable_against_the_golden_file() {
+    let bytes = delta_to_bytes(&sample_delta()).expect("delta encodes");
+    check_golden_bytes("knowledge_delta.bin", &bytes);
+}
+
+#[test]
+fn binary_wire_messages_are_byte_stable_against_the_golden_file() {
+    let frames: Vec<Vec<u8>> = sample_messages()
+        .iter()
+        .map(|m| wire_to_bytes(m).expect("message encodes"))
+        .collect();
+    check_golden_bytes("wire_messages.bin", &pack_frames(&frames));
+}
+
+#[test]
+fn golden_binary_delta_round_trips_byte_stably() {
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        return; // the golden file is being rewritten concurrently
+    }
+    let golden = std::fs::read(golden_path("knowledge_delta.bin")).expect("golden delta present");
+    let parsed = delta_from_bytes(&golden).expect("golden delta decodes");
+    assert_eq!(parsed, sample_delta(), "golden content drifted");
+    let reencoded = delta_to_bytes(&parsed).expect("re-encodes");
+    assert_eq!(reencoded, golden, "encode(decode(x)) != x");
+}
+
+/// The compatibility bridge: decoding the pinned *JSON* goldens
+/// through the compat layer must yield exactly the in-memory messages
+/// the pinned *binary* goldens decode to — the two encodings describe
+/// one schema.
+#[test]
+fn json_goldens_decode_identically_to_binary_goldens() {
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        return; // the golden files are being rewritten concurrently
+    }
+    let delta_json = std::fs::read_to_string(golden_path("knowledge_delta.json"))
+        .expect("golden JSON delta present");
+    let delta_bin = std::fs::read(golden_path("knowledge_delta.bin")).expect("golden bin present");
+    assert_eq!(
+        delta_from_json(&delta_json).expect("compat layer decodes"),
+        delta_from_bytes(&delta_bin).expect("binary decodes"),
+        "the two delta goldens describe different deltas"
+    );
+    let msgs_json = std::fs::read_to_string(golden_path("wire_messages.json"))
+        .expect("golden JSON messages present");
+    let from_json: Vec<WireMessage> =
+        serde_json::from_str(&msgs_json).expect("compat layer decodes the golden array");
+    let msgs_bin = std::fs::read(golden_path("wire_messages.bin")).expect("golden bin present");
+    let from_bin: Vec<WireMessage> = unpack_frames(&msgs_bin)
+        .iter()
+        .map(|f| wire_from_bytes(f).expect("binary decodes"))
+        .collect();
+    assert_eq!(
+        from_json, from_bin,
+        "the two message goldens describe different messages"
+    );
+    assert_eq!(from_bin, sample_messages(), "golden content drifted");
+    // Re-encoding the compat-decoded messages reproduces the binary
+    // golden byte-for-byte.
+    let reencoded: Vec<Vec<u8>> = from_json
+        .iter()
+        .map(|m| wire_to_bytes(m).expect("encodes"))
+        .collect();
+    assert_eq!(pack_frames(&reencoded), msgs_bin);
 }

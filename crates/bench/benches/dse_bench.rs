@@ -8,6 +8,7 @@ use margot::Knowledge;
 use milepost::extract_function;
 use platform_sim::{BindingPolicy, KnobConfig, Machine, Topology};
 use polybench::{App, Dataset};
+use socrates::ExecutionEngine;
 
 fn bench_full_factorial_profiling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dse-profile");
@@ -33,6 +34,52 @@ fn bench_full_factorial_profiling(c: &mut Criterion) {
                     profile_fn(&machine, &profile, &configs, reps).len()
                 });
             });
+        }
+    }
+    group.finish();
+}
+
+/// `--engine {ast,bytecode}` restricts the functional-execution
+/// benchmarks to one engine (the offline criterion shim ignores
+/// unknown CLI arguments, so the flag is free to claim).
+fn engines_under_bench() -> Vec<ExecutionEngine> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--engine") {
+        Some(i) => vec![args
+            .get(i + 1)
+            .expect("--engine needs a value")
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}"))],
+        None => ExecutionEngine::ALL.to_vec(),
+    }
+}
+
+fn bench_engine_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-run");
+    group.sample_size(10);
+    for app in [App::TwoMm, App::Doitgen] {
+        let tu = minic::parse(&polybench::source(app, Dataset::Large)).unwrap();
+        let mut weaver = lara::Weaver::new(tu);
+        let versions = [lara::StaticVersion::new(["O2"], "close")];
+        let woven = lara::multiversioning(&mut weaver, &app.kernel_name(), &versions).unwrap();
+        let (weaved, _) = weaver.finish();
+        let entry = woven.version_functions[0].clone();
+        let spec = socrates::functional_spec(app, Dataset::Large, 1);
+        for engine in engines_under_bench() {
+            let id = format!("{}-{engine}", app.name());
+            match engine {
+                ExecutionEngine::Ast => {
+                    group.bench_function(id, |b| {
+                        b.iter(|| minivm::interpret(&weaved, &entry, &spec).unwrap().checksum);
+                    });
+                }
+                ExecutionEngine::Bytecode => {
+                    let kernel = minivm::compile(&weaved, &entry, &spec).unwrap();
+                    group.bench_function(id, |b| {
+                        b.iter(|| kernel.run().unwrap().checksum);
+                    });
+                }
+            }
         }
     }
     group.finish();
@@ -110,6 +157,7 @@ fn bench_iterative_compilation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_full_factorial_profiling,
+    bench_engine_execution,
     bench_milepost_extraction,
     bench_cobayn_train,
     bench_iterative_compilation

@@ -22,7 +22,7 @@ use margot::{Metric, Rank};
 use platform_sim::KnobConfig;
 use polybench::App;
 use serde::Serialize;
-use socrates::{EnhancedApp, Fleet, FleetConfig, Toolchain, TraceSample};
+use socrates::{EnhancedApp, ExecutionEngine, Fleet, FleetConfig, Toolchain, TraceSample};
 use std::time::Instant;
 
 const DRIFT_FACTOR: f64 = 1.6;
@@ -33,10 +33,13 @@ const INSTANCES: usize = 8;
 #[derive(Serialize)]
 struct ScalingRow {
     instances: usize,
+    engine: String,
     virtual_seconds: f64,
     total_invocations: usize,
     invocations_per_virtual_s: f64,
     host_wall_ms: f64,
+    kernel_builds: u64,
+    kernel_cache_hits: u64,
 }
 
 #[derive(Serialize)]
@@ -56,47 +59,73 @@ struct ConvergenceRow {
 }
 
 fn main() {
-    let toolchain = Toolchain::default();
+    let args: Vec<String> = std::env::args().collect();
+    // `--engine {ast,bytecode}` selects the functional engine the
+    // fleet's kernels are lowered for (default: bytecode).
+    let engine: ExecutionEngine = match args.iter().position(|a| a == "--engine") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--engine needs a value")
+            .parse()
+            .unwrap_or_else(|e| panic!("{e}")),
+        None => ExecutionEngine::default(),
+    };
+    let toolchain = Toolchain {
+        engine,
+        ..Toolchain::default()
+    };
     let enhanced = toolchain.enhance(App::TwoMm).expect("enhance 2mm");
 
-    println!("Fleet runtime — online knowledge sharing at deployment scale");
+    println!("Fleet runtime — online knowledge sharing at deployment scale ({engine} engine)");
     println!();
-    scaling_study(&enhanced);
+    scaling_study(&enhanced, engine);
     println!();
-    convergence_study(&enhanced);
+    convergence_study(&enhanced, engine);
 }
 
-fn scaling_study(enhanced: &EnhancedApp) {
+fn scaling_study(enhanced: &EnhancedApp, engine: ExecutionEngine) {
     println!("── N-instance throughput scaling (60 virtual seconds each) ──");
     println!(
-        "{:>10} {:>14} {:>12} {:>14}",
-        "instances", "invocations", "inv/virt-s", "host wall [ms]"
+        "{:>10} {:>14} {:>12} {:>14} {:>12}",
+        "instances", "invocations", "inv/virt-s", "host wall [ms]", "kernels b/h"
     );
     let mut rows = Vec::new();
     for n in [1usize, 2, 4, 8, 16] {
-        let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
+        let mut fleet = Fleet::new(FleetConfig {
+            engine,
+            ..FleetConfig::default()
+        })
+        .expect("valid fleet config");
         fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, n);
         let wall = Instant::now();
         fleet.run_for(60.0);
         let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         let total: usize = (0..n).map(|id| fleet.trace(id).len()).sum();
+        let stats = fleet.stats();
         let row = ScalingRow {
             instances: n,
+            engine: engine.label().to_string(),
             virtual_seconds: 60.0,
             total_invocations: total,
             invocations_per_virtual_s: total as f64 / 60.0,
             host_wall_ms,
+            kernel_builds: stats.kernel_builds,
+            kernel_cache_hits: stats.kernel_cache_hits,
         };
         println!(
-            "{:>10} {:>14} {:>12.1} {:>14.1}",
-            row.instances, row.total_invocations, row.invocations_per_virtual_s, row.host_wall_ms
+            "{:>10} {:>14} {:>12.1} {:>14.1} {:>12}",
+            row.instances,
+            row.total_invocations,
+            row.invocations_per_virtual_s,
+            row.host_wall_ms,
+            format!("{}/{}", row.kernel_builds, row.kernel_cache_hits)
         );
         rows.push(row);
     }
     socrates_bench::write_json("fleet_scaling", &rows);
 }
 
-fn convergence_study(enhanced: &EnhancedApp) {
+fn convergence_study(enhanced: &EnhancedApp, engine: ExecutionEngine) {
     println!("── Online knowledge vs frozen design-time knowledge under drift ──");
     println!(
         "deployment drift: {DRIFT_FACTOR}x per-core dynamic power (idle floor unchanged), \
@@ -125,6 +154,7 @@ fn convergence_study(enhanced: &EnhancedApp) {
     for (mode, share) in [("online", true), ("frozen", false)] {
         let mut fleet = Fleet::new(FleetConfig {
             share_knowledge: share,
+            engine,
             ..FleetConfig::default()
         })
         .expect("valid fleet config");

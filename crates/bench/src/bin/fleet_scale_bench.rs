@@ -28,9 +28,15 @@
 //!
 //! # Regression gate
 //!
+//! Each fleet size also runs a **sharded + AST-engine** reference cell:
+//! the functional engine compiles kernels only at the round barrier, so
+//! neither engine may perturb publish throughput, and the committed
+//! baseline gates the default bytecode cell explicitly. Restrict a run
+//! to one engine with `--engine {ast,bytecode}`.
+//!
 //! `--check` compares the run against the committed baseline in
-//! `results/fleet_scale.json`: every measured `(instances, mode)`
-//! cell **must** have a baseline counterpart (a missing cell fails
+//! `results/fleet_scale.json`: every measured `(instances, mode,
+//! engine)` cell **must** have a baseline counterpart (a missing cell fails
 //! the gate — new cells can't dodge it), and if any cell's publish
 //! throughput fell below `tolerance × baseline` (default 0.4 — loose
 //! on purpose, CI runners are slower and noisier than the machine
@@ -45,7 +51,7 @@
 use margot::Rank;
 use polybench::App;
 use serde::{Deserialize, Serialize};
-use socrates::{Fleet, FleetConfig};
+use socrates::{ExecutionEngine, Fleet, FleetConfig};
 use std::time::Instant;
 
 /// Design-knowledge subsample handed to every instance.
@@ -59,11 +65,14 @@ const DEFAULT_TOLERANCE: f64 = 0.4;
 #[derive(Serialize, Deserialize)]
 struct ScaleRow {
     mode: String,
+    engine: String,
     instances: usize,
     rounds: usize,
     knowledge_points: usize,
     knowledge_shards: usize,
     total_steps: usize,
+    kernel_builds: u64,
+    kernel_cache_hits: u64,
     mean_round_wall_ms: f64,
     publish_throughput_obs_per_s: f64,
 }
@@ -80,6 +89,25 @@ fn main() {
             .expect("--tolerance takes a ratio"),
         None => DEFAULT_TOLERANCE,
     };
+    // `--engine {ast,bytecode}` restricts the run to one functional
+    // engine; the default measures bytecode in both modes plus an AST
+    // reference cell, so the committed baseline gates the compiled
+    // path *and* proves the engine never perturbs throughput.
+    let cells: Vec<(&str, ExecutionEngine)> = match args.iter().position(|a| a == "--engine") {
+        Some(i) => {
+            let engine: ExecutionEngine = args
+                .get(i + 1)
+                .expect("--engine needs a value")
+                .parse()
+                .unwrap_or_else(|e| panic!("{e}"));
+            vec![("baseline", engine), ("sharded", engine)]
+        }
+        None => vec![
+            ("baseline", ExecutionEngine::Bytecode),
+            ("sharded", ExecutionEngine::Bytecode),
+            ("sharded", ExecutionEngine::Ast),
+        ],
+    };
     // The smoke sizes are a subset of the full sizes so every smoke
     // cell has a committed-baseline counterpart for `--check`.
     let sizes: &[usize] = if smoke {
@@ -93,59 +121,80 @@ fn main() {
          ({KNOWLEDGE_POINTS}-point knowledge, {ROUNDS} synchronized rounds per cell)\n"
     );
     println!(
-        "{:>10} {:>10} {:>8} {:>18} {:>16}",
-        "instances", "mode", "shards", "round wall [ms]", "publish [obs/s]"
+        "{:>10} {:>10} {:>9} {:>8} {:>14} {:>18} {:>16}",
+        "instances",
+        "mode",
+        "engine",
+        "shards",
+        "kernels b/h",
+        "round wall [ms]",
+        "publish [obs/s]"
     );
     let mut rows = Vec::new();
     for &n in sizes {
         let mut learned = Vec::new();
-        for (mode, config) in [
-            (
-                "baseline",
-                FleetConfig {
+        for &(mode, engine) in &cells {
+            let config = match mode {
+                "baseline" => FleetConfig {
                     knowledge_shards: 1,
                     incremental_refresh: false,
+                    engine,
                     ..FleetConfig::default()
                 },
-            ),
-            ("sharded", FleetConfig::default()),
-        ] {
+                _ => FleetConfig {
+                    engine,
+                    ..FleetConfig::default()
+                },
+            };
             let shards = config.knowledge_shards;
             let mut fleet = Fleet::new(config).expect("valid fleet config");
             fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 2018, n);
+            // One untimed warm-up round: kernel lowering for the
+            // first-round configurations (milliseconds on the AST
+            // engine) would otherwise dominate small-N cells and make
+            // the gate noisy.
+            fleet.step_round();
             let wall = Instant::now();
             let mut total_steps = 0;
             for _ in 0..ROUNDS {
                 total_steps += fleet.step_round();
             }
             let wall_s = wall.elapsed().as_secs_f64();
+            let stats = fleet.stats();
             let row = ScaleRow {
                 mode: mode.to_string(),
+                engine: engine.label().to_string(),
                 instances: n,
                 rounds: ROUNDS,
                 knowledge_points: KNOWLEDGE_POINTS,
                 knowledge_shards: shards,
                 total_steps,
+                kernel_builds: stats.kernel_builds,
+                kernel_cache_hits: stats.kernel_cache_hits,
                 mean_round_wall_ms: wall_s * 1e3 / ROUNDS as f64,
                 // Every step publishes exactly one observation into the
                 // shared knowledge at the barrier.
                 publish_throughput_obs_per_s: total_steps as f64 / wall_s,
             };
             println!(
-                "{:>10} {:>10} {:>8} {:>18.1} {:>16.0}",
+                "{:>10} {:>10} {:>9} {:>8} {:>14} {:>18.1} {:>16.0}",
                 row.instances,
                 row.mode,
+                row.engine,
                 row.knowledge_shards,
+                format!("{}/{}", row.kernel_builds, row.kernel_cache_hits),
                 row.mean_round_wall_ms,
                 row.publish_throughput_obs_per_s
             );
             learned.push(fleet.learned_knowledge(App::TwoMm).expect("pool exists"));
             rows.push(row);
         }
-        assert_eq!(
-            learned[0], learned[1],
-            "baseline and sharded modes must learn bit-identical knowledge"
-        );
+        for other in &learned[1..] {
+            assert_eq!(
+                &learned[0], other,
+                "every (mode, engine) cell must learn bit-identical knowledge"
+            );
+        }
         println!();
     }
     // The smoke configuration never overwrites the committed
@@ -185,13 +234,14 @@ fn check_against_baseline(rows: &[ScaleRow], tolerance: f64) {
         // dodge the regression gate entirely.
         let base = baseline
             .iter()
-            .find(|b| b.instances == row.instances && b.mode == row.mode)
+            .find(|b| b.instances == row.instances && b.mode == row.mode && b.engine == row.engine)
             .unwrap_or_else(|| {
                 panic!(
-                    "measured cell (N={}, {}) has no counterpart in the committed \
+                    "measured cell (N={}, {}, {}) has no counterpart in the committed \
                      baseline {} — re-record the baseline to cover it",
                     row.instances,
                     row.mode,
+                    row.engine,
                     path.display()
                 )
             });
@@ -199,9 +249,10 @@ fn check_against_baseline(rows: &[ScaleRow], tolerance: f64) {
         let ratio = row.publish_throughput_obs_per_s / base.publish_throughput_obs_per_s;
         let verdict = if ratio < tolerance { "REGRESSED" } else { "ok" };
         println!(
-            "  {:>6} {:>10}: {:>10.0} obs/s vs baseline {:>10.0} obs/s (x{:.2}) {}",
+            "  {:>6} {:>10} {:>9}: {:>10.0} obs/s vs baseline {:>10.0} obs/s (x{:.2}) {}",
             row.instances,
             row.mode,
+            row.engine,
             row.publish_throughput_obs_per_s,
             base.publish_throughput_obs_per_s,
             ratio,

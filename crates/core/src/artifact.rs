@@ -20,6 +20,7 @@
 //! key, so concurrent computation of the same key is harmless: the
 //! first insert wins and every caller observes identical data.
 
+use crate::engine::CompiledKernel;
 use crate::error::SocratesError;
 use crate::toolchain::{fnv, Toolchain};
 use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
@@ -131,6 +132,12 @@ pub struct StoreStats {
     /// Knowledge artifacts loaded from the persistence directory
     /// instead of being re-profiled.
     pub knowledge_loads: u64,
+    /// Kernel lowerings (one per `(app, dataset, config, threads,
+    /// engine)` — a fleet of instances sharing a configuration
+    /// compiles once).
+    pub kernel_builds: u64,
+    /// Compiled-kernel lookups answered from cache.
+    pub kernel_hits: u64,
 }
 
 impl StoreStats {
@@ -143,6 +150,7 @@ impl StoreStats {
             + self.prediction_builds
             + self.weave_builds
             + self.knowledge_builds
+            + self.kernel_builds
     }
 }
 
@@ -157,6 +165,9 @@ struct Counters {
     weave: AtomicU64,
     knowledge: AtomicU64,
     knowledge_loads: AtomicU64,
+    kernel: AtomicU64,
+    kernel_hits: AtomicU64,
+    kernel_compile_ns: AtomicU64,
 }
 
 /// Thread-safe cache of stage artifacts, shared across the targets of a
@@ -179,6 +190,7 @@ pub struct ArtifactStore {
     predictions: Mutex<HashMap<ArtifactKey, Arc<FlagPredictions>>>,
     weaved: Mutex<HashMap<ArtifactKey, Arc<WeavedProgram>>>,
     knowledge: Mutex<HashMap<ArtifactKey, Arc<ProfiledKnowledge>>>,
+    kernels: Mutex<HashMap<(ArtifactKey, u32), Arc<CompiledKernel>>>,
     counters: Counters,
 }
 
@@ -226,7 +238,15 @@ impl ArtifactStore {
             weave_builds: get(&c.weave),
             knowledge_builds: get(&c.knowledge),
             knowledge_loads: get(&c.knowledge_loads),
+            kernel_builds: get(&c.kernel),
+            kernel_hits: get(&c.kernel_hits),
         }
+    }
+
+    /// Total wall-clock nanoseconds spent lowering kernels (kept out of
+    /// [`StoreStats`] so stats snapshots stay comparable with `==`).
+    pub fn kernel_compile_ns(&self) -> u64 {
+        self.counters.kernel_compile_ns.load(Ordering::Relaxed)
     }
 
     fn key(&self, toolchain: &Toolchain, app: App) -> ArtifactKey {
@@ -488,12 +508,32 @@ impl ArtifactStore {
                     &toolchain.platform.topology,
                 );
                 let machine = toolchain.platform.machine(toolchain.seed ^ fnv(app.name()));
-                let knowledge = dse::profile(
+                // Each profiled configuration also runs functionally on
+                // the toolchain's execution engine: the kernel is
+                // lowered once per distinct thread count (cached) and
+                // an unbound pragma parameter surfaces here as a
+                // lowering error, not deep inside a fleet run. The
+                // executor only touches the kernel cache, so the
+                // analytic knowledge stays bit-identical to a plain
+                // `dse::profile` sweep.
+                let kernel_err: Mutex<Option<SocratesError>> = Mutex::new(None);
+                let knowledge = dse::profile_with_executor(
                     &machine,
                     &profile,
                     &space.full_factorial(),
                     toolchain.dse_repetitions,
+                    &|cfg: &KnobConfig| {
+                        if let Err(e) = self.compiled_kernel(toolchain, app, cfg.tn) {
+                            kernel_err
+                                .lock()
+                                .expect("kernel error slot poisoned")
+                                .get_or_insert(e);
+                        }
+                    },
                 );
+                if let Some(e) = kernel_err.into_inner().expect("kernel error slot poisoned") {
+                    return Err(e);
+                }
                 self.counters.knowledge.fetch_add(1, Ordering::Relaxed);
                 // Persistence is best-effort, symmetric with loading:
                 // an unwritable cache directory must not discard a
@@ -510,6 +550,61 @@ impl ArtifactStore {
         let value = Arc::new(value);
         let mut guard = self.knowledge.lock().expect("knowledge map poisoned");
         Ok(Arc::clone(guard.entry(key).or_insert(value)))
+    }
+
+    /// The lowered, config-specialized kernel of `app` for a given
+    /// thread count, on the toolchain's [`crate::ExecutionEngine`]
+    /// (`toolchain.engine` — part of the config fingerprint, so the two
+    /// engines never share cache entries).
+    ///
+    /// The kernel is the first weaved clone (`kernel_<app>_v0`; all
+    /// clones share one body and differ only in pragma flags, so one
+    /// functional artifact covers the version table), lowered with the
+    /// clamped functional dimensions, the baked entry arguments and the
+    /// `__socrates_num_threads` pragma parameter as specialization
+    /// constants. Built once per `(app, dataset, config, threads)` — a
+    /// fleet of N instances sharing a configuration compiles once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates upstream errors; fails with a
+    /// [`StageId::Lower`](crate::StageId::Lower) error if the kernel
+    /// references an unbound pragma parameter or leaves the executable
+    /// dialect.
+    pub fn compiled_kernel(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        threads: u32,
+    ) -> Result<Arc<CompiledKernel>, SocratesError> {
+        let key = (self.key(toolchain, app), threads);
+        get_or_build(
+            &self.kernels,
+            &self.counters.kernel_hits,
+            &self.counters.kernel,
+            key,
+            || {
+                let weaved = self.weaved(toolchain, app)?;
+                let entry = weaved
+                    .multiversioned
+                    .version_functions
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| app.kernel_name());
+                let kernel = crate::engine::compile_kernel_for(
+                    toolchain.engine,
+                    &weaved.weaved,
+                    &entry,
+                    app,
+                    toolchain.dataset,
+                    threads,
+                )?;
+                self.counters
+                    .kernel_compile_ns
+                    .fetch_add(kernel.compile_ns, Ordering::Relaxed);
+                Ok(kernel)
+            },
+        )
     }
 
     /// Builds the corpus entries (and their parse/feature inputs) for
@@ -583,11 +678,11 @@ impl ArtifactStore {
 /// returns it. The lock is *not* held while building (stages recurse
 /// into the store for their inputs); concurrent builders of the same
 /// key produce identical values and the first insert wins.
-fn get_or_build<T>(
-    map: &Mutex<HashMap<ArtifactKey, Arc<T>>>,
+fn get_or_build<K: std::hash::Hash + Eq + Copy, T>(
+    map: &Mutex<HashMap<K, Arc<T>>>,
     hits: &AtomicU64,
     builds: &AtomicU64,
-    key: ArtifactKey,
+    key: K,
     build: impl FnOnce() -> Result<T, SocratesError>,
 ) -> Result<Arc<T>, SocratesError> {
     if let Some(hit) = map.lock().expect("artifact map poisoned").get(&key) {
@@ -622,6 +717,48 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.parse_builds, 1);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn compiled_kernels_cache_per_thread_count_and_engine() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let a = store.compiled_kernel(&tc, App::TwoMm, 1).unwrap();
+        let b = store.compiled_kernel(&tc, App::TwoMm, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same specialization must be cached");
+        let c = store.compiled_kernel(&tc, App::TwoMm, 8).unwrap();
+        assert_ne!(a.spec_fingerprint, c.spec_fingerprint);
+        assert_eq!(a.report, c.report, "thread count is config, not data");
+        let stats = store.stats();
+        assert_eq!(stats.kernel_builds, 2);
+        assert_eq!(stats.kernel_hits, 1);
+        assert!(store.kernel_compile_ns() > 0);
+
+        // A different engine is a different toolchain fingerprint —
+        // its artifacts never collide with the default engine's, and
+        // its reports are bit-identical.
+        let ast_tc = Toolchain {
+            engine: crate::ExecutionEngine::Ast,
+            ..quick_toolchain()
+        };
+        let d = store.compiled_kernel(&ast_tc, App::TwoMm, 1).unwrap();
+        assert!(d.code.is_none());
+        assert_eq!(d.report, a.report, "engines must be bit-identical");
+        assert_eq!(store.stats().kernel_builds, 3);
+    }
+
+    #[test]
+    fn profiling_compiles_each_thread_count_once() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let pk = store.profiled_knowledge(&tc, App::Atax).unwrap();
+        let stats = store.stats();
+        // The profile sweep visits each tn many times (full factorial
+        // over CO × TN × BP) but lowers one kernel per distinct tn.
+        let distinct: std::collections::HashSet<u32> =
+            pk.knowledge.points().iter().map(|p| p.config.tn).collect();
+        assert_eq!(stats.kernel_builds, distinct.len() as u64);
+        assert!(stats.kernel_hits >= (pk.knowledge.len() - distinct.len()) as u64);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub enum StageId {
     Predict,
     /// LARA weaving (multiversioning + autotuner).
     Weave,
+    /// Kernel lowering/compilation (minivm typed IR → bytecode).
+    Lower,
     /// DSE profiling on the platform model.
     Profile,
     /// Artifact persistence (knowledge save/load).
@@ -51,6 +53,7 @@ impl StageId {
             StageId::Features => "features",
             StageId::Predict => "predict",
             StageId::Weave => "weave",
+            StageId::Lower => "lower",
             StageId::Profile => "profile",
             StageId::Persist => "persist",
             StageId::Dispatch => "dispatch",
@@ -97,6 +100,15 @@ pub enum SocratesError {
         app: String,
         /// Underlying weaver diagnostic.
         source: lara::WeaveError,
+    },
+    /// Lowering a weaved kernel to the execution engine failed (e.g. a
+    /// pragma parameter referenced by the kernel is not bound in the
+    /// configuration, or the program leaves the executable dialect).
+    Lower {
+        /// Application whose kernel failed to lower.
+        app: String,
+        /// Underlying engine diagnostic.
+        source: minivm::EngineError,
     },
     /// Filesystem error while persisting or loading an artifact.
     Io {
@@ -150,6 +162,7 @@ impl SocratesError {
             SocratesError::Features { .. } => StageId::Features,
             SocratesError::Train { .. } => StageId::Predict,
             SocratesError::Weave { .. } => StageId::Weave,
+            SocratesError::Lower { .. } => StageId::Lower,
             SocratesError::Io { .. } | SocratesError::Format { .. } => StageId::Persist,
             SocratesError::UnknownVersion { .. } => StageId::Dispatch,
             SocratesError::InvalidConfig { .. } => StageId::Runtime,
@@ -184,6 +197,14 @@ impl SocratesError {
     /// Builds a weaving error for `app`.
     pub fn weave(app: App, source: lara::WeaveError) -> Self {
         SocratesError::Weave {
+            app: app.name().to_string(),
+            source,
+        }
+    }
+
+    /// Builds a lowering error for `app`.
+    pub fn lower(app: App, source: minivm::EngineError) -> Self {
+        SocratesError::Lower {
             app: app.name().to_string(),
             source,
         }
@@ -247,6 +268,9 @@ impl fmt::Display for SocratesError {
             SocratesError::Weave { app, source } => {
                 write!(f, "{app}: weaving failed: {source}")
             }
+            SocratesError::Lower { app, source } => {
+                write!(f, "{app}: kernel lowering failed: {source}")
+            }
             SocratesError::Io { path, source } => {
                 write!(f, "{}: knowledge file I/O failed: {source}", path.display())
             }
@@ -273,6 +297,7 @@ impl std::error::Error for SocratesError {
             SocratesError::Features { source, .. } => Some(source),
             SocratesError::Train { source, .. } => Some(source),
             SocratesError::Weave { source, .. } => Some(source),
+            SocratesError::Lower { source, .. } => Some(source),
             SocratesError::Io { source, .. } => Some(source),
             SocratesError::Format { source, .. } => Some(source),
             SocratesError::UnknownVersion { .. }
@@ -322,12 +347,29 @@ mod tests {
     }
 
     #[test]
+    fn lower_errors_carry_stage_and_chain_the_engine_diagnostic() {
+        use std::error::Error;
+        let e = SocratesError::lower(
+            App::Syrk,
+            minivm::EngineError::UnboundPragmaParam {
+                function: "kernel_syrk_v0".into(),
+                param: "__socrates_num_threads".into(),
+            },
+        );
+        assert_eq!(e.stage(), StageId::Lower);
+        assert!(e.to_string().starts_with("[lower] syrk:"));
+        assert!(e.to_string().contains("__socrates_num_threads"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
     fn every_stage_has_a_distinct_label() {
         let stages = [
             StageId::Parse,
             StageId::Features,
             StageId::Predict,
             StageId::Weave,
+            StageId::Lower,
             StageId::Profile,
             StageId::Persist,
             StageId::Dispatch,

@@ -51,18 +51,22 @@
 //! (publish + schedule bookkeeping) happens sequentially in instance
 //! order at the barrier (pinned by `tests/fleet_equivalence.rs`).
 
+use crate::engine::{CompiledKernel, ExecutionEngine};
 use crate::error::SocratesError;
 use crate::knowledge_io::save_knowledge;
 use crate::runtime::{AdaptiveApplication, TraceSample};
 use crate::toolchain::EnhancedApp;
 use dse::ExplorationSchedule;
 use margot::{Cmp, Constraint, Knowledge, Metric, MetricValues, Rank, SharedKnowledge};
+use minic::TranslationUnit;
+use minivm::ExecutionReport;
 use platform_sim::{KnobConfig, Machine};
-use polybench::App;
+use polybench::{App, Dataset};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Priority of the constraint the power arbiter manages on each
 /// instance (higher than typical application constraints, so the global
@@ -108,6 +112,13 @@ pub struct FleetConfig {
     /// (`false`, the sequential reference the equivalence tests pin the
     /// parallel path against).
     pub parallel_step: bool,
+    /// Which functional engine compiles the pool kernels. Kernels are
+    /// lowered once per `(pool, thread count)` at the round barrier and
+    /// cached ([`FleetStats::kernel_builds`] /
+    /// [`FleetStats::kernel_cache_hits`]); instances never compile in
+    /// their step. The default is the bytecode backend; the AST
+    /// interpreter is the bit-identical reference.
+    pub engine: ExecutionEngine,
     /// `Some` selects the *distributed* deployment mode: instances
     /// exchange knowledge as messages over a simulated lossy transport
     /// ([`crate::transport`]) instead of a shared address space. Such
@@ -127,6 +138,7 @@ impl Default for FleetConfig {
             incremental_refresh: true,
             power_budget_w: None,
             parallel_step: true,
+            engine: ExecutionEngine::default(),
             distributed: None,
         }
     }
@@ -189,9 +201,45 @@ struct Pool {
     /// the pool locks.
     cache_epoch: u64,
     cache: Knowledge<KnobConfig>,
+    /// The weaved program the pool's kernels are lowered from, and the
+    /// clone they enter through.
+    weaved: TranslationUnit,
+    entry: String,
+    dataset: Dataset,
+    /// Config-specialized compiled kernels, one per observed thread
+    /// count (the only knob that changes the specialization constants).
+    /// `None` tombstones a failed lowering so it is not retried every
+    /// round. Mutated only from barrier/sequential code, so the whole
+    /// fleet of N instances compiles each specialization once.
+    kernels: HashMap<u32, Option<Arc<CompiledKernel>>>,
+    kernel_builds: u64,
+    kernel_cache_hits: u64,
 }
 
 impl Pool {
+    /// Compiles (or reuses) the config-specialized kernel for one
+    /// thread count. Called only from barrier/sequential code.
+    fn ensure_kernel(&mut self, engine: ExecutionEngine, threads: u32) {
+        use std::collections::hash_map::Entry;
+        match self.kernels.entry(threads) {
+            Entry::Occupied(_) => self.kernel_cache_hits += 1,
+            Entry::Vacant(slot) => {
+                self.kernel_builds += 1;
+                let compiled = crate::engine::compile_kernel_for(
+                    engine,
+                    &self.weaved,
+                    &self.entry,
+                    self.app,
+                    self.dataset,
+                    threads,
+                )
+                .ok()
+                .map(Arc::new);
+                slot.insert(compiled);
+            }
+        }
+    }
+
     /// Refreshes the cached snapshot. Called only from barrier
     /// (sequential) code.
     fn refresh_cache(&mut self, incremental: bool) {
@@ -280,6 +328,12 @@ pub struct FleetStats {
     pub failed: usize,
     /// Rounds stepped so far.
     pub rounds: u64,
+    /// Config-specialized kernel lowerings across all pools — one per
+    /// `(pool, thread count)` ever observed, however many instances
+    /// share it.
+    pub kernel_builds: u64,
+    /// Barrier-time kernel lookups satisfied by the pool cache.
+    pub kernel_cache_hits: u64,
 }
 
 /// A fleet of concurrently stepping adaptive-application instances
@@ -387,12 +441,31 @@ impl Fleet {
             active += usize::from(inst.active);
             failed += usize::from(inst.failed);
         }
+        let (kernel_builds, kernel_cache_hits) = self.pools.iter().fold((0, 0), |(b, h), p| {
+            (b + p.kernel_builds, h + p.kernel_cache_hits)
+        });
         FleetStats {
             instances: self.instances.len(),
             active,
             failed,
             rounds: self.rounds,
+            kernel_builds,
+            kernel_cache_hits,
         }
+    }
+
+    /// The functional execution report of `app`'s compiled kernel
+    /// specialized for `threads`, or `None` if that specialization was
+    /// never built (or its lowering failed). Reports are bit-identical
+    /// across [`ExecutionEngine`]s and across thread counts — the
+    /// thread knob is configuration, not data.
+    pub fn kernel_report(&self, app: App, threads: u32) -> Option<ExecutionReport> {
+        self.pools
+            .iter()
+            .find(|p| p.app == app)
+            .and_then(|p| p.kernels.get(&threads))
+            .and_then(|k| k.as_deref())
+            .map(|k| k.report)
     }
 
     /// Rounds stepped so far.
@@ -692,6 +765,12 @@ impl Fleet {
             .iter()
             .map(|p| p.config.clone())
             .collect();
+        let entry = enhanced
+            .multiversioned
+            .version_functions
+            .first()
+            .cloned()
+            .unwrap_or_else(|| enhanced.app.kernel_name());
         self.pools.push(Pool {
             app: enhanced.app,
             design: enhanced.knowledge.clone(),
@@ -701,8 +780,19 @@ impl Fleet {
             schedule: ExplorationSchedule::new(configs),
             cache_epoch: 0,
             cache: enhanced.knowledge.clone(),
+            weaved: enhanced.weaved.clone(),
+            entry,
+            dataset: enhanced.dataset,
+            kernels: HashMap::new(),
+            kernel_builds: 0,
+            kernel_cache_hits: 0,
         });
-        self.pools.len() - 1
+        let engine = self.config.engine;
+        let pool = self.pools.len() - 1;
+        // Warm the single-thread specialization at pool creation: the
+        // common boot configuration runs compiled from round one.
+        self.pools[pool].ensure_kernel(engine, 1);
+        pool
     }
 
     /// Splits the global budget evenly across active instances.
@@ -875,6 +965,7 @@ impl Fleet {
             (0..self.pools.len()).map(|_| Vec::new()).collect();
         let mut requeues: Vec<Vec<KnobConfig>> =
             (0..self.pools.len()).map(|_| Vec::new()).collect();
+        let mut kernel_tns: Vec<Vec<u32>> = (0..self.pools.len()).map(|_| Vec::new()).collect();
         for outcome in stepped.into_iter().flatten() {
             match outcome {
                 StepOutcome::Stepped {
@@ -883,6 +974,7 @@ impl Fleet {
                     stale,
                 } => {
                     steps += 1;
+                    kernel_tns[pool].push(sample.config.tn);
                     if self.config.share_knowledge {
                         let observed = sample.observed_metrics();
                         per_pool[pool].push((sample.config, observed));
@@ -915,6 +1007,16 @@ impl Fleet {
                         .mark_explored_batch(batch.iter().map(|(config, _)| config));
                 }
                 pool.refresh_cache(self.config.incremental_refresh);
+            }
+        }
+        // Kernel specialization happens here at the barrier — never in
+        // an instance's step — so a fleet of N instances running the
+        // same configuration lowers it exactly once, even with
+        // knowledge sharing off.
+        let engine = self.config.engine;
+        for (pool, tns) in self.pools.iter_mut().zip(&kernel_tns) {
+            for &tn in tns {
+                pool.ensure_kernel(engine, tn);
             }
         }
         if any_failed {
@@ -1248,6 +1350,56 @@ mod tests {
         assert_ne!(k2, km);
         assert!(fleet.knowledge_epoch(App::TwoMm).unwrap() > 0);
         assert!(fleet.knowledge_epoch(App::Mvt).unwrap() > 0);
+    }
+
+    #[test]
+    fn kernels_compile_once_per_thread_count_fleet_wide() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut fleet = fleet_with(FleetConfig::default());
+        fleet.spawn(&enhanced, &rank(), 3, 4);
+        let boot = fleet.stats();
+        assert_eq!(boot.kernel_builds, 1, "pool creation warms threads=1");
+        fleet.run_for(2.0);
+        let stats = fleet.stats();
+        // One lowering per distinct thread count the fleet ran; every
+        // other (instance, round) pair hit the pool cache.
+        let distinct_tns: std::collections::HashSet<u32> = (0..4)
+            .flat_map(|id| fleet.trace(id))
+            .map(|s| s.config.tn)
+            .collect();
+        assert!(stats.kernel_builds <= 1 + distinct_tns.len() as u64);
+        assert!(
+            stats.kernel_cache_hits > stats.kernel_builds,
+            "shared configs must reuse the pool kernel: {stats:?}"
+        );
+        // Reports are exposed per specialization and identical across
+        // thread counts — the thread knob is configuration, not data.
+        let reference = fleet.kernel_report(App::TwoMm, 1).expect("warm kernel");
+        for tn in distinct_tns {
+            assert_eq!(fleet.kernel_report(App::TwoMm, tn), Some(reference));
+        }
+        assert_eq!(fleet.kernel_report(App::Mvt, 1), None);
+    }
+
+    #[test]
+    fn ast_and_bytecode_fleets_agree_on_kernel_reports() {
+        let enhanced = quick_enhanced(App::Atax);
+        let run = |engine: ExecutionEngine| {
+            let mut fleet = fleet_with(FleetConfig {
+                engine,
+                ..FleetConfig::default()
+            });
+            fleet.spawn(&enhanced, &rank(), 3, 2);
+            fleet.run_for(1.0);
+            (fleet.kernel_report(App::Atax, 1).unwrap(), fleet.trace(0))
+        };
+        let (ast_report, ast_trace) = run(ExecutionEngine::Ast);
+        let (byte_report, byte_trace) = run(ExecutionEngine::Bytecode);
+        assert_eq!(ast_report, byte_report, "engines must be bit-identical");
+        assert_eq!(
+            ast_trace, byte_trace,
+            "the engine never perturbs the MAPE-K loop"
+        );
     }
 
     #[test]

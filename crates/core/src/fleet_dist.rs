@@ -47,6 +47,7 @@
 //! transport does not model yet) and no power arbitration
 //! (`power_budget_w` must be `None` for the same reason).
 
+use crate::engine::CompiledKernel;
 use crate::error::SocratesError;
 use crate::fleet::FleetConfig;
 use crate::runtime::{AdaptiveApplication, TraceSample};
@@ -56,10 +57,11 @@ use crate::transport::{
     WireMessage, BROKER,
 };
 use margot::{Knowledge, KnowledgeDelta, OperatingPoint, Rank};
+use minivm::ExecutionReport;
 use platform_sim::{KnobConfig, Machine};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The central knowledge service of a star deployment: owns the
 /// authoritative canonical fold and the monotone per-shard broadcast
@@ -183,6 +185,11 @@ pub struct DistributedFleet {
     broker: Option<Broker>,
     nodes: Vec<DistNode>,
     rounds: u64,
+    /// The config-specialized kernel every node of the fleet shares,
+    /// compiled once at construction (so an unbound pragma parameter
+    /// fails [`DistributedFleet::new`] with a lower-stage error instead
+    /// of surfacing mid-deployment).
+    kernel: Arc<CompiledKernel>,
 }
 
 impl DistributedFleet {
@@ -235,6 +242,20 @@ impl DistributedFleet {
             .iter()
             .map(|p| probe.shard_of(&p.config).expect("design config is known"))
             .collect();
+        let entry = enhanced
+            .multiversioned
+            .version_functions
+            .first()
+            .cloned()
+            .unwrap_or_else(|| enhanced.app.kernel_name());
+        let kernel = Arc::new(crate::engine::compile_kernel_for(
+            config.engine,
+            &enhanced.weaved,
+            &entry,
+            enhanced.app,
+            enhanced.dataset,
+            1,
+        )?);
         let broker = match dist.topology {
             DistTopology::BrokerStar => Some(Broker {
                 replica: probe,
@@ -255,7 +276,14 @@ impl DistributedFleet {
             nodes: Vec::new(),
             rounds: 0,
             config,
+            kernel,
         })
+    }
+
+    /// The functional execution report of the fleet's shared compiled
+    /// kernel (bit-identical across [`crate::ExecutionEngine`]s).
+    pub fn kernel_report(&self) -> ExecutionReport {
+        self.kernel.report
     }
 
     /// The fleet policy.
@@ -1224,6 +1252,50 @@ mod tests {
         let wrong_door = crate::fleet::Fleet::new(dist_config(DistributedConfig::default()));
         let err = wrong_door.err().expect("Fleet must reject distributed");
         assert!(err.to_string().contains("DistributedFleet"), "{err}");
+    }
+
+    #[test]
+    fn construction_compiles_the_shared_kernel_on_both_engines() {
+        let enhanced = quick_enhanced();
+        let report = |engine: crate::ExecutionEngine| {
+            DistributedFleet::new(
+                FleetConfig {
+                    engine,
+                    ..dist_config(DistributedConfig::default())
+                },
+                &enhanced,
+            )
+            .unwrap()
+            .kernel_report()
+        };
+        assert_eq!(
+            report(crate::ExecutionEngine::Ast),
+            report(crate::ExecutionEngine::Bytecode),
+            "the distributed fleet's engines must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn unbound_pragma_parameters_fail_fleet_construction() {
+        // A weaved program whose pragma references a parameter the
+        // functional spec does not bind: lowering must reject it when
+        // the fleet is built, not mid-deployment.
+        let mut enhanced = quick_enhanced();
+        enhanced.app = App::Atax; // no baked kernel args
+        enhanced.weaved = minic::parse(
+            "double buf[N];\n\
+             void kernel_free() {\n\
+             #pragma omp parallel for num_threads(P_free)\n\
+             for (int i = 0; i < N; i++) { buf[i] = 0.0; }\n\
+             }\n",
+        )
+        .unwrap();
+        enhanced.multiversioned.version_functions = vec!["kernel_free".to_string()];
+        let err = DistributedFleet::new(dist_config(DistributedConfig::default()), &enhanced)
+            .err()
+            .expect("unbound pragma parameter must fail construction");
+        assert_eq!(err.stage(), crate::StageId::Lower);
+        assert!(err.to_string().contains("P_free"), "{err}");
     }
 
     #[test]

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod engine;
 mod error;
 mod fleet;
 mod fleet_dist;
@@ -79,6 +80,10 @@ pub use artifact::{
     ArtifactStore, FlagPredictions, KernelFeatures, ParsedSource, ProfiledKnowledge, StoreStats,
     WeavedProgram, KNOWLEDGE_FORMAT_VERSION,
 };
+pub use engine::{
+    compile_kernel, compile_kernel_for, functional_dims, functional_spec, CompiledKernel,
+    ExecutionEngine, FUNCTIONAL_DIM_CAP,
+};
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
 pub use fleet::{Fleet, FleetConfig, FleetStats, FLEET_POWER_PRIORITY};
 pub use fleet_dist::{DistStats, DistributedFleet};
@@ -87,6 +92,7 @@ pub use knowledge_io::{
     knowledge_to_json, load_knowledge, save_knowledge, wire_from_bytes, wire_from_json,
     wire_to_bytes, wire_to_json, WIRE_MAGIC,
 };
+pub use minivm::ExecutionReport;
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;
 pub use runtime::{AdaptiveApplication, TraceSample};

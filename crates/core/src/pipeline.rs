@@ -304,6 +304,7 @@ pub mod stages {
             let weaved = ctx.store.weaved(ctx.toolchain, ctx.app)?;
             Ok(EnhancedApp {
                 app: ctx.app,
+                dataset: ctx.toolchain.dataset,
                 original: parsed.tu.clone(),
                 weaved: weaved.weaved.clone(),
                 metrics: weaved.metrics,

@@ -21,6 +21,7 @@
 //! per-app path at any thread count.
 
 use crate::artifact::ArtifactStore;
+use crate::engine::ExecutionEngine;
 use crate::error::SocratesError;
 use crate::pipeline::{socrates_pipeline, StageContext};
 use crate::platform::Platform;
@@ -52,6 +53,11 @@ pub struct Toolchain {
     /// The deployment target the DSE profiles against (topology plus
     /// timing/power/noise models and the seed-to-machine factory).
     pub platform: Platform,
+    /// Which engine executes the weaved kernels functionally during
+    /// profiling (config-specialized bytecode by default; the AST
+    /// interpreter is the bit-identical reference). Part of the
+    /// fingerprint, so the engines never share artifact cache entries.
+    pub engine: ExecutionEngine,
 }
 
 impl Default for Toolchain {
@@ -63,6 +69,7 @@ impl Default for Toolchain {
             cobayn_predictions: 4,
             training_top_fraction: 0.15,
             platform: Platform::xeon_e5_2630_v3(),
+            engine: ExecutionEngine::default(),
         }
     }
 }
@@ -72,6 +79,10 @@ impl Default for Toolchain {
 pub struct EnhancedApp {
     /// Which benchmark this is.
     pub app: App,
+    /// The dataset the app was profiled on (functional kernel specs are
+    /// derived from its dimensions, clamped to
+    /// [`crate::FUNCTIONAL_DIM_CAP`]).
+    pub dataset: Dataset,
     /// The original (pure functional) program.
     pub original: TranslationUnit,
     /// The weaved, adaptive program.
@@ -393,6 +404,15 @@ mod tests {
             ..base.clone()
         };
         assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        let other_engine = Toolchain {
+            engine: ExecutionEngine::Ast,
+            ..base.clone()
+        };
+        assert_ne!(
+            base.fingerprint(),
+            other_engine.fingerprint(),
+            "engine choice must partition the artifact cache"
+        );
         let other_platform = Toolchain {
             platform: Platform::with_topology(
                 "mini",

@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod genprog;
 mod lexer;
 pub mod loc;
 pub mod parser;

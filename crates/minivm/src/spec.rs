@@ -1,0 +1,294 @@
+//! Specialization constants: the complete constant environment a kernel
+//! is lowered (or interpreted) against.
+//!
+//! Both engines resolve identifiers in the same order — local variables,
+//! then specialization constants, then globals — so a [`SpecConfig`] is
+//! the *entire* configuration surface of a compiled artifact: array
+//! dimensions, OpenMP pragma parameters such as `__socrates_num_threads`,
+//! and the entry function's actual arguments are all baked in at
+//! lowering time. Two executions with equal specs are bit-identical;
+//! [`SpecConfig::fingerprint`] is the cache key half that captures this.
+
+use crate::EngineError;
+use minic::{Block, Item, Pragma, Stmt, TranslationUnit};
+use std::collections::BTreeMap;
+
+/// A specialization-constant value: mini-C scalars are two-typed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecValue {
+    /// An integer constant (array dimensions, thread counts, ...).
+    I64(i64),
+    /// A floating constant (entry arguments such as `alpha`).
+    F64(f64),
+}
+
+impl From<i64> for SpecValue {
+    fn from(v: i64) -> Self {
+        SpecValue::I64(v)
+    }
+}
+
+impl From<usize> for SpecValue {
+    fn from(v: usize) -> Self {
+        SpecValue::I64(v as i64)
+    }
+}
+
+impl From<u32> for SpecValue {
+    fn from(v: u32) -> Self {
+        SpecValue::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for SpecValue {
+    fn from(v: f64) -> Self {
+        SpecValue::F64(v)
+    }
+}
+
+/// The constant environment a kernel is specialized against: named
+/// constants plus the entry function's actual arguments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpecConfig {
+    consts: BTreeMap<String, SpecValue>,
+    args: Vec<SpecValue>,
+}
+
+impl SpecConfig {
+    /// An empty spec (no constants, no entry arguments).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a spec from the `#define NAME value` items of a translation
+    /// unit (the Polybench dimension macros). Non-numeric and
+    /// function-like macros are skipped.
+    pub fn from_defines(tu: &TranslationUnit) -> Self {
+        let mut spec = SpecConfig::new();
+        for item in &tu.items {
+            if let Item::Define(text) = item {
+                let mut parts = text.split_whitespace();
+                let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    continue; // function-like macro `F(x)` or similar
+                }
+                if let Ok(v) = value.parse::<i64>() {
+                    spec.set(name, v);
+                } else if let Ok(v) = value.parse::<f64>() {
+                    spec.set(name, v);
+                }
+            }
+        }
+        spec
+    }
+
+    /// Builder-style: binds a named constant.
+    #[must_use]
+    pub fn bind(mut self, name: impl Into<String>, value: impl Into<SpecValue>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Binds a named constant in place.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<SpecValue>) {
+        self.consts.insert(name.into(), value.into());
+    }
+
+    /// Builder-style: appends an entry-function argument.
+    #[must_use]
+    pub fn arg(mut self, value: impl Into<SpecValue>) -> Self {
+        self.args.push(value.into());
+        self
+    }
+
+    /// The entry-function arguments, in call order.
+    pub fn args(&self) -> &[SpecValue] {
+        &self.args
+    }
+
+    /// Looks up a named constant.
+    pub fn lookup(&self, name: &str) -> Option<SpecValue> {
+        self.consts.get(name).copied()
+    }
+
+    /// Looks up a named constant that must be an integer.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        match self.consts.get(name) {
+            Some(SpecValue::I64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates the named constants in canonical (sorted) order.
+    pub fn consts(&self) -> impl Iterator<Item = (&str, SpecValue)> {
+        self.consts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// FNV-1a fingerprint over the canonical encoding of the spec; equal
+    /// fingerprints mean equal constant environments, so this is the
+    /// configuration half of a compiled-kernel cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (name, value) in &self.consts {
+            h.write(name.as_bytes());
+            h.write(&[0xff]);
+            hash_value(&mut h, *value);
+        }
+        h.write(&[0xfe]);
+        for value in &self.args {
+            hash_value(&mut h, *value);
+        }
+        h.finish()
+    }
+}
+
+fn hash_value(h: &mut Fnv, value: SpecValue) {
+    match value {
+        SpecValue::I64(v) => {
+            h.write(&[0x01]);
+            h.write(&v.to_le_bytes());
+        }
+        SpecValue::F64(v) => {
+            h.write(&[0x02]);
+            h.write(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Incremental FNV-1a (64-bit) hasher; the crate-wide fingerprint and
+/// checksum primitive.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Validates that every OpenMP pragma parameter referenced by `function`
+/// (both function-attached pragmas and statement pragmas in its body) is
+/// either an integer literal or bound in `spec`.
+///
+/// This is the lowering-time check both engines share, so an unbound
+/// `num_threads(PARAM)` fails fast with
+/// [`EngineError::UnboundPragmaParam`] instead of surfacing as a late
+/// lookup failure mid-execution.
+pub fn validate_pragmas(
+    tu: &TranslationUnit,
+    function: &str,
+    spec: &SpecConfig,
+) -> Result<(), EngineError> {
+    let Some(f) = tu.function(function) else {
+        return Ok(());
+    };
+    for p in &f.pragmas {
+        check_pragma(p, function, spec)?;
+    }
+    if let Some(body) = &f.body {
+        check_block(body, function, spec)?;
+    }
+    Ok(())
+}
+
+fn check_block(block: &Block, function: &str, spec: &SpecConfig) -> Result<(), EngineError> {
+    for stmt in &block.stmts {
+        check_stmt(stmt, function, spec)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(stmt: &Stmt, function: &str, spec: &SpecConfig) -> Result<(), EngineError> {
+    match stmt {
+        Stmt::Pragma(p) => check_pragma(p, function, spec),
+        Stmt::Block(b) => check_block(b, function, spec),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            check_block(then_branch, function, spec)?;
+            if let Some(e) = else_branch {
+                check_block(e, function, spec)?;
+            }
+            Ok(())
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            check_block(body, function, spec)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_pragma(p: &Pragma, function: &str, spec: &SpecConfig) -> Result<(), EngineError> {
+    if let Some(omp) = p.as_omp() {
+        if let Some(nt) = omp.num_threads() {
+            let param = nt.trim();
+            if param.parse::<i64>().is_err() && spec.lookup(param).is_none() {
+                return Err(EngineError::UnboundPragmaParam {
+                    function: function.to_string(),
+                    param: param.to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_seed_the_spec() {
+        let tu = minic::parse("#define N 42\n#define EPS 0.5\n#define F(x) x\nint x;").unwrap();
+        let spec = SpecConfig::from_defines(&tu);
+        assert_eq!(spec.int("N"), Some(42));
+        assert_eq!(spec.lookup("EPS"), Some(SpecValue::F64(0.5)));
+        assert_eq!(spec.lookup("F"), None, "function-like macros are skipped");
+    }
+
+    #[test]
+    fn fingerprint_tracks_bindings_and_args() {
+        let a = SpecConfig::new().bind("N", 4i64).arg(1.5);
+        let b = SpecConfig::new().bind("N", 4i64).arg(1.5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().bind("N", 5i64).fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().arg(2i64).fingerprint());
+        // An i64 and an f64 with the same numeric value are distinct.
+        let i = SpecConfig::new().bind("N", 1i64);
+        let f = SpecConfig::new().bind("N", 1.0);
+        assert_ne!(i.fingerprint(), f.fingerprint());
+    }
+
+    #[test]
+    fn unbound_pragma_param_is_rejected() {
+        let src = "void k() {\n#pragma omp parallel for num_threads(NT)\nfor (int i = 0; i < 4; i++) { }\n}";
+        let tu = minic::parse(src).unwrap();
+        let err = validate_pragmas(&tu, "k", &SpecConfig::new()).unwrap_err();
+        assert!(
+            matches!(err, EngineError::UnboundPragmaParam { ref function, ref param }
+                if function == "k" && param == "NT")
+        );
+        // Binding the parameter or using a literal passes.
+        assert!(validate_pragmas(&tu, "k", &SpecConfig::new().bind("NT", 8i64)).is_ok());
+        let lit = minic::parse(
+            "void k() {\n#pragma omp parallel for num_threads(8)\nfor (int i = 0; i < 4; i++) { }\n}",
+        )
+        .unwrap();
+        assert!(validate_pragmas(&lit, "k", &SpecConfig::new()).is_ok());
+    }
+}

@@ -1,0 +1,96 @@
+//! Differential test: both engines execute all 12 Polybench kernels
+//! bit-identically.
+//!
+//! The functional dimensions are the Mini dataset's, clamped to keep the
+//! (deliberately slow) reference interpreter fast enough for debug-mode
+//! test runs. Both engines receive the *same* spec, so the clamp cannot
+//! perturb the equivalence being tested.
+
+use minivm::{compile, interpret, SpecConfig, VmState};
+use polybench::{App, Dataset, KernelArg};
+
+/// Functional dimension cap for test-speed (applied identically to both
+/// engines).
+const DIM_CAP: usize = 20;
+
+fn functional_spec(app: App) -> SpecConfig {
+    let dims: Vec<(&str, usize)> = app
+        .dims(Dataset::Mini)
+        .into_iter()
+        .map(|(n, v)| (n, v.min(DIM_CAP)))
+        .collect();
+    let mut spec = SpecConfig::new();
+    for &(name, v) in &dims {
+        spec.set(name, v);
+    }
+    for arg in app.kernel_args(&dims) {
+        spec = match arg {
+            KernelArg::Int(v) => spec.arg(v),
+            KernelArg::Double(v) => spec.arg(v),
+        };
+    }
+    spec
+}
+
+#[test]
+fn all_twelve_apps_run_bit_identically_on_both_engines() {
+    let mut vm = VmState::new();
+    for app in App::ALL {
+        let src = polybench::source(app, Dataset::Mini);
+        let tu = minic::parse(&src).unwrap_or_else(|e| panic!("{}: parse failed: {e}", app.name()));
+        let spec = functional_spec(app);
+        let entry = app.kernel_name();
+        let interpreted = interpret(&tu, &entry, &spec)
+            .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", app.name()));
+        let kernel = compile(&tu, &entry, &spec)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", app.name()));
+        let compiled = kernel
+            .run_with(&mut vm)
+            .unwrap_or_else(|e| panic!("{}: vm failed: {e}", app.name()));
+        assert_eq!(
+            interpreted,
+            compiled,
+            "{}: engine reports diverge",
+            app.name()
+        );
+        // Nussinov is an integer dynamic program; everything else does
+        // floating-point work. All kernels touch array elements.
+        assert!(
+            interpreted.flops > 0 || app == App::Nussinov,
+            "{}: kernel executed no floating-point work",
+            app.name()
+        );
+        assert!(
+            interpreted.loads > 0,
+            "{}: kernel loaded nothing",
+            app.name()
+        );
+        assert!(
+            interpreted.stores > 0,
+            "{}: kernel stored nothing",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn compiled_kernels_are_deterministic_across_reruns() {
+    let app = App::TwoMm;
+    let src = polybench::source(app, Dataset::Mini);
+    let tu = minic::parse(&src).unwrap();
+    let spec = functional_spec(app);
+    let kernel = compile(&tu, &app.kernel_name(), &spec).unwrap();
+    let mut vm = VmState::new();
+    let first = kernel.run_with(&mut vm).unwrap();
+    for _ in 0..3 {
+        assert_eq!(kernel.run_with(&mut vm).unwrap(), first);
+    }
+}
+
+#[test]
+fn spec_fingerprint_distinguishes_configurations() {
+    let app = App::Syrk;
+    let base = functional_spec(app);
+    let threaded = base.clone().bind("__socrates_num_threads", 4i64);
+    assert_ne!(base.fingerprint(), threaded.fingerprint());
+}

@@ -35,6 +35,15 @@ pub enum App {
     Syrk,
 }
 
+/// One actual argument of a kernel invocation (see [`App::kernel_args`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelArg {
+    /// An integer argument (e.g. the stencils' `tsteps`).
+    Int(i64),
+    /// A floating-point argument (e.g. `alpha`/`beta`).
+    Double(f64),
+}
+
 /// Dataset size class (Polybench convention).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Dataset {
@@ -165,6 +174,31 @@ impl App {
             App::Seidel2d => 10.0 * g("TSTEPS") * g("N") * g("N"),
             App::Syr2k => 2.0 * g("N") * g("N") * g("M") + g("N") * g("N"),
             App::Syrk => g("N") * g("N") * g("M") + g("N") * g("N"),
+        }
+    }
+
+    /// The actual arguments each benchmark's `main` passes to its kernel,
+    /// mirroring the C sources verbatim (`kernel_2mm(1.5, 1.2)`,
+    /// `kernel_correlation((double) N, 0.1)`, ...). `dims` must be the
+    /// *resolved* dimension bindings the kernel will execute under, so
+    /// value-dependent arguments (correlation's `float_n`, the stencils'
+    /// `tsteps`) stay self-consistent with the functional array extents.
+    pub fn kernel_args(self, dims: &[(&str, usize)]) -> Vec<KernelArg> {
+        let d = |name: &str| {
+            dims.iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("{} has no dimension `{name}`", self.name()))
+                .1
+        };
+        match self {
+            App::TwoMm | App::Gemver | App::Syr2k | App::Syrk => {
+                vec![KernelArg::Double(1.5), KernelArg::Double(1.2)]
+            }
+            App::Correlation => vec![KernelArg::Double(d("N") as f64), KernelArg::Double(0.1)],
+            App::Jacobi2d | App::Seidel2d => {
+                vec![KernelArg::Int(d("TSTEPS") as i64)]
+            }
+            App::ThreeMm | App::Atax | App::Doitgen | App::Mvt | App::Nussinov => Vec::new(),
         }
     }
 

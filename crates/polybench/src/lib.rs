@@ -34,6 +34,6 @@ pub mod kernels;
 pub mod matrix;
 pub mod sources;
 
-pub use apps::{App, Dataset, UnknownAppError};
+pub use apps::{App, Dataset, KernelArg, UnknownAppError};
 pub use matrix::Matrix;
 pub use sources::source;

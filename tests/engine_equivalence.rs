@@ -1,0 +1,152 @@
+//! Differential equivalence suite: the bytecode engine must be
+//! bit-identical to the reference AST interpreter.
+//!
+//! Three layers of evidence:
+//! 1. property tests over randomly generated mini-C programs
+//!    (`minic::genprog`) with arbitrary specialization-parameter
+//!    bindings — every seed must produce identical [`ExecutionReport`]s
+//!    (checksum + flop/load/store counts + return value) on both
+//!    engines;
+//! 2. the weaved path: LARA-multiversioned Polybench clones (with
+//!    `num_threads(__socrates_num_threads)` pragmas woven in) run
+//!    bit-identically under arbitrary thread-count bindings;
+//! 3. error parity: invalid configurations (unbound pragma parameters)
+//!    fail identically on both engines, before any execution.
+//!
+//! CI runs this suite at `RAYON_NUM_THREADS=1/2/8`; the engines are
+//! single-threaded by construction, so thread-count invariance is part
+//! of the contract.
+
+use minic::genprog;
+use minivm::{compile, interpret, EngineError, SpecConfig, VmState};
+use polybench::{App, Dataset, KernelArg};
+use proptest::prelude::*;
+
+/// Builds the execution spec for a generated program: bind every
+/// referenced parameter (cycling through the arbitrary values) — plus
+/// the weaver's thread variable, which generated pragmas may reference.
+fn spec_for(params: &[String], values: &[i64]) -> SpecConfig {
+    let mut spec = SpecConfig::new();
+    for (i, name) in params.iter().enumerate() {
+        spec.set(name.clone(), values[i % values.len()]);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary generated programs × arbitrary parameter bindings →
+    /// bit-identical reports on both engines.
+    #[test]
+    fn generated_programs_run_bit_identically(
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-100i64..100, 1..4),
+    ) {
+        let prog = genprog::generate(seed);
+        let tu = minic::parse(&prog.source).expect("generated programs parse");
+        let spec = spec_for(&prog.params, &values);
+        let interpreted = interpret(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: interpreter failed: {e}\n{}", prog.source));
+        let kernel = compile(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{}", prog.source));
+        let compiled = kernel
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed}: vm failed: {e}\n{}", prog.source));
+        prop_assert_eq!(interpreted, compiled, "seed {} diverged:\n{}", seed, prog.source);
+    }
+
+    /// Re-running a compiled kernel with a reused VmState never changes
+    /// the report (no state leaks between runs).
+    #[test]
+    fn compiled_reruns_are_stable(seed in 0u64..1_000_000) {
+        let prog = genprog::generate(seed);
+        let tu = minic::parse(&prog.source).expect("generated programs parse");
+        let spec = spec_for(&prog.params, &[7]);
+        let kernel = compile(&tu, &prog.entry, &spec).expect("compiles");
+        let mut vm = VmState::new();
+        let first = kernel.run_with(&mut vm).expect("runs");
+        let second = kernel.run_with(&mut vm).expect("runs");
+        prop_assert_eq!(first, second);
+    }
+
+    /// The weaved path: a LARA-multiversioned Polybench clone (with the
+    /// thread-count pragma woven in) runs bit-identically on both
+    /// engines for arbitrary thread-count bindings, and the thread count
+    /// does not perturb functional results (it is a pragma parameter,
+    /// not a semantic input).
+    #[test]
+    fn weaved_clones_run_bit_identically(threads in 1i64..64) {
+        let app = App::TwoMm;
+        let src = polybench::source(app, Dataset::Mini);
+        let tu = minic::parse(&src).expect("polybench parses");
+        let mut weaver = lara::Weaver::new(tu);
+        let versions = [lara::StaticVersion::new(["O2"], "close")];
+        let woven = lara::multiversioning(&mut weaver, &app.kernel_name(), &versions)
+            .expect("weaving succeeds");
+        let (weaved_tu, _) = weaver.finish();
+        let clone = &woven.version_functions[0];
+
+        let dims: Vec<(&str, usize)> = app
+            .dims(Dataset::Mini)
+            .into_iter()
+            .map(|(n, v)| (n, v.min(16)))
+            .collect();
+        let mut spec = SpecConfig::new().bind(lara::THREADS_VAR, threads);
+        for &(name, v) in &dims {
+            spec.set(name, v);
+        }
+        for arg in app.kernel_args(&dims) {
+            spec = match arg {
+                KernelArg::Int(v) => spec.arg(v),
+                KernelArg::Double(v) => spec.arg(v),
+            };
+        }
+
+        let interpreted = interpret(&weaved_tu, clone, &spec).expect("interpreter runs clone");
+        let compiled = compile(&weaved_tu, clone, &spec).expect("clone compiles").run().expect("vm runs clone");
+        prop_assert_eq!(interpreted, compiled);
+
+        // The thread binding is configuration, not data: a different
+        // binding yields the same functional result.
+        let spec2 = spec.clone().bind(lara::THREADS_VAR, 1i64);
+        let other = interpret(&weaved_tu, clone, &spec2).expect("interpreter runs clone");
+        prop_assert_eq!(interpreted.checksum, other.checksum);
+    }
+}
+
+/// Unbound pragma parameters fail identically on both engines, at
+/// validation time, before any kernel work happens.
+#[test]
+fn unbound_pragma_parameter_errors_identically() {
+    let app = App::Syrk;
+    let src = polybench::source(app, Dataset::Mini);
+    let tu = minic::parse(&src).unwrap();
+    let mut weaver = lara::Weaver::new(tu);
+    let versions = [lara::StaticVersion::new(["O2"], "close")];
+    let woven = lara::multiversioning(&mut weaver, &app.kernel_name(), &versions).unwrap();
+    let (weaved_tu, _) = weaver.finish();
+    let clone = &woven.version_functions[0];
+
+    // Dimensions bound, thread variable deliberately not.
+    let mut spec = SpecConfig::new();
+    for (name, v) in app.dims(Dataset::Mini) {
+        spec.set(name, v.min(16));
+    }
+    for arg in app.kernel_args(&app.dims(Dataset::Mini)) {
+        spec = match arg {
+            KernelArg::Int(v) => spec.arg(v),
+            KernelArg::Double(v) => spec.arg(v),
+        };
+    }
+    let a = interpret(&weaved_tu, clone, &spec).unwrap_err();
+    let b = compile(&weaved_tu, clone, &spec).map(|_| ()).unwrap_err();
+    assert_eq!(a, b);
+    assert!(
+        matches!(
+            &a,
+            EngineError::UnboundPragmaParam { param, .. } if param == lara::THREADS_VAR
+        ),
+        "expected an unbound-pragma error, got: {a}"
+    );
+}

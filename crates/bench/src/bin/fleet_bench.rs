@@ -185,9 +185,9 @@ fn convergence_study(enhanced: &EnhancedApp, engine: ExecutionEngine) {
         };
         let convergence_times: Vec<f64> = traces
             .iter()
-            .map(|t| convergence_time_s(t, &true_eff, oracle_eff))
+            .map(|t| socrates_bench::convergence_time_s(t, &true_eff, oracle_eff))
             .collect();
-        let median_lock = median(&convergence_times);
+        let median_lock = socrates_bench::median(&convergence_times);
         let on_oracle = traces
             .iter()
             .filter(|t| {
@@ -303,37 +303,4 @@ fn mean_tail_power(fleet: &Fleet, ids: std::ops::Range<usize>, window_s: f64) ->
         }
     }
     values.iter().sum::<f64>() / values.len() as f64
-}
-
-/// Earliest virtual time after which every later *planned* selection
-/// has true efficiency within 1.5% of the oracle (infinity if the
-/// instance never converges).
-fn convergence_time_s(
-    trace: &[TraceSample],
-    true_eff: &impl Fn(&KnobConfig) -> f64,
-    oracle_eff: f64,
-) -> f64 {
-    let mut converged_since = f64::INFINITY;
-    for s in trace.iter().filter(|s| !s.forced) {
-        if true_eff(&s.config) >= 0.985 * oracle_eff {
-            if converged_since.is_infinite() {
-                converged_since = s.t_start_s;
-            }
-        } else {
-            converged_since = f64::INFINITY;
-        }
-    }
-    converged_since
-}
-
-fn median(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "median of an empty sample");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
-    let mid = sorted.len() / 2;
-    if sorted.len().is_multiple_of(2) {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
-    } else {
-        sorted[mid]
-    }
 }

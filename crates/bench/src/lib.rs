@@ -165,6 +165,47 @@ pub fn subsampled_twomm(points: usize) -> EnhancedApp {
     enhanced
 }
 
+/// Earliest virtual time after which every later *planned* selection
+/// of `trace` has true efficiency within 1.5% of the oracle (infinity
+/// if the instance never converges; forced exploration steps execute
+/// arbitrary configurations by design and are excluded).
+pub fn convergence_time_s(
+    trace: &[socrates::TraceSample],
+    true_eff: &impl Fn(&KnobConfig) -> f64,
+    oracle_eff: f64,
+) -> f64 {
+    let mut converged_since = f64::INFINITY;
+    for s in trace.iter().filter(|s| !s.forced) {
+        if true_eff(&s.config) >= 0.985 * oracle_eff {
+            if converged_since.is_infinite() {
+                converged_since = s.t_start_s;
+            }
+        } else {
+            converged_since = f64::INFINITY;
+        }
+    }
+    converged_since
+}
+
+/// Median of a sample (mean of the middle pair for even lengths).
+/// Infinite values are allowed — a "never converged" instance sorts
+/// after every finite time.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a NaN.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
 /// Serialises a value as pretty JSON into `results/<name>.json`.
 ///
 /// # Panics

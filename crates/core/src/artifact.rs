@@ -22,6 +22,7 @@
 
 use crate::engine::CompiledKernel;
 use crate::error::SocratesError;
+use crate::snapshot::{nearest_neighbour, KnowledgeSnapshot, SNAPSHOT_FORMAT_VERSION};
 use crate::toolchain::{fnv, Toolchain};
 use cobayn::{iterative_compilation, Cobayn, CobaynConfig, TrainingApp};
 use lara::{Multiversioned, WeavingMetrics};
@@ -629,6 +630,121 @@ impl ArtifactStore {
             .collect()
     }
 
+    /// Persists `snapshot` as the shippable warm-start artifact for
+    /// `(app, dataset, config)` under the persistence directory and
+    /// returns the written path.
+    ///
+    /// Unlike the best-effort knowledge JSON cache, snapshot
+    /// persistence is **strict** in both directions: a deployment that
+    /// ships a snapshot must know when the artifact could not be
+    /// written, and a corrupt or version-skewed file on disk is a typed
+    /// error rather than a silent miss.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an invalid-config error when the store has no
+    /// persistence directory, and with a persist-stage I/O error when
+    /// the file cannot be written.
+    pub fn save_snapshot(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        snapshot: &KnowledgeSnapshot,
+    ) -> Result<PathBuf, SocratesError> {
+        let config = self.key(toolchain, app).config;
+        let path = self.snapshot_path(toolchain, app, config).ok_or_else(|| {
+            SocratesError::invalid_config(
+                "snapshot persistence requires a store built with \
+                 ArtifactStore::with_persist_dir",
+            )
+        })?;
+        let dir = path.parent().expect("snapshot path has a parent");
+        std::fs::create_dir_all(dir).map_err(|e| SocratesError::io(dir, e))?;
+        snapshot.save(&path)?;
+        Ok(path)
+    }
+
+    /// Loads the persisted snapshot for `(app, dataset, config)`, or
+    /// `Ok(None)` when the store has no persistence directory or no
+    /// snapshot file exists for the key.
+    ///
+    /// # Errors
+    ///
+    /// A present-but-corrupt or version-skewed file is a typed
+    /// transport/persist error — never a panic, never a silent miss.
+    pub fn load_snapshot(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+    ) -> Result<Option<KnowledgeSnapshot>, SocratesError> {
+        let config = self.key(toolchain, app).config;
+        let Some(path) = self.snapshot_path(toolchain, app, config) else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        KnowledgeSnapshot::load(&path).map(Some)
+    }
+
+    /// The warm-start seed for `app`: its own persisted snapshot when
+    /// one exists, otherwise the snapshot of the nearest
+    /// MILEPOST-feature neighbour (cosine distance over the COBAYN
+    /// feature vectors) among the `universe` applications that have a
+    /// snapshot on disk. Returns `Ok(None)` when no candidate exists.
+    ///
+    /// This is the cross-application transfer seed: the CO × TN × BP
+    /// configuration space is shared across applications, so a
+    /// feature-similar neighbour's learned knowledge is a far better
+    /// starting point than the design-time estimates alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction errors and corrupt-snapshot
+    /// errors from [`ArtifactStore::load_snapshot`].
+    pub fn warm_start_snapshot(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        universe: &[App],
+    ) -> Result<Option<KnowledgeSnapshot>, SocratesError> {
+        if let Some(own) = self.load_snapshot(toolchain, app)? {
+            return Ok(Some(own));
+        }
+        let target = self.kernel_features(toolchain, app)?;
+        let mut candidates = Vec::new();
+        let mut vectors = Vec::new();
+        for &other in universe {
+            if other == app {
+                continue;
+            }
+            let Some(snapshot) = self.load_snapshot(toolchain, other)? else {
+                continue;
+            };
+            let features = self.kernel_features(toolchain, other)?;
+            vectors.push(features.features.as_slice().to_vec());
+            candidates.push(snapshot);
+        }
+        Ok(nearest_neighbour(target.features.as_slice(), &vectors)
+            .map(|i| candidates.swap_remove(i)))
+    }
+
+    /// Path of the persisted snapshot artifact for
+    /// `(app, dataset, config)`. The name embeds
+    /// [`SNAPSHOT_FORMAT_VERSION`] so artifacts written by an older
+    /// snapshot codec self-invalidate into misses; a renamed or
+    /// hand-corrupted file is still rejected by the in-band header
+    /// checks on load.
+    fn snapshot_path(&self, toolchain: &Toolchain, app: App, config: u64) -> Option<PathBuf> {
+        self.persist_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{:?}-{config:016x}.v{SNAPSHOT_FORMAT_VERSION}.snapshot.bin",
+                app.name(),
+                toolchain.dataset
+            ))
+        })
+    }
+
     /// Path of the persisted knowledge file for `(app, dataset, config)`.
     /// The name embeds [`KNOWLEDGE_FORMAT_VERSION`] so files written by
     /// older profiling semantics self-invalidate.
@@ -796,6 +912,126 @@ mod tests {
         let a = store.cobayn_model(&tc, App::TwoMm).unwrap();
         let b = store.cobayn_model(&tc, App::Nussinov).unwrap();
         assert_ne!(a.as_ref(), b.as_ref());
+    }
+
+    #[test]
+    fn stats_snapshots_are_non_destructive_reads() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        store.parsed(&tc, App::TwoMm).unwrap();
+        store.parsed(&tc, App::TwoMm).unwrap();
+        let a = store.stats();
+        let b = store.stats();
+        assert_eq!(a, b, "reading stats must not consume or reset counters");
+        store.kernel_features(&tc, App::TwoMm).unwrap();
+        let c = store.stats();
+        assert_eq!(
+            c.parse_builds, a.parse_builds,
+            "unrelated counters untouched"
+        );
+        assert_eq!(c.feature_builds, a.feature_builds + 1);
+        assert!(c.hits >= a.hits, "hit counter is monotonic");
+    }
+
+    #[test]
+    fn snapshots_persist_reload_and_reject_corruption() {
+        use crate::snapshot::{KnowledgeSnapshot, SnapshotFingerprint};
+        let tc = quick_toolchain();
+        let dir = std::env::temp_dir().join(format!(
+            "socrates-snapshot-store-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::with_persist_dir(&dir);
+
+        let pk = store.profiled_knowledge(&tc, App::TwoMm).unwrap();
+        let shared = margot::SharedKnowledge::new(pk.knowledge.clone(), 8);
+        let snapshot =
+            KnowledgeSnapshot::capture(&shared, SnapshotFingerprint::of(&tc, App::TwoMm));
+        let path = store.save_snapshot(&tc, App::TwoMm, &snapshot).unwrap();
+        assert!(path.exists());
+
+        let reloaded = store.load_snapshot(&tc, App::TwoMm).unwrap();
+        assert_eq!(reloaded.as_ref(), Some(&snapshot));
+        assert_eq!(
+            store.load_snapshot(&tc, App::Mvt).unwrap(),
+            None,
+            "apps without a snapshot are a clean miss"
+        );
+
+        // A truncated file is a typed error, never a panic or a miss.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = store.load_snapshot(&tc, App::TwoMm).unwrap_err();
+        assert!(
+            matches!(err, SocratesError::Transport { .. }),
+            "corruption must surface as a typed transport error, got {err}"
+        );
+
+        // A store without a persistence directory cannot ship snapshots
+        // (strict error) but degrades to a clean miss on load.
+        let bare = ArtifactStore::new();
+        assert!(matches!(
+            bare.save_snapshot(&tc, App::TwoMm, &snapshot),
+            Err(SocratesError::InvalidConfig { .. })
+        ));
+        assert_eq!(bare.load_snapshot(&tc, App::TwoMm).unwrap(), None);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_prefers_own_snapshot_then_nearest_neighbour() {
+        use crate::snapshot::{cosine_distance, KnowledgeSnapshot, SnapshotFingerprint};
+        let tc = quick_toolchain();
+        let dir =
+            std::env::temp_dir().join(format!("socrates-warm-start-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::with_persist_dir(&dir);
+
+        let target = App::TwoMm;
+        let universe = [App::TwoMm, App::Mvt, App::Atax];
+        for &sibling in &universe[1..] {
+            let pk = store.profiled_knowledge(&tc, sibling).unwrap();
+            let shared = margot::SharedKnowledge::new(pk.knowledge.clone(), 8);
+            let snapshot =
+                KnowledgeSnapshot::capture(&shared, SnapshotFingerprint::of(&tc, sibling));
+            store.save_snapshot(&tc, sibling, &snapshot).unwrap();
+        }
+
+        // With no snapshot of its own, the target adopts the nearest
+        // MILEPOST neighbour's snapshot.
+        let seed = store
+            .warm_start_snapshot(&tc, target, &universe)
+            .unwrap()
+            .expect("siblings have snapshots");
+        let target_features = store.kernel_features(&tc, target).unwrap();
+        let expected = universe[1..]
+            .iter()
+            .min_by(|&&a, &&b| {
+                let fa = store.kernel_features(&tc, a).unwrap();
+                let fb = store.kernel_features(&tc, b).unwrap();
+                let da =
+                    cosine_distance(target_features.features.as_slice(), fa.features.as_slice());
+                let db =
+                    cosine_distance(target_features.features.as_slice(), fb.features.as_slice());
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        assert_eq!(seed.fingerprint.app, expected.name());
+
+        // Once the target has its own snapshot, it wins outright.
+        let pk = store.profiled_knowledge(&tc, target).unwrap();
+        let shared = margot::SharedKnowledge::new(pk.knowledge.clone(), 8);
+        let own = KnowledgeSnapshot::capture(&shared, SnapshotFingerprint::of(&tc, target));
+        store.save_snapshot(&tc, target, &own).unwrap();
+        let seed = store
+            .warm_start_snapshot(&tc, target, &universe)
+            .unwrap()
+            .unwrap();
+        assert_eq!(seed.fingerprint.app, target.name());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

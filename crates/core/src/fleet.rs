@@ -55,6 +55,7 @@ use crate::engine::{CompiledKernel, ExecutionEngine};
 use crate::error::SocratesError;
 use crate::knowledge_io::save_knowledge;
 use crate::runtime::{AdaptiveApplication, TraceSample};
+use crate::snapshot::{KnowledgeSnapshot, SnapshotFingerprint};
 use crate::toolchain::EnhancedApp;
 use dse::ExplorationSchedule;
 use margot::{Cmp, Constraint, Knowledge, Metric, MetricValues, Rank, SharedKnowledge};
@@ -63,7 +64,7 @@ use minivm::ExecutionReport;
 use platform_sim::{KnobConfig, Machine};
 use polybench::{App, Dataset};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -72,6 +73,26 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// instance (higher than typical application constraints, so the global
 /// budget wins when the feasible region empties).
 pub const FLEET_POWER_PRIORITY: u32 = 50;
+
+/// Warm boot re-validates the shipped snapshot's *head*: every covered
+/// configuration whose seeded rank value is within this fraction of the
+/// seeded best. Those are the configurations planned selection will
+/// actually arbitrate between; everything below the band only ever
+/// loses, so single fresh sweep samples on it cannot reorder the top.
+const WARM_HEAD_BAND: f64 = 0.9;
+
+/// Upper bound on the warm-boot validation head, so a pathologically
+/// flat snapshot (hundreds of near-ties) cannot turn the boot burst
+/// into a full cold-start sweep.
+const WARM_HEAD_CAP: usize = 64;
+
+/// Re-validation passes over the head during the boot burst. Eight real
+/// samples per head configuration are enough to flag a grossly wrong
+/// seed; with wide knowledge windows the remaining seed copies act as a
+/// deliberate prior anchor, so the burst does not try to displace them
+/// all — its length must stay in the seconds, not scale with the
+/// window.
+const WARM_HEAD_PASSES: usize = 8;
 
 /// Fleet-level policy knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +140,16 @@ pub struct FleetConfig {
     /// their step. The default is the bytecode backend; the AST
     /// interpreter is the bit-identical reference.
     pub engine: ExecutionEngine,
+    /// A shipped knowledge snapshot to warm-start every pool from
+    /// ([`KnowledgeSnapshot`], typically loaded via
+    /// [`crate::ArtifactStore::warm_start_snapshot`]). The snapshot's
+    /// learned metrics are merged over each pool's design-time
+    /// knowledge before the first instance boots, so joiners start
+    /// from deployment experience instead of the empty state. The
+    /// snapshot may come from a *different* application (cross-app
+    /// transfer seeding): only configurations present in the target's
+    /// design space are adopted.
+    pub warm_start: Option<KnowledgeSnapshot>,
     /// `Some` selects the *distributed* deployment mode: instances
     /// exchange knowledge as messages over a simulated lossy transport
     /// ([`crate::transport`]) instead of a shared address space. Such
@@ -139,6 +170,7 @@ impl Default for FleetConfig {
             power_budget_w: None,
             parallel_step: true,
             engine: ExecutionEngine::default(),
+            warm_start: None,
             distributed: None,
         }
     }
@@ -181,11 +213,83 @@ impl FleetConfig {
                 )));
             }
         }
+        if let Some(snapshot) = &self.warm_start {
+            if snapshot.knowledge.is_empty() {
+                return Err(SocratesError::invalid_config(
+                    "warm_start snapshot holds no operating points: an empty snapshot cannot \
+                     seed a pool (omit warm_start for a cold boot)",
+                ));
+            }
+        }
         if let Some(dist) = &self.distributed {
             dist.validate()?;
         }
         Ok(())
     }
+
+    /// How many identical samples a warm boot stuffs into each shipped
+    /// point's observation rings: a full window, so one fresh (noisy)
+    /// observation moves the mean by only `1/window` of its deviation,
+    /// and never fewer than `min_observations`, so the override gate
+    /// opens immediately.
+    pub(crate) fn warm_seed_copies(&self) -> usize {
+        self.knowledge_window
+            .max(usize::try_from(self.min_observations).unwrap_or(usize::MAX))
+    }
+
+    /// Ring copies for `app`'s warm boot, scaled by trust. A snapshot
+    /// cut from the *same* application is evidence and gets the
+    /// fully-observed boot above; a foreign (cross-app) snapshot is
+    /// only a hint — its values still merge over the design
+    /// predictions, but the rings stay empty (zero copies) so the
+    /// first real observation of each configuration displaces the
+    /// neighbour's guess outright instead of fighting a full window
+    /// of it.
+    pub(crate) fn warm_seed_copies_for(&self, app: App) -> usize {
+        match &self.warm_start {
+            Some(snapshot) if snapshot.fingerprint.app == app.name() => self.warm_seed_copies(),
+            _ => 0,
+        }
+    }
+}
+
+/// Builds the warm-boot re-validation queue: the snapshot's covered
+/// configurations whose seeded rank value sits within
+/// [`WARM_HEAD_BAND`] of the seeded best (at most [`WARM_HEAD_CAP`]),
+/// best first, each repeated `passes` times in round-robin order so a
+/// drained queue leaves every head configuration with several real
+/// local observations next to its shipped seed. Points the rank cannot
+/// score (missing or non-finite metrics) are skipped — they cannot win
+/// a selection, so they need no early validation.
+fn warm_validation_queue(
+    snapshot: &KnowledgeSnapshot,
+    rank: &Rank,
+    passes: usize,
+) -> VecDeque<KnobConfig> {
+    let mut head: Vec<(KnobConfig, f64)> = snapshot
+        .knowledge
+        .points()
+        .iter()
+        .filter_map(|p| {
+            let value = rank.value_with(|m| p.metric(m))?;
+            value.is_finite().then(|| (p.config.clone(), value))
+        })
+        .collect();
+    head.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rank values"));
+    let Some(&(_, best)) = head.first() else {
+        return VecDeque::new();
+    };
+    head.truncate(WARM_HEAD_CAP);
+    if best > 0.0 {
+        while head.last().is_some_and(|&(_, v)| v < best * WARM_HEAD_BAND) {
+            head.pop();
+        }
+    }
+    let mut queue = VecDeque::with_capacity(head.len() * passes.max(1));
+    for _ in 0..passes.max(1) {
+        queue.extend(head.iter().map(|(config, _)| config.clone()));
+    }
+    queue
 }
 
 /// One shared-knowledge pool: all instances of the same application
@@ -195,6 +299,14 @@ struct Pool {
     design: Knowledge<KnobConfig>,
     shared: SharedKnowledge<KnobConfig>,
     schedule: ExplorationSchedule<KnobConfig>,
+    /// Warm-boot re-validation queue (empty for cold pools): the
+    /// snapshot's head — see [`WARM_HEAD_BAND`] — queued `window` times
+    /// per configuration, best first. Served ahead of the cooperative
+    /// sweep at *every* step until drained, so the configurations that
+    /// will drive selection trade their shipped seeds for real local
+    /// observations in the first seconds of the run instead of ambushing
+    /// the fleet with frozen near-ties mid-flight.
+    burst: VecDeque<KnobConfig>,
     /// Effective-knowledge snapshot maintained **once per pool** at the
     /// round barrier (and only when the epoch moved); the parallel
     /// phase hands stale instances this knowledge without touching
@@ -478,7 +590,7 @@ impl Fleet {
     /// The instance immediately adopts the pool's current shared
     /// knowledge, inheriting everything the fleet already learned.
     pub fn add_instance(&mut self, enhanced: EnhancedApp, rank: Rank, machine: Machine) -> usize {
-        let pool = self.pool_for(&enhanced);
+        let pool = self.pool_for(&enhanced, &rank);
         let mut app = AdaptiveApplication::with_machine(enhanced, rank, machine);
         let epoch = if self.config.share_knowledge {
             self.pools[pool].refresh_cache(self.config.incremental_refresh);
@@ -695,6 +807,23 @@ impl Fleet {
             .map(|p| p.shared.knowledge())
     }
 
+    /// Cuts a shippable [`KnowledgeSnapshot`] of `app`'s pool — the
+    /// live shared knowledge with its epoch vector, stamped with
+    /// `fingerprint` — or `None` if no instance of `app` was ever
+    /// added. Persist it with [`crate::ArtifactStore::save_snapshot`]
+    /// (or [`KnowledgeSnapshot::save`]) and ship it as the
+    /// [`FleetConfig::warm_start`] of the next deployment.
+    pub fn knowledge_snapshot(
+        &self,
+        app: App,
+        fingerprint: SnapshotFingerprint,
+    ) -> Option<KnowledgeSnapshot> {
+        self.pools
+            .iter()
+            .find(|p| p.app == app)
+            .map(|p| KnowledgeSnapshot::capture(&p.shared, fingerprint))
+    }
+
     /// The shared-knowledge epoch for `app` (how many publishes changed
     /// an effective value), or `None` if unknown.
     pub fn knowledge_epoch(&self, app: App) -> Option<u64> {
@@ -751,7 +880,7 @@ impl Fleet {
     /// are keyed by application *and* design knowledge, so instances
     /// enhanced by different toolchain configurations never cross-feed
     /// incompatible operating points.
-    fn pool_for(&mut self, enhanced: &EnhancedApp) -> usize {
+    fn pool_for(&mut self, enhanced: &EnhancedApp, rank: &Rank) -> usize {
         if let Some(i) = self
             .pools
             .iter()
@@ -771,15 +900,43 @@ impl Fleet {
             .first()
             .cloned()
             .unwrap_or_else(|| enhanced.app.kernel_name());
+        // Warm-start seeding: merge the shipped snapshot's learned
+        // metrics over the design-time expectations. The pool stays
+        // keyed by the *original* design knowledge (`design`), so warm
+        // and cold joiners of the same enhanced app share one pool.
+        let seeded = match &self.config.warm_start {
+            Some(snapshot) => snapshot.apply_to_design(&enhanced.knowledge),
+            None => enhanced.knowledge.clone(),
+        };
+        let shared = SharedKnowledge::new(seeded.clone(), self.config.knowledge_window)
+            .with_min_observations(self.config.min_observations)
+            .with_shards(self.config.knowledge_shards);
+        let mut burst = VecDeque::new();
+        if let Some(snapshot) = &self.config.warm_start {
+            // Fill the shipped points' observation windows too (same-app
+            // seeds only — see `warm_seed_copies_for`): with empty
+            // rings, the first few (noisy) online samples would
+            // displace the seed the moment the min_observations gate
+            // opens, and the fleet would relive the cold-start
+            // transient the snapshot exists to eliminate.
+            let copies = self.config.warm_seed_copies_for(enhanced.app);
+            if copies > 0 {
+                shared.seed_observations(&snapshot.knowledge, copies);
+            }
+            burst = warm_validation_queue(
+                snapshot,
+                rank,
+                self.config.knowledge_window.min(WARM_HEAD_PASSES),
+            );
+        }
         self.pools.push(Pool {
             app: enhanced.app,
             design: enhanced.knowledge.clone(),
-            shared: SharedKnowledge::new(enhanced.knowledge.clone(), self.config.knowledge_window)
-                .with_min_observations(self.config.min_observations)
-                .with_shards(self.config.knowledge_shards),
+            shared,
             schedule: ExplorationSchedule::new(configs),
+            burst,
             cache_epoch: 0,
-            cache: enhanced.knowledge.clone(),
+            cache: seeded,
             weaved: enhanced.weaved.clone(),
             entry,
             dataset: enhanced.dataset,
@@ -860,8 +1017,17 @@ impl Fleet {
                     }
                     (inst.pool, inst.steps % interval == interval - 1)
                 };
-                if explore {
-                    let assigned = self.pools[pool].schedule.next_unexplored();
+                // Warm-boot validation outranks the interval: while the
+                // snapshot head's burst queue is non-empty, every step
+                // is a forced re-validation sample. The queue is a few
+                // hundred entries fleet-wide, so this window is over in
+                // the first seconds of the run.
+                let assigned = match self.pools[pool].burst.pop_front() {
+                    Some(cfg) => Some(cfg),
+                    None if explore => self.pools[pool].schedule.next_unexplored(),
+                    None => None,
+                };
+                if assigned.is_some() {
                     instance_mut(&mut self.instances[id]).assigned = assigned;
                 }
             }
@@ -1400,6 +1566,128 @@ mod tests {
             ast_trace, byte_trace,
             "the engine never perturbs the MAPE-K loop"
         );
+    }
+
+    #[test]
+    fn warm_started_pools_adopt_the_shipped_snapshot() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        // A donor fleet learns for a while, then cuts a snapshot.
+        let mut donor = fleet_with(FleetConfig::default());
+        donor.spawn(&enhanced, &rank(), 3, 2);
+        donor.run_for(2.0);
+        let fingerprint = SnapshotFingerprint::new(App::TwoMm.name(), "Medium", 0);
+        let snapshot = donor
+            .knowledge_snapshot(App::TwoMm, fingerprint)
+            .expect("donor has a TwoMm pool");
+        assert!(!snapshot.knowledge.is_empty());
+        assert_ne!(snapshot.knowledge, enhanced.knowledge);
+
+        // A warm fleet boots every joiner from the shipped state.
+        let mut warm = fleet_with(FleetConfig {
+            warm_start: Some(snapshot.clone()),
+            ..FleetConfig::default()
+        });
+        let id = warm.spawn(&enhanced, &rank(), 7, 1)[0];
+        let expected = snapshot.apply_to_design(&enhanced.knowledge);
+        // The effective knowledge (and the cache the joiner adopts)
+        // reads back the seeded observation rings, whose window mean
+        // of n identical samples can differ from the shipped value in
+        // the last ulp — compare values to within float-summation
+        // rounding, configs exactly.
+        let assert_shipped = |got: &Knowledge<KnobConfig>, what: &str| {
+            for (l, e) in got.points().iter().zip(expected.points().iter()) {
+                assert_eq!(l.config, e.config, "{what}");
+                for (metric, want) in e.metrics.iter() {
+                    let got = l.metric(metric).expect("seeded metric present");
+                    assert!(
+                        (got - want).abs() <= want.abs() * 1e-12,
+                        "{what}: {metric} of {:?}: {got} vs shipped {want}",
+                        l.config
+                    );
+                }
+            }
+        };
+        assert_shipped(&warm.learned_knowledge(App::TwoMm).unwrap(), "pool");
+        let adopted = warm.with_instance_mut(id, |app| app.manager().asrtm().knowledge().clone());
+        assert_shipped(&adopted, "the joiner's warm cache");
+        // The warm pool keeps learning on top of the seed.
+        warm.step_round();
+        assert!(warm.knowledge_epoch(App::TwoMm).unwrap() > 0);
+    }
+
+    #[test]
+    fn foreign_snapshots_merge_values_but_seed_no_observations() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let mut donor = fleet_with(FleetConfig::default());
+        donor.spawn(&enhanced, &rank(), 3, 2);
+        donor.run_for(2.0);
+        let snapshot = donor
+            .knowledge_snapshot(
+                App::TwoMm,
+                SnapshotFingerprint::new(App::TwoMm.name(), "M", 0),
+            )
+            .expect("donor has a TwoMm pool");
+        let config = FleetConfig {
+            warm_start: Some(snapshot.clone()),
+            ..FleetConfig::default()
+        };
+        // Same app: the full ring seed. Any other app: the snapshot
+        // is a hint — values merge, but the rings stay empty so real
+        // samples displace the guesses outright.
+        assert_eq!(
+            config.warm_seed_copies_for(App::TwoMm),
+            config.warm_seed_copies()
+        );
+        assert!(config.warm_seed_copies() > 0);
+        assert_eq!(config.warm_seed_copies_for(App::ThreeMm), 0);
+        assert_eq!(FleetConfig::default().warm_seed_copies_for(App::TwoMm), 0);
+
+        // A ThreeMm fleet warm-started from the TwoMm snapshot still
+        // adopts the merged values at boot (the hint is visible)...
+        let foreign = quick_enhanced(App::ThreeMm);
+        let mut warm = fleet_with(config);
+        let id = warm.spawn(&foreign, &rank(), 7, 1)[0];
+        let merged = snapshot.apply_to_design(&foreign.knowledge);
+        assert_eq!(warm.learned_knowledge(App::ThreeMm).unwrap(), merged);
+        // ...but one real observation of a config fully replaces the
+        // foreign guess instead of averaging against a seeded window.
+        warm.step_round();
+        let after = warm.learned_knowledge(App::ThreeMm).unwrap();
+        let sampled = warm
+            .with_instance_mut(id, |app| app.trace().last().map(|s| s.config.clone()))
+            .expect("the instance sampled a config");
+        let live = after
+            .points()
+            .iter()
+            .find(|p| p.config == sampled)
+            .expect("sampled config is in the design");
+        let hint = merged
+            .points()
+            .iter()
+            .find(|p| p.config == sampled)
+            .expect("sampled config was hinted");
+        assert_ne!(
+            live.metrics, hint.metrics,
+            "a real sample must displace the foreign hint outright"
+        );
+    }
+
+    #[test]
+    fn empty_warm_start_snapshots_are_rejected() {
+        use crate::snapshot::KnowledgeSnapshot;
+        let empty = KnowledgeSnapshot {
+            fingerprint: SnapshotFingerprint::new("twomm", "Medium", 0),
+            epoch: 0,
+            shard_epochs: vec![0; margot::DEFAULT_SHARDS],
+            knowledge: Knowledge::new(),
+        };
+        let err = Fleet::new(FleetConfig {
+            warm_start: Some(empty),
+            ..FleetConfig::default()
+        })
+        .err()
+        .expect("empty warm-start snapshot must be rejected");
+        assert!(err.to_string().contains("warm_start"), "{err}");
     }
 
     #[test]

@@ -59,6 +59,7 @@ use crate::transport::{
 use margot::{Knowledge, KnowledgeDelta, OperatingPoint, Rank};
 use minivm::ExecutionReport;
 use platform_sim::{KnobConfig, Machine};
+use polybench::App;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
@@ -103,7 +104,9 @@ struct GossipState {
 
 enum NodeSync {
     Star(StarState),
-    Gossip(GossipState),
+    /// Boxed: a full replica (log + checkpoints + warm seed) dwarfs
+    /// the star node's cache-and-epoch-vector state.
+    Gossip(Box<GossipState>),
 }
 
 /// One distributed fleet member: an adaptive application plus its
@@ -230,12 +233,25 @@ impl DistributedFleet {
                  not distributed yet",
             ));
         }
-        let probe = Replica::new(
-            enhanced.knowledge.clone(),
-            config.knowledge_window,
-            config.min_observations,
-            config.knowledge_shards,
-        );
+        // Warm start: merge the shipped snapshot's learned metrics over
+        // the design knowledge before anything derives from it — the
+        // probe replica, the broker's published state, every node's
+        // boot cache and the Welcome snapshot handed to late joiners
+        // all inherit the seed. Same-app snapshots only: the
+        // distributed runtime has no exploration sweep, so a foreign
+        // (cross-app) hint that mis-ranks the space would never be
+        // corrected — the greedy fleet samples only what the hint
+        // recommends and can pin itself in a suboptimal absorbing
+        // state. A foreign snapshot is therefore ignored here and the
+        // fleet boots cold (the in-process `Fleet`, whose cooperative
+        // sweep re-samples every configuration, does accept it).
+        let mut enhanced = enhanced.clone();
+        if let Some(snapshot) = &config.warm_start {
+            if config.warm_seed_copies_for(enhanced.app) > 0 {
+                enhanced.knowledge = snapshot.apply_to_design(&enhanced.knowledge);
+            }
+        }
+        let probe = Self::boot_replica(&config, &enhanced.knowledge, enhanced.app);
         let shard_map: Vec<usize> = enhanced
             .knowledge
             .points()
@@ -269,7 +285,7 @@ impl DistributedFleet {
         Ok(DistributedFleet {
             net: SimNet::new(dist.link.clone()),
             dist,
-            enhanced: enhanced.clone(),
+            enhanced,
             shard_map,
             shard_count: config.knowledge_shards,
             broker,
@@ -278,6 +294,32 @@ impl DistributedFleet {
             config,
             kernel,
         })
+    }
+
+    /// A fold replica booted the way every replica of this fleet must
+    /// be: over the (already warm-merged) design knowledge, with the
+    /// shipped snapshot's observation seed installed when the fleet is
+    /// warm-started from a snapshot of the *same* application (a
+    /// foreign snapshot only merges values — see
+    /// [`FleetConfig::warm_seed_copies_for`]). Every construction
+    /// site goes through here —
+    /// replicas seeded differently would fold the same log to
+    /// different effective knowledge and break the equivalence
+    /// invariant.
+    fn boot_replica(config: &FleetConfig, design: &Knowledge<KnobConfig>, app: App) -> Replica {
+        let replica = Replica::new(
+            design.clone(),
+            config.knowledge_window,
+            config.min_observations,
+            config.knowledge_shards,
+        );
+        match &config.warm_start {
+            Some(snapshot) => match config.warm_seed_copies_for(app) {
+                0 => replica,
+                copies => replica.with_warm_seed(snapshot.knowledge.clone(), copies),
+            },
+            None => replica,
+        }
     }
 
     /// The functional execution report of the fleet's shared compiled
@@ -356,16 +398,15 @@ impl DistributedFleet {
                 unacked: BTreeMap::new(),
                 dirty: false,
             }),
-            DistTopology::Gossip { .. } => NodeSync::Gossip(GossipState {
-                replica: Replica::new(
-                    self.enhanced.knowledge.clone(),
-                    self.config.knowledge_window,
-                    self.config.min_observations,
-                    self.config.knowledge_shards,
+            DistTopology::Gossip { .. } => NodeSync::Gossip(Box::new(GossipState {
+                replica: Self::boot_replica(
+                    &self.config,
+                    &self.enhanced.knowledge,
+                    self.enhanced.app,
                 ),
                 outbox: Vec::new(),
                 adopted: (0, 0),
-            }),
+            })),
         };
         self.nodes.push(DistNode {
             id,
@@ -1377,6 +1418,51 @@ mod tests {
             "the joiner must reach the fleet's knowledge exactly"
         );
         assert!(fleet.trace(late).len() >= 5, "the joiner stepped");
+    }
+
+    #[test]
+    fn warm_started_nodes_and_late_joiners_boot_on_the_shipped_snapshot() {
+        use crate::snapshot::SnapshotFingerprint;
+        let enhanced = quick_enhanced();
+        // A donor in-process fleet learns, then cuts the snapshot the
+        // distributed deployment ships.
+        let mut donor = crate::fleet::Fleet::new(FleetConfig::default()).unwrap();
+        donor.spawn(&enhanced, &Rank::throughput_per_watt2(), 3, 2);
+        donor.run_for(2.0);
+        let snapshot = donor
+            .knowledge_snapshot(
+                App::TwoMm,
+                SnapshotFingerprint::new(App::TwoMm.name(), "Medium", 0),
+            )
+            .unwrap();
+        let warmed = snapshot.apply_to_design(&enhanced.knowledge);
+        assert_ne!(warmed, enhanced.knowledge);
+
+        let mut fleet = DistributedFleet::new(
+            FleetConfig {
+                warm_start: Some(snapshot),
+                ..dist_config(DistributedConfig::default())
+            },
+            &enhanced,
+        )
+        .unwrap();
+        fleet.spawn(&Rank::throughput_per_watt2(), 7, 2);
+        assert_eq!(
+            fleet.authoritative_knowledge(),
+            warmed,
+            "the broker publishes the warmed state from round zero"
+        );
+        for id in 0..2 {
+            assert_eq!(fleet.node_knowledge(id), warmed, "node {id} booted cold");
+        }
+        fleet.step_round();
+        // A churn joiner is welcomed with the warmed (and since
+        // updated) knowledge, never the cold design state.
+        let late = fleet.add_instance(Rank::throughput_per_watt2(), enhanced.platform.machine(42));
+        fleet.step_round();
+        fleet.drain().unwrap();
+        assert_eq!(fleet.node_knowledge(late), fleet.authoritative_knowledge());
+        assert_ne!(fleet.node_knowledge(late), enhanced.knowledge);
     }
 
     #[test]

@@ -14,26 +14,52 @@ use crate::error::SocratesError;
 use crate::transport::{Observation, WireMessage};
 use margot::{Knowledge, KnowledgeDelta, MetricValues, OperatingPoint};
 use platform_sim::{BindingPolicy, CompilerOptions, KnobConfig, OptLevel};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Writes `contents` to `path` atomically: the bytes land in a
-/// temporary file in the *same* directory, which is then renamed over
-/// the destination. A crash mid-save can therefore never leave a
-/// truncated or unparseable file behind — readers see either the old
-/// complete file or the new complete file.
-pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), SocratesError> {
+/// Process-wide sequence number distinguishing concurrent temp files
+/// aimed at the same destination (the pid distinguishes processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temp-file path next to `path` that no other writer — thread *or*
+/// process — is using: `.{name}.{pid}.{seq}.tmp`. A deterministic name
+/// would let two concurrent writers clobber each other's staged bytes
+/// mid-write (and fail the loser's rename).
+fn unique_tmp(path: &Path) -> Result<PathBuf, SocratesError> {
     let file_name = path
         .file_name()
         .ok_or_else(|| SocratesError::io(path, std::io::Error::other("path has no file name")))?;
     let mut tmp_name = std::ffi::OsString::from(".");
     tmp_name.push(file_name);
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents).map_err(|e| SocratesError::io(&tmp, e))?;
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    Ok(path.with_file_name(tmp_name))
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// writer-unique temporary file in the *same* directory, which is then
+/// renamed over the destination. A crash mid-save can therefore never
+/// leave a truncated or unparseable file behind — readers see either
+/// the old complete file or the new complete file — and concurrent
+/// writers each land a complete copy (last rename wins).
+pub(crate) fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), SocratesError> {
+    let tmp = unique_tmp(path)?;
+    std::fs::write(&tmp, contents).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        SocratesError::io(&tmp, e)
+    })?;
     std::fs::rename(&tmp, path).map_err(|e| {
         std::fs::remove_file(&tmp).ok();
         SocratesError::io(path, e)
     })
+}
+
+/// [`write_atomic_bytes`] for UTF-8 contents.
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), SocratesError> {
+    write_atomic_bytes(path, contents.as_bytes())
 }
 
 /// Serialises a knowledge base to a JSON string.
@@ -163,43 +189,43 @@ pub fn wire_from_json(json: &str) -> Result<WireMessage, SocratesError> {
 /// Leading magic of every binary frame: `"SOC"` plus format version 1.
 pub const WIRE_MAGIC: [u8; 4] = [b'S', b'O', b'C', 0x01];
 
-fn put_u8(out: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_usize(out: &mut Vec<u8>, v: usize) {
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
     put_u64(out, v as u64);
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, v: bool) {
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(u8::from(v));
 }
 
-fn put_len(out: &mut Vec<u8>, len: usize) {
+pub(crate) fn put_len(out: &mut Vec<u8>, len: usize) {
     put_u32(
         out,
         u32::try_from(len).expect("sequence length exceeds u32 on the wire"),
     );
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_len(out, s.len());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_config(out: &mut Vec<u8>, cfg: &KnobConfig) {
+pub(crate) fn put_config(out: &mut Vec<u8>, cfg: &KnobConfig) {
     let level = OptLevel::ALL
         .iter()
         .position(|l| *l == cfg.co.level)
@@ -214,7 +240,7 @@ fn put_config(out: &mut Vec<u8>, cfg: &KnobConfig) {
     put_u8(out, bp as u8);
 }
 
-fn put_metrics(out: &mut Vec<u8>, mv: &MetricValues) {
+pub(crate) fn put_metrics(out: &mut Vec<u8>, mv: &MetricValues) {
     put_len(out, mv.len());
     for (m, v) in mv.iter() {
         put_str(out, m.as_str());
@@ -222,19 +248,19 @@ fn put_metrics(out: &mut Vec<u8>, mv: &MetricValues) {
     }
 }
 
-fn put_point(out: &mut Vec<u8>, p: &OperatingPoint<KnobConfig>) {
+pub(crate) fn put_point(out: &mut Vec<u8>, p: &OperatingPoint<KnobConfig>) {
     put_config(out, &p.config);
     put_metrics(out, &p.metrics);
 }
 
-fn put_knowledge(out: &mut Vec<u8>, k: &Knowledge<KnobConfig>) {
+pub(crate) fn put_knowledge(out: &mut Vec<u8>, k: &Knowledge<KnobConfig>) {
     put_len(out, k.len());
     for p in k.points() {
         put_point(out, p);
     }
 }
 
-fn put_delta(out: &mut Vec<u8>, d: &KnowledgeDelta<KnobConfig>) {
+pub(crate) fn put_delta(out: &mut Vec<u8>, d: &KnowledgeDelta<KnobConfig>) {
     put_u64(out, d.from_epoch);
     put_u64(out, d.to_epoch);
     put_len(out, d.changed.len());
@@ -244,7 +270,7 @@ fn put_delta(out: &mut Vec<u8>, d: &KnowledgeDelta<KnobConfig>) {
     }
 }
 
-fn put_observation(out: &mut Vec<u8>, o: &Observation) {
+pub(crate) fn put_observation(out: &mut Vec<u8>, o: &Observation) {
     put_u32(out, o.origin);
     put_u64(out, o.seq);
     put_u64(out, o.round);
@@ -252,7 +278,7 @@ fn put_observation(out: &mut Vec<u8>, o: &Observation) {
     put_metrics(out, &o.observed);
 }
 
-fn put_wire(out: &mut Vec<u8>, msg: &WireMessage) {
+pub(crate) fn put_wire(out: &mut Vec<u8>, msg: &WireMessage) {
     match msg {
         WireMessage::Join { node } => {
             put_u8(out, 0);
@@ -331,21 +357,21 @@ fn put_wire(out: &mut Vec<u8>, msg: &WireMessage) {
 
 /// A strict cursor over a binary frame; every read is bounds-checked
 /// and decode failures are transport-stage [`SocratesError`]s.
-struct ByteReader<'a> {
+pub(crate) struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
     }
 
-    fn err(what: &str) -> SocratesError {
+    pub(crate) fn err(what: &str) -> SocratesError {
         SocratesError::transport(format!("malformed binary frame: {what}"))
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SocratesError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SocratesError> {
         let end = self
             .pos
             .checked_add(n)
@@ -356,27 +382,27 @@ impl<'a> ByteReader<'a> {
         Ok(bytes)
     }
 
-    fn u8(&mut self) -> Result<u8, SocratesError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SocratesError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, SocratesError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SocratesError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u64(&mut self) -> Result<u64, SocratesError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SocratesError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn usize(&mut self) -> Result<usize, SocratesError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, SocratesError> {
         usize::try_from(self.u64()?).map_err(|_| Self::err("index exceeds usize"))
     }
 
-    fn f64(&mut self) -> Result<f64, SocratesError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SocratesError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn bool(&mut self) -> Result<bool, SocratesError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, SocratesError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -384,16 +410,16 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn len(&mut self) -> Result<usize, SocratesError> {
+    pub(crate) fn len(&mut self) -> Result<usize, SocratesError> {
         Ok(self.u32()? as usize)
     }
 
-    fn str(&mut self) -> Result<&'a str, SocratesError> {
+    pub(crate) fn str(&mut self) -> Result<&'a str, SocratesError> {
         let n = self.len()?;
         std::str::from_utf8(self.take(n)?).map_err(|_| Self::err("invalid UTF-8 in string"))
     }
 
-    fn magic(&mut self) -> Result<(), SocratesError> {
+    pub(crate) fn magic(&mut self) -> Result<(), SocratesError> {
         if self.take(4)? == WIRE_MAGIC {
             Ok(())
         } else {
@@ -401,7 +427,7 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn finish(&self) -> Result<(), SocratesError> {
+    pub(crate) fn finish(&self) -> Result<(), SocratesError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -409,7 +435,7 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn config(&mut self) -> Result<KnobConfig, SocratesError> {
+    pub(crate) fn config(&mut self) -> Result<KnobConfig, SocratesError> {
         let level = *OptLevel::ALL
             .get(self.u8()? as usize)
             .ok_or_else(|| Self::err("opt-level index out of range"))?;
@@ -428,7 +454,7 @@ impl<'a> ByteReader<'a> {
         ))
     }
 
-    fn metrics(&mut self) -> Result<MetricValues, SocratesError> {
+    pub(crate) fn metrics(&mut self) -> Result<MetricValues, SocratesError> {
         let n = self.len()?;
         let mut pairs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -441,13 +467,13 @@ impl<'a> ByteReader<'a> {
         Ok(MetricValues::from_unvalidated(pairs))
     }
 
-    fn point(&mut self) -> Result<OperatingPoint<KnobConfig>, SocratesError> {
+    pub(crate) fn point(&mut self) -> Result<OperatingPoint<KnobConfig>, SocratesError> {
         let config = self.config()?;
         let metrics = self.metrics()?;
         Ok(OperatingPoint::new(config, metrics))
     }
 
-    fn knowledge(&mut self) -> Result<Knowledge<KnobConfig>, SocratesError> {
+    pub(crate) fn knowledge(&mut self) -> Result<Knowledge<KnobConfig>, SocratesError> {
         let n = self.len()?;
         let mut k = Knowledge::new();
         for _ in 0..n {
@@ -456,7 +482,7 @@ impl<'a> ByteReader<'a> {
         Ok(k)
     }
 
-    fn delta(&mut self) -> Result<KnowledgeDelta<KnobConfig>, SocratesError> {
+    pub(crate) fn delta(&mut self) -> Result<KnowledgeDelta<KnobConfig>, SocratesError> {
         let from_epoch = self.u64()?;
         let to_epoch = self.u64()?;
         let n = self.len()?;
@@ -472,7 +498,7 @@ impl<'a> ByteReader<'a> {
         })
     }
 
-    fn observation(&mut self) -> Result<Observation, SocratesError> {
+    pub(crate) fn observation(&mut self) -> Result<Observation, SocratesError> {
         Ok(Observation {
             origin: self.u32()?,
             seq: self.u64()?,
@@ -482,7 +508,7 @@ impl<'a> ByteReader<'a> {
         })
     }
 
-    fn observations(&mut self) -> Result<Vec<Observation>, SocratesError> {
+    pub(crate) fn observations(&mut self) -> Result<Vec<Observation>, SocratesError> {
         let n = self.len()?;
         let mut ops = Vec::with_capacity(n);
         for _ in 0..n {
@@ -491,7 +517,7 @@ impl<'a> ByteReader<'a> {
         Ok(ops)
     }
 
-    fn versions(&mut self) -> Result<Vec<u64>, SocratesError> {
+    pub(crate) fn versions(&mut self) -> Result<Vec<u64>, SocratesError> {
         let n = self.len()?;
         let mut vs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -500,7 +526,7 @@ impl<'a> ByteReader<'a> {
         Ok(vs)
     }
 
-    fn wire(&mut self) -> Result<WireMessage, SocratesError> {
+    pub(crate) fn wire(&mut self) -> Result<WireMessage, SocratesError> {
         match self.u8()? {
             0 => Ok(WireMessage::Join { node: self.u32()? }),
             1 => Ok(WireMessage::Leave { node: self.u32()? }),
@@ -729,6 +755,48 @@ mod tests {
         std::fs::write(&path, "old contents").unwrap();
         save_knowledge(&k, &path).unwrap();
         assert_eq!(load_knowledge(&path).unwrap(), k);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "kb.json")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_clobber_each_other() {
+        // Regression: with one deterministic `.name.tmp` staging name,
+        // two simultaneous writers overwrite each other's staged bytes
+        // and the loser's rename fails on the vanished temp file. Every
+        // writer must succeed, and the surviving file must be one
+        // writer's *complete* contents.
+        let dir = std::env::temp_dir().join("socrates-concurrent-atomic-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        let writers = 8;
+        let rounds = 25;
+        let payload = |w: usize| format!("writer-{w}-").repeat(200);
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let path = path.clone();
+                let contents = payload(w);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        write_atomic(&path, &contents).expect("concurrent atomic write");
+                    }
+                });
+            }
+        });
+        let last = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            (0..writers).any(|w| last == payload(w)),
+            "surviving file must be one writer's complete contents"
+        );
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name())

@@ -72,6 +72,7 @@ mod knowledge_io;
 mod pipeline;
 mod platform;
 mod runtime;
+mod snapshot;
 mod toolchain;
 mod trace;
 pub mod transport;
@@ -96,6 +97,10 @@ pub use minivm::ExecutionReport;
 pub use pipeline::{socrates_pipeline, stages, Pipeline, Stage, StageContext};
 pub use platform::Platform;
 pub use runtime::{AdaptiveApplication, TraceSample};
+pub use snapshot::{
+    cosine_distance, nearest_neighbour, KnowledgeSnapshot, SnapshotDelta, SnapshotFingerprint,
+    SNAPSHOT_DELTA_MAGIC, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};
 pub use toolchain::{EnhancedApp, Toolchain};
 pub use trace::{windowed_stats, TraceStats};
 pub use transport::{DistTopology, DistributedConfig, LinkConfig};

@@ -539,6 +539,11 @@ pub struct Replica {
     window: usize,
     min_observations: u64,
     shards: usize,
+    /// Warm-boot seed applied before any log replay (and re-applied on
+    /// every full refold): `(snapshot knowledge, copies per point)`.
+    /// Part of the fold recipe, so the fold stays a pure function of
+    /// `(design, seed, log set)`.
+    seed: Option<(Knowledge<KnobConfig>, usize)>,
     log: BTreeMap<(u64, NodeId), Observation>,
     /// origin → (seq → round): the per-origin index summaries and
     /// retransmissions work from.
@@ -577,6 +582,7 @@ impl Replica {
             window,
             min_observations,
             shards,
+            seed: None,
             log: BTreeMap::new(),
             per_origin: BTreeMap::new(),
             folded,
@@ -598,6 +604,30 @@ impl Replica {
         SharedKnowledge::new(design.clone(), window)
             .with_min_observations(min_observations)
             .with_shards(shards)
+    }
+
+    /// Builder-style: warm-boots the fold from a shipped snapshot,
+    /// filling every shipped point's observation windows with `copies`
+    /// identical samples ([`SharedKnowledge::seed_observations`])
+    /// *before* any logged observation replays over them. The seed is
+    /// part of the fold recipe — full refolds re-apply it — so two
+    /// replicas constructed with the same `(design, seed, log set)`
+    /// stay bit-identical no matter how the network reorders delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if observations were already logged: a seed slid under
+    /// an existing log would not be reproduced by the checkpoints
+    /// taken before it existed.
+    #[must_use]
+    pub fn with_warm_seed(mut self, seed: Knowledge<KnobConfig>, copies: usize) -> Self {
+        assert!(
+            self.log.is_empty(),
+            "warm seed must be installed before the first logged observation"
+        );
+        self.folded.seed_observations(&seed, copies);
+        self.seed = Some((seed, copies));
+        self
     }
 
     /// Records one observation; returns `false` for duplicates (same
@@ -650,6 +680,9 @@ impl Replica {
                 self.min_observations,
                 self.shards,
             );
+            if let Some((seed, copies)) = &self.seed {
+                self.folded.seed_observations(seed, *copies);
+            }
             self.checkpoints.clear();
             self.ops_folded = 0;
             self.frontier = None;

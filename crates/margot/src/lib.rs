@@ -70,5 +70,7 @@ pub use manager::{ApplicationManager, DEFAULT_MONITOR_WINDOW};
 pub use metric::{Metric, MetricValues};
 pub use monitor::Monitor;
 pub use requirements::{Cmp, Constraint, Rank, RankDirection, RankKind};
-pub use shared::{KnowledgeDelta, SharedKnowledge, DEFAULT_SHARDS};
+pub use shared::{
+    shard_content_hash, shard_index, KnowledgeDelta, SharedKnowledge, DEFAULT_SHARDS,
+};
 pub use states::{OptimizationState, StateRegistry, UnknownStateError};

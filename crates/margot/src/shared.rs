@@ -310,10 +310,40 @@ impl Hasher for Fnv1a {
     }
 }
 
-fn deterministic_shard<K: Hash>(config: &K, shards: usize) -> usize {
+/// The deterministic shard `config` maps to under `shards` lock shards:
+/// FNV-1a over the config's `Hash` impl — exactly the assignment
+/// [`SharedKnowledge`] uses internally, exposed so detached artifacts
+/// (serialised snapshots, wire-side replicas) can group points by shard
+/// without a live knowledge base in hand.
+pub fn shard_index<K: Hash>(config: &K, shards: usize) -> usize {
     let mut hasher = Fnv1a(0xcbf2_9ce4_8422_2325);
     config.hash(&mut hasher);
     (hasher.finish() % shards as u64) as usize
+}
+
+/// FNV-1a content digest over `(position, operating point)` pairs:
+/// folds each position, the config (via its `Hash` impl) and every
+/// `(metric name, f64 bit pattern)` pair in metric order. Feed it one
+/// shard's points in ascending position order and it reproduces
+/// [`SharedKnowledge::shard_hash`] for that shard — the bit-identity
+/// check between a live knowledge base and an external reconstruction
+/// (e.g. a decoded snapshot fast-forwarded through its delta chain).
+pub fn shard_content_hash<'a, K, I>(points: I) -> u64
+where
+    K: Hash + 'a,
+    I: IntoIterator<Item = (usize, &'a OperatingPoint<K>)>,
+{
+    let mut hasher = Fnv1a(0xcbf2_9ce4_8422_2325);
+    for (pos, point) in points {
+        hasher.write_u64(pos as u64);
+        point.config.hash(&mut hasher);
+        hasher.write_u64(point.metrics.len() as u64);
+        for (metric, value) in point.metrics.iter() {
+            hasher.write(metric.as_str().as_bytes());
+            hasher.write_u64(value.to_bits());
+        }
+    }
+    hasher.finish()
 }
 
 /// A thread-safe, versioned knowledge base shared by a fleet of
@@ -457,7 +487,7 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); shards];
         let mut index = HashMap::with_capacity(design.len());
         for (pos, point) in design.points().iter().enumerate() {
-            let shard = deterministic_shard(&point.config, shards);
+            let shard = shard_index(&point.config, shards);
             index.insert(
                 point.config.clone(),
                 PointRef {
@@ -698,6 +728,39 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
         accepted
     }
 
+    /// Marks every point of `seed` that this knowledge base knows as
+    /// *fully observed* at its shipped metric values: each metric's
+    /// ring is filled with `copies` identical samples, so the
+    /// `min_observations` gate opens immediately and one fresh (noisy)
+    /// observation shifts the window mean by only `1/window` of its
+    /// deviation — the statistical state of a converged deployment,
+    /// reconstructed from its snapshot. Without this, a warm boot
+    /// that merely rewrites the design values relives the whole
+    /// noise-damping transient: the first few online samples displace
+    /// the seed the moment the gate opens.
+    ///
+    /// Configs unknown to this layout are skipped and non-finite
+    /// metric values dropped (the [`publish`](Self::publish) policy).
+    /// Seeding is deterministic — the same `(design, seed, copies)`
+    /// always produces bit-identical windows and epochs — but the
+    /// window mean of `n` identical samples can differ from the
+    /// shipped value in the last ulp (float summation rounds), so
+    /// seeding may advance epochs. Returns the number of seeded
+    /// points.
+    pub fn seed_observations(&self, seed: &Knowledge<K>, copies: usize) -> usize {
+        let mut seeded = 0;
+        for p in seed.points() {
+            if !self.layout.index.contains_key(&p.config) {
+                continue;
+            }
+            for _ in 0..copies {
+                self.publish(&p.config, &p.metrics);
+            }
+            seeded += 1;
+        }
+        seeded
+    }
+
     /// Drains every shard's dirty set: the effective points that
     /// changed since the last drain, as `(position, point)` pairs in
     /// ascending position order, paired with the epoch the drain is
@@ -780,6 +843,75 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
             .map(|p| p.expect("every position is covered by exactly one shard"))
             .collect();
         (epoch, knowledge)
+    }
+
+    /// Content hash of shard `shard`'s effective points:
+    /// [`shard_content_hash`] over its `(position, point)` pairs in
+    /// ascending position order. Two knowledge bases (or a knowledge
+    /// base and a decoded snapshot) with equal hashes for every shard
+    /// hold bit-identical effective knowledge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_hash(&self, shard: usize) -> u64 {
+        let state = self.lock_shard(shard);
+        self.shard_hash_locked(&state, shard)
+    }
+
+    /// All per-shard content hashes, read with every shard lock held
+    /// (like [`snapshot`](Self::snapshot)) so the vector is consistent
+    /// even while other threads publish.
+    pub fn shard_hashes(&self) -> Vec<u64> {
+        let guards: Vec<MutexGuard<'_, ShardState>> =
+            (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
+        guards
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| self.shard_hash_locked(state, shard))
+            .collect()
+    }
+
+    fn shard_hash_locked(&self, state: &ShardState, shard: usize) -> u64 {
+        // positions[shard] ascends by construction (design order), so
+        // slot order is ascending position order.
+        let points: Vec<(usize, OperatingPoint<K>)> = (0..self.layout.positions[shard].len())
+            .map(|slot| {
+                (
+                    self.layout.positions[shard][slot],
+                    self.effective_point(state, shard, slot),
+                )
+            })
+            .collect();
+        shard_content_hash(points.iter().map(|(pos, point)| (*pos, point)))
+    }
+
+    /// Epoch, per-shard epoch vector and effective knowledge read with
+    /// all shard locks held — the consistent triple a full-state
+    /// snapshot is cut from. Shard epochs only advance under their
+    /// shard's state lock, so the vector cannot move mid-read.
+    pub fn versioned_snapshot(&self) -> (u64, Vec<u64>, Knowledge<K>) {
+        let guards: Vec<MutexGuard<'_, ShardState>> =
+            (0..self.shards.len()).map(|s| self.lock_shard(s)).collect();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let shard_epochs: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.epoch.load(Ordering::Acquire))
+            .collect();
+        let total = self.layout.design.len();
+        let mut points: Vec<Option<OperatingPoint<K>>> = vec![None; total];
+        for (shard, state) in guards.iter().enumerate() {
+            for slot in 0..self.layout.positions[shard].len() {
+                let pos = self.layout.positions[shard][slot];
+                points[pos] = Some(self.effective_point(state, shard, slot));
+            }
+        }
+        let knowledge = points
+            .into_iter()
+            .map(|p| p.expect("every position is covered by exactly one shard"))
+            .collect();
+        (epoch, shard_epochs, knowledge)
     }
 
     /// Number of operating points whose runtime observations have
@@ -1094,6 +1226,81 @@ mod tests {
             Some(60.0),
             "the carried observation still counts toward the window mean"
         );
+    }
+
+    #[test]
+    fn shard_hashes_match_an_external_reconstruction() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(3);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        shared.publish(&2, &MetricValues::new().with(Metric::exec_time(), 0.5));
+        // Rebuild the per-shard point groups from the effective
+        // knowledge alone, exactly as a decoded snapshot would.
+        let (_, k) = shared.snapshot();
+        let shards = shared.shard_count();
+        let mut groups: Vec<Vec<(usize, OperatingPoint<u32>)>> = vec![Vec::new(); shards];
+        for (pos, point) in k.points().iter().enumerate() {
+            groups[shard_index(&point.config, shards)].push((pos, point.clone()));
+        }
+        for (s, group) in groups.iter().enumerate() {
+            assert_eq!(
+                shared.shard_hash(s),
+                shard_content_hash(group.iter().map(|(pos, p)| (*pos, p))),
+                "shard {s}"
+            );
+        }
+        assert_eq!(
+            shared.shard_hashes(),
+            (0..shards)
+                .map(|s| shared.shard_hash(s))
+                .collect::<Vec<_>>()
+        );
+        // Hashes are content hashes: diverging one point changes
+        // exactly that point's shard.
+        let before = shared.shard_hashes();
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 90.0));
+        let after = shared.shard_hashes();
+        let s1 = shared.shard_of(&1).unwrap();
+        for s in 0..shards {
+            if s == s1 {
+                assert_ne!(before[s], after[s]);
+            } else {
+                assert_eq!(before[s], after[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn versioned_snapshot_is_consistent() {
+        let shared = SharedKnowledge::new(design(), 4).with_shards(3);
+        shared.publish(&1, &MetricValues::new().with(Metric::power(), 60.0));
+        let (epoch, shard_epochs, k) = shared.versioned_snapshot();
+        assert_eq!(epoch, shared.epoch());
+        assert_eq!(k, shared.knowledge());
+        assert_eq!(shard_epochs.len(), shared.shard_count());
+        for (s, e) in shard_epochs.iter().enumerate() {
+            assert_eq!(*e, shared.shard_epoch(s));
+        }
+    }
+
+    #[test]
+    fn fork_preserves_the_dropped_observation_count() {
+        // Regression: a fork (the replica checkpoint primitive) must
+        // carry the drop counter — checkpoint rollback would otherwise
+        // silently reset it.
+        let shared = SharedKnowledge::new(design(), 4).with_shards(3);
+        let nan = MetricValues::from_unvalidated([(Metric::power(), f64::NAN)]);
+        shared.publish(&1, &nan);
+        shared.publish(&2, &nan);
+        assert_eq!(shared.dropped_observations(), 2);
+        let fork = shared.fork();
+        assert_eq!(fork.dropped_observations(), 2, "fork keeps the count");
+        fork.publish(&1, &nan);
+        assert_eq!(fork.dropped_observations(), 3);
+        assert_eq!(shared.dropped_observations(), 2, "forks are independent");
+        // Resharding (epoch still 0: NaN publishes never bump it) must
+        // also carry the counter through the rebuild.
+        let resharded = shared.with_shards(2);
+        assert_eq!(resharded.dropped_observations(), 2);
     }
 
     #[test]

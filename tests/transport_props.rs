@@ -11,9 +11,10 @@
 //! schedule — loss, latency, duplication, topology, churn — from the
 //! proptest-generated parameters, so failures replay deterministically.
 
-use margot::{Knowledge, Rank, SharedKnowledge};
+use margot::{Knowledge, MetricValues, Rank, SharedKnowledge};
 use polybench::{App, Dataset};
 use proptest::prelude::*;
+use socrates::transport::{Observation, Replica};
 use socrates::{
     DistTopology, DistributedConfig, DistributedFleet, EnhancedApp, FleetConfig, LinkConfig,
     Toolchain,
@@ -195,5 +196,89 @@ proptest! {
             "the late joiner must land exactly on the reference fold"
         );
         prop_assert_eq!(fleet.epoch_vector(late), fleet.epoch_vector(0));
+    }
+
+    /// The replica's checkpointed fold is a pure function of the
+    /// *set* of logged observations (plus design knowledge and warm
+    /// seed): any arrival order — including orders that roll the fold
+    /// back to a checkpoint or force full refolds — lands on exactly
+    /// the canonical in-order fold, knowledge and epoch vector alike.
+    /// Re-delivering observations that checkpoints already cover must
+    /// be a no-op: no pending work, no extra rollback.
+    #[test]
+    fn replica_fold_is_arrival_order_independent(
+        seed in any::<u64>(),
+        warm in any::<bool>(),
+        fold_stride in 1usize..7,
+    ) {
+        let design = enhanced().knowledge.clone();
+        let configs = design.points();
+        // 64 deterministic observations (4 origins × 16 rounds): well
+        // past CHECKPOINT_EVERY, so rollbacks have checkpoints to hit.
+        let ops: Vec<Observation> = (0..16u64)
+            .flat_map(|round| (0..4u32).map(move |origin| (round, origin)))
+            .map(|(round, origin)| {
+                let p = &configs[(round as usize * 7 + origin as usize) % configs.len()];
+                Observation {
+                    origin,
+                    seq: round,
+                    round,
+                    config: p.config.clone(),
+                    observed: MetricValues::from_execution(
+                        0.05 + (round as f64).mul_add(0.003, origin as f64 * 0.011),
+                        60.0 + round as f64,
+                    ),
+                }
+            })
+            .collect();
+        let build = || {
+            let replica = Replica::new(design.clone(), 4, 1, 4);
+            if warm {
+                let seed_knowledge: Knowledge<platform_sim::KnobConfig> =
+                    configs.iter().take(10).cloned().collect();
+                replica.with_warm_seed(seed_knowledge, 3)
+            } else {
+                replica
+            }
+        };
+
+        // Reference: canonical (round, origin) order, one fold.
+        let mut reference = build();
+        for op in &ops {
+            prop_assert!(reference.insert(op.clone()));
+        }
+        reference.fold_pending();
+
+        // Shuffled arrival with interleaved folds and duplicates.
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|i| {
+            (seed ^ (*i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+        });
+        let mut replica = build();
+        for (n, &i) in order.iter().enumerate() {
+            prop_assert!(replica.insert(ops[i].clone()));
+            if n % 5 == 4 {
+                // Duplicate of an earlier delivery merges idempotently.
+                prop_assert!(!replica.insert(ops[order[n / 2]].clone()));
+            }
+            if n % fold_stride == 0 {
+                replica.fold_pending();
+            }
+        }
+        replica.fold_pending();
+
+        // Re-deliver the whole checkpointed prefix once more: every
+        // insert is a duplicate, nothing becomes pending, and no
+        // rollback is charged.
+        let refolds_before = replica.refolds();
+        for op in ops.iter().take(ops.len() / 2) {
+            prop_assert!(!replica.insert(op.clone()));
+        }
+        prop_assert!(!replica.pending(), "duplicates must not dirty the fold");
+        prop_assert_eq!(replica.refolds(), refolds_before);
+
+        prop_assert_eq!(replica.knowledge(), reference.knowledge());
+        prop_assert_eq!(replica.shard_epochs(), reference.shard_epochs());
+        prop_assert_eq!(replica.epoch(), reference.epoch());
     }
 }

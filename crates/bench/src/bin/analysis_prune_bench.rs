@@ -1,0 +1,257 @@
+//! Analysis-driven DSE pruning: how much of the SOCRATES configuration
+//! space the static analyzer removes before a single profile run is
+//! paid for, and what the analysis itself costs.
+//!
+//! For every Polybench app the bench (1) runs the static analyzer over
+//! the weaved kernel once per candidate thread count (through the
+//! [`socrates::ArtifactStore`] analysis cache, so a fleet would pay
+//! this exactly once), (2) derives the static workload — the analyzer's
+//! flop/load/store counters, extrapolated to the *real* dataset scale
+//! through the symbolic cost polynomials where the kernel admits them
+//! ([`socrates::full_scale_spec`]) — and (3) prunes the full-factorial
+//! design space with [`dse::DesignSpace::pruned_factorial`]:
+//! analyzer-unsafe specializations are infeasible, and feasible points
+//! strictly Pareto-dominated on the deterministic `(time, power)`
+//! expectation are skipped.
+//!
+//! Everything here is deterministic (the analyzer is exact on these
+//! kernels and [`platform_sim::Machine::expected`] is noise-free), so
+//! the committed baseline in `results/analysis_prune.json` pins the
+//! per-app prune *counts* bit-exactly; only the wall-clock column is
+//! machine-dependent and exempt from the gate.
+//!
+//! Run with `cargo run -p socrates-bench --bin analysis_prune_bench
+//! --release` (`--smoke --check` is the CI configuration: a 4-app
+//! subset checked against the committed full baseline, written to
+//! `results/analysis_prune_smoke.json` so the baseline is never
+//! clobbered).
+
+use platform_sim::KnobConfig;
+use polybench::App;
+use serde::{Deserialize, Serialize};
+use socrates::{full_scale_spec, ArtifactStore, Toolchain};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The CI smoke subset: two cost-exact kernels, one stencil, and one
+/// data-dependent kernel (Correlation — no cost polynomial, so the
+/// fallback path stays covered).
+const SMOKE_APPS: [App; 4] = [App::TwoMm, App::Mvt, App::Jacobi2d, App::Correlation];
+
+/// One app's pruning outcome.
+#[derive(Serialize, Deserialize)]
+struct PruneRow {
+    app: String,
+    dataset: String,
+    /// Full-factorial space size before pruning.
+    space: usize,
+    /// Configurations surviving the prune (what the fleet sweeps).
+    kept: usize,
+    /// Analyzer-rejected (unsafe) specializations.
+    infeasible: usize,
+    /// Statically Pareto-dominated points.
+    dominated: usize,
+    /// `(infeasible + dominated) / space`.
+    prune_ratio: f64,
+    /// Whether the symbolic cost model is exact for this kernel (the
+    /// static workload then extrapolates to the full dataset scale).
+    cost_exact: bool,
+    /// Static flop count backing the expectation (full-scale where the
+    /// cost model allows, functional-scale otherwise).
+    static_flops: u64,
+    /// Static DRAM traffic backing the expectation (8 bytes per
+    /// counted load/store).
+    static_bytes: u64,
+    /// Wall-clock of the analyses + prune for this app, milliseconds.
+    /// Machine-dependent; not gated.
+    analysis_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PruneSummary {
+    apps: usize,
+    mean_prune_ratio: f64,
+    total_analysis_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct PruneBenchReport {
+    rows: Vec<PruneRow>,
+    summary: PruneSummary,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    let apps: Vec<App> = if smoke {
+        SMOKE_APPS.to_vec()
+    } else {
+        App::ALL.to_vec()
+    };
+    let toolchain = Toolchain {
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    };
+    let store = ArtifactStore::new();
+    let thread_counts: Vec<u32> = (1..=toolchain.platform.topology.logical_cpus()).collect();
+
+    println!(
+        "Static analysis-driven DSE pruning — {} dataset, {} thread counts\n",
+        format!("{:?}", toolchain.dataset).to_lowercase(),
+        thread_counts.len()
+    );
+    println!(
+        "{:>12} {:>6} {:>6} {:>11} {:>10} {:>7} {:>11} {:>13}",
+        "app", "space", "kept", "infeasible", "dominated", "ratio", "cost", "analysis [ms]"
+    );
+
+    let mut rows = Vec::new();
+    for &app in &apps {
+        let started = Instant::now();
+        // One analysis per candidate thread count, through the store's
+        // cache (the same reports a pruning fleet would reuse).
+        let mut reports: HashMap<u32, Arc<minivm::AnalysisReport>> = HashMap::new();
+        for &tn in &thread_counts {
+            let report = store
+                .analysis(&toolchain, app, tn)
+                .unwrap_or_else(|e| panic!("{e}"));
+            reports.insert(tn, report);
+        }
+        let base = &reports[&1];
+        // Static workload: analyzer counters, extrapolated to the real
+        // dataset dimensions through the cost polynomials when exact.
+        let (flops, loads, stores) = base
+            .cost
+            .as_ref()
+            .and_then(|c| c.eval_at(&full_scale_spec(app, toolchain.dataset, 1)))
+            .unwrap_or((base.flops, base.loads, base.stores));
+        let static_bytes = (loads + stores).saturating_mul(8);
+        let mut workload = app.profile(toolchain.dataset);
+        workload.name = format!("{}-static", app.name());
+        workload.flops = flops as f64;
+        workload.bytes = static_bytes as f64;
+
+        let predictions = store
+            .flag_predictions(&toolchain, app)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let space =
+            dse::DesignSpace::socrates(predictions.flags.clone(), &toolchain.platform.topology);
+        let machine = toolchain.platform.machine(0);
+        let pruned = space.pruned_factorial(
+            |cfg: &KnobConfig| reports[&cfg.tn].is_safe(),
+            |cfg: &KnobConfig| {
+                let e = machine.expected(&workload, cfg);
+                (e.time_s, e.power_w)
+            },
+        );
+        let analysis_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let row = PruneRow {
+            app: app.name().to_string(),
+            dataset: format!("{:?}", toolchain.dataset).to_lowercase(),
+            space: space.size(),
+            kept: pruned.kept.len(),
+            infeasible: pruned.infeasible,
+            dominated: pruned.dominated,
+            prune_ratio: pruned.prune_ratio(),
+            cost_exact: base.cost.as_ref().is_some_and(|c| c.exact),
+            static_flops: flops,
+            static_bytes,
+            analysis_ms,
+        };
+        println!(
+            "{:>12} {:>6} {:>6} {:>11} {:>10} {:>6.1}% {:>11} {:>13.1}",
+            row.app,
+            row.space,
+            row.kept,
+            row.infeasible,
+            row.dominated,
+            row.prune_ratio * 100.0,
+            if row.cost_exact { "exact" } else { "fallback" },
+            row.analysis_ms
+        );
+        rows.push(row);
+    }
+
+    let mean_prune_ratio = rows.iter().map(|r| r.prune_ratio).sum::<f64>() / rows.len() as f64;
+    let total_analysis_ms = rows.iter().map(|r| r.analysis_ms).sum::<f64>();
+    println!(
+        "\nmean prune ratio {:.1}% — {:.0} ms of analysis replaces {} profile points",
+        mean_prune_ratio * 100.0,
+        total_analysis_ms,
+        rows.iter()
+            .map(|r| r.infeasible + r.dominated)
+            .sum::<usize>()
+    );
+    let report = PruneBenchReport {
+        rows,
+        summary: PruneSummary {
+            apps: apps.len(),
+            mean_prune_ratio,
+            total_analysis_ms,
+        },
+    };
+    // The smoke configuration never overwrites the committed baseline
+    // it is compared against.
+    let name = if smoke {
+        "analysis_prune_smoke"
+    } else {
+        "analysis_prune"
+    };
+    socrates_bench::write_json(name, &report);
+    if check {
+        check_against_baseline(&report);
+    }
+}
+
+/// Compares the run against the committed `results/analysis_prune.json`
+/// and exits nonzero on divergence (the CI gate). The prune *counts*
+/// are deterministic — analyzer verdicts, cost polynomials and the
+/// noise-free platform expectation — so the gate demands bit-exact
+/// agreement per app and tolerates no drift; only the wall-clock
+/// column is machine-dependent and exempt.
+fn check_against_baseline(report: &PruneBenchReport) {
+    let path = socrates_bench::results_dir().join("analysis_prune.json");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no committed baseline at {}: {e}", path.display()));
+    let baseline: PruneBenchReport =
+        serde_json::from_str(&json).expect("committed baseline parses as PruneBenchReport");
+    println!("regression check against {}:", path.display());
+    let mut failures = 0usize;
+    for row in &report.rows {
+        let Some(b) = baseline.rows.iter().find(|b| b.app == row.app) else {
+            println!("  {:>12}: MISSING from the committed baseline", row.app);
+            failures += 1;
+            continue;
+        };
+        let same = (row.space, row.kept, row.infeasible, row.dominated)
+            == (b.space, b.kept, b.infeasible, b.dominated)
+            && row.cost_exact == b.cost_exact
+            && row.static_flops == b.static_flops
+            && row.static_bytes == b.static_bytes;
+        if same {
+            println!(
+                "  {:>12}: ok ({:.1}% pruned)",
+                row.app,
+                row.prune_ratio * 100.0
+            );
+        } else {
+            println!(
+                "  {:>12}: DIVERGED — measured kept/inf/dom {}/{}/{} vs baseline {}/{}/{}",
+                row.app, row.kept, row.infeasible, row.dominated, b.kept, b.infeasible, b.dominated
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("analysis_prune_bench: {failures} app(s) diverged from the baseline");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} app(s) match the committed baseline",
+        report.rows.len()
+    );
+}

@@ -139,6 +139,11 @@ pub struct StoreStats {
     pub kernel_builds: u64,
     /// Compiled-kernel lookups answered from cache.
     pub kernel_hits: u64,
+    /// Static kernel analyses (one per `(app, dataset, config,
+    /// threads)`, mirroring the compiled-kernel keying).
+    pub analysis_builds: u64,
+    /// Analysis-report lookups answered from cache.
+    pub analysis_hits: u64,
 }
 
 impl StoreStats {
@@ -152,6 +157,7 @@ impl StoreStats {
             + self.weave_builds
             + self.knowledge_builds
             + self.kernel_builds
+            + self.analysis_builds
     }
 }
 
@@ -169,6 +175,9 @@ struct Counters {
     kernel: AtomicU64,
     kernel_hits: AtomicU64,
     kernel_compile_ns: AtomicU64,
+    analysis: AtomicU64,
+    analysis_hits: AtomicU64,
+    analysis_ns: AtomicU64,
 }
 
 /// Thread-safe cache of stage artifacts, shared across the targets of a
@@ -192,6 +201,7 @@ pub struct ArtifactStore {
     weaved: Mutex<HashMap<ArtifactKey, Arc<WeavedProgram>>>,
     knowledge: Mutex<HashMap<ArtifactKey, Arc<ProfiledKnowledge>>>,
     kernels: Mutex<HashMap<(ArtifactKey, u32), Arc<CompiledKernel>>>,
+    analyses: Mutex<HashMap<(ArtifactKey, u32), Arc<minivm::AnalysisReport>>>,
     counters: Counters,
 }
 
@@ -241,6 +251,8 @@ impl ArtifactStore {
             knowledge_loads: get(&c.knowledge_loads),
             kernel_builds: get(&c.kernel),
             kernel_hits: get(&c.kernel_hits),
+            analysis_builds: get(&c.analysis),
+            analysis_hits: get(&c.analysis_hits),
         }
     }
 
@@ -248,6 +260,12 @@ impl ArtifactStore {
     /// [`StoreStats`] so stats snapshots stay comparable with `==`).
     pub fn kernel_compile_ns(&self) -> u64 {
         self.counters.kernel_compile_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds spent in static kernel analysis
+    /// (same convention as [`ArtifactStore::kernel_compile_ns`]).
+    pub fn analysis_ns(&self) -> u64 {
+        self.counters.analysis_ns.load(Ordering::Relaxed)
     }
 
     fn key(&self, toolchain: &Toolchain, app: App) -> ArtifactKey {
@@ -608,6 +626,75 @@ impl ArtifactStore {
         )
     }
 
+    /// The static [`minivm::AnalysisReport`] for `app`'s weaved kernel
+    /// under the functional spec for a given thread count — the same
+    /// `(app, dataset, config fingerprint, threads)` keying as
+    /// [`ArtifactStore::compiled_kernel`], so a DSE sweep or fleet that
+    /// revisits a configuration analyzes once and hits the cache after.
+    ///
+    /// # Errors
+    ///
+    /// Propagates upstream errors. A *rejected* kernel is not an error
+    /// here: the verdict travels inside the report (gate with
+    /// [`crate::engine::ensure_safe`] or use
+    /// [`ArtifactStore::verified_kernel`]).
+    pub fn analysis(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        threads: u32,
+    ) -> Result<Arc<minivm::AnalysisReport>, SocratesError> {
+        let key = (self.key(toolchain, app), threads);
+        get_or_build(
+            &self.analyses,
+            &self.counters.analysis_hits,
+            &self.counters.analysis,
+            key,
+            || {
+                let weaved = self.weaved(toolchain, app)?;
+                let entry = weaved
+                    .multiversioned
+                    .version_functions
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| app.kernel_name());
+                let report = crate::engine::analyze_kernel_for(
+                    &weaved.weaved,
+                    &entry,
+                    app,
+                    toolchain.dataset,
+                    threads,
+                )?;
+                self.counters
+                    .analysis_ns
+                    .fetch_add(report.analysis_ns, Ordering::Relaxed);
+                Ok(report)
+            },
+        )
+    }
+
+    /// [`ArtifactStore::compiled_kernel`] behind the analysis gate: the
+    /// kernel is statically analyzed first and only lowered if the
+    /// analyzer certifies it safe, so an unsafe kernel never reaches
+    /// the VM.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`StageId::Analyze`](crate::StageId::Analyze) error
+    /// carrying the rendered diagnostics when the verdict is not
+    /// [`minivm::Verdict::Safe`]; otherwise propagates
+    /// [`ArtifactStore::compiled_kernel`] errors.
+    pub fn verified_kernel(
+        &self,
+        toolchain: &Toolchain,
+        app: App,
+        threads: u32,
+    ) -> Result<Arc<CompiledKernel>, SocratesError> {
+        let report = self.analysis(toolchain, app, threads)?;
+        crate::engine::ensure_safe(app, &report)?;
+        self.compiled_kernel(toolchain, app, threads)
+    }
+
     /// Builds the corpus entries (and their parse/feature inputs) for
     /// every application in `universe`, in parallel. Called by
     /// [`crate::Toolchain::enhance_all`] before fanning targets out so
@@ -861,6 +948,47 @@ mod tests {
         assert!(d.code.is_none());
         assert_eq!(d.report, a.report, "engines must be bit-identical");
         assert_eq!(store.stats().kernel_builds, 3);
+    }
+
+    #[test]
+    fn analysis_reports_cache_like_compiled_kernels() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let a = store.analysis(&tc, App::TwoMm, 1).unwrap();
+        let b = store.analysis(&tc, App::TwoMm, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must be the cached Arc");
+        let c = store.analysis(&tc, App::TwoMm, 8).unwrap();
+        assert!(a.is_safe() && c.is_safe());
+        // Counters are thread-invariant: the two specs analyze to the
+        // same exact event counts.
+        assert_eq!((a.flops, a.loads, a.stores), (c.flops, c.loads, c.stores));
+        let stats = store.stats();
+        assert_eq!(stats.analysis_builds, 2);
+        assert_eq!(stats.analysis_hits, 1);
+        assert!(store.analysis_ns() > 0);
+    }
+
+    #[test]
+    fn verified_kernels_agree_with_the_analysis() {
+        let tc = quick_toolchain();
+        let store = ArtifactStore::new();
+        let kernel = store.verified_kernel(&tc, App::Mvt, 4).unwrap();
+        let analysis = store.analysis(&tc, App::Mvt, 4).unwrap();
+        assert!(analysis.counts_exact);
+        assert_eq!(
+            (analysis.flops, analysis.loads, analysis.stores),
+            (
+                kernel.report.flops,
+                kernel.report.loads,
+                kernel.report.stores
+            ),
+            "static counters must equal the executed report"
+        );
+        // The gate reused the cached analysis: one build, one hit.
+        let stats = store.stats();
+        assert_eq!(stats.analysis_builds, 1);
+        assert_eq!(stats.analysis_hits, 1);
+        assert_eq!(stats.kernel_builds, 1);
     }
 
     #[test]

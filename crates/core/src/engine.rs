@@ -34,8 +34,10 @@
 use crate::error::SocratesError;
 use minic::TranslationUnit;
 use minivm::{ExecutionReport, SpecConfig};
+use platform_sim::KnobConfig;
 use polybench::{App, Dataset, KernelArg};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -156,6 +158,145 @@ impl CompiledKernel {
 
 fn lower_error(app: App, source: minivm::EngineError) -> SocratesError {
     SocratesError::lower(app, source)
+}
+
+/// Statically analyzes one weaved clone of `app` under `spec`:
+/// interval and initialization abstract interpretation over the typed
+/// IR plus the symbolic cost model (see [`minivm::analyze`]).
+///
+/// This is a *query* — an unsafe kernel comes back as a report with a
+/// non-[`Safe`](minivm::Verdict::Safe) verdict, not as an error. Use
+/// [`ensure_safe`] to turn a rejection into the
+/// [`StageId::Analyze`](crate::StageId::Analyze)-tagged pipeline error.
+///
+/// # Errors
+///
+/// Fails only where [`compile_kernel`] would: invalid programs and
+/// unbound spec parameters, tagged as lowering errors.
+pub fn analyze_kernel(
+    tu: &TranslationUnit,
+    entry: &str,
+    app: App,
+    spec: &SpecConfig,
+) -> Result<minivm::AnalysisReport, SocratesError> {
+    minivm::analyze(tu, entry, spec).map_err(|e| lower_error(app, e))
+}
+
+/// [`analyze_kernel`] over the canonical functional spec for
+/// `(app, ds, threads)` — the spec under which the kernel would execute.
+pub fn analyze_kernel_for(
+    tu: &TranslationUnit,
+    entry: &str,
+    app: App,
+    ds: Dataset,
+    threads: u32,
+) -> Result<minivm::AnalysisReport, SocratesError> {
+    analyze_kernel(tu, entry, app, &functional_spec(app, ds, threads))
+}
+
+/// Gate: turns a non-safe [`minivm::AnalysisReport`] into the
+/// [`StageId::Analyze`](crate::StageId::Analyze)-tagged rejection that
+/// stops a kernel from reaching the VM.
+///
+/// # Errors
+///
+/// Fails iff the report's verdict is not [`minivm::Verdict::Safe`]; the
+/// error carries the verdict and every rendered diagnostic.
+pub fn ensure_safe(app: App, report: &minivm::AnalysisReport) -> Result<(), SocratesError> {
+    if report.is_safe() {
+        return Ok(());
+    }
+    Err(SocratesError::analyze(
+        app,
+        format!(
+            "verdict {:?}\n{}",
+            report.verdict,
+            report.render_diagnostics().trim_end()
+        ),
+    ))
+}
+
+/// The *paper-scale* spec for `(app, ds, threads)`: identical to
+/// [`functional_spec`] but with the dataset's real (unclamped) array
+/// dimensions. Kernels are never executed at this scale — it exists so
+/// the analyzer's symbolic cost polynomials can be *evaluated* at the
+/// true deployment size ([`minivm::CostModel::eval_at`]), which is what
+/// lets the static DSE pruning reason about the full-dataset workload
+/// without paying a full-dataset run.
+pub fn full_scale_spec(app: App, ds: Dataset, threads: u32) -> SpecConfig {
+    let dims = app.dims(ds);
+    let mut spec = SpecConfig::new().bind(lara::THREADS_VAR, i64::from(threads));
+    for &(name, v) in &dims {
+        spec.set(name, v as i64);
+    }
+    for arg in app.kernel_args(&dims) {
+        spec = match arg {
+            KernelArg::Int(v) => spec.arg(v),
+            KernelArg::Double(v) => spec.arg(v),
+        };
+    }
+    spec
+}
+
+/// Analysis-driven DSE pruning for an enhanced application: drops
+/// configurations whose specialization the static analyzer rejects as
+/// unsafe, and feasible points that are statically dominated on the
+/// platform expectation over the analyzer-derived workload (see
+/// [`dse::prune_space`]).
+///
+/// The static workload starts from the design profile and replaces its
+/// compute/traffic totals with the analyzer's counters — extrapolated
+/// to the real dataset scale through the symbolic cost polynomials
+/// where the kernel admits them ([`full_scale_spec`]), falling back to
+/// the exact functional-scale counters, and, if analysis fails
+/// entirely, leaving the design profile untouched. Feasibility is
+/// queried once per distinct thread count; an analysis *error* (as
+/// opposed to an unsafe verdict) never prunes — such configurations
+/// surface their failure through the normal compile path instead.
+pub fn analysis_prune(
+    enhanced: &crate::EnhancedApp,
+    configs: Vec<KnobConfig>,
+) -> dse::PruneReport<KnobConfig> {
+    let entry = enhanced
+        .multiversioned
+        .version_functions
+        .first()
+        .cloned()
+        .unwrap_or_else(|| enhanced.app.kernel_name());
+    let (app, ds) = (enhanced.app, enhanced.dataset);
+    let base = analyze_kernel_for(&enhanced.weaved, &entry, app, ds, 1).ok();
+    let mut workload = enhanced.profile.clone();
+    if let Some(r) = &base {
+        let (flops, loads, stores) = r
+            .cost
+            .as_ref()
+            .and_then(|c| c.eval_at(&full_scale_spec(app, ds, 1)))
+            .unwrap_or((r.flops, r.loads, r.stores));
+        let bytes = (loads + stores).saturating_mul(8);
+        if flops > 0 || bytes > 0 {
+            workload.name = format!("{}-static", app.name());
+            workload.flops = flops as f64;
+            workload.bytes = bytes as f64;
+        }
+    }
+    let machine = enhanced.platform.machine(0);
+    let mut safe_for: HashMap<u32, bool> = HashMap::new();
+    if let Some(r) = &base {
+        safe_for.insert(1, r.is_safe());
+    }
+    dse::prune_space(
+        configs,
+        |cfg| {
+            *safe_for.entry(cfg.tn).or_insert_with(|| {
+                analyze_kernel_for(&enhanced.weaved, &entry, app, ds, cfg.tn)
+                    .map_or(true, |r| r.is_safe())
+            })
+        },
+        |cfg| {
+            let e = machine.expected(&workload, cfg);
+            (e.time_s, e.power_w)
+        },
+    )
 }
 
 /// Lowers (or reference-interprets) one weaved clone of `app` under
@@ -314,5 +455,30 @@ mod tests {
             assert!(text.starts_with("[lower] syrk:"), "got: {text}");
             assert!(text.contains(lara::THREADS_VAR), "got: {text}");
         }
+    }
+
+    #[test]
+    fn cost_polynomials_extrapolate_to_the_full_dataset_scale() {
+        let app = App::Mvt;
+        let (weaved, entry) = weaved_clone(app);
+        let report = analyze_kernel_for(&weaved, &entry, app, Dataset::Large, 1).unwrap();
+        assert!(report.is_safe());
+        assert!(report.counts_exact);
+        let cost = report.cost.as_ref().expect("mvt admits a cost model");
+        assert!(cost.exact);
+        // The polynomials reproduce the functional-scale counters…
+        assert_eq!(
+            cost.eval_at(&functional_spec(app, Dataset::Large, 1)),
+            Some((report.flops, report.loads, report.stores))
+        );
+        // …and evaluate at the real (unclamped) dataset dimensions the
+        // kernel is never actually executed at.
+        let (flops, loads, stores) = cost
+            .eval_at(&full_scale_spec(app, Dataset::Large, 1))
+            .expect("full-scale evaluation");
+        assert!(
+            flops > report.flops && loads > report.loads && stores > report.stores,
+            "Large dims exceed the functional cap, so every counter must grow"
+        );
     }
 }

@@ -30,6 +30,8 @@ pub enum StageId {
     Predict,
     /// LARA weaving (multiversioning + autotuner).
     Weave,
+    /// Static kernel analysis (safety verification over the typed IR).
+    Analyze,
     /// Kernel lowering/compilation (minivm typed IR → bytecode).
     Lower,
     /// DSE profiling on the platform model.
@@ -53,6 +55,7 @@ impl StageId {
             StageId::Features => "features",
             StageId::Predict => "predict",
             StageId::Weave => "weave",
+            StageId::Analyze => "analyze",
             StageId::Lower => "lower",
             StageId::Profile => "profile",
             StageId::Persist => "persist",
@@ -100,6 +103,15 @@ pub enum SocratesError {
         app: String,
         /// Underlying weaver diagnostic.
         source: lara::WeaveError,
+    },
+    /// The static analyzer refused to certify a kernel as safe for the
+    /// requested configuration: it found a definite fault (or could not
+    /// prove the absence of one), so the kernel never reaches the VM.
+    Analyze {
+        /// Application whose kernel was rejected.
+        app: String,
+        /// The analyzer's verdict and rendered diagnostics.
+        what: String,
     },
     /// Lowering a weaved kernel to the execution engine failed (e.g. a
     /// pragma parameter referenced by the kernel is not bound in the
@@ -162,6 +174,7 @@ impl SocratesError {
             SocratesError::Features { .. } => StageId::Features,
             SocratesError::Train { .. } => StageId::Predict,
             SocratesError::Weave { .. } => StageId::Weave,
+            SocratesError::Analyze { .. } => StageId::Analyze,
             SocratesError::Lower { .. } => StageId::Lower,
             SocratesError::Io { .. } | SocratesError::Format { .. } => StageId::Persist,
             SocratesError::UnknownVersion { .. } => StageId::Dispatch,
@@ -199,6 +212,15 @@ impl SocratesError {
         SocratesError::Weave {
             app: app.name().to_string(),
             source,
+        }
+    }
+
+    /// Builds an analysis-stage rejection for `app`; `what` carries the
+    /// verdict and rendered diagnostics.
+    pub fn analyze(app: App, what: impl Into<String>) -> Self {
+        SocratesError::Analyze {
+            app: app.name().to_string(),
+            what: what.into(),
         }
     }
 
@@ -268,6 +290,9 @@ impl fmt::Display for SocratesError {
             SocratesError::Weave { app, source } => {
                 write!(f, "{app}: weaving failed: {source}")
             }
+            SocratesError::Analyze { app, what } => {
+                write!(f, "{app}: static analysis rejected kernel: {what}")
+            }
             SocratesError::Lower { app, source } => {
                 write!(f, "{app}: kernel lowering failed: {source}")
             }
@@ -300,7 +325,8 @@ impl std::error::Error for SocratesError {
             SocratesError::Lower { source, .. } => Some(source),
             SocratesError::Io { source, .. } => Some(source),
             SocratesError::Format { source, .. } => Some(source),
-            SocratesError::UnknownVersion { .. }
+            SocratesError::Analyze { .. }
+            | SocratesError::UnknownVersion { .. }
             | SocratesError::InvalidConfig { .. }
             | SocratesError::Transport { .. } => None,
         }
@@ -363,12 +389,24 @@ mod tests {
     }
 
     #[test]
+    fn analyze_rejections_carry_the_diagnostics() {
+        let e = SocratesError::analyze(
+            App::Doitgen,
+            "Unsafe\nerror[out-of-bounds]: index 8 out of bounds (len 8)",
+        );
+        assert_eq!(e.stage(), StageId::Analyze);
+        assert!(e.to_string().starts_with("[analyze] doitgen:"));
+        assert!(e.to_string().contains("out-of-bounds"));
+    }
+
+    #[test]
     fn every_stage_has_a_distinct_label() {
         let stages = [
             StageId::Parse,
             StageId::Features,
             StageId::Predict,
             StageId::Weave,
+            StageId::Analyze,
             StageId::Lower,
             StageId::Profile,
             StageId::Persist,

@@ -140,6 +140,18 @@ pub struct FleetConfig {
     /// their step. The default is the bytecode backend; the AST
     /// interpreter is the bit-identical reference.
     pub engine: ExecutionEngine,
+    /// Prune each pool's cooperative exploration schedule with the
+    /// static analyzer before the sweep starts
+    /// ([`crate::analysis_prune`]): configurations whose specialization
+    /// the analyzer rejects as unsafe are dropped, and feasible points
+    /// that are strictly Pareto-dominated on the static `(time, power)`
+    /// expectation (over the analyzer's cost counters, extrapolated to
+    /// the full dataset scale) are skipped. The shared *knowledge*
+    /// keeps every design-time point — pruning only shrinks what the
+    /// fleet spends exploration slots on, so the AS-RTM can still
+    /// select any profiled configuration. Off by default (the
+    /// full-sweep reference).
+    pub analysis_prune: bool,
     /// A shipped knowledge snapshot to warm-start every pool from
     /// ([`KnowledgeSnapshot`], typically loaded via
     /// [`crate::ArtifactStore::warm_start_snapshot`]). The snapshot's
@@ -170,6 +182,7 @@ impl Default for FleetConfig {
             power_budget_w: None,
             parallel_step: true,
             engine: ExecutionEngine::default(),
+            analysis_prune: false,
             warm_start: None,
             distributed: None,
         }
@@ -326,6 +339,11 @@ struct Pool {
     kernels: HashMap<u32, Option<Arc<CompiledKernel>>>,
     kernel_builds: u64,
     kernel_cache_hits: u64,
+    /// Configurations the static analyzer removed from this pool's
+    /// exploration schedule at creation (0 unless
+    /// [`FleetConfig::analysis_prune`] is on).
+    pruned_infeasible: u64,
+    pruned_dominated: u64,
 }
 
 impl Pool {
@@ -446,6 +464,12 @@ pub struct FleetStats {
     pub kernel_builds: u64,
     /// Barrier-time kernel lookups satisfied by the pool cache.
     pub kernel_cache_hits: u64,
+    /// Configurations dropped from the pools' exploration schedules as
+    /// statically infeasible (0 unless [`FleetConfig::analysis_prune`]).
+    pub schedule_pruned_infeasible: u64,
+    /// Configurations skipped as statically Pareto-dominated (0 unless
+    /// [`FleetConfig::analysis_prune`]).
+    pub schedule_pruned_dominated: u64,
 }
 
 /// A fleet of concurrently stepping adaptive-application instances
@@ -556,6 +580,10 @@ impl Fleet {
         let (kernel_builds, kernel_cache_hits) = self.pools.iter().fold((0, 0), |(b, h), p| {
             (b + p.kernel_builds, h + p.kernel_cache_hits)
         });
+        let (schedule_pruned_infeasible, schedule_pruned_dominated) =
+            self.pools.iter().fold((0, 0), |(i, d), p| {
+                (i + p.pruned_infeasible, d + p.pruned_dominated)
+            });
         FleetStats {
             instances: self.instances.len(),
             active,
@@ -563,6 +591,8 @@ impl Fleet {
             rounds: self.rounds,
             kernel_builds,
             kernel_cache_hits,
+            schedule_pruned_infeasible,
+            schedule_pruned_dominated,
         }
     }
 
@@ -888,12 +918,23 @@ impl Fleet {
         {
             return i;
         }
-        let configs: Vec<KnobConfig> = enhanced
+        let mut configs: Vec<KnobConfig> = enhanced
             .knowledge
             .points()
             .iter()
             .map(|p| p.config.clone())
             .collect();
+        // Analysis-driven schedule pruning: the static analyzer shrinks
+        // what the fleet cooperatively sweeps. The shared knowledge
+        // below still carries every design-time point, so selection is
+        // unaffected — only exploration slots are saved.
+        let (mut pruned_infeasible, mut pruned_dominated) = (0u64, 0u64);
+        if self.config.analysis_prune {
+            let pruned = crate::engine::analysis_prune(enhanced, configs);
+            pruned_infeasible = pruned.infeasible as u64;
+            pruned_dominated = pruned.dominated as u64;
+            configs = pruned.kept;
+        }
         let entry = enhanced
             .multiversioned
             .version_functions
@@ -943,6 +984,8 @@ impl Fleet {
             kernels: HashMap::new(),
             kernel_builds: 0,
             kernel_cache_hits: 0,
+            pruned_infeasible,
+            pruned_dominated,
         });
         let engine = self.config.engine;
         let pool = self.pools.len() - 1;
@@ -1501,6 +1544,46 @@ mod tests {
         let id = fleet.add_instance(enhanced.clone(), rank(), machine);
         let adopted = fleet.with_instance_mut(id, |app| app.manager().asrtm().knowledge().clone());
         assert_eq!(adopted, learned);
+    }
+
+    #[test]
+    fn analysis_prune_shrinks_the_exploration_schedule_only() {
+        let enhanced = quick_enhanced(App::Mvt);
+        let mut fleet = fleet_with(FleetConfig {
+            analysis_prune: true,
+            ..FleetConfig::default()
+        });
+        fleet.spawn(&enhanced, &rank(), 5, 2);
+        let stats = fleet.stats();
+        assert_eq!(
+            stats.schedule_pruned_infeasible, 0,
+            "all polybench specializations are statically safe"
+        );
+        assert!(
+            stats.schedule_pruned_dominated > 0,
+            "a full-factorial space has statically dominated points"
+        );
+        let (_, total) = fleet.exploration_coverage(App::Mvt).unwrap();
+        assert_eq!(
+            total as u64 + stats.schedule_pruned_dominated,
+            enhanced.knowledge.len() as u64,
+            "schedule + pruned must account for the whole design space"
+        );
+        // Pruning never touches the shared knowledge: every design-time
+        // point stays selectable by the AS-RTM.
+        let learned = fleet.learned_knowledge(App::Mvt).unwrap();
+        assert_eq!(learned.len(), enhanced.knowledge.len());
+        // And the pruned fleet still steps normally.
+        assert_eq!(fleet.step_round(), 2);
+
+        // The default configuration prunes nothing.
+        let mut plain = fleet_with(FleetConfig::default());
+        plain.spawn(&enhanced, &rank(), 5, 1);
+        let plain_stats = plain.stats();
+        assert_eq!(plain_stats.schedule_pruned_dominated, 0);
+        assert_eq!(plain_stats.schedule_pruned_infeasible, 0);
+        let (_, plain_total) = plain.exploration_coverage(App::Mvt).unwrap();
+        assert_eq!(plain_total, enhanced.knowledge.len());
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub use artifact::{
     WeavedProgram, KNOWLEDGE_FORMAT_VERSION,
 };
 pub use engine::{
-    compile_kernel, compile_kernel_for, functional_dims, functional_spec, CompiledKernel,
+    analysis_prune, analyze_kernel, analyze_kernel_for, compile_kernel, compile_kernel_for,
+    ensure_safe, full_scale_spec, functional_dims, functional_spec, CompiledKernel,
     ExecutionEngine, FUNCTIONAL_DIM_CAP,
 };
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};

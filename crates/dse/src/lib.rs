@@ -92,6 +92,19 @@ impl DesignSpace {
         out
     }
 
+    /// The full-factorial enumeration with analysis-driven pruning
+    /// applied: the design space consults the safety oracle and the
+    /// static cost expectation *before* any profile run is paid for.
+    /// Shorthand for [`prune_space`] over
+    /// [`full_factorial`](Self::full_factorial).
+    pub fn pruned_factorial<F, M>(&self, feasible: F, expected: M) -> PruneReport<KnobConfig>
+    where
+        F: FnMut(&KnobConfig) -> bool,
+        M: FnMut(&KnobConfig) -> (f64, f64),
+    {
+        prune_space(self.full_factorial(), feasible, expected)
+    }
+
     /// A reproducible random subsample of the space (without
     /// replacement); an alternative DSE strategy for large spaces.
     pub fn random_sample(&self, n: usize, seed: u64) -> Vec<KnobConfig> {
@@ -255,6 +268,101 @@ pub fn explore(
 /// Fig. 3 objectives (maximise throughput, minimise power).
 pub fn power_throughput_pareto(knowledge: &Knowledge<KnobConfig>) -> Knowledge<KnobConfig> {
     knowledge.pareto_filter(&[(Metric::throughput(), true), (Metric::power(), false)])
+}
+
+/// Outcome of [`prune_space`]: the configurations that survive
+/// analysis-driven pruning plus how many were discarded and why.
+///
+/// `kept` preserves the input enumeration order, so feeding it to
+/// [`profile`] or [`ExplorationSchedule::new`] keeps the sweep
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneReport<K> {
+    /// Configurations that survive pruning, in enumeration order.
+    pub kept: Vec<K>,
+    /// Configurations rejected as statically infeasible (the analyzer
+    /// could not certify the specialization as safe).
+    pub infeasible: usize,
+    /// Feasible configurations strictly Pareto-dominated by another
+    /// feasible one on the static `(time, power)` expectation.
+    pub dominated: usize,
+}
+
+impl<K> PruneReport<K> {
+    /// Size of the original (unpruned) space.
+    pub fn total(&self) -> usize {
+        self.kept.len() + self.pruned()
+    }
+
+    /// Configurations removed, for either reason.
+    pub fn pruned(&self) -> usize {
+        self.infeasible + self.dominated
+    }
+
+    /// Fraction of the space removed (`0.0` for an empty space).
+    pub fn prune_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Static analysis-driven space pruning: drops configurations whose
+/// specialization is *infeasible* (per the `feasible` oracle — in
+/// SOCRATES, the static analyzer's safety verdict) and feasible points
+/// that are *strictly Pareto-dominated* on the deterministic
+/// `(time, power)` expectation returned by `expected` (in SOCRATES,
+/// `Machine::expected` over the analyzer's symbolic cost counters).
+///
+/// A point is dominated when some other feasible point is no worse on
+/// both metrics and strictly better on at least one; metric ties keep
+/// both points, so the result is independent of enumeration order.
+/// Dominated points can never be the argmax of any objective that is
+/// monotone in time and power (throughput, energy, Thr/W²…), which is
+/// what makes skipping their profile runs safe.
+///
+/// This crate stays agnostic of the analyzer: both oracles are opaque
+/// closures, evaluated once per configuration in enumeration order.
+pub fn prune_space<K, F, M>(configs: Vec<K>, feasible: F, expected: M) -> PruneReport<K>
+where
+    F: FnMut(&K) -> bool,
+    M: FnMut(&K) -> (f64, f64),
+{
+    let mut feasible = feasible;
+    let mut expected = expected;
+    let mut infeasible = 0usize;
+    let mut candidates: Vec<(K, f64, f64)> = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        if feasible(&cfg) {
+            let (time, power) = expected(&cfg);
+            candidates.push((cfg, time, power));
+        } else {
+            infeasible += 1;
+        }
+    }
+    let dominated_by_some = |i: usize| {
+        let (_, ti, pi) = &candidates[i];
+        candidates
+            .iter()
+            .enumerate()
+            .any(|(j, (_, tj, pj))| j != i && tj <= ti && pj <= pi && (tj < ti || pj < pi))
+    };
+    let keep: Vec<bool> = (0..candidates.len())
+        .map(|i| !dominated_by_some(i))
+        .collect();
+    let dominated = keep.iter().filter(|&&k| !k).count();
+    let kept = candidates
+        .into_iter()
+        .zip(keep)
+        .filter_map(|((cfg, _, _), k)| k.then_some(cfg))
+        .collect();
+    PruneReport {
+        kept,
+        infeasible,
+        dominated,
+    }
 }
 
 /// A cooperative *online* exploration schedule: the design-time DSE
@@ -530,6 +638,79 @@ mod tests {
     fn zero_repetitions_panics() {
         let m = Machine::xeon_e5_2630_v3(1);
         let _ = profile(&m, &kernel(), &[], 0);
+    }
+
+    #[test]
+    fn prune_drops_infeasible_and_dominated_points() {
+        // Metrics chosen so 4 is dominated by 2 (worse on both), 3 is
+        // infeasible, 1/2/5 form the surviving trade-off curve.
+        let metrics = |c: &u32| match c {
+            1 => (1.0, 9.0),
+            2 => (3.0, 5.0),
+            4 => (4.0, 6.0),
+            5 => (9.0, 1.0),
+            _ => unreachable!("infeasible points are never measured"),
+        };
+        let r = prune_space(vec![1u32, 2, 3, 4, 5], |c| *c != 3, metrics);
+        assert_eq!(r.kept, vec![1, 2, 5], "enumeration order preserved");
+        assert_eq!(r.infeasible, 1);
+        assert_eq!(r.dominated, 1);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.pruned(), 2);
+        assert!((r.prune_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_keeps_metric_ties_and_empty_spaces() {
+        // Identical points never dominate each other…
+        let r = prune_space(vec![1u32, 2], |_| true, |_| (2.0, 2.0));
+        assert_eq!(r.kept, vec![1, 2]);
+        assert_eq!(r.dominated, 0);
+        // …a tie on one metric plus a strict win on the other does.
+        let r = prune_space(vec![1u32, 2], |_| true, |c| (2.0, f64::from(*c)));
+        assert_eq!(r.kept, vec![1]);
+        assert_eq!(r.dominated, 1);
+        let empty = prune_space(Vec::<u32>::new(), |_| true, |_| (1.0, 1.0));
+        assert!(empty.kept.is_empty());
+        assert_eq!(empty.prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pruned_factorial_agrees_with_the_expected_pareto_frontier() {
+        // With a noiseless machine and the same (time, power) metrics,
+        // pruning the space must keep exactly the expectation-level
+        // Pareto frontier: every kept point is non-dominated and every
+        // dropped point is dominated by a kept one.
+        let s = space();
+        let m = Machine::xeon_e5_2630_v3(13).noiseless();
+        let w = kernel();
+        let r = s.pruned_factorial(
+            |_| true,
+            |cfg| {
+                let e = m.expected(&w, cfg);
+                (e.time_s, e.power_w)
+            },
+        );
+        assert_eq!(r.infeasible, 0);
+        assert_eq!(r.kept.len() + r.dominated, s.size());
+        assert!(r.dominated > 0, "a 512-point space has dominated points");
+        assert!(
+            r.prune_ratio() > 0.5,
+            "domination should prune most of the space, got {}",
+            r.prune_ratio()
+        );
+        for a in &r.kept {
+            let ea = m.expected(&w, a);
+            for b in s.full_factorial() {
+                let eb = m.expected(&w, &b);
+                assert!(
+                    !(eb.time_s <= ea.time_s
+                        && eb.power_w <= ea.power_w
+                        && (eb.time_s < ea.time_s || eb.power_w < ea.power_w)),
+                    "kept point {a:?} is dominated by {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! optional `num_threads` pragma; the caller binds them to arbitrary
 //! integers, which is how the proptest suite exercises arbitrary pragma
 //! configurations.
+//!
+//! [`generate_adversarial`] keeps the same skeleton but deliberately
+//! injects the trap fault classes (out-of-bounds accesses, reads of
+//! uninitialized cells, zero divisors) — fuel for the differential
+//! static-analyzer / checked-VM soundness suite.
 
 /// A generated program plus the contract the caller must satisfy.
 #[derive(Debug, Clone)]
@@ -29,6 +34,32 @@ pub struct GeneratedProgram {
     pub params: Vec<String>,
     /// The entry function name (always parameterless).
     pub entry: String,
+    /// Fault classes armed by [`generate_adversarial`] (always empty
+    /// for [`generate`], whose programs are fault-free by design).
+    pub faults: Vec<ArmedFault>,
+}
+
+/// The run-time fault classes the checked VM traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// An array subscript exceeding the declared extent.
+    OutOfBounds,
+    /// A read of a never-initialized array cell.
+    UninitRead,
+    /// A division or remainder by zero.
+    DivByZero,
+}
+
+/// One fault armed in an adversarial program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedFault {
+    /// Which checked-VM trap class the fault belongs to.
+    pub class: FaultClass,
+    /// `true` when the faulting statement is unconditionally reached
+    /// (the program *must* trap in checked mode); `false` when it is
+    /// gated on a specialization parameter, so the caller's binding
+    /// decides.
+    pub definite: bool,
 }
 
 /// SplitMix64 — a tiny, high-quality, dependency-free PRNG.
@@ -302,6 +333,124 @@ pub fn generate(seed: u64) -> GeneratedProgram {
         source: src,
         params: g.params,
         entry: "kernel".to_string(),
+        faults: Vec::new(),
+    }
+}
+
+/// Generates a deterministic *adversarial* program from `seed`: the
+/// same always-terminating skeleton as [`generate`], but seasoned with
+/// the three fault classes the checked VM traps — out-of-bounds index
+/// arithmetic, reads of never-initialized array cells, and zero
+/// divisors. Each class is injected independently with moderate
+/// probability (so a fraction of seeds stays clean), and within a class
+/// the fault is either *definite* (always reached) or *conditional* on
+/// a specialization parameter the caller binds — which is what makes
+/// the differential analyzer/checked-VM suite non-vacuous in both
+/// directions: programs that must trap, programs that must not, and
+/// programs whose fate the parameter binding decides.
+///
+/// Termination is never compromised: faults are extra statements (and
+/// an init gap), all loop bounds stay structurally decreasing.
+pub fn generate_adversarial(seed: u64) -> GeneratedProgram {
+    let mut g = Gen {
+        rng: Rng(seed ^ 0xADD_12E55),
+        d: 0,
+        params: Vec::new(),
+        ivs: Vec::new(),
+    };
+    g.d = 3 + g.rng.below(5); // extents 3..=7
+    let d = g.d;
+
+    let inject_uninit = g.rng.chance(45);
+    let inject_oob = g.rng.chance(45);
+    let inject_div = g.rng.chance(45);
+    let mut faults = Vec::new();
+    if inject_uninit {
+        faults.push(ArmedFault {
+            class: FaultClass::UninitRead,
+            definite: true,
+        });
+    }
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "double A[{d}][{d}];\ndouble v[{d}];\nlong t[{d}];\ndouble u[{d}];\nlong z;\ndouble acc;\n\n"
+    ));
+    // The init gap: skip the first or last cell of `u` when the uninit
+    // fault is armed, fill it completely otherwise.
+    let (u_from, u_to, gap_cell) = if inject_uninit {
+        if g.rng.chance(50) {
+            (1, d, 0)
+        } else {
+            (0, d - 1, d - 1)
+        }
+    } else {
+        (0, d, 0)
+    };
+    src.push_str(&format!(
+        "void init_array() {{\n  z = 0;\n  for (int i = 0; i < {d}; i++) {{\n    \
+         v[i] = i * 0.75 + 1.0;\n    t[i] = (i * 5) % 9 + 1;\n    \
+         for (int j = 0; j < {d}; j++)\n      \
+         A[i][j] = ((i * 7 + j * 3) % 11) * 0.25 + 0.5;\n  }}\n  \
+         for (int i = {u_from}; i < {u_to}; i++) {{\n    u[i] = i * 0.5;\n  }}\n}}\n\n"
+    ));
+
+    src.push_str("void kernel() {\n");
+    let nests = 1 + g.rng.below(2);
+    for id in 0..nests {
+        src.push_str(&g.loop_nest(id as usize));
+    }
+    if inject_oob {
+        let variant = g.rng.below(3);
+        match variant {
+            // Definite direct overshoot.
+            0 => src.push_str(&format!("  t[{}] = 7;\n", d + g.rng.below(3))),
+            // Loop whose last iteration walks off the end.
+            1 => src.push_str(&format!(
+                "  for (int fi = 0; fi < {d}; fi++) {{\n    acc = acc + v[fi + 1];\n  }}\n"
+            )),
+            // Conditional on a caller-bound parameter.
+            _ => {
+                let p = g.param();
+                src.push_str(&format!(
+                    "  if ({p} > 5) {{\n    acc = acc + A[{d}][0];\n  }}\n"
+                ));
+            }
+        }
+        faults.push(ArmedFault {
+            class: FaultClass::OutOfBounds,
+            definite: variant < 2,
+        });
+    }
+    if inject_div {
+        let variant = g.rng.below(3);
+        match variant {
+            // Definite: `z` is zeroed by init_array.
+            0 => src.push_str("  t[0] = (t[0] + 3) / z;\n"),
+            // Definite, through the remainder operator.
+            1 => src.push_str("  t[1] = 9 % (z * 2);\n"),
+            // Conditional on a caller-bound parameter.
+            _ => {
+                let p = g.param();
+                src.push_str(&format!("  if ({p} < 0) {{\n    t[0] = 5 / z;\n  }}\n"));
+            }
+        }
+        faults.push(ArmedFault {
+            class: FaultClass::DivByZero,
+            definite: variant < 2,
+        });
+    }
+    // The `u` read: the gap cell when the uninit fault is armed (a
+    // checked-mode-only trap — the unchecked VM reads a zero), a
+    // well-initialized cell otherwise.
+    src.push_str(&format!("  acc += u[{gap_cell}];\n"));
+    src.push_str(&format!("  acc += A[0][0] + v[{d} - 1];\n}}\n"));
+
+    GeneratedProgram {
+        source: src,
+        params: g.params,
+        entry: "kernel".to_string(),
+        faults,
     }
 }
 
@@ -329,5 +478,57 @@ mod tests {
     #[test]
     fn seeds_vary_the_program() {
         assert_ne!(generate(1).source, generate(2).source);
+    }
+
+    #[test]
+    fn adversarial_programs_parse() {
+        for seed in 0..64 {
+            let p = generate_adversarial(seed);
+            crate::parse(&p.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{}", p.source));
+        }
+    }
+
+    #[test]
+    fn adversarial_generation_is_deterministic_and_distinct() {
+        let a = generate_adversarial(42);
+        let b = generate_adversarial(42);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.params, b.params);
+        assert_ne!(a.source, generate(42).source);
+    }
+
+    #[test]
+    fn adversarial_seeds_cover_every_fault_class_and_clean_programs() {
+        let programs: Vec<GeneratedProgram> = (0..64).map(generate_adversarial).collect();
+        for class in [
+            FaultClass::OutOfBounds,
+            FaultClass::UninitRead,
+            FaultClass::DivByZero,
+        ] {
+            for definite in [true, false] {
+                // Uninit reads are always definite by construction.
+                if class == FaultClass::UninitRead && !definite {
+                    continue;
+                }
+                assert!(
+                    programs.iter().any(|p| p
+                        .faults
+                        .iter()
+                        .any(|f| f.class == class && f.definite == definite)),
+                    "no seed in 0..64 arms {class:?} (definite = {definite})"
+                );
+            }
+        }
+        let clean = programs.iter().filter(|p| p.faults.is_empty()).count();
+        let definite = programs
+            .iter()
+            .filter(|p| p.faults.iter().any(|f| f.definite))
+            .count();
+        assert!(clean >= 4, "expected some clean programs, got {clean}");
+        assert!(
+            definite >= 24,
+            "expected many definitely-trapping programs, got {definite}"
+        );
     }
 }

@@ -1,0 +1,1090 @@
+//! Abstract interpretation of the lowered IR.
+//!
+//! The domain is deliberately *constant-propagation precise*: integers
+//! are intervals whose singletons follow the VM's exact wrapping
+//! semantics, floats are concrete-or-unknown, and the heap is mirrored
+//! cell by cell. While every value stays concrete — which holds for the
+//! entire run of a fully-specialized kernel with deterministic
+//! initialization — the analysis *is* the execution, so its event
+//! counters are exact and any fault it hits definitely fires.
+//!
+//! The first imprecise value can only enter through the havoc fallback:
+//! when a control condition is not a singleton, the assigned set of the
+//! undecidable region is widened to ⊤, the region is scanned once for
+//! possible faults (warnings), and execution continues on the widened
+//! state. That keeps the pass sound — a [`Verdict::Safe`] requires zero
+//! findings of either severity — without a general fixpoint engine.
+
+use super::interval::Interval;
+use super::{Diagnostic, FaultKind, Verdict};
+use crate::layout::{ElemTy, Layout, Value};
+use crate::lower::{ArrRef, FAlu, IAlu, IExpr, IStmt, LFunc, LProgram, Pred};
+use minic::TranslationUnit;
+use std::collections::HashSet;
+
+/// Total eval-node + statement budget. Polybench under the functional
+/// dimension cap runs well below a million steps; this bound only exists
+/// so adversarial generated programs cannot hang the analyzer.
+const FUEL: u64 = 50_000_000;
+
+/// Findings stop being recorded (but keep being counted) past this.
+const MAX_DIAGS: usize = 32;
+
+pub(crate) struct AbsIntReport {
+    pub(crate) verdict: Verdict,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    /// `true`: the analysis was a concrete re-execution end to end.
+    pub(crate) definite: bool,
+    pub(crate) flops: u64,
+    pub(crate) loads: u64,
+    pub(crate) stores: u64,
+}
+
+/// Runs the abstract interpreter over `init_array` + the entry function.
+pub(crate) fn abs_interpret(prog: &LProgram, tu: &TranslationUnit, entry: &str) -> AbsIntReport {
+    abs_interpret_with_fuel(prog, tu, entry, FUEL)
+}
+
+pub(crate) fn abs_interpret_with_fuel(
+    prog: &LProgram,
+    tu: &TranslationUnit,
+    entry: &str,
+    fuel: u64,
+) -> AbsIntReport {
+    let mut a = Analyzer::new(prog, tu);
+    a.fuel = fuel;
+    let aborted = 'run: {
+        if let Some(init) = &prog.init {
+            a.set_function(tu, "init_array");
+            if let Err(abort) = a.exec_fn(init, &[]) {
+                break 'run Some(abort);
+            }
+        }
+        a.set_function(tu, entry);
+        a.exec_fn(&prog.entry, &prog.entry_args).err()
+    };
+    if aborted == Some(Abort::Fuel) {
+        a.push_diag(
+            FaultKind::Budget,
+            false,
+            "<analysis>".into(),
+            format!("step budget of {fuel} exhausted before execution was covered"),
+        );
+    }
+    let verdict = if a.faults > 0 {
+        Verdict::Unsafe
+    } else if a.warnings > 0 {
+        Verdict::Unknown
+    } else {
+        Verdict::Safe
+    };
+    // Definite faults first, then warnings, preserving discovery order.
+    a.diags.sort_by_key(|d| !d.definite);
+    // An abort (fault or fuel) cut execution short: the counters cover a
+    // prefix only, so they must not be reported as exact.
+    let definite = a.definite && aborted.is_none();
+    AbsIntReport {
+        verdict,
+        diagnostics: a.diags,
+        definite,
+        flops: a.flops,
+        loads: a.loads,
+        stores: a.stores,
+    }
+}
+
+/// Why execution stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abort {
+    /// A definite fault: the VM would trap here, nothing later runs.
+    Fault,
+    /// Out of fuel: the remainder is unanalyzed, so no safety claim.
+    Fuel,
+}
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+/// An abstract value, typed like the IR node that produced it.
+#[derive(Clone, Copy)]
+enum AVal {
+    I(Interval),
+    F(Option<f64>),
+}
+
+impl AVal {
+    fn as_i(self) -> Interval {
+        match self {
+            AVal::I(v) => v,
+            // Unreachable on well-typed IR; ⊤ keeps it sound regardless.
+            AVal::F(_) => Interval::TOP,
+        }
+    }
+
+    fn as_f(self) -> Option<f64> {
+        match self {
+            AVal::F(v) => v,
+            AVal::I(v) => v.singleton().map(|x| x as f64),
+        }
+    }
+}
+
+struct Analyzer<'p> {
+    arrays: &'p [ArrRef],
+    /// Heap mirrors (exact zero fill + scalar initializers, like
+    /// `reset_memory`) and must-initialized bitmaps (scalars pre-marked,
+    /// array cells only after a store).
+    hi: Vec<Interval>,
+    hf: Vec<Option<f64>>,
+    init_hi: Vec<bool>,
+    init_hf: Vec<bool>,
+    /// Local slots of the function currently executing.
+    li: Vec<Interval>,
+    lf: Vec<Option<f64>>,
+    /// `true` while the analysis is an exact concrete re-execution.
+    definite: bool,
+    /// `true` while walking a havoc-widened region in `scan_stmts`: the
+    /// region may not execute at all, so stores must stay weak (join,
+    /// never set init bits) even when their index is still a singleton.
+    scanning: bool,
+    fuel: u64,
+    flops: u64,
+    loads: u64,
+    stores: u64,
+    diags: Vec<Diagnostic>,
+    seen: HashSet<(FaultKind, String)>,
+    faults: usize,
+    warnings: usize,
+    /// Diagnostic context for the function being executed.
+    cur_fn: String,
+    cur_line: u32,
+    namer: Namer,
+}
+
+impl<'p> Analyzer<'p> {
+    fn new(prog: &'p LProgram, _tu: &TranslationUnit) -> Analyzer<'p> {
+        let layout = &prog.layout;
+        let mut init_hi = vec![false; layout.i_len];
+        let mut init_hf = vec![false; layout.f_len];
+        let mut hi = vec![Interval::exact(0); layout.i_len];
+        let mut hf = vec![Some(0.0f64); layout.f_len];
+        for g in &layout.globals {
+            if g.is_scalar() {
+                match g.elem {
+                    ElemTy::I => init_hi[g.base] = true,
+                    ElemTy::F => init_hf[g.base] = true,
+                }
+                if let Some(init) = g.init {
+                    match (g.elem, init.coerce(g.elem)) {
+                        (ElemTy::I, Value::I(v)) => hi[g.base] = Interval::exact(v),
+                        (ElemTy::F, Value::F(v)) => hf[g.base] = Some(v),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Analyzer {
+            arrays: &prog.arrays,
+            hi,
+            hf,
+            init_hi,
+            init_hf,
+            li: Vec::new(),
+            lf: Vec::new(),
+            definite: true,
+            scanning: false,
+            fuel: FUEL,
+            flops: 0,
+            loads: 0,
+            stores: 0,
+            diags: Vec::new(),
+            seen: HashSet::new(),
+            faults: 0,
+            warnings: 0,
+            cur_fn: String::new(),
+            cur_line: 0,
+            namer: Namer::new(layout, &prog.arrays),
+        }
+    }
+
+    fn set_function(&mut self, tu: &TranslationUnit, name: &str) {
+        self.cur_fn = name.to_string();
+        self.cur_line = minic::function_logical_line(tu, name).unwrap_or(0) as u32;
+    }
+
+    fn exec_fn(&mut self, f: &LFunc, args: &[Value]) -> Result<(), Abort> {
+        // Fresh frames read as zero before their first write, matching a
+        // fresh `VmState`; lowering writes every slot before any read.
+        self.li = vec![Interval::exact(0); f.n_i as usize];
+        self.lf = vec![Some(0.0); f.n_f as usize];
+        for (&(slot, _), &arg) in f.params.iter().zip(args) {
+            match arg {
+                Value::I(v) => self.li[slot as usize] = Interval::exact(v),
+                Value::F(v) => self.lf[slot as usize] = Some(v),
+            }
+        }
+        self.exec_stmts(&f.stmts).map(|_| ())
+    }
+
+    fn burn(&mut self) -> Result<(), Abort> {
+        match self.fuel.checked_sub(1) {
+            Some(left) => {
+                self.fuel = left;
+                Ok(())
+            }
+            None => Err(Abort::Fuel),
+        }
+    }
+
+    // ---- diagnostics ---------------------------------------------------
+
+    fn push_diag(&mut self, kind: FaultKind, definite: bool, site: String, detail: String) {
+        if definite {
+            self.faults += 1;
+        } else {
+            self.warnings += 1;
+        }
+        if self.diags.len() >= MAX_DIAGS || !self.seen.insert((kind, site.clone())) {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            kind,
+            definite,
+            function: self.cur_fn.clone(),
+            line: self.cur_line,
+            site,
+            detail,
+        });
+    }
+
+    /// Records a fault at the current definiteness: an exact execution
+    /// aborts like the VM would; an approximate one warns and recovers.
+    fn fault(&mut self, kind: FaultKind, site: String, detail: String) -> Result<(), Abort> {
+        let definite = self.definite;
+        self.push_diag(kind, definite, site, detail);
+        if definite {
+            Err(Abort::Fault)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn exec_stmts(&mut self, stmts: &[IStmt]) -> Result<Flow, Abort> {
+        for s in stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &IStmt) -> Result<Flow, Abort> {
+        self.burn()?;
+        match s {
+            IStmt::SetLocal(slot, ty, e) => {
+                let v = self.eval(e)?;
+                match ty {
+                    ElemTy::I => self.li[*slot as usize] = v.as_i(),
+                    ElemTy::F => self.lf[*slot as usize] = v.as_f(),
+                }
+                Ok(Flow::Normal)
+            }
+            IStmt::SetGlob(base, ty, e) => {
+                let v = self.eval(e)?;
+                match ty {
+                    ElemTy::I => self.hi[*base as usize] = v.as_i(),
+                    ElemTy::F => self.hf[*base as usize] = v.as_f(),
+                }
+                Ok(Flow::Normal)
+            }
+            IStmt::SetElem(arr, idx, value) => {
+                let iv = self.eval(idx)?.as_i();
+                let vv = self.eval(value)?;
+                self.store(*arr, iv, vv, value.ty(), idx)?;
+                Ok(Flow::Normal)
+            }
+            IStmt::Eval(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            IStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let c = self.eval(cond)?.as_i();
+                match c.singleton() {
+                    Some(v) => {
+                        if v != 0 {
+                            self.exec_stmts(then_s)
+                        } else {
+                            self.exec_stmts(else_s)
+                        }
+                    }
+                    None => {
+                        self.approximate(&[then_s, else_s])?;
+                        Ok(Flow::Normal)
+                    }
+                }
+            }
+            IStmt::While { cond, body } => loop {
+                self.burn()?;
+                let c = self.eval(cond)?.as_i();
+                let Some(v) = c.singleton() else {
+                    self.approximate(&[body])?;
+                    return Ok(Flow::Normal);
+                };
+                if v == 0 {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_stmts(body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return => return Ok(Flow::Return),
+                    Flow::Normal | Flow::Continue => {}
+                }
+            },
+            IStmt::DoWhile { body, cond } => loop {
+                self.burn()?;
+                match self.exec_stmts(body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return => return Ok(Flow::Return),
+                    Flow::Normal | Flow::Continue => {}
+                }
+                let c = self.eval(cond)?.as_i();
+                let Some(v) = c.singleton() else {
+                    self.approximate(&[body])?;
+                    return Ok(Flow::Normal);
+                };
+                if v == 0 {
+                    return Ok(Flow::Normal);
+                }
+            },
+            IStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                match self.exec_stmts(init)? {
+                    Flow::Normal => {}
+                    flow => return Ok(flow),
+                }
+                loop {
+                    self.burn()?;
+                    if let Some(cond) = cond {
+                        let c = self.eval(cond)?.as_i();
+                        let Some(v) = c.singleton() else {
+                            self.approximate(&[body, step])?;
+                            return Ok(Flow::Normal);
+                        };
+                        if v == 0 {
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                    match self.exec_stmts(body)? {
+                        Flow::Break => return Ok(Flow::Normal),
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    match self.exec_stmts(step)? {
+                        Flow::Normal => {}
+                        Flow::Return => return Ok(Flow::Return),
+                        // Break/continue cannot appear in a step
+                        // expression; be conservative if they ever do.
+                        _ => return Ok(Flow::Normal),
+                    }
+                }
+            }
+            IStmt::Return(e) => {
+                if let Some(e) = e {
+                    self.eval(e)?;
+                }
+                Ok(Flow::Return)
+            }
+            IStmt::Break => Ok(Flow::Break),
+            IStmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    /// The sound fallback for control flow the analysis cannot decide:
+    /// widen every location the regions can assign to ⊤ (which
+    /// over-approximates the state at any point inside or after them),
+    /// then scan the regions once, flagging every possible fault. The
+    /// initialization bitmaps are left untouched — stores only ever add
+    /// initialized cells, so the pre-region bitmap under-approximates
+    /// every reachable one, which is the sound direction for must-init.
+    fn approximate(&mut self, regions: &[&[IStmt]]) -> Result<(), Abort> {
+        self.definite = false;
+        for r in regions {
+            self.havoc_stmts(r);
+        }
+        let was_scanning = self.scanning;
+        self.scanning = true;
+        let res = regions.iter().try_for_each(|r| self.scan_stmts(r));
+        self.scanning = was_scanning;
+        res
+    }
+
+    fn havoc_stmts(&mut self, stmts: &[IStmt]) {
+        for s in stmts {
+            match s {
+                IStmt::SetLocal(slot, ty, _) => match ty {
+                    ElemTy::I => self.li[*slot as usize] = Interval::TOP,
+                    ElemTy::F => self.lf[*slot as usize] = None,
+                },
+                IStmt::SetGlob(base, ty, _) => match ty {
+                    ElemTy::I => self.hi[*base as usize] = Interval::TOP,
+                    ElemTy::F => self.hf[*base as usize] = None,
+                },
+                IStmt::SetElem(arr, _, value) => {
+                    let a = self.arrays[*arr as usize];
+                    let (base, len) = (a.base as usize, a.len as usize);
+                    match value.ty() {
+                        ElemTy::I => self.hi[base..base + len].fill(Interval::TOP),
+                        ElemTy::F => self.hf[base..base + len].fill(None),
+                    }
+                }
+                IStmt::If { then_s, else_s, .. } => {
+                    self.havoc_stmts(then_s);
+                    self.havoc_stmts(else_s);
+                }
+                IStmt::While { body, .. } | IStmt::DoWhile { body, .. } => {
+                    self.havoc_stmts(body);
+                }
+                IStmt::For {
+                    init, step, body, ..
+                } => {
+                    self.havoc_stmts(init);
+                    self.havoc_stmts(step);
+                    self.havoc_stmts(body);
+                }
+                IStmt::Eval(_) | IStmt::Return(_) | IStmt::Break | IStmt::Continue => {}
+            }
+        }
+    }
+
+    /// Walks a havoc-widened region, evaluating every expression to
+    /// surface possible faults. Stores stay weak (`scanning` is set by
+    /// [`Analyzer::approximate`]), so the widened state keeps
+    /// over-approximating every point in the region and init bits never
+    /// grow inside code that may not run.
+    fn scan_stmts(&mut self, stmts: &[IStmt]) -> Result<(), Abort> {
+        for s in stmts {
+            self.burn()?;
+            match s {
+                IStmt::SetLocal(.., e) | IStmt::SetGlob(.., e) | IStmt::Eval(e) => {
+                    self.eval(e)?;
+                }
+                IStmt::SetElem(arr, idx, value) => {
+                    let iv = self.eval(idx)?.as_i();
+                    let vv = self.eval(value)?;
+                    self.store(*arr, iv, vv, value.ty(), idx)?;
+                }
+                IStmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
+                    self.eval(cond)?;
+                    self.scan_stmts(then_s)?;
+                    self.scan_stmts(else_s)?;
+                }
+                IStmt::While { cond, body } | IStmt::DoWhile { body, cond } => {
+                    self.eval(cond)?;
+                    self.scan_stmts(body)?;
+                }
+                IStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    self.scan_stmts(init)?;
+                    if let Some(c) = cond {
+                        self.eval(c)?;
+                    }
+                    self.scan_stmts(step)?;
+                    self.scan_stmts(body)?;
+                }
+                IStmt::Return(e) => {
+                    if let Some(e) = e {
+                        self.eval(e)?;
+                    }
+                }
+                IStmt::Break | IStmt::Continue => {}
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn eval(&mut self, e: &IExpr) -> Result<AVal, Abort> {
+        self.burn()?;
+        Ok(match e {
+            IExpr::ConstI(v) => AVal::I(Interval::exact(*v)),
+            IExpr::ConstF(v) => AVal::F(Some(*v)),
+            // Symbolic constants never reach the concrete analyzer; ⊤ is
+            // the sound answer if one ever does.
+            IExpr::SymConst(_) => AVal::I(Interval::TOP),
+            IExpr::LocalI(s) => AVal::I(self.li[*s as usize]),
+            IExpr::LocalF(s) => AVal::F(self.lf[*s as usize]),
+            IExpr::GlobI(g) => AVal::I(self.hi[*g as usize]),
+            IExpr::GlobF(g) => AVal::F(self.hf[*g as usize]),
+            IExpr::LoadI(arr, idx) | IExpr::LoadF(arr, idx) => {
+                let iv = self.eval(idx)?.as_i();
+                let elem = match e {
+                    IExpr::LoadI(..) => ElemTy::I,
+                    _ => ElemTy::F,
+                };
+                self.load(*arr, iv, elem, idx)?
+            }
+            IExpr::BinI(op, a, b) => {
+                let x = self.eval(a)?.as_i();
+                let y = self.eval(b)?.as_i();
+                if matches!(op, IAlu::Div | IAlu::Rem) && y.contains(0) {
+                    let site = self.namer.rend(e);
+                    if y.singleton() == Some(0) {
+                        self.fault(
+                            FaultKind::DivByZero,
+                            site,
+                            "integer division by zero".into(),
+                        )?;
+                        // Unreachable while definite; recover with ⊤.
+                        return Ok(AVal::I(Interval::TOP));
+                    }
+                    self.fault(
+                        FaultKind::DivByZero,
+                        site,
+                        format!(
+                            "divisor `{}` can be zero (range [{}, {}])",
+                            self.namer.rend(b),
+                            y.lo,
+                            y.hi
+                        ),
+                    )?;
+                }
+                AVal::I(Interval::alu(*op, x, y))
+            }
+            IExpr::BinF(op, a, b) => {
+                let x = self.eval(a)?.as_f();
+                let y = self.eval(b)?.as_f();
+                self.flops += 1;
+                AVal::F(match (x, y) {
+                    (Some(x), Some(y)) => Some(match op {
+                        FAlu::Add => x + y,
+                        FAlu::Sub => x - y,
+                        FAlu::Mul => x * y,
+                        FAlu::Div => x / y,
+                        FAlu::Rem => x % y,
+                    }),
+                    _ => None,
+                })
+            }
+            IExpr::CmpI(p, a, b) => {
+                let x = self.eval(a)?.as_i();
+                let y = self.eval(b)?.as_i();
+                AVal::I(Interval::cmp(*p, x, y))
+            }
+            IExpr::CmpF(p, a, b) => {
+                let x = self.eval(a)?.as_f();
+                let y = self.eval(b)?.as_f();
+                AVal::I(match (x, y) {
+                    (Some(x), Some(y)) => Interval::exact(i64::from(match p {
+                        Pred::Eq => x == y,
+                        Pred::Ne => x != y,
+                        Pred::Lt => x < y,
+                        Pred::Le => x <= y,
+                        Pred::Gt => x > y,
+                        Pred::Ge => x >= y,
+                    })),
+                    _ => Interval::new(0, 1),
+                })
+            }
+            IExpr::NegI(s) => AVal::I(self.eval(s)?.as_i().neg()),
+            IExpr::NegF(s) => {
+                let v = self.eval(s)?.as_f();
+                self.flops += 1;
+                AVal::F(v.map(|x| -x))
+            }
+            IExpr::NotI(s) => AVal::I(self.eval(s)?.as_i().logical_not()),
+            IExpr::BitNotI(s) => AVal::I(self.eval(s)?.as_i().bit_not()),
+            IExpr::TruthyF(s) => AVal::I(match self.eval(s)?.as_f() {
+                Some(x) => Interval::exact(i64::from(x != 0.0)),
+                None => Interval::new(0, 1),
+            }),
+            IExpr::I2F(s) => AVal::F(self.eval(s)?.as_i().singleton().map(|v| v as f64)),
+            IExpr::F2I(s) => AVal::I(match self.eval(s)?.as_f() {
+                Some(x) => Interval::exact(x as i64),
+                None => Interval::TOP,
+            }),
+            IExpr::Sqrt(s) => {
+                let v = self.eval(s)?.as_f();
+                self.flops += 1;
+                AVal::F(v.map(f64::sqrt))
+            }
+            IExpr::LogAnd(a, b) => {
+                let x = self.eval(a)?.as_i();
+                match x.singleton() {
+                    Some(0) => AVal::I(Interval::exact(0)),
+                    Some(_) => AVal::I(self.eval(b)?.as_i().truthy()),
+                    None => {
+                        // Undecided left side (only possible once the
+                        // analysis is approximate): scan the right side
+                        // for faults, answer 0/1.
+                        self.eval(b)?;
+                        AVal::I(Interval::new(0, 1))
+                    }
+                }
+            }
+            IExpr::LogOr(a, b) => {
+                let x = self.eval(a)?.as_i();
+                match x.singleton() {
+                    Some(0) => AVal::I(self.eval(b)?.as_i().truthy()),
+                    Some(_) => AVal::I(Interval::exact(1)),
+                    None => {
+                        self.eval(b)?;
+                        AVal::I(Interval::new(0, 1))
+                    }
+                }
+            }
+            IExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ty,
+            } => {
+                let c = self.eval(cond)?.as_i();
+                match c.singleton() {
+                    Some(v) => {
+                        if v != 0 {
+                            self.eval(then_e)?
+                        } else {
+                            self.eval(else_e)?
+                        }
+                    }
+                    None => {
+                        let t = self.eval(then_e)?;
+                        let f = self.eval(else_e)?;
+                        match ty {
+                            ElemTy::I => AVal::I(t.as_i().join(f.as_i())),
+                            ElemTy::F => AVal::F(join_f(t.as_f(), f.as_f())),
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    // ---- heap accesses -------------------------------------------------
+
+    fn site(&self, arr: u16, idx_expr: &IExpr) -> String {
+        format!("{}[{}]", self.namer.array(arr), self.namer.rend(idx_expr))
+    }
+
+    fn load(
+        &mut self,
+        arr: u16,
+        idx: Interval,
+        elem: ElemTy,
+        idx_expr: &IExpr,
+    ) -> Result<AVal, Abort> {
+        let a = self.arrays[arr as usize];
+        let len = i64::from(a.len);
+        if let Some(v) = idx.singleton() {
+            if v < 0 || v >= len {
+                let site = self.site(arr, idx_expr);
+                self.fault(
+                    FaultKind::OutOfBounds,
+                    site,
+                    format!("index {v} out of bounds (len {len})"),
+                )?;
+                return Ok(top_of(elem));
+            }
+            let off = a.base as usize + v as usize;
+            let init = match elem {
+                ElemTy::I => self.init_hi[off],
+                ElemTy::F => self.init_hf[off],
+            };
+            if !init {
+                let site = self.site(arr, idx_expr);
+                let detail = format!(
+                    "read of `{}` index {v} before any write",
+                    self.namer.array(arr)
+                );
+                self.fault(FaultKind::UninitRead, site, detail)?;
+            }
+            self.loads += 1;
+            return Ok(match elem {
+                ElemTy::I => AVal::I(self.hi[off]),
+                ElemTy::F => AVal::F(self.hf[off]),
+            });
+        }
+        // Abstract index (only once approximate): flag partial
+        // out-of-bounds and any possibly-uninitialized cell in range.
+        if idx.lo < 0 || idx.hi >= len {
+            let site = self.site(arr, idx_expr);
+            self.fault(
+                FaultKind::OutOfBounds,
+                site,
+                format!(
+                    "index range [{}, {}] can leave bounds (len {len})",
+                    idx.lo, idx.hi
+                ),
+            )?;
+        }
+        let lo = idx.lo.max(0);
+        let hi = idx.hi.min(len - 1);
+        if lo <= hi {
+            let (from, to) = (a.base as usize + lo as usize, a.base as usize + hi as usize);
+            let any_uninit = match elem {
+                ElemTy::I => self.init_hi[from..=to].iter().any(|&b| !b),
+                ElemTy::F => self.init_hf[from..=to].iter().any(|&b| !b),
+            };
+            if any_uninit {
+                let site = self.site(arr, idx_expr);
+                let detail = format!(
+                    "possible read of `{}` before initialization (index range [{}, {}])",
+                    self.namer.array(arr),
+                    idx.lo,
+                    idx.hi
+                );
+                self.fault(FaultKind::UninitRead, site, detail)?;
+            }
+        }
+        self.loads += 1;
+        Ok(top_of(elem))
+    }
+
+    fn store(
+        &mut self,
+        arr: u16,
+        idx: Interval,
+        val: AVal,
+        elem: ElemTy,
+        idx_expr: &IExpr,
+    ) -> Result<(), Abort> {
+        let a = self.arrays[arr as usize];
+        let len = i64::from(a.len);
+        if let Some(v) = idx.singleton() {
+            if v < 0 || v >= len {
+                let site = self.site(arr, idx_expr);
+                self.fault(
+                    FaultKind::OutOfBounds,
+                    site,
+                    format!("index {v} out of bounds (len {len})"),
+                )?;
+                return Ok(());
+            }
+            let off = a.base as usize + v as usize;
+            if self.scanning {
+                // The enclosing region may never run: keep the store
+                // weak and leave the init bit alone.
+                match elem {
+                    ElemTy::I => self.hi[off] = self.hi[off].join(val.as_i()),
+                    ElemTy::F => self.hf[off] = join_f(self.hf[off], val.as_f()),
+                }
+            } else {
+                match elem {
+                    ElemTy::I => {
+                        self.hi[off] = val.as_i();
+                        self.init_hi[off] = true;
+                    }
+                    ElemTy::F => {
+                        self.hf[off] = val.as_f();
+                        self.init_hf[off] = true;
+                    }
+                }
+            }
+            self.stores += 1;
+            return Ok(());
+        }
+        if idx.lo < 0 || idx.hi >= len {
+            let site = self.site(arr, idx_expr);
+            self.fault(
+                FaultKind::OutOfBounds,
+                site,
+                format!(
+                    "index range [{}, {}] can leave bounds (len {len})",
+                    idx.lo, idx.hi
+                ),
+            )?;
+        }
+        // Weak update: every cell the store may hit joins the value; no
+        // init bit is set (the store hits *one* unknown cell, not all).
+        let lo = idx.lo.max(0);
+        let hi = idx.hi.min(len - 1);
+        if lo <= hi {
+            for off in (a.base as usize + lo as usize)..=(a.base as usize + hi as usize) {
+                match elem {
+                    ElemTy::I => self.hi[off] = self.hi[off].join(val.as_i()),
+                    ElemTy::F => self.hf[off] = join_f(self.hf[off], val.as_f()),
+                }
+            }
+        }
+        self.stores += 1;
+        Ok(())
+    }
+}
+
+fn top_of(elem: ElemTy) -> AVal {
+    match elem {
+        ElemTy::I => AVal::I(Interval::TOP),
+        ElemTy::F => AVal::F(None),
+    }
+}
+
+/// Join on concrete-or-unknown floats: bit-identical values survive.
+fn join_f(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) if x.to_bits() == y.to_bits() => Some(x),
+        _ => None,
+    }
+}
+
+// ---- rendering ---------------------------------------------------------
+
+/// Reverse name lookup for diagnostics: array table index → source name,
+/// scalar global base offset → source name.
+struct Namer {
+    arrays: Vec<String>,
+    scalar_i: Vec<(u32, String)>,
+    scalar_f: Vec<(u32, String)>,
+}
+
+impl Namer {
+    fn new(layout: &Layout, arrays: &[ArrRef]) -> Namer {
+        let mut names = vec![String::new(); layout.globals.len()];
+        for (name, &gi) in &layout.by_name {
+            names[gi] = name.clone();
+        }
+        let mut arr_names = vec![String::from("<array>"); arrays.len()];
+        let mut scalar_i = Vec::new();
+        let mut scalar_f = Vec::new();
+        let mut arr_idx = 0usize;
+        for (gi, g) in layout.globals.iter().enumerate() {
+            if g.is_scalar() {
+                match g.elem {
+                    ElemTy::I => scalar_i.push((g.base as u32, names[gi].clone())),
+                    ElemTy::F => scalar_f.push((g.base as u32, names[gi].clone())),
+                }
+            } else {
+                // `lower_program` assigns array table slots in global
+                // declaration order; mirror that here.
+                if arr_idx < arr_names.len() {
+                    arr_names[arr_idx] = names[gi].clone();
+                }
+                arr_idx += 1;
+            }
+        }
+        Namer {
+            arrays: arr_names,
+            scalar_i,
+            scalar_f,
+        }
+    }
+
+    fn array(&self, arr: u16) -> &str {
+        self.arrays
+            .get(arr as usize)
+            .map_or("<array>", String::as_str)
+    }
+
+    fn scalar(&self, base: u32, elem: ElemTy) -> String {
+        let table = match elem {
+            ElemTy::I => &self.scalar_i,
+            ElemTy::F => &self.scalar_f,
+        };
+        table
+            .iter()
+            .find(|(b, _)| *b == base)
+            .map_or_else(|| format!("<glob+{base}>"), |(_, n)| n.clone())
+    }
+
+    /// Renders an IR expression C-like for diagnostics. Local slots have
+    /// no source names in the IR; they print as `$i<slot>` / `$f<slot>`.
+    fn rend(&self, e: &IExpr) -> String {
+        match e {
+            IExpr::ConstI(v) => v.to_string(),
+            IExpr::ConstF(v) => format!("{v:?}"),
+            IExpr::SymConst(n) => n.to_string(),
+            IExpr::LocalI(s) => format!("$i{s}"),
+            IExpr::LocalF(s) => format!("$f{s}"),
+            IExpr::GlobI(g) => self.scalar(*g, ElemTy::I),
+            IExpr::GlobF(g) => self.scalar(*g, ElemTy::F),
+            IExpr::LoadI(arr, idx) | IExpr::LoadF(arr, idx) => {
+                format!("{}[{}]", self.array(*arr), self.rend(idx))
+            }
+            IExpr::BinI(op, a, b) => {
+                format!("({} {} {})", self.rend(a), ialu_str(*op), self.rend(b))
+            }
+            IExpr::BinF(op, a, b) => {
+                format!("({} {} {})", self.rend(a), falu_str(*op), self.rend(b))
+            }
+            IExpr::CmpI(p, a, b) | IExpr::CmpF(p, a, b) => {
+                format!("({} {} {})", self.rend(a), pred_str(*p), self.rend(b))
+            }
+            IExpr::NegI(s) | IExpr::NegF(s) => format!("(-{})", self.rend(s)),
+            IExpr::NotI(s) => format!("(!{})", self.rend(s)),
+            IExpr::BitNotI(s) => format!("(~{})", self.rend(s)),
+            IExpr::TruthyF(s) => format!("({} != 0.0)", self.rend(s)),
+            IExpr::I2F(s) => format!("(double){}", self.rend(s)),
+            IExpr::F2I(s) => format!("(long){}", self.rend(s)),
+            IExpr::Sqrt(s) => format!("sqrt({})", self.rend(s)),
+            IExpr::LogAnd(a, b) => format!("({} && {})", self.rend(a), self.rend(b)),
+            IExpr::LogOr(a, b) => format!("({} || {})", self.rend(a), self.rend(b)),
+            IExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => format!(
+                "({} ? {} : {})",
+                self.rend(cond),
+                self.rend(then_e),
+                self.rend(else_e)
+            ),
+        }
+    }
+}
+
+fn ialu_str(op: IAlu) -> &'static str {
+    match op {
+        IAlu::Add => "+",
+        IAlu::Sub => "-",
+        IAlu::Mul => "*",
+        IAlu::Div => "/",
+        IAlu::Rem => "%",
+        IAlu::And => "&",
+        IAlu::Or => "|",
+        IAlu::Xor => "^",
+        IAlu::Shl => "<<",
+        IAlu::Shr => ">>",
+    }
+}
+
+fn falu_str(op: FAlu) -> &'static str {
+    match op {
+        FAlu::Add => "+",
+        FAlu::Sub => "-",
+        FAlu::Mul => "*",
+        FAlu::Div => "/",
+        FAlu::Rem => "%",
+    }
+}
+
+fn pred_str(p: Pred) -> &'static str {
+    match p {
+        Pred::Eq => "==",
+        Pred::Ne => "!=",
+        Pred::Lt => "<",
+        Pred::Le => "<=",
+        Pred::Gt => ">",
+        Pred::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Verdict;
+    use crate::lower;
+    use crate::spec::SpecConfig;
+
+    fn spec_n(n: i64) -> SpecConfig {
+        let mut s = SpecConfig::new();
+        s.set("N", n);
+        s
+    }
+
+    /// Symbolic lowering keeps `N` as an opaque constant, so the loop
+    /// bound is ⊤ and the analyzer must take the havoc-and-scan path:
+    /// a sound Unknown, never a Safe claim and never a definite fault.
+    #[test]
+    fn symbolic_bounds_force_sound_approximation() {
+        let tu = minic::parse(
+            "double A[8];
+             void init_array() {
+                 for (int i = 0; i < 8; i++) { A[i] = 1.0; }
+             }
+             double kernel_sym() {
+                 double s = 0.0;
+                 for (int i = 0; i < N; i++) { s = s + A[i]; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let spec = spec_n(8);
+        let prog = lower::lower_program_with(&tu, "kernel_sym", &spec, true).unwrap();
+        let r = abs_interpret(&prog, &tu, "kernel_sym");
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(!r.definite);
+        assert!(r.diagnostics.iter().all(|d| !d.definite));
+        // The unknown-bound load shows up as a possible out-of-bounds.
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.kind == FaultKind::OutOfBounds),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    /// Inside a havoc-widened region, a store through a *constant* index
+    /// must stay weak: it may never execute, so it cannot license a
+    /// later read. The read of `A[0]` must be flagged.
+    #[test]
+    fn scan_mode_store_does_not_initialize() {
+        let tu = minic::parse(
+            "double A[4];
+             double kernel_weak() {
+                 for (int i = 0; i < N; i++) { A[0] = 1.0; }
+                 return A[0];
+             }",
+        )
+        .unwrap();
+        let spec = spec_n(0);
+        let prog = lower::lower_program_with(&tu, "kernel_weak", &spec, true).unwrap();
+        let r = abs_interpret(&prog, &tu, "kernel_weak");
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.kind == FaultKind::UninitRead && !d.definite),
+            "store in a maybe-skipped loop must not mark A[0] initialized: {:?}",
+            r.diagnostics
+        );
+    }
+
+    /// Exhausting the step budget yields Unknown with a Budget
+    /// diagnostic — and inexact counters.
+    #[test]
+    fn fuel_exhaustion_reports_budget() {
+        let tu = minic::parse(
+            "double A[4];
+             void init_array() {
+                 for (int i = 0; i < 4; i++) { A[i] = 1.0; }
+             }
+             double kernel_long() {
+                 double s = 0.0;
+                 for (int i = 0; i < 10000; i++) { s = s + A[i % 4]; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let spec = SpecConfig::new();
+        let prog = lower::lower_program(&tu, "kernel_long", &spec).unwrap();
+        let r = abs_interpret_with_fuel(&prog, &tu, "kernel_long", 500);
+        assert_eq!(r.verdict, Verdict::Unknown);
+        assert!(!r.definite);
+        assert!(r.diagnostics.iter().any(|d| d.kind == FaultKind::Budget));
+    }
+}

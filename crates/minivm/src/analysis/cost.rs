@@ -1,0 +1,570 @@
+//! Symbolic cost derivation over the symbolically lowered IR.
+//!
+//! Walks `init_array` + the entry function counting the VM's semantic
+//! events — flops, array loads, array stores — as [`Poly`]nomials in the
+//! integer specialization constants (kept as `IExpr::SymConst` by the
+//! symbolic lowering) and the entry's integer arguments (`arg0`, …).
+//! Counted `for` loops in canonical unit-stride form are summed in
+//! closed form with Faulhaber polynomials, so perfect and triangular
+//! nests stay exact. Anything the walker cannot express exactly —
+//! data-dependent branches, `while`/`do-while`, `break`/`continue`,
+//! non-unit strides — makes it bail: no model is returned, and the
+//! abstract interpreter's per-spec counters remain the source of truth.
+
+use super::poly::{self, Poly};
+use crate::layout::ElemTy;
+use crate::lower::{IAlu, IExpr, IStmt, LProgram, Pred};
+use crate::spec::{SpecConfig, SpecValue};
+use std::collections::HashMap;
+
+/// Event totals as polynomials in the specialization constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// `true`: the polynomials are believed exact (cross-checked against
+    /// the abstract interpreter at the analyzed spec; demoted on any
+    /// disagreement).
+    pub exact: bool,
+    /// Executed f64 operations.
+    pub flops: Poly,
+    /// Array element reads.
+    pub loads: Poly,
+    /// Array element writes.
+    pub stores: Poly,
+}
+
+impl CostModel {
+    /// Evaluates all three polynomials at `spec`. `None` if a variable
+    /// is unbound or a count comes out non-integral/negative.
+    pub fn eval_at(&self, spec: &SpecConfig) -> Option<(u64, u64, u64)> {
+        let bind = |name: &str| bind_var(spec, name);
+        let f = u64::try_from(self.flops.eval(&bind)?).ok()?;
+        let l = u64::try_from(self.loads.eval(&bind)?).ok()?;
+        let s = u64::try_from(self.stores.eval(&bind)?).ok()?;
+        Some((f, l, s))
+    }
+
+    pub(crate) fn matches(&self, spec: &SpecConfig, flops: u64, loads: u64, stores: u64) -> bool {
+        self.eval_at(spec) == Some((flops, loads, stores))
+    }
+}
+
+/// Resolves a polynomial variable: a named spec constant, or `argK` for
+/// the entry's K-th integer argument.
+fn bind_var(spec: &SpecConfig, name: &str) -> Option<i64> {
+    if let Some(v) = spec.int(name) {
+        return Some(v);
+    }
+    let k: usize = name.strip_prefix("arg")?.parse().ok()?;
+    match spec.args().get(k)? {
+        SpecValue::I64(v) => Some(*v),
+        SpecValue::F64(_) => None,
+    }
+}
+
+/// Derives the cost model for a symbolically lowered program, or `None`
+/// when any construct falls outside the exactly-summable fragment.
+pub(crate) fn derive(prog: &LProgram, spec: &SpecConfig) -> Option<CostModel> {
+    let mut total = Cost::zero();
+    if let Some(init) = &prog.init {
+        let mut w = Walker::new(spec);
+        let (c, _) = w.count_stmts(&init.stmts)?;
+        total = total.add(&c)?;
+    }
+    let mut w = Walker::new(spec);
+    for (k, &(slot, ty)) in prog.entry.params.iter().enumerate() {
+        if ty == ElemTy::I {
+            w.env.insert(slot, Poly::var(&format!("arg{k}")));
+        }
+    }
+    let (c, _) = w.count_stmts(&prog.entry.stmts)?;
+    total = total.add(&c)?;
+    Some(CostModel {
+        exact: true,
+        flops: total.flops,
+        loads: total.loads,
+        stores: total.stores,
+    })
+}
+
+#[derive(Clone)]
+struct Cost {
+    flops: Poly,
+    loads: Poly,
+    stores: Poly,
+}
+
+impl Cost {
+    fn zero() -> Cost {
+        Cost {
+            flops: Poly::zero(),
+            loads: Poly::zero(),
+            stores: Poly::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.flops.is_zero() && self.loads.is_zero() && self.stores.is_zero()
+    }
+
+    fn add(&self, o: &Cost) -> Option<Cost> {
+        Some(Cost {
+            flops: self.flops.add(&o.flops)?,
+            loads: self.loads.add(&o.loads)?,
+            stores: self.stores.add(&o.stores)?,
+        })
+    }
+
+    fn map(&self, f: impl Fn(&Poly) -> Option<Poly>) -> Option<Cost> {
+        Some(Cost {
+            flops: f(&self.flops)?,
+            loads: f(&self.loads)?,
+            stores: f(&self.stores)?,
+        })
+    }
+
+    fn eq(&self, o: &Cost) -> bool {
+        self.flops == o.flops && self.loads == o.loads && self.stores == o.stores
+    }
+}
+
+struct Walker<'s> {
+    spec: &'s SpecConfig,
+    /// Known int-local values as polynomials in spec constants, entry
+    /// args, and enclosing loop-variable symbols. Absent = unknown.
+    env: HashMap<u16, Poly>,
+}
+
+impl<'s> Walker<'s> {
+    fn new(spec: &'s SpecConfig) -> Walker<'s> {
+        Walker {
+            spec,
+            env: HashMap::new(),
+        }
+    }
+
+    /// Counts a statement list. Returns the cost and whether control
+    /// definitely left the function (a top-level `return`).
+    fn count_stmts(&mut self, stmts: &[IStmt]) -> Option<(Cost, bool)> {
+        let mut total = Cost::zero();
+        for s in stmts {
+            let (c, terminated) = self.count_stmt(s)?;
+            total = total.add(&c)?;
+            if terminated {
+                return Some((total, true));
+            }
+        }
+        Some((total, false))
+    }
+
+    fn count_stmt(&mut self, s: &IStmt) -> Option<(Cost, bool)> {
+        match s {
+            IStmt::SetLocal(slot, ty, e) => {
+                let c = self.expr_cost(e)?;
+                if *ty == ElemTy::I {
+                    match self.eval_poly(e) {
+                        Some(p) => self.env.insert(*slot, p),
+                        None => self.env.remove(slot),
+                    };
+                }
+                Some((c, false))
+            }
+            IStmt::SetGlob(.., e) | IStmt::Eval(e) => Some((self.expr_cost(e)?, false)),
+            IStmt::SetElem(_, idx, value) => {
+                let mut c = self.expr_cost(idx)?.add(&self.expr_cost(value)?)?;
+                c.stores = c.stores.add(&Poly::constant(1))?;
+                Some((c, false))
+            }
+            IStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let cc = self.expr_cost(cond)?;
+                match self.eval_num(cond) {
+                    Some(v) => {
+                        let (bc, term) = self.count_stmts(if v != 0 { then_s } else { else_s })?;
+                        Some((cc.add(&bc)?, term))
+                    }
+                    None => {
+                        // Undecidable branch: sound only when both sides
+                        // cost the same. Kill every local either side
+                        // can assign, then compare.
+                        let mut killed = Vec::new();
+                        assigned_int_slots(then_s, &mut killed);
+                        assigned_int_slots(else_s, &mut killed);
+                        for slot in &killed {
+                            self.env.remove(slot);
+                        }
+                        let (tc, tterm) = self.count_stmts(then_s)?;
+                        let (ec, eterm) = self.count_stmts(else_s)?;
+                        if tterm || eterm || !tc.eq(&ec) {
+                            return None;
+                        }
+                        Some((cc.add(&tc)?, false))
+                    }
+                }
+            }
+            IStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let (ic, iterm) = self.count_stmts(init)?;
+                if iterm {
+                    return Some((ic, true));
+                }
+                let lc = self.count_for_loop(cond.as_ref()?, step, body)?;
+                Some((ic.add(&lc)?, false))
+            }
+            // Outside the exactly-summable fragment.
+            IStmt::While { .. } | IStmt::DoWhile { .. } | IStmt::Break | IStmt::Continue => None,
+            IStmt::Return(e) => {
+                let c = match e {
+                    Some(e) => self.expr_cost(e)?,
+                    None => Cost::zero(),
+                };
+                Some((c, true))
+            }
+        }
+    }
+
+    /// The canonical counted loop: `for (v = P0; v <pred> B; v ± 1)`.
+    fn count_for_loop(&mut self, cond: &IExpr, step: &[IStmt], body: &[IStmt]) -> Option<Cost> {
+        // Condition shape: CmpI(pred, LocalI(v), bound).
+        let IExpr::CmpI(pred, lhs, bound) = cond else {
+            return None;
+        };
+        let IExpr::LocalI(v) = **lhs else { return None };
+        // Step shape: exactly `v = v ± 1`.
+        let [IStmt::SetLocal(sv, ElemTy::I, se)] = step else {
+            return None;
+        };
+        if *sv != v {
+            return None;
+        }
+        let IExpr::BinI(dir, sa, sb) = se else {
+            return None;
+        };
+        let (IExpr::LocalI(va), IExpr::ConstI(1)) = (&**sa, &**sb) else {
+            return None;
+        };
+        if *va != v || !matches!(dir, IAlu::Add | IAlu::Sub) {
+            return None;
+        }
+
+        let p0 = self.env.get(&v)?.clone();
+        let bound_poly = self.eval_poly(bound)?;
+        // The bound and start must be loop-invariant: no local feeding
+        // them may be assigned by the body or step, and neither may
+        // reference the loop variable itself.
+        let mut body_assigned = Vec::new();
+        assigned_int_slots(body, &mut body_assigned);
+        if body_assigned.contains(&v) || expr_uses_any_slot(bound, &body_assigned) {
+            return None;
+        }
+        let sym = format!("__loop{v}");
+        if p0.mentions(&sym) || bound_poly.mentions(&sym) {
+            return None;
+        }
+
+        // Iteration-value range [lo, hi] and the exit value of v.
+        let one = Poly::constant(1);
+        let (lo, hi, exit) = match (dir, pred) {
+            (IAlu::Add, Pred::Lt) => (p0.clone(), bound_poly.sub(&one)?, bound_poly.clone()),
+            (IAlu::Add, Pred::Le) => (p0.clone(), bound_poly.clone(), bound_poly.add(&one)?),
+            (IAlu::Sub, Pred::Ge) => (bound_poly.clone(), p0.clone(), bound_poly.sub(&one)?),
+            (IAlu::Sub, Pred::Gt) => (bound_poly.add(&one)?, p0.clone(), bound_poly.clone()),
+            _ => return None,
+        };
+
+        // Count one iteration with v symbolic. Locals the body assigns
+        // are unknown across iterations.
+        for slot in &body_assigned {
+            self.env.remove(slot);
+        }
+        self.env.insert(v, Poly::var(&sym));
+        let cond_c = self.expr_cost(cond)?;
+        let (body_c, bterm) = self.count_stmts(body)?;
+        if bterm {
+            return None;
+        }
+        let step_c = self.expr_cost(se)?;
+        let per_iter = cond_c.add(&body_c)?.add(&step_c)?;
+
+        // Σ over the value range, plus the final (failing) condition
+        // evaluation at the exit value.
+        let summed = per_iter.map(|p| poly::sum_over(p, &sym, &lo, &hi))?;
+        let exit_cond = cond_c.map(|p| subst(p, &sym, &exit))?;
+        let total = summed.add(&exit_cond)?;
+
+        // After the loop, v holds the exit value; the body's other
+        // assignments are already killed.
+        self.env.insert(v, exit);
+        Some(total)
+    }
+
+    /// Counted events of one evaluation of `e`, with short-circuit and
+    /// ternary operands resolved where statically possible.
+    fn expr_cost(&self, e: &IExpr) -> Option<Cost> {
+        Some(match e {
+            IExpr::ConstI(_)
+            | IExpr::ConstF(_)
+            | IExpr::SymConst(_)
+            | IExpr::LocalI(_)
+            | IExpr::LocalF(_)
+            | IExpr::GlobI(_)
+            | IExpr::GlobF(_) => Cost::zero(),
+            IExpr::LoadI(_, idx) | IExpr::LoadF(_, idx) => {
+                let mut c = self.expr_cost(idx)?;
+                c.loads = c.loads.add(&Poly::constant(1))?;
+                c
+            }
+            IExpr::BinI(_, a, b) | IExpr::CmpI(_, a, b) => {
+                self.expr_cost(a)?.add(&self.expr_cost(b)?)?
+            }
+            IExpr::CmpF(_, a, b) => self.expr_cost(a)?.add(&self.expr_cost(b)?)?,
+            IExpr::BinF(_, a, b) => {
+                let mut c = self.expr_cost(a)?.add(&self.expr_cost(b)?)?;
+                c.flops = c.flops.add(&Poly::constant(1))?;
+                c
+            }
+            IExpr::NegF(s) | IExpr::Sqrt(s) => {
+                let mut c = self.expr_cost(s)?;
+                c.flops = c.flops.add(&Poly::constant(1))?;
+                c
+            }
+            IExpr::NegI(s)
+            | IExpr::NotI(s)
+            | IExpr::BitNotI(s)
+            | IExpr::TruthyF(s)
+            | IExpr::I2F(s)
+            | IExpr::F2I(s) => self.expr_cost(s)?,
+            IExpr::LogAnd(a, b) | IExpr::LogOr(a, b) => {
+                let ca = self.expr_cost(a)?;
+                let cb = self.expr_cost(b)?;
+                if cb.is_zero() {
+                    // Whether the right side runs is irrelevant.
+                    ca
+                } else {
+                    let av = self.eval_num(a)?;
+                    let runs_b = (av != 0) == matches!(e, IExpr::LogAnd(..));
+                    if runs_b {
+                        ca.add(&cb)?
+                    } else {
+                        ca
+                    }
+                }
+            }
+            IExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ..
+            } => {
+                let cc = self.expr_cost(cond)?;
+                let tc = self.expr_cost(then_e)?;
+                let ec = self.expr_cost(else_e)?;
+                if tc.eq(&ec) {
+                    cc.add(&tc)?
+                } else {
+                    let v = self.eval_num(cond)?;
+                    cc.add(if v != 0 { &tc } else { &ec })?
+                }
+            }
+        })
+    }
+
+    /// Evaluates an int expression to a polynomial where the grammar
+    /// allows (constants, spec symbols, known locals, `+ - *`, unary
+    /// minus).
+    fn eval_poly(&self, e: &IExpr) -> Option<Poly> {
+        match e {
+            IExpr::ConstI(v) => Some(Poly::constant(*v)),
+            IExpr::SymConst(n) => Some(Poly::var(n)),
+            IExpr::LocalI(s) => self.env.get(s).cloned(),
+            IExpr::BinI(op, a, b) => {
+                let x = self.eval_poly(a)?;
+                let y = self.eval_poly(b)?;
+                match op {
+                    IAlu::Add => x.add(&y),
+                    IAlu::Sub => x.sub(&y),
+                    IAlu::Mul => x.mul(&y),
+                    _ => None,
+                }
+            }
+            IExpr::NegI(s) => Some(self.eval_poly(s)?.neg()),
+            _ => None,
+        }
+    }
+
+    /// Evaluates an int expression numerically at the analyzed spec —
+    /// spec-static control decisions only. Fails on anything touching
+    /// loop variables, memory, or unknown locals.
+    fn eval_num(&self, e: &IExpr) -> Option<i64> {
+        match e {
+            IExpr::CmpI(p, a, b) => {
+                let (x, y) = (self.eval_num(a)?, self.eval_num(b)?);
+                Some(i64::from(match p {
+                    Pred::Eq => x == y,
+                    Pred::Ne => x != y,
+                    Pred::Lt => x < y,
+                    Pred::Le => x <= y,
+                    Pred::Gt => x > y,
+                    Pred::Ge => x >= y,
+                }))
+            }
+            IExpr::CmpF(p, a, b) => {
+                let (x, y) = (self.eval_fnum(a)?, self.eval_fnum(b)?);
+                Some(i64::from(match p {
+                    Pred::Eq => x == y,
+                    Pred::Ne => x != y,
+                    Pred::Lt => x < y,
+                    Pred::Le => x <= y,
+                    Pred::Gt => x > y,
+                    Pred::Ge => x >= y,
+                }))
+            }
+            IExpr::NotI(s) => Some(i64::from(self.eval_num(s)? == 0)),
+            IExpr::BitNotI(s) => Some(!self.eval_num(s)?),
+            IExpr::TruthyF(s) => Some(i64::from(self.eval_fnum(s)? != 0.0)),
+            IExpr::F2I(s) => Some(self.eval_fnum(s)? as i64),
+            IExpr::LogAnd(a, b) => {
+                if self.eval_num(a)? == 0 {
+                    Some(0)
+                } else {
+                    Some(i64::from(self.eval_num(b)? != 0))
+                }
+            }
+            IExpr::LogOr(a, b) => {
+                if self.eval_num(a)? != 0 {
+                    Some(1)
+                } else {
+                    Some(i64::from(self.eval_num(b)? != 0))
+                }
+            }
+            IExpr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                ty: ElemTy::I,
+            } => {
+                if self.eval_num(cond)? != 0 {
+                    self.eval_num(then_e)
+                } else {
+                    self.eval_num(else_e)
+                }
+            }
+            IExpr::BinI(op, a, b) => {
+                let (x, y) = (self.eval_num(a)?, self.eval_num(b)?);
+                Some(match op {
+                    IAlu::Add => x.wrapping_add(y),
+                    IAlu::Sub => x.wrapping_sub(y),
+                    IAlu::Mul => x.wrapping_mul(y),
+                    IAlu::Div if y != 0 => x.wrapping_div(y),
+                    IAlu::Rem if y != 0 => x.wrapping_rem(y),
+                    IAlu::And => x & y,
+                    IAlu::Or => x | y,
+                    IAlu::Xor => x ^ y,
+                    IAlu::Shl => x.wrapping_shl(y as u32),
+                    IAlu::Shr => x.wrapping_shr(y as u32),
+                    _ => return None,
+                })
+            }
+            IExpr::NegI(s) => Some(self.eval_num(s)?.wrapping_neg()),
+            // Values that must be spec-static constants.
+            _ => {
+                let p = self.eval_poly(e)?;
+                let bind = |name: &str| bind_var(self.spec, name);
+                i64::try_from(p.eval(&bind)?).ok()
+            }
+        }
+    }
+
+    /// Minimal numeric float evaluation for spec-static comparisons.
+    fn eval_fnum(&self, e: &IExpr) -> Option<f64> {
+        match e {
+            IExpr::ConstF(v) => Some(*v),
+            IExpr::I2F(s) => Some(self.eval_num(s)? as f64),
+            _ => None,
+        }
+    }
+}
+
+/// `p[v := r]` via the coefficient split.
+fn subst(p: &Poly, v: &str, r: &Poly) -> Option<Poly> {
+    let coeffs = p.coeffs_in(v)?;
+    let mut out = Poly::zero();
+    for (k, c) in coeffs.iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        out = out.add(&c.mul(&r.pow(k as u32)?)?)?;
+    }
+    Some(out)
+}
+
+/// Int-typed local slots any statement in the region can write.
+fn assigned_int_slots(stmts: &[IStmt], out: &mut Vec<u16>) {
+    for s in stmts {
+        match s {
+            IStmt::SetLocal(slot, ElemTy::I, _) if !out.contains(slot) => {
+                out.push(*slot);
+            }
+            IStmt::If { then_s, else_s, .. } => {
+                assigned_int_slots(then_s, out);
+                assigned_int_slots(else_s, out);
+            }
+            IStmt::While { body, .. } | IStmt::DoWhile { body, .. } => {
+                assigned_int_slots(body, out);
+            }
+            IStmt::For {
+                init, step, body, ..
+            } => {
+                assigned_int_slots(init, out);
+                assigned_int_slots(step, out);
+                assigned_int_slots(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether `e` reads any of the given int local slots.
+fn expr_uses_any_slot(e: &IExpr, slots: &[u16]) -> bool {
+    match e {
+        IExpr::LocalI(s) => slots.contains(s),
+        IExpr::ConstI(_)
+        | IExpr::ConstF(_)
+        | IExpr::SymConst(_)
+        | IExpr::LocalF(_)
+        | IExpr::GlobI(_)
+        | IExpr::GlobF(_) => false,
+        IExpr::LoadI(_, s)
+        | IExpr::LoadF(_, s)
+        | IExpr::NegI(s)
+        | IExpr::NegF(s)
+        | IExpr::NotI(s)
+        | IExpr::BitNotI(s)
+        | IExpr::TruthyF(s)
+        | IExpr::I2F(s)
+        | IExpr::F2I(s)
+        | IExpr::Sqrt(s) => expr_uses_any_slot(s, slots),
+        IExpr::BinI(_, a, b)
+        | IExpr::BinF(_, a, b)
+        | IExpr::CmpI(_, a, b)
+        | IExpr::CmpF(_, a, b)
+        | IExpr::LogAnd(a, b)
+        | IExpr::LogOr(a, b) => expr_uses_any_slot(a, slots) || expr_uses_any_slot(b, slots),
+        IExpr::Ternary {
+            cond,
+            then_e,
+            else_e,
+            ..
+        } => {
+            expr_uses_any_slot(cond, slots)
+                || expr_uses_any_slot(then_e, slots)
+                || expr_uses_any_slot(else_e, slots)
+        }
+    }
+}

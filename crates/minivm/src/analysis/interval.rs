@@ -1,0 +1,271 @@
+//! The integer interval domain of the abstract interpreter.
+//!
+//! Singleton intervals replicate the VM's exact wrapping semantics, so
+//! an analysis that stays on singletons is a faithful (counting)
+//! re-execution of the integer slice of the program. Non-singleton
+//! arithmetic is evaluated in `i128`; any candidate bound that leaves
+//! the `i64` range widens to ⊤ — sound for the VM's wrapping ops
+//! without modelling wrap-around shapes.
+
+use crate::lower::{IAlu, Pred};
+
+/// A closed integer interval `[lo, hi]` (`lo <= hi`). The full range
+/// is the ⊤ element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interval {
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
+}
+
+impl Interval {
+    pub(crate) const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    pub(crate) fn exact(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    pub(crate) fn new(lo: i64, hi: i64) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval { lo, hi }
+    }
+
+    /// The single concrete value, when the interval is a singleton.
+    pub(crate) fn singleton(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    pub(crate) fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    pub(crate) fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Applies a binary integer ALU op. `Div`/`Rem` assume the caller
+    /// already excluded a zero divisor (fault handling happens there).
+    pub(crate) fn alu(op: IAlu, a: Interval, b: Interval) -> Interval {
+        if let (Some(x), Some(y)) = (a.singleton(), b.singleton()) {
+            // Exact path: mirror `vm::exec` bit-for-bit.
+            return Interval::exact(match op {
+                IAlu::Add => x.wrapping_add(y),
+                IAlu::Sub => x.wrapping_sub(y),
+                IAlu::Mul => x.wrapping_mul(y),
+                IAlu::Div => x.wrapping_div(y),
+                IAlu::Rem => x.wrapping_rem(y),
+                IAlu::And => x & y,
+                IAlu::Or => x | y,
+                IAlu::Xor => x ^ y,
+                IAlu::Shl => x.wrapping_shl(y as u32),
+                IAlu::Shr => x.wrapping_shr(y as u32),
+            });
+        }
+        match op {
+            IAlu::Add => from_candidates(&[
+                i128::from(a.lo) + i128::from(b.lo),
+                i128::from(a.hi) + i128::from(b.hi),
+            ]),
+            IAlu::Sub => from_candidates(&[
+                i128::from(a.lo) - i128::from(b.hi),
+                i128::from(a.hi) - i128::from(b.lo),
+            ]),
+            IAlu::Mul => from_candidates(&[
+                i128::from(a.lo) * i128::from(b.lo),
+                i128::from(a.lo) * i128::from(b.hi),
+                i128::from(a.hi) * i128::from(b.lo),
+                i128::from(a.hi) * i128::from(b.hi),
+            ]),
+            IAlu::Div => {
+                // Candidates over the divisor's extremes and the values
+                // nearest zero on each side that lie in the interval.
+                let mut cands = Vec::with_capacity(16);
+                for d in divisor_probes(b) {
+                    cands.push(i128::from(a.lo) / i128::from(d));
+                    cands.push(i128::from(a.hi) / i128::from(d));
+                }
+                if cands.is_empty() {
+                    return Interval::TOP;
+                }
+                from_candidates(&cands)
+            }
+            IAlu::Rem => {
+                // `x % y` has |result| < max|y| and takes the dividend's
+                // sign (or zero).
+                let m = i128::from(b.lo.unsigned_abs().max(b.hi.unsigned_abs()));
+                if m == 0 {
+                    return Interval::TOP;
+                }
+                let bound = m - 1;
+                let lo = if a.lo >= 0 { 0 } else { -bound };
+                let hi = if a.hi <= 0 { 0 } else { bound };
+                from_candidates(&[lo, hi])
+            }
+            // Bit ops and shifts on non-singletons: give up (sound).
+            IAlu::And | IAlu::Or | IAlu::Xor | IAlu::Shl | IAlu::Shr => Interval::TOP,
+        }
+    }
+
+    pub(crate) fn neg(self) -> Interval {
+        if let Some(v) = self.singleton() {
+            return Interval::exact(v.wrapping_neg());
+        }
+        from_candidates(&[-i128::from(self.hi), -i128::from(self.lo)])
+    }
+
+    /// `(x == 0) as i64` over the interval.
+    pub(crate) fn logical_not(self) -> Interval {
+        match self.singleton() {
+            Some(v) => Interval::exact(i64::from(v == 0)),
+            None if !self.contains(0) => Interval::exact(0),
+            None => Interval::new(0, 1),
+        }
+    }
+
+    /// `(x != 0) as i64` over the interval.
+    pub(crate) fn truthy(self) -> Interval {
+        match self.singleton() {
+            Some(v) => Interval::exact(i64::from(v != 0)),
+            None if !self.contains(0) => Interval::exact(1),
+            None => Interval::new(0, 1),
+        }
+    }
+
+    pub(crate) fn bit_not(self) -> Interval {
+        match self.singleton() {
+            Some(v) => Interval::exact(!v),
+            // `!x` = `-x - 1`: monotone decreasing, exact on bounds.
+            None => from_candidates(&[-i128::from(self.hi) - 1, -i128::from(self.lo) - 1]),
+        }
+    }
+
+    /// Evaluates a comparison to a 0/1 interval.
+    pub(crate) fn cmp(p: Pred, a: Interval, b: Interval) -> Interval {
+        let (always, never) = match p {
+            Pred::Eq => (
+                a.singleton().is_some() && a == b,
+                a.hi < b.lo || b.hi < a.lo,
+            ),
+            Pred::Ne => (
+                a.hi < b.lo || b.hi < a.lo,
+                a.singleton().is_some() && a == b,
+            ),
+            Pred::Lt => (a.hi < b.lo, a.lo >= b.hi),
+            Pred::Le => (a.hi <= b.lo, a.lo > b.hi),
+            Pred::Gt => (a.lo > b.hi, a.hi <= b.lo),
+            Pred::Ge => (a.lo >= b.hi, a.hi < b.lo),
+        };
+        if always {
+            Interval::exact(1)
+        } else if never {
+            Interval::exact(0)
+        } else {
+            Interval::new(0, 1)
+        }
+    }
+}
+
+/// Builds the tightest interval covering `candidates`, widening to ⊤ on
+/// `i64` overflow.
+fn from_candidates(candidates: &[i128]) -> Interval {
+    let mut lo = i128::MAX;
+    let mut hi = i128::MIN;
+    for &c in candidates {
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    if lo < i128::from(i64::MIN) || hi > i128::from(i64::MAX) {
+        return Interval::TOP;
+    }
+    Interval::new(lo as i64, hi as i64)
+}
+
+/// The divisor values that can produce extreme quotients: the interval
+/// endpoints and the in-interval values nearest zero on each side.
+/// Zero itself is excluded (the caller handles the trap case).
+fn divisor_probes(b: Interval) -> Vec<i64> {
+    let mut probes = Vec::with_capacity(4);
+    for cand in [b.lo, b.hi, -1, 1] {
+        if cand != 0 && b.contains(cand) && !probes.contains(&cand) {
+            probes.push(cand);
+        }
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_follow_wrapping_vm_semantics() {
+        let a = Interval::exact(i64::MAX);
+        let b = Interval::exact(1);
+        assert_eq!(Interval::alu(IAlu::Add, a, b), Interval::exact(i64::MIN));
+        assert_eq!(
+            Interval::alu(IAlu::Mul, Interval::exact(7), Interval::exact(6)),
+            Interval::exact(42)
+        );
+        assert_eq!(
+            Interval::alu(IAlu::Rem, Interval::exact(-7), Interval::exact(3)),
+            Interval::exact(-1)
+        );
+    }
+
+    #[test]
+    fn range_arithmetic_is_conservative() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(2, 3);
+        assert_eq!(Interval::alu(IAlu::Add, a, b), Interval::new(2, 13));
+        assert_eq!(Interval::alu(IAlu::Mul, a, b), Interval::new(0, 30));
+        assert_eq!(Interval::alu(IAlu::Sub, a, b), Interval::new(-3, 8));
+        // Overflowing ranges widen to ⊤ instead of wrapping.
+        let big = Interval::new(0, i64::MAX);
+        assert!(Interval::alu(IAlu::Add, big, b).is_top());
+    }
+
+    #[test]
+    fn division_probes_cover_sign_flips() {
+        let a = Interval::new(-100, 100);
+        let b = Interval::new(-2, 5); // contains -1 and 1 (0 excluded by caller)
+        let d = Interval::alu(IAlu::Div, a, b);
+        assert!(d.contains(100) && d.contains(-100), "{d:?}");
+        let r = Interval::alu(IAlu::Rem, a, Interval::new(1, 4));
+        assert_eq!(r, Interval::new(-3, 3));
+    }
+
+    #[test]
+    fn comparisons_decide_when_ranges_separate() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(6, 9);
+        assert_eq!(Interval::cmp(Pred::Lt, a, b), Interval::exact(1));
+        assert_eq!(Interval::cmp(Pred::Ge, a, b), Interval::exact(0));
+        assert_eq!(
+            Interval::cmp(Pred::Eq, a, Interval::new(5, 6)),
+            Interval::new(0, 1)
+        );
+        assert_eq!(
+            Interval::cmp(Pred::Ne, a, Interval::new(7, 8)),
+            Interval::exact(1)
+        );
+    }
+
+    #[test]
+    fn truthiness_lattice() {
+        assert_eq!(Interval::exact(0).truthy(), Interval::exact(0));
+        assert_eq!(Interval::new(3, 9).truthy(), Interval::exact(1));
+        assert_eq!(Interval::new(-1, 1).truthy(), Interval::new(0, 1));
+        assert_eq!(Interval::new(-1, 1).logical_not(), Interval::new(0, 1));
+        assert_eq!(Interval::exact(0).logical_not(), Interval::exact(1));
+    }
+}

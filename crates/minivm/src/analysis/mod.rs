@@ -1,0 +1,195 @@
+//! Static analysis over the typed IR: safety verification + cost model.
+//!
+//! [`analyze`] runs two passes over a `(program, SpecConfig)` pair at
+//! lowering time, before any VM executes:
+//!
+//! * **Abstract interpretation** (`absint`) — an interval +
+//!   initialization analysis whose domain degenerates to exact concrete
+//!   execution while every value stays concrete (always true for the
+//!   fully-specialized Polybench kernels). It proves — or refutes —
+//!   freedom from the three trap classes the checked VM enforces
+//!   dynamically: out-of-bounds element accesses, reads of
+//!   never-written array cells, and integer division by zero. On
+//!   control flow it cannot decide it falls back to a sound
+//!   havoc-and-scan approximation, so a [`Verdict::Safe`] claim always
+//!   covers *every* concrete execution.
+//! * **Symbolic cost modeling** (`cost`) — lowers the program a second
+//!   time with specialization constants kept symbolic and derives
+//!   flop/load/store totals as polynomials in those constants
+//!   (Faulhaber summation over canonical counted loops). Where the
+//!   symbolic walker bails (data-dependent branches), the abstract
+//!   interpreter's counters still give exact numbers for the concrete
+//!   spec.
+//!
+//! The two are cross-checked: a symbolic polynomial that disagrees with
+//! the abstract interpreter's exact count at the analyzed spec is
+//! demoted to inexact rather than trusted.
+
+mod absint;
+mod cost;
+mod interval;
+mod poly;
+
+pub use cost::CostModel;
+pub use poly::Poly;
+
+use crate::lower;
+use crate::spec::SpecConfig;
+use crate::EngineError;
+use minic::TranslationUnit;
+use serde::{Deserialize, Serialize};
+
+/// The safety classes the analyzer verifies and the checked VM traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An array element access whose flat index can leave `[0, len)`.
+    OutOfBounds,
+    /// A read of an array cell no store has written.
+    UninitRead,
+    /// An integer `/` or `%` whose divisor can be zero.
+    DivByZero,
+    /// The analysis step budget ran out before execution was covered.
+    Budget,
+}
+
+impl FaultKind {
+    /// Stable lowercase label (used in rendered diagnostics and goldens).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::OutOfBounds => "out-of-bounds",
+            FaultKind::UninitRead => "uninit-read",
+            FaultKind::DivByZero => "div-by-zero",
+            FaultKind::Budget => "budget",
+        }
+    }
+}
+
+/// One typed, source-located analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// `true`: the fault definitely occurs on the analyzed spec (the
+    /// analysis was still an exact re-execution when it hit).
+    /// `false`: the fault is possible on some path the analysis could
+    /// not exclude.
+    pub definite: bool,
+    /// The function containing the site.
+    pub function: String,
+    /// 1-based source line of the containing function's definition.
+    pub line: u32,
+    /// The offending expression, rendered C-like from the IR.
+    pub site: String,
+    /// Human-readable specifics (index value, array extent, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = if self.definite { "error" } else { "warning" };
+        write!(
+            f,
+            "{sev}[{}]: {} at `{}` in `{}` (line {})",
+            self.kind.label(),
+            self.detail,
+            self.site,
+            self.function,
+            self.line
+        )
+    }
+}
+
+/// The analyzer's overall safety claim, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Every concrete execution under the analyzed spec is trap-free:
+    /// the checked VM completes without trapping.
+    Safe,
+    /// The analysis could not prove safety (possible faults or budget
+    /// exhaustion); no claim either way.
+    Unknown,
+    /// A trap definitely fires on the analyzed spec.
+    Unsafe,
+}
+
+/// The result of analyzing one `(program, entry, SpecConfig)` triple.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The safety claim.
+    pub verdict: Verdict,
+    /// Findings, deduplicated by (kind, site), definite faults first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Predicted semantic event counters for the analyzed spec.
+    pub flops: u64,
+    /// Predicted array element reads.
+    pub loads: u64,
+    /// Predicted array element writes.
+    pub stores: u64,
+    /// `true`: the predicted counters are exact — the analysis remained
+    /// a concrete re-execution end to end, so they equal the VM's
+    /// `ExecutionReport` field for field.
+    pub counts_exact: bool,
+    /// Symbolic cost model (polynomials in the spec constants), when the
+    /// symbolic walker covered the whole program.
+    pub cost: Option<CostModel>,
+    /// Analysis wall-clock in nanoseconds.
+    pub analysis_ns: u64,
+}
+
+impl AnalysisReport {
+    /// `true` iff the verdict is [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        self.verdict == Verdict::Safe
+    }
+
+    /// Renders every diagnostic, one per line (golden-test format).
+    pub fn render_diagnostics(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Statically analyzes `entry` (plus `init_array`) of `tu` under `spec`.
+///
+/// Errors only when the program fails validation or lowering — i.e. for
+/// exactly the inputs [`crate::compile`] rejects. Safety findings are
+/// carried *inside* the report, not as errors.
+pub fn analyze(
+    tu: &TranslationUnit,
+    entry: &str,
+    spec: &SpecConfig,
+) -> Result<AnalysisReport, EngineError> {
+    let t0 = std::time::Instant::now();
+    crate::validate(tu, entry, spec)?;
+    let prog = lower::lower_program(tu, entry, spec)?;
+    let abs = absint::abs_interpret(&prog, tu, entry);
+
+    // The symbolic pass re-lowers with spec constants kept as names.
+    // Lowering already succeeded concretely, so a symbolic failure would
+    // be a bug; treat it as "no symbolic model" rather than an error.
+    let mut cost = lower::lower_program_with(tu, entry, spec, true)
+        .ok()
+        .and_then(|sym| cost::derive(&sym, spec));
+    if let Some(c) = &mut cost {
+        // Cross-check: the polynomial evaluated at this spec must agree
+        // with the abstract interpreter wherever both claim exactness.
+        if c.exact && abs.definite && !c.matches(spec, abs.flops, abs.loads, abs.stores) {
+            c.exact = false;
+        }
+    }
+
+    Ok(AnalysisReport {
+        verdict: abs.verdict,
+        diagnostics: abs.diagnostics,
+        flops: abs.flops,
+        loads: abs.loads,
+        stores: abs.stores,
+        counts_exact: abs.definite,
+        cost,
+        analysis_ns: t0.elapsed().as_nanos() as u64,
+    })
+}

@@ -1,0 +1,490 @@
+//! Multivariate polynomials with exact rational coefficients.
+//!
+//! The symbolic cost model expresses event counts as polynomials in the
+//! specialization constants (and, transiently, loop-variable symbols).
+//! Coefficients are `i128` rationals; every operation is
+//! overflow-checked and returns `None` on overflow, which the cost
+//! walker treats as "no symbolic model" rather than a wrong one.
+//! Summation over counted loops uses Faulhaber polynomials, so a
+//! perfect triangular nest stays exact.
+
+use std::collections::BTreeMap;
+
+/// A reduced rational with a positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Ratio {
+    pub(crate) const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    pub(crate) const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    pub(crate) fn int(v: i64) -> Ratio {
+        Ratio {
+            num: i128::from(v),
+            den: 1,
+        }
+    }
+
+    fn normalized(num: i128, den: i128) -> Ratio {
+        debug_assert!(den != 0);
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn add(self, o: Ratio) -> Option<Ratio> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Some(Ratio::normalized(num, self.den.checked_mul(o.den)?))
+    }
+
+    fn mul(self, o: Ratio) -> Option<Ratio> {
+        Some(Ratio::normalized(
+            self.num.checked_mul(o.num)?,
+            self.den.checked_mul(o.den)?,
+        ))
+    }
+
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    fn div_int(self, k: i128) -> Option<Ratio> {
+        if k == 0 {
+            return None;
+        }
+        Some(Ratio::normalized(self.num, self.den.checked_mul(k)?))
+    }
+}
+
+/// A monomial: variables with positive powers, sorted by name.
+type Monomial = Vec<(Box<str>, u32)>;
+
+/// A multivariate polynomial with rational coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Ratio>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(v: i64) -> Poly {
+        Poly::from_ratio(Ratio::int(v))
+    }
+
+    pub(crate) fn from_ratio(r: Ratio) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !r.is_zero() {
+            terms.insert(Vec::new(), r);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `name`.
+    pub fn var(name: &str) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![(name.into(), 1)], Ratio::ONE);
+        Poly { terms }
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, when the polynomial is constant and integral.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            return Some(0);
+        }
+        if self.terms.len() > 1 {
+            return None;
+        }
+        let (m, r) = self.terms.iter().next()?;
+        if !m.is_empty() || r.den != 1 {
+            return None;
+        }
+        i64::try_from(r.num).ok()
+    }
+
+    fn insert(terms: &mut BTreeMap<Monomial, Ratio>, m: Monomial, r: Ratio) -> Option<()> {
+        match terms.entry(m) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                if !r.is_zero() {
+                    e.insert(r);
+                }
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let sum = e.get().add(r)?;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+        Some(())
+    }
+
+    pub(crate) fn add(&self, o: &Poly) -> Option<Poly> {
+        let mut terms = self.terms.clone();
+        for (m, r) in &o.terms {
+            Poly::insert(&mut terms, m.clone(), *r)?;
+        }
+        Some(Poly { terms })
+    }
+
+    pub(crate) fn neg(&self) -> Poly {
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, r)| (m.clone(), r.neg()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn sub(&self, o: &Poly) -> Option<Poly> {
+        self.add(&o.neg())
+    }
+
+    pub(crate) fn mul(&self, o: &Poly) -> Option<Poly> {
+        let mut terms = BTreeMap::new();
+        for (ma, ra) in &self.terms {
+            for (mb, rb) in &o.terms {
+                Poly::insert(&mut terms, mul_monomials(ma, mb), ra.mul(*rb)?)?;
+            }
+        }
+        Some(Poly { terms })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn mul_int(&self, k: i64) -> Option<Poly> {
+        self.mul(&Poly::constant(k))
+    }
+
+    pub(crate) fn pow(&self, k: u32) -> Option<Poly> {
+        let mut acc = Poly::constant(1);
+        for _ in 0..k {
+            acc = acc.mul(self)?;
+        }
+        Some(acc)
+    }
+
+    /// Splits into coefficients of powers of `v`: result `c` satisfies
+    /// `self = Σ_k c[k] * v^k` and `c[k]` does not mention `v`.
+    pub(crate) fn coeffs_in(&self, v: &str) -> Option<Vec<Poly>> {
+        let mut out: Vec<Poly> = Vec::new();
+        for (m, r) in &self.terms {
+            let k = m
+                .iter()
+                .find(|(name, _)| name.as_ref() == v)
+                .map_or(0, |&(_, p)| p) as usize;
+            let rest: Monomial = m
+                .iter()
+                .filter(|(name, _)| name.as_ref() != v)
+                .cloned()
+                .collect();
+            if out.len() <= k {
+                out.resize(k + 1, Poly::zero());
+            }
+            Poly::insert(&mut out[k].terms, rest, *r)?;
+        }
+        if out.is_empty() {
+            out.push(Poly::zero());
+        }
+        Some(out)
+    }
+
+    /// `true` when `v` appears in any term.
+    pub(crate) fn mentions(&self, v: &str) -> bool {
+        self.terms
+            .keys()
+            .any(|m| m.iter().any(|(name, _)| name.as_ref() == v))
+    }
+
+    /// Exact evaluation at integer variable values. Returns `None` if a
+    /// variable is unbound, the arithmetic overflows, or the result is
+    /// not an integer (a correct count polynomial always is on the trip
+    /// counts it was derived from).
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Option<i128> {
+        let mut acc = Ratio::ZERO;
+        for (m, r) in &self.terms {
+            let mut term = *r;
+            for (name, pow) in m {
+                let v = i128::from(lookup(name)?);
+                let mut p = 1i128;
+                for _ in 0..*pow {
+                    p = p.checked_mul(v)?;
+                }
+                term = term.mul(Ratio { num: p, den: 1 })?;
+            }
+            acc = acc.add(term)?;
+        }
+        (acc.den == 1).then_some(acc.num)
+    }
+
+    /// Every variable name mentioned, sorted and deduplicated.
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars: Vec<String> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.iter().map(|(n, _)| n.to_string()))
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+}
+
+fn mul_monomials(a: &Monomial, b: &Monomial) -> Monomial {
+    let mut out: BTreeMap<Box<str>, u32> = BTreeMap::new();
+    for (n, p) in a.iter().chain(b) {
+        *out.entry(n.clone()).or_insert(0) += p;
+    }
+    out.into_iter().collect()
+}
+
+impl std::fmt::Display for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Highest total degree first reads naturally (N^2 + N + 1).
+        let mut terms: Vec<(&Monomial, &Ratio)> = self.terms.iter().collect();
+        terms.sort_by_key(|(m, _)| std::cmp::Reverse(m.iter().map(|&(_, p)| p).sum::<u32>()));
+        for (i, (m, r)) in terms.iter().enumerate() {
+            let neg = r.num < 0;
+            if i == 0 {
+                if neg {
+                    write!(f, "-")?;
+                }
+            } else {
+                f.write_str(if neg { " - " } else { " + " })?;
+            }
+            let num = r.num.abs();
+            let coeff_is_one = num == 1 && r.den == 1;
+            if !coeff_is_one || m.is_empty() {
+                write!(f, "{num}")?;
+                if r.den != 1 {
+                    write!(f, "/{}", r.den)?;
+                }
+                if !m.is_empty() {
+                    write!(f, "*")?;
+                }
+            }
+            for (j, (name, pow)) in m.iter().enumerate() {
+                if j > 0 {
+                    write!(f, "*")?;
+                }
+                write!(f, "{name}")?;
+                if *pow > 1 {
+                    write!(f, "^{pow}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Coefficients of the Faulhaber polynomial `F_k(x) = Σ_{v=1}^{x} v^k`
+/// (index = power of `x`, length `k + 2`), computed by the recurrence
+/// `(k+1) F_k(x) = (x+1)^{k+1} - 1 - Σ_{j<k} C(k+1, j) F_j(x)`.
+fn faulhaber(k: u32) -> Option<Vec<Vec<Ratio>>> {
+    let k = k as usize;
+    let mut fs: Vec<Vec<Ratio>> = Vec::with_capacity(k + 1);
+    for cur in 0..=k {
+        // (x+1)^{cur+1} via binomial coefficients.
+        let mut rhs: Vec<Ratio> = (0..=cur + 1)
+            .map(|i| {
+                Some(Ratio {
+                    num: binom(cur + 1, i)?,
+                    den: 1,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        rhs[0] = rhs[0].add(Ratio::int(-1))?; // subtract the 1
+        for (j, fj) in fs.iter().enumerate() {
+            let c = Ratio {
+                num: binom(cur + 1, j)?,
+                den: 1,
+            };
+            for (i, &fc) in fj.iter().enumerate() {
+                rhs[i] = rhs[i].add(fc.mul(c)?.neg())?;
+            }
+        }
+        let inv = (cur + 1) as i128;
+        let fk = rhs
+            .into_iter()
+            .map(|r| r.div_int(inv))
+            .collect::<Option<Vec<_>>>()?;
+        fs.push(fk);
+    }
+    Some(fs)
+}
+
+fn binom(n: usize, k: usize) -> Option<i128> {
+    if k > n {
+        return Some(0);
+    }
+    let mut acc = 1i128;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as i128)?;
+        acc /= (i + 1) as i128;
+    }
+    Some(acc)
+}
+
+/// `Σ_{x=lo}^{hi} body[v := x]`, as a polynomial in the remaining
+/// variables. Valid wherever the loop's trip count `hi - lo + 1` is
+/// non-negative (true at every spec the model is evaluated on; counted
+/// loops with zero trips fold away during lowering or contribute zero).
+pub(crate) fn sum_over(body: &Poly, v: &str, lo: &Poly, hi: &Poly) -> Option<Poly> {
+    if lo.mentions(v) || hi.mentions(v) {
+        return None;
+    }
+    let coeffs = body.coeffs_in(v)?;
+    let max_k = coeffs.len() as u32 - 1;
+    let fs = faulhaber(max_k)?;
+    let lo_m1 = lo.sub(&Poly::constant(1))?;
+    let mut total = Poly::zero();
+    for (k, ck) in coeffs.iter().enumerate() {
+        if ck.is_zero() {
+            continue;
+        }
+        // F_k(hi) - F_k(lo - 1), with the univariate coefficients lifted
+        // by substituting the bound polynomials for x.
+        let mut range_sum = Poly::zero();
+        for (i, &fc) in fs[k].iter().enumerate() {
+            let hi_pow = hi.pow(i as u32)?;
+            let lo_pow = lo_m1.pow(i as u32)?;
+            let diff = hi_pow.sub(&lo_pow)?;
+            range_sum = range_sum.add(&diff.mul(&Poly::from_ratio(fc))?)?;
+        }
+        total = total.add(&ck.mul(&range_sum)?)?;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: &Poly, binds: &[(&str, i64)]) -> i128 {
+        p.eval(&|n| binds.iter().find(|(name, _)| *name == n).map(|&(_, v)| v))
+            .expect("poly evaluates")
+    }
+
+    #[test]
+    fn arithmetic_and_eval() {
+        let n = Poly::var("N");
+        let p = n.mul(&n).unwrap().add(&n.mul_int(2).unwrap()).unwrap(); // N^2 + 2N
+        assert_eq!(ev(&p, &[("N", 10)]), 120);
+        assert_eq!(p.to_string(), "N^2 + 2*N");
+        assert_eq!(Poly::constant(5).as_const(), Some(5));
+        assert_eq!(p.as_const(), None);
+        assert_eq!(p.variables(), vec!["N".to_string()]);
+    }
+
+    #[test]
+    fn faulhaber_matches_brute_force() {
+        for k in 0u32..=4 {
+            let fs = faulhaber(k).unwrap();
+            let fk = &fs[k as usize];
+            for n in 0i128..=12 {
+                let brute: i128 = (1..=n).map(|v| v.pow(k)).sum();
+                // Evaluate the rational coefficient vector at x = n.
+                let mut acc = Ratio::ZERO;
+                for (i, &c) in fk.iter().enumerate() {
+                    let xp = Ratio {
+                        num: n.pow(i as u32),
+                        den: 1,
+                    };
+                    acc = acc.add(c.mul(xp).unwrap()).unwrap();
+                }
+                assert_eq!(acc, Ratio { num: brute, den: 1 }, "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_over_constant_body_is_trip_count() {
+        // Σ_{i=0}^{N-1} 3  =  3N
+        let body = Poly::constant(3);
+        let s = sum_over(
+            &body,
+            "i",
+            &Poly::constant(0),
+            &Poly::var("N").sub(&Poly::constant(1)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ev(&s, &[("N", 7)]), 21);
+    }
+
+    #[test]
+    fn sum_over_triangular_nest() {
+        // Σ_{i=0}^{N-1} Σ_{j=0}^{i-1} 1 = N(N-1)/2
+        let inner = sum_over(
+            &Poly::constant(1),
+            "j",
+            &Poly::constant(0),
+            &Poly::var("i").sub(&Poly::constant(1)).unwrap(),
+        )
+        .unwrap();
+        let outer = sum_over(
+            &inner,
+            "i",
+            &Poly::constant(0),
+            &Poly::var("N").sub(&Poly::constant(1)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ev(&outer, &[("N", 10)]), 45);
+        assert_eq!(ev(&outer, &[("N", 1)]), 0);
+    }
+
+    #[test]
+    fn quadratic_body_sums_exactly() {
+        // Σ_{i=1}^{N} i^2 = N(N+1)(2N+1)/6
+        let i = Poly::var("i");
+        let body = i.mul(&i).unwrap();
+        let s = sum_over(&body, "i", &Poly::constant(1), &Poly::var("N")).unwrap();
+        assert_eq!(ev(&s, &[("N", 5)]), 55);
+        assert_eq!(ev(&s, &[("N", 100)]), 338350);
+    }
+
+    #[test]
+    fn sum_with_bound_depending_on_summed_var_bails() {
+        assert!(sum_over(&Poly::constant(1), "i", &Poly::constant(0), &Poly::var("i")).is_none());
+    }
+}

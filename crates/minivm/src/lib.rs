@@ -39,12 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod interp;
 mod layout;
 mod lower;
 mod spec;
 mod vm;
 
+pub use analysis::{analyze, AnalysisReport, CostModel, Diagnostic, FaultKind, Poly, Verdict};
 pub use spec::{validate_pragmas, SpecConfig, SpecValue};
 pub use vm::{CompiledKernel, VmState};
 

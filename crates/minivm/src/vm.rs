@@ -113,6 +113,44 @@ struct Counts {
     stores: u64,
 }
 
+/// Per-cell initialization bitmaps for checked execution. Scalar globals
+/// are pre-marked (they hold a defined value — zero or their constant
+/// initializer — before any statement runs); array cells only become
+/// initialized when a store writes them, so a checked load of a
+/// never-written cell is a trap even though the unchecked engines would
+/// deterministically read the zero fill.
+struct Shadow {
+    init_i: Vec<bool>,
+    init_f: Vec<bool>,
+}
+
+impl Shadow {
+    /// A zero-capacity shadow for the unchecked path; `exec::<false>`
+    /// never touches it.
+    fn empty() -> Shadow {
+        Shadow {
+            init_i: Vec::new(),
+            init_f: Vec::new(),
+        }
+    }
+
+    fn for_layout(layout: &Layout) -> Shadow {
+        let mut sh = Shadow {
+            init_i: vec![false; layout.i_len],
+            init_f: vec![false; layout.f_len],
+        };
+        for g in &layout.globals {
+            if g.is_scalar() {
+                match g.elem {
+                    ElemTy::I => sh.init_i[g.base] = true,
+                    ElemTy::F => sh.init_f[g.base] = true,
+                }
+            }
+        }
+        sh
+    }
+}
+
 impl CompiledKernel {
     /// Runs the kernel with a fresh [`VmState`].
     pub fn run(&self) -> Result<ExecutionReport, EngineError> {
@@ -124,6 +162,31 @@ impl CompiledKernel {
     /// entry function with the baked arguments, and reports the final
     /// checksum plus semantic event counts.
     pub fn run_with(&self, vm: &mut VmState) -> Result<ExecutionReport, EngineError> {
+        self.run_impl::<false>(vm, &mut Shadow::empty())
+    }
+
+    /// Runs the kernel in checked ("sanitizer") mode with a fresh state.
+    ///
+    /// Checked mode traps the static analyzer's fault classes
+    /// dynamically: out-of-bounds element accesses and zero divisors
+    /// (which the unchecked engines already trap) plus reads of array
+    /// cells no store has written. When no trap fires, the report is
+    /// bit-identical to [`CompiledKernel::run`] — the shadow bitmaps
+    /// observe execution without perturbing it.
+    pub fn run_checked(&self) -> Result<ExecutionReport, EngineError> {
+        self.run_checked_with(&mut VmState::new())
+    }
+
+    /// Checked-mode counterpart of [`CompiledKernel::run_with`].
+    pub fn run_checked_with(&self, vm: &mut VmState) -> Result<ExecutionReport, EngineError> {
+        self.run_impl::<true>(vm, &mut Shadow::for_layout(&self.layout))
+    }
+
+    fn run_impl<const CHECKED: bool>(
+        &self,
+        vm: &mut VmState,
+        shadow: &mut Shadow,
+    ) -> Result<ExecutionReport, EngineError> {
         self.layout.reset_memory(&mut vm.mem);
         let need_i = self.init.as_ref().map_or(0, |f| f.n_i).max(self.entry.n_i) as usize;
         let need_f = self.init.as_ref().map_or(0, |f| f.n_f).max(self.entry.n_f) as usize;
@@ -139,7 +202,7 @@ impl CompiledKernel {
             stores: 0,
         };
         if let Some(init) = &self.init {
-            self.exec(init, vm, &mut counts)?;
+            self.exec::<CHECKED>(init, vm, &mut counts, shadow)?;
         }
         for (&(slot, _), &arg) in self.entry.params.iter().zip(&self.entry_args) {
             match arg {
@@ -147,7 +210,7 @@ impl CompiledKernel {
                 Value::F(v) => vm.rf[slot as usize] = v,
             }
         }
-        let ret = self.exec(&self.entry, vm, &mut counts)?;
+        let ret = self.exec::<CHECKED>(&self.entry, vm, &mut counts, shadow)?;
         Ok(ExecutionReport {
             checksum: self.layout.checksum(&vm.mem),
             flops: counts.flops,
@@ -163,11 +226,12 @@ impl CompiledKernel {
         self.init.as_ref().map_or(0, |f| f.ops.len()) + self.entry.ops.len()
     }
 
-    fn exec(
+    fn exec<const CHECKED: bool>(
         &self,
         code: &CodeFn,
         vm: &mut VmState,
         c: &mut Counts,
+        shadow: &mut Shadow,
     ) -> Result<RetValue, EngineError> {
         let ops = &code.ops[..];
         let ri = &mut vm.ri;
@@ -259,21 +323,33 @@ impl CompiledKernel {
                 Op::StGlobF(g, s) => mem.f[g as usize] = rf[s as usize],
                 Op::LdElemI(d, arr, idx) => {
                     let off = self.elem_offset(arr, ri[idx as usize])?;
+                    if CHECKED && !shadow.init_i[off] {
+                        return Err(self.uninit_read(arr, ri[idx as usize], ElemTy::I));
+                    }
                     c.loads += 1;
                     ri[d as usize] = mem.i[off];
                 }
                 Op::LdElemF(d, arr, idx) => {
                     let off = self.elem_offset(arr, ri[idx as usize])?;
+                    if CHECKED && !shadow.init_f[off] {
+                        return Err(self.uninit_read(arr, ri[idx as usize], ElemTy::F));
+                    }
                     c.loads += 1;
                     rf[d as usize] = mem.f[off];
                 }
                 Op::StElemI(arr, idx, s) => {
                     let off = self.elem_offset(arr, ri[idx as usize])?;
+                    if CHECKED {
+                        shadow.init_i[off] = true;
+                    }
                     c.stores += 1;
                     mem.i[off] = ri[s as usize];
                 }
                 Op::StElemF(arr, idx, s) => {
                     let off = self.elem_offset(arr, ri[idx as usize])?;
+                    if CHECKED {
+                        shadow.init_f[off] = true;
+                    }
                     c.stores += 1;
                     mem.f[off] = rf[s as usize];
                 }
@@ -298,6 +374,26 @@ impl CompiledKernel {
                 Op::RetF(s) => return Ok(RetValue::F64Bits(rf[s as usize].to_bits())),
             }
             pc += 1;
+        }
+    }
+
+    /// Builds the checked-mode trap for a load of a never-written array
+    /// cell, naming the array via reverse lookup in the layout (arrays
+    /// are identified by base offset + element type, which is unique).
+    #[cold]
+    fn uninit_read(&self, arr: u16, idx: i64, elem: ElemTy) -> EngineError {
+        let base = self.arrays[arr as usize].base as usize;
+        let name = self
+            .layout
+            .by_name
+            .iter()
+            .find(|(_, &gi)| {
+                let g = &self.layout.globals[gi];
+                g.elem == elem && g.base == base && !g.is_scalar()
+            })
+            .map_or("<array>", |(n, _)| n.as_str());
+        EngineError::Runtime {
+            what: format!("uninitialized read of `{name}` at index {idx}"),
         }
     }
 
@@ -634,6 +730,11 @@ impl Gen {
                 self.ops.push(Op::LdcF(t, *v));
                 Ok(t)
             }
+            // Symbolic constants exist only for the cost model; the
+            // executable pipeline always lowers concretely.
+            IExpr::SymConst(name) => Err(EngineError::Unsupported {
+                what: format!("symbolic constant `{name}` in executable code"),
+            }),
             IExpr::LocalI(s) | IExpr::LocalF(s) => Ok(*s),
             IExpr::GlobI(g) => {
                 let t = self.temp(ElemTy::I)?;

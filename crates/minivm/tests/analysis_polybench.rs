@@ -1,0 +1,168 @@
+//! Validates the static analyzer against the VM on all 12 Polybench
+//! kernels: every app must be proven safe with *exact* event counters
+//! (the analysis degenerates to concrete re-execution on fully
+//! specialized kernels), and the symbolic cost polynomials — where the
+//! symbolic walker covers the whole program — must evaluate to the very
+//! same numbers the VM reports.
+
+use minivm::{analyze, compile, SpecConfig, Verdict, VmState};
+use polybench::{App, Dataset, KernelArg};
+
+/// Functional dimension cap for test-speed (identical to the
+/// differential test's, so counters line up with the same spec).
+const DIM_CAP: usize = 20;
+
+fn functional_spec(app: App) -> SpecConfig {
+    let dims: Vec<(&str, usize)> = app
+        .dims(Dataset::Mini)
+        .into_iter()
+        .map(|(n, v)| (n, v.min(DIM_CAP)))
+        .collect();
+    let mut spec = SpecConfig::new();
+    for &(name, v) in &dims {
+        spec.set(name, v);
+    }
+    for arg in app.kernel_args(&dims) {
+        spec = match arg {
+            KernelArg::Int(v) => spec.arg(v),
+            KernelArg::Double(v) => spec.arg(v),
+        };
+    }
+    spec
+}
+
+/// Apps whose kernels contain data-dependent branches, where the
+/// symbolic walker is expected to bail and the exact counters come from
+/// the abstract interpreter alone.
+const DATA_DEPENDENT: &[App] = &[App::Correlation, App::Nussinov];
+
+#[test]
+fn analyzer_proves_all_twelve_apps_safe_with_exact_counters() {
+    let mut vm = VmState::new();
+    for app in App::ALL {
+        let src = polybench::source(app, Dataset::Mini);
+        let tu = minic::parse(&src).unwrap_or_else(|e| panic!("{}: parse failed: {e}", app.name()));
+        let spec = functional_spec(app);
+        let entry = app.kernel_name();
+
+        let report = analyze(&tu, &entry, &spec)
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", app.name()));
+        assert_eq!(
+            report.verdict,
+            Verdict::Safe,
+            "{}: not proven safe: {}",
+            app.name(),
+            report.render_diagnostics()
+        );
+        assert!(
+            report.diagnostics.is_empty(),
+            "{}: Safe verdict must carry no diagnostics",
+            app.name()
+        );
+        assert!(
+            report.counts_exact,
+            "{}: fully specialized kernel should analyze exactly",
+            app.name()
+        );
+
+        let kernel = compile(&tu, &entry, &spec)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", app.name()));
+        let executed = kernel
+            .run_with(&mut vm)
+            .unwrap_or_else(|e| panic!("{}: vm failed: {e}", app.name()));
+        assert_eq!(
+            (report.flops, report.loads, report.stores),
+            (executed.flops, executed.loads, executed.stores),
+            "{}: static counters diverge from ExecutionReport",
+            app.name()
+        );
+
+        // Analyzer-safe ⇒ checked mode completes and changes nothing.
+        let checked = kernel
+            .run_checked_with(&mut vm)
+            .unwrap_or_else(|e| panic!("{}: checked VM trapped a safe kernel: {e}", app.name()));
+        assert_eq!(
+            checked,
+            executed,
+            "{}: checked report differs from unchecked",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn symbolic_cost_polynomials_match_execution_exactly() {
+    for app in App::ALL {
+        let src = polybench::source(app, Dataset::Mini);
+        let tu = minic::parse(&src).unwrap();
+        let spec = functional_spec(app);
+        let report = analyze(&tu, &app.kernel_name(), &spec).unwrap();
+
+        if DATA_DEPENDENT.contains(&app) {
+            // The walker must *notice* it cannot be exact here, not
+            // produce a wrong polynomial: either no model, or one the
+            // cross-check demoted.
+            assert!(
+                report.cost.as_ref().is_none_or(|c| !c.exact),
+                "{}: data-dependent kernel unexpectedly claims an exact model",
+                app.name()
+            );
+            continue;
+        }
+        let cost = report
+            .cost
+            .unwrap_or_else(|| panic!("{}: no symbolic cost model derived", app.name()));
+        assert!(cost.exact, "{}: model demoted by cross-check", app.name());
+        assert_eq!(
+            cost.eval_at(&spec),
+            Some((report.flops, report.loads, report.stores)),
+            "{}: polynomial disagrees with exact counters",
+            app.name()
+        );
+        // The model is genuinely symbolic: some dimension constant
+        // survives into the polynomials.
+        assert!(
+            !cost.flops.variables().is_empty() || !cost.loads.variables().is_empty(),
+            "{}: cost model folded to constants",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn cost_polynomials_extrapolate_across_specs() {
+    // Derive at one spec, evaluate at another: the polynomial must track
+    // the VM without re-analysis. 2mm has a clean 4-deep loop nest.
+    let app = App::TwoMm;
+    let src = polybench::source(app, Dataset::Mini);
+    let tu = minic::parse(&src).unwrap();
+    let entry = app.kernel_name();
+
+    let base = functional_spec(app);
+    let cost = analyze(&tu, &entry, &base).unwrap().cost.unwrap();
+    assert!(cost.exact);
+
+    for cap in [7usize, 11, 13] {
+        let dims: Vec<(&str, usize)> = app
+            .dims(Dataset::Mini)
+            .into_iter()
+            .map(|(n, v)| (n, v.min(cap)))
+            .collect();
+        let mut other = SpecConfig::new();
+        for &(name, v) in &dims {
+            other.set(name, v);
+        }
+        for arg in app.kernel_args(&dims) {
+            other = match arg {
+                KernelArg::Int(v) => other.arg(v),
+                KernelArg::Double(v) => other.arg(v),
+            };
+        }
+        let executed = compile(&tu, &entry, &other).unwrap().run().unwrap();
+        assert_eq!(
+            cost.eval_at(&other),
+            Some((executed.flops, executed.loads, executed.stores)),
+            "cap {cap}: extrapolated polynomial diverges from execution"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The checked ("sanitizer") VM mode and the static analyzer agree on
+//! the three fault classes: programs the analyzer rejects as definitely
+//! unsafe make the checked VM trap at runtime, and the trap the VM
+//! reports matches the analyzer's diagnosis.
+
+use minivm::{analyze, compile, FaultKind, SpecConfig, Verdict};
+
+fn parse(src: &str) -> minic::TranslationUnit {
+    minic::parse(src).expect("test program parses")
+}
+
+#[test]
+fn uninit_read_is_rejected_statically_and_trapped_dynamically() {
+    // init_array skips index 0, the kernel reads it.
+    let tu = parse(
+        "double A[8];
+         void init_array() {
+             for (int i = 1; i < 8; i++) { A[i] = 1.0; }
+         }
+         double kernel_gap() {
+             double s = 0.0;
+             for (int i = 0; i < 8; i++) { s = s + A[i]; }
+             return s;
+         }",
+    );
+    let spec = SpecConfig::new();
+
+    let report = analyze(&tu, "kernel_gap", &spec).unwrap();
+    assert_eq!(report.verdict, Verdict::Unsafe);
+    assert!(!report.is_safe());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.kind, FaultKind::UninitRead);
+    assert!(d.definite, "concrete analysis must report a definite fault");
+    assert_eq!(d.function, "kernel_gap");
+    assert!(d.detail.contains("index 0"), "{}", d.detail);
+
+    let kernel = compile(&tu, "kernel_gap", &spec).unwrap();
+    // The unchecked VM reads the zero-filled cell and completes...
+    let unchecked = kernel.run().expect("unchecked mode completes");
+    assert_eq!(unchecked.flops, 8);
+    // ...while checked mode traps with the same diagnosis.
+    let err = kernel.run_checked().expect_err("checked mode must trap");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("uninitialized read of `A` at index 0"),
+        "unexpected trap message: {msg}"
+    );
+}
+
+#[test]
+fn out_of_bounds_is_rejected_statically_and_trapped_dynamically() {
+    let tu = parse(
+        "double A[8];
+         void init_array() {
+             for (int i = 0; i < 8; i++) { A[i] = 2.0; }
+         }
+         double kernel_oob() {
+             double s = 0.0;
+             for (int i = 0; i <= 8; i++) { s = s + A[i]; }
+             return s;
+         }",
+    );
+    let spec = SpecConfig::new();
+
+    let report = analyze(&tu, "kernel_oob", &spec).unwrap();
+    assert_eq!(report.verdict, Verdict::Unsafe);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.kind, FaultKind::OutOfBounds);
+    assert!(d.definite);
+    assert!(
+        d.detail.contains("index 8 out of bounds (len 8)"),
+        "{}",
+        d.detail
+    );
+    // An aborted analysis must not claim exact counters.
+    assert!(!report.counts_exact);
+
+    let kernel = compile(&tu, "kernel_oob", &spec).unwrap();
+    assert!(kernel.run().is_err(), "bounds are enforced unchecked too");
+    assert!(kernel.run_checked().is_err());
+}
+
+#[test]
+fn division_by_zero_is_rejected_statically_and_trapped_dynamically() {
+    let tu = parse(
+        "long d;
+         double A[4];
+         void init_array() {
+             d = 0;
+             for (int i = 0; i < 4; i++) { A[i] = 1.0; }
+         }
+         double kernel_div() {
+             long x = 4 / d;
+             return A[0] + x;
+         }",
+    );
+    let spec = SpecConfig::new();
+
+    let report = analyze(&tu, "kernel_div", &spec).unwrap();
+    assert_eq!(report.verdict, Verdict::Unsafe);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.kind, FaultKind::DivByZero);
+    assert!(d.definite);
+
+    let kernel = compile(&tu, "kernel_div", &spec).unwrap();
+    assert!(kernel.run().is_err());
+    assert!(kernel.run_checked().is_err());
+}
+
+#[test]
+fn safe_programs_run_checked_bit_identically() {
+    let tu = parse(
+        "double A[6];
+         double B[6];
+         void init_array() {
+             for (int i = 0; i < 6; i++) {
+                 A[i] = 0.5 * i;
+                 B[i] = 1.0 + i;
+             }
+         }
+         double kernel_safe() {
+             double s = 0.0;
+             for (int i = 0; i < 6; i++) { s = s + A[i] * B[i]; }
+             return s;
+         }",
+    );
+    let spec = SpecConfig::new();
+
+    let report = analyze(&tu, "kernel_safe", &spec).unwrap();
+    assert_eq!(report.verdict, Verdict::Safe);
+    assert!(report.diagnostics.is_empty());
+    assert!(report.counts_exact);
+
+    let kernel = compile(&tu, "kernel_safe", &spec).unwrap();
+    let unchecked = kernel.run().unwrap();
+    let checked = kernel.run_checked().unwrap();
+    assert_eq!(unchecked, checked);
+    assert_eq!(
+        (report.flops, report.loads, report.stores),
+        (checked.flops, checked.loads, checked.stores)
+    );
+}
+
+#[test]
+fn diagnostics_render_with_source_location() {
+    let tu = parse(
+        "double A[8];
+         double kernel_bare() {
+             return A[2];
+         }",
+    );
+    let report = analyze(&tu, "kernel_bare", &SpecConfig::new()).unwrap();
+    assert_eq!(report.verdict, Verdict::Unsafe);
+    let rendered = report.render_diagnostics();
+    assert!(
+        rendered.contains("error[uninit-read]")
+            && rendered.contains("`kernel_bare`")
+            && rendered.contains("(line 2)"),
+        "unexpected rendering: {rendered}"
+    );
+}

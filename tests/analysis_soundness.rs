@@ -1,0 +1,177 @@
+//! Differential soundness of the static kernel analyzer against the
+//! checked ("sanitizer") VM mode, the ISSUE 9 acceptance property:
+//!
+//! > analyzer-safe ⇒ the checked VM never traps.
+//!
+//! Property-tested over both program generators — the fault-free
+//! [`minic::genprog::generate`] and the fault-injecting
+//! [`minic::genprog::generate_adversarial`] — with arbitrary
+//! specialization-parameter bindings, because conditional faults make
+//! the verdict binding-dependent. Whenever the verdict is `Safe` the
+//! checked run must also be **bit-identical** to the unchecked run
+//! (the shadow bitmaps observe, never perturb).
+//!
+//! The analyzer's human-facing output is pinned too: diagnostics for
+//! one intentionally broken kernel per fault class render byte-stably
+//! against `tests/golden/analysis_diagnostics.txt` (regenerate after an
+//! intentional wording change with `SOCRATES_REGEN_GOLDEN=1`).
+//!
+//! CI runs this suite at `RAYON_NUM_THREADS=1/2/8`; analysis and both
+//! VM modes are single-threaded by construction, so thread-count
+//! invariance is part of the contract.
+
+use minic::genprog;
+use minivm::{analyze, compile, SpecConfig, Verdict};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Binds every referenced parameter, cycling through the arbitrary
+/// values (the `engine_equivalence` idiom).
+fn spec_for(params: &[String], values: &[i64]) -> SpecConfig {
+    let mut spec = SpecConfig::new();
+    for (i, name) in params.iter().enumerate() {
+        spec.set(name.clone(), values[i % values.len()]);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fault-free generated programs: the analyzer must not cry wolf
+    /// with a definite fault, and the checked VM must complete
+    /// bit-identically to the unchecked run.
+    #[test]
+    fn fault_free_programs_run_checked_bit_identically(
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-100i64..100, 1..4),
+    ) {
+        let prog = genprog::generate(seed);
+        let tu = minic::parse(&prog.source).expect("generated programs parse");
+        let spec = spec_for(&prog.params, &values);
+        let report = analyze(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: analysis failed: {e}\n{}", prog.source));
+        prop_assert!(
+            !report.diagnostics.iter().any(|d| d.definite),
+            "seed {} is fault-free by construction but got a definite diagnostic:\n{}\n{}",
+            seed, report.render_diagnostics(), prog.source
+        );
+        let kernel = compile(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{}", prog.source));
+        let unchecked = kernel.run()
+            .unwrap_or_else(|e| panic!("seed {seed}: unchecked run failed: {e}\n{}", prog.source));
+        let checked = kernel.run_checked()
+            .unwrap_or_else(|e| panic!("seed {seed}: checked run trapped: {e}\n{}", prog.source));
+        prop_assert_eq!(unchecked, checked, "seed {} diverged:\n{}", seed, prog.source);
+    }
+
+    /// The soundness direction over fault-injecting programs: whenever
+    /// the analyzer calls `(program, binding)` safe, the checked VM
+    /// completes trap-free and bit-identically to the unchecked run.
+    #[test]
+    fn analyzer_safe_implies_the_checked_vm_never_traps(
+        seed in 0u64..1_000_000,
+        values in prop::collection::vec(-100i64..100, 1..4),
+    ) {
+        let prog = genprog::generate_adversarial(seed);
+        let tu = minic::parse(&prog.source).expect("adversarial programs parse");
+        let spec = spec_for(&prog.params, &values);
+        let report = analyze(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: analysis failed: {e}\n{}", prog.source));
+        if report.verdict != Verdict::Safe {
+            return Ok(()); // not claimed safe — nothing to hold the analyzer to
+        }
+        let kernel = compile(&tu, &prog.entry, &spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{}", prog.source));
+        let checked = kernel.run_checked().unwrap_or_else(|e| panic!(
+            "SOUNDNESS VIOLATION — seed {seed}: analyzer said Safe, checked VM trapped: {e}\n{}",
+            prog.source
+        ));
+        let unchecked = kernel.run().expect("safe program runs unchecked");
+        prop_assert_eq!(unchecked, checked, "seed {} diverged:\n{}", seed, prog.source);
+    }
+}
+
+/// One intentionally broken kernel per fault class; their rendered
+/// diagnostics (kind, function, source line, detail wording) are pinned
+/// byte-stably against the golden file.
+#[test]
+fn diagnostics_render_byte_stably_against_the_golden_file() {
+    let cases: [(&str, &str); 3] = [
+        (
+            "uninit-read",
+            "double buf[6];
+             void init_array() {
+                 for (int i = 2; i < 6; i++) { buf[i] = 1.0; }
+             }
+             double kernel_gap() {
+                 double s = 0.0;
+                 for (int i = 0; i < 6; i++) { s = s + buf[i]; }
+                 return s;
+             }",
+        ),
+        (
+            "out-of-bounds",
+            "double row[8];
+             void init_array() {
+                 for (int i = 0; i < 8; i++) { row[i] = 0.5; }
+             }
+             double kernel_over() {
+                 double s = 0.0;
+                 for (int i = 0; i <= 8; i++) { s = s + row[i]; }
+                 return s;
+             }",
+        ),
+        (
+            "div-by-zero",
+            "long denom;
+             double cell[4];
+             void init_array() {
+                 denom = 0;
+                 for (int i = 0; i < 4; i++) { cell[i] = 2.0; }
+             }
+             double kernel_ratio() {
+                 long q = 12 / denom;
+                 return cell[0] + q;
+             }",
+        ),
+    ];
+
+    let mut rendered = String::new();
+    for (label, src) in cases {
+        let tu = minic::parse(src).expect("diagnostic fixture parses");
+        let entry = tu
+            .functions()
+            .map(|f| f.name.clone())
+            .find(|n| n.starts_with("kernel_"))
+            .expect("fixture has a kernel");
+        let report = analyze(&tu, &entry, &SpecConfig::new()).expect("fixture analyses");
+        assert_eq!(
+            report.verdict,
+            Verdict::Unsafe,
+            "fixture `{label}` must be definitely unsafe"
+        );
+        rendered.push_str(&format!("== {label} ==\n"));
+        rendered.push_str(&report.render_diagnostics());
+        rendered.push('\n');
+    }
+
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/analysis_diagnostics.txt");
+    if std::env::var("SOCRATES_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden");
+        eprintln!("regenerated {} ({} bytes)", path.display(), rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SOCRATES_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "analyzer diagnostics drifted from the golden file"
+    );
+}

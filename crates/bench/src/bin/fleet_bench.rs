@@ -18,6 +18,10 @@
 //!
 //! Run with `cargo run -p socrates-bench --bin fleet_bench --release`.
 
+// These suites pin the deprecated round surface on purpose: it must
+// stay bit-identical to the unified FleetRuntime path until removal.
+#![allow(deprecated)]
+
 use margot::{Metric, Rank};
 use platform_sim::KnobConfig;
 use polybench::App;

@@ -21,6 +21,10 @@
 //! Run with `cargo run -p socrates-bench --bin fleet_dist_bench
 //! --release` (`--smoke` for the small CI configuration).
 
+// These suites pin the deprecated round surface on purpose: it must
+// stay bit-identical to the unified FleetRuntime path until removal.
+#![allow(deprecated)]
+
 use margot::{Rank, SharedKnowledge};
 
 use serde::Serialize;

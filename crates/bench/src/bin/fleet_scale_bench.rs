@@ -48,6 +48,10 @@
 //! --release` (`--smoke --check` is the CI regression-gate
 //! configuration).
 
+// These suites pin the deprecated round surface on purpose: it must
+// stay bit-identical to the unified FleetRuntime path until removal.
+#![allow(deprecated)]
+
 use margot::Rank;
 use polybench::App;
 use serde::{Deserialize, Serialize};

@@ -44,6 +44,10 @@
 //! Run with `cargo run -p socrates-bench --bin warm_start_bench
 //! --release` (`--smoke --check` is the CI configuration).
 
+// These suites pin the deprecated round surface on purpose: it must
+// stay bit-identical to the unified FleetRuntime path until removal.
+#![allow(deprecated)]
+
 use margot::{Knowledge, Rank};
 use platform_sim::KnobConfig;
 use polybench::{App, Dataset};

@@ -53,6 +53,7 @@
 
 use crate::engine::{CompiledKernel, ExecutionEngine};
 use crate::error::SocratesError;
+use crate::events::{EventObserver, FleetEvent, FleetRuntime, InstanceId};
 use crate::knowledge_io::save_knowledge;
 use crate::runtime::{AdaptiveApplication, TraceSample};
 use crate::snapshot::{KnowledgeSnapshot, SnapshotFingerprint};
@@ -92,7 +93,7 @@ const WARM_HEAD_CAP: usize = 64;
 /// deliberate prior anchor, so the burst does not try to displace them
 /// all — its length must stay in the seconds, not scale with the
 /// window.
-const WARM_HEAD_PASSES: usize = 8;
+pub(crate) const WARM_HEAD_PASSES: usize = 8;
 
 /// Fleet-level policy knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,6 +169,30 @@ pub struct FleetConfig {
     /// configurations boot through [`crate::DistributedFleet::new`];
     /// the in-process [`Fleet::new`] rejects them.
     pub distributed: Option<crate::transport::DistributedConfig>,
+    /// How the runtime advances the fleet's virtual clock — lockstep
+    /// rounds (the reference semantics, bit-identical to the historical
+    /// `step_round` loop) or the sparse discrete-event scheduler.
+    /// [`Schedule::EventDriven`] configurations boot through
+    /// [`crate::EventFleet::new`]; [`Fleet::new`] rejects them.
+    pub schedule: Schedule,
+}
+
+/// How a fleet runtime advances its virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// Synchronized rounds: every due instance steps once, then all
+    /// observations merge at a sequential barrier in instance order.
+    /// The reference semantics — bit-identical to the historical
+    /// `step_round`/`run_for` loop at any rayon thread count.
+    #[default]
+    Lockstep,
+    /// A discrete-event scheduler on the virtual clock: each instance
+    /// is a sparse pool entry whose next step is a heap event keyed by
+    /// its own kernel runtime, knowledge merges happen per publish
+    /// event instead of at barriers, and arrivals/retirements are
+    /// events themselves. Scales to millions of concurrent sparse
+    /// instances in one process ([`crate::EventFleet`]).
+    EventDriven,
 }
 
 impl Default for FleetConfig {
@@ -185,6 +210,7 @@ impl Default for FleetConfig {
             analysis_prune: false,
             warm_start: None,
             distributed: None,
+            schedule: Schedule::Lockstep,
         }
     }
 }
@@ -200,44 +226,29 @@ impl FleetConfig {
     /// Returns a runtime-stage [`SocratesError`] naming the offending
     /// field.
     pub fn validate(&self) -> Result<(), SocratesError> {
-        if self.knowledge_window == 0 {
+        check_knowledge_window(self.knowledge_window)?;
+        check_min_observations(self.min_observations)?;
+        check_knowledge_shards(self.knowledge_shards)?;
+        check_power_budget(self.power_budget_w)?;
+        check_warm_start(self.warm_start.as_ref())?;
+        check_distributed(self.distributed.as_ref())?;
+        if self.schedule == Schedule::EventDriven && self.distributed.is_some() {
             return Err(SocratesError::invalid_config(
-                "knowledge_window must be >= 1: a zero-length sliding window cannot hold \
-                 any observation",
+                "schedule = EventDriven cannot combine with distributed = Some: the \
+                 distributed runtime synchronizes at round barriers (Schedule::Lockstep); \
+                 run the event-driven scheduler in-process through EventFleet::new",
             ));
-        }
-        if self.min_observations == 0 {
-            return Err(SocratesError::invalid_config(
-                "min_observations must be >= 1: a window mean cannot override the design-time \
-                 expectation before at least one observation exists",
-            ));
-        }
-        if self.knowledge_shards == 0 {
-            return Err(SocratesError::invalid_config(
-                "knowledge_shards must be >= 1: the shared knowledge needs at least one lock \
-                 shard (1 = the single-mutex reference)",
-            ));
-        }
-        if let Some(w) = self.power_budget_w {
-            if !(w.is_finite() && w > 0.0) {
-                return Err(SocratesError::invalid_config(format!(
-                    "power_budget_w = {w} must be a positive, finite wattage (or None for \
-                     unconstrained instances)"
-                )));
-            }
-        }
-        if let Some(snapshot) = &self.warm_start {
-            if snapshot.knowledge.is_empty() {
-                return Err(SocratesError::invalid_config(
-                    "warm_start snapshot holds no operating points: an empty snapshot cannot \
-                     seed a pool (omit warm_start for a cold boot)",
-                ));
-            }
-        }
-        if let Some(dist) = &self.distributed {
-            dist.validate()?;
         }
         Ok(())
+    }
+
+    /// Starts a [`FleetConfigBuilder`] from the defaults — the
+    /// construction path that surfaces an invalid value at the setter
+    /// that introduced it instead of at `Fleet::new`.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig::default(),
+        }
     }
 
     /// How many identical samples a warm boot stuffs into each shipped
@@ -266,6 +277,236 @@ impl FleetConfig {
     }
 }
 
+fn check_knowledge_window(window: usize) -> Result<(), SocratesError> {
+    if window == 0 {
+        return Err(SocratesError::invalid_config(
+            "knowledge_window must be >= 1: a zero-length sliding window cannot hold \
+             any observation",
+        ));
+    }
+    Ok(())
+}
+
+fn check_min_observations(min_observations: u64) -> Result<(), SocratesError> {
+    if min_observations == 0 {
+        return Err(SocratesError::invalid_config(
+            "min_observations must be >= 1: a window mean cannot override the design-time \
+             expectation before at least one observation exists",
+        ));
+    }
+    Ok(())
+}
+
+fn check_knowledge_shards(shards: usize) -> Result<(), SocratesError> {
+    if shards == 0 {
+        return Err(SocratesError::invalid_config(
+            "knowledge_shards must be >= 1: the shared knowledge needs at least one lock \
+             shard (1 = the single-mutex reference)",
+        ));
+    }
+    Ok(())
+}
+
+fn check_power_budget(budget_w: Option<f64>) -> Result<(), SocratesError> {
+    if let Some(w) = budget_w {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(SocratesError::invalid_config(format!(
+                "power_budget_w = {w} must be a positive, finite wattage (or None for \
+                 unconstrained instances)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn check_warm_start(snapshot: Option<&KnowledgeSnapshot>) -> Result<(), SocratesError> {
+    if let Some(snapshot) = snapshot {
+        if snapshot.knowledge.is_empty() {
+            return Err(SocratesError::invalid_config(
+                "warm_start snapshot holds no operating points: an empty snapshot cannot \
+                 seed a pool (omit warm_start for a cold boot)",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_distributed(
+    dist: Option<&crate::transport::DistributedConfig>,
+) -> Result<(), SocratesError> {
+    if let Some(dist) = dist {
+        dist.validate()?;
+    }
+    Ok(())
+}
+
+/// Builder-style [`FleetConfig`] construction with **per-setter
+/// validation**: a bad value errors at the setter that introduced it,
+/// with the same diagnostics [`FleetConfig::validate`] would raise at
+/// boot, instead of surfacing later at `Fleet::new`. Fallible setters
+/// return `Result<Self, _>` so a chain reads `builder().x(..)?.y(..)?`;
+/// knobs that accept any value of their type stay infallible.
+/// [`build`](Self::build) re-runs the full validation, which also
+/// covers cross-field rules (e.g. `EventDriven` + `distributed`).
+///
+/// The struct-literal path (`FleetConfig { .. }` + validation at
+/// `Fleet::new`) remains supported as a compatibility shim.
+///
+/// # Examples
+///
+/// ```
+/// use socrates::{FleetConfig, Schedule};
+///
+/// let config = FleetConfig::builder()
+///     .knowledge_window(16)?
+///     .power_budget_w(Some(400.0))?
+///     .schedule(Schedule::EventDriven)
+///     .build()?;
+/// assert_eq!(config.knowledge_window, 16);
+/// # Ok::<(), socrates::SocratesError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets [`FleetConfig::share_knowledge`].
+    #[must_use]
+    pub fn share_knowledge(mut self, share: bool) -> Self {
+        self.config.share_knowledge = share;
+        self
+    }
+
+    /// Sets [`FleetConfig::exploration_interval`] (0 disables
+    /// cooperative exploration — every interval is valid).
+    #[must_use]
+    pub fn exploration_interval(mut self, every: u64) -> Self {
+        self.config.exploration_interval = every;
+        self
+    }
+
+    /// Sets [`FleetConfig::knowledge_window`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero-length window.
+    pub fn knowledge_window(mut self, window: usize) -> Result<Self, SocratesError> {
+        check_knowledge_window(window)?;
+        self.config.knowledge_window = window;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::min_observations`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero.
+    pub fn min_observations(mut self, min: u64) -> Result<Self, SocratesError> {
+        check_min_observations(min)?;
+        self.config.min_observations = min;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::knowledge_shards`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero shards.
+    pub fn knowledge_shards(mut self, shards: usize) -> Result<Self, SocratesError> {
+        check_knowledge_shards(shards)?;
+        self.config.knowledge_shards = shards;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::incremental_refresh`].
+    #[must_use]
+    pub fn incremental_refresh(mut self, incremental: bool) -> Self {
+        self.config.incremental_refresh = incremental;
+        self
+    }
+
+    /// Sets [`FleetConfig::power_budget_w`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a budget that is not positive and finite.
+    pub fn power_budget_w(mut self, budget_w: Option<f64>) -> Result<Self, SocratesError> {
+        check_power_budget(budget_w)?;
+        self.config.power_budget_w = budget_w;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::parallel_step`].
+    #[must_use]
+    pub fn parallel_step(mut self, parallel: bool) -> Self {
+        self.config.parallel_step = parallel;
+        self
+    }
+
+    /// Sets [`FleetConfig::engine`].
+    #[must_use]
+    pub fn engine(mut self, engine: ExecutionEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets [`FleetConfig::analysis_prune`].
+    #[must_use]
+    pub fn analysis_prune(mut self, prune: bool) -> Self {
+        self.config.analysis_prune = prune;
+        self
+    }
+
+    /// Sets [`FleetConfig::warm_start`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty snapshot.
+    pub fn warm_start(
+        mut self,
+        snapshot: Option<KnowledgeSnapshot>,
+    ) -> Result<Self, SocratesError> {
+        check_warm_start(snapshot.as_ref())?;
+        self.config.warm_start = snapshot;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::distributed`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid distributed configuration
+    /// ([`crate::transport::DistributedConfig::validate`]).
+    pub fn distributed(
+        mut self,
+        dist: Option<crate::transport::DistributedConfig>,
+    ) -> Result<Self, SocratesError> {
+        check_distributed(dist.as_ref())?;
+        self.config.distributed = dist;
+        Ok(self)
+    }
+
+    /// Sets [`FleetConfig::schedule`].
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Finishes the build, re-running the **full** validation — the
+    /// cross-field rules (event-driven excludes distributed) can only
+    /// be checked here.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FleetConfig::validate`] rejects.
+    pub fn build(self) -> Result<FleetConfig, SocratesError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Builds the warm-boot re-validation queue: the snapshot's covered
 /// configurations whose seeded rank value sits within
 /// [`WARM_HEAD_BAND`] of the seeded best (at most [`WARM_HEAD_CAP`]),
@@ -274,7 +515,7 @@ impl FleetConfig {
 /// local observations next to its shipped seed. Points the rank cannot
 /// score (missing or non-finite metrics) are skipped — they cannot win
 /// a selection, so they need no early validation.
-fn warm_validation_queue(
+pub(crate) fn warm_validation_queue(
     snapshot: &KnowledgeSnapshot,
     rank: &Rank,
     passes: usize,
@@ -478,7 +719,7 @@ pub struct FleetStats {
 /// # Examples
 ///
 /// ```no_run
-/// use socrates::{Fleet, FleetConfig, Toolchain};
+/// use socrates::{Fleet, FleetConfig, FleetRuntime, Toolchain};
 /// use margot::Rank;
 /// use polybench::App;
 ///
@@ -486,13 +727,17 @@ pub struct FleetStats {
 /// let mut fleet = Fleet::new(FleetConfig::default()).unwrap();
 /// fleet.spawn(&enhanced, &Rank::throughput_per_watt2(), 42, 8);
 /// fleet.set_power_budget(Some(8.0 * 90.0));
-/// fleet.run_for(60.0); // 60 virtual seconds of cooperative adaptation
+/// fleet.run_until(60.0); // 60 virtual seconds of cooperative adaptation
 /// ```
 pub struct Fleet {
     config: FleetConfig,
     pools: Vec<Pool>,
     instances: Vec<Mutex<Instance>>,
     rounds: u64,
+    /// Registered event-stream observers ([`FleetRuntime::observe`]).
+    /// Only touched from sequential (barrier) code; pure consumers, so
+    /// rounds stay bit-identical with or without them.
+    observers: Vec<EventObserver>,
 }
 
 impl Default for Fleet {
@@ -519,11 +764,19 @@ impl Fleet {
                  the simulated transport instead of the in-process shared knowledge",
             ));
         }
+        if config.schedule == Schedule::EventDriven {
+            return Err(SocratesError::invalid_config(
+                "this configuration selects the event-driven schedule (schedule = \
+                 EventDriven): boot it through EventFleet::new, which runs the sparse \
+                 discrete-event scheduler instead of synchronized lockstep rounds",
+            ));
+        }
         Ok(Fleet {
             config,
             pools: Vec::new(),
             instances: Vec::new(),
             rounds: 0,
+            observers: Vec::new(),
         })
     }
 
@@ -629,6 +882,7 @@ impl Fleet {
         } else {
             0
         };
+        let t_s = app.now_s();
         self.instances.push(Mutex::new(Instance {
             app,
             pool,
@@ -641,7 +895,12 @@ impl Fleet {
             arbited: false,
         }));
         self.rebalance_power();
-        self.instances.len() - 1
+        let id = self.instances.len() - 1;
+        self.emit(FleetEvent::Arrived {
+            id: dense_id(id),
+            t_s,
+        });
+        id
     }
 
     /// Boots `count` instances of one enhanced app on machines forked
@@ -702,7 +961,12 @@ impl Fleet {
                 .remove_constraints_on(&Metric::power());
             inst.arbited = false;
         }
+        let t_s = inst.app.now_s();
         self.rebalance_power();
+        self.emit(FleetEvent::Retired {
+            id: dense_id(id),
+            t_s,
+        });
         true
     }
 
@@ -742,13 +1006,9 @@ impl Fleet {
     /// MAPE-K (or exploration) step concurrently, then all observations
     /// are merged into the shared knowledge in instance order. Returns
     /// the number of steps taken.
+    #[deprecated(note = "use the FleetRuntime surface: run_events(1) is one synchronized round")]
     pub fn step_round(&mut self) -> usize {
-        let due: Vec<bool> = self
-            .instances
-            .iter_mut()
-            .map(|m| instance_mut(m).active)
-            .collect();
-        self.round_with(&due)
+        self.step_round_inner()
     }
 
     /// Steps rounds until every active instance has advanced its own
@@ -758,7 +1018,26 @@ impl Fleet {
     /// # Panics
     ///
     /// Panics if `duration_s` is not strictly positive.
+    #[deprecated(
+        note = "use the FleetRuntime surface: run_until(t) advances to an absolute virtual time"
+    )]
     pub fn run_for(&mut self, duration_s: f64) {
+        self.run_for_inner(duration_s);
+    }
+
+    /// The non-deprecated internals of [`step_round`](Self::step_round).
+    fn step_round_inner(&mut self) -> usize {
+        let due: Vec<bool> = self
+            .instances
+            .iter_mut()
+            .map(|m| instance_mut(m).active)
+            .collect();
+        self.round_with(&due)
+    }
+
+    /// The non-deprecated internals of [`run_for`](Self::run_for):
+    /// rounds against per-instance deadlines `now + duration`.
+    fn run_for_inner(&mut self, duration_s: f64) -> u64 {
         assert!(duration_s > 0.0, "duration must be positive");
         let deadlines: Vec<f64> = self
             .instances
@@ -768,11 +1047,18 @@ impl Fleet {
                 inst.app.now_s() + duration_s
             })
             .collect();
+        self.rounds_to_deadlines(&deadlines)
+    }
+
+    /// Rounds until every active instance has reached its own absolute
+    /// deadline; returns the number of rounds (scheduler events).
+    fn rounds_to_deadlines(&mut self, deadlines: &[f64]) -> u64 {
+        let mut rounds = 0;
         loop {
             let due: Vec<bool> = self
                 .instances
                 .iter_mut()
-                .zip(&deadlines)
+                .zip(deadlines)
                 .map(|(m, &deadline)| {
                     let inst = instance_mut(m);
                     inst.active && inst.app.now_s() < deadline
@@ -782,7 +1068,9 @@ impl Fleet {
                 break;
             }
             self.round_with(&due);
+            rounds += 1;
         }
+        rounds
     }
 
     /// The execution trace of instance `id` so far.
@@ -1175,15 +1463,32 @@ impl Fleet {
         let mut requeues: Vec<Vec<KnobConfig>> =
             (0..self.pools.len()).map(|_| Vec::new()).collect();
         let mut kernel_tns: Vec<Vec<u32>> = (0..self.pools.len()).map(|_| Vec::new()).collect();
-        for outcome in stepped.into_iter().flatten() {
+        // Event emission is observer-only bookkeeping: nothing below
+        // reads these, so rounds stay bit-identical without observers.
+        let observing = !self.observers.is_empty();
+        let mut step_events: Vec<FleetEvent> = Vec::new();
+        let mut publishers: Vec<(usize, usize)> = Vec::new();
+        for (id, outcome) in stepped.into_iter().enumerate() {
             match outcome {
-                StepOutcome::Stepped {
+                Some(StepOutcome::Stepped {
                     pool,
                     sample,
                     stale,
-                } => {
+                }) => {
                     steps += 1;
                     kernel_tns[pool].push(sample.config.tn);
+                    if observing {
+                        step_events.push(FleetEvent::Stepped {
+                            id: dense_id(id),
+                            t_start_s: sample.t_start_s,
+                            time_s: sample.time_s,
+                            power_w: sample.power_w,
+                            forced: sample.forced,
+                        });
+                        if self.config.share_knowledge {
+                            publishers.push((id, pool));
+                        }
+                    }
                     if self.config.share_knowledge {
                         let observed = sample.observed_metrics();
                         per_pool[pool].push((sample.config, observed));
@@ -1192,12 +1497,13 @@ impl Fleet {
                         requeues[pool].push(cfg);
                     }
                 }
-                StepOutcome::Failed { pool, stale } => {
+                Some(StepOutcome::Failed { pool, stale }) => {
                     any_failed = true;
                     if let Some(cfg) = stale {
                         requeues[pool].push(cfg);
                     }
                 }
+                None => {}
             }
         }
         if self.config.share_knowledge {
@@ -1234,12 +1540,86 @@ impl Fleet {
             self.rebalance_power();
         }
         self.rounds += 1;
+        if observing {
+            // Steps first (instance order), then the round's publishes
+            // with each pool's post-batch epoch — the order state
+            // actually changed in.
+            let epochs: Vec<u64> = self.pools.iter().map(|p| p.shared.epoch()).collect();
+            for event in step_events {
+                self.emit(event);
+            }
+            for (id, pool) in publishers {
+                let t_s = lock_instance(&self.instances[id]).app.now_s();
+                self.emit(FleetEvent::Published {
+                    id: dense_id(id),
+                    t_s,
+                    epoch: epochs[pool],
+                });
+            }
+        }
         steps
+    }
+
+    /// Delivers one event to every registered observer, in
+    /// registration order. Sequential code only.
+    fn emit(&mut self, event: FleetEvent) {
+        for observer in &mut self.observers {
+            observer(&event);
+        }
+    }
+}
+
+/// A dense lockstep index as a never-reused handle: dense runtimes
+/// never reuse an index, so generation 0 is faithful.
+pub(crate) fn dense_id(id: usize) -> InstanceId {
+    InstanceId::new(u32::try_from(id).expect("dense fleet ids fit in u32"), 0)
+}
+
+impl FleetRuntime for Fleet {
+    /// Rounds until every active instance's own virtual clock has
+    /// reached the absolute time `t_s`; one scheduler event is one
+    /// synchronized round. From a fresh boot (all clocks at zero) this
+    /// is exactly the historical `run_for(t_s)` round sequence.
+    fn run_until(&mut self, t_s: f64) -> u64 {
+        let deadlines = vec![t_s; self.instances.len()];
+        self.rounds_to_deadlines(&deadlines)
+    }
+
+    /// Runs `n` synchronized rounds (stopping early once no instance
+    /// is active); returns the rounds run.
+    fn run_events(&mut self, n: u64) -> u64 {
+        for done in 0..n {
+            if self.step_round_inner() == 0 {
+                return done;
+            }
+        }
+        n
+    }
+
+    fn observe(&mut self, observer: EventObserver) {
+        self.observers.push(observer);
+    }
+
+    /// The furthest virtual clock any instance has reached (instances
+    /// advance at their own speed inside a round).
+    fn virtual_now_s(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(|m| lock_instance(m).app.now_s())
+            .fold(0.0, f64::max)
+    }
+
+    fn active_count(&self) -> usize {
+        self.active_instances()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The pinned reference tests exercise the deprecated round surface
+    // on purpose: it must stay bit-identical until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::toolchain::Toolchain;
     use polybench::Dataset;
@@ -1323,6 +1703,194 @@ mod tests {
         });
         let err = bad_budget.err().expect("negative budget must be rejected");
         assert!(err.to_string().contains("power_budget_w"), "{err}");
+    }
+
+    #[test]
+    fn the_builder_rejects_every_invalid_knob_at_its_setter() {
+        // Field errors surface at the setter that introduced them, with
+        // the same diagnostics the struct-literal path raises at boot.
+        let err = FleetConfig::builder().knowledge_window(0).err().unwrap();
+        assert!(err.to_string().contains("knowledge_window"), "{err}");
+
+        let err = FleetConfig::builder().min_observations(0).err().unwrap();
+        assert!(err.to_string().contains("min_observations"), "{err}");
+
+        let err = FleetConfig::builder().knowledge_shards(0).err().unwrap();
+        assert!(err.to_string().contains("knowledge_shards"), "{err}");
+
+        for bad in [-3.0, 0.0, f64::NAN, f64::INFINITY] {
+            let err = FleetConfig::builder()
+                .power_budget_w(Some(bad))
+                .err()
+                .unwrap();
+            assert!(err.to_string().contains("power_budget_w"), "{bad}: {err}");
+        }
+
+        let empty = crate::snapshot::KnowledgeSnapshot {
+            fingerprint: crate::snapshot::SnapshotFingerprint::new("twomm", "Medium", 0),
+            epoch: 0,
+            shard_epochs: Vec::new(),
+            knowledge: Knowledge::new(),
+        };
+        let err = FleetConfig::builder()
+            .warm_start(Some(empty))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("warm_start"), "{err}");
+
+        let bad_dist = crate::transport::DistributedConfig {
+            sync_interval: 0,
+            ..Default::default()
+        };
+        let err = FleetConfig::builder()
+            .distributed(Some(bad_dist))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("sync_interval"), "{err}");
+
+        // The cross-field rule only triggers at build().
+        let err = FleetConfig::builder()
+            .schedule(Schedule::EventDriven)
+            .distributed(Some(crate::transport::DistributedConfig::default()))
+            .unwrap()
+            .build()
+            .expect_err("EventDriven + distributed must fail at build()");
+        assert!(err.to_string().contains("EventDriven"), "{err}");
+
+        // A fully-valid chain builds, and every knob landed.
+        let config = FleetConfig::builder()
+            .share_knowledge(false)
+            .exploration_interval(7)
+            .knowledge_window(16)
+            .unwrap()
+            .min_observations(2)
+            .unwrap()
+            .knowledge_shards(4)
+            .unwrap()
+            .incremental_refresh(false)
+            .power_budget_w(Some(400.0))
+            .unwrap()
+            .parallel_step(false)
+            .engine(ExecutionEngine::Bytecode)
+            .analysis_prune(true)
+            .schedule(Schedule::EventDriven)
+            .build()
+            .unwrap();
+        assert!(!config.share_knowledge);
+        assert_eq!(config.exploration_interval, 7);
+        assert_eq!(config.knowledge_window, 16);
+        assert_eq!(config.min_observations, 2);
+        assert_eq!(config.knowledge_shards, 4);
+        assert!(!config.incremental_refresh);
+        assert_eq!(config.power_budget_w, Some(400.0));
+        assert!(!config.parallel_step);
+        assert_eq!(config.engine, ExecutionEngine::Bytecode);
+        assert!(config.analysis_prune);
+        assert_eq!(config.schedule, Schedule::EventDriven);
+
+        // The struct-literal compatibility shim still boots the same
+        // fleet the builder output would.
+        let literal = FleetConfig {
+            knowledge_window: 16,
+            ..FleetConfig::default()
+        };
+        assert!(Fleet::new(literal).is_ok());
+    }
+
+    #[test]
+    fn the_runtime_surface_matches_the_legacy_round_loop() {
+        let enhanced = quick_enhanced(App::TwoMm);
+        let boot = || {
+            let mut fleet = fleet_with(FleetConfig::default());
+            fleet.spawn(&enhanced, &rank(), 7, 3);
+            fleet
+        };
+        // From a fresh boot (all clocks at zero) run_until(t) is the
+        // historical run_for(t) round sequence, bit for bit.
+        let mut legacy = boot();
+        legacy.run_for(2.0);
+        let mut unified = boot();
+        let rounds = unified.run_until(2.0);
+        assert!(rounds > 0);
+        assert_eq!(unified.rounds(), legacy.rounds());
+        assert!(unified.virtual_now_s() >= 2.0);
+        assert_eq!(unified.active_count(), 3);
+        for id in 0..3 {
+            assert_eq!(
+                unified.trace(id).to_vec(),
+                legacy.trace(id).to_vec(),
+                "instance {id} diverged"
+            );
+        }
+        assert_eq!(
+            unified.learned_knowledge(App::TwoMm),
+            legacy.learned_knowledge(App::TwoMm)
+        );
+        // run_events(n) is n synchronized rounds.
+        let before = unified.rounds();
+        assert_eq!(unified.run_events(2), 2);
+        assert_eq!(unified.rounds(), before + 2);
+    }
+
+    #[test]
+    fn observers_see_lockstep_rounds_without_perturbing_them() {
+        use crate::events::FleetEvent;
+        use std::sync::{Arc, Mutex};
+        let enhanced = quick_enhanced(App::TwoMm);
+        let run = |observe: bool| {
+            let mut fleet = fleet_with(FleetConfig::default());
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            if observe {
+                let sink = Arc::clone(&seen);
+                fleet.observe(Box::new(move |e: &FleetEvent| {
+                    sink.lock().unwrap().push(e.clone());
+                }));
+            }
+            fleet.spawn(&enhanced, &rank(), 5, 2);
+            fleet.run_events(3);
+            fleet.retire_instance(1);
+            let traces: Vec<_> = (0..2).map(|id| fleet.trace(id).to_vec()).collect();
+            drop(fleet);
+            let events = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
+            (traces, events)
+        };
+        let (plain, none) = run(false);
+        let (observed, events) = run(true);
+        assert!(none.is_empty());
+        assert_eq!(plain, observed, "observers must not perturb the rounds");
+        let arrived: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                FleetEvent::Arrived { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrived, vec![dense_id(0), dense_id(1)]);
+        let stepped = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Stepped { .. }))
+            .count();
+        assert_eq!(stepped, 6, "2 instances x 3 rounds");
+        let published = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Published { .. }))
+            .count();
+        assert_eq!(published, 6, "knowledge sharing publishes every step");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Retired { id, .. } if *id == dense_id(1))));
+        // Within one round, all Published events report the same
+        // post-batch epoch (the barrier merges the round as one batch).
+        let epochs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                FleetEvent::Published { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        for round in epochs.chunks(2) {
+            assert_eq!(round[0], round[1], "one batch per round");
+        }
     }
 
     #[test]

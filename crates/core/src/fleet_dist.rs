@@ -49,7 +49,8 @@
 
 use crate::engine::CompiledKernel;
 use crate::error::SocratesError;
-use crate::fleet::FleetConfig;
+use crate::events::{EventObserver, FleetEvent, FleetRuntime};
+use crate::fleet::{dense_id, FleetConfig};
 use crate::runtime::{AdaptiveApplication, TraceSample};
 use crate::toolchain::EnhancedApp;
 use crate::transport::{
@@ -171,7 +172,7 @@ pub struct DistStats {
 /// };
 /// let mut fleet = DistributedFleet::new(config, &enhanced).unwrap();
 /// fleet.spawn(&Rank::throughput_per_watt2(), 42, 8);
-/// fleet.run_for(30.0);
+/// socrates::FleetRuntime::run_until(&mut fleet, 30.0); // 30 virtual s
 /// let repair_rounds = fleet.drain().unwrap();
 /// assert!(fleet.converged());
 /// println!("converged after {repair_rounds} repair rounds");
@@ -193,6 +194,10 @@ pub struct DistributedFleet {
     /// fails [`DistributedFleet::new`] with a lower-stage error instead
     /// of surfacing mid-deployment).
     kernel: Arc<CompiledKernel>,
+    /// Registered event-stream observers ([`FleetRuntime::observe`]).
+    /// Pure consumers fed from sequential code only — rounds are
+    /// bit-identical with or without them.
+    observers: Vec<EventObserver>,
 }
 
 impl DistributedFleet {
@@ -293,6 +298,7 @@ impl DistributedFleet {
             rounds: 0,
             config,
             kernel,
+            observers: Vec::new(),
         })
     }
 
@@ -438,6 +444,11 @@ impl DistributedFleet {
                 }
             }
         }
+        let t_s = self.nodes[id as usize].app.now_s();
+        self.emit(FleetEvent::Arrived {
+            id: dense_id(id as usize),
+            t_s,
+        });
         id as usize
     }
 
@@ -474,6 +485,11 @@ impl DistributedFleet {
             self.net
                 .send(node_id, BROKER, WireMessage::Leave { node: node_id });
         }
+        let t_s = self.nodes[id].app.now_s();
+        self.emit(FleetEvent::Retired {
+            id: dense_id(id),
+            t_s,
+        });
         true
     }
 
@@ -568,9 +584,12 @@ impl DistributedFleet {
 
     /// One synchronized round over all active instances; returns the
     /// number of steps taken.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the FleetRuntime surface: run_events(1) runs one synchronized round"
+    )]
     pub fn step_round(&mut self) -> usize {
-        let due: Vec<bool> = self.nodes.iter().map(|n| n.active).collect();
-        self.round_with(&due)
+        self.step_round_inner()
     }
 
     /// Steps rounds until every active instance advanced its own
@@ -580,6 +599,10 @@ impl DistributedFleet {
     /// # Panics
     ///
     /// Panics if `duration_s` is not strictly positive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the FleetRuntime surface: run_until(t) advances to an absolute virtual time"
+    )]
     pub fn run_for(&mut self, duration_s: f64) {
         assert!(duration_s > 0.0, "duration must be positive");
         let deadlines: Vec<f64> = self
@@ -587,17 +610,33 @@ impl DistributedFleet {
             .iter()
             .map(|n| n.app.now_s() + duration_s)
             .collect();
+        self.rounds_to_deadlines(&deadlines);
+    }
+
+    /// The non-deprecated internals of
+    /// [`step_round`](Self::step_round), shared with the
+    /// [`FleetRuntime`] surface.
+    fn step_round_inner(&mut self) -> usize {
+        let due: Vec<bool> = self.nodes.iter().map(|n| n.active).collect();
+        self.round_with(&due)
+    }
+
+    /// Rounds until every active node has reached its own deadline;
+    /// returns the rounds run.
+    fn rounds_to_deadlines(&mut self, deadlines: &[f64]) -> u64 {
+        let mut rounds = 0;
         loop {
             let due: Vec<bool> = self
                 .nodes
                 .iter()
-                .zip(&deadlines)
+                .zip(deadlines)
                 .map(|(n, &deadline)| n.active && n.app.now_s() < deadline)
                 .collect();
             if !due.iter().any(|&d| d) {
-                break;
+                return rounds;
             }
             self.round_with(&due);
+            rounds += 1;
         }
     }
 
@@ -656,7 +695,41 @@ impl DistributedFleet {
         let steps = stepped.iter().filter(|s| s.is_some()).count();
         self.publish_phase(&stepped);
         self.rounds += 1;
+        if !self.observers.is_empty() {
+            // Sequential, after the barrier: observers see the round's
+            // steps in node order, then each node's publish with its
+            // own post-round epoch view. Pure consumers — the round is
+            // bit-identical with or without them.
+            for (idx, sample) in stepped.iter().enumerate() {
+                let Some(sample) = sample else { continue };
+                self.emit(FleetEvent::Stepped {
+                    id: dense_id(idx),
+                    t_start_s: sample.t_start_s,
+                    time_s: sample.time_s,
+                    power_w: sample.power_w,
+                    forced: sample.forced,
+                });
+            }
+            for (idx, sample) in stepped.iter().enumerate() {
+                let Some(sample) = sample else { continue };
+                // The distributed epoch is the node's own view: the
+                // sum of its per-shard epoch vector (monotone under
+                // broadcast/fold progress).
+                let epoch = self.epoch_vector(idx).iter().sum();
+                self.emit(FleetEvent::Published {
+                    id: dense_id(idx),
+                    t_s: sample.t_start_s + sample.time_s,
+                    epoch,
+                });
+            }
+        }
         steps
+    }
+
+    fn emit(&mut self, event: FleetEvent) {
+        for observer in &mut self.observers {
+            observer(&event);
+        }
     }
 
     /// Hands out every due message in deterministic order, cascading
@@ -1215,6 +1288,42 @@ impl DistributedFleet {
     }
 }
 
+impl FleetRuntime for DistributedFleet {
+    /// Rounds until every active node's own virtual clock has reached
+    /// the absolute time `t_s`; one scheduler event is one
+    /// synchronized round (tick, deliver, adopt, step, publish). From
+    /// a fresh boot this is exactly the historical `run_for(t_s)`
+    /// round sequence, bit-identically.
+    fn run_until(&mut self, t_s: f64) -> u64 {
+        let deadlines = vec![t_s; self.nodes.len()];
+        self.rounds_to_deadlines(&deadlines)
+    }
+
+    /// Runs `n` synchronized rounds (stopping early once no node is
+    /// active); returns the rounds run.
+    fn run_events(&mut self, n: u64) -> u64 {
+        for done in 0..n {
+            if self.step_round_inner() == 0 {
+                return done;
+            }
+        }
+        n
+    }
+
+    fn observe(&mut self, observer: EventObserver) {
+        self.observers.push(observer);
+    }
+
+    /// The furthest virtual clock any node has reached.
+    fn virtual_now_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.app.now_s()).fold(0.0, f64::max)
+    }
+
+    fn active_count(&self) -> usize {
+        self.active_instances()
+    }
+}
+
 /// The rotation targets of gossip node `id` in `round`: `fanout`
 /// distinct active peers, cycling through the whole peer set over
 /// consecutive rounds so every pair reconciles periodically.
@@ -1238,6 +1347,10 @@ fn gossip_targets(
 
 #[cfg(test)]
 mod tests {
+    // The pinned reference tests exercise the deprecated round surface
+    // on purpose: it must stay bit-identical until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::toolchain::Toolchain;
     use crate::transport::LinkConfig;
@@ -1293,6 +1406,100 @@ mod tests {
         let wrong_door = crate::fleet::Fleet::new(dist_config(DistributedConfig::default()));
         let err = wrong_door.err().expect("Fleet must reject distributed");
         assert!(err.to_string().contains("DistributedFleet"), "{err}");
+    }
+
+    #[test]
+    fn event_driven_schedules_cannot_go_distributed() {
+        let enhanced = quick_enhanced();
+        let err = DistributedFleet::new(
+            FleetConfig {
+                schedule: crate::fleet::Schedule::EventDriven,
+                ..dist_config(DistributedConfig::default())
+            },
+            &enhanced,
+        )
+        .err()
+        .expect("EventDriven + distributed is contradictory");
+        assert!(err.to_string().contains("EventDriven"), "{err}");
+        assert!(err.to_string().contains("Lockstep"), "{err}");
+    }
+
+    #[test]
+    fn the_runtime_surface_matches_the_legacy_round_loop() {
+        let enhanced = quick_enhanced();
+        let boot = || {
+            let mut fleet =
+                DistributedFleet::new(dist_config(DistributedConfig::default()), &enhanced)
+                    .unwrap();
+            fleet.spawn(&Rank::throughput_per_watt2(), 9, 3);
+            fleet
+        };
+        let mut legacy = boot();
+        legacy.run_for(2.0);
+        let mut unified = boot();
+        let rounds = unified.run_until(2.0);
+        assert!(rounds > 0);
+        assert_eq!(unified.rounds(), legacy.rounds());
+        assert!(unified.virtual_now_s() >= 2.0);
+        assert_eq!(unified.active_count(), 3);
+        for id in 0..3 {
+            assert_eq!(unified.trace(id), legacy.trace(id), "node {id} diverged");
+        }
+        assert_eq!(
+            unified.authoritative_knowledge(),
+            legacy.authoritative_knowledge()
+        );
+        // run_events(n) is n synchronized rounds.
+        let before = unified.rounds();
+        assert_eq!(unified.run_events(2), 2);
+        assert_eq!(unified.rounds(), before + 2);
+    }
+
+    #[test]
+    fn observers_see_distributed_rounds_without_perturbing_them() {
+        use std::sync::{Arc, Mutex};
+        let enhanced = quick_enhanced();
+        let run = |observe: bool| {
+            let mut fleet =
+                DistributedFleet::new(dist_config(DistributedConfig::default()), &enhanced)
+                    .unwrap();
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            if observe {
+                let sink = Arc::clone(&seen);
+                fleet.observe(Box::new(move |e: &FleetEvent| {
+                    sink.lock().unwrap().push(e.clone());
+                }));
+            }
+            fleet.spawn(&Rank::throughput_per_watt2(), 4, 2);
+            fleet.run_events(3);
+            fleet.retire_instance(0);
+            let traces: Vec<_> = (0..2).map(|id| fleet.trace(id)).collect();
+            drop(fleet);
+            let events = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
+            (traces, events)
+        };
+        let (plain, none) = run(false);
+        let (observed, events) = run(true);
+        assert!(none.is_empty());
+        assert_eq!(plain, observed, "observers must not perturb the rounds");
+        let arrived = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Arrived { .. }))
+            .count();
+        assert_eq!(arrived, 2);
+        let stepped = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Stepped { .. }))
+            .count();
+        assert_eq!(stepped, 6, "2 nodes x 3 rounds");
+        let published = events
+            .iter()
+            .filter(|e| matches!(e, FleetEvent::Published { .. }))
+            .count();
+        assert_eq!(published, 6, "every step publishes over the wire");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Retired { id, .. } if *id == dense_id(0))));
     }
 
     #[test]

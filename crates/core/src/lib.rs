@@ -38,6 +38,16 @@
 //! per-shard epoch vectors until every node converges onto the same
 //! effective knowledge.
 //!
+//! All three runtimes share one stepping surface, [`FleetRuntime`]
+//! (`run_until` / `run_events` / event-stream observers). Under
+//! [`Schedule::EventDriven`] the round loop gives way to a
+//! discrete-event scheduler ([`EventFleet`]): instances are sparse
+//! slab entries with never-reused generational handles
+//! ([`InstanceId`]), knowledge merges per publish event instead of at
+//! barriers, and seeded [`WorkloadTrace`]s drive arrivals and
+//! retirements as events — a million concurrent instances in one
+//! process, replayable bit-identically from their seeds.
+//!
 //! ## Example
 //!
 //! ```no_run
@@ -66,8 +76,10 @@
 mod artifact;
 mod engine;
 mod error;
+mod events;
 mod fleet;
 mod fleet_dist;
+mod fleet_events;
 mod knowledge_io;
 mod pipeline;
 mod platform;
@@ -87,8 +99,12 @@ pub use engine::{
     ExecutionEngine, FUNCTIONAL_DIM_CAP,
 };
 pub use error::{KnowledgeIoError, SocratesError, StageId, ToolchainError};
-pub use fleet::{Fleet, FleetConfig, FleetStats, FLEET_POWER_PRIORITY};
+pub use events::{EventObserver, FleetEvent, FleetRuntime, InstanceId};
+pub use fleet::{
+    Fleet, FleetConfig, FleetConfigBuilder, FleetStats, Schedule, FLEET_POWER_PRIORITY,
+};
 pub use fleet_dist::{DistStats, DistributedFleet};
+pub use fleet_events::{Arrival, EventFleet, EventFleetStats, WorkloadCurve, WorkloadTrace};
 pub use knowledge_io::{
     delta_from_bytes, delta_from_json, delta_to_bytes, delta_to_json, knowledge_from_json,
     knowledge_to_json, load_knowledge, save_knowledge, wire_from_bytes, wire_from_json,
@@ -103,5 +119,5 @@ pub use snapshot::{
     SNAPSHOT_DELTA_MAGIC, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
 pub use toolchain::{EnhancedApp, Toolchain};
-pub use trace::{windowed_stats, TraceStats};
+pub use trace::{trace_digest, windowed_stats, TraceStats};
 pub use transport::{DistTopology, DistributedConfig, LinkConfig};

@@ -271,6 +271,19 @@ impl AdaptiveApplication {
         }
         &self.trace[start_len..]
     }
+
+    /// Runs kernel invocations until the virtual clock reaches the
+    /// **absolute** time `t_s` (a no-op if it is already there);
+    /// returns the samples produced by this call. The virtual-clock
+    /// twin of [`run_for`](Self::run_for), matching the fleet
+    /// runtimes' [`crate::FleetRuntime::run_until`] convention.
+    pub fn run_until(&mut self, t_s: f64) -> &[TraceSample] {
+        let start_len = self.trace.len();
+        while self.clock.now_s() < t_s {
+            self.step();
+        }
+        &self.trace[start_len..]
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,31 @@ impl TraceStats {
     }
 }
 
+/// An order-sensitive FNV-1a digest of a trace: every numeric field's
+/// exact bit pattern plus the selected configuration and dispatched
+/// version of every sample, in order. Two traces digest equal iff they
+/// are bit-identical sample for sample — the cheap fingerprint the
+/// equivalence suites compare instead of shipping whole traces around.
+pub fn trace_digest(samples: &[TraceSample]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut digest = OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            digest = (digest ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for s in samples {
+        fold(&s.t_start_s.to_bits().to_le_bytes());
+        fold(&s.time_s.to_bits().to_le_bytes());
+        fold(&s.power_w.to_bits().to_le_bytes());
+        fold(format!("{:?}", s.config).as_bytes());
+        fold(&(s.version as u64).to_le_bytes());
+        fold(&[u8::from(s.forced)]);
+    }
+    digest
+}
+
 /// Splits a trace into fixed-duration windows (by invocation start time)
 /// and summarises each; the decimated view the paper plots.
 pub fn windowed_stats(samples: &[TraceSample], window_s: f64) -> Vec<TraceStats> {
@@ -186,6 +211,21 @@ mod tests {
         assert_eq!(windows.len(), 2);
         assert_eq!(windows[0].invocations, 1);
         assert_eq!(windows[1].invocations, 1);
+    }
+
+    #[test]
+    fn digest_is_order_and_bit_sensitive() {
+        let a = vec![sample(0.0, 0.1, 90.0, 4, 0), sample(0.1, 0.2, 95.0, 8, 1)];
+        assert_eq!(trace_digest(&a), trace_digest(&a.clone()));
+        let swapped = vec![a[1].clone(), a[0].clone()];
+        assert_ne!(trace_digest(&a), trace_digest(&swapped));
+        let mut nudged = a.clone();
+        nudged[1].power_w += 1e-9;
+        assert_ne!(trace_digest(&a), trace_digest(&nudged));
+        let mut forced = a;
+        forced[0].forced = true;
+        assert_ne!(trace_digest(&forced), trace_digest(&nudged));
+        assert_eq!(trace_digest(&[]), trace_digest(&[]));
     }
 
     #[test]

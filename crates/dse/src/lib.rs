@@ -428,6 +428,37 @@ impl<K: Clone + Eq + std::hash::Hash> ExplorationSchedule<K> {
         self.swept.insert(config.clone())
     }
 
+    /// The next configuration no instance has covered yet **without
+    /// claiming it**: the event-driven half of the sweep protocol,
+    /// where the claim happens at *publish* time ([`claim`](Self::claim))
+    /// instead of at hand-out. Repeated peeks return the same
+    /// configuration until somebody claims it — the cursor only
+    /// advances past configurations already swept — so a speculative
+    /// assignment that never executes (its instance retired first)
+    /// leaves no hole in the design space and needs no
+    /// [`requeue`](Self::requeue).
+    pub fn peek_unexplored(&mut self) -> Option<&K> {
+        while self.cursor < self.configs.len() {
+            if !self.swept.contains(&self.configs[self.cursor]) {
+                return Some(&self.configs[self.cursor]);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    /// Claims coverage of `config` at publish time — the counterpart of
+    /// [`peek_unexplored`](Self::peek_unexplored): an event-driven
+    /// runtime claims each configuration when its observation is
+    /// *published*, not when the assignment is handed out, so the sweep
+    /// records exactly what actually reached the shared knowledge.
+    /// Organic coverage (an instance publishing its own selection)
+    /// claims through the same call. Returns `true` if `config` was
+    /// previously unexplored; unknown configurations are ignored.
+    pub fn claim(&mut self, config: &K) -> bool {
+        self.mark_explored(config)
+    }
+
     /// Returns a handed-out configuration to the unexplored set — the
     /// coordinator calls this when an assignment was *not* executed
     /// after all (the assignee failed mid-step, or the configuration
@@ -767,6 +798,43 @@ mod tests {
         assert_eq!(s.remaining(), 1);
         assert_eq!(s.next_unexplored(), Some(1), "last one keeps retrying");
         assert!(s.is_complete());
+    }
+
+    #[test]
+    fn peek_is_stable_until_claimed_at_publish() {
+        let mut s = ExplorationSchedule::new(vec![1u32, 2, 3]);
+        // A peek hands out without claiming: retired-before-publish
+        // assignments leave no hole and need no requeue.
+        assert_eq!(s.peek_unexplored(), Some(&1));
+        assert_eq!(s.peek_unexplored(), Some(&1), "stable until claimed");
+        assert_eq!(s.remaining(), 3, "nothing claimed yet");
+        assert!(s.claim(&1), "publish-time claim");
+        assert!(!s.claim(&1), "double publish claims once");
+        assert_eq!(s.peek_unexplored(), Some(&2));
+        // Organic coverage claims through the same call and is skipped.
+        assert!(s.claim(&2));
+        assert_eq!(s.peek_unexplored(), Some(&3));
+        assert!(s.claim(&3));
+        assert_eq!(s.peek_unexplored(), None);
+        assert!(s.is_complete());
+        assert!(!s.claim(&99), "unknown configs are ignored");
+    }
+
+    #[test]
+    fn peek_claim_covers_the_same_space_as_next_unexplored() {
+        // The event-driven protocol (peek, publish, claim) sweeps the
+        // identical enumeration order as the round-based hand-out.
+        let reference: Vec<u32> = {
+            let mut s = ExplorationSchedule::new((0..17u32).collect());
+            std::iter::from_fn(move || s.next_unexplored()).collect()
+        };
+        let mut s = ExplorationSchedule::new((0..17u32).collect());
+        let mut swept = Vec::new();
+        while let Some(&cfg) = s.peek_unexplored() {
+            swept.push(cfg);
+            assert!(s.claim(&cfg));
+        }
+        assert_eq!(swept, reference);
     }
 
     #[test]

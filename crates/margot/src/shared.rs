@@ -683,6 +683,44 @@ impl<K: Clone + Eq + Hash> SharedKnowledge<K> {
         true
     }
 
+    /// Merges one observation and — when it changed an effective value
+    /// — patches the updated point **straight into** `cache` under the
+    /// same shard lock: the merge-on-publish path of an event-driven
+    /// runtime, where knowledge folds in per publish event instead of
+    /// at a round barrier. Windows, dirty sets and epochs advance
+    /// exactly as [`publish`](Self::publish) (the slot stays dirty so
+    /// *other* caches still see the change on their next drain), so a
+    /// sequence of `publish_into` calls is bit-identical to the same
+    /// sequence of `publish` + [`drain_changes_into`](Self::drain_changes_into)
+    /// — without the all-shards drain sweep per event.
+    ///
+    /// Returns `None` when `config` is not a known operating point,
+    /// otherwise `Some((position, changed))`. `cache` must descend from
+    /// the same design knowledge (same length and point order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is shorter than the design knowledge.
+    pub fn publish_into(
+        &self,
+        config: &K,
+        observed: &MetricValues,
+        cache: &mut Knowledge<K>,
+    ) -> Option<(usize, bool)> {
+        let &at = self.layout.index.get(config)?;
+        let pos = self.layout.positions[at.shard][at.slot];
+        let design = &self.layout.design.points()[pos].metrics;
+        let mut state = self.lock_shard(at.shard);
+        let changed = self.merge_into(&mut state, at.slot, design, observed);
+        if changed {
+            state.dirty.insert(at.slot);
+            self.shards[at.shard].epoch.fetch_add(1, Ordering::AcqRel);
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            cache.patch_point(pos, self.effective_point(&state, at.shard, at.slot));
+        }
+        Some((pos, changed))
+    }
+
     /// Merges a whole batch of observations — e.g. one fleet round —
     /// grouping them by shard and taking each shard's lock **once** for
     /// its whole group. Within a shard, observations merge in the order
@@ -1153,6 +1191,60 @@ mod tests {
         assert_eq!(cache, twin.knowledge(), "in-place drain == snapshot");
         // Nothing left to drain.
         assert_eq!(shared.drain_changes_into(&mut cache).1, 0);
+    }
+
+    #[test]
+    fn publish_into_matches_publish_plus_drain() {
+        // The merge-on-publish path must be bit-identical — cache,
+        // epochs, shard epochs, dirty bookkeeping — to the barrier
+        // path: publish one-by-one, then drain into the cache.
+        let streamed = SharedKnowledge::new(design(), 4).with_shards(2);
+        let barriered = SharedKnowledge::new(design(), 4).with_shards(2);
+        let mut stream_cache = streamed.knowledge();
+        let mut barrier_cache = barriered.knowledge();
+        let sequence = [(1u32, 60.0), (2, 85.0), (1, 70.0), (2, 95.0), (1, 64.0)];
+        for (config, power) in sequence {
+            let observed = MetricValues::new().with(Metric::power(), power);
+            let (pos, _) = streamed
+                .publish_into(&config, &observed, &mut stream_cache)
+                .expect("known config");
+            assert_eq!(pos, config as usize - 1);
+            barriered.publish(&config, &observed);
+        }
+        barriered.drain_changes_into(&mut barrier_cache);
+        assert_eq!(stream_cache, barrier_cache);
+        assert_eq!(streamed.epoch(), barriered.epoch());
+        assert_eq!(streamed.shard_hashes(), barriered.shard_hashes());
+        for s in 0..streamed.shard_count() {
+            assert_eq!(streamed.shard_epoch(s), barriered.shard_epoch(s));
+        }
+        // The slot stays dirty for *other* caches: a fresh drain sees
+        // every change the streamed cache already has.
+        let mut late = streamed.layout.design.clone();
+        let (_, patched) = streamed.drain_changes_into(&mut late);
+        assert_eq!(patched, 2);
+        assert_eq!(late, stream_cache);
+    }
+
+    #[test]
+    fn publish_into_rejects_unknown_configs_and_skips_no_ops() {
+        let shared = SharedKnowledge::new(design(), 4);
+        let mut cache = shared.knowledge();
+        assert_eq!(
+            shared.publish_into(
+                &99,
+                &MetricValues::new().with(Metric::power(), 1.0),
+                &mut cache
+            ),
+            None
+        );
+        // Empty observation: accepted, position reported, nothing changed.
+        assert_eq!(
+            shared.publish_into(&1, &MetricValues::new(), &mut cache),
+            Some((0, false))
+        );
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(cache, shared.knowledge());
     }
 
     #[test]

@@ -198,6 +198,32 @@ impl Machine {
         exec
     }
 
+    /// The multiplicative `(time, power)` noise factors of invocation
+    /// `step` on noise stream `stream` — **stateless** random access
+    /// into the noise sequence, keyed off this machine's seed.
+    ///
+    /// An event-driven runtime with a million sparse instances cannot
+    /// afford one forked [`Machine`] (and mutable RNG) per instance;
+    /// instead it keeps one base machine per pool and derives each
+    /// instance's noise on demand: `stream` plays the role of the
+    /// [`fork`](Self::fork) stream id and `step` the invocation index
+    /// within it. The derivation mirrors `fork` (hash the seed, mix the
+    /// stream, then mix the step with a distinct odd constant), so
+    /// distinct `(stream, step)` pairs draw decorrelated factors and
+    /// the same pair always replays bit-identically.
+    pub fn noise_factors_at(&self, stream: u64, step: u64) -> (f64, f64) {
+        let mut state = self.seed;
+        let hashed_seed = rand::split_mix_64(&mut state);
+        let mut state = hashed_seed.wrapping_add(stream.wrapping_mul(0xA076_1D64_78BD_642F));
+        let derived = rand::split_mix_64(&mut state);
+        let mut state = derived.wrapping_add(step.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let per_step = rand::split_mix_64(&mut state);
+        let mut rng = ChaCha8Rng::seed_from_u64(per_step);
+        let tn = lognormal(&mut rng, self.noise.time_sigma);
+        let pn = lognormal(&mut rng, self.noise.power_sigma);
+        (tn, pn)
+    }
+
     /// The noise-free expected outcome (model ground truth).
     ///
     /// # Panics
@@ -334,6 +360,41 @@ mod tests {
         assert_ne!(parent.fork(1).fork(2).seed(), parent.fork(2).fork(1).seed());
         // … and fork(x).fork(x) must not replay the parent's stream.
         assert_ne!(parent.fork(3).fork(3).seed(), parent.seed());
+    }
+
+    #[test]
+    fn noise_factors_at_is_a_pure_function() {
+        let m = Machine::xeon_e5_2630_v3(7);
+        assert_eq!(m.noise_factors_at(3, 11), m.noise_factors_at(3, 11));
+        // Equal-seeded machines agree; the call never mutates state.
+        let twin = Machine::xeon_e5_2630_v3(7);
+        assert_eq!(m.noise_factors_at(0, 0), twin.noise_factors_at(0, 0));
+    }
+
+    #[test]
+    fn noise_factors_decorrelate_streams_and_steps() {
+        let m = Machine::xeon_e5_2630_v3(7);
+        assert_ne!(m.noise_factors_at(0, 0), m.noise_factors_at(1, 0));
+        assert_ne!(m.noise_factors_at(0, 0), m.noise_factors_at(0, 1));
+        // (stream, step) must not collapse onto (step, stream).
+        assert_ne!(m.noise_factors_at(1, 2), m.noise_factors_at(2, 1));
+        // Different base seeds see different noise sequences.
+        assert_ne!(
+            m.noise_factors_at(4, 9),
+            Machine::xeon_e5_2630_v3(8).noise_factors_at(4, 9)
+        );
+    }
+
+    #[test]
+    fn noise_factors_share_the_fork_lognormal_model() {
+        // Factors are lognormal with the machine's sigmas: centred near
+        // one, and degenerate (exactly one) on a noiseless machine.
+        let m = Machine::xeon_e5_2630_v3(3);
+        let n = 400u64;
+        let mean: f64 = (0..n).map(|s| m.noise_factors_at(0, s).0).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "time-factor mean {mean}");
+        let silent = Machine::xeon_e5_2630_v3(3).noiseless();
+        assert_eq!(silent.noise_factors_at(5, 5), (1.0, 1.0));
     }
 
     #[test]

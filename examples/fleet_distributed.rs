@@ -8,7 +8,8 @@
 use margot::Rank;
 use polybench::{App, Dataset};
 use socrates::{
-    DistTopology, DistributedConfig, DistributedFleet, FleetConfig, LinkConfig, Toolchain,
+    DistTopology, DistributedConfig, DistributedFleet, FleetConfig, FleetRuntime, LinkConfig,
+    Toolchain,
 };
 
 fn main() {
@@ -24,10 +25,11 @@ fn main() {
 
     // Deployment: a broker-star fleet over a degraded link — up to 3
     // rounds of latency, 20% loss, 5% duplication, all seeded and
-    // replayable.
-    let config = FleetConfig {
-        exploration_interval: 0,
-        distributed: Some(DistributedConfig {
+    // replayable. The builder validates the wire configuration at the
+    // setter that introduces it.
+    let config = FleetConfig::builder()
+        .exploration_interval(0)
+        .distributed(Some(DistributedConfig {
             topology: DistTopology::BrokerStar,
             link: LinkConfig {
                 seed: 7,
@@ -37,12 +39,13 @@ fn main() {
                 dup_prob: 0.05,
             },
             ..DistributedConfig::default()
-        }),
-        ..FleetConfig::default()
-    };
+        }))
+        .expect("a valid wire configuration")
+        .build()
+        .expect("valid fleet config");
     let mut fleet = DistributedFleet::new(config, &enhanced).expect("valid config");
     fleet.spawn(&Rank::throughput_per_watt2(), 42, 10);
-    fleet.run_for(20.0);
+    fleet.run_until(20.0);
 
     // Churn: two instances join mid-run; they announce themselves,
     // adopt the broker's snapshot and catch up via deltas.
@@ -52,7 +55,7 @@ fn main() {
             enhanced.platform.machine(seed),
         );
     }
-    fleet.run_for(10.0);
+    fleet.run_until(30.0);
 
     // Drain: anti-entropy repair rounds until every node holds the
     // same effective knowledge.

@@ -11,7 +11,7 @@
 
 use margot::Rank;
 use polybench::{App, Dataset};
-use socrates::{Fleet, FleetConfig, Toolchain};
+use socrates::{Fleet, FleetConfig, FleetEvent, FleetRuntime, Toolchain};
 
 fn main() {
     let toolchain = Toolchain {
@@ -25,10 +25,27 @@ fn main() {
     // is unchanged, so the drift re-orders the operating points).
     let drifted = enhanced.platform.hotter(1.4);
 
-    let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
+    // Builder-style construction: every knob is validated at the
+    // setter that introduces it, and the global 880 W budget lands in
+    // the config instead of a post-spawn mutation.
+    let config = FleetConfig::builder()
+        .power_budget_w(Some(8.0 * 110.0))
+        .expect("a positive, finite budget")
+        .build()
+        .expect("valid fleet config");
+    let mut fleet = Fleet::new(config).expect("valid fleet config");
     let rank = Rank::throughput_per_watt2();
     fleet.spawn_on(&enhanced, &rank, &drifted.machine(42), 8);
-    fleet.set_power_budget(Some(8.0 * 110.0));
+
+    // The runtime surface streams events; count the cooperative
+    // exploration publishes as they happen.
+    let publishes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let seen = std::sync::Arc::clone(&publishes);
+    fleet.observe(Box::new(move |ev| {
+        if matches!(ev, FleetEvent::Published { .. }) {
+            seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }));
 
     println!("8-instance 2mm fleet on a hotter-than-profiled machine");
     println!("(energy-efficient policy, global 880 W budget)");
@@ -39,7 +56,7 @@ fn main() {
     );
 
     for phase_end in [30.0, 60.0, 90.0, 120.0] {
-        fleet.run_for(30.0);
+        fleet.run_until(phase_end);
         let (covered, total) = fleet.exploration_coverage(App::TwoMm).expect("pool");
         // Fleet-wide means over the last 10 virtual seconds of planned
         // (non-exploration) invocations.
@@ -72,12 +89,16 @@ fn main() {
     for id in 0..4 {
         fleet.retire_instance(id);
     }
-    fleet.run_for(30.0);
+    fleet.run_until(150.0);
     let last = fleet.trace(7);
     let s = last.last().expect("instance 7 kept running");
     println!(
         "instance 7 now runs {} threads / {} at {:.1} W",
         s.config.tn, s.config.bp, s.power_w
+    );
+    println!(
+        "{} knowledge publishes streamed to the observer",
+        publishes.load(std::sync::atomic::Ordering::Relaxed)
     );
 
     // The fleet's learned knowledge outlives the deployment: persist it

@@ -1,0 +1,236 @@
+//! Equivalence and determinism guarantees of the event-driven fleet
+//! runtime:
+//!
+//! 1. **Replay**: any seeded arrival/retire/publish schedule — curve
+//!    shape, rate and churn all proptest-generated — replays
+//!    bit-identically from its seed (same event digest, same stats,
+//!    same learned knowledge).
+//! 2. **Churn**: instance handles are never reused, however heavy the
+//!    join/retire traffic, while the slot pool stays bounded by the
+//!    peak live count.
+//! 3. **Lockstep**: the unified [`FleetRuntime`] surface over
+//!    `Schedule::Lockstep` is bit-identical to the legacy
+//!    `step_round`/`run_for` loop on **every** polybench application.
+//!
+//! CI re-runs this file under forced `RAYON_NUM_THREADS` values
+//! (1, 2, 8), so the identities hold at any worker count.
+
+use margot::Rank;
+use polybench::{App, Dataset};
+use proptest::prelude::*;
+use socrates::{
+    trace_digest, EnhancedApp, EventFleet, Fleet, FleetConfig, FleetRuntime, Schedule, Toolchain,
+    WorkloadCurve, WorkloadTrace,
+};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn quick_enhanced(app: App) -> EnhancedApp {
+    Toolchain {
+        dataset: Dataset::Medium,
+        dse_repetitions: 1,
+        ..Toolchain::default()
+    }
+    .enhance(app)
+    .expect("toolchain")
+}
+
+/// The enhanced app shared across proptest cases (enhancing once, not
+/// per case, keeps the suite seconds, not minutes).
+fn enhanced() -> &'static EnhancedApp {
+    static ENHANCED: OnceLock<EnhancedApp> = OnceLock::new();
+    ENHANCED.get_or_init(|| quick_enhanced(App::TwoMm))
+}
+
+fn event_config() -> FleetConfig {
+    FleetConfig::builder()
+        .schedule(Schedule::EventDriven)
+        .build()
+        .expect("valid fleet config")
+}
+
+#[derive(Debug, Clone)]
+struct TraceCase {
+    seed: u64,
+    horizon_s: f64,
+    base_rate_hz: f64,
+    mean_lifetime_s: f64,
+    curve: WorkloadCurve,
+    budget_w: Option<f64>,
+}
+
+fn curve_strategy() -> impl Strategy<Value = WorkloadCurve> {
+    prop_oneof![
+        Just(WorkloadCurve::Constant),
+        (2.0f64..20.0, 0.0f64..1.0).prop_map(|(period_s, amplitude)| WorkloadCurve::Diurnal {
+            period_s,
+            amplitude,
+        }),
+        (0.0f64..6.0, 0.5f64..4.0, 1.0f64..6.0).prop_map(|(at_s, duration_s, multiplier)| {
+            WorkloadCurve::FlashCrowd {
+                at_s,
+                duration_s,
+                multiplier,
+            }
+        }),
+    ]
+}
+
+fn trace_case_strategy() -> impl Strategy<Value = TraceCase> {
+    (
+        any::<u64>(),
+        3.0f64..8.0,
+        0.5f64..3.0,
+        0.5f64..5.0,
+        curve_strategy(),
+        prop::option::of(100.0f64..1000.0),
+    )
+        .prop_map(
+            |(seed, horizon_s, base_rate_hz, mean_lifetime_s, curve, budget_w)| TraceCase {
+                seed,
+                horizon_s,
+                base_rate_hz,
+                mean_lifetime_s,
+                curve,
+                budget_w,
+            },
+        )
+}
+
+/// One full event run over the case's workload trace; returns every
+/// observable the replay property compares.
+fn run_case(case: &TraceCase) -> (u64, u64, socrates::EventFleetStats, Option<u64>) {
+    let trace = WorkloadTrace {
+        seed: case.seed,
+        horizon_s: case.horizon_s,
+        base_rate_hz: case.base_rate_hz,
+        mean_lifetime_s: case.mean_lifetime_s,
+        curve: case.curve,
+    };
+    let mut fleet = EventFleet::new(event_config()).expect("valid fleet config");
+    fleet.set_power_budget(case.budget_w);
+    fleet
+        .drive(&trace, enhanced(), &Rank::throughput_per_watt2())
+        .expect("valid trace");
+    fleet.run_until(case.horizon_s + 2.0);
+    (
+        fleet.event_digest(),
+        fleet.events_processed(),
+        fleet.stats(),
+        fleet.knowledge_epoch(App::TwoMm),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the schedule — curve shape, arrival rate, lifetimes,
+    /// power budget, churn — an event run is a pure function of its
+    /// seed: re-running the same trace reproduces the same event
+    /// stream bit for bit.
+    #[test]
+    fn seeded_event_schedules_replay_bit_identically(case in trace_case_strategy()) {
+        let first = run_case(&case);
+        let second = run_case(&case);
+        prop_assert_eq!(&first, &second);
+        // The digest folds every event's action, time and id — a
+        // single reordered or perturbed event would flip it.
+        prop_assert!(first.1 > 0, "the trace scheduled no events");
+    }
+}
+
+/// Replays a churn-heavy join/retire trace against the sparse pool:
+/// every handle handed out is distinct forever (a retired instance's
+/// handle never aliases a later joiner), while the slot pool itself
+/// stays bounded by the peak live count. Regression test for the
+/// id-reuse bug class the generational slab exists to kill.
+#[test]
+fn churn_replay_never_reuses_handles() {
+    let enhanced = enhanced();
+    let rank = Rank::throughput_per_watt2();
+    let mut fleet = EventFleet::new(event_config()).expect("valid fleet config");
+
+    let mut issued = HashSet::new();
+    let mut retired = Vec::new();
+    let mut live = Vec::new();
+    let mut peak_live = 0usize;
+    // 12 waves of join/run/retire churn, retiring from alternating
+    // ends so slot reuse interleaves with fresh allocation.
+    for wave in 0..12u64 {
+        let joiners = 2 + (wave % 3) as usize;
+        for id in fleet.spawn(enhanced, &rank, 42, joiners) {
+            assert!(
+                issued.insert(id.raw()),
+                "handle {id} was issued twice (wave {wave})"
+            );
+            live.push(id);
+        }
+        peak_live = peak_live.max(live.len());
+        fleet.run_until(fleet.virtual_now_s() + 0.5);
+        let drop_n = (wave % 2 + 1) as usize;
+        for _ in 0..drop_n.min(live.len()) {
+            let id = if wave % 2 == 0 {
+                live.remove(0)
+            } else {
+                live.pop().expect("non-empty")
+            };
+            assert!(fleet.retire(id), "live handle {id} must retire");
+            retired.push(id);
+        }
+        // Stale handles stay dead forever: re-retiring is a no-op,
+        // and no stale handle ever reports live again.
+        for id in &retired {
+            assert!(!fleet.is_live(*id), "retired handle {id} came back");
+            assert!(!fleet.retire(*id), "stale retire of {id} claimed success");
+        }
+    }
+    let stats = fleet.stats();
+    assert_eq!(stats.spawned as usize, issued.len());
+    assert_eq!(stats.retired as usize, retired.len());
+    assert!(
+        stats.slots <= peak_live,
+        "slot pool grew past the peak live count: {} slots > {} peak",
+        stats.slots,
+        peak_live
+    );
+    assert!(
+        stats.slots < issued.len(),
+        "no slot was ever reused across {} spawns",
+        issued.len()
+    );
+}
+
+/// Drives the legacy deprecated round loop for comparison; isolated in
+/// one function so the rest of the suite stays deprecation-clean.
+#[allow(deprecated)]
+fn legacy_run(enhanced: &EnhancedApp, horizon_s: f64) -> Vec<u64> {
+    let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
+    fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, 3);
+    fleet.set_power_budget(Some(3.0 * 90.0));
+    fleet.run_for(horizon_s);
+    (0..3).map(|id| trace_digest(&fleet.trace(id))).collect()
+}
+
+fn unified_run(enhanced: &EnhancedApp, horizon_s: f64) -> Vec<u64> {
+    let mut fleet = Fleet::new(FleetConfig::default()).expect("valid fleet config");
+    fleet.spawn(enhanced, &Rank::throughput_per_watt2(), 2018, 3);
+    fleet.set_power_budget(Some(3.0 * 90.0));
+    fleet.run_until(horizon_s);
+    (0..3).map(|id| trace_digest(&fleet.trace(id))).collect()
+}
+
+/// `Schedule::Lockstep` under the unified [`FleetRuntime`] surface is
+/// the legacy round loop, bit for bit, on every polybench application
+/// — the compatibility contract that lets the deprecated surface go
+/// away without anyone noticing.
+#[test]
+fn lockstep_runtime_matches_legacy_step_round_on_all_apps() {
+    for app in App::ALL {
+        let enhanced = quick_enhanced(app);
+        assert_eq!(
+            legacy_run(&enhanced, 1.5),
+            unified_run(&enhanced, 1.5),
+            "{app:?}: unified FleetRuntime trace != legacy step_round trace"
+        );
+    }
+}

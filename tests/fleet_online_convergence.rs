@@ -10,6 +10,10 @@
 //! space cooperatively and re-ranks on true observations.
 //! `fleet_bench` reports the full numbers in BENCH.md.
 
+// These suites pin the deprecated round surface on purpose: it must
+// stay bit-identical to the unified FleetRuntime path until removal.
+#![allow(deprecated)]
+
 use margot::Rank;
 use polybench::{App, Dataset};
 use socrates::{Fleet, FleetConfig, Toolchain, TraceSample};
